@@ -1,0 +1,70 @@
+"""E7 — ablation: read-query deduplication on/off (§4.5).
+
+The paper attributes much of MediaWiki's "DB query" savings (Figure 9) to
+dedup; with dedup off, every SELECT is re-issued to the versioned DB.
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_table
+from repro.core import ssco_audit
+
+
+def _audit(bundle, dedup):
+    workload, execution, _ = bundle
+    return ssco_audit(workload.app, execution.trace, execution.reports,
+                      execution.initial_state, dedup=dedup)
+
+
+def test_dedup_ablation_table(all_bundles, capsys):
+    rows = []
+    for label, bundle in all_bundles.items():
+        with_dedup = _audit(bundle, dedup=True)
+        without = _audit(bundle, dedup=False)
+        assert with_dedup.accepted and without.accepted
+        # Dedup must not change regenerated outputs.
+        assert with_dedup.produced == without.produced
+        hits = with_dedup.stats["dedup_hits"]
+        total = hits + with_dedup.stats["dedup_misses"]
+        rows.append({
+            "app": label,
+            "selects": total,
+            "dedup_hits": hits,
+            "hit_rate_pct": 100.0 * hits / max(1, total),
+            "db_query_s_with": with_dedup.phases["db_query"],
+            "db_query_s_without": without.phases["db_query"],
+            "db_query_saving_x": (
+                without.phases["db_query"]
+                / max(1e-9, with_dedup.phases["db_query"])
+            ),
+        })
+    assert any(row["dedup_hits"] > 0 for row in rows)
+    with capsys.disabled():
+        print()
+        print("=== Ablation: read-query deduplication (§4.5) ===")
+        print(render_table(rows, [
+            "app", "selects", "dedup_hits", "hit_rate_pct",
+            "db_query_s_with", "db_query_s_without", "db_query_saving_x",
+        ]))
+
+
+def test_bench_audit_with_dedup(benchmark, wiki_bundle):
+    workload, execution, _ = wiki_bundle
+    result = benchmark.pedantic(
+        lambda: ssco_audit(workload.app, execution.trace,
+                           execution.reports, execution.initial_state,
+                           dedup=True),
+        rounds=3, iterations=1,
+    )
+    assert result.accepted
+
+
+def test_bench_audit_without_dedup(benchmark, wiki_bundle):
+    workload, execution, _ = wiki_bundle
+    result = benchmark.pedantic(
+        lambda: ssco_audit(workload.app, execution.trace,
+                           execution.reports, execution.initial_state,
+                           dedup=False),
+        rounds=3, iterations=1,
+    )
+    assert result.accepted

@@ -1,0 +1,69 @@
+"""E5 — Figure 11: control-flow-group characteristics of the MediaWiki
+workload.
+
+Each group c gets a triple (n_c, α_c, ℓ_c): requests in the group, the
+fraction of univalent instructions, and the instruction count.  Paper
+findings, asserted as shape:
+
+* many groups with large n (big batching opportunities);
+* most requests live in groups with very high α — the hypothesis that
+  acceleration comes from "on demand" collapse, §5.2;
+* (paper: 527 groups, 237 with n>1, all α > 0.95 at full scale).
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_table
+from repro.bench.harness import run_audit_phase
+
+
+def test_figure11_group_characteristics(wiki_bundle, capsys):
+    workload, execution, _ = wiki_bundle
+    run = run_audit_phase(workload, execution, run_baseline=False)
+    assert run.audit.accepted
+    triples = run.audit.stats["group_alphas"]
+
+    total_groups = len(triples)
+    multi_groups = [t for t in triples if t[0] > 1]
+    total_requests = sum(t[0] for t in triples)
+    weighted_alpha = (
+        sum(t[0] * t[1] for t in triples) / total_requests
+    )
+    biggest = sorted(triples, key=lambda t: -t[0])[:10]
+
+    # Shape assertions.
+    assert multi_groups, "workload must produce multi-request groups"
+    assert max(t[0] for t in triples) >= 0.2 * total_requests, (
+        "the hot path should concentrate into large groups"
+    )
+    assert weighted_alpha > 0.75, (
+        f"most instructions should be univalent; got {weighted_alpha:.3f}"
+    )
+
+    rows = [
+        {"n": n, "alpha": alpha, "instructions": steps}
+        for n, alpha, steps in biggest
+    ]
+    with capsys.disabled():
+        print()
+        print("=== Figure 11 reproduction (MediaWiki groups) ===")
+        print(f"groups: {total_groups}, groups with n>1: "
+              f"{len(multi_groups)}, requests: {total_requests}, "
+              f"request-weighted alpha: {weighted_alpha:.4f}")
+        print("largest groups:")
+        print(render_table(rows, ["n", "alpha", "instructions"]))
+
+
+def test_figure11_bubble_data_export(wiki_bundle, tmp_path, capsys):
+    """Write the full (n, alpha, ell) bubble data as CSV (the figure's
+    raw points)."""
+    workload, execution, _ = wiki_bundle
+    run = run_audit_phase(workload, execution, run_baseline=False)
+    out = tmp_path / "figure11_bubbles.csv"
+    with open(out, "w") as fh:
+        fh.write("n,alpha,instructions\n")
+        for n, alpha, steps in run.audit.stats["group_alphas"]:
+            fh.write(f"{n},{alpha:.6f},{steps}\n")
+    assert out.exists()
+    with capsys.disabled():
+        print(f"\nFigure 11 bubble data: {out}")

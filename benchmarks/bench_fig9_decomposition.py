@@ -1,0 +1,64 @@
+"""E3 — Figure 9: decomposition of audit-time CPU costs.
+
+Paper shape: re-execution ("PHP") dominates; "DB query" is visibly reduced
+by dedup; ProcessOpReports and the versioned redo are small slices; the
+baseline bar (simple re-execution) towers over the OROCHI bar.
+"""
+
+from __future__ import annotations
+
+from repro.bench import figure9_decomposition, render_table
+from repro.bench.harness import run_audit_phase
+from repro.core.process_reports import process_op_reports
+
+_COLUMNS = ["app", "php", "db_query", "proc_op_reports", "db_redo",
+            "other", "total", "baseline_total"]
+
+
+def test_figure9_decomposition(all_bundles, capsys):
+    rows = []
+    for label, (workload, execution, _) in all_bundles.items():
+        run = run_audit_phase(workload, execution)
+        assert run.audit.accepted
+        decomposition = figure9_decomposition(run)
+        decomposition["app"] = label
+        rows.append(decomposition)
+        # Shape assertions: the audit beats the baseline, and the pieces
+        # sum to the total.
+        assert decomposition["total"] < decomposition["baseline_total"]
+        parts = (decomposition["php"] + decomposition["db_query"]
+                 + decomposition["proc_op_reports"]
+                 + decomposition["db_redo"] + decomposition["other"])
+        assert abs(parts - decomposition["total"]) < 0.05 * max(
+            decomposition["total"], 1e-9
+        ) + 1e-6
+    with capsys.disabled():
+        print()
+        print("=== Figure 9 reproduction (audit CPU seconds) ===")
+        print(render_table(rows, _COLUMNS))
+
+
+def test_bench_proc_op_reports(benchmark, wiki_bundle):
+    """ProcOpRep in isolation (the Figures 5+6 logic)."""
+    workload, execution, _ = wiki_bundle
+    graph, opmap = benchmark(
+        process_op_reports, execution.trace, execution.reports
+    )
+    assert len(opmap) > 0
+
+
+def test_bench_db_redo(benchmark, wiki_bundle):
+    """The versioned redo pass in isolation (§4.5)."""
+    from repro.sql.versioned import VersionedDB
+
+    workload, execution, _ = wiki_bundle
+    log = execution.reports.op_logs[workload.app.db_name]
+
+    def redo():
+        vdb = VersionedDB()
+        vdb.load_initial(execution.initial_state.db_engine)
+        vdb.build(log)
+        return vdb
+
+    vdb = benchmark(redo)
+    assert vdb.redo_statements > 0

@@ -1,0 +1,83 @@
+"""E6 — §3.5/§A.8: the streaming frontier algorithm (Figure 6, O(X+Z))
+vs the offline sort-based baseline (Anderson et al., O(X log X + Z)).
+
+Both must produce identical edges; the streaming algorithm must not be
+slower, and its advantage should grow with trace size (the log factor).
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+
+from repro.bench import render_table
+from repro.core.timeprec import (
+    baseline_time_precedence,
+    create_time_precedence_graph,
+)
+from repro.trace.events import Event, Request, Response
+from repro.trace.trace import Trace
+
+
+def synthetic_trace(n: int, concurrency: int, seed: int = 1) -> Trace:
+    rng = random.Random(seed)
+    events = []
+    inflight = []
+    created = 0
+    now = 0.0
+    while created < n or inflight:
+        now += 1.0
+        if created < n and (len(inflight) < concurrency and
+                            (not inflight or rng.random() < 0.6)):
+            rid = f"r{created}"
+            created += 1
+            inflight.append(rid)
+            events.append(Event.request(Request(rid, "s"), now))
+        else:
+            rid = inflight.pop(rng.randrange(len(inflight)))
+            events.append(Event.response(Response(rid, "x"), now))
+    return Trace(events)
+
+
+def test_timeprec_scaling_table(capsys):
+    rows = []
+    for x in (1_000, 4_000, 16_000):
+        for concurrency in (4, 32):
+            trace = synthetic_trace(x, concurrency)
+            t0 = _time.perf_counter()
+            stream = create_time_precedence_graph(trace)
+            stream_s = _time.perf_counter() - t0
+            t0 = _time.perf_counter()
+            offline = baseline_time_precedence(trace)
+            offline_s = _time.perf_counter() - t0
+            assert set(stream.edges()) == set(offline.edges())
+            rows.append({
+                "X": x,
+                "concurrency": concurrency,
+                "Z_edges": stream.edge_count(),
+                "stream_ms": stream_s * 1e3,
+                "offline_ms": offline_s * 1e3,
+                "offline_over_stream": offline_s / max(stream_s, 1e-9),
+            })
+    # The streaming algorithm should win on average (it skips the sort).
+    advantage = sum(row["offline_over_stream"] for row in rows) / len(rows)
+    assert advantage > 1.0
+    with capsys.disabled():
+        print()
+        print("=== Time-precedence construction: streaming (Fig. 6) vs"
+              " sort-based baseline ===")
+        print(render_table(rows, ["X", "concurrency", "Z_edges",
+                                  "stream_ms", "offline_ms",
+                                  "offline_over_stream"]))
+
+
+def test_bench_frontier_algorithm(benchmark):
+    trace = synthetic_trace(8_000, 16)
+    gtr = benchmark(create_time_precedence_graph, trace)
+    assert gtr.edge_count() > 0
+
+
+def test_bench_offline_baseline(benchmark):
+    trace = synthetic_trace(8_000, 16)
+    gtr = benchmark(baseline_time_precedence, trace)
+    assert gtr.edge_count() > 0

@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures.
+
+Workload scale is controlled by ``REPRO_BENCH_SCALE`` (default 0.1, i.e.
+2,000 wiki requests).  Set ``REPRO_BENCH_SCALE=1.0`` for the paper's full
+20k/30k/52k-request workloads (minutes, not seconds).
+
+Online executions are cached per session: several figures reuse the same
+recorded run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import measure_serve_seconds, run_online_phase
+from repro.workloads import forum_workload, hotcrp_workload, wiki_workload
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+def _bundle(factory, scale):
+    workload = factory(scale=scale)
+    legacy_seconds, recorded_seconds = measure_serve_seconds(
+        workload, seed=1
+    )
+    execution = run_online_phase(workload, seed=1)
+    execution.server_seconds = recorded_seconds
+    return workload, execution, legacy_seconds
+
+
+@pytest.fixture(scope="session")
+def wiki_bundle():
+    return _bundle(wiki_workload, SCALE)
+
+
+@pytest.fixture(scope="session")
+def forum_bundle():
+    return _bundle(forum_workload, SCALE * 0.5)
+
+
+@pytest.fixture(scope="session")
+def hotcrp_bundle():
+    return _bundle(hotcrp_workload, SCALE)
+
+
+@pytest.fixture(scope="session")
+def all_bundles(wiki_bundle, forum_bundle, hotcrp_bundle):
+    return {
+        "MediaWiki": wiki_bundle,
+        "phpBB": forum_bundle,
+        "HotCRP": hotcrp_bundle,
+    }

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""A gallery of misbehaving executors, all caught (Section 2: Soundness).
+
+Serves the conference-review app honestly, then applies each tamper
+operator in turn — response forgery, log surgery, op-count lies,
+grouping lies, non-determinism lies — and shows the audit's verdict and
+which check caught it.
+
+Run:  python examples/tamper_detection.py
+"""
+
+from repro import ssco_audit
+from repro.apps import build_minicrp
+from repro.objects.base import OpRecord, OpType
+from repro.server import Executor, RandomScheduler, faulty
+from repro.trace.events import Request
+
+app = build_minicrp()
+
+requests = [
+    Request("login-a", "crp_login.php",
+            post={"email": "author@x.edu", "role": "author"},
+            cookies={"sess": "author@x.edu"}),
+    Request("login-r", "crp_login.php",
+            post={"email": "pc@conf.org", "role": "reviewer"},
+            cookies={"sess": "pc@conf.org"}),
+    Request("submit", "crp_submit.php",
+            post={"title": "Auditing the Auditors",
+                  "abstract": "We watch the watchmen."},
+            cookies={"sess": "author@x.edu"}),
+    Request("review", "crp_review.php", get={"p": "1"},
+            post={"body": "Strong accept.", "score": "5"},
+            cookies={"sess": "pc@conf.org"}),
+    Request("view", "crp_paper.php", get={"p": "1"},
+            cookies={"sess": "pc@conf.org"}),
+]
+
+run = Executor(app, scheduler=RandomScheduler(1)).serve(requests)
+
+honest = ssco_audit(app, run.trace, run.reports, run.initial_state)
+assert honest.accepted
+print(f"honest execution: ACCEPTED "
+      f"(total {honest.phases['total'] * 1e3:.1f} ms)\n")
+
+attacks = [
+    (
+        "forge the reviewer's page (hide a review)",
+        lambda: (faulty.tamper_response(
+            run.trace, "view", "<html>0 reviews</html>"), run.reports),
+    ),
+    (
+        "change the review score in the DB log",
+        lambda: (run.trace, _rewrite_score()),
+    ),
+    (
+        "drop the submission transaction from the log",
+        lambda: (run.trace,
+                 faulty.drop_log_entry(run.reports, "db:main", 0)),
+    ),
+    (
+        "understate the review request's op count",
+        lambda: (run.trace,
+                 faulty.tamper_op_count(run.reports, "review", -1)),
+    ),
+    (
+        "claim the view request ran different code",
+        lambda: (run.trace,
+                 faulty.move_to_group(run.reports, "view",
+                                      _other_tag("view"))),
+    ),
+    (
+        "omit the submit request from the groupings",
+        lambda: (run.trace, faulty.drop_from_groups(run.reports,
+                                                    "submit")),
+    ),
+    (
+        "fake the submission receipt (uniqid report)",
+        lambda: (run.trace, _fake_receipt()),
+    ),
+]
+
+
+def _rewrite_score():
+    log = run.reports.op_logs["db:main"]
+    position = next(
+        i for i, record in enumerate(log)
+        if any("INSERT INTO reviews" in q for q in record.opcontents[0])
+    )
+    old = log[position]
+    queries = tuple(
+        q.replace(", 5, 1)", ", 1, 1)") for q in old.opcontents[0]
+    )
+    return faulty.rewrite_log_entry(run.reports, "db:main", position,
+                                    opcontents=(queries, True))
+
+
+def _other_tag(rid):
+    for tag, rids in run.reports.groups.items():
+        if rid not in rids:
+            return tag
+    raise AssertionError("need at least two groups")
+
+
+def _fake_receipt():
+    records = run.reports.nondet["submit"]
+    index = next(i for i, r in enumerate(records) if r.func == "uniqid")
+    return faulty.tamper_nondet_value(run.reports, "submit", index,
+                                      "uid99999999")
+
+
+for description, build in attacks:
+    trace, reports = build()
+    verdict = ssco_audit(app, trace, reports, run.initial_state)
+    status = "ACCEPTED" if verdict.accepted else "REJECTED"
+    reason = verdict.reason.value if verdict.reason else "-"
+    print(f"{status:8s} <- {description}")
+    print(f"          check: {reason}")
+    assert not verdict.accepted, description
+
+print("\nOK: every attack detected.")

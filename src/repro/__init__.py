@@ -1,0 +1,68 @@
+"""repro: a reproduction of "The Efficient Server Audit Problem,
+Deduplicated Re-execution, and the Web" (Tan, Yu, Leners, Walfish;
+SOSP 2017).
+
+The library implements both sides of the paper's protocol:
+
+* the **online phase**: a concurrent web-application executor for a
+  PHP-like language (weblang), with the recording library that produces
+  control-flow groupings, operation logs, op counts, and non-determinism
+  reports (:mod:`repro.server`, :mod:`repro.lang`, :mod:`repro.sql`,
+  :mod:`repro.objects`);
+* the **audit phase**: the SSCO verifier — consistent-ordering
+  verification, versioned-store redo, SIMD-on-demand re-execution with
+  simulate-and-check, and read-query deduplication (:mod:`repro.core`,
+  :mod:`repro.accel`, :mod:`repro.multivalue`).
+
+Quickstart::
+
+    from repro import Application, Executor, ssco_audit
+
+    app = Application.from_sources("hello", {
+        "hello.php": "echo 'Hello, ', param('name', 'world'), '!';",
+    })
+    result = Executor(app).serve([...])
+    audit = ssco_audit(app, result.trace, result.reports,
+                       result.initial_state)
+    assert audit.accepted
+
+See ``examples/quickstart.py`` for the runnable version.
+"""
+
+from repro.core import (
+    AuditResult,
+    create_time_precedence_graph,
+    ooo_audit,
+    simple_audit,
+    ssco_audit,
+)
+from repro.server import (
+    Application,
+    ExecutionResult,
+    Executor,
+    InitialState,
+    NondetSource,
+    Reports,
+)
+from repro.trace import Collector, Request, Response, Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "AuditResult",
+    "Collector",
+    "ExecutionResult",
+    "Executor",
+    "InitialState",
+    "NondetSource",
+    "Reports",
+    "Request",
+    "Response",
+    "Trace",
+    "create_time_precedence_graph",
+    "ooo_audit",
+    "simple_audit",
+    "ssco_audit",
+    "__version__",
+]

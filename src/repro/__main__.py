@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — serve a built-in workload, audit it, print the verdict and
+  the acceleration stats;
+* ``record`` — serve a built-in workload and save the audit bundle
+  (trace + reports + initial state) to a JSON file;
+* ``audit`` — load a bundle and run the SSCO audit (optionally the
+  simple-re-execution baseline for comparison).
+
+The built-in workloads are the paper's three applications: ``wiki``,
+``forum``, ``hotcrp``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import figure9_decomposition, render_table
+from repro.bench.harness import BenchRun, run_audit_phase
+from repro.core import simple_audit, ssco_audit
+from repro.io import load_audit_bundle, save_audit_bundle
+from repro.workloads import forum_workload, hotcrp_workload, wiki_workload
+
+_WORKLOADS = {
+    "wiki": wiki_workload,
+    "forum": forum_workload,
+    "hotcrp": hotcrp_workload,
+}
+
+
+def _build(args):
+    factory = _WORKLOADS[args.workload]
+    return factory(scale=args.scale, seed=args.seed)
+
+
+def _serve(workload, args):
+    from repro.server import Executor, RandomScheduler
+    from repro.server.nondet import NondetSource
+
+    executor = Executor(
+        workload.app,
+        scheduler=RandomScheduler(args.seed),
+        max_concurrency=args.concurrency,
+        nondet=NondetSource(seed=args.seed),
+    )
+    return executor.serve(workload.requests)
+
+
+def cmd_demo(args) -> int:
+    workload = _build(args)
+    print(f"serving {len(workload.requests)} {workload.label} requests "
+          f"(concurrency {args.concurrency}) ...")
+    execution = _serve(workload, args)
+    print("auditing ...")
+    run = run_audit_phase(workload, execution)
+    audit = run.audit
+    if not audit.accepted:
+        print(f"REJECTED: {audit.reason.value}: {audit.detail}")
+        return 1
+    stats = audit.stats
+    alpha = 1 - stats["multi_steps"] / max(1, stats["steps"])
+    print(f"ACCEPTED in {audit.phases['total'] * 1e3:.1f} ms "
+          f"(simple re-execution: {run.baseline_audit.seconds * 1e3:.1f}"
+          f" ms, speedup "
+          f"{run.baseline_audit.seconds / audit.phases['total']:.2f}x)")
+    print(f"groups={stats['groups']} alpha={alpha:.3f} "
+          f"dedup={stats['dedup_hits']}/"
+          f"{stats['dedup_hits'] + stats['dedup_misses']}")
+    rows = [{"phase": k, "seconds": v}
+            for k, v in figure9_decomposition(run).items()]
+    print(render_table(rows, ["phase", "seconds"]))
+    return 0
+
+
+def cmd_record(args) -> int:
+    workload = _build(args)
+    print(f"serving {len(workload.requests)} {workload.label} requests ...")
+    execution = _serve(workload, args)
+    save_audit_bundle(args.out, execution.trace, execution.reports,
+                      execution.initial_state)
+    print(f"wrote {args.out} "
+          f"({len(execution.trace)} events, "
+          f"{execution.reports.op_count_total()} logged ops)")
+    return 0
+
+
+def cmd_audit(args) -> int:
+    trace, reports, initial = load_audit_bundle(args.bundle)
+    workload = _build(args)  # the program is the trusted input
+    print(f"auditing {len(trace.request_ids())} requests against "
+          f"{workload.label} ...")
+    audit = ssco_audit(workload.app, trace, reports, initial,
+                       dedup=not args.no_dedup)
+    if audit.accepted:
+        print(f"ACCEPTED in {audit.phases['total'] * 1e3:.1f} ms")
+    else:
+        print(f"REJECTED: {audit.reason.value}"
+              + (f": {audit.detail}" if audit.detail else ""))
+    if args.baseline:
+        base = simple_audit(workload.app, trace, reports, initial)
+        verdict = "ACCEPTED" if base.accepted else "REJECTED"
+        print(f"simple re-execution baseline: {verdict} in "
+              f"{base.seconds * 1e3:.1f} ms")
+    return 0 if audit.accepted else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SSCO/OROCHI reproduction: serve and audit web "
+                    "application workloads.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--workload", choices=sorted(_WORKLOADS),
+                       default="wiki")
+        p.add_argument("--scale", type=float, default=0.02,
+                       help="workload scale (1.0 = the paper's full size)")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--concurrency", type=int, default=8)
+
+    demo = sub.add_parser("demo", help="serve + audit, print stats")
+    common(demo)
+    demo.set_defaults(func=cmd_demo)
+
+    record = sub.add_parser("record", help="serve and save a bundle")
+    common(record)
+    record.add_argument("--out", default="audit_bundle.json")
+    record.set_defaults(func=cmd_record)
+
+    audit = sub.add_parser("audit", help="audit a saved bundle")
+    common(audit)
+    audit.add_argument("bundle")
+    audit.add_argument("--baseline", action="store_true",
+                       help="also run the simple re-execution baseline")
+    audit.add_argument("--no-dedup", action="store_true")
+    audit.set_defaults(func=cmd_audit)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

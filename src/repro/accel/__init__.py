@@ -1,0 +1,17 @@
+"""The SIMD-on-demand interpreter (acc-PHP analog; Sections 3.1, 4.3)."""
+
+from repro.accel.accinterp import (
+    AccInterpreter,
+    GroupExternalIntent,
+    GroupNondetIntent,
+    GroupRunOutput,
+    GroupStateOpIntent,
+)
+
+__all__ = [
+    "AccInterpreter",
+    "GroupExternalIntent",
+    "GroupNondetIntent",
+    "GroupRunOutput",
+    "GroupStateOpIntent",
+]

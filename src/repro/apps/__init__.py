@@ -1,0 +1,20 @@
+"""Example applications (the paper's evaluation subjects, §5).
+
+Weblang ports of the three applications the paper evaluates:
+
+* :mod:`repro.apps.miniwiki` — a wiki (MediaWiki analog): read-heavy, page
+  cache in the KV store, revision history;
+* :mod:`repro.apps.miniforum` — a bulletin board (phpBB analog): topic
+  views with counters, guest/registered split, transactional replies;
+* :mod:`repro.apps.minicrp` — a conference review site (HotCRP analog):
+  paper submissions with updates, reviews, reviewer listings.
+
+Each module exposes ``build_app()`` returning a ready
+:class:`~repro.server.app.Application`.
+"""
+
+from repro.apps.miniwiki import build_app as build_miniwiki
+from repro.apps.miniforum import build_app as build_miniforum
+from repro.apps.minicrp import build_app as build_minicrp
+
+__all__ = ["build_minicrp", "build_miniforum", "build_miniwiki"]

@@ -1,0 +1,264 @@
+"""minicrp: the HotCRP analog (§5, "HotCRP" workload).
+
+A conference review site: authors submit and update papers; reviewers
+submit (and revise) reviews; everyone views paper pages and reviewers view
+the full paper list.  Access control is session-based: a paper's reviews
+are hidden from its author until the decision, reviewers see everything.
+
+Exercises: multi-statement transactions (submission = paper row + version
+row), per-user registers, aggregate queries (review counts), and
+``uniqid()`` non-determinism (submission receipt tokens).
+"""
+
+from __future__ import annotations
+
+from repro.server.app import Application
+
+_HELPERS = """
+function conf_settings() {
+  // Framework bootstrap (HotCRP builds its conference settings, tag map,
+  // and rights matrix on every request).  Univalent under
+  // SIMD-on-demand: runs once per control-flow group.
+  $cfg = ['conf' => 'SOSP 2017 (simulated)', 'blind' => true,
+          'topics' => ['OS', 'Security', 'Networks', 'Storage', 'Verif'],
+          'rounds' => ['R1', 'R2'], 'deadline' => 1507000000];
+  $tagmap = [];
+  foreach ($cfg['topics'] as $i => $t) {
+    $tagmap[strtolower($t)] = ['id' => $i, 'color' => ($i % 3),
+                               'label' => $t];
+  }
+  $cfg['tagmap'] = $tagmap;
+  $rights = '';
+  foreach (['author' => 'submit,view', 'reviewer' => 'review,view,list',
+            'chair' => 'all'] as $role => $caps) {
+    $rights = $rights . $role . '=' . $caps . ';';
+  }
+  $cfg['rights'] = $rights;
+  $banner = '';
+  foreach ($cfg['rounds'] as $r) {
+    $banner = $banner . '[' . $r . ']';
+  }
+  $cfg['banner'] = $banner;
+  return $cfg;
+}
+
+function crp_header($title) {
+  $cfg = conf_settings();
+  return "<html><head><title>" . htmlspecialchars($title)
+       . " - minicrp</title></head><body><div class='banner'>"
+       . $cfg['conf'] . " " . $cfg['banner'] . "</div>";
+}
+
+function crp_footer() {
+  return "<div class='footer'>minicrp</div></body></html>";
+}
+
+function current_account() {
+  $c = cookie('sess');
+  if (is_null($c)) {
+    return null;
+  }
+  return session_get();
+}
+"""
+
+_LOGIN = _HELPERS + """
+$email = post_param('email');
+$role = post_param('role', 'author');
+echo crp_header("Sign in");
+if (is_null($email) || strpos($email, '@') === false) {
+  echo "<p class='error'>A valid email is required.</p>";
+} else {
+  session_put(['email' => $email, 'role' => $role]);
+  echo "<p>Signed in as ", htmlspecialchars($email), " (", $role, ")</p>";
+}
+echo crp_footer();
+"""
+
+_SUBMIT = _HELPERS + """
+$acct = current_account();
+echo crp_header("Submit paper");
+if (is_null($acct)) {
+  echo "<p class='error'>Sign in first.</p>";
+  echo crp_footer();
+  return;
+}
+$title = post_param('title', '');
+$abstract = post_param('abstract', '');
+$pid = intval(param('p', 0));
+if (strlen($title) == 0 || strlen($abstract) == 0) {
+  echo "<p class='error'>Title and abstract are required.</p>";
+  echo crp_footer();
+  return;
+}
+$email = $acct['email'];
+$now = time();
+$receipt = uniqid();
+db_begin();
+if ($pid == 0) {
+  $res = db_exec("INSERT INTO papers (title, abstract, author, updates,"
+                 . " created) VALUES (" . sql_quote($title) . ", "
+                 . sql_quote($abstract) . ", " . sql_quote($email)
+                 . ", 0, " . $now . ")");
+  $pid = $res['insert_id'];
+} else {
+  $mine = db_query("SELECT id FROM papers WHERE id = " . $pid
+                   . " AND author = " . sql_quote($email));
+  if (count($mine) == 0) {
+    db_rollback();
+    echo "<p class='error'>Not your paper.</p>";
+    echo crp_footer();
+    return;
+  }
+  db_exec("UPDATE papers SET title = " . sql_quote($title)
+          . ", abstract = " . sql_quote($abstract)
+          . ", updates = updates + 1 WHERE id = " . $pid);
+}
+db_exec("INSERT INTO versions (paper_id, title, created, receipt) VALUES ("
+        . $pid . ", " . sql_quote($title) . ", " . $now . ", "
+        . sql_quote($receipt) . ")");
+db_commit();
+send_email($email, "[minicrp] Submission receipt " . $receipt,
+           "Your paper #" . $pid . " (" . $title . ") was received.");
+echo "<p class='saved'>Paper #", $pid, " saved. Receipt: ", $receipt,
+     "</p>";
+echo crp_footer();
+"""
+
+_REVIEW = _HELPERS + """
+$acct = current_account();
+echo crp_header("Submit review");
+if (is_null($acct) || $acct['role'] != 'reviewer') {
+  echo "<p class='error'>Reviewers only.</p>";
+  echo crp_footer();
+  return;
+}
+$pid = intval(param('p', 0));
+$body = post_param('body', '');
+$score = intval(post_param('score', 0));
+if ($pid == 0 || strlen($body) == 0 || $score < 1 || $score > 5) {
+  echo "<p class='error'>Need a paper, a review body, and a 1-5 score.</p>";
+  echo crp_footer();
+  return;
+}
+$email = $acct['email'];
+db_begin();
+$papers = db_query("SELECT id FROM papers WHERE id = " . $pid);
+if (count($papers) == 0) {
+  db_rollback();
+  echo "<p class='error'>No such paper.</p>";
+  echo crp_footer();
+  return;
+}
+$mine = db_query("SELECT id, version FROM reviews WHERE paper_id = " . $pid
+                 . " AND reviewer = " . sql_quote($email));
+if (count($mine) == 0) {
+  db_exec("INSERT INTO reviews (paper_id, reviewer, body, score, version)"
+          . " VALUES (" . $pid . ", " . sql_quote($email) . ", "
+          . sql_quote($body) . ", " . $score . ", 1)");
+  $version = 1;
+} else {
+  $version = $mine[0]['version'] + 1;
+  db_exec("UPDATE reviews SET body = " . sql_quote($body) . ", score = "
+          . $score . ", version = " . $version . " WHERE id = "
+          . $mine[0]['id']);
+}
+db_commit();
+echo "<p class='saved'>Review v", $version, " for paper #", $pid,
+     " recorded.</p>";
+echo crp_footer();
+"""
+
+_PAPER = _HELPERS + """
+$acct = current_account();
+$pid = intval(param('p', 0));
+echo crp_header("Paper");
+$papers = db_query("SELECT id, title, abstract, author, updates FROM papers"
+                   . " WHERE id = " . $pid);
+if (count($papers) == 0) {
+  echo "<p class='error'>No such paper.</p>";
+} else {
+  $paper = $papers[0];
+  echo "<h1>#", $paper['id'], ": ", htmlspecialchars($paper['title']),
+       "</h1>";
+  echo "<div class='abstract'>", htmlspecialchars($paper['abstract']),
+       "</div>";
+  echo "<div class='meta'>", $paper['updates'], " updates</div>";
+  $is_reviewer = !is_null($acct) && $acct['role'] == 'reviewer';
+  if ($is_reviewer) {
+    $reviews = db_query("SELECT reviewer, score, body, version FROM reviews"
+                        . " WHERE paper_id = " . $pid . " ORDER BY id");
+    echo "<h2>", count($reviews), " reviews</h2>";
+    $total = 0;
+    foreach ($reviews as $rev) {
+      echo "<div class='review'>[", $rev['score'], "/5] v",
+           $rev['version'], " ", htmlspecialchars($rev['body']), "</div>";
+      $total = $total + $rev['score'];
+    }
+    if (count($reviews) > 0) {
+      echo "<p>Average score: ",
+           number_format($total / count($reviews), 2), "</p>";
+    }
+  } else {
+    echo "<p>Reviews are hidden from authors during the process.</p>";
+  }
+}
+echo crp_footer();
+"""
+
+_LIST = _HELPERS + """
+$acct = current_account();
+echo crp_header("Papers");
+if (is_null($acct) || $acct['role'] != 'reviewer') {
+  echo "<p class='error'>Reviewers only.</p>";
+} else {
+  $rows = db_query("SELECT id, title, author FROM papers ORDER BY id");
+  $counts = db_query("SELECT COUNT(*) AS n FROM reviews");
+  echo "<h1>", count($rows), " submissions (", $counts[0]['n'],
+       " reviews so far)</h1><ol>";
+  foreach ($rows as $row) {
+    echo "<li><a href='crp_paper.php?p=", $row['id'], "'>",
+         htmlspecialchars($row['title']), "</a></li>";
+  }
+  echo "</ol>";
+}
+echo crp_footer();
+"""
+
+SCRIPTS = {
+    "crp_login.php": _LOGIN,
+    "crp_submit.php": _SUBMIT,
+    "crp_review.php": _REVIEW,
+    "crp_paper.php": _PAPER,
+    "crp_list.php": _LIST,
+}
+
+SCHEMA = """
+CREATE TABLE papers (
+    id INT PRIMARY KEY AUTOINCREMENT,
+    title TEXT,
+    abstract TEXT,
+    author TEXT,
+    updates INT,
+    created INT
+);
+CREATE TABLE versions (
+    id INT PRIMARY KEY AUTOINCREMENT,
+    paper_id INT,
+    title TEXT,
+    created INT,
+    receipt TEXT
+);
+CREATE TABLE reviews (
+    id INT PRIMARY KEY AUTOINCREMENT,
+    paper_id INT,
+    reviewer TEXT,
+    body TEXT,
+    score INT,
+    version INT
+)
+"""
+
+
+def build_app() -> Application:
+    return Application.from_sources("minicrp", SCRIPTS, db_setup=SCHEMA)

@@ -1,0 +1,239 @@
+"""miniforum: the phpBB analog (§5, "phpBB" workload).
+
+A bulletin board: a topic index, topic pages with per-topic view counters,
+replies from registered users (a DB transaction: insert post + bump
+counters), and a login page.  Guests browse without sessions; registered
+users carry a session register.
+
+Like the paper's modified phpBB (§5.4), view-counter updates are batched
+through the KV store (every ``VIEW_FLUSH`` views the counter flushes to
+the DB) to "create more audit-time acceleration opportunities".
+"""
+
+from __future__ import annotations
+
+from repro.server.app import Application
+
+_HELPERS = """
+function board_config() {
+  // Framework bootstrap: board config, permission map, and theme built
+  // identically per request (phpBB's per-hit framework path).  Univalent
+  // under SIMD-on-demand: runs once per control-flow group.
+  $cfg = ['board' => 'miniforum', 'per_page' => 25,
+          'forums' => ['General', 'Install', 'Hardware', 'Security'],
+          'groups' => ['guest', 'user', 'mod', 'admin']];
+  $perm = [];
+  foreach ($cfg['groups'] as $i => $g) {
+    $perm[$g] = ['read' => true, 'post' => $i > 0, 'edit' => $i > 1,
+                 'ban' => $i > 2];
+  }
+  $cfg['perm'] = $perm;
+  $tabs = '';
+  foreach ($cfg['forums'] as $i => $f) {
+    $tabs = $tabs . "<a class='tab" . ($i % 2) . "' href='forum_topics.php?f="
+          . $i . "'>" . $f . "</a>";
+  }
+  $cfg['tabs'] = $tabs;
+  $theme = '';
+  foreach (['bg' => 'white', 'fg' => 'black', 'link' => 'blue'] as $k => $v) {
+    $theme = $theme . '--' . $k . ':' . $v . ';';
+  }
+  $cfg['theme'] = $theme;
+  return $cfg;
+}
+
+function forum_header($title, $user) {
+  $cfg = board_config();
+  $html = "<html><head><title>" . htmlspecialchars($title)
+        . " - " . $cfg['board'] . "</title><style>:root{" . $cfg['theme']
+        . "}</style></head><body><div class='tabs'>" . $cfg['tabs']
+        . "</div><div class='top'>";
+  if (is_null($user)) {
+    $html = $html . "<a href='forum_login.php'>Log in</a>";
+  } else {
+    $html = $html . "Logged in as <b>" . htmlspecialchars($user) . "</b>";
+  }
+  return $html . "</div>";
+}
+
+function forum_footer() {
+  return "<div class='footer'>miniforum</div></body></html>";
+}
+
+function current_user() {
+  $c = cookie('sess');
+  if (is_null($c)) {
+    return null;
+  }
+  $sess = session_get();
+  if (is_null($sess)) {
+    return null;
+  }
+  return $sess['name'];
+}
+"""
+
+_TOPICS = _HELPERS + """
+$user = current_user();
+echo forum_header("Topics", $user);
+echo "<h1>Forum topics</h1><table>";
+$rows = db_query("SELECT id, title, views, replies FROM topics"
+                 . " ORDER BY id");
+foreach ($rows as $row) {
+  $pending = kv_get("views:" . $row['id']);
+  if (is_null($pending)) { $pending = 0; }
+  echo "<tr><td><a href='forum_view.php?t=", $row['id'], "'>",
+       htmlspecialchars($row['title']), "</a></td><td>",
+       $row['views'] + $pending, " views</td><td>", $row['replies'],
+       " replies</td></tr>";
+}
+echo "</table>";
+echo forum_footer();
+"""
+
+_VIEW = _HELPERS + """
+$tid = intval(param('t', 0));
+$user = current_user();
+echo forum_header("Topic", $user);
+$topics = db_query("SELECT id, title, views, replies FROM topics"
+                   . " WHERE id = " . $tid);
+if (count($topics) == 0) {
+  echo "<p class='error'>No such topic.</p>";
+} else {
+  $topic = $topics[0];
+  // View counters batch through the KV store and flush every 10 views
+  // (reduces per-view DB writes; §5.4).
+  $key = "views:" . $tid;
+  $pending = kv_get($key);
+  if (is_null($pending)) { $pending = 0; }
+  $pending = $pending + 1;
+  if ($pending >= 10) {
+    db_exec("UPDATE topics SET views = views + " . $pending
+            . " WHERE id = " . $tid);
+    kv_set($key, 0);
+    $shown = $topic['views'] + $pending;
+  } else {
+    kv_set($key, $pending);
+    $shown = $topic['views'] + $pending;
+  }
+  echo "<h1>", htmlspecialchars($topic['title']), "</h1>";
+  echo "<div class='meta'>", $shown, " views, ", $topic['replies'],
+       " replies</div>";
+  $posts = db_query("SELECT author, body, created FROM posts WHERE"
+                    . " topic_id = " . $tid . " ORDER BY id LIMIT 100");
+  foreach ($posts as $post) {
+    echo "<div class='post'><b>", htmlspecialchars($post['author']),
+         "</b> at ", $post['created'], "<br>",
+         htmlspecialchars($post['body']), "</div>";
+  }
+  if (!is_null($user)) {
+    echo "<form action='forum_reply.php?t=", $tid, "'>reply</form>";
+  }
+}
+echo forum_footer();
+"""
+
+_REPLY = _HELPERS + """
+$tid = intval(param('t', 0));
+$body = post_param('body', '');
+$user = current_user();
+echo forum_header("Reply", $user);
+if (is_null($user)) {
+  echo "<p class='error'>You must log in to reply.</p>";
+} elseif (strlen($body) == 0) {
+  echo "<p class='error'>Empty reply.</p>";
+} else {
+  $now = time();
+  db_begin();
+  $topics = db_query("SELECT id, replies FROM topics WHERE id = " . $tid);
+  if (count($topics) == 0) {
+    db_rollback();
+    echo "<p class='error'>No such topic.</p>";
+  } else {
+    db_exec("INSERT INTO posts (topic_id, author, body, created) VALUES ("
+            . $tid . ", " . sql_quote($user) . ", " . sql_quote($body)
+            . ", " . $now . ")");
+    db_exec("UPDATE topics SET replies = replies + 1, last_author = "
+            . sql_quote($user) . " WHERE id = " . $tid);
+    $ok = db_commit();
+    if ($ok) {
+      db_exec("UPDATE users SET posts = posts + 1 WHERE name = "
+              . sql_quote($user));
+      echo "<p class='saved'>Reply posted to topic ", $tid, ".</p>";
+    } else {
+      echo "<p class='error'>Could not post; try again.</p>";
+    }
+  }
+}
+echo forum_footer();
+"""
+
+_LOGIN = _HELPERS + """
+$name = post_param('name');
+echo forum_header("Log in", null);
+if (is_null($name) || strlen($name) == 0) {
+  echo "<p class='error'>Provide a user name.</p>";
+} else {
+  $rows = db_query("SELECT id FROM users WHERE name = " . sql_quote($name));
+  if (count($rows) == 0) {
+    db_exec("INSERT INTO users (name, posts) VALUES ("
+            . sql_quote($name) . ", 0)");
+  }
+  session_put(['name' => $name, 'since' => time()]);
+  echo "<p>Welcome back, ", htmlspecialchars($name), "!</p>";
+}
+echo forum_footer();
+"""
+
+SCRIPTS = {
+    "forum_topics.php": _TOPICS,
+    "forum_view.php": _VIEW,
+    "forum_reply.php": _REPLY,
+    "forum_login.php": _LOGIN,
+}
+
+SCHEMA = """
+CREATE TABLE topics (
+    id INT PRIMARY KEY AUTOINCREMENT,
+    title TEXT,
+    views INT,
+    replies INT,
+    last_author TEXT
+);
+CREATE TABLE posts (
+    id INT PRIMARY KEY AUTOINCREMENT,
+    topic_id INT,
+    author TEXT,
+    body TEXT,
+    created INT
+);
+CREATE TABLE users (
+    id INT PRIMARY KEY AUTOINCREMENT,
+    name TEXT,
+    posts INT
+)
+"""
+
+
+def seed_sql(topics: int = 5, seed_posts: int = 3) -> str:
+    """Seed ``topics`` topics, each with ``seed_posts`` starting posts."""
+    statements = [SCHEMA]
+    for topic in range(1, topics + 1):
+        statements.append(
+            "INSERT INTO topics (title, views, replies, last_author) VALUES"
+            f" ('Topic {topic}: installing on node{topic}', 0, "
+            f"{seed_posts}, 'op')"
+        )
+        for post in range(seed_posts):
+            statements.append(
+                "INSERT INTO posts (topic_id, author, body, created) VALUES"
+                f" ({topic}, 'op', 'Seed post {post} of topic {topic}',"
+                f" {1000 + post})"
+            )
+    return ";\n".join(statements)
+
+
+def build_app(topics: int = 5, seed_posts: int = 3) -> Application:
+    return Application.from_sources(
+        "miniforum", SCRIPTS, db_setup=seed_sql(topics, seed_posts)
+    )

@@ -1,0 +1,353 @@
+"""miniwiki: the MediaWiki analog (§5, "MediaWiki" workload).
+
+A small wiki: page viewing with a parser-cache analog in the KV store
+(MediaWiki keeps rendered pages in the APC), page editing with revision
+history, an alphabetical index, title search, and a "random page" that
+exercises the ``rand()`` non-determinism path.
+
+Like the paper's modified MediaWiki (§5.4), the app reads the KV keys it
+needs, computes against local copies, and writes them back — no KV access
+inside DB transactions (§4.4).
+"""
+
+from __future__ import annotations
+
+from repro.server.app import Application
+
+_HELPERS = """
+function site_config() {
+  // The "framework bootstrap": configuration, skin, and navigation
+  // structures built identically on every request — the analog of the
+  // large per-request framework code path of a real LAMP application
+  // (MediaWiki executes tens of thousands of framework lines per hit).
+  // Under SIMD-on-demand all of this is univalent: it runs once per
+  // control-flow group.
+  $cfg = ['site' => 'miniwiki', 'lang' => 'en', 'skin' => 'vector',
+          'ns' => ['Main', 'Talk', 'User', 'Help', 'Category'],
+          'rights' => ['read', 'edit', 'history', 'search']];
+  $menu = [];
+  foreach ($cfg['ns'] as $i => $ns) {
+    $menu[] = ['id' => $i, 'label' => $ns,
+               'href' => strtolower($ns) . '.php',
+               'class' => ($i % 2) ? 'odd' : 'even'];
+  }
+  $cfg['menu'] = $menu;
+  $crumbs = '';
+  foreach ($menu as $item) {
+    $crumbs = $crumbs . "<a class='" . $item['class'] . "' href='"
+            . $item['href'] . "'>" . $item['label'] . "</a> ";
+  }
+  $cfg['crumbs'] = $crumbs;
+  $perm = [];
+  foreach ($cfg['rights'] as $r) {
+    $perm[$r] = in_array($r, ['read', 'search']) ? 'all' : 'user';
+  }
+  $cfg['perm'] = $perm;
+  $styles = ['body' => 'serif', 'h1' => 'sans', 'nav' => 'mono',
+             'table' => 'sans', 'td' => 'sans', 'li' => 'serif',
+             'a' => 'sans', 'i' => 'serif', 'hr' => 'mono'];
+  $css = '';
+  foreach ($styles as $sel => $font) {
+    $css = $css . $sel . '{font-family:' . $font . ';}';
+  }
+  $cfg['css'] = $css;
+  // Localization table (every request loads the message catalog).
+  $msgs = ['edit' => 'Edit', 'history' => 'History', 'search' => 'Search',
+           'index' => 'Index', 'views' => 'views', 'missing' => 'missing',
+           'save' => 'Save', 'cancel' => 'Cancel', 'login' => 'Log in',
+           'random' => 'Random page', 'recent' => 'Recent changes',
+           'talk' => 'Discussion', 'tools' => 'Tools', 'print' => 'Print'];
+  $catalog = [];
+  foreach ($msgs as $k => $v) {
+    $catalog['msg_' . $k] = ucfirst($v);
+  }
+  $cfg['i18n'] = $catalog;
+  // Template engine pass: expand the skin template's placeholders.
+  $tpl = '<div id={id} class={cls}>{body}</div>';
+  $slots = ['sidebar', 'content', 'footer', 'toolbox', 'personal'];
+  $skin = '';
+  foreach ($slots as $i => $slot) {
+    $piece = str_replace('{id}', $slot, $tpl);
+    $piece = str_replace('{cls}', 'portlet' . ($i % 4), $piece);
+    $piece = str_replace('{body}', '<!-- ' . $slot . ' -->', $piece);
+    $skin = $skin . $piece;
+  }
+  $cfg['skin'] = $skin;
+  $checksum = 0;
+  foreach ($cfg['menu'] as $item) {
+    $checksum = ($checksum * 31 + strlen($item['label'])) % 65536;
+  }
+  $cfg['checksum'] = $checksum;
+  return $cfg;
+}
+
+function page_header($title) {
+  $cfg = site_config();
+  return "<html><head><title>" . htmlspecialchars($title)
+       . " - " . $cfg['site'] . "</title><style>" . $cfg['css']
+       . "</style></head><body>"
+       . "<div class='nav'>" . $cfg['crumbs']
+       . "<a href='wiki_list.php'>Index</a> | "
+       . "<a href='wiki_search.php'>Search</a></div>";
+}
+
+function page_footer() {
+  return "<hr><div class='footer'>miniwiki - powered by weblang</div>"
+       . "</body></html>";
+}
+
+function render_body($raw) {
+  // A toy wikitext renderer: ''bold'', [[links]], newlines.  Escaping
+  // runs first, so markers are matched in their escaped form.
+  $html = htmlspecialchars($raw);
+  $html = str_replace("[[", "<a class='wl'>", $html);
+  $html = str_replace("]]", "</a>", $html);
+  $bold = 0;
+  $quote = "&#039;&#039;";
+  while (strpos($html, $quote) !== false) {
+    $tag = ($bold % 2) ? "</b>" : "<b>";
+    $pos = strpos($html, $quote);
+    $html = substr($html, 0, $pos) . $tag
+          . substr($html, $pos + strlen($quote));
+    $bold = $bold + 1;
+  }
+  $html = str_replace("\\n", "<br>", $html);
+  return $html;
+}
+"""
+
+_VIEW = _HELPERS + """
+$title = param('title', 'Main_Page');
+echo page_header($title);
+$rows = db_query("SELECT id, title, body, views FROM pages WHERE title = "
+                 . sql_quote($title));
+if (count($rows) == 0) {
+  echo "<h1>", htmlspecialchars($title), "</h1>";
+  echo "<p class='missing'>This page does not exist yet.</p>";
+  echo "<a href='wiki_edit.php?title=", $title, "'>Create it</a>";
+} else {
+  $page = $rows[0];
+  // View counters batch through the KV store and flush every 20 views to
+  // the hit-counter table (MediaWiki kept hit counts out of the page
+  // table for the same reason) — the §5.4-style modification that keeps
+  // the content table read-mostly and read-query dedup effective.
+  $vkey = "views:" . $title;
+  $pending = kv_get($vkey);
+  if (is_null($pending)) { $pending = 0; }
+  $pending = $pending + 1;
+  if ($pending >= 20) {
+    db_exec("UPDATE hitcounter SET views = views + " . $pending
+            . " WHERE page_id = " . $page['id']);
+    kv_set($vkey, 0);
+  } else {
+    kv_set($vkey, $pending);
+  }
+  $cache_key = "parsed:" . $title;
+  $parsed = kv_get($cache_key);
+  if (is_null($parsed)) {
+    $parsed = render_body($page['body']);
+    kv_set($cache_key, $parsed);
+  }
+  echo "<h1>", htmlspecialchars($page['title']), "</h1>";
+  echo "<div class='content'>", $parsed, "</div>";
+  echo "<div class='meta'>", $pending, " recent views | ";
+  echo "<a href='wiki_edit.php?title=", $title, "'>Edit</a> | ";
+  echo "<a href='wiki_history.php?title=", $title, "'>History</a></div>";
+}
+echo page_footer();
+"""
+
+_EDIT = _HELPERS + """
+$title = param('title');
+$body = post_param('body');
+$summary = post_param('summary', '');
+if (is_null($title) || is_null($body)) {
+  echo page_header("Edit error");
+  echo "<p class='error'>Missing title or body.</p>";
+  echo page_footer();
+  return;
+}
+$sess = session_get();
+if (is_null($sess)) {
+  $sess = ['name' => 'anonymous', 'edits' => 0];
+}
+$author = $sess['name'];
+$now = time();
+db_begin();
+$rows = db_query("SELECT id FROM pages WHERE title = " . sql_quote($title));
+if (count($rows) == 0) {
+  $res = db_exec("INSERT INTO pages (title, body, views) VALUES ("
+                 . sql_quote($title) . ", " . sql_quote($body) . ", 0)");
+  $page_id = $res['insert_id'];
+  db_exec("INSERT INTO hitcounter (page_id, views) VALUES ("
+          . $page_id . ", 0)");
+} else {
+  $page_id = $rows[0]['id'];
+  db_exec("UPDATE pages SET body = " . sql_quote($body)
+          . " WHERE id = " . $page_id);
+}
+db_exec("INSERT INTO revisions (page_id, body, author, summary, created)"
+        . " VALUES (" . $page_id . ", " . sql_quote($body) . ", "
+        . sql_quote($author) . ", " . sql_quote($summary) . ", " . $now . ")");
+db_commit();
+kv_set("parsed:" . $title, render_body($body));
+$sess['edits'] = $sess['edits'] + 1;
+session_put($sess);
+echo page_header($title);
+echo "<p class='saved'>Saved revision of <b>", htmlspecialchars($title),
+     "</b> (your edit #", $sess['edits'], ").</p>";
+echo page_footer();
+"""
+
+_LIST = _HELPERS + """
+echo page_header("Index");
+echo "<h1>All pages</h1><ul>";
+$rows = db_query("SELECT id, title FROM pages ORDER BY title");
+$stats = db_query("SELECT page_id, views FROM hitcounter");
+$by_page = [];
+foreach ($stats as $st) {
+  $by_page[$st['page_id']] = $st['views'];
+}
+$total_views = 0;
+foreach ($rows as $row) {
+  $v = array_key_exists($row['id'], $by_page) ? $by_page[$row['id']] : 0;
+  echo "<li><a href='wiki_view.php?title=", $row['title'], "'>",
+       htmlspecialchars($row['title']), "</a> (", $v, ")</li>";
+  $total_views = $total_views + $v;
+}
+echo "</ul><p>", count($rows), " pages, ", $total_views,
+     " total views.</p>";
+echo page_footer();
+"""
+
+_SEARCH = _HELPERS + """
+$q = param('q', '');
+echo page_header("Search");
+echo "<h1>Search</h1>";
+if (strlen($q) < 2) {
+  echo "<p>Enter at least two characters.</p>";
+} else {
+  $rows = db_query("SELECT title FROM pages WHERE title LIKE "
+                   . sql_quote("%" . $q . "%") . " ORDER BY title LIMIT 20");
+  if (count($rows) == 0) {
+    echo "<p>No pages match '", htmlspecialchars($q), "'.</p>";
+  } else {
+    echo "<ol>";
+    foreach ($rows as $row) {
+      echo "<li><a href='wiki_view.php?title=", $row['title'], "'>",
+           htmlspecialchars($row['title']), "</a></li>";
+    }
+    echo "</ol>";
+  }
+}
+echo page_footer();
+"""
+
+_HISTORY = _HELPERS + """
+$title = param('title');
+echo page_header("History: " . $title);
+$pages = db_query("SELECT id FROM pages WHERE title = " . sql_quote($title));
+if (count($pages) == 0) {
+  echo "<p class='missing'>No such page.</p>";
+} else {
+  $revs = db_query("SELECT author, summary, created FROM revisions"
+                   . " WHERE page_id = " . $pages[0]['id']
+                   . " ORDER BY id DESC LIMIT 50");
+  echo "<h1>History of ", htmlspecialchars($title), "</h1>";
+  echo "<table>";
+  foreach ($revs as $rev) {
+    echo "<tr><td>", $rev['created'], "</td><td>",
+         htmlspecialchars($rev['author']), "</td><td>",
+         htmlspecialchars($rev['summary']), "</td></tr>";
+  }
+  echo "</table><p>", count($revs), " revisions shown.</p>";
+}
+echo page_footer();
+"""
+
+_RANDOM = _HELPERS + """
+echo page_header("Random");
+$count_rows = db_query("SELECT COUNT(*) AS n FROM pages");
+$n = $count_rows[0]['n'];
+if ($n == 0) {
+  echo "<p>No pages.</p>";
+} else {
+  $pick = rand(1, $n);
+  $rows = db_query("SELECT title FROM pages ORDER BY id LIMIT 1 OFFSET "
+                   . ($pick - 1));
+  echo "<p>Try <a href='wiki_view.php?title=", $rows[0]['title'], "'>",
+       htmlspecialchars($rows[0]['title']), "</a></p>";
+}
+echo page_footer();
+"""
+
+_LOGIN = _HELPERS + """
+$name = post_param('name');
+echo page_header("Log in");
+if (is_null($name) || strlen($name) == 0) {
+  echo "<p class='error'>Provide a name.</p>";
+} else {
+  session_put(['name' => $name, 'edits' => 0]);
+  echo "<p>Welcome, ", htmlspecialchars($name), "!</p>";
+}
+echo page_footer();
+"""
+
+SCRIPTS = {
+    "wiki_view.php": _VIEW,
+    "wiki_edit.php": _EDIT,
+    "wiki_list.php": _LIST,
+    "wiki_search.php": _SEARCH,
+    "wiki_history.php": _HISTORY,
+    "wiki_random.php": _RANDOM,
+    "wiki_login.php": _LOGIN,
+}
+
+SCHEMA = """
+CREATE TABLE pages (
+    id INT PRIMARY KEY AUTOINCREMENT,
+    title TEXT,
+    body TEXT,
+    views INT
+);
+CREATE TABLE revisions (
+    id INT PRIMARY KEY AUTOINCREMENT,
+    page_id INT,
+    body TEXT,
+    author TEXT,
+    summary TEXT,
+    created INT
+);
+CREATE TABLE hitcounter (
+    page_id INT PRIMARY KEY,
+    views INT
+)
+"""
+
+
+def seed_sql(pages: int = 10) -> str:
+    """Seed statements creating ``pages`` initial wiki pages."""
+    statements = [SCHEMA]
+    for index in range(pages):
+        title = f"Page_{index:03d}"
+        body = (
+            f"This is ''{title}''. See also [[Page_{(index + 1) % pages:03d}]]"
+            f". Lorem ipsum dolor sit amet, section {index}."
+        )
+        escaped = body.replace("'", "''")
+        statements.append(
+            "INSERT INTO pages (title, body, views) VALUES "
+            f"('{title}', '{escaped}', 0)"
+        )
+        statements.append(
+            f"INSERT INTO hitcounter (page_id, views) VALUES "
+            f"({index + 1}, 0)"
+        )
+    return ";\n".join(statements)
+
+
+def build_app(pages: int = 10) -> Application:
+    """A ready-to-serve miniwiki with ``pages`` seeded pages."""
+    return Application.from_sources(
+        "miniwiki", SCRIPTS, db_setup=seed_sql(pages)
+    )

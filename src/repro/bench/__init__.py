@@ -1,0 +1,27 @@
+"""Benchmark harness: online phase + audit phase with phase accounting.
+
+Used by every ``benchmarks/bench_*.py`` target and by the examples.  The
+harness runs a workload through the honest executor twice (with and
+without recording, to price the server's overhead), runs the SSCO audit
+and the simple-re-execution baseline, and assembles the rows the paper's
+tables and figures report.
+"""
+
+from repro.bench.harness import (
+    BenchRun,
+    run_audit_phase,
+    run_online_phase,
+    run_workload_pipeline,
+)
+from repro.bench.metrics import figure8_row, figure9_decomposition
+from repro.bench.formatting import render_table
+
+__all__ = [
+    "BenchRun",
+    "figure8_row",
+    "figure9_decomposition",
+    "render_table",
+    "run_audit_phase",
+    "run_online_phase",
+    "run_workload_pipeline",
+]

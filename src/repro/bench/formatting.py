@@ -1,0 +1,47 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Dict[str, object]], columns: Sequence[str] | None = None
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table = [[str(col) for col in columns]]
+    for row in rows:
+        table.append([_fmt(row.get(col)) for col in columns])
+    widths = [
+        max(len(line[index]) for line in table)
+        for index in range(len(columns))
+    ]
+    out: List[str] = []
+    header = "  ".join(
+        cell.ljust(width) for cell, width in zip(table[0], widths)
+    )
+    out.append(header)
+    out.append("  ".join("-" * width for width in widths))
+    for line in table[1:]:
+        out.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        )
+    return "\n".join(out)

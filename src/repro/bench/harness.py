@@ -1,0 +1,143 @@
+"""Online + audit pipeline used by the benchmark targets."""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.ooo import OooResult, simple_audit
+from repro.core.verifier import AuditResult, ssco_audit
+from repro.server.executor import ExecutionResult, Executor
+from repro.server.nondet import NondetSource
+from repro.server.scheduler import RandomScheduler
+from repro.workloads.wiki import Workload
+
+
+@dataclass
+class BenchRun:
+    """Everything one workload pipeline produced."""
+
+    label: str
+    execution: ExecutionResult
+    legacy_seconds: float  # serving without recording (the baseline server)
+    audit: AuditResult
+    baseline_audit: Optional[OooResult] = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+def run_online_phase(
+    workload: Workload,
+    seed: int = 1,
+    concurrency: int = 8,
+    record: bool = True,
+) -> ExecutionResult:
+    """Serve the workload with a seeded-random scheduler."""
+    executor = Executor(
+        workload.app,
+        scheduler=RandomScheduler(seed),
+        max_concurrency=concurrency,
+        nondet=NondetSource(seed=seed),
+        record=record,
+    )
+    return executor.serve(workload.requests)
+
+
+def measure_legacy_seconds(
+    workload: Workload, seed: int = 1, concurrency: int = 8
+) -> float:
+    """CPU seconds to serve the workload *without* recording: the paper's
+    legacy-server baseline (§5.1)."""
+    started = _time.perf_counter()
+    run_online_phase(workload, seed=seed, concurrency=concurrency,
+                     record=False)
+    return _time.perf_counter() - started
+
+
+def measure_serve_seconds(
+    workload: Workload,
+    seed: int = 1,
+    concurrency: int = 8,
+    repeats: int = 2,
+) -> Tuple[float, float]:
+    """(legacy_seconds, recorded_seconds), measured fairly.
+
+    Serving the same workload back to back warms allocator and parser
+    caches, so a naive "legacy first, recorded second" comparison inverts
+    the overhead.  We warm up once, then interleave the two modes and
+    take each mode's best time.
+    """
+    sample = Workload(workload.app, workload.requests[: max(
+        1, len(workload.requests) // 10)], workload.label)
+    run_online_phase(sample, seed=seed, concurrency=concurrency,
+                     record=False)  # warmup
+    legacy = recorded = float("inf")
+    for _ in range(repeats):
+        started = _time.perf_counter()
+        run_online_phase(workload, seed=seed, concurrency=concurrency,
+                         record=False)
+        legacy = min(legacy, _time.perf_counter() - started)
+        started = _time.perf_counter()
+        run_online_phase(workload, seed=seed, concurrency=concurrency,
+                         record=True)
+        recorded = min(recorded, _time.perf_counter() - started)
+    return legacy, recorded
+
+
+def run_audit_phase(
+    workload: Workload,
+    execution: ExecutionResult,
+    dedup: bool = True,
+    collapse: bool = True,
+    strict: bool = True,
+    run_baseline: bool = True,
+) -> BenchRun:
+    audit = ssco_audit(
+        workload.app,
+        execution.trace,
+        execution.reports,
+        execution.initial_state,
+        strict=strict,
+        dedup=dedup,
+        collapse=collapse,
+    )
+    baseline = None
+    if run_baseline:
+        baseline = simple_audit(
+            workload.app,
+            execution.trace,
+            execution.reports,
+            execution.initial_state,
+        )
+    return BenchRun(
+        label=workload.label,
+        execution=execution,
+        legacy_seconds=0.0,
+        audit=audit,
+        baseline_audit=baseline,
+    )
+
+
+def run_workload_pipeline(
+    workload: Workload,
+    seed: int = 1,
+    concurrency: int = 8,
+    dedup: bool = True,
+    collapse: bool = True,
+    run_baseline: bool = True,
+    measure_legacy: bool = True,
+) -> BenchRun:
+    """Full pipeline: legacy serve, recorded serve, audit, baseline audit."""
+    legacy_seconds = (
+        measure_legacy_seconds(workload, seed=seed, concurrency=concurrency)
+        if measure_legacy
+        else 0.0
+    )
+    execution = run_online_phase(workload, seed=seed,
+                                 concurrency=concurrency)
+    run = run_audit_phase(
+        workload, execution,
+        dedup=dedup, collapse=collapse, run_baseline=run_baseline,
+    )
+    run.legacy_seconds = legacy_seconds
+    return run

@@ -1,0 +1,25 @@
+"""SSCO: the audit algorithms (Sections 3, A; Figures 3, 5, 6, 12, 13).
+
+Public entry points:
+
+* :func:`repro.core.verifier.ssco_audit` — the full SSCO_AUDIT2 pipeline
+  (balance check, consistent-ordering verification, versioned-store builds,
+  SIMD-on-demand re-execution with simulate-and-check, output comparison).
+* :func:`repro.core.ooo.simple_audit` — the out-of-order, per-request
+  audit (Figure 13's OOOExec), used as the non-accelerated baseline and in
+  the Lemma 8 equivalence tests.
+* :func:`repro.core.timeprec.create_time_precedence_graph` — the streaming
+  frontier algorithm (Figure 6).
+"""
+
+from repro.core.verifier import AuditResult, ssco_audit
+from repro.core.ooo import ooo_audit, simple_audit
+from repro.core.timeprec import create_time_precedence_graph
+
+__all__ = [
+    "AuditResult",
+    "create_time_precedence_graph",
+    "ooo_audit",
+    "simple_audit",
+    "ssco_audit",
+]

@@ -1,0 +1,76 @@
+"""Read-query deduplication (Section 4.5).
+
+Within one control-flow group, re-executed SELECTs are clustered by their
+SQL text.  Two queries P and Q with the same text can share one execution
+if the tables they touch were not modified between P's and Q's versions
+(timestamps).  The versioned DB's per-table write-timestamp index
+(:meth:`~repro.sql.versioned.VersionedDB.writes_between`) answers that.
+
+The cache lives for the duration of one group's re-execution (the paper
+clusters "all queries in a control flow group").
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+from repro.sql.ast import Select, tables_touched
+from repro.sql.engine import StmtResult
+from repro.sql.parser import parse_sql
+from repro.sql.versioned import VersionedDB
+
+
+class QueryDedup:
+    """Per-group SELECT result cache keyed by (SQL text, version window)."""
+
+    def __init__(self, vdb: VersionedDB):
+        self._vdb = vdb
+        # sql text -> parallel sorted lists of timestamps and results.
+        self._ts: Dict[str, List[int]] = {}
+        self._results: Dict[str, List[StmtResult]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def select(self, sql: str, ts: int) -> StmtResult:
+        """Result of ``sql`` at version ``ts``, reusing a neighbouring
+        execution when no intervening table writes exist."""
+        stmt = parse_sql(sql)
+        if not isinstance(stmt, Select):
+            raise ValueError("dedup cache only handles SELECT")
+        tables = tables_touched(stmt)
+        ts_list = self._ts.get(sql)
+        if ts_list:
+            position = bisect.bisect_left(ts_list, ts)
+            # Exact hit.
+            if position < len(ts_list) and ts_list[position] == ts:
+                self.hits += 1
+                return self._results[sql][position]
+            # Earlier neighbour: reuse if no writes in (neighbour_ts, ts].
+            if position > 0:
+                neighbour_ts = ts_list[position - 1]
+                if not any(
+                    self._vdb.writes_between(table, neighbour_ts, ts)
+                    for table in tables
+                ):
+                    self.hits += 1
+                    return self._results[sql][position - 1]
+            # Later neighbour: reuse if no writes in (ts, neighbour_ts].
+            if position < len(ts_list):
+                neighbour_ts = ts_list[position]
+                if not any(
+                    self._vdb.writes_between(table, ts, neighbour_ts)
+                    for table in tables
+                ):
+                    self.hits += 1
+                    return self._results[sql][position]
+        self.misses += 1
+        result = self._vdb.do_select(stmt, ts)
+        if ts_list is None:
+            self._ts[sql] = [ts]
+            self._results[sql] = [result]
+        else:
+            position = bisect.bisect_left(ts_list, ts)
+            ts_list.insert(position, ts)
+            self._results[sql].insert(position, result)
+        return result

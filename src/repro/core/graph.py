@@ -1,0 +1,111 @@
+"""The audit graph G (Section 3.5).
+
+Nodes are events: ``(rid, 0)`` is the request's arrival, ``(rid, opnum)``
+for ``1 <= opnum <= M(rid)`` are its alleged operations, and
+``(rid, OPNUM_INF)`` is the departure of its response.  Edges are
+precedence.  The only queries the audit needs are "add node/edge",
+"has cycle?", and "topological order" (the proofs' implied schedule, used
+by the OOO audit and the equivalence tests).
+
+Cycle detection is an iterative three-color DFS (the standard algorithm
+the paper cites, [32, Ch. 22]), implemented without recursion so that
+traces with hundreds of thousands of events do not hit Python's stack
+limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+#: The ``∞`` opnum marking the response-departure node.
+OPNUM_INF = float("inf")
+
+Node = Tuple[str, object]  # (rid, opnum) with opnum int or OPNUM_INF
+
+
+class Graph:
+    """Directed graph over event nodes, adjacency-list based."""
+
+    def __init__(self) -> None:
+        self.adj: Dict[Node, List[Node]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        if node not in self.adj:
+            self.adj[node] = []
+
+    def add_edge(self, src: Node, dst: Node) -> None:
+        self.add_node(src)
+        self.add_node(dst)
+        self.adj[src].append(dst)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Iterable[Node]:
+        return self.adj.keys()
+
+    def node_count(self) -> int:
+        return len(self.adj)
+
+    def edge_count(self) -> int:
+        return sum(len(out) for out in self.adj.values())
+
+    def has_cycle(self) -> bool:
+        """Three-color DFS, iterative."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[Node, int] = {node: WHITE for node in self.adj}
+        for start in self.adj:
+            if color[start] != WHITE:
+                continue
+            # Stack holds (node, iterator over successors).
+            stack: List[Tuple[Node, int]] = [(start, 0)]
+            color[start] = GRAY
+            while stack:
+                node, index = stack[-1]
+                successors = self.adj[node]
+                if index < len(successors):
+                    stack[-1] = (node, index + 1)
+                    nxt = successors[index]
+                    state = color.get(nxt, WHITE)
+                    if state == GRAY:
+                        return True
+                    if state == WHITE:
+                        color[nxt] = GRAY
+                        stack.append((nxt, 0))
+                else:
+                    color[node] = BLACK
+                    stack.pop()
+        return False
+
+    def topo_sort(self) -> Optional[List[Node]]:
+        """Kahn's algorithm; None if the graph has a cycle."""
+        indegree: Dict[Node, int] = {node: 0 for node in self.adj}
+        for out in self.adj.values():
+            for dst in out:
+                indegree[dst] += 1
+        ready = [node for node, deg in indegree.items() if deg == 0]
+        order: List[Node] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for dst in self.adj[node]:
+                indegree[dst] -= 1
+                if indegree[dst] == 0:
+                    ready.append(dst)
+        if len(order) != len(self.adj):
+            return None
+        return order
+
+    def reachable_from(self, start: Node) -> set:
+        """All nodes reachable from ``start`` (test helper)."""
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for nxt in self.adj.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen

@@ -1,0 +1,86 @@
+"""Plausibility checks on non-determinism reports (Section 4.6).
+
+The reports are untrusted, and unlike object operations they cannot be
+cross-checked against re-execution output (the paper: "we cannot give
+rigorous guarantees about the efficacy of these checks").  The verifier
+nevertheless rejects reports that are *internally* implausible:
+
+* ``time``/``microtime`` values must be non-decreasing within a request;
+* ``getpid`` must be constant within a request;
+* ``rand(lo, hi)`` values must lie in the recorded argument range;
+* ``uniqid`` values must be unique across the whole report set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.common.errors import AuditReject, RejectReason
+from repro.lang.values import to_int
+from repro.server.reports import Reports
+
+
+def validate_nondet_reports(reports: Reports) -> None:
+    """Raise :class:`AuditReject` on implausible non-determinism reports."""
+    seen_uniq: Set[str] = set()
+    for rid, records in reports.nondet.items():
+        last_time: float = float("-inf")
+        pid: object = None
+        for index, record in enumerate(records):
+            where = f"request {rid}, nondet #{index + 1}"
+            if record.func in ("time", "microtime"):
+                if not isinstance(record.value, (int, float)) or isinstance(
+                    record.value, bool
+                ):
+                    raise AuditReject(
+                        RejectReason.NONDET_IMPLAUSIBLE,
+                        f"{where}: non-numeric {record.func}()",
+                    )
+                if record.value < last_time:
+                    raise AuditReject(
+                        RejectReason.NONDET_IMPLAUSIBLE,
+                        f"{where}: time went backwards",
+                    )
+                last_time = float(record.value)
+            elif record.func in ("rand", "mt_rand"):
+                low = to_int(record.args[0]) if len(record.args) >= 1 else 0
+                high = (
+                    to_int(record.args[1])
+                    if len(record.args) >= 2
+                    else 2**31 - 1
+                )
+                if (
+                    not isinstance(record.value, int)
+                    or isinstance(record.value, bool)
+                    or not (low <= record.value <= high)
+                ):
+                    raise AuditReject(
+                        RejectReason.NONDET_IMPLAUSIBLE,
+                        f"{where}: rand() outside [{low}, {high}]",
+                    )
+            elif record.func == "getpid":
+                if pid is None:
+                    pid = record.value
+                elif record.value != pid:
+                    raise AuditReject(
+                        RejectReason.NONDET_IMPLAUSIBLE,
+                        f"{where}: pid changed within the request",
+                    )
+            elif record.func == "uniqid":
+                if not isinstance(record.value, str):
+                    raise AuditReject(
+                        RejectReason.NONDET_IMPLAUSIBLE,
+                        f"{where}: non-string uniqid()",
+                    )
+                if record.value in seen_uniq:
+                    raise AuditReject(
+                        RejectReason.NONDET_IMPLAUSIBLE,
+                        f"{where}: duplicate uniqid() {record.value!r}",
+                    )
+                seen_uniq.add(record.value)
+            else:
+                raise AuditReject(
+                    RejectReason.NONDET_IMPLAUSIBLE,
+                    f"{where}: unknown non-deterministic builtin "
+                    f"{record.func!r}",
+                )

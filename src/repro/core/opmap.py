@@ -1,0 +1,33 @@
+"""OpMap: the index of the operation logs (Figures 3, 5, 12).
+
+``OpMap : (requestID, opnum) -> (object_name, seqnum)`` — built by
+CheckLogs while it validates the logs (Figure 5, line 38), then consulted
+by every CheckOp during re-execution.  ``seqnum`` is the 1-based position
+of the operation within its object's log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+Entry = Tuple[str, int]  # (object name, 1-based log position)
+
+
+class OpMap:
+    """Thin dict wrapper; exists to make intent explicit and to give the
+    tamper tests a stable surface."""
+
+    def __init__(self) -> None:
+        self._map: Dict[Tuple[str, int], Entry] = {}
+
+    def insert(self, rid: str, opnum: int, obj: str, seq: int) -> None:
+        self._map[(rid, opnum)] = (obj, seq)
+
+    def get(self, rid: str, opnum: int) -> Optional[Entry]:
+        return self._map.get((rid, opnum))
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        return key in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)

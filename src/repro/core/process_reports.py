@@ -1,0 +1,149 @@
+"""ProcessOpReports (Figure 5): consistent ordering verification.
+
+Builds the audit graph G with three kinds of edges —
+
+* time-precedence edges from the trace (via the Figure 6 frontier
+  algorithm, then SplitNodes);
+* program-order edges (AddProgramEdges);
+* alleged log-order edges (AddStateEdges);
+
+— validates the logs against the op-count reports while building the OpMap
+(CheckLogs), and rejects if G has a cycle: a cycle means no schedule can
+order all events consistently with the trace and the alleged operations
+(the Figure 4 examples).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.errors import AuditReject, RejectReason
+from repro.core.graph import Graph, OPNUM_INF
+from repro.core.opmap import OpMap
+from repro.core.timeprec import (
+    TimePrecedenceGraph,
+    create_time_precedence_graph,
+)
+from repro.server.reports import Reports
+from repro.trace.trace import Trace
+
+
+def split_nodes(gtr: TimePrecedenceGraph) -> Graph:
+    """SplitNodes (Figure 5, lines 14-19): each request becomes an arrival
+    node (rid, 0) and a departure node (rid, ∞); GTr's edges become
+    (r1, ∞) -> (r2, 0)."""
+    graph = Graph()
+    for rid in gtr.nodes:
+        graph.add_node((rid, 0))
+        graph.add_node((rid, OPNUM_INF))
+    for child, parents in gtr.parents.items():
+        for parent in parents:
+            graph.add_edge((parent, OPNUM_INF), (child, 0))
+    return graph
+
+
+def add_program_edges(
+    graph: Graph, trace: Trace, op_counts: Dict[str, int]
+) -> None:
+    """AddProgramEdges (Figure 5, lines 21-26): chain each request's
+    alleged operations between its arrival and departure nodes."""
+    for rid in trace.request_ids():
+        count = op_counts.get(rid, 0)
+        if count < 0:
+            raise AuditReject(
+                RejectReason.LOG_BAD_OPNUM, f"negative op count for {rid}"
+            )
+        previous = (rid, 0)
+        for opnum in range(1, count + 1):
+            node = (rid, opnum)
+            graph.add_edge(previous, node)
+            previous = node
+        graph.add_edge(previous, (rid, OPNUM_INF))
+
+
+def check_logs(trace: Trace, reports: Reports) -> OpMap:
+    """CheckLogs (Figure 5, lines 28-42): validate log entries against the
+    trace and the op counts; build the OpMap; ensure the logs cover exactly
+    the claimed operations."""
+    trace_rids = set(trace.request_ids())
+    op_counts = reports.op_counts
+    opmap = OpMap()
+    for obj_name in sorted(reports.op_logs):
+        log = reports.op_logs[obj_name]
+        for position, record in enumerate(log):
+            seq = position + 1
+            if record.rid not in trace_rids:
+                raise AuditReject(
+                    RejectReason.LOG_UNKNOWN_RID,
+                    f"log {obj_name}[{seq}] names unknown request "
+                    f"{record.rid!r}",
+                )
+            if record.opnum <= 0:
+                raise AuditReject(
+                    RejectReason.LOG_BAD_OPNUM,
+                    f"log {obj_name}[{seq}] has opnum {record.opnum}",
+                )
+            if record.opnum > op_counts.get(record.rid, 0):
+                raise AuditReject(
+                    RejectReason.LOG_BAD_OPNUM,
+                    f"log {obj_name}[{seq}] opnum {record.opnum} exceeds "
+                    f"M({record.rid}) = {op_counts.get(record.rid, 0)}",
+                )
+            if (record.rid, record.opnum) in opmap:
+                raise AuditReject(
+                    RejectReason.LOG_DUPLICATE_OP,
+                    f"operation ({record.rid}, {record.opnum}) appears in "
+                    "two log positions",
+                )
+            opmap.insert(record.rid, record.opnum, obj_name, seq)
+    for rid in trace_rids:
+        for opnum in range(1, op_counts.get(rid, 0) + 1):
+            if (rid, opnum) not in opmap:
+                raise AuditReject(
+                    RejectReason.LOG_MISSING_OP,
+                    f"operation ({rid}, {opnum}) is claimed by M but "
+                    "appears in no log",
+                )
+    return opmap
+
+
+def add_state_edges(graph: Graph, reports: Reports) -> None:
+    """AddStateEdges (Figure 5, lines 44-54): adjacent log entries from
+    different requests are ordered; same-request entries must have
+    non-decreasing opnums (program order already covers their edge)."""
+    for obj_name in sorted(reports.op_logs):
+        log = reports.op_logs[obj_name]
+        for position in range(1, len(log)):
+            previous = log[position - 1]
+            current = log[position]
+            if previous.rid != current.rid:
+                graph.add_edge(
+                    (previous.rid, previous.opnum),
+                    (current.rid, current.opnum),
+                )
+            elif previous.opnum > current.opnum:
+                raise AuditReject(
+                    RejectReason.LOG_OPNUM_NOT_INCREASING,
+                    f"log {obj_name}[{position + 1}]: opnum regressed for "
+                    f"request {current.rid}",
+                )
+
+
+def process_op_reports(
+    trace: Trace, reports: Reports
+) -> Tuple[Graph, OpMap]:
+    """ProcessOpReports (Figure 5, lines 2-12).
+
+    Returns (G, OpMap) or raises :class:`AuditReject`.
+    """
+    gtr = create_time_precedence_graph(trace)
+    graph = split_nodes(gtr)
+    add_program_edges(graph, trace, reports.op_counts)
+    opmap = check_logs(trace, reports)
+    add_state_edges(graph, reports)
+    if graph.has_cycle():
+        raise AuditReject(
+            RejectReason.ORDERING_CYCLE,
+            "events cannot be consistently ordered",
+        )
+    return graph, opmap

@@ -1,0 +1,219 @@
+"""ReExec2: grouped SIMD-on-demand re-execution (Figure 12, lines 29-53).
+
+Re-executes the trace in control-flow groups according to the (untrusted)
+groupings ``C``.  Each group runs once through the accelerated interpreter;
+at every group state operation the driver loops over the group's requests
+("for all rid in the group", line 43), applying CheckOp and — for reads —
+SimOp via each request's :class:`~repro.core.simulate.OpHandler`.
+
+Divergence policy:
+
+* ``strict=True`` (the paper's Figure 12, line 39): control-flow
+  divergence inside a group rejects the audit;
+* ``strict=False``: divergence demotes the group to per-request
+  re-execution (re-execution is idempotent, §3.1, so restarting is safe).
+
+Unsupported-SIMD cases (:class:`MultivalueFallback`) and application
+errors always demote, in both modes — they are implementation retry paths,
+not verdicts (§4.3: acc-PHP "retries, by separately re-executing the
+requests in sequence").
+
+Groups larger than ``max_group_size`` are chunked, mirroring acc-PHP's
+3,000-request group cap (§4.7).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import (
+    AuditReject,
+    DivergenceError,
+    MultivalueFallback,
+    RejectReason,
+    WeblangError,
+)
+from repro.accel.accinterp import (
+    AccInterpreter,
+    GroupExternalIntent,
+    GroupNondetIntent,
+    GroupStateOpIntent,
+)
+from repro.trace.events import ExternalRequest
+from repro.core.dedup import QueryDedup
+from repro.core.ooo import execute_one
+from repro.core.simulate import NondetCursor, OpHandler, SimContext
+from repro.server.app import Application
+from repro.server.reports import Reports
+from repro.trace.trace import Trace
+
+#: acc-PHP's group size cap (§4.7).
+DEFAULT_MAX_GROUP = 3000
+
+
+@dataclass
+class ReExecStats:
+    groups: int = 0
+    grouped_requests: int = 0
+    fallback_requests: int = 0
+    divergences: int = 0
+    steps: int = 0
+    multi_steps: int = 0
+    group_alphas: List[tuple] = field(default_factory=list)
+    #: (n_c, alpha_c, ell_c) per group, for Figure 11.
+
+
+def reexec_groups(
+    app: Application,
+    trace: Trace,
+    reports: Reports,
+    ctx: SimContext,
+    strict: bool = True,
+    dedup: bool = True,
+    collapse: bool = True,
+    max_group_size: int = DEFAULT_MAX_GROUP,
+) -> Dict[str, str]:
+    """Re-execute all groups; returns rid -> produced body.
+
+    Raises :class:`AuditReject` on any failed check.
+    """
+    requests = trace.requests()
+    produced: Dict[str, str] = {}
+    stats = ctx.reexec_stats = ReExecStats()
+    acc = AccInterpreter(
+        db_name=app.db_name,
+        kv_name=app.kv_name,
+        session_cookie=app.session_cookie,
+        collapse_enabled=collapse,
+    )
+    for tag in sorted(reports.groups):
+        rids_raw = reports.groups[tag]
+        # Duplicate rids within one group would make the superposed
+        # execution re-run the same request in two slots; re-execution is
+        # idempotent, but the slots would double-consume nondet cursors.
+        # Deduplicate, preserving first occurrence.
+        seen = set()
+        rids: List[str] = []
+        for rid in rids_raw:
+            if rid not in seen:
+                seen.add(rid)
+                rids.append(rid)
+        for rid in rids:
+            if rid not in requests:
+                raise AuditReject(
+                    RejectReason.GROUP_UNKNOWN_RID,
+                    f"grouping names unknown request {rid!r}",
+                )
+        for start in range(0, len(rids), max_group_size):
+            chunk = rids[start : start + max_group_size]
+            _run_chunk(app, acc, chunk, requests, reports, ctx, strict,
+                       dedup, produced, stats)
+    return produced
+
+
+def _run_chunk(
+    app: Application,
+    acc: AccInterpreter,
+    rids: List[str],
+    requests,
+    reports: Reports,
+    ctx: SimContext,
+    strict: bool,
+    dedup: bool,
+    produced: Dict[str, str],
+    stats: ReExecStats,
+) -> None:
+    stats.groups += 1
+    scripts = {requests[rid].script for rid in rids}
+    if len(scripts) > 1:
+        # Control flow includes the script identity; mixed groups can only
+        # come from a bogus grouping report.
+        if strict:
+            raise AuditReject(
+                RejectReason.GROUP_DIVERGED,
+                f"group mixes scripts {sorted(scripts)}",
+            )
+        _fallback(app, rids, requests, ctx, produced, stats)
+        return
+    program = app.script(next(iter(scripts)))
+    group_requests = [requests[rid] for rid in rids]
+    for rid in rids:
+        # A rid listed in several groups re-executes idempotently; its
+        # regenerated externals must not accumulate across runs.
+        ctx.produced_externals.pop(rid, None)
+    handlers = {rid: OpHandler(ctx, rid) for rid in rids}
+    cursors = {
+        rid: NondetCursor(rid, reports.nondet.get(rid, [])) for rid in rids
+    }
+    vdb = ctx.vdb.get(app.db_name)
+    ctx.dedup = QueryDedup(vdb) if (dedup and vdb is not None) else None
+    try:
+        gen = acc.run_group(program, group_requests)
+        intent = next(gen)
+        while True:
+            if isinstance(intent, GroupStateOpIntent):
+                results = [
+                    handlers[rid].handle(
+                        intent.kind, intent.objs[slot], intent.args[slot]
+                    )
+                    for slot, rid in enumerate(rids)
+                ]
+            elif isinstance(intent, GroupNondetIntent):
+                results = [
+                    cursors[rid].next(intent.func, intent.args[slot])
+                    for slot, rid in enumerate(rids)
+                ]
+            elif isinstance(intent, GroupExternalIntent):
+                for slot, rid in enumerate(rids):
+                    ctx.produced_externals.setdefault(rid, []).append(
+                        ExternalRequest(rid, intent.services[slot],
+                                        intent.contents[slot])
+                    )
+                results = [True] * len(rids)
+            else:  # pragma: no cover
+                raise AuditReject(
+                    RejectReason.UNEXPECTED_EVENT,
+                    f"unknown group intent {intent!r}",
+                )
+            intent = gen.send(results)
+    except StopIteration as stop:
+        output = stop.value
+        for slot, rid in enumerate(rids):
+            handlers[rid].finish()
+            produced[rid] = output.bodies[slot]
+        stats.grouped_requests += len(rids)
+        stats.steps += output.steps
+        stats.multi_steps += output.multi_steps
+        alpha = (
+            1.0 - output.multi_steps / output.steps if output.steps else 1.0
+        )
+        stats.group_alphas.append((len(rids), alpha, output.steps))
+    except DivergenceError as diverged:
+        stats.divergences += 1
+        if strict:
+            raise AuditReject(RejectReason.GROUP_DIVERGED, diverged.detail)
+        _fallback(app, rids, requests, ctx, produced, stats)
+    except (MultivalueFallback, WeblangError):
+        # Retry path (§4.3): not a verdict about the executor.
+        _fallback(app, rids, requests, ctx, produced, stats)
+    finally:
+        ctx.dedup = None
+
+
+def _fallback(
+    app: Application,
+    rids: List[str],
+    requests,
+    ctx: SimContext,
+    produced: Dict[str, str],
+    stats: ReExecStats,
+) -> None:
+    """Re-execute each request of the group individually (fresh handlers:
+    partial group progress is discarded; checks are idempotent reads)."""
+    ctx.dedup = None
+    for rid in rids:
+        ctx.produced_externals.pop(rid, None)  # discard partial progress
+        produced[rid] = execute_one(app, requests[rid], ctx)
+        stats.fallback_requests += 1

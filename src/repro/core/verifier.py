@@ -1,0 +1,176 @@
+"""The top-level verifier: SSCO_AUDIT2 (Figure 12).
+
+Pipeline::
+
+    check_balanced      (Section 3: balanced trace, unique requestIDs)
+    validate nondet     (Section 4.6 plausibility checks)
+    ProcessOpReports    (Figure 5: ordering + OpMap)           } ProcOpRep
+    kv.Build / db.Build (Figure 12 lines 5-6: versioned redo)  } DB redo
+    ReExec2             (grouped SIMD-on-demand + simulate-and-check)
+    output comparison   (Figure 12 lines 55-57)
+
+The phase timers feed the Figure 9 decomposition; the per-group
+(n, α, ℓ) triples feed Figure 11; the dedup counters feed §5.2.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.errors import AuditReject, RejectReason
+from repro.core.ooo import _compare_externals, _compare_outputs
+from repro.core.process_reports import process_op_reports
+from repro.core.reexec import DEFAULT_MAX_GROUP, reexec_groups
+from repro.core.nondet import validate_nondet_reports
+from repro.core.simulate import SimContext
+from repro.server.app import Application, InitialState
+from repro.server.reports import Reports
+from repro.trace.trace import Trace, check_balanced
+
+
+@dataclass
+class AuditResult:
+    """Outcome of an SSCO audit, with instrumentation."""
+
+    accepted: bool
+    reason: Optional[RejectReason] = None
+    detail: str = ""
+    #: Phase wall-clock seconds: proc_op_reports, db_redo, reexec,
+    #: db_query (subset of reexec), output_compare, total.
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: groups, grouped_requests, fallback_requests, dedup hits/misses,
+    #: steps, multi_steps, db_queries_issued, versioned sizes ...
+    stats: Dict[str, object] = field(default_factory=dict)
+    produced: Dict[str, str] = field(default_factory=dict)
+    #: Post-audit compacted state (the next epoch's initial state), only
+    #: populated on accept when ``migrate=True``.
+    next_initial: Optional[InitialState] = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.accepted
+
+
+def ssco_audit(
+    app: Application,
+    trace: Trace,
+    reports: Reports,
+    initial_state: InitialState,
+    strict: bool = True,
+    dedup: bool = True,
+    collapse: bool = True,
+    strict_registers: bool = False,
+    max_group_size: int = DEFAULT_MAX_GROUP,
+    migrate: bool = False,
+) -> AuditResult:
+    """Run the full audit; never raises :class:`AuditReject`.
+
+    Args:
+        app: the program (scripts + object configuration) — trusted.
+        trace: the collector's trace — trusted to be accurate.
+        reports: the executor's reports — untrusted.
+        initial_state: shared-object state at epoch start — trusted
+            (kept by the verifier; §4.1).
+        strict: reject on control-flow divergence within a group (the
+            paper's Figure 12 line 39) instead of retrying per-request.
+        dedup: enable read-query deduplication (§4.5).
+        collapse: enable multivalue collapse (§4.3) — ablation hook.
+        strict_registers: reject register reads with no logged write and
+            no initial value (the paper's literal SimOp).
+        max_group_size: chunk groups beyond this size (§4.7).
+        migrate: on accept, compact the versioned store into the next
+            epoch's initial state (§4.5 migration).
+    """
+    result = AuditResult(accepted=False)
+    total_start = _time.perf_counter()
+    ctx: Optional[SimContext] = None
+    try:
+        check_balanced(trace)
+        validate_nondet_reports(reports)
+
+        t0 = _time.perf_counter()
+        graph, opmap = process_op_reports(trace, reports)
+        result.phases["proc_op_reports"] = _time.perf_counter() - t0
+        result.stats["graph_nodes"] = graph.node_count()
+        result.stats["graph_edges"] = graph.edge_count()
+
+        ctx = SimContext(app, reports, opmap, initial_state,
+                         strict_registers)
+        t0 = _time.perf_counter()
+        ctx.build_versioned_stores()
+        result.phases["db_redo"] = _time.perf_counter() - t0
+
+        t0 = _time.perf_counter()
+        produced = reexec_groups(
+            app, trace, reports, ctx,
+            strict=strict, dedup=dedup, collapse=collapse,
+            max_group_size=max_group_size,
+        )
+        result.phases["reexec"] = _time.perf_counter() - t0
+        result.phases["db_query"] = ctx.db_query_seconds
+
+        t0 = _time.perf_counter()
+        _compare_outputs(trace, produced)
+        _compare_externals(trace, ctx)
+        result.phases["output_compare"] = _time.perf_counter() - t0
+
+        result.produced = produced
+        result.accepted = True
+        if migrate:
+            vdb = ctx.vdb[app.db_name]
+            vkv = ctx.vkv[app.kv_name]
+            registers = dict(initial_state.registers)
+            registers.update(_final_registers(reports))
+            kv_state = dict(initial_state.kv)
+            kv_state.update(vkv.latest_state())
+            result.next_initial = InitialState(
+                vdb.latest_engine(), kv_state, registers
+            )
+    except AuditReject as reject:
+        result.accepted = False
+        result.reason = reject.reason
+        result.detail = reject.detail
+    finally:
+        result.phases["total"] = _time.perf_counter() - total_start
+        if ctx is not None:
+            result.stats.update(
+                {
+                    "db_queries_issued": ctx.db_queries_issued,
+                    "dedup_hits": ctx.dedup_hits,
+                    "dedup_misses": ctx.dedup_misses,
+                }
+            )
+            vdb = ctx.vdb.get(app.db_name)
+            if vdb is not None:
+                result.stats["versioned_db_bytes"] = vdb.size_bytes()
+                result.stats["versioned_db_versions"] = vdb.version_count()
+                result.stats["redo_statements"] = vdb.redo_statements
+            stats = getattr(ctx, "reexec_stats", None)
+            if stats is not None:
+                result.stats.update(
+                    {
+                        "groups": stats.groups,
+                        "grouped_requests": stats.grouped_requests,
+                        "fallback_requests": stats.fallback_requests,
+                        "divergences": stats.divergences,
+                        "steps": stats.steps,
+                        "multi_steps": stats.multi_steps,
+                        "group_alphas": stats.group_alphas,
+                    }
+                )
+    return result
+
+
+def _final_registers(reports: Reports) -> Dict[str, object]:
+    """Last written value of every register appearing in the logs."""
+    final: Dict[str, object] = {}
+    from repro.objects.base import OpType
+
+    for obj_name, log in reports.op_logs.items():
+        if not obj_name.startswith("reg:"):
+            continue
+        for record in log:
+            if record.optype is OpType.REGISTER_WRITE:
+                final[obj_name] = record.opcontents[0]
+    return final

@@ -1,0 +1,278 @@
+"""Serialization of audit inputs (traces, reports, initial state).
+
+In the paper's deployment the collector and the executor ship the trace
+and reports to the verifier, and the verifier keeps object state between
+audits (§4.1, §5.3).  This module gives those artifacts a stable JSON
+encoding:
+
+* :func:`trace_to_json` / :func:`trace_from_json`
+* :func:`reports_to_json` / :func:`reports_from_json`
+* :func:`state_to_json` / :func:`state_from_json`
+* :func:`save_audit_bundle` / :func:`load_audit_bundle` — one file with
+  all three.
+
+Weblang values inside op logs / registers / KV are already *frozen*
+(hashable tuples, see :func:`repro.lang.interp.freeze_value`); JSON
+round-tripping preserves them exactly via a small tagged encoding
+(JSON has no tuples or int-keyed maps).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.objects.base import OpRecord, OpType
+from repro.server.app import InitialState
+from repro.server.reports import NondetRecord, Reports
+from repro.sql.engine import Engine, Table
+from repro.trace.events import (
+    Event,
+    EventKind,
+    ExternalRequest,
+    Request,
+    Response,
+)
+from repro.trace.trace import Trace
+
+FORMAT_VERSION = 1
+
+
+# -- value encoding -------------------------------------------------------------
+#
+# Frozen weblang values are built from None/bool/int/float/str and tuples.
+# JSON lacks tuples, so tuples are encoded as {"t": [...]}; everything else
+# passes through.  (Dict payloads — request params — have string keys and
+# scalar values and need no tagging.)
+
+
+def _enc(value: object) -> object:
+    if isinstance(value, tuple):
+        return {"t": [_enc(item) for item in value]}
+    if isinstance(value, list):  # defensive: lists inside request params
+        return {"l": [_enc(item) for item in value]}
+    if isinstance(value, dict):
+        return {"d": {str(k): _enc(v) for k, v in value.items()}}
+    return value
+
+
+def _dec(value: object) -> object:
+    if isinstance(value, dict):
+        if set(value) == {"t"}:
+            return tuple(_dec(item) for item in value["t"])
+        if set(value) == {"l"}:
+            return [_dec(item) for item in value["l"]]
+        if set(value) == {"d"}:
+            return {k: _dec(v) for k, v in value["d"].items()}
+    return value
+
+
+# -- trace ------------------------------------------------------------------------
+
+
+def trace_to_json(trace: Trace) -> Dict:
+    events: List[Dict] = []
+    for event in trace:
+        entry: Dict = {"kind": event.kind.value, "time": event.time}
+        payload = event.payload
+        if event.is_request:
+            entry["request"] = {
+                "rid": payload.rid,
+                "script": payload.script,
+                "get": _enc(dict(payload.get)),
+                "post": _enc(dict(payload.post)),
+                "cookies": _enc(dict(payload.cookies)),
+            }
+        elif event.is_response:
+            entry["response"] = {
+                "rid": payload.rid,
+                "body": payload.body,
+                "status": payload.status,
+                "abort_info": payload.abort_info,
+            }
+        else:
+            entry["external"] = {
+                "rid": payload.rid,
+                "service": payload.service,
+                "content": _enc(payload.content),
+            }
+        events.append(entry)
+    return {"version": FORMAT_VERSION, "events": events}
+
+
+def trace_from_json(data: Dict) -> Trace:
+    _check_version(data)
+    trace = Trace()
+    for entry in data["events"]:
+        kind = EventKind(entry["kind"])
+        time = entry.get("time", 0.0)
+        if kind is EventKind.REQUEST:
+            raw = entry["request"]
+            trace.append(Event.request(
+                Request(raw["rid"], raw["script"], _dec(raw["get"]),
+                        _dec(raw["post"]), _dec(raw["cookies"])),
+                time,
+            ))
+        elif kind is EventKind.RESPONSE:
+            raw = entry["response"]
+            trace.append(Event.response(
+                Response(raw["rid"], raw["body"], raw["status"],
+                         raw["abort_info"]),
+                time,
+            ))
+        else:
+            raw = entry["external"]
+            trace.append(Event.external(
+                ExternalRequest(raw["rid"], raw["service"],
+                                _dec(raw["content"])),
+                time,
+            ))
+    return trace
+
+
+# -- reports ------------------------------------------------------------------------
+
+
+def reports_to_json(reports: Reports) -> Dict:
+    return {
+        "version": FORMAT_VERSION,
+        "groups": {tag: list(rids) for tag, rids in reports.groups.items()},
+        "op_logs": {
+            obj: [
+                {
+                    "rid": rec.rid,
+                    "opnum": rec.opnum,
+                    "optype": rec.optype.value,
+                    "opcontents": _enc(rec.opcontents),
+                }
+                for rec in log
+            ]
+            for obj, log in reports.op_logs.items()
+        },
+        "op_counts": dict(reports.op_counts),
+        "nondet": {
+            rid: [
+                {
+                    "func": rec.func,
+                    "args": _enc(rec.args),
+                    "value": _enc(rec.value),
+                }
+                for rec in records
+            ]
+            for rid, records in reports.nondet.items()
+        },
+    }
+
+
+def reports_from_json(data: Dict) -> Reports:
+    _check_version(data)
+    return Reports(
+        groups={tag: list(rids) for tag, rids in data["groups"].items()},
+        op_logs={
+            obj: [
+                OpRecord(
+                    rec["rid"],
+                    rec["opnum"],
+                    OpType(rec["optype"]),
+                    _dec(rec["opcontents"]),
+                )
+                for rec in log
+            ]
+            for obj, log in data["op_logs"].items()
+        },
+        op_counts=dict(data["op_counts"]),
+        nondet={
+            rid: [
+                NondetRecord(rec["func"], _dec(rec["args"]),
+                             _dec(rec["value"]))
+                for rec in records
+            ]
+            for rid, records in data["nondet"].items()
+        },
+    )
+
+
+# -- initial state ---------------------------------------------------------------
+
+
+def state_to_json(state: InitialState) -> Dict:
+    tables = {}
+    for name, table in state.db_engine.tables.items():
+        tables[name] = {
+            "columns": list(table.columns),
+            "types": dict(table.types),
+            "primary_key": table.primary_key,
+            "auto_column": table.auto_column,
+            "auto_counter": table.auto_counter,
+            "rows": [
+                {col: row.get(col) for col in table.columns}
+                for row in table.rows
+            ],
+        }
+    return {
+        "version": FORMAT_VERSION,
+        "tables": tables,
+        "kv": {key: _enc(value) for key, value in state.kv.items()},
+        "registers": {
+            name: _enc(value) for name, value in state.registers.items()
+        },
+    }
+
+
+def state_from_json(data: Dict) -> InitialState:
+    _check_version(data)
+    engine = Engine()
+    for name, raw in data["tables"].items():
+        engine.tables[name] = Table(
+            name,
+            list(raw["columns"]),
+            dict(raw["types"]),
+            raw.get("primary_key"),
+            raw.get("auto_column"),
+            raw.get("auto_counter", 0),
+            [dict(row) for row in raw["rows"]],
+        )
+    return InitialState(
+        engine,
+        {key: _dec(value) for key, value in data["kv"].items()},
+        {name: _dec(value)
+         for name, value in data["registers"].items()},
+    )
+
+
+# -- bundles ------------------------------------------------------------------------
+
+
+def save_audit_bundle(
+    path: str, trace: Trace, reports: Reports, initial_state: InitialState
+) -> None:
+    """Write everything the verifier needs into one JSON file."""
+    bundle = {
+        "version": FORMAT_VERSION,
+        "trace": trace_to_json(trace),
+        "reports": reports_to_json(reports),
+        "initial_state": state_to_json(initial_state),
+    }
+    with open(path, "w") as fh:
+        json.dump(bundle, fh)
+
+
+def load_audit_bundle(path: str):
+    """Returns (trace, reports, initial_state)."""
+    with open(path) as fh:
+        bundle = json.load(fh)
+    _check_version(bundle)
+    return (
+        trace_from_json(bundle["trace"]),
+        reports_from_json(bundle["reports"]),
+        state_from_json(bundle["initial_state"]),
+    )
+
+
+def _check_version(data: Dict) -> None:
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported audit-bundle format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )

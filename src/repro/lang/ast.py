@@ -1,0 +1,192 @@
+"""AST node types for weblang.
+
+Every node carries a small integer ``nid`` assigned by the parser; branch
+nodes feed their nid into the control-flow digest (§4.3), so nids must be
+stable for a given source text — the parser numbers nodes in parse order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class Node:
+    __slots__ = ()
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Lit(Node):
+    value: object
+    nid: int = 0
+
+
+@dataclass
+class Var(Node):
+    name: str
+    nid: int = 0
+
+
+@dataclass
+class ArrayLit(Node):
+    """``[v1, 'k' => v2, ...]``; key None means auto-index append."""
+
+    items: List[Tuple[Optional[Node], Node]]
+    nid: int = 0
+
+
+@dataclass
+class Index(Node):
+    """``base[index]`` read access."""
+
+    base: Node
+    index: Node
+    nid: int = 0
+
+
+@dataclass
+class BinOp(Node):
+    """Arithmetic (+ - * / %), concat (.), comparisons (== != < <= > >=),
+    and short-circuit logicals (&& ||)."""
+
+    op: str
+    left: Node
+    right: Node
+    nid: int = 0
+
+
+@dataclass
+class UnOp(Node):
+    op: str  # "!" | "-"
+    operand: Node
+    nid: int = 0
+
+
+@dataclass
+class Ternary(Node):
+    cond: Node
+    then: Node
+    other: Node
+    nid: int = 0
+
+
+@dataclass
+class Call(Node):
+    """Built-in or user-defined function call."""
+
+    name: str
+    args: List[Node]
+    nid: int = 0
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: Node
+    nid: int = 0
+
+
+@dataclass
+class Assign(Node):
+    """``$name = expr`` or compound (``op`` is "", "+", "-", ".")."""
+
+    name: str
+    expr: Node
+    op: str = ""
+    nid: int = 0
+
+
+@dataclass
+class IndexAssign(Node):
+    """``$base[...][idx] = expr``; ``index`` None means append (``$a[]``).
+
+    ``path`` is the chain of index expressions applied to the variable, the
+    last of which may be None.
+    """
+
+    name: str
+    path: List[Optional[Node]]
+    expr: Node
+    op: str = ""
+    nid: int = 0
+
+
+@dataclass
+class Echo(Node):
+    exprs: List[Node]
+    nid: int = 0
+
+
+@dataclass
+class If(Node):
+    """``if/elseif*/else``: list of (condition, body) plus optional else."""
+
+    branches: List[Tuple[Node, List[Node]]]
+    else_body: Optional[List[Node]]
+    nid: int = 0
+
+
+@dataclass
+class While(Node):
+    cond: Node
+    body: List[Node]
+    nid: int = 0
+
+
+@dataclass
+class Foreach(Node):
+    subject: Node
+    key_var: Optional[str]
+    val_var: str
+    body: List[Node]
+    nid: int = 0
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str
+    params: List[str]
+    body: List[Node]
+    nid: int = 0
+
+
+@dataclass
+class Return(Node):
+    expr: Optional[Node]
+    nid: int = 0
+
+
+@dataclass
+class GlobalDecl(Node):
+    names: List[str]
+    nid: int = 0
+
+
+@dataclass
+class Break(Node):
+    nid: int = 0
+
+
+@dataclass
+class Continue(Node):
+    nid: int = 0
+
+
+@dataclass
+class Program(Node):
+    """One script: function declarations plus top-level statements."""
+
+    name: str
+    functions: dict = field(default_factory=dict)  # name -> FuncDecl
+    body: List[Node] = field(default_factory=list)
+    nid: int = 0
+    node_count: int = 0

@@ -1,0 +1,140 @@
+"""Tokenizer for weblang.
+
+PHP-flavored: variables start with ``$``; statements end with ``;``; both
+``//`` and ``#`` line comments and ``/* */`` block comments are accepted.
+String literals use single or double quotes with backslash escapes; there
+is no variable interpolation (applications use the ``.`` concat operator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.errors import WeblangError
+
+KEYWORDS = {
+    "if", "elseif", "else", "while", "foreach", "as", "echo", "function",
+    "return", "global", "break", "continue", "true", "false", "null",
+}
+
+# Order matters: longest first.
+_PUNCT3 = ("===", "!==")
+_PUNCT2 = ("==", "!=", "<=", ">=", "&&", "||", "=>", "+=", "-=", ".=", "++",
+           "--", "*=", "/=")
+_PUNCT1 = ("=", "<", ">", "+", "-", "*", "/", "%", ".", "(", ")", "[", "]",
+           "{", "}", ",", ";", "?", ":", "!", "$")
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", "'": "'",
+            '"': '"', "0": "\0"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "var" | "ident" | "kw" | "int" | "float" | "str" | "punct" | "eof"
+    value: object
+    line: int
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i) or ch == "#":
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise WeblangError(f"unterminated block comment at line {line}")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == "$":
+            j = i + 1
+            if j >= n or not (source[j].isalpha() or source[j] == "_"):
+                raise WeblangError(f"bad variable name at line {line}")
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            tokens.append(Token("var", source[i + 1 : j], line))
+            i = j
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            parts: List[str] = []
+            while j < n and source[j] != quote:
+                if source[j] == "\\" and j + 1 < n:
+                    esc = source[j + 1]
+                    parts.append(_ESCAPES.get(esc, "\\" + esc))
+                    j += 2
+                    continue
+                if source[j] == "\n":
+                    line += 1
+                parts.append(source[j])
+                j += 1
+            if j >= n:
+                raise WeblangError(f"unterminated string at line {line}")
+            tokens.append(Token("str", "".join(parts), line))
+            i = j + 1
+            continue
+        digits = "0123456789"
+        if ch in digits or (ch == "." and i + 1 < n and source[i + 1] in digits):
+            j = i
+            is_float = False
+            while j < n and (source[j] in digits or source[j] == "."):
+                if source[j] == ".":
+                    # ".." would be concat after int; only one dot in number,
+                    # and only when followed by a digit.
+                    if is_float or j + 1 >= n or source[j + 1] not in digits:
+                        break
+                    is_float = True
+                j += 1
+            lexeme = source[i:j]
+            if is_float:
+                tokens.append(Token("float", float(lexeme), line))
+            else:
+                tokens.append(Token("int", int(lexeme), line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            if word in KEYWORDS:
+                tokens.append(Token("kw", word, line))
+            else:
+                tokens.append(Token("ident", word, line))
+            i = j
+            continue
+        matched = False
+        for group in (_PUNCT3, _PUNCT2):
+            for punct in group:
+                if source.startswith(punct, i):
+                    tokens.append(Token("punct", punct, line))
+                    i += len(punct)
+                    matched = True
+                    break
+            if matched:
+                break
+        if matched:
+            continue
+        if ch in _PUNCT1:
+            tokens.append(Token("punct", ch, line))
+            i += 1
+            continue
+        raise WeblangError(f"unexpected character {ch!r} at line {line}")
+    tokens.append(Token("eof", None, line))
+    return tokens

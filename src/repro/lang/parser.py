@@ -1,0 +1,462 @@
+"""Recursive-descent parser for weblang.
+
+Produces a :class:`~repro.lang.ast.Program`.  Node ids are assigned in parse
+order, so identical source always yields identical nids — which makes the
+control-flow digest (§4.3) deterministic across server and verifier.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.errors import WeblangError
+from repro.lang.ast import (
+    ArrayLit,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Continue,
+    Echo,
+    ExprStmt,
+    Foreach,
+    FuncDecl,
+    GlobalDecl,
+    If,
+    Index,
+    IndexAssign,
+    Lit,
+    Node,
+    Program,
+    Return,
+    Ternary,
+    UnOp,
+    Var,
+    While,
+)
+from repro.lang.lexer import Token, tokenize
+
+_COMPOUND_OPS = {"+=": "+", "-=": "-", ".=": ".", "*=": "*", "/=": "/"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], script_name: str):
+        self.tokens = tokens
+        self.script_name = script_name
+        self.pos = 0
+        self.next_nid = 1
+
+    def nid(self) -> int:
+        value = self.next_nid
+        self.next_nid += 1
+        return value
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check_punct(self, symbol: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "punct" and tok.value == symbol
+
+    def accept_punct(self, symbol: str) -> bool:
+        if self.check_punct(symbol):
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, symbol: str) -> None:
+        if not self.accept_punct(symbol):
+            tok = self.peek()
+            raise WeblangError(
+                f"{self.script_name}: expected {symbol!r} at line {tok.line}, "
+                f"got {tok.value!r}"
+            )
+
+    def check_kw(self, word: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "kw" and tok.value == word
+
+    def accept_kw(self, word: str) -> bool:
+        if self.check_kw(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_kw(self, word: str) -> None:
+        if not self.accept_kw(word):
+            tok = self.peek()
+            raise WeblangError(
+                f"{self.script_name}: expected {word!r} at line {tok.line}"
+            )
+
+    def expect_var(self) -> str:
+        tok = self.peek()
+        if tok.kind != "var":
+            raise WeblangError(
+                f"{self.script_name}: expected variable at line {tok.line}"
+            )
+        self.advance()
+        return tok.value
+
+    def expect_ident(self) -> str:
+        tok = self.peek()
+        if tok.kind != "ident":
+            raise WeblangError(
+                f"{self.script_name}: expected identifier at line {tok.line}"
+            )
+        self.advance()
+        return tok.value
+
+    # -- program ------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program(self.script_name)
+        while self.peek().kind != "eof":
+            if self.check_kw("function"):
+                decl = self.parse_function()
+                if decl.name in program.functions:
+                    raise WeblangError(
+                        f"{self.script_name}: duplicate function {decl.name}"
+                    )
+                program.functions[decl.name] = decl
+            else:
+                program.body.append(self.parse_statement())
+        program.node_count = self.next_nid
+        return program
+
+    def parse_function(self) -> FuncDecl:
+        node_id = self.nid()
+        self.expect_kw("function")
+        name = self.expect_ident()
+        self.expect_punct("(")
+        params: List[str] = []
+        if not self.check_punct(")"):
+            params.append(self.expect_var())
+            while self.accept_punct(","):
+                params.append(self.expect_var())
+        self.expect_punct(")")
+        body = self.parse_block()
+        return FuncDecl(name, params, body, node_id)
+
+    def parse_block(self) -> List[Node]:
+        self.expect_punct("{")
+        body: List[Node] = []
+        while not self.check_punct("}"):
+            if self.peek().kind == "eof":
+                raise WeblangError(f"{self.script_name}: unterminated block")
+            body.append(self.parse_statement())
+        self.expect_punct("}")
+        return body
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_statement(self) -> Node:
+        tok = self.peek()
+        if tok.kind == "kw":
+            if tok.value == "if":
+                return self.parse_if()
+            if tok.value == "while":
+                return self.parse_while()
+            if tok.value == "foreach":
+                return self.parse_foreach()
+            if tok.value == "echo":
+                return self.parse_echo()
+            if tok.value == "return":
+                node_id = self.nid()
+                self.advance()
+                expr = None
+                if not self.check_punct(";"):
+                    expr = self.parse_expr()
+                self.expect_punct(";")
+                return Return(expr, node_id)
+            if tok.value == "global":
+                node_id = self.nid()
+                self.advance()
+                names = [self.expect_var()]
+                while self.accept_punct(","):
+                    names.append(self.expect_var())
+                self.expect_punct(";")
+                return GlobalDecl(names, node_id)
+            if tok.value == "break":
+                node_id = self.nid()
+                self.advance()
+                self.expect_punct(";")
+                return Break(node_id)
+            if tok.value == "continue":
+                node_id = self.nid()
+                self.advance()
+                self.expect_punct(";")
+                return Continue(node_id)
+        if tok.kind == "var":
+            return self.parse_assign_or_expr()
+        # Bare expression statement (e.g. a call).
+        node_id = self.nid()
+        expr = self.parse_expr()
+        self.expect_punct(";")
+        return ExprStmt(expr, node_id)
+
+    def parse_assign_or_expr(self) -> Node:
+        node_id = self.nid()
+        name_tok = self.advance()
+        name = name_tok.value
+        # Collect index path: $x['a']['b'] or $x[] (append, assignment only).
+        path: List[Optional[Node]] = []
+        while self.check_punct("["):
+            self.advance()
+            if self.accept_punct("]"):
+                path.append(None)
+                break
+            path.append(self.parse_expr())
+            self.expect_punct("]")
+        tok = self.peek()
+        if tok.kind == "punct" and tok.value in ("++", "--"):
+            # Sugar: $x++; === $x = $x + 1;
+            self.advance()
+            self.expect_punct(";")
+            op = "+" if tok.value == "++" else "-"
+            if path:
+                base: Node = Var(name, self.nid())
+                for index_expr in path:
+                    if index_expr is None:
+                        raise WeblangError(
+                            f"{self.script_name}: cannot ++ an append slot"
+                        )
+                    base = Index(base, index_expr, self.nid())
+                incremented = BinOp(op, base, Lit(1, self.nid()), self.nid())
+                return IndexAssign(name, path, incremented, "", node_id)
+            incremented = BinOp(
+                op, Var(name, self.nid()), Lit(1, self.nid()), self.nid()
+            )
+            return Assign(name, incremented, "", node_id)
+        if tok.kind == "punct" and (
+            tok.value == "=" or tok.value in _COMPOUND_OPS
+        ):
+            self.advance()
+            op = "" if tok.value == "=" else _COMPOUND_OPS[tok.value]
+            expr = self.parse_expr()
+            self.expect_punct(";")
+            if path:
+                return IndexAssign(name, path, expr, op, node_id)
+            return Assign(name, expr, op, node_id)
+        # Not an assignment: re-parse as expression statement.  Rebuild the
+        # expression from what we consumed (variable + index path).
+        expr2: Node = Var(name, self.nid())
+        for index_expr in path:
+            if index_expr is None:
+                raise WeblangError(
+                    f"{self.script_name}: '[]' outside assignment at line "
+                    f"{tok.line}"
+                )
+            expr2 = Index(expr2, index_expr, self.nid())
+        expr2 = self.parse_expr_continued(expr2)
+        self.expect_punct(";")
+        return ExprStmt(expr2, node_id)
+
+    def parse_if(self) -> If:
+        node_id = self.nid()
+        self.expect_kw("if")
+        self.expect_punct("(")
+        cond = self.parse_expr()
+        self.expect_punct(")")
+        branches: List[Tuple[Node, List[Node]]] = [(cond, self.parse_block())]
+        else_body: Optional[List[Node]] = None
+        while True:
+            if self.accept_kw("elseif"):
+                self.expect_punct("(")
+                branch_cond = self.parse_expr()
+                self.expect_punct(")")
+                branches.append((branch_cond, self.parse_block()))
+                continue
+            if self.accept_kw("else"):
+                if self.check_kw("if"):
+                    self.advance()
+                    self.expect_punct("(")
+                    branch_cond = self.parse_expr()
+                    self.expect_punct(")")
+                    branches.append((branch_cond, self.parse_block()))
+                    continue
+                else_body = self.parse_block()
+            break
+        return If(branches, else_body, node_id)
+
+    def parse_while(self) -> While:
+        node_id = self.nid()
+        self.expect_kw("while")
+        self.expect_punct("(")
+        cond = self.parse_expr()
+        self.expect_punct(")")
+        return While(cond, self.parse_block(), node_id)
+
+    def parse_foreach(self) -> Foreach:
+        node_id = self.nid()
+        self.expect_kw("foreach")
+        self.expect_punct("(")
+        subject = self.parse_expr()
+        self.expect_kw("as")
+        first = self.expect_var()
+        key_var: Optional[str] = None
+        val_var = first
+        if self.accept_punct("=>"):
+            key_var = first
+            val_var = self.expect_var()
+        self.expect_punct(")")
+        return Foreach(subject, key_var, val_var, self.parse_block(), node_id)
+
+    def parse_echo(self) -> Echo:
+        node_id = self.nid()
+        self.expect_kw("echo")
+        exprs = [self.parse_expr()]
+        while self.accept_punct(","):
+            exprs.append(self.parse_expr())
+        self.expect_punct(";")
+        return Echo(exprs, node_id)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self) -> Node:
+        return self.parse_ternary()
+
+    def parse_expr_continued(self, left: Node) -> Node:
+        """Continue parsing an expression whose leftmost primary was already
+        consumed (used by parse_assign_or_expr)."""
+        left = self.parse_postfix_continued(left)
+        left = self.parse_binary_continued(left)
+        return self.parse_ternary_continued(left)
+
+    def parse_ternary(self) -> Node:
+        cond = self.parse_or()
+        return self.parse_ternary_continued(cond)
+
+    def parse_ternary_continued(self, cond: Node) -> Node:
+        if self.accept_punct("?"):
+            node_id = self.nid()
+            then = self.parse_expr()
+            self.expect_punct(":")
+            other = self.parse_expr()
+            return Ternary(cond, then, other, node_id)
+        return cond
+
+    _BIN_LEVELS = (
+        ("||",),
+        ("&&",),
+        ("==", "!=", "===", "!=="),
+        ("<", "<=", ">", ">="),
+        ("+", "-", "."),
+        ("*", "/", "%"),
+    )
+
+    def parse_or(self) -> Node:
+        return self.parse_binary(0)
+
+    def parse_binary(self, level: int) -> Node:
+        if level >= len(self._BIN_LEVELS):
+            return self.parse_unary()
+        left = self.parse_binary(level + 1)
+        ops = self._BIN_LEVELS[level]
+        while True:
+            tok = self.peek()
+            if tok.kind == "punct" and tok.value in ops:
+                self.advance()
+                right = self.parse_binary(level + 1)
+                left = BinOp(tok.value, left, right, self.nid())
+            else:
+                return left
+
+    def parse_binary_continued(self, left: Node) -> Node:
+        """Binary-operator climb with ``left`` already parsed (any level)."""
+        while True:
+            tok = self.peek()
+            matched = False
+            for level, ops in enumerate(self._BIN_LEVELS):
+                if tok.kind == "punct" and tok.value in ops:
+                    self.advance()
+                    right = self.parse_binary(level + 1)
+                    left = BinOp(tok.value, left, right, self.nid())
+                    matched = True
+                    break
+            if not matched:
+                return left
+
+    def parse_unary(self) -> Node:
+        tok = self.peek()
+        if tok.kind == "punct" and tok.value == "!":
+            self.advance()
+            return UnOp("!", self.parse_unary(), self.nid())
+        if tok.kind == "punct" and tok.value == "-":
+            self.advance()
+            return UnOp("-", self.parse_unary(), self.nid())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Node:
+        return self.parse_postfix_continued(self.parse_primary())
+
+    def parse_postfix_continued(self, base: Node) -> Node:
+        while self.check_punct("["):
+            self.advance()
+            index = self.parse_expr()
+            self.expect_punct("]")
+            base = Index(base, index, self.nid())
+        return base
+
+    def parse_primary(self) -> Node:
+        tok = self.peek()
+        if tok.kind in ("int", "float", "str"):
+            self.advance()
+            return Lit(tok.value, self.nid())
+        if tok.kind == "kw" and tok.value in ("true", "false", "null"):
+            self.advance()
+            value = {"true": True, "false": False, "null": None}[tok.value]
+            return Lit(value, self.nid())
+        if tok.kind == "var":
+            self.advance()
+            return Var(tok.value, self.nid())
+        if tok.kind == "ident":
+            name = tok.value
+            self.advance()
+            self.expect_punct("(")
+            args: List[Node] = []
+            if not self.check_punct(")"):
+                args.append(self.parse_expr())
+                while self.accept_punct(","):
+                    args.append(self.parse_expr())
+            self.expect_punct(")")
+            return Call(name, args, self.nid())
+        if self.accept_punct("("):
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if self.accept_punct("["):
+            node_id = self.nid()
+            items: List[Tuple[Optional[Node], Node]] = []
+            if not self.check_punct("]"):
+                items.append(self.parse_array_item())
+                while self.accept_punct(","):
+                    if self.check_punct("]"):
+                        break
+                    items.append(self.parse_array_item())
+            self.expect_punct("]")
+            return ArrayLit(items, node_id)
+        raise WeblangError(
+            f"{self.script_name}: unexpected token {tok.value!r} at line "
+            f"{tok.line}"
+        )
+
+    def parse_array_item(self) -> Tuple[Optional[Node], Node]:
+        first = self.parse_expr()
+        if self.accept_punct("=>"):
+            return (first, self.parse_expr())
+        return (None, first)
+
+
+def parse_program(source: str, script_name: str = "<script>") -> Program:
+    """Compile weblang source text into a :class:`Program`."""
+    return _Parser(tokenize(source), script_name).parse_program()

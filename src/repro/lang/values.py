@@ -1,0 +1,349 @@
+"""Runtime values and coercions shared by both interpreters.
+
+Value universe: ``None``, ``bool``, ``int``, ``float``, ``str``, and
+:class:`PhpArray` (PHP's single ordered-map array type, serving as both
+list and dict).  Coercion rules follow PHP closely enough for web-app code
+while staying deterministic and identical between the plain and accelerated
+interpreters — that identity is what Lemma 8 / "difference (ii)" of the
+paper's proof requires of an implementation.
+
+Arrays follow PHP's value semantics: both interpreters copy an array when
+it flows out of a variable or cell into a new storage location (assignment,
+argument passing, return, foreach binding, array-literal cells).  Aliasing
+across variables is therefore impossible, which is also what makes per-slot
+multivalue expansion sound in the accelerated interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.common.errors import WeblangError
+
+Key = Union[int, str]
+
+
+class PhpArray:
+    """PHP-style array: one insertion-ordered map with int/str keys.
+
+    ``append`` uses the next-integer-index rule: the key is one more than
+    the largest integer key ever inserted (PHP semantics).
+    """
+
+    __slots__ = ("data", "_next_index")
+
+    def __init__(self) -> None:
+        self.data: Dict[Key, object] = {}
+        self._next_index = 0
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def from_list(items: List[object]) -> "PhpArray":
+        array = PhpArray()
+        for item in items:
+            array.append(item)
+        return array
+
+    @staticmethod
+    def from_dict(mapping: Dict[Key, object]) -> "PhpArray":
+        array = PhpArray()
+        for key, value in mapping.items():
+            array.set(key, value)
+        return array
+
+    # -- mutation --------------------------------------------------------------
+
+    @staticmethod
+    def _norm_key(key: object) -> Key:
+        """PHP normalizes bool/float/numeric-string keys to int."""
+        if isinstance(key, bool):
+            return int(key)
+        if isinstance(key, int):
+            return key
+        if isinstance(key, float):
+            return int(key)
+        if isinstance(key, str):
+            # Canonical integer strings become int keys, as in PHP.
+            body = key[1:] if key.startswith("-") else key
+            if body and all(ch in "0123456789" for ch in body):
+                as_int = int(key)
+                if str(as_int) == key:
+                    return as_int
+            return key
+        if key is None:
+            return ""
+        raise WeblangError(f"illegal array key {key!r}")
+
+    def set(self, key: object, value: object) -> None:
+        norm = self._norm_key(key)
+        self.data[norm] = value
+        if isinstance(norm, int) and norm >= self._next_index:
+            self._next_index = norm + 1
+
+    def append(self, value: object) -> None:
+        self.data[self._next_index] = value
+        self._next_index += 1
+
+    def get(self, key: object) -> object:
+        return self.data.get(self._norm_key(key))
+
+    def has(self, key: object) -> bool:
+        return self._norm_key(key) in self.data
+
+    def remove(self, key: object) -> None:
+        self.data.pop(self._norm_key(key), None)
+
+    # -- views -------------------------------------------------------------
+
+    def keys(self) -> List[Key]:
+        return list(self.data.keys())
+
+    def values(self) -> List[object]:
+        return list(self.data.values())
+
+    def items(self) -> List[Tuple[Key, object]]:
+        return list(self.data.items())
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __iter__(self) -> Iterator[Key]:
+        return iter(self.data)
+
+    def copy(self) -> "PhpArray":
+        twin = PhpArray()
+        twin.data = dict(self.data)
+        twin._next_index = self._next_index
+        return twin
+
+    def deep_copy(self) -> "PhpArray":
+        twin = PhpArray()
+        twin._next_index = self._next_index
+        for key, value in self.data.items():
+            if isinstance(value, PhpArray):
+                twin.data[key] = value.deep_copy()
+            else:
+                twin.data[key] = value
+        return twin
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PhpArray):
+            return NotImplemented
+        return self.data == other.data
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("PhpArray is unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k!r}: {v!r}" for k, v in self.data.items())
+        return f"PhpArray({{{inner}}})"
+
+
+# --------------------------------------------------------------------------
+# Coercions
+# --------------------------------------------------------------------------
+
+
+def truthy(value: object) -> bool:
+    """PHP truthiness: "", "0", 0, 0.0, null, [] are false."""
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value != 0
+    if isinstance(value, float):
+        return value != 0.0
+    if isinstance(value, str):
+        return value not in ("", "0")
+    if isinstance(value, PhpArray):
+        return len(value) > 0
+    raise WeblangError(f"cannot test truthiness of {type(value).__name__}")
+
+
+def to_str(value: object) -> str:
+    """String conversion, used by echo and the ``.`` operator."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "1" if value else ""
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, PhpArray):
+        return "Array"
+    raise WeblangError(f"cannot convert {type(value).__name__} to string")
+
+
+def to_int(value: object) -> int:
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return int(value)
+    if isinstance(value, str):
+        stripped = value.strip()
+        sign = 1
+        if stripped.startswith(("-", "+")):
+            sign = -1 if stripped[0] == "-" else 1
+            stripped = stripped[1:]
+        digits = ""
+        for ch in stripped:
+            if ch in "0123456789":
+                digits += ch
+            else:
+                break
+        return sign * int(digits) if digits else 0
+    if isinstance(value, PhpArray):
+        return 1 if len(value) else 0
+    raise WeblangError(f"cannot convert {type(value).__name__} to int")
+
+
+def to_float(value: object) -> float:
+    if isinstance(value, float):
+        return value
+    if isinstance(value, str):
+        stripped = value.strip()
+        out = ""
+        seen_dot = False
+        for index, ch in enumerate(stripped):
+            if ch in "0123456789":
+                out += ch
+            elif ch == "." and not seen_dot:
+                seen_dot = True
+                out += ch
+            elif ch in "+-" and index == 0:
+                out += ch
+            else:
+                break
+        try:
+            return float(out) if out not in ("", "+", "-", ".") else 0.0
+        except ValueError:  # pragma: no cover - filtered above
+            return 0.0
+    return float(to_int(value))
+
+
+def _numeric(value: object) -> Optional[Union[int, float]]:
+    """Return the numeric interpretation if the value is number-like."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    return None
+
+
+def _numeric_string(value: object) -> Optional[Union[int, float]]:
+    """The numeric value of a fully-numeric string, else None."""
+    if not isinstance(value, str):
+        return None
+    stripped = value.strip()
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        return None
+
+
+def arith(op: str, left: object, right: object) -> object:
+    """Arithmetic with PHP-ish coercion (strings coerce to numbers)."""
+    lnum = _numeric(left)
+    rnum = _numeric(right)
+    if lnum is None:
+        lnum = to_float(left) if _looks_float(left) else to_int(left)
+    if rnum is None:
+        rnum = to_float(right) if _looks_float(right) else to_int(right)
+    if op == "+":
+        return lnum + rnum
+    if op == "-":
+        return lnum - rnum
+    if op == "*":
+        return lnum * rnum
+    if op == "/":
+        if rnum == 0:
+            raise WeblangError("division by zero")
+        result = lnum / rnum
+        if isinstance(lnum, int) and isinstance(rnum, int) and lnum % rnum == 0:
+            return lnum // rnum
+        return result
+    if op == "%":
+        if to_int(rnum) == 0:
+            raise WeblangError("modulo by zero")
+        return to_int(lnum) % to_int(rnum)
+    raise WeblangError(f"unknown arithmetic operator {op!r}")
+
+
+def _looks_float(value: object) -> bool:
+    return isinstance(value, str) and "." in value
+
+
+def loose_eq(left: object, right: object) -> bool:
+    """The ``==`` operator.
+
+    Simplified PHP juggling: numbers compare numerically (int vs float ok);
+    bools compare by truthiness against anything; otherwise same-type value
+    equality.  Deterministic, and identical across both interpreters.
+    """
+    if isinstance(left, bool) or isinstance(right, bool):
+        return truthy(left) == truthy(right)
+    lnum = _numeric(left)
+    rnum = _numeric(right)
+    if lnum is not None and rnum is not None:
+        return lnum == rnum
+    # PHP juggling: a number against a numeric string compares numerically
+    # ("5" == 5 is true; "5a" == 5 is not — PHP 8 semantics).
+    if lnum is not None and rnum is None:
+        rstr = _numeric_string(right)
+        return rstr is not None and lnum == rstr
+    if rnum is not None and lnum is None:
+        lstr = _numeric_string(left)
+        return lstr is not None and lstr == rnum
+    if left is None or right is None:
+        return left is None and right is None
+    if isinstance(left, PhpArray) and isinstance(right, PhpArray):
+        return left == right
+    if type(left) is type(right):
+        return left == right
+    return False
+
+
+def strict_eq(left: object, right: object) -> bool:
+    """The ``===`` operator: same type and same value (no juggling)."""
+    if type(left) is not type(right):
+        return False
+    if isinstance(left, PhpArray):
+        return left == right
+    return left == right
+
+
+def compare(op: str, left: object, right: object) -> bool:
+    """Relational comparison (< <= > >=)."""
+    lnum = _numeric(left)
+    rnum = _numeric(right)
+    if lnum is not None and rnum is not None:
+        pair = (lnum, rnum)
+    elif isinstance(left, str) and isinstance(right, str):
+        pair = (left, right)
+    else:
+        pair = (to_float(left), to_float(right))
+    lval, rval = pair
+    if op == "<":
+        return lval < rval
+    if op == "<=":
+        return lval <= rval
+    if op == ">":
+        return lval > rval
+    if op == ">=":
+        return lval >= rval
+    raise WeblangError(f"unknown comparison {op!r}")

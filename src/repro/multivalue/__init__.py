@@ -1,0 +1,11 @@
+"""Multivalue types for SIMD-on-demand execution (Sections 3.1, 4.3)."""
+
+from repro.multivalue.multivalue import (
+    MultiValue,
+    collapse,
+    components,
+    is_multi,
+    make_multi,
+)
+
+__all__ = ["MultiValue", "collapse", "components", "is_multi", "make_multi"]

@@ -1,0 +1,29 @@
+"""Shared state objects (Sections 3.2, 4.4) and their audit-time forms.
+
+Three object types, as in OROCHI:
+
+* **Atomic registers** (:class:`AtomicRegister`) — per-user session data,
+  named by browser cookie.
+* **Key-value stores** (:class:`KVStore`) — linearizable single-key
+  get/set; models the Alternative PHP Cache (APC).
+* **SQL databases** — live in :mod:`repro.sql` (they are large enough to be
+  their own subpackage).
+
+The audit-time versioned key-value store (:class:`VersionedKV`, Section
+A.7) is also here; the versioned database lives in
+:mod:`repro.sql.versioned`.
+"""
+
+from repro.objects.base import OpRecord, OpType, StateObject
+from repro.objects.register import AtomicRegister
+from repro.objects.kvstore import KVStore
+from repro.objects.versioned_kv import VersionedKV
+
+__all__ = [
+    "AtomicRegister",
+    "KVStore",
+    "OpRecord",
+    "OpType",
+    "StateObject",
+    "VersionedKV",
+]

@@ -1,0 +1,37 @@
+"""Linearizable key-value store (Section 4.4).
+
+Models the shared-memory structures PHP applications use across requests —
+canonically the Alternative PHP Cache (APC).  Interface is single-key
+``get``/``set``; semantics are linearizable, which the simulated executor
+provides by performing one operation at a time.
+
+``get`` of an absent key returns ``None`` (like ``apc_fetch`` returning
+false); applications test with ``isset``.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict
+
+from repro.objects.base import StateObject
+
+
+class KVStore(StateObject):
+    """In-memory linearizable KV store."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.data: Dict[str, object] = {}
+
+    def get(self, key: str) -> object:
+        return self.data.get(key)
+
+    def set(self, key: str, value: object) -> None:
+        self.data[key] = value
+
+    def snapshot(self) -> object:
+        return copy.deepcopy(self.data)
+
+    def restore(self, snap: object) -> None:
+        self.data = copy.deepcopy(snap)

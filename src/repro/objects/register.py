@@ -1,0 +1,43 @@
+"""Atomic registers (Sections 3.2-3.3, 4.4).
+
+A register exposes ``read() -> value`` and ``write(value)`` with atomic
+semantics (Lamport).  OROCHI uses registers to model per-user persistent
+state ("session data"): the register's *name* is the user's session cookie,
+the read happens when the runtime materializes the session variable, and the
+write happens when PHP code stores it back (or at end of request).
+
+Registers are initialized to a known value (``None`` by default; the
+examples in Figure 4 initialize to 0) so that a read with no preceding
+logged write is meaningful *online*.  At audit time, SimOp rejects a read
+with no preceding write in the log unless the verifier seeded the log with
+the initial state — the executor's recording library therefore logs a
+synthetic initial write when a register is created, exactly so that audits
+can replay from the beginning of the epoch (Section 4.1, "Persistent
+objects").
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.objects.base import StateObject
+
+
+class AtomicRegister(StateObject):
+    """A single atomic read/write cell."""
+
+    def __init__(self, name: str, initial: object = None):
+        super().__init__(name)
+        self.value = initial
+
+    def read(self) -> object:
+        return self.value
+
+    def write(self, value: object) -> None:
+        self.value = value
+
+    def snapshot(self) -> object:
+        return copy.deepcopy(self.value)
+
+    def restore(self, snap: object) -> None:
+        self.value = copy.deepcopy(snap)

@@ -1,0 +1,67 @@
+"""Audit-time versioned key-value store (Sections 4.5, A.7).
+
+Requirement (Appendix A.7): letting ``i`` identify the KV object and its
+operation log, ``kv.get(k, s)`` must be equivalent to replaying
+``OL_i[1..s-1]`` into a fresh store and then invoking ``get(k)``.
+
+Implementation, as in the paper: a map from key to a list of
+``(seq, value)`` pairs built from all the KvSet operations in the log
+(:meth:`build`); ``get(k, s)`` binary-searches for the pair with the highest
+seq **less than** ``s`` and returns its value (or ``None`` — the "no such
+pair" case, matching a live store where the key was never set).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence, Tuple
+
+from repro.objects.base import OpRecord, OpType
+
+
+class VersionedKV:
+    """Versioned snapshot reader over a KV operation log."""
+
+    def __init__(self) -> None:
+        # key -> parallel lists of seqs (sorted ascending) and values.
+        self._seqs: Dict[str, List[int]] = {}
+        self._values: Dict[str, List[object]] = {}
+        self.built_ops = 0
+
+    def build(self, log: Sequence[OpRecord]) -> None:
+        """``kv.Build(OL_i)`` (Figure 12, line 5).
+
+        Consumes all KvSet entries; KvGet entries carry no state.  Sequence
+        numbers are 1-based log positions, matching OpMap's ``seqnum``.
+        """
+        for index, record in enumerate(log):
+            seq = index + 1
+            if record.optype is OpType.KV_SET:
+                key, value = record.opcontents
+                self._seqs.setdefault(key, []).append(seq)
+                self._values.setdefault(key, []).append(value)
+            self.built_ops += 1
+        # Log order is ascending by construction; assert cheaply.
+        for key, seqs in self._seqs.items():
+            if any(a >= b for a, b in zip(seqs, seqs[1:])):
+                raise AssertionError(f"non-monotonic seqs for key {key!r}")
+
+    def get(self, key: str, s: int) -> object:
+        """Value of ``key`` as of log position ``s`` (exclusive)."""
+        seqs = self._seqs.get(key)
+        if not seqs:
+            return None
+        pos = bisect.bisect_left(seqs, s)
+        if pos == 0:
+            return None
+        return self._values[key][pos - 1]
+
+    def latest_state(self) -> Dict[str, object]:
+        """Final state after the whole log; becomes the next epoch's
+        starting state (Section 4.1, "Persistent objects")."""
+        return {
+            key: values[-1] for key, values in self._values.items() if values
+        }
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(self._seqs.keys())

@@ -1,0 +1,42 @@
+"""The online server: executor, recording library, reports (Sections 2, 4).
+
+:class:`Executor` plays the paper's *executor* role: it serves requests
+concurrently (simulated cooperative concurrency, interleaving requests at
+shared-object operation boundaries, which is where the model's threads can
+be distinguished; §3.2), and — in its well-behaved form — runs the recording
+library that produces the four report types:
+
+1. control-flow groupings ``C`` (tag -> requestIDs);
+2. per-object operation logs ``OL_i``;
+3. per-request operation counts ``M``;
+4. non-determinism records (§4.6).
+
+:mod:`repro.server.faulty` provides tamper operators that turn an honest
+execution's trace/reports into the adversarial inputs used by the soundness
+tests.
+"""
+
+from repro.server.app import Application, InitialState
+from repro.server.reports import NondetRecord, Reports
+from repro.server.scheduler import (
+    FifoScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+)
+from repro.server.executor import ExecutionResult, Executor
+from repro.server.nondet import NondetSource
+
+__all__ = [
+    "Application",
+    "ExecutionResult",
+    "Executor",
+    "FifoScheduler",
+    "InitialState",
+    "NondetRecord",
+    "NondetSource",
+    "RandomScheduler",
+    "Reports",
+    "RoundRobinScheduler",
+    "ScriptedScheduler",
+]

@@ -1,0 +1,80 @@
+"""Application bundles and initial state.
+
+An :class:`Application` is what the principal deploys: a set of weblang
+scripts (the program), the database schema and seed data, and the names of
+the shared objects.  Both the executor and the verifier hold the same
+Application — "the verifier and the server need not run the same program —
+only the same logic" (§7); here they run the same scripts through different
+runtimes (plain vs accelerated).
+
+:class:`InitialState` captures the shared objects' contents at the start of
+the audited epoch.  The verifier needs it to replay from the epoch start
+(§4.1, "Persistent objects"); between contiguous audits it is produced by
+the previous audit's migration step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.lang.ast import Program
+from repro.lang.interp import freeze_value
+from repro.lang.parser import parse_program
+from repro.sql.engine import Engine
+
+
+@dataclass
+class Application:
+    """The deployed program plus its object configuration."""
+
+    name: str
+    scripts: Dict[str, Program]
+    db_setup: str = ""
+    kv_initial: Dict[str, object] = field(default_factory=dict)
+    db_name: str = "db:main"
+    kv_name: str = "kv:apc"
+    session_cookie: str = "sess"
+
+    @staticmethod
+    def from_sources(
+        name: str,
+        sources: Dict[str, str],
+        db_setup: str = "",
+        kv_initial: Optional[Dict[str, object]] = None,
+    ) -> "Application":
+        """Compile script sources into an Application."""
+        scripts = {
+            script_name: parse_program(text, script_name)
+            for script_name, text in sources.items()
+        }
+        frozen_kv = {
+            key: freeze_value(value)
+            for key, value in (kv_initial or {}).items()
+        }
+        return Application(name, scripts, db_setup, frozen_kv)
+
+    def script(self, name: str) -> Program:
+        program = self.scripts.get(name)
+        if program is None:
+            raise KeyError(f"application {self.name!r} has no script {name!r}")
+        return program
+
+
+@dataclass
+class InitialState:
+    """Shared-object contents at the start of the audited epoch.
+
+    ``registers`` maps register name -> frozen value.  A register absent
+    from the map is a fresh register whose initial value is ``None`` (a new
+    session).
+    """
+
+    db_engine: Engine
+    kv: Dict[str, object] = field(default_factory=dict)
+    registers: Dict[str, object] = field(default_factory=dict)
+
+    def copy(self) -> "InitialState":
+        return InitialState(
+            self.db_engine.deep_copy(), dict(self.kv), dict(self.registers)
+        )

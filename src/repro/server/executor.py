@@ -1,0 +1,373 @@
+"""The well-behaved concurrent executor with the recording library.
+
+Concurrency model (§3.2): each request runs in its own logical thread;
+threads interleave arbitrarily; shared-object operations are blocking and
+atomic.  The executor realizes this with cooperative scheduling at
+operation boundaries: each admitted request is a suspended interpreter
+generator, and one *step* = (perform the request's pending object
+operation, resume it until its next operation or completion).  Because
+threads can only influence each other through object operations, every
+externally observable behaviour of the preemptive model corresponds to some
+cooperative schedule, and vice versa.
+
+Recording (the honest executor's side of the audit protocol):
+
+* **opnum assignment**: a per-request counter; register and KV operations
+  and auto-commit DB statements each take one opnum; a whole DB transaction
+  takes exactly one (§4.4, §A.7).
+* **operation logs**: register/KV ops are appended to per-object logs in
+  admission order (the object is touched at that instant, so log order is
+  the true serialization order); DB ops are logged by the
+  :class:`~repro.sql.database.Database` into per-connection sub-logs merged
+  by the stitching step (§4.7).
+* **control-flow tags**: the plain interpreter's branch digest (§4.3).
+* **non-determinism**: values from :class:`NondetSource` recorded per
+  request in call order (§4.6).
+
+A request whose script raises an error receives the fixed 500 response
+body; an open transaction is rolled back first (and the rollback is logged,
+so the audit can replay the same fate).  A request can also be *dropped*
+mid-flight (``fail_rids``) to model client resets: the collector then
+records a response with ``abort_info`` and no body, keeping the trace
+balanced (§3).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.common.errors import WeblangError
+from repro.lang.interp import (
+    ExternalIntent,
+    Interpreter,
+    NondetIntent,
+    StateOpIntent,
+)
+from repro.objects.base import OpRecord, OpType
+from repro.objects.kvstore import KVStore
+from repro.objects.register import AtomicRegister
+from repro.server.app import Application, InitialState
+from repro.server.nondet import NondetSource
+from repro.server.reports import NondetRecord, Reports
+from repro.server.scheduler import FifoScheduler, Scheduler
+from repro.sql.database import Database
+from repro.trace.collector import Collector
+from repro.trace.events import ExternalRequest, Request, Response
+from repro.trace.trace import Trace
+
+ERROR_BODY = "500 Internal Server Error"
+
+
+@dataclass
+class ExecutionResult:
+    """Everything the online phase hands to the audit (plus stats)."""
+
+    trace: Trace
+    reports: Reports
+    initial_state: InitialState
+    server_seconds: float = 0.0
+    recording_seconds: float = 0.0
+    steps: int = 0
+    final_state: Optional[InitialState] = None
+
+
+class _Task:
+    __slots__ = ("rid", "request", "gen", "pending", "opnum", "started",
+                 "done")
+
+    def __init__(self, rid: str, request: Request, gen) -> None:
+        self.rid = rid
+        self.request = request
+        self.gen = gen
+        self.pending: object = None
+        self.opnum = 0
+        self.started = False
+        self.done = False
+
+
+class Executor:
+    """Serves a request list concurrently and records reports."""
+
+    def __init__(
+        self,
+        app: Application,
+        scheduler: Optional[Scheduler] = None,
+        max_concurrency: int = 8,
+        nondet: Optional[NondetSource] = None,
+        record: bool = True,
+        fail_rids: Optional[Set[str]] = None,
+        db_abort_hook=None,
+        initial_state: Optional[InitialState] = None,
+    ):
+        self.app = app
+        self.scheduler = scheduler or FifoScheduler()
+        self.max_concurrency = max(1, max_concurrency)
+        self.nondet = nondet or NondetSource()
+        self.record = record
+        self.fail_rids = fail_rids or set()
+        self.db_abort_hook = db_abort_hook
+        #: Start from this state instead of the app's setup scripts —
+        #: used for continuous operation across audit epochs (§4.1).
+        self.initial_state = initial_state
+
+    # -- main loop ----------------------------------------------------------
+
+    def serve(self, requests: Sequence[Request]) -> ExecutionResult:
+        app = self.app
+        db = Database(app.db_name)
+        kv = KVStore(app.kv_name)
+        registers: Dict[str, AtomicRegister] = {}
+        if self.initial_state is not None:
+            db.engine = self.initial_state.db_engine.deep_copy()
+            kv.data.update(self.initial_state.kv)
+            for name, value in self.initial_state.registers.items():
+                registers[name] = AtomicRegister(name, value)
+        else:
+            if app.db_setup:
+                db.setup(app.db_setup)
+            kv.data.update(app.kv_initial)
+        db.abort_hook = self.db_abort_hook
+
+        initial_state = InitialState(
+            db.initial_snapshot(),
+            dict(kv.data),
+            {name: reg.value for name, reg in registers.items()},
+        )
+
+        collector = Collector()
+        reports = Reports()
+        interp = Interpreter(
+            db_name=app.db_name,
+            kv_name=app.kv_name,
+            session_cookie=app.session_cookie,
+            record_flow=self.record,
+        )
+
+        queue: List[Request] = list(requests)
+        queue_pos = 0
+        inflight: Dict[str, _Task] = {}
+        order: List[str] = []  # admission order, for FIFO fairness
+        steps = 0
+        started_at = _time.perf_counter()
+        recording_seconds = 0.0
+
+        def admit() -> None:
+            nonlocal queue_pos
+            while (
+                queue_pos < len(queue)
+                and len(inflight) < self.max_concurrency
+            ):
+                request = queue[queue_pos]
+                queue_pos += 1
+                program = app.script(request.script)
+                task = _Task(
+                    request.rid, request, interp.run(program, request)
+                )
+                inflight[request.rid] = task
+                order.append(request.rid)
+                collector.observe_request(request)
+
+        def ready_rids() -> List[str]:
+            ready = []
+            for rid in order:
+                task = inflight.get(rid)
+                if task is None:
+                    continue
+                if not task.started:
+                    ready.append(rid)
+                    continue
+                intent = task.pending
+                if (
+                    isinstance(intent, StateOpIntent)
+                    and intent.kind.startswith("db_")
+                    and db.would_block(rid)
+                ):
+                    continue  # parked until the DB object is released
+                ready.append(rid)
+            return ready
+
+        def finish(task: _Task, body: Optional[str],
+                   abort_info: Optional[str] = None) -> None:
+            nonlocal recording_seconds
+            rid = task.rid
+            task.done = True
+            del inflight[rid]
+            order.remove(rid)
+            if abort_info is not None:
+                collector.observe_response(
+                    Response(rid, None, status=0, abort_info=abort_info)
+                )
+            else:
+                collector.observe_response(Response(rid, body))
+            if self.record:
+                t0 = _time.perf_counter()
+                reports.op_counts[rid] = task.opnum
+                recording_seconds += _time.perf_counter() - t0
+
+        def record_flow(rid: str, tag: Optional[str]) -> None:
+            nonlocal recording_seconds
+            if not self.record or tag is None:
+                return
+            t0 = _time.perf_counter()
+            reports.groups.setdefault(tag, []).append(rid)
+            recording_seconds += _time.perf_counter() - t0
+
+        def log_op(obj: str, record: OpRecord) -> None:
+            nonlocal recording_seconds
+            if not self.record:
+                return
+            t0 = _time.perf_counter()
+            reports.op_logs.setdefault(obj, []).append(record)
+            recording_seconds += _time.perf_counter() - t0
+
+        def perform(task: _Task, intent: StateOpIntent) -> object:
+            rid = task.rid
+            kind = intent.kind
+            if kind == "db_statement":
+                sql = intent.args[0]
+                if db.in_transaction(rid):
+                    return db.execute(rid, task.opnum, sql)
+                task.opnum += 1
+                return db.execute(rid, task.opnum, sql)
+            if kind == "db_begin":
+                task.opnum += 1
+                db.begin(rid, task.opnum)
+                return None
+            if kind == "db_commit":
+                return db.commit(rid)
+            if kind == "db_rollback":
+                db.rollback(rid)
+                return None
+            if kind == "kv_get":
+                task.opnum += 1
+                key = intent.args[0]
+                value = kv.get(key)
+                log_op(
+                    intent.obj,
+                    OpRecord(rid, task.opnum, OpType.KV_GET, (key,)),
+                )
+                return value
+            if kind == "kv_set":
+                task.opnum += 1
+                key, value = intent.args
+                kv.set(key, value)
+                log_op(
+                    intent.obj,
+                    OpRecord(rid, task.opnum, OpType.KV_SET, (key, value)),
+                )
+                return None
+            if kind == "register_read":
+                task.opnum += 1
+                register = registers.get(intent.obj)
+                if register is None:
+                    register = AtomicRegister(intent.obj)
+                    registers[intent.obj] = register
+                value = register.read()
+                log_op(
+                    intent.obj,
+                    OpRecord(rid, task.opnum, OpType.REGISTER_READ, ()),
+                )
+                return value
+            if kind == "register_write":
+                task.opnum += 1
+                register = registers.get(intent.obj)
+                if register is None:
+                    register = AtomicRegister(intent.obj)
+                    registers[intent.obj] = register
+                value = intent.args[0]
+                register.write(value)
+                log_op(
+                    intent.obj,
+                    OpRecord(
+                        rid, task.opnum, OpType.REGISTER_WRITE, (value,)
+                    ),
+                )
+                return None
+            raise WeblangError(f"unknown state op kind {kind}")
+
+        def handle_nondet(task: _Task, intent: NondetIntent) -> object:
+            nonlocal recording_seconds
+            value = self.nondet.call(intent.func, intent.args)
+            if self.record:
+                t0 = _time.perf_counter()
+                reports.nondet.setdefault(task.rid, []).append(
+                    NondetRecord(intent.func, intent.args, value)
+                )
+                recording_seconds += _time.perf_counter() - t0
+            return value
+
+        def step(task: _Task) -> None:
+            nonlocal steps
+            steps += 1
+            try:
+                if not task.started:
+                    task.started = True
+                    task.pending = next(task.gen)
+                else:
+                    intent = task.pending
+                    result = perform(task, intent)
+                    task.pending = task.gen.send(result)
+                # Non-deterministic calls and outbound externals are not
+                # scheduling points: resolve them immediately (they touch
+                # no shared state).
+                while isinstance(task.pending, (NondetIntent,
+                                                ExternalIntent)):
+                    if isinstance(task.pending, ExternalIntent):
+                        collector.observe_external(ExternalRequest(
+                            task.rid, task.pending.service,
+                            task.pending.content,
+                        ))
+                        task.pending = task.gen.send(True)
+                    else:
+                        value = handle_nondet(task, task.pending)
+                        task.pending = task.gen.send(value)
+            except StopIteration as stop:
+                output = stop.value
+                record_flow(task.rid, output.flow_tag)
+                if task.rid in self.fail_rids:
+                    finish(task, None, abort_info="client reset")
+                else:
+                    finish(task, output.body)
+            except WeblangError:
+                # Application error: roll back any open transaction and
+                # deliver the fixed error page (deterministically
+                # reproducible at audit time).
+                if db.in_transaction(task.rid):
+                    db.rollback(task.rid)
+                record_flow(task.rid, f"error:{task.request.script}")
+                finish(task, ERROR_BODY)
+
+        admit()
+        while inflight or queue_pos < len(queue):
+            admit()
+            ready = ready_rids()
+            if not ready:  # pragma: no cover - single-DB model cannot jam
+                raise RuntimeError("executor deadlock: no ready requests")
+            rid = self.scheduler.pick(ready)
+            step(inflight[rid])
+
+        server_seconds = _time.perf_counter() - started_at
+
+        if self.record:
+            t0 = _time.perf_counter()
+            db_log = db.stitch_log()
+            if db_log:
+                reports.op_logs[app.db_name] = db_log
+            recording_seconds += _time.perf_counter() - t0
+
+        final_state = InitialState(
+            db.engine.deep_copy(),
+            dict(kv.data),
+            {name: reg.value for name, reg in registers.items()},
+        )
+        return ExecutionResult(
+            trace=collector.trace,
+            reports=reports,
+            initial_state=initial_state,
+            server_seconds=server_seconds,
+            recording_seconds=recording_seconds,
+            steps=steps,
+            final_state=final_state,
+        )

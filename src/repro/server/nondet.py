@@ -1,0 +1,53 @@
+"""Simulated sources of non-determinism (§4.6).
+
+The server's environment supplies time, randomness, unique ids, and the
+process id.  In OROCHI these come from PHP built-ins; here they come from a
+deterministic simulation seeded per server run, which makes whole-system
+tests reproducible while still exercising every recording and replay path.
+
+The source enforces exactly the plausibility properties the verifier later
+checks: time is monotonically non-decreasing and the pid is constant.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.common.errors import WeblangError
+from repro.lang.values import to_int
+
+
+class NondetSource:
+    """Deterministic stand-in for the server's non-deterministic calls."""
+
+    def __init__(
+        self,
+        start_time: int = 1_500_000_000,
+        seed: int = 20171028,  # SOSP'17 opening day
+        pid: int = 4242,
+    ):
+        self._clock = start_time
+        self._rng = random.Random(seed)
+        self._pid = pid
+        self._uniq = 0
+
+    def call(self, func: str, args: Tuple) -> object:
+        if func == "time":
+            self._clock += 1
+            return self._clock
+        if func == "microtime":
+            self._clock += 1
+            return float(self._clock) + 0.5
+        if func in ("rand", "mt_rand"):
+            low = to_int(args[0]) if len(args) >= 1 else 0
+            high = to_int(args[1]) if len(args) >= 2 else 2**31 - 1
+            if low > high:
+                raise WeblangError("rand() with min > max")
+            return self._rng.randint(low, high)
+        if func == "uniqid":
+            self._uniq += 1
+            return f"uid{self._uniq:08x}"
+        if func == "getpid":
+            return self._pid
+        raise WeblangError(f"unknown non-deterministic builtin {func}")

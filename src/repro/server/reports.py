@@ -1,0 +1,89 @@
+"""The untrusted reports (Sections 3, 4.6).
+
+``Reports`` carries the four report types the executor maintains for the
+audit.  Everything here is *data the verifier must not trust*: the audit
+algorithms validate it; the tamper operators in
+:mod:`repro.server.faulty` corrupt it for the soundness tests.
+
+Sizes: :meth:`Reports.size_bytes` approximates the compressed-report
+accounting of Figure 8 (we report raw structure sizes; the paper's
+compression constant does not change the ratios' shape).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.objects.base import OpRecord
+
+
+@dataclass(frozen=True)
+class NondetRecord:
+    """One recorded non-deterministic built-in invocation (§4.6)."""
+
+    func: str
+    args: Tuple
+    value: object
+
+    def size_bytes(self) -> int:
+        return len(self.func) + 2 + len(str(self.args)) + len(str(self.value))
+
+
+@dataclass
+class Reports:
+    """All four report types, as delivered by the executor."""
+
+    #: C: control-flow tag -> requestIDs (§3.1).
+    groups: Dict[str, List[str]] = field(default_factory=dict)
+    #: OL_i: object name -> operation log (§3.3).
+    op_logs: Dict[str, List[OpRecord]] = field(default_factory=dict)
+    #: M: requestID -> total op count (§3.3).
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    #: rid -> recorded non-deterministic values, in call order (§4.6).
+    nondet: Dict[str, List[NondetRecord]] = field(default_factory=dict)
+
+    def deep_copy(self) -> "Reports":
+        """Independent copy (tamper tests mutate copies)."""
+        return Reports(
+            {tag: list(rids) for tag, rids in self.groups.items()},
+            {name: list(log) for name, log in self.op_logs.items()},
+            dict(self.op_counts),
+            {rid: list(records) for rid, records in self.nondet.items()},
+        )
+
+    # -- accounting -------------------------------------------------------
+
+    def op_count_total(self) -> int:
+        return sum(len(log) for log in self.op_logs.values())
+
+    def size_bytes(self) -> Dict[str, int]:
+        """Per-component approximate sizes in bytes."""
+        groups_size = sum(
+            16 + sum(len(rid) for rid in rids)
+            for rids in self.groups.values()
+        )
+        logs_size = sum(
+            sum(record.size_bytes() for record in log)
+            for log in self.op_logs.values()
+        )
+        counts_size = sum(len(rid) + 4 for rid in self.op_counts)
+        nondet_size = sum(
+            sum(record.size_bytes() for record in records)
+            for records in self.nondet.values()
+        )
+        return {
+            "groups": groups_size,
+            "op_logs": logs_size,
+            "op_counts": counts_size,
+            "nondet": nondet_size,
+        }
+
+    def total_size_bytes(self) -> int:
+        return sum(self.size_bytes().values())
+
+    def baseline_size_bytes(self) -> int:
+        """Report bytes a non-accelerated record-replay baseline would need
+        (§5.1): just the non-determinism records."""
+        return self.size_bytes()["nondet"]

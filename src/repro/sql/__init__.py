@@ -1,0 +1,35 @@
+"""A from-scratch mini SQL database (Sections 4.4-4.5 substrate).
+
+The paper's DB object requirements (Section 4.4):
+
+* single-query statements and multi-query transactions;
+* strict serializability (one atomic object);
+* transactions cannot enclose other object operations.
+
+This subpackage provides:
+
+* :mod:`repro.sql.lexer` / :mod:`repro.sql.parser` / :mod:`repro.sql.ast` —
+  a SQL dialect large enough for the three applications (CREATE TABLE,
+  INSERT, UPDATE, DELETE, SELECT with WHERE/ORDER BY/LIMIT, aggregates,
+  LIKE, arithmetic);
+* :mod:`repro.sql.engine` — the in-memory storage engine;
+* :mod:`repro.sql.database` — the live, lockable, logging DB object;
+* :mod:`repro.sql.versioned` — the audit-time versioned store (Warp-style
+  ``start_ts``/``end_ts``), the redo pass, migration, and the per-table
+  write-version index used by read-query deduplication.
+"""
+
+from repro.sql.parser import parse_sql, parse_script
+from repro.sql.engine import Engine, StmtResult
+from repro.sql.database import Database
+from repro.sql.versioned import VersionedDB, MAXQ
+
+__all__ = [
+    "Database",
+    "Engine",
+    "MAXQ",
+    "StmtResult",
+    "VersionedDB",
+    "parse_script",
+    "parse_sql",
+]

@@ -1,0 +1,180 @@
+"""AST node types for the mini SQL dialect.
+
+Statements and expressions are frozen dataclasses; the parser produces them
+and both the live engine and the versioned engine evaluate them.  Nodes are
+value-comparable, which the tests use to check parser output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for SQL expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object  # int | float | str | None
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Arithmetic: + - * / %  over column values and literals."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """= != <> < <= > >= LIKE"""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    """AND / OR with two or more operands."""
+
+    op: str  # "AND" | "OR"
+    operands: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class NotOp(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    """COUNT(*) | COUNT(col) | MAX(col) | MIN(col) | SUM(col) | AVG(col)."""
+
+    func: str
+    column: Optional[str]  # None means '*' (COUNT only)
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class for SQL statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str  # "INT" | "TEXT" | "FLOAT"
+    primary_key: bool = False
+    auto_increment: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    table: str
+    columns: Tuple[ColumnDef, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    columns: Tuple[str, ...]
+    values: Tuple[Tuple[Expr, ...], ...]  # one tuple per row
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """A projected output: expression plus optional alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    table: str
+    items: Tuple[SelectItem, ...]  # empty tuple means '*'
+    where: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = field(default_factory=tuple)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Begin(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class Commit(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class Rollback(Statement):
+    pass
+
+
+def is_write(stmt: Statement) -> bool:
+    """True for statements that can modify table contents."""
+    return isinstance(stmt, (Insert, Update, Delete, CreateTable))
+
+
+def tables_touched(stmt: Statement) -> Tuple[str, ...]:
+    """Tables a statement reads or writes (used by query dedup, §4.5)."""
+    if isinstance(stmt, (CreateTable, Insert, Update, Delete, Select)):
+        return (stmt.table,)
+    return ()

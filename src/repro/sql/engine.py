@@ -1,0 +1,446 @@
+"""The live (current-state) storage engine.
+
+Tables hold rows as dicts keyed by column name; row order is insertion
+order, so SELECT without ORDER BY is deterministic — essential because the
+verifier recomputes results and compares outputs byte-for-byte.
+
+Auto-increment ids are assigned deterministically (max existing + 1).  The
+paper records MySQL auto-increment ids as non-determinism reports (§4.6);
+our engine is deterministic, so the verifier *recomputes* them instead of
+trusting a report — strictly stronger, and documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import copy
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SqlError
+from repro.sql.ast import (
+    Aggregate,
+    BinaryOp,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    CreateTable,
+    Delete,
+    Expr,
+    InList,
+    Insert,
+    IsNull,
+    Literal,
+    NotOp,
+    OrderItem,
+    Select,
+    SelectItem,
+    Statement,
+    Update,
+)
+
+Row = Dict[str, object]
+
+
+@dataclass
+class StmtResult:
+    """Result of one statement.
+
+    ``rows`` for SELECT; ``affected`` for UPDATE/DELETE/INSERT;
+    ``last_insert_id`` for INSERT into a table with an auto-increment key.
+    Equality is by value so that redo-recorded results can be compared.
+    """
+
+    rows: Optional[List[Row]] = None
+    affected: int = 0
+    last_insert_id: Optional[int] = None
+
+    def scalar(self) -> object:
+        """First column of the first row (for aggregate queries)."""
+        if not self.rows:
+            return None
+        first = self.rows[0]
+        for value in first.values():
+            return value
+        return None
+
+
+@dataclass
+class Table:
+    name: str
+    columns: List[str]
+    types: Dict[str, str]
+    primary_key: Optional[str] = None
+    auto_column: Optional[str] = None
+    auto_counter: int = 0
+    rows: List[Row] = field(default_factory=list)
+
+    def clone(self) -> "Table":
+        return Table(
+            self.name,
+            list(self.columns),
+            dict(self.types),
+            self.primary_key,
+            self.auto_column,
+            self.auto_counter,
+            [dict(row) for row in self.rows],
+        )
+
+
+def _like_to_regex(pattern: str) -> "re.Pattern[str]":
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.IGNORECASE | re.DOTALL)
+
+
+_LIKE_CACHE: Dict[str, "re.Pattern[str]"] = {}
+
+
+def eval_expr(expr: Expr, row: Optional[Row]) -> object:
+    """Evaluate a (non-aggregate) expression against one row."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        if row is None or expr.name not in row:
+            raise SqlError(f"unknown column {expr.name!r}")
+        return row[expr.name]
+    if isinstance(expr, BinaryOp):
+        left = eval_expr(expr.left, row)
+        right = eval_expr(expr.right, row)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            if right == 0:
+                return None
+            if isinstance(left, int) and isinstance(right, int):
+                return left // right
+            return left / right
+        if expr.op == "%":
+            if right == 0:
+                return None
+            return left % right
+        raise SqlError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, Comparison):
+        left = eval_expr(expr.left, row)
+        right = eval_expr(expr.right, row)
+        if expr.op == "LIKE":
+            if left is None or right is None:
+                return False
+            pattern = _LIKE_CACHE.get(right)
+            if pattern is None:
+                pattern = _like_to_regex(str(right))
+                _LIKE_CACHE[right] = pattern
+            return pattern.match(str(left)) is not None
+        if left is None or right is None:
+            # SQL three-valued logic collapsed to False for comparisons
+            # with NULL, matching what the apps need.
+            return False
+        if expr.op == "=":
+            return left == right
+        if expr.op == "!=":
+            return left != right
+        try:
+            if expr.op == "<":
+                return left < right
+            if expr.op == "<=":
+                return left <= right
+            if expr.op == ">":
+                return left > right
+            if expr.op == ">=":
+                return left >= right
+        except TypeError:
+            raise SqlError(
+                f"cannot compare {type(left).__name__} with "
+                f"{type(right).__name__}"
+            )
+        raise SqlError(f"unknown comparison {expr.op!r}")
+    if isinstance(expr, BoolOp):
+        if expr.op == "AND":
+            return all(bool(eval_expr(op, row)) for op in expr.operands)
+        return any(bool(eval_expr(op, row)) for op in expr.operands)
+    if isinstance(expr, NotOp):
+        return not bool(eval_expr(expr.operand, row))
+    if isinstance(expr, IsNull):
+        value = eval_expr(expr.operand, row)
+        return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, InList):
+        value = eval_expr(expr.operand, row)
+        members = [eval_expr(item, row) for item in expr.items]
+        found = value in members
+        return (not found) if expr.negated else found
+    if isinstance(expr, Aggregate):
+        raise SqlError("aggregate used outside SELECT projection")
+    raise SqlError(f"unknown expression node {type(expr).__name__}")
+
+
+def _coerce(value: object, type_name: str, column: str) -> object:
+    if value is None:
+        return None
+    if type_name == "INT":
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, (int, float)):
+            return int(value)
+        try:
+            return int(str(value))
+        except ValueError:
+            raise SqlError(f"cannot store {value!r} in INT column {column}")
+    if type_name == "FLOAT":
+        if isinstance(value, (int, float)):
+            return float(value)
+        try:
+            return float(str(value))
+        except ValueError:
+            raise SqlError(f"cannot store {value!r} in FLOAT column {column}")
+    if type_name == "TEXT":
+        return value if isinstance(value, str) else str(value)
+    raise SqlError(f"unknown column type {type_name}")
+
+
+def _sort_key(value: object) -> Tuple[int, object]:
+    """Total order across NULL/number/string for ORDER BY."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))
+
+
+def apply_order_limit(
+    rows: List[Row],
+    order_by: Sequence[OrderItem],
+    limit: Optional[int],
+    offset: Optional[int],
+) -> List[Row]:
+    if order_by:
+        # Stable sorts applied in reverse give lexicographic multi-key order.
+        for item in reversed(order_by):
+            rows = sorted(
+                rows,
+                key=lambda row: _sort_key(row.get(item.column)),
+                reverse=item.descending,
+            )
+    if offset:
+        rows = rows[offset:]
+    if limit is not None:
+        rows = rows[:limit]
+    return rows
+
+
+def project_rows(
+    items: Tuple[SelectItem, ...], matched: List[Row]
+) -> List[Row]:
+    """Apply the SELECT projection (including aggregates) to matched rows."""
+    if not items:  # SELECT *
+        return [dict(row) for row in matched]
+    has_aggregate = any(isinstance(item.expr, Aggregate) for item in items)
+    if has_aggregate:
+        out: Row = {}
+        for index, item in enumerate(items):
+            name = item.alias or _item_name(item, index)
+            if isinstance(item.expr, Aggregate):
+                out[name] = _eval_aggregate(item.expr, matched)
+            else:
+                out[name] = (
+                    eval_expr(item.expr, matched[0]) if matched else None
+                )
+        return [out]
+    result = []
+    for row in matched:
+        out = {}
+        for index, item in enumerate(items):
+            name = item.alias or _item_name(item, index)
+            out[name] = eval_expr(item.expr, row)
+        result.append(out)
+    return result
+
+
+def _item_name(item: SelectItem, index: int) -> str:
+    if isinstance(item.expr, ColumnRef):
+        return item.expr.name
+    if isinstance(item.expr, Aggregate):
+        column = item.expr.column or "*"
+        return f"{item.expr.func.lower()}({column})"
+    return f"expr{index}"
+
+
+def _eval_aggregate(agg: Aggregate, matched: List[Row]) -> object:
+    if agg.func == "COUNT":
+        if agg.column is None:
+            return len(matched)
+        return sum(1 for row in matched if row.get(agg.column) is not None)
+    values = [
+        row[agg.column]
+        for row in matched
+        if agg.column in row and row[agg.column] is not None
+    ]
+    if not values:
+        return None
+    if agg.func == "MAX":
+        return max(values)
+    if agg.func == "MIN":
+        return min(values)
+    if agg.func == "SUM":
+        return sum(values)
+    if agg.func == "AVG":
+        return sum(values) / len(values)
+    raise SqlError(f"unknown aggregate {agg.func}")
+
+
+class Engine:
+    """Executes parsed statements against in-memory tables."""
+
+    def __init__(self) -> None:
+        self.tables: Dict[str, Table] = {}
+
+    # -- schema -----------------------------------------------------------
+
+    def create_table(self, stmt: CreateTable) -> StmtResult:
+        if stmt.table in self.tables:
+            if stmt.if_not_exists:
+                return StmtResult(affected=0)
+            raise SqlError(f"table {stmt.table!r} already exists")
+        columns = [col.name for col in stmt.columns]
+        types = {col.name: col.type_name for col in stmt.columns}
+        primary = next(
+            (col.name for col in stmt.columns if col.primary_key), None
+        )
+        auto = next(
+            (col.name for col in stmt.columns if col.auto_increment), None
+        )
+        if auto is not None and types[auto] != "INT":
+            raise SqlError("AUTOINCREMENT requires an INT column")
+        self.tables[stmt.table] = Table(stmt.table, columns, types, primary,
+                                        auto)
+        return StmtResult(affected=0)
+
+    def _table(self, name: str) -> Table:
+        table = self.tables.get(name)
+        if table is None:
+            raise SqlError(f"no such table {name!r}")
+        return table
+
+    # -- statements ---------------------------------------------------------
+
+    def execute(self, stmt: Statement) -> StmtResult:
+        if isinstance(stmt, Select):
+            return self.select(stmt)
+        if isinstance(stmt, Insert):
+            return self.insert(stmt)
+        if isinstance(stmt, Update):
+            return self.update(stmt)
+        if isinstance(stmt, Delete):
+            return self.delete(stmt)
+        if isinstance(stmt, CreateTable):
+            return self.create_table(stmt)
+        raise SqlError(
+            f"engine cannot execute {type(stmt).__name__} directly"
+        )
+
+    def select(self, stmt: Select) -> StmtResult:
+        table = self._table(stmt.table)
+        matched = [
+            row
+            for row in table.rows
+            if stmt.where is None or bool(eval_expr(stmt.where, row))
+        ]
+        matched = apply_order_limit(
+            matched, stmt.order_by, stmt.limit, stmt.offset
+        )
+        return StmtResult(rows=project_rows(stmt.items, matched))
+
+    def insert(self, stmt: Insert) -> StmtResult:
+        table = self._table(stmt.table)
+        last_id: Optional[int] = None
+        for values in stmt.values:
+            columns = stmt.columns or tuple(table.columns)
+            if len(columns) != len(values):
+                raise SqlError(
+                    f"INSERT into {table.name}: {len(columns)} columns but "
+                    f"{len(values)} values"
+                )
+            row: Row = {col: None for col in table.columns}
+            for col, expr in zip(columns, values):
+                if col not in table.types:
+                    raise SqlError(
+                        f"unknown column {col!r} in table {table.name!r}"
+                    )
+                row[col] = _coerce(
+                    eval_expr(expr, None), table.types[col], col
+                )
+            if table.auto_column and row[table.auto_column] is None:
+                table.auto_counter += 1
+                row[table.auto_column] = table.auto_counter
+                last_id = table.auto_counter
+            elif table.auto_column:
+                current = row[table.auto_column]
+                assert isinstance(current, int)
+                table.auto_counter = max(table.auto_counter, current)
+                last_id = current
+            table.rows.append(row)
+        return StmtResult(affected=len(stmt.values), last_insert_id=last_id)
+
+    def update(self, stmt: Update) -> StmtResult:
+        table = self._table(stmt.table)
+        affected = 0
+        for row in table.rows:
+            if stmt.where is None or bool(eval_expr(stmt.where, row)):
+                new_values = {
+                    col: _coerce(eval_expr(expr, row), table.types[col], col)
+                    for col, expr in stmt.assignments
+                }
+                row.update(new_values)
+                affected += 1
+        return StmtResult(affected=affected)
+
+    def delete(self, stmt: Delete) -> StmtResult:
+        table = self._table(stmt.table)
+        before = len(table.rows)
+        table.rows = [
+            row
+            for row in table.rows
+            if not (stmt.where is None or bool(eval_expr(stmt.where, row)))
+        ]
+        return StmtResult(affected=before - len(table.rows))
+
+    # -- snapshot / restore (transaction rollback, baselines) ---------------
+
+    def snapshot(self) -> Dict[str, Table]:
+        return {name: table.clone() for name, table in self.tables.items()}
+
+    def restore(self, snap: Dict[str, Table]) -> None:
+        self.tables = {name: table.clone() for name, table in snap.items()}
+
+    def deep_copy(self) -> "Engine":
+        twin = Engine()
+        twin.tables = self.snapshot()
+        return twin
+
+    def row_count(self) -> int:
+        return sum(len(table.rows) for table in self.tables.values())
+
+    def size_bytes(self) -> int:
+        """Rough size of the current state (for Figure 8's DB overhead)."""
+        total = 0
+        for table in self.tables.values():
+            for row in table.rows:
+                for value in row.values():
+                    if isinstance(value, str):
+                        total += len(value)
+                    else:
+                        total += 8
+        return total

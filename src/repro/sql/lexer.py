@@ -1,0 +1,109 @@
+"""Tokenizer for the mini SQL dialect.
+
+Produces a flat token list consumed by the recursive-descent parser.
+Keywords are case-insensitive; identifiers preserve case; strings use single
+quotes with ``''`` as the escaped quote (standard SQL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.errors import SqlError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+    "DELETE", "CREATE", "TABLE", "IF", "NOT", "EXISTS", "AND", "OR",
+    "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET", "LIKE", "IS", "NULL",
+    "IN", "AS", "PRIMARY", "KEY", "AUTOINCREMENT", "INT", "INTEGER", "TEXT",
+    "FLOAT", "REAL", "COUNT", "MAX", "MIN", "SUM", "AVG", "BEGIN", "COMMIT",
+    "ROLLBACK",
+}
+
+PUNCT = {
+    "(", ")", ",", "*", "=", "<", ">", "+", "-", "/", "%", ";", ".",
+    "<=", ">=", "!=", "<>",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "kw" | "ident" | "int" | "float" | "str" | "punct" | "eof"
+    value: object
+    pos: int
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            # Line comment (also used for the (rid, opnum) comment channel).
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: List[str] = []
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            if j >= n:
+                raise SqlError(f"unterminated string at position {i}")
+            tokens.append(Token("str", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i
+            is_float = False
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                if text[j] == ".":
+                    if is_float:
+                        break
+                    is_float = True
+                j += 1
+            lexeme = text[i:j]
+            if is_float:
+                tokens.append(Token("float", float(lexeme), i))
+            else:
+                tokens.append(Token("int", int(lexeme), i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("kw", upper, i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        two = text[i : i + 2]
+        if two in PUNCT:
+            tokens.append(Token("punct", two, i))
+            i += 2
+            continue
+        if ch in PUNCT:
+            tokens.append(Token("punct", ch, i))
+            i += 1
+            continue
+        raise SqlError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("eof", None, n))
+    return tokens

@@ -1,0 +1,451 @@
+"""Audit-time versioned database (Sections 4.5, A.7).
+
+Requirement (§A.7): with ``s = ts // MAXQ`` and ``q = ts % MAXQ``, the
+result of ``db.do_query(sql, ts)`` must equal: replay transactions
+``OL[1..s-1]``, then queries ``1..q-1`` of transaction ``s``, then issue
+``sql``.  We meet it with Warp-style row versioning: every logical row
+carries a chain of versions with ``[start_ts, end_ts)`` validity intervals;
+a query at ``ts`` sees versions with ``start_ts <= ts < end_ts``.
+
+:meth:`build` is the **versioned redo pass**: it replays every logged
+transaction in log order, stamping writes with ``ts = s*MAXQ + q`` and
+recording each write statement's :class:`StmtResult` so that re-execution
+can return the same insert-ids/affected-counts the server returned online.
+Aborted transactions (program ROLLBACK, or executor-injected abort — the
+``succeeded`` flag, §4.6) are applied tentatively and undone at the
+transaction's closing timestamp, so the transaction's *own* reads still see
+its tentative writes while later readers do not.
+
+The per-table sorted list of write timestamps (:meth:`writes_between`) is
+the index read-query deduplication uses (§4.5).
+
+In the paper the redo pass runs against an in-memory buffer ``M`` (SQLite)
+and migrates to the audit store ``V``; here the versioned store is itself
+in memory, and :meth:`latest_engine` / :meth:`migration_statements`
+implement the migration/compaction step — after the audit the verifier
+keeps only the latest state (§5.1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import AuditReject, RejectReason, SqlError
+from repro.objects.base import OpRecord, OpType
+from repro.sql.ast import (
+    CreateTable,
+    Delete,
+    Insert,
+    Select,
+    Statement,
+    Update,
+    is_write,
+)
+from repro.sql.engine import (
+    Engine,
+    Row,
+    StmtResult,
+    _coerce,
+    apply_order_limit,
+    eval_expr,
+    project_rows,
+)
+from repro.sql.parser import parse_sql
+
+#: Maximum queries allowed in one transaction (paper: 10000, §A.7).
+MAXQ = 10000
+
+#: "End of time" timestamp for live versions.
+TS_INF = 1 << 62
+
+
+@dataclass
+class _Version:
+    start_ts: int
+    end_ts: int
+    values: Row
+
+
+@dataclass
+class _LogicalRow:
+    row_id: int
+    versions: List[_Version] = field(default_factory=list)
+    starts: List[int] = field(default_factory=list)  # parallel to versions
+
+    def live_at(self, ts: int) -> Optional[_Version]:
+        pos = bisect.bisect_right(self.starts, ts) - 1
+        if pos < 0:
+            return None
+        version = self.versions[pos]
+        if version.start_ts <= ts < version.end_ts:
+            return version
+        return None
+
+    def add(self, version: _Version) -> None:
+        if self.starts and version.start_ts < self.starts[-1]:
+            raise SqlError("version starts must be non-decreasing")
+        self.versions.append(version)
+        self.starts.append(version.start_ts)
+
+
+@dataclass
+class _VTable:
+    name: str
+    columns: List[str]
+    types: Dict[str, str]
+    auto_column: Optional[str]
+    auto_counter: int
+    rows: Dict[int, _LogicalRow] = field(default_factory=dict)
+    next_row_id: int = 0
+    write_ts: List[int] = field(default_factory=list)  # sorted (append-only)
+
+    def new_row(self) -> _LogicalRow:
+        self.next_row_id += 1
+        row = _LogicalRow(self.next_row_id)
+        self.rows[self.next_row_id] = row
+        return row
+
+    def note_write(self, ts: int) -> None:
+        if not self.write_ts or self.write_ts[-1] != ts:
+            self.write_ts.append(ts)
+
+
+@dataclass
+class _TxUndo:
+    """Undo information for one (possibly aborting) transaction."""
+
+    created: List[_Version] = field(default_factory=list)
+    terminated: List[Tuple[_LogicalRow, _Version, int]] = field(
+        default_factory=list
+    )  # (row, version, previous end_ts)
+    saved_counters: Dict[str, int] = field(default_factory=dict)
+
+
+class VersionedDB:
+    """Versioned store built from the initial state plus ``OL_db``."""
+
+    def __init__(self) -> None:
+        self.tables: Dict[str, _VTable] = {}
+        #: ts -> StmtResult for write statements, recorded during redo.
+        self.results: Dict[int, StmtResult] = {}
+        self.redo_statements = 0
+        self.skipped_reads = 0
+
+    # -- construction --------------------------------------------------------
+
+    def load_initial(self, engine: Engine) -> None:
+        """Import the epoch-start state as versions live from ts=0."""
+        for name, table in engine.tables.items():
+            vtable = _VTable(
+                name,
+                list(table.columns),
+                dict(table.types),
+                table.auto_column,
+                table.auto_counter,
+            )
+            for values in table.rows:
+                row = vtable.new_row()
+                row.add(_Version(0, TS_INF, dict(values)))
+            self.tables[name] = vtable
+
+    def build(self, log: Sequence[OpRecord]) -> None:
+        """The versioned redo pass (``db.Build(OL_db)``, Figure 12 line 6)."""
+        for index, record in enumerate(log):
+            seq = index + 1
+            if record.optype is not OpType.DB_OP:
+                raise AuditReject(
+                    RejectReason.VERSIONED_BUILD_FAILED,
+                    f"non-DB op in DB log at position {seq}",
+                )
+            try:
+                self._redo_transaction(seq, record)
+            except SqlError as exc:
+                raise AuditReject(
+                    RejectReason.VERSIONED_BUILD_FAILED,
+                    f"log position {seq}: {exc}",
+                )
+
+    def _redo_transaction(self, seq: int, record: OpRecord) -> None:
+        queries, succeeded = record.opcontents
+        if not isinstance(queries, tuple) or not queries:
+            raise SqlError("malformed DBOp opcontents")
+        if len(queries) > MAXQ - 1:
+            raise SqlError("transaction exceeds MAXQ statements")
+        marker = queries[-1] if queries[-1] in ("COMMIT", "ROLLBACK") else None
+        data_queries = queries[:-1] if marker else queries
+        # The succeeded flag only grants executor discretion over a
+        # program-issued COMMIT; a ROLLBACK marker always aborts.
+        aborted = (marker == "ROLLBACK") or not succeeded
+        undo = _TxUndo()
+        # Query indices are 1-based (§A.7: a query at index q sees the
+        # prefix plus queries 1..q-1; index 0 denotes "before the
+        # transaction").
+        for q, sql in enumerate(data_queries):
+            ts = seq * MAXQ + q + 1
+            stmt = parse_sql(sql)
+            if isinstance(stmt, Select):
+                self.skipped_reads += 1
+                continue
+            if not is_write(stmt) or isinstance(stmt, CreateTable):
+                raise SqlError(f"illegal statement in log: {sql!r}")
+            self.results[ts] = self._apply_write(stmt, ts, undo)
+            self.redo_statements += 1
+        if aborted:
+            ts_abort = seq * MAXQ + len(data_queries) + 1
+            self._undo(undo, ts_abort)
+
+    # -- write application --------------------------------------------------
+
+    def _vtable(self, name: str) -> _VTable:
+        table = self.tables.get(name)
+        if table is None:
+            raise SqlError(f"no such table {name!r}")
+        return table
+
+    def _apply_write(
+        self, stmt: Statement, ts: int, undo: _TxUndo
+    ) -> StmtResult:
+        if isinstance(stmt, Insert):
+            return self._apply_insert(stmt, ts, undo)
+        if isinstance(stmt, Update):
+            return self._apply_update(stmt, ts, undo)
+        if isinstance(stmt, Delete):
+            return self._apply_delete(stmt, ts, undo)
+        raise SqlError(f"cannot redo {type(stmt).__name__}")
+
+    def _apply_insert(
+        self, stmt: Insert, ts: int, undo: _TxUndo
+    ) -> StmtResult:
+        table = self._vtable(stmt.table)
+        if table.name not in undo.saved_counters:
+            undo.saved_counters[table.name] = table.auto_counter
+        last_id: Optional[int] = None
+        for values in stmt.values:
+            columns = stmt.columns or tuple(table.columns)
+            if len(columns) != len(values):
+                raise SqlError(
+                    f"INSERT into {table.name}: {len(columns)} columns but "
+                    f"{len(values)} values"
+                )
+            row_values: Row = {col: None for col in table.columns}
+            for col, expr in zip(columns, values):
+                if col not in table.types:
+                    raise SqlError(
+                        f"unknown column {col!r} in table {table.name!r}"
+                    )
+                row_values[col] = _coerce(
+                    eval_expr(expr, None), table.types[col], col
+                )
+            if table.auto_column and row_values[table.auto_column] is None:
+                table.auto_counter += 1
+                row_values[table.auto_column] = table.auto_counter
+                last_id = table.auto_counter
+            elif table.auto_column:
+                current = row_values[table.auto_column]
+                assert isinstance(current, int)
+                table.auto_counter = max(table.auto_counter, current)
+                last_id = current
+            logical = table.new_row()
+            version = _Version(ts, TS_INF, row_values)
+            logical.add(version)
+            undo.created.append(version)
+        table.note_write(ts)
+        return StmtResult(affected=len(stmt.values), last_insert_id=last_id)
+
+    def _apply_update(
+        self, stmt: Update, ts: int, undo: _TxUndo
+    ) -> StmtResult:
+        table = self._vtable(stmt.table)
+        affected = 0
+        for logical in table.rows.values():
+            version = logical.live_at(ts)
+            if version is None:
+                continue
+            if stmt.where is not None and not bool(
+                eval_expr(stmt.where, version.values)
+            ):
+                continue
+            new_values = dict(version.values)
+            for col, expr in stmt.assignments:
+                if col not in table.types:
+                    raise SqlError(
+                        f"unknown column {col!r} in table {table.name!r}"
+                    )
+                new_values[col] = _coerce(
+                    eval_expr(expr, version.values), table.types[col], col
+                )
+            undo.terminated.append((logical, version, version.end_ts))
+            version.end_ts = ts
+            replacement = _Version(ts, TS_INF, new_values)
+            logical.add(replacement)
+            undo.created.append(replacement)
+            affected += 1
+        table.note_write(ts)
+        return StmtResult(affected=affected)
+
+    def _apply_delete(
+        self, stmt: Delete, ts: int, undo: _TxUndo
+    ) -> StmtResult:
+        table = self._vtable(stmt.table)
+        affected = 0
+        for logical in table.rows.values():
+            version = logical.live_at(ts)
+            if version is None:
+                continue
+            if stmt.where is not None and not bool(
+                eval_expr(stmt.where, version.values)
+            ):
+                continue
+            undo.terminated.append((logical, version, version.end_ts))
+            version.end_ts = ts
+            affected += 1
+        table.note_write(ts)
+        return StmtResult(affected=affected)
+
+    def _undo(self, undo: _TxUndo, ts_abort: int) -> None:
+        """Roll a tentative transaction back at ``ts_abort``.
+
+        Versions the transaction created stop being visible at ``ts_abort``;
+        versions it terminated are re-instated by a clone valid from
+        ``ts_abort`` (version intervals must stay contiguous per row).
+        """
+        created_ids = {id(version) for version in undo.created}
+        for version in undo.created:
+            version.end_ts = min(version.end_ts, ts_abort)
+        for logical, version, old_end in undo.terminated:
+            if id(version) in created_ids:
+                # Created and then overwritten/deleted by the same tx:
+                # already capped above; nothing to re-instate.
+                continue
+            clone = _Version(ts_abort, old_end, dict(version.values))
+            logical.add(clone)
+        for name, counter in undo.saved_counters.items():
+            self.tables[name].auto_counter = counter
+
+    # -- queries --------------------------------------------------------------
+
+    def do_query(self, sql: str, ts: int) -> StmtResult:
+        """Simulate a SELECT as of timestamp ``ts`` (Figure 12, line 27)."""
+        stmt = parse_sql(sql)
+        if not isinstance(stmt, Select):
+            raise SqlError(f"do_query expects SELECT, got {sql!r}")
+        return self.do_select(stmt, ts)
+
+    def do_select(self, stmt: Select, ts: int) -> StmtResult:
+        table = self._vtable(stmt.table)
+        matched: List[Row] = []
+        for logical in table.rows.values():
+            version = logical.live_at(ts)
+            if version is None:
+                continue
+            if stmt.where is None or bool(
+                eval_expr(stmt.where, version.values)
+            ):
+                matched.append(version.values)
+        matched = apply_order_limit(
+            matched, stmt.order_by, stmt.limit, stmt.offset
+        )
+        return StmtResult(rows=project_rows(stmt.items, matched))
+
+    def result_at(self, ts: int) -> StmtResult:
+        """Redo-recorded result of the write statement stamped ``ts``."""
+        result = self.results.get(ts)
+        if result is None:
+            raise AuditReject(
+                RejectReason.OP_MISMATCH,
+                f"no redo result recorded at ts={ts}; program issued a "
+                "write the log does not contain",
+            )
+        return result
+
+    # -- dedup support (§4.5) -------------------------------------------------
+
+    def writes_between(self, table: str, ts_low: int, ts_high: int) -> bool:
+        """True if ``table`` was modified at any ts in (ts_low, ts_high]."""
+        vtable = self.tables.get(table)
+        if vtable is None:
+            return False
+        left = bisect.bisect_right(vtable.write_ts, ts_low)
+        right = bisect.bisect_right(vtable.write_ts, ts_high)
+        return right > left
+
+    # -- migration (post-audit compaction, §4.5/§5.1) --------------------------
+
+    def latest_engine(self) -> Engine:
+        """The compacted latest state; the verifier keeps this between
+        audits and it becomes the next epoch's initial state."""
+        engine = Engine()
+        for name, vtable in self.tables.items():
+            table_rows: List[Row] = []
+            for logical in vtable.rows.values():
+                version = logical.live_at(TS_INF - 1)
+                if version is not None:
+                    table_rows.append(dict(version.values))
+            from repro.sql.engine import Table  # local to avoid cycle at top
+
+            engine.tables[name] = Table(
+                name,
+                list(vtable.columns),
+                dict(vtable.types),
+                None,
+                vtable.auto_column,
+                vtable.auto_counter,
+                table_rows,
+            )
+        return engine
+
+    def migration_statements(self) -> List[str]:
+        """One bulk INSERT per table that reproduces the latest state when
+        issued against an empty schema (the §4.5 migration dump)."""
+        statements: List[str] = []
+        engine = self.latest_engine()
+        for name, table in engine.tables.items():
+            if not table.rows:
+                continue
+            column_list = ", ".join(table.columns)
+            tuples = []
+            for row in table.rows:
+                rendered = ", ".join(
+                    _render_sql_value(row.get(col)) for col in table.columns
+                )
+                tuples.append(f"({rendered})")
+            statements.append(
+                f"INSERT INTO {name} ({column_list}) VALUES "
+                + ", ".join(tuples)
+            )
+        return statements
+
+    def version_count(self) -> int:
+        return sum(
+            len(logical.versions)
+            for table in self.tables.values()
+            for logical in table.rows.values()
+        )
+
+    def size_bytes(self) -> int:
+        """Rough on-disk size of the versioned store (Figure 8, "temp" DB
+        overhead): every version's payload plus two timestamps."""
+        total = 0
+        for table in self.tables.values():
+            for logical in table.rows.values():
+                for version in logical.versions:
+                    total += 16  # start_ts, end_ts
+                    for value in version.values.values():
+                        if isinstance(value, str):
+                            total += len(value)
+                        else:
+                            total += 8
+        return total
+
+
+def _render_sql_value(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, (int, float)):
+        return str(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"

@@ -1,0 +1,21 @@
+"""Traces of requests and responses, and the trusted collector (Section 2).
+
+A *trace* is an ordered list of REQUEST/RESPONSE events as observed at the
+network boundary by the collector.  The collector is the only trusted
+component besides the verifier itself: the trace exactly records the requests
+and the (possibly wrong) responses that flowed into and out of the executor.
+"""
+
+from repro.trace.events import Event, EventKind, Request, Response
+from repro.trace.trace import Trace, check_balanced
+from repro.trace.collector import Collector
+
+__all__ = [
+    "Collector",
+    "Event",
+    "EventKind",
+    "Request",
+    "Response",
+    "Trace",
+    "check_balanced",
+]

@@ -1,0 +1,50 @@
+"""The trusted collector (the "middlebox"; Sections 1-2, 4.1).
+
+The collector sits between clients and the executor and records, in
+observation order, the requests flowing in and the responses flowing out.
+Its accuracy is an assumption of the model; correspondingly this class is
+deliberately dumb — it timestamps and appends.
+
+The executor calls :meth:`observe_request` when a request crosses into the
+server and :meth:`observe_response` when the response crosses back out.  In
+the real deployment these are packet captures; here the simulated executor
+invokes them directly, which preserves the only property the audit needs:
+the relative order of boundary crossings.
+"""
+
+from __future__ import annotations
+
+from repro.trace.events import Event, ExternalRequest, Request, Response
+from repro.trace.trace import Trace
+
+
+class Collector:
+    """Accumulates a :class:`Trace` in observation order."""
+
+    def __init__(self) -> None:
+        self._trace = Trace()
+        self._clock = 0.0
+
+    def _tick(self, at: float | None) -> float:
+        if at is not None and at >= self._clock:
+            self._clock = at
+        else:
+            self._clock += 1.0
+        return self._clock
+
+    def observe_request(self, request: Request, at: float | None = None) -> None:
+        self._trace.append(Event.request(request, self._tick(at)))
+
+    def observe_response(self, response: Response, at: float | None = None) -> None:
+        self._trace.append(Event.response(response, self._tick(at)))
+
+    def observe_external(self, external: ExternalRequest,
+                         at: float | None = None) -> None:
+        """An outbound message crossing the boundary toward an external
+        service (the §5.5 extension; in Pat's scenario the middlebox sees
+        it, in Dana's a trusted proxy relays it)."""
+        self._trace.append(Event.external(external, self._tick(at)))
+
+    @property
+    def trace(self) -> Trace:
+        return self._trace

@@ -1,0 +1,128 @@
+"""Trace event types.
+
+The paper (Appendix A.1) represents trace events as tuples::
+
+    (RESPONSE | REQUEST, rid, [contents])
+
+ordered by observation time.  Only the relative order matters for the audit;
+we additionally carry a timestamp so benchmarks can model latency.
+
+A :class:`Request` models an HTTP request to a web application: a script
+name (the analog of the ``.php`` path), query/form parameters, and cookies.
+A :class:`Response` carries the body the executor delivered (or an
+``abort_info`` string explaining why there is none, e.g. a client reset,
+which keeps the trace *balanced*; Section 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+
+class EventKind(enum.Enum):
+    REQUEST = "REQUEST"
+    RESPONSE = "RESPONSE"
+    #: An outbound request to an external service (email, payment, ...),
+    #: captured by the collector and verified like "another kind of
+    #: response" (§5.5's extension).
+    EXTERNAL = "EXTERNAL"
+
+
+@dataclass(frozen=True)
+class Request:
+    """An input captured by the collector.
+
+    Attributes:
+        rid: unique request id (assigned by the well-behaved executor's
+            response labeling; checked for uniqueness by the verifier).
+        script: name of the application script this request invokes.
+        get: query-string parameters (the ``$_GET`` analog).
+        post: form parameters (the ``$_POST`` analog).
+        cookies: cookies (the ``$_COOKIE`` analog); session objects are
+            named by the session cookie.
+    """
+
+    rid: str
+    script: str
+    get: Mapping[str, object] = field(default_factory=dict)
+    post: Mapping[str, object] = field(default_factory=dict)
+    cookies: Mapping[str, object] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        """Approximate wire size, used for report-overhead accounting."""
+        total = len(self.rid) + len(self.script)
+        for mapping in (self.get, self.post, self.cookies):
+            for key, value in mapping.items():
+                total += len(str(key)) + len(str(value)) + 2
+        return total
+
+
+@dataclass(frozen=True)
+class Response:
+    """An output captured by the collector.
+
+    ``body`` is the full delivered response body.  If the client never got a
+    response (network reset, etc.), ``body`` is None and ``abort_info``
+    explains why; the balance check accepts either form.
+    """
+
+    rid: str
+    body: Optional[str]
+    status: int = 200
+    abort_info: Optional[str] = None
+
+    def size_bytes(self) -> int:
+        body = self.body or ""
+        return len(self.rid) + len(body) + 4
+
+
+@dataclass(frozen=True)
+class ExternalRequest:
+    """An outbound message the application sent to an external service
+    while handling ``rid`` (the §5.5 extension: "treating external
+    requests as another kind of response")."""
+
+    rid: str
+    service: str  # e.g. "email"
+    content: Tuple
+
+    def size_bytes(self) -> int:
+        return len(self.rid) + len(self.service) + sum(
+            len(str(part)) for part in self.content
+        )
+
+
+@dataclass(frozen=True)
+class Event:
+    """One trace entry: (kind, rid, payload) at a position in time."""
+
+    kind: EventKind
+    rid: str
+    payload: object  # Request | Response
+    time: float = 0.0
+
+    @staticmethod
+    def request(req: Request, time: float = 0.0) -> "Event":
+        return Event(EventKind.REQUEST, req.rid, req, time)
+
+    @staticmethod
+    def response(resp: Response, time: float = 0.0) -> "Event":
+        return Event(EventKind.RESPONSE, resp.rid, resp, time)
+
+    @staticmethod
+    def external(ext: "ExternalRequest", time: float = 0.0) -> "Event":
+        return Event(EventKind.EXTERNAL, ext.rid, ext, time)
+
+    @property
+    def is_request(self) -> bool:
+        return self.kind is EventKind.REQUEST
+
+    @property
+    def is_response(self) -> bool:
+        return self.kind is EventKind.RESPONSE
+
+    @property
+    def is_external(self) -> bool:
+        return self.kind is EventKind.EXTERNAL

@@ -1,0 +1,150 @@
+"""The trace container and the balance pre-check (Section 3).
+
+Before invoking the audit proper, the verifier checks that the trace is
+*balanced*: every response is associated with an earlier request, every
+request has exactly one response (or abort information explaining why there
+is none), and requestIDs are unique.  Only balanced traces enter
+``ssco_audit``; the check itself is part of the verifier and therefore
+trusted code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.common.errors import AuditReject, RejectReason
+from repro.trace.events import (
+    Event,
+    EventKind,
+    ExternalRequest,
+    Request,
+    Response,
+)
+
+
+class Trace:
+    """An ordered list of REQUEST/RESPONSE events.
+
+    The class is a thin, indexable wrapper with convenience accessors used
+    throughout the audit; it performs no validation on construction (the
+    balance check is explicit, mirroring the paper's presentation).
+    """
+
+    def __init__(self, events: Iterable[Event] = ()):
+        self.events: List[Event] = list(events)
+
+    def append(self, event: Event) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self.events[index]
+
+    # -- Accessors used by the audit -------------------------------------
+
+    def request_ids(self) -> List[str]:
+        """RequestIDs in arrival order."""
+        return [ev.rid for ev in self.events if ev.is_request]
+
+    def requests(self) -> Dict[str, Request]:
+        return {ev.rid: ev.payload for ev in self.events if ev.is_request}
+
+    def responses(self) -> Dict[str, Response]:
+        return {ev.rid: ev.payload for ev in self.events if ev.is_response}
+
+    def response_bodies(self) -> Dict[str, Optional[str]]:
+        """rid -> delivered body (None when the response was aborted)."""
+        return {
+            ev.rid: ev.payload.body for ev in self.events if ev.is_response
+        }
+
+    def externals(self) -> Dict[str, List["ExternalRequest"]]:
+        """rid -> outbound external requests, in emission order (§5.5)."""
+        out: Dict[str, List[ExternalRequest]] = {}
+        for ev in self.events:
+            if ev.is_external:
+                out.setdefault(ev.rid, []).append(ev.payload)
+        return out
+
+    def size_bytes(self) -> int:
+        """Total request+response wire size (for overhead accounting)."""
+        return sum(ev.payload.size_bytes() for ev in self.events)
+
+
+def check_balanced(trace: Trace) -> None:
+    """Raise :class:`AuditReject` unless ``trace`` is balanced.
+
+    Checks, per Section 3:
+      * every response follows a request with the same rid;
+      * every request has exactly one response;
+      * no rid is requested twice (requestID uniqueness);
+      * no rid is answered twice.
+    """
+    seen_requests: Dict[str, bool] = {}
+    answered: Dict[str, bool] = {}
+    for ev in trace:
+        if ev.kind is EventKind.REQUEST:
+            if ev.rid in seen_requests:
+                raise AuditReject(
+                    RejectReason.DUPLICATE_REQUEST_ID,
+                    f"request id {ev.rid!r} appears twice",
+                )
+            if not isinstance(ev.payload, Request):
+                raise AuditReject(
+                    RejectReason.TRACE_UNBALANCED,
+                    f"request event {ev.rid!r} lacks a Request payload",
+                )
+            seen_requests[ev.rid] = True
+        elif ev.kind is EventKind.EXTERNAL:
+            if ev.rid not in seen_requests or ev.rid in answered:
+                raise AuditReject(
+                    RejectReason.TRACE_UNBALANCED,
+                    f"external request for {ev.rid!r} outside its "
+                    "request window",
+                )
+            if not isinstance(ev.payload, ExternalRequest):
+                raise AuditReject(
+                    RejectReason.TRACE_UNBALANCED,
+                    f"external event {ev.rid!r} lacks a payload",
+                )
+        elif ev.kind is EventKind.RESPONSE:
+            if ev.rid not in seen_requests:
+                raise AuditReject(
+                    RejectReason.TRACE_UNBALANCED,
+                    f"response for {ev.rid!r} precedes its request",
+                )
+            if ev.rid in answered:
+                raise AuditReject(
+                    RejectReason.TRACE_UNBALANCED,
+                    f"two responses for request {ev.rid!r}",
+                )
+            if not isinstance(ev.payload, Response):
+                raise AuditReject(
+                    RejectReason.TRACE_UNBALANCED,
+                    f"response event {ev.rid!r} lacks a Response payload",
+                )
+            answered[ev.rid] = True
+        else:  # pragma: no cover - EventKind is closed
+            raise AuditReject(
+                RejectReason.TRACE_UNBALANCED, f"unknown event kind {ev.kind}"
+            )
+    unanswered = [rid for rid in seen_requests if rid not in answered]
+    if unanswered:
+        raise AuditReject(
+            RejectReason.TRACE_UNBALANCED,
+            f"requests without responses: {unanswered[:5]}",
+        )
+
+
+def is_balanced(trace: Trace) -> bool:
+    """Boolean form of :func:`check_balanced` for convenience."""
+    try:
+        check_balanced(trace)
+    except AuditReject:
+        return False
+    return True

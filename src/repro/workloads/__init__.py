@@ -1,0 +1,28 @@
+"""Workload generators (§5, "Applications and workloads").
+
+Synthetic request streams with the paper's published distributional
+parameters:
+
+* :func:`wiki_workload` — Wikipedia-derived: Zipf(β=0.53) page popularity,
+  20,000 requests to 200 pages at full scale, read-dominated;
+* :func:`forum_workload` — CentOS-forum-derived: few hot topics,
+  registered:guest ≈ 1:40, views ≫ replies, 30,000 requests at full scale;
+* :func:`hotcrp_workload` — SIGCOMM'09-derived: 269 papers, 58 reviewers,
+  820 reviews, 1-20 updates per paper, 2 versions per review, 100 page
+  views per reviewer, ≈52,000 requests at full scale.
+
+All generators take a ``scale`` in (0, 1] so tests and CI can run small.
+"""
+
+from repro.workloads.wiki import wiki_workload
+from repro.workloads.forum import forum_workload
+from repro.workloads.hotcrp import hotcrp_workload
+from repro.workloads.zipf import zipf_weights, zipf_sample
+
+__all__ = [
+    "forum_workload",
+    "hotcrp_workload",
+    "wiki_workload",
+    "zipf_sample",
+    "zipf_weights",
+]

@@ -1,0 +1,83 @@
+"""The phpBB workload (§5): hot-topic views with a 1:40 registered:guest
+ratio, replies from registered users, occasional logins.
+
+Full scale is 30,000 requests; the paper's source data is one week of the
+CentOS forum's most popular topic (63 posts, tens to thousands of views per
+post, 83 distinct users).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.apps import miniforum
+from repro.trace.events import Request
+from repro.workloads.wiki import Workload
+from repro.workloads.zipf import zipf_sample
+
+FULL_REQUESTS = 30_000
+FULL_TOPICS = 12
+REGISTERED_RATIO = 1.0 / 41.0  # 1 registered : 40 guests
+USERS = 83
+
+
+def forum_workload(
+    scale: float = 1.0,
+    seed: int = 20170921,  # the paper's scrape date
+    reply_fraction: float = 0.02,
+    login_fraction: float = 0.01,
+) -> Workload:
+    num_requests = max(20, int(FULL_REQUESTS * scale))
+    num_topics = max(2, int(FULL_TOPICS * min(1.0, scale * 4)))
+    rng = random.Random(seed)
+    app = miniforum.build_app(topics=num_topics)
+    topic_ids = list(range(1, num_topics + 1))
+    users = [f"user{index:03d}" for index in range(USERS)]
+    logged_in = set()
+
+    requests: List[Request] = []
+    hot_topics = zipf_sample(rng, topic_ids, 1.0, num_requests)
+    for index in range(num_requests):
+        rid = f"f{index:06d}"
+        topic = hot_topics[index]
+        registered = rng.random() < REGISTERED_RATIO
+        user = rng.choice(users)
+        roll = rng.random()
+        if registered and (roll < login_fraction or user not in logged_in):
+            logged_in.add(user)
+            requests.append(
+                Request(
+                    rid,
+                    "forum_login.php",
+                    post={"name": user},
+                    cookies={"sess": user},
+                )
+            )
+        elif registered and roll < login_fraction + reply_fraction:
+            requests.append(
+                Request(
+                    rid,
+                    "forum_reply.php",
+                    get={"t": str(topic)},
+                    post={"body": f"Reply #{index} to topic {topic}: "
+                          "works for me after a reboot."},
+                    cookies={"sess": user},
+                )
+            )
+        elif roll < 0.08:
+            cookies = {"sess": user} if registered else {}
+            requests.append(
+                Request(rid, "forum_topics.php", cookies=cookies)
+            )
+        else:
+            cookies = {"sess": user} if registered else {}
+            requests.append(
+                Request(
+                    rid,
+                    "forum_view.php",
+                    get={"t": str(topic)},
+                    cookies=cookies,
+                )
+            )
+    return Workload(app, requests, "phpBB")

@@ -1,0 +1,116 @@
+"""The HotCRP workload (§5): SIGCOMM 2009 parameters.
+
+Full scale: 269 papers, 58 reviewers, 820 reviews; each paper submitted by
+one author with 1-20 updates (uniform); each review submitted in two
+versions; each reviewer views 100 pages.  ≈52k requests at full scale.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.apps import minicrp
+from repro.trace.events import Request
+from repro.workloads.wiki import Workload
+
+FULL_PAPERS = 269
+FULL_REVIEWERS = 58
+FULL_REVIEWS = 820
+VIEWS_PER_REVIEWER = 100
+MAX_UPDATES = 20
+
+
+def hotcrp_workload(scale: float = 1.0, seed: int = 2009) -> Workload:
+    num_papers = max(3, int(FULL_PAPERS * scale))
+    num_reviewers = max(2, int(FULL_REVIEWERS * scale))
+    num_reviews = min(
+        max(3, int(FULL_REVIEWS * scale)), num_papers * num_reviewers
+    )
+    views_per_reviewer = max(3, int(VIEWS_PER_REVIEWER * min(1.0, scale * 4)))
+    rng = random.Random(seed)
+    app = minicrp.build_app()
+
+    authors = [f"author{index:03d}@inst.edu" for index in range(num_papers)]
+    reviewers = [
+        f"pc{index:02d}@conf.org" for index in range(num_reviewers)
+    ]
+
+    requests: List[Request] = []
+    counter = 0
+
+    def rid() -> str:
+        nonlocal counter
+        counter += 1
+        return f"c{counter:06d}"
+
+    # Phase 1: authors sign in and submit; papers get 1..20 updates.
+    for paper_index, author in enumerate(authors):
+        cookies = {"sess": author}
+        requests.append(
+            Request(rid(), "crp_login.php",
+                    post={"email": author, "role": "author"},
+                    cookies=cookies)
+        )
+        title = f"Paper {paper_index}: Auditing Layer {paper_index % 7}"
+        requests.append(
+            Request(rid(), "crp_submit.php",
+                    post={"title": title,
+                          "abstract": f"We study problem {paper_index}."},
+                    cookies=cookies)
+        )
+        paper_id = paper_index + 1  # deterministic auto-increment
+        for update in range(rng.randint(1, MAX_UPDATES)):
+            requests.append(
+                Request(rid(), "crp_submit.php",
+                        get={"p": str(paper_id)},
+                        post={"title": title,
+                              "abstract": f"We study problem {paper_index}"
+                                          f" (rev {update + 1})."},
+                        cookies=cookies)
+            )
+
+    # Phase 2: reviewers sign in; each review gets two versions.
+    for reviewer in reviewers:
+        requests.append(
+            Request(rid(), "crp_login.php",
+                    post={"email": reviewer, "role": "reviewer"},
+                    cookies={"sess": reviewer})
+        )
+    assignments = []
+    pairs = [
+        (paper, reviewer)
+        for paper in range(1, num_papers + 1)
+        for reviewer in reviewers
+    ]
+    rng.shuffle(pairs)
+    assignments = pairs[:num_reviews]
+    for version in (1, 2):
+        for paper_id, reviewer in assignments:
+            body = (
+                f"Review v{version} of paper {paper_id} by {reviewer}: "
+                + "solid work. " * 8
+            )
+            requests.append(
+                Request(rid(), "crp_review.php",
+                        get={"p": str(paper_id)},
+                        post={"body": body, "score": str(rng.randint(1, 5))},
+                        cookies={"sess": reviewer})
+            )
+
+    # Phase 3: reviewers browse (100 page views each at full scale).
+    for reviewer in reviewers:
+        for view in range(views_per_reviewer):
+            if view % 10 == 0:
+                requests.append(
+                    Request(rid(), "crp_list.php",
+                            cookies={"sess": reviewer})
+                )
+            else:
+                paper_id = rng.randint(1, num_papers)
+                requests.append(
+                    Request(rid(), "crp_paper.php",
+                            get={"p": str(paper_id)},
+                            cookies={"sess": reviewer})
+                )
+    return Workload(app, requests, "HotCRP")

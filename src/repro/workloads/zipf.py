@@ -1,0 +1,26 @@
+"""Zipf sampling helpers.
+
+The Wikipedia trace the paper downsampled follows a Zipf popularity
+distribution with β = 0.53 (Urdaneta et al. [85]): the i-th most popular
+page has weight 1 / i^β.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+
+def zipf_weights(n: int, beta: float) -> List[float]:
+    """Unnormalized Zipf weights for ranks 1..n."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return [1.0 / (rank ** beta) for rank in range(1, n + 1)]
+
+
+def zipf_sample(
+    rng: random.Random, population: Sequence, beta: float, k: int
+) -> List:
+    """Draw ``k`` items (with replacement) Zipf-distributed by rank."""
+    weights = zipf_weights(len(population), beta)
+    return rng.choices(list(population), weights=weights, k=k)

@@ -1,0 +1,116 @@
+"""The multivalue runtime type (§3.1, §4.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import WeblangError
+from repro.lang.values import PhpArray
+from repro.multivalue.multivalue import (
+    MultiValue,
+    collapse,
+    components,
+    expand_array,
+    make_multi,
+    map_componentwise,
+)
+
+
+def test_collapse_uniform_scalars():
+    assert make_multi([3, 3, 3]) == 3
+
+
+def test_no_collapse_when_different():
+    value = make_multi([3, 4, 3])
+    assert isinstance(value, MultiValue)
+    assert value.values == [3, 4, 3]
+
+
+def test_collapse_is_type_strict():
+    """1 and "1" (and 1 and 1.0) must not collapse: programs can observe
+    the type difference."""
+    assert isinstance(make_multi([1, "1"]), MultiValue)
+    assert isinstance(make_multi([1, 1.0]), MultiValue)
+    assert isinstance(make_multi([0, False]), MultiValue)
+    assert make_multi([1.0, 1.0]) == 1.0
+
+
+def test_collapse_arrays_by_value():
+    a = PhpArray.from_dict({"k": 1})
+    b = PhpArray.from_dict({"k": 1})
+    collapsed = make_multi([a, b])
+    assert isinstance(collapsed, PhpArray)
+
+
+def test_arrays_differ_in_order_do_not_collapse():
+    a = PhpArray()
+    a.set("x", 1)
+    a.set("y", 2)
+    b = PhpArray()
+    b.set("y", 2)
+    b.set("x", 1)
+    assert isinstance(make_multi([a, b]), MultiValue)
+
+
+def test_nested_array_collapse():
+    def make():
+        inner = PhpArray.from_list([1, 2])
+        return PhpArray.from_dict({"in": inner})
+
+    assert isinstance(make_multi([make(), make()]), PhpArray)
+
+
+def test_components_broadcast():
+    assert components(5, 3) == [5, 5, 5]
+    mv = MultiValue([1, 2, 3])
+    assert components(mv, 3) == [1, 2, 3]
+
+
+def test_components_cardinality_enforced():
+    with pytest.raises(WeblangError):
+        components(MultiValue([1, 2]), 3)
+
+
+def test_map_componentwise_scalar_expansion():
+    result = map_componentwise(
+        lambda a, b: a + b, 3, [MultiValue([1, 2, 3]), 10]
+    )
+    assert result.values == [11, 12, 13]
+
+
+def test_map_componentwise_collapses():
+    result = map_componentwise(
+        lambda a, b: a * 0, 3, [MultiValue([1, 2, 3]), 1]
+    )
+    assert result == 0
+
+
+def test_expand_array_copies_per_slot():
+    array = PhpArray.from_list([1, 2])
+    expanded = expand_array(array, 3)
+    assert len(expanded.values) == 3
+    expanded.values[1].append(99)
+    assert len(expanded.values[0]) == 2
+    assert len(expanded.values[2]) == 2
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=1,
+                max_size=6))
+def test_collapse_iff_uniform(values):
+    result = make_multi(list(values))
+    if len(set(values)) == 1:
+        assert result == values[0]
+    else:
+        assert isinstance(result, MultiValue)
+
+
+@given(st.lists(st.one_of(st.integers(), st.text(max_size=3),
+                          st.booleans(), st.none()),
+                min_size=2, max_size=5))
+def test_cardinality_preserved(values):
+    result = MultiValue(list(values))
+    collapsed = collapse(result)
+    if isinstance(collapsed, MultiValue):
+        assert len(collapsed.values) == len(values)

@@ -1,0 +1,328 @@
+"""The three applications: functional behaviour and audit roundtrips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_minicrp, build_miniforum, build_miniwiki
+from repro.core import ssco_audit
+from repro.server import Executor, RandomScheduler
+from repro.server.faulty import tamper_response
+from repro.server.nondet import NondetSource
+from repro.trace.events import Request
+
+
+def serve(app, requests, seed=7, concurrency=4):
+    executor = Executor(app, scheduler=RandomScheduler(seed),
+                        max_concurrency=concurrency,
+                        nondet=NondetSource(seed=seed))
+    return executor.serve(requests)
+
+
+# -- miniwiki -------------------------------------------------------------------
+
+
+def test_wiki_view_existing_page():
+    app = build_miniwiki(pages=3)
+    run = serve(app, [Request("r1", "wiki_view.php",
+                              get={"title": "Page_000"})])
+    body = run.trace.responses()["r1"].body
+    assert "<h1>Page_000</h1>" in body
+    assert "1 recent views" in body
+    assert "miniwiki" in body
+
+
+def test_wiki_view_missing_page():
+    app = build_miniwiki(pages=2)
+    run = serve(app, [Request("r1", "wiki_view.php",
+                              get={"title": "Nope"})])
+    assert "does not exist" in run.trace.responses()["r1"].body
+
+
+def test_wiki_edit_creates_page_and_revision():
+    app = build_miniwiki(pages=2)
+    run = serve(app, [
+        Request("r1", "wiki_edit.php", get={"title": "Fresh"},
+                post={"body": "new content", "summary": "create"},
+                cookies={"sess": "alice"}),
+        Request("r2", "wiki_view.php", get={"title": "Fresh"}),
+        Request("r3", "wiki_history.php", get={"title": "Fresh"}),
+    ], concurrency=1)
+    assert "Saved revision" in run.trace.responses()["r1"].body
+    assert "new content" in run.trace.responses()["r2"].body
+    assert "1 revisions shown" in run.trace.responses()["r3"].body
+
+
+def test_wiki_edit_cache_invalidation():
+    """An edit rewrites the parsed-body cache: the next view shows the new
+    content even though views are cache-served."""
+    app = build_miniwiki(pages=2)
+    run = serve(app, [
+        Request("r1", "wiki_view.php", get={"title": "Page_000"}),
+        Request("r2", "wiki_edit.php", get={"title": "Page_000"},
+                post={"body": "updated!", "summary": "u"},
+                cookies={"sess": "alice"}),
+        Request("r3", "wiki_view.php", get={"title": "Page_000"}),
+    ], concurrency=1)
+    assert "updated!" in run.trace.responses()["r3"].body
+    assert "updated!" not in run.trace.responses()["r1"].body
+
+
+def test_wiki_list_and_search():
+    app = build_miniwiki(pages=4)
+    run = serve(app, [
+        Request("r1", "wiki_list.php"),
+        Request("r2", "wiki_search.php", get={"q": "Page_00"}),
+        Request("r3", "wiki_search.php", get={"q": "x"}),
+    ], concurrency=1)
+    assert "4 pages" in run.trace.responses()["r1"].body
+    assert "Page_003" in run.trace.responses()["r2"].body
+    assert "at least two characters" in run.trace.responses()["r3"].body
+
+
+def test_wiki_random_uses_nondet():
+    app = build_miniwiki(pages=3)
+    run = serve(app, [Request("r1", "wiki_random.php")])
+    assert run.reports.nondet["r1"][0].func == "rand"
+    assert "Try <a" in run.trace.responses()["r1"].body
+
+
+def test_wiki_audit_roundtrip():
+    app = build_miniwiki(pages=3)
+    requests = [
+        Request(f"r{i}", "wiki_view.php",
+                get={"title": f"Page_00{i % 3}"})
+        for i in range(9)
+    ] + [
+        Request("e1", "wiki_edit.php", get={"title": "Page_000"},
+                post={"body": "x", "summary": "s"},
+                cookies={"sess": "bob"}),
+        Request("l1", "wiki_list.php"),
+    ]
+    run = serve(app, requests)
+    result = ssco_audit(app, run.trace, run.reports, run.initial_state)
+    assert result.accepted, (result.reason, result.detail)
+    tampered = tamper_response(run.trace, "l1", "<html>lies</html>")
+    assert not ssco_audit(app, tampered, run.reports,
+                          run.initial_state).accepted
+
+
+# -- miniforum -----------------------------------------------------------------
+
+
+def test_forum_topics_list():
+    app = build_miniforum(topics=3)
+    run = serve(app, [Request("r1", "forum_topics.php")])
+    body = run.trace.responses()["r1"].body
+    assert body.count("<tr>") == 3
+    assert "Log in" in body
+
+
+def test_forum_view_and_counter_flush():
+    app = build_miniforum(topics=1)
+    views = [
+        Request(f"v{i}", "forum_view.php", get={"t": "1"})
+        for i in range(12)
+    ]
+    run = serve(app, views, concurrency=1)
+    # The 10th view flushes the KV counter to the DB.
+    assert run.final_state.db_engine.tables["topics"].rows[0]["views"] == 10
+    body = run.trace.responses()["v11"].body
+    assert "12 views" in body
+
+
+def test_forum_guest_cannot_reply():
+    app = build_miniforum(topics=1)
+    run = serve(app, [Request("r1", "forum_reply.php", get={"t": "1"},
+                              post={"body": "hello"})])
+    assert "must log in" in run.trace.responses()["r1"].body
+
+
+def test_forum_login_and_reply():
+    app = build_miniforum(topics=1)
+    run = serve(app, [
+        Request("r1", "forum_login.php", post={"name": "dana"},
+                cookies={"sess": "dana"}),
+        Request("r2", "forum_reply.php", get={"t": "1"},
+                post={"body": "it works"}, cookies={"sess": "dana"}),
+        Request("r3", "forum_view.php", get={"t": "1"},
+                cookies={"sess": "dana"}),
+    ], concurrency=1)
+    assert "Welcome back" in run.trace.responses()["r1"].body
+    assert "Reply posted" in run.trace.responses()["r2"].body
+    body = run.trace.responses()["r3"].body
+    assert "it works" in body
+    assert "Logged in as <b>dana</b>" in body
+
+
+def test_forum_reply_missing_topic_rolls_back():
+    app = build_miniforum(topics=1)
+    run = serve(app, [
+        Request("r1", "forum_login.php", post={"name": "dana"},
+                cookies={"sess": "dana"}),
+        Request("r2", "forum_reply.php", get={"t": "99"},
+                post={"body": "x"}, cookies={"sess": "dana"}),
+    ], concurrency=1)
+    assert "No such topic" in run.trace.responses()["r2"].body
+    log = run.reports.op_logs["db:main"]
+    tx = next(r for r in log if r.rid == "r2"
+              and r.opcontents[0][-1] == "ROLLBACK")
+    assert tx.opcontents[1] is False
+
+
+def test_forum_audit_roundtrip():
+    app = build_miniforum(topics=2)
+    requests = [Request("l1", "forum_login.php", post={"name": "u1"},
+                        cookies={"sess": "u1"})]
+    requests += [
+        Request(f"v{i}", "forum_view.php", get={"t": str(1 + i % 2)})
+        for i in range(10)
+    ]
+    requests.append(
+        Request("p1", "forum_reply.php", get={"t": "1"},
+                post={"body": "reply"}, cookies={"sess": "u1"})
+    )
+    run = serve(app, requests)
+    result = ssco_audit(app, run.trace, run.reports, run.initial_state)
+    assert result.accepted, (result.reason, result.detail)
+
+
+# -- minicrp --------------------------------------------------------------------
+
+
+def _crp_session(email, role):
+    return [Request(f"login-{email}", "crp_login.php",
+                    post={"email": email, "role": role},
+                    cookies={"sess": email})]
+
+
+def test_crp_submit_requires_login():
+    app = build_minicrp()
+    run = serve(app, [Request("r1", "crp_submit.php",
+                              post={"title": "T", "abstract": "A"})])
+    assert "Sign in first" in run.trace.responses()["r1"].body
+
+
+def test_crp_submission_and_receipt():
+    app = build_minicrp()
+    requests = _crp_session("a@x.edu", "author") + [
+        Request("s1", "crp_submit.php",
+                post={"title": "Audit", "abstract": "We audit."},
+                cookies={"sess": "a@x.edu"}),
+    ]
+    run = serve(app, requests, concurrency=1)
+    body = run.trace.responses()["s1"].body
+    assert "Paper #1 saved" in body
+    assert "Receipt: uid" in body
+    # The receipt comes from uniqid(): recorded non-determinism.
+    assert any(r.func == "uniqid" for r in run.reports.nondet["s1"])
+
+
+def test_crp_update_own_paper_only():
+    app = build_minicrp()
+    requests = (
+        _crp_session("a@x.edu", "author")
+        + _crp_session("b@x.edu", "author")
+        + [
+            Request("s1", "crp_submit.php",
+                    post={"title": "T", "abstract": "A"},
+                    cookies={"sess": "a@x.edu"}),
+            Request("s2", "crp_submit.php", get={"p": "1"},
+                    post={"title": "T2", "abstract": "A2"},
+                    cookies={"sess": "b@x.edu"}),
+            Request("s3", "crp_submit.php", get={"p": "1"},
+                    post={"title": "T3", "abstract": "A3"},
+                    cookies={"sess": "a@x.edu"}),
+        ]
+    )
+    run = serve(app, requests, concurrency=1)
+    assert "Not your paper" in run.trace.responses()["s2"].body
+    assert "Paper #1 saved" in run.trace.responses()["s3"].body
+
+
+def test_crp_reviews_hidden_from_authors():
+    app = build_minicrp()
+    requests = (
+        _crp_session("a@x.edu", "author")
+        + _crp_session("r@c.org", "reviewer")
+        + [
+            Request("s1", "crp_submit.php",
+                    post={"title": "T", "abstract": "A"},
+                    cookies={"sess": "a@x.edu"}),
+            Request("v1", "crp_review.php", get={"p": "1"},
+                    post={"body": "solid", "score": "4"},
+                    cookies={"sess": "r@c.org"}),
+            Request("p_author", "crp_paper.php", get={"p": "1"},
+                    cookies={"sess": "a@x.edu"}),
+            Request("p_rev", "crp_paper.php", get={"p": "1"},
+                    cookies={"sess": "r@c.org"}),
+        ]
+    )
+    run = serve(app, requests, concurrency=1)
+    assert "hidden from authors" in run.trace.responses()["p_author"].body
+    reviewer_body = run.trace.responses()["p_rev"].body
+    assert "1 reviews" in reviewer_body
+    assert "[4/5]" in reviewer_body
+    assert "Average score: 4.00" in reviewer_body
+
+
+def test_crp_review_versioning():
+    app = build_minicrp()
+    requests = (
+        _crp_session("a@x.edu", "author")
+        + _crp_session("r@c.org", "reviewer")
+        + [
+            Request("s1", "crp_submit.php",
+                    post={"title": "T", "abstract": "A"},
+                    cookies={"sess": "a@x.edu"}),
+            Request("v1", "crp_review.php", get={"p": "1"},
+                    post={"body": "draft", "score": "3"},
+                    cookies={"sess": "r@c.org"}),
+            Request("v2", "crp_review.php", get={"p": "1"},
+                    post={"body": "final", "score": "5"},
+                    cookies={"sess": "r@c.org"}),
+        ]
+    )
+    run = serve(app, requests, concurrency=1)
+    assert "Review v1" in run.trace.responses()["v1"].body
+    assert "Review v2" in run.trace.responses()["v2"].body
+
+
+def test_crp_list_reviewers_only():
+    app = build_minicrp()
+    requests = (
+        _crp_session("r@c.org", "reviewer")
+        + _crp_session("a@x.edu", "author")
+        + [
+            Request("s1", "crp_submit.php",
+                    post={"title": "T", "abstract": "A"},
+                    cookies={"sess": "a@x.edu"}),
+            Request("l1", "crp_list.php", cookies={"sess": "r@c.org"}),
+            Request("l2", "crp_list.php", cookies={"sess": "a@x.edu"}),
+        ]
+    )
+    run = serve(app, requests, concurrency=1)
+    assert "1 submissions" in run.trace.responses()["l1"].body
+    assert "Reviewers only" in run.trace.responses()["l2"].body
+
+
+def test_crp_audit_roundtrip():
+    app = build_minicrp()
+    requests = (
+        _crp_session("a@x.edu", "author")
+        + _crp_session("r@c.org", "reviewer")
+        + [
+            Request("s1", "crp_submit.php",
+                    post={"title": "T", "abstract": "A"},
+                    cookies={"sess": "a@x.edu"}),
+            Request("v1", "crp_review.php", get={"p": "1"},
+                    post={"body": "ok", "score": "4"},
+                    cookies={"sess": "r@c.org"}),
+            Request("p1", "crp_paper.php", get={"p": "1"},
+                    cookies={"sess": "r@c.org"}),
+            Request("l1", "crp_list.php", cookies={"sess": "r@c.org"}),
+        ]
+    )
+    run = serve(app, requests)
+    result = ssco_audit(app, run.trace, run.reports, run.initial_state)
+    assert result.accepted, (result.reason, result.detail)

@@ -1,0 +1,235 @@
+"""Remaining application pages and cross-page behaviours."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_minicrp, build_miniforum, build_miniwiki
+from repro.core import ssco_audit
+from repro.server import Executor, RandomScheduler
+from repro.server.nondet import NondetSource
+from repro.trace.events import Request
+
+
+def serve(app, requests, seed=5, concurrency=1):
+    return Executor(app, scheduler=RandomScheduler(seed),
+                    max_concurrency=concurrency,
+                    nondet=NondetSource(seed=seed)).serve(requests)
+
+
+# -- miniwiki --------------------------------------------------------------------
+
+
+def test_wiki_login_sets_session_identity():
+    app = build_miniwiki(pages=1)
+    run = serve(app, [
+        Request("l1", "wiki_login.php", post={"name": "Dana"},
+                cookies={"sess": "c1"}),
+        Request("e1", "wiki_edit.php", get={"title": "Page_000"},
+                post={"body": "signed edit", "summary": "s"},
+                cookies={"sess": "c1"}),
+        Request("h1", "wiki_history.php", get={"title": "Page_000"}),
+    ])
+    assert "Welcome, Dana" in run.trace.responses()["l1"].body
+    assert "Dana" in run.trace.responses()["h1"].body
+
+
+def test_wiki_login_requires_name():
+    app = build_miniwiki(pages=1)
+    run = serve(app, [Request("l1", "wiki_login.php",
+                              cookies={"sess": "c1"})])
+    assert "Provide a name" in run.trace.responses()["l1"].body
+
+
+def test_wiki_edit_validation():
+    app = build_miniwiki(pages=1)
+    run = serve(app, [Request("e1", "wiki_edit.php",
+                              cookies={"sess": "c1"})])
+    assert "Missing title or body" in run.trace.responses()["e1"].body
+
+
+def test_wiki_anonymous_edit():
+    app = build_miniwiki(pages=1)
+    run = serve(app, [
+        Request("e1", "wiki_edit.php", get={"title": "Page_000"},
+                post={"body": "anon", "summary": ""},
+                cookies={"sess": "anon-cookie"}),
+        Request("h1", "wiki_history.php", get={"title": "Page_000"}),
+    ])
+    assert "anonymous" in run.trace.responses()["h1"].body
+
+
+def test_wiki_view_counter_flush_to_hitcounter():
+    app = build_miniwiki(pages=1)
+    views = [Request(f"v{i}", "wiki_view.php",
+                     get={"title": "Page_000"}) for i in range(25)]
+    run = serve(app, views)
+    rows = run.final_state.db_engine.tables["hitcounter"].rows
+    assert rows[0]["views"] == 20  # one flush at the 20th view
+    # Remaining 5 pending in the KV store.
+    assert run.final_state.kv["views:Page_000"] == 5
+
+
+def test_wiki_wikitext_rendering():
+    app = build_miniwiki(pages=2)
+    run = serve(app, [Request("v1", "wiki_view.php",
+                              get={"title": "Page_000"})])
+    body = run.trace.responses()["v1"].body
+    assert "<b>" in body           # ''bold'' markup
+    assert "<a class='wl'>" in body  # [[link]] markup
+
+
+def test_wiki_full_audit_with_all_pages():
+    app = build_miniwiki(pages=3)
+    requests = [
+        Request("l1", "wiki_login.php", post={"name": "D"},
+                cookies={"sess": "c"}),
+        Request("v1", "wiki_view.php", get={"title": "Page_001"}),
+        Request("e1", "wiki_edit.php", get={"title": "New"},
+                post={"body": "b", "summary": "s"}, cookies={"sess": "c"}),
+        Request("s1", "wiki_search.php", get={"q": "Page"}),
+        Request("h1", "wiki_history.php", get={"title": "New"}),
+        Request("r1", "wiki_random.php"),
+        Request("x1", "wiki_list.php"),
+    ]
+    run = serve(app, requests, concurrency=3)
+    result = ssco_audit(app, run.trace, run.reports, run.initial_state)
+    assert result.accepted, (result.reason, result.detail)
+
+
+# -- miniforum -------------------------------------------------------------------
+
+
+def test_forum_topics_shows_pending_kv_views():
+    """The topic index adds the KV-pending views to the DB counter."""
+    app = build_miniforum(topics=1)
+    run = serve(app, [
+        Request("v1", "forum_view.php", get={"t": "1"}),
+        Request("v2", "forum_view.php", get={"t": "1"}),
+        Request("t1", "forum_topics.php"),
+    ])
+    assert "2 views" in run.trace.responses()["t1"].body
+
+
+def test_forum_empty_reply_rejected():
+    app = build_miniforum(topics=1)
+    run = serve(app, [
+        Request("l1", "forum_login.php", post={"name": "u"},
+                cookies={"sess": "u"}),
+        Request("p1", "forum_reply.php", get={"t": "1"},
+                post={"body": ""}, cookies={"sess": "u"}),
+    ])
+    assert "Empty reply" in run.trace.responses()["p1"].body
+
+
+def test_forum_login_reuses_existing_user():
+    app = build_miniforum(topics=1)
+    run = serve(app, [
+        Request("l1", "forum_login.php", post={"name": "dana"},
+                cookies={"sess": "s1"}),
+        Request("l2", "forum_login.php", post={"name": "dana"},
+                cookies={"sess": "s2"}),
+    ])
+    users = run.final_state.db_engine.tables["users"].rows
+    assert sum(1 for u in users if u["name"] == "dana") == 1
+
+
+def test_forum_user_post_counter():
+    app = build_miniforum(topics=1)
+    run = serve(app, [
+        Request("l1", "forum_login.php", post={"name": "u"},
+                cookies={"sess": "u"}),
+        Request("p1", "forum_reply.php", get={"t": "1"},
+                post={"body": "one"}, cookies={"sess": "u"}),
+        Request("p2", "forum_reply.php", get={"t": "1"},
+                post={"body": "two"}, cookies={"sess": "u"}),
+    ])
+    users = run.final_state.db_engine.tables["users"].rows
+    dana = next(u for u in users if u["name"] == "u")
+    assert dana["posts"] == 2
+
+
+# -- minicrp ---------------------------------------------------------------------
+
+
+def test_crp_submission_sends_receipt_email():
+    app = build_minicrp()
+    run = serve(app, [
+        Request("l1", "crp_login.php",
+                post={"email": "a@x.edu", "role": "author"},
+                cookies={"sess": "a@x.edu"}),
+        Request("s1", "crp_submit.php",
+                post={"title": "T", "abstract": "A"},
+                cookies={"sess": "a@x.edu"}),
+    ])
+    externals = run.trace.externals()
+    assert len(externals["s1"]) == 1
+    email = externals["s1"][0]
+    assert email.service == "email"
+    assert email.content[0] == "a@x.edu"
+    assert "Submission receipt uid" in email.content[1]
+    # The receipt in the email matches the one in the response body.
+    receipt = email.content[1].split()[-1]
+    assert receipt in run.trace.responses()["s1"].body
+
+
+def test_crp_receipt_email_verified_by_audit():
+    from repro.common.errors import RejectReason
+    from repro.trace.trace import Trace
+
+    app = build_minicrp()
+    run = serve(app, [
+        Request("l1", "crp_login.php",
+                post={"email": "a@x.edu", "role": "author"},
+                cookies={"sess": "a@x.edu"}),
+        Request("s1", "crp_submit.php",
+                post={"title": "T", "abstract": "A"},
+                cookies={"sess": "a@x.edu"}),
+    ])
+    honest = ssco_audit(app, run.trace, run.reports, run.initial_state)
+    assert honest.accepted
+    # Suppress the receipt: detected.
+    events = [ev for ev in run.trace if not ev.is_external]
+    result = ssco_audit(app, Trace(events), run.reports,
+                        run.initial_state)
+    assert not result.accepted
+    assert result.reason is RejectReason.EXTERNAL_MISMATCH
+
+
+def test_crp_invalid_review_inputs():
+    app = build_minicrp()
+    run = serve(app, [
+        Request("l1", "crp_login.php",
+                post={"email": "r@c.org", "role": "reviewer"},
+                cookies={"sess": "r@c.org"}),
+        Request("v1", "crp_review.php", get={"p": "1"},
+                post={"body": "x", "score": "9"},
+                cookies={"sess": "r@c.org"}),
+        Request("v2", "crp_review.php", get={"p": "0"},
+                post={"body": "x", "score": "3"},
+                cookies={"sess": "r@c.org"}),
+    ])
+    assert "1-5 score" in run.trace.responses()["v1"].body
+    assert "1-5 score" in run.trace.responses()["v2"].body
+
+
+def test_crp_review_nonexistent_paper_rolls_back():
+    app = build_minicrp()
+    run = serve(app, [
+        Request("l1", "crp_login.php",
+                post={"email": "r@c.org", "role": "reviewer"},
+                cookies={"sess": "r@c.org"}),
+        Request("v1", "crp_review.php", get={"p": "7"},
+                post={"body": "x", "score": "3"},
+                cookies={"sess": "r@c.org"}),
+    ])
+    assert "No such paper" in run.trace.responses()["v1"].body
+    assert run.final_state.db_engine.tables["reviews"].rows == []
+
+
+def test_crp_bad_login_email():
+    app = build_minicrp()
+    run = serve(app, [Request("l1", "crp_login.php",
+                              post={"email": "nope"},
+                              cookies={"sess": "x"})])
+    assert "valid email" in run.trace.responses()["l1"].body

@@ -1,0 +1,140 @@
+"""Completeness: the audit accepts every honest execution (§2).
+
+The executor's schedule is its discretion (§3.2); Completeness must hold
+for *all* of them.  Hypothesis drives the executor with random scheduler
+seeds, concurrency levels, and workload shapes; every resulting
+trace+reports pair must be accepted, by the grouped audit, the OOO audit,
+and the simple-re-execution baseline alike.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ooo_audit, simple_audit, ssco_audit
+from repro.server import Application, Executor, RandomScheduler
+from repro.server.nondet import NondetSource
+from repro.trace.events import Request
+from tests.conftest import COUNTER_SCHEMA, COUNTER_SRC, counter_requests
+
+
+def _app() -> Application:
+    return Application.from_sources(
+        "counter", COUNTER_SRC, db_setup=COUNTER_SCHEMA
+    )
+
+
+def _serve(seed: int, concurrency: int, n: int):
+    executor = Executor(
+        _app(),
+        scheduler=RandomScheduler(seed),
+        max_concurrency=concurrency,
+        nondet=NondetSource(seed=seed),
+    )
+    return executor.serve(counter_requests(n))
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    concurrency=st.integers(min_value=1, max_value=8),
+)
+def test_every_schedule_is_accepted(seed, concurrency):
+    run = _serve(seed, concurrency, 18)
+    app = _app()
+    result = ssco_audit(app, run.trace, run.reports, run.initial_state)
+    assert result.accepted, (seed, concurrency, result.reason,
+                             result.detail)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_every_schedule_accepted_by_baseline_audits(seed):
+    run = _serve(seed, 5, 18)
+    app = _app()
+    assert simple_audit(app, run.trace, run.reports,
+                        run.initial_state).accepted
+    assert ooo_audit(app, run.trace, run.reports,
+                     run.initial_state).accepted
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=1, max_value=40),
+)
+def test_workload_size_does_not_matter(seed, n):
+    run = _serve(seed, 4, n)
+    app = _app()
+    result = ssco_audit(app, run.trace, run.reports, run.initial_state)
+    assert result.accepted, (seed, n, result.reason, result.detail)
+
+
+def test_resilient_mode_also_complete(honest_run, counter_app):
+    result = ssco_audit(
+        counter_app, honest_run.trace, honest_run.reports,
+        honest_run.initial_state, strict=False,
+    )
+    assert result.accepted
+
+
+def test_dedup_off_also_complete(honest_run, counter_app):
+    result = ssco_audit(
+        counter_app, honest_run.trace, honest_run.reports,
+        honest_run.initial_state, dedup=False,
+    )
+    assert result.accepted
+
+
+def test_collapse_off_also_complete(honest_run, counter_app):
+    result = ssco_audit(
+        counter_app, honest_run.trace, honest_run.reports,
+        honest_run.initial_state, collapse=False,
+    )
+    assert result.accepted
+
+
+def test_small_group_chunks_also_complete(honest_run, counter_app):
+    """Chunking groups (the §4.7 3,000-request cap) cannot break audits."""
+    result = ssco_audit(
+        counter_app, honest_run.trace, honest_run.reports,
+        honest_run.initial_state, max_group_size=2,
+    )
+    assert result.accepted
+
+
+def test_sequential_executor_accepted(counter_app):
+    run = Executor(counter_app, max_concurrency=1).serve(
+        counter_requests(12)
+    )
+    result = ssco_audit(counter_app, run.trace, run.reports,
+                        run.initial_state)
+    assert result.accepted
+
+
+def test_migration_matches_server_final_state(counter_app):
+    """The migrated post-audit state (§4.5) must equal the server's true
+    final state value-for-value — it becomes the next epoch's trusted
+    initial state (§4.1, 'Persistent objects')."""
+    executor = Executor(counter_app, scheduler=RandomScheduler(3),
+                        max_concurrency=3, nondet=NondetSource(seed=3))
+    run1 = executor.serve(counter_requests(24))
+    audit1 = ssco_audit(counter_app, run1.trace, run1.reports,
+                        run1.initial_state, migrate=True)
+    assert audit1.accepted
+    migrated = audit1.next_initial
+    assert migrated is not None
+    final = run1.final_state
+    assert migrated.db_engine.tables.keys() == final.db_engine.tables.keys()
+    for name in migrated.db_engine.tables:
+        assert (
+            migrated.db_engine.tables[name].rows
+            == final.db_engine.tables[name].rows
+        ), f"table {name} differs after migration"
+    assert migrated.kv == final.kv
+    assert migrated.registers == final.registers

@@ -1,0 +1,93 @@
+"""Read-query deduplication (§4.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dedup import QueryDedup
+from repro.objects.base import OpRecord, OpType
+from repro.sql.engine import Engine
+from repro.sql.parser import parse_script
+from repro.sql.versioned import MAXQ, VersionedDB
+
+
+def _vdb():
+    engine = Engine()
+    for stmt in parse_script(
+        "CREATE TABLE a (id INT PRIMARY KEY AUTOINCREMENT, v INT);"
+        "CREATE TABLE b (id INT PRIMARY KEY AUTOINCREMENT, w INT);"
+        "INSERT INTO a (v) VALUES (1);"
+        "INSERT INTO b (w) VALUES (2)"
+    ):
+        engine.execute(stmt)
+    vdb = VersionedDB()
+    vdb.load_initial(engine)
+    # One write to table a at seq 5; table b never written.
+    vdb.build([
+        OpRecord("r1", 1, OpType.DB_OP,
+                 (("UPDATE a SET v = 9 WHERE id = 1",), True)),
+    ])
+    return vdb
+
+
+def test_same_version_hits():
+    dedup = QueryDedup(_vdb())
+    first = dedup.select("SELECT v FROM a", 0)
+    second = dedup.select("SELECT v FROM a", 0)
+    assert first.rows == second.rows
+    assert dedup.hits == 1 and dedup.misses == 1
+
+
+def test_reuse_when_no_intervening_write():
+    vdb = _vdb()
+    dedup = QueryDedup(vdb)
+    dedup.select("SELECT w FROM b", 0)
+    # Table b has no writes at all: any later version can reuse.
+    result = dedup.select("SELECT w FROM b", 7 * MAXQ)
+    assert dedup.hits == 1
+    assert result.rows == [{"w": 2}]
+
+
+def test_no_reuse_across_write():
+    vdb = _vdb()
+    dedup = QueryDedup(vdb)
+    before = dedup.select("SELECT v FROM a", 0)
+    after = dedup.select("SELECT v FROM a", 2 * MAXQ)
+    assert dedup.hits == 0 and dedup.misses == 2
+    assert before.rows == [{"v": 1}]
+    assert after.rows == [{"v": 9}]
+
+
+def test_reuse_later_neighbour():
+    """A query at an *earlier* version can reuse a cached later execution
+    when no write separates them."""
+    vdb = _vdb()
+    dedup = QueryDedup(vdb)
+    dedup.select("SELECT v FROM a", 3 * MAXQ)
+    result = dedup.select("SELECT v FROM a", 2 * MAXQ)
+    assert dedup.hits == 1
+    assert result.rows == [{"v": 9}]
+
+
+def test_different_sql_text_never_deduped():
+    dedup = QueryDedup(_vdb())
+    dedup.select("SELECT v FROM a", 0)
+    dedup.select("SELECT v FROM a WHERE id = 1", 0)
+    assert dedup.hits == 0 and dedup.misses == 2
+
+
+def test_results_equal_uncached_execution():
+    """Dedup must be invisible: every answer equals a direct query."""
+    vdb = _vdb()
+    dedup = QueryDedup(vdb)
+    for ts in (0, MAXQ, 2 * MAXQ, 2 * MAXQ, 3 * MAXQ, 0):
+        assert (
+            dedup.select("SELECT v FROM a", ts).rows
+            == vdb.do_query("SELECT v FROM a", ts).rows
+        )
+
+
+def test_non_select_raises():
+    dedup = QueryDedup(_vdb())
+    with pytest.raises(ValueError):
+        dedup.select("UPDATE a SET v = 2 WHERE id = 1", 0)

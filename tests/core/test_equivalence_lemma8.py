@@ -1,0 +1,138 @@
+"""Equivalence of the grouped audit and OOOAudit (Lemmas 5 and 8, §A.4-A.6).
+
+* Lemma 5 (schedule indifference): OOOAudit gives the same verdict under
+  any well-formed op schedule.  We compare the canonical topological-sort
+  schedule against trace-order and reversed-completion-order schedules.
+* Lemma 8 / Theorem 10: the grouped audit (SSCO_AUDIT2) and OOOAudit agree
+  on honest and tampered inputs alike.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ooo_audit, simple_audit, ssco_audit
+from repro.core.graph import OPNUM_INF
+from repro.core.process_reports import process_op_reports
+from repro.server import faulty
+
+
+def _trace_order_schedule(trace, reports):
+    """All of r's entries in trace arrival order: (rid,0..M,inf) blocks.
+
+    Well-formed: contains G's nodes, respects program order.
+    """
+    schedule = []
+    for rid in trace.request_ids():
+        schedule.append((rid, 0))
+        for opnum in range(1, reports.op_counts.get(rid, 0) + 1):
+            schedule.append((rid, opnum))
+        schedule.append((rid, OPNUM_INF))
+    return schedule
+
+
+def _interleaved_schedule(trace, reports, seed):
+    """Random interleaving respecting program order: repeatedly pick a
+    request with entries remaining."""
+    rng = random.Random(seed)
+    pending = {
+        rid: [(rid, 0)]
+        + [(rid, opnum)
+           for opnum in range(1, reports.op_counts.get(rid, 0) + 1)]
+        + [(rid, OPNUM_INF)]
+        for rid in trace.request_ids()
+    }
+    schedule = []
+    alive = list(pending)
+    while alive:
+        rid = rng.choice(alive)
+        schedule.append(pending[rid].pop(0))
+        if not pending[rid]:
+            alive.remove(rid)
+    return schedule
+
+
+def test_topo_schedule_accepts_honest(counter_app, honest_run):
+    result = ooo_audit(
+        counter_app, honest_run.trace, honest_run.reports,
+        honest_run.initial_state,
+    )
+    assert result.accepted, (result.reason, result.detail)
+
+
+def test_trace_order_schedule_accepts_honest(counter_app, honest_run):
+    schedule = _trace_order_schedule(honest_run.trace, honest_run.reports)
+    result = ooo_audit(
+        counter_app, honest_run.trace, honest_run.reports,
+        honest_run.initial_state, schedule=schedule,
+    )
+    assert result.accepted, (result.reason, result.detail)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 7, 19, 123])
+def test_random_interleavings_agree(counter_app, honest_run, seed):
+    """Lemma 5: any well-formed schedule gives the same (accepting)
+    verdict."""
+    schedule = _interleaved_schedule(
+        honest_run.trace, honest_run.reports, seed
+    )
+    result = ooo_audit(
+        counter_app, honest_run.trace, honest_run.reports,
+        honest_run.initial_state, schedule=schedule,
+    )
+    assert result.accepted, (seed, result.reason, result.detail)
+
+
+def test_grouped_and_ooo_agree_on_honest(counter_app, honest_run):
+    grouped = ssco_audit(counter_app, honest_run.trace, honest_run.reports,
+                         honest_run.initial_state)
+    ooo = ooo_audit(counter_app, honest_run.trace, honest_run.reports,
+                    honest_run.initial_state)
+    assert grouped.accepted == ooo.accepted is True
+    # Identical regenerated outputs, not just the same verdict.
+    assert grouped.produced == ooo.produced
+
+
+def test_grouped_and_ooo_agree_on_tampered_response(counter_app,
+                                                    honest_run):
+    trace = faulty.tamper_response(honest_run.trace, "r002", "bogus")
+    grouped = ssco_audit(counter_app, trace, honest_run.reports,
+                         honest_run.initial_state)
+    ooo = ooo_audit(counter_app, trace, honest_run.reports,
+                    honest_run.initial_state)
+    assert not grouped.accepted and not ooo.accepted
+
+
+def test_grouped_and_ooo_agree_on_tampered_log(counter_app, honest_run):
+    reports = faulty.drop_log_entry(honest_run.reports, "kv:apc", 1)
+    grouped = ssco_audit(counter_app, honest_run.trace, reports,
+                         honest_run.initial_state)
+    ooo = ooo_audit(counter_app, honest_run.trace, reports,
+                    honest_run.initial_state)
+    assert not grouped.accepted and not ooo.accepted
+    assert grouped.reason == ooo.reason
+
+
+def test_simple_audit_and_grouped_produce_identical_outputs(
+    counter_app, honest_run
+):
+    grouped = ssco_audit(counter_app, honest_run.trace, honest_run.reports,
+                         honest_run.initial_state)
+    baseline = simple_audit(counter_app, honest_run.trace,
+                            honest_run.reports, honest_run.initial_state)
+    assert grouped.produced == baseline.produced
+
+
+def test_schedules_are_permutations_of_graph_nodes(counter_app,
+                                                   honest_run):
+    """The constructed schedules really are well-formed (Definition 4)."""
+    graph, _ = process_op_reports(honest_run.trace, honest_run.reports)
+    nodes = set(graph.nodes)
+    for schedule in (
+        _trace_order_schedule(honest_run.trace, honest_run.reports),
+        _interleaved_schedule(honest_run.trace, honest_run.reports, 5),
+    ):
+        assert set(schedule) == nodes
+        assert len(schedule) == len(nodes)

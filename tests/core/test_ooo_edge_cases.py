@@ -1,0 +1,83 @@
+"""OOOAudit schedule edge cases (Figure 13's explicit checks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import RejectReason
+from repro.core import ooo_audit
+from repro.core.graph import OPNUM_INF
+
+
+def _base_schedule(run):
+    schedule = []
+    for rid in run.trace.request_ids():
+        schedule.append((rid, 0))
+        for opnum in range(1, run.reports.op_counts.get(rid, 0) + 1):
+            schedule.append((rid, opnum))
+        schedule.append((rid, OPNUM_INF))
+    return schedule
+
+
+def test_schedule_missing_init_entry(counter_app, honest_run):
+    """Using a rid before its (rid, 0) entry is an error in the schedule
+    machinery, reported as UNEXPECTED_EVENT."""
+    schedule = _base_schedule(honest_run)
+    schedule = [entry for entry in schedule
+                if entry != (schedule[0][0], 0)]
+    result = ooo_audit(counter_app, honest_run.trace, honest_run.reports,
+                       honest_run.initial_state, schedule=schedule)
+    assert not result.accepted
+    assert result.reason is RejectReason.UNEXPECTED_EVENT
+
+
+def test_schedule_with_unknown_rid(counter_app, honest_run):
+    schedule = [("ghost", 0)] + _base_schedule(honest_run)
+    result = ooo_audit(counter_app, honest_run.trace, honest_run.reports,
+                       honest_run.initial_state, schedule=schedule)
+    assert not result.accepted
+    assert result.reason is RejectReason.GROUP_UNKNOWN_RID
+
+
+def test_schedule_missing_final_entries(counter_app, honest_run):
+    """Without the (rid, ∞) entries no outputs are produced: mismatch."""
+    schedule = [entry for entry in _base_schedule(honest_run)
+                if entry[1] != OPNUM_INF]
+    result = ooo_audit(counter_app, honest_run.trace, honest_run.reports,
+                       honest_run.initial_state, schedule=schedule)
+    assert not result.accepted
+    assert result.reason is RejectReason.OUTPUT_MISMATCH
+
+
+def test_schedule_extra_op_entry(counter_app, honest_run):
+    """A schedule slot beyond the request's actual operations: the
+    program has no operation to offer (Figure 13 line 12)."""
+    rid = max(honest_run.reports.op_counts,
+              key=lambda r: honest_run.reports.op_counts[r])
+    count = honest_run.reports.op_counts[rid]
+    schedule = []
+    for entry in _base_schedule(honest_run):
+        schedule.append(entry)
+        if entry == (rid, count):
+            schedule.append((rid, count + 1))
+    result = ooo_audit(counter_app, honest_run.trace, honest_run.reports,
+                       honest_run.initial_state, schedule=schedule)
+    assert not result.accepted
+    assert result.reason is RejectReason.UNEXPECTED_EVENT
+
+
+def test_schedule_respecting_reversed_request_order(counter_app,
+                                                    honest_run):
+    """Requests in reverse arrival order: still a well-formed schedule
+    (program order is per-request), so the audit accepts (Lemma 5)."""
+    schedule = []
+    for rid in reversed(honest_run.trace.request_ids()):
+        schedule.append((rid, 0))
+        for opnum in range(
+            1, honest_run.reports.op_counts.get(rid, 0) + 1
+        ):
+            schedule.append((rid, opnum))
+        schedule.append((rid, OPNUM_INF))
+    result = ooo_audit(counter_app, honest_run.trace, honest_run.reports,
+                       honest_run.initial_state, schedule=schedule)
+    assert result.accepted, (result.reason, result.detail)

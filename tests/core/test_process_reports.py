@@ -1,0 +1,201 @@
+"""ProcessOpReports (Figure 5): CheckLogs, edges, OpMap construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import AuditReject, RejectReason
+from repro.core.graph import OPNUM_INF
+from repro.core.process_reports import (
+    add_program_edges,
+    add_state_edges,
+    check_logs,
+    process_op_reports,
+    split_nodes,
+)
+from repro.core.timeprec import create_time_precedence_graph
+from repro.objects.base import OpRecord, OpType
+from repro.server.reports import Reports
+from repro.trace.events import Event, Request, Response
+from repro.trace.trace import Trace
+
+
+def _trace_two_sequential():
+    return Trace([
+        Event.request(Request("r1", "s"), 1),
+        Event.response(Response("r1", "x"), 2),
+        Event.request(Request("r2", "s"), 3),
+        Event.response(Response("r2", "y"), 4),
+    ])
+
+
+def _reports(**overrides):
+    base = Reports(
+        groups={"t": ["r1", "r2"]},
+        op_logs={
+            "reg:g:A": [
+                OpRecord("r1", 1, OpType.REGISTER_WRITE, (5,)),
+                OpRecord("r2", 1, OpType.REGISTER_READ, ()),
+            ]
+        },
+        op_counts={"r1": 1, "r2": 1},
+        nondet={},
+    )
+    for key, value in overrides.items():
+        setattr(base, key, value)
+    return base
+
+
+def test_valid_reports_pass():
+    graph, opmap = process_op_reports(_trace_two_sequential(), _reports())
+    assert len(opmap) == 2
+    assert opmap.get("r1", 1) == ("reg:g:A", 1)
+    assert opmap.get("r2", 1) == ("reg:g:A", 2)
+
+
+def test_split_nodes_shape():
+    trace = _trace_two_sequential()
+    graph = split_nodes(create_time_precedence_graph(trace))
+    assert ("r1", 0) in graph.adj and ("r1", OPNUM_INF) in graph.adj
+    # The r1 -> r2 precedence edge connects departure to arrival.
+    assert ("r2", 0) in graph.adj[("r1", OPNUM_INF)]
+
+
+def test_program_edges_chain():
+    trace = _trace_two_sequential()
+    graph = split_nodes(create_time_precedence_graph(trace))
+    add_program_edges(graph, trace, {"r1": 3, "r2": 0})
+    assert ("r1", 1) in graph.adj[("r1", 0)]
+    assert ("r1", 2) in graph.adj[("r1", 1)]
+    assert ("r1", 3) in graph.adj[("r1", 2)]
+    assert ("r1", OPNUM_INF) in graph.adj[("r1", 3)]
+    # Zero ops: arrival connects straight to departure.
+    assert ("r2", OPNUM_INF) in graph.adj[("r2", 0)]
+
+
+def test_checklogs_rejects_unknown_rid():
+    reports = _reports()
+    reports.op_logs["reg:g:A"].append(
+        OpRecord("ghost", 1, OpType.REGISTER_READ, ())
+    )
+    with pytest.raises(AuditReject) as exc:
+        check_logs(_trace_two_sequential(), reports)
+    assert exc.value.reason is RejectReason.LOG_UNKNOWN_RID
+
+
+def test_checklogs_rejects_zero_opnum():
+    reports = _reports()
+    reports.op_logs["reg:g:A"][0] = OpRecord(
+        "r1", 0, OpType.REGISTER_WRITE, (5,)
+    )
+    with pytest.raises(AuditReject) as exc:
+        check_logs(_trace_two_sequential(), reports)
+    assert exc.value.reason is RejectReason.LOG_BAD_OPNUM
+
+
+def test_checklogs_rejects_opnum_beyond_m():
+    reports = _reports(op_counts={"r1": 1, "r2": 0})
+    with pytest.raises(AuditReject) as exc:
+        check_logs(_trace_two_sequential(), reports)
+    assert exc.value.reason is RejectReason.LOG_BAD_OPNUM
+
+
+def test_checklogs_rejects_duplicate_op():
+    reports = _reports()
+    reports.op_logs["reg:g:B"] = [
+        OpRecord("r1", 1, OpType.REGISTER_WRITE, (6,))
+    ]
+    with pytest.raises(AuditReject) as exc:
+        check_logs(_trace_two_sequential(), reports)
+    assert exc.value.reason is RejectReason.LOG_DUPLICATE_OP
+
+
+def test_checklogs_rejects_missing_op():
+    reports = _reports(op_counts={"r1": 2, "r2": 1})
+    with pytest.raises(AuditReject) as exc:
+        check_logs(_trace_two_sequential(), reports)
+    assert exc.value.reason is RejectReason.LOG_MISSING_OP
+
+
+def test_state_edges_cross_request_only():
+    trace = _trace_two_sequential()
+    reports = _reports()
+    graph = split_nodes(create_time_precedence_graph(trace))
+    add_program_edges(graph, trace, reports.op_counts)
+    before = graph.edge_count()
+    add_state_edges(graph, reports)
+    assert graph.edge_count() == before + 1
+    assert ("r2", 1) in graph.adj[("r1", 1)]
+
+
+def test_state_edges_reject_opnum_regression():
+    reports = Reports(
+        groups={},
+        op_logs={
+            "reg:g:A": [
+                OpRecord("r1", 2, OpType.REGISTER_READ, ()),
+                OpRecord("r1", 1, OpType.REGISTER_WRITE, (1,)),
+            ]
+        },
+        op_counts={"r1": 2},
+        nondet={},
+    )
+    from repro.core.graph import Graph
+
+    with pytest.raises(AuditReject) as exc:
+        add_state_edges(Graph(), reports)
+    assert exc.value.reason is RejectReason.LOG_OPNUM_NOT_INCREASING
+
+
+def test_same_request_adjacent_entries_no_edge_needed():
+    """Same-request adjacent log entries rely on program order (l.45-47)."""
+    trace = Trace([
+        Event.request(Request("r1", "s"), 1),
+        Event.response(Response("r1", "x"), 2),
+    ])
+    reports = Reports(
+        groups={"t": ["r1"]},
+        op_logs={
+            "reg:g:A": [
+                OpRecord("r1", 1, OpType.REGISTER_WRITE, (1,)),
+                OpRecord("r1", 2, OpType.REGISTER_READ, ()),
+            ]
+        },
+        op_counts={"r1": 2},
+        nondet={},
+    )
+    graph, opmap = process_op_reports(trace, reports)
+    assert len(opmap) == 2
+
+
+def test_cycle_between_time_and_log_order_rejected():
+    """Log claims r2's op precedes r1's, but the trace shows r1 finished
+    before r2 arrived."""
+    reports = Reports(
+        groups={"t": ["r1", "r2"]},
+        op_logs={
+            "reg:g:A": [
+                OpRecord("r2", 1, OpType.REGISTER_WRITE, (9,)),
+                OpRecord("r1", 1, OpType.REGISTER_READ, ()),
+            ]
+        },
+        op_counts={"r1": 1, "r2": 1},
+        nondet={},
+    )
+    with pytest.raises(AuditReject) as exc:
+        process_op_reports(_trace_two_sequential(), reports)
+    assert exc.value.reason is RejectReason.ORDERING_CYCLE
+
+
+def test_negative_op_count_rejected():
+    reports = _reports(op_counts={"r1": -1, "r2": 1})
+    with pytest.raises(AuditReject):
+        process_op_reports(_trace_two_sequential(), reports)
+
+
+def test_empty_reports_with_no_op_requests():
+    """Requests that issue no operations need no log entries."""
+    reports = Reports(groups={"t": ["r1", "r2"]}, op_logs={},
+                      op_counts={"r1": 0, "r2": 0}, nondet={})
+    graph, opmap = process_op_reports(_trace_two_sequential(), reports)
+    assert len(opmap) == 0

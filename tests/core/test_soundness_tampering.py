@@ -1,0 +1,232 @@
+"""Soundness: a misbehaving executor must not pass the audit (§2).
+
+Each test takes an honest execution of the counter app and applies one
+tamper operator from :mod:`repro.server.faulty`.  The verifier must reject
+— except where the corruption is externally indistinguishable from a valid
+execution (noted inline), in which case Soundness demands nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import RejectReason
+from repro.core import simple_audit, ssco_audit
+from repro.objects.base import OpRecord, OpType
+from repro.server import faulty
+
+
+def audit(app, trace, reports, initial):
+    return ssco_audit(app, trace, reports, initial)
+
+
+@pytest.fixture
+def run(honest_run):
+    return honest_run
+
+
+def test_honest_execution_accepted(counter_app, run):
+    result = audit(counter_app, run.trace, run.reports, run.initial_state)
+    assert result.accepted, (result.reason, result.detail)
+
+
+def test_tampered_response_rejected(counter_app, run):
+    trace = faulty.tamper_response(run.trace, "r000", "<h1>defaced</h1>")
+    result = audit(counter_app, trace, run.reports, run.initial_state)
+    assert not result.accepted
+    assert result.reason is RejectReason.OUTPUT_MISMATCH
+
+
+def test_tampered_response_rejected_by_baseline_audit_too(counter_app, run):
+    trace = faulty.tamper_response(run.trace, "r000", "<h1>defaced</h1>")
+    result = simple_audit(counter_app, trace, run.reports,
+                          run.initial_state)
+    assert not result.accepted
+
+
+def test_single_character_tamper_rejected(counter_app, run):
+    body = run.trace.responses()["r001"].body
+    flipped = ("x" if body[0] != "x" else "y") + body[1:]
+    trace = faulty.tamper_response(run.trace, "r001", flipped)
+    result = audit(counter_app, trace, run.reports, run.initial_state)
+    assert not result.accepted
+
+
+def test_dropped_kv_log_entry_rejected(counter_app, run):
+    reports = faulty.drop_log_entry(run.reports, "kv:apc", 0)
+    result = audit(counter_app, run.trace, reports, run.initial_state)
+    assert not result.accepted
+    # The op count now claims an operation no log contains.
+    assert result.reason is RejectReason.LOG_MISSING_OP
+
+
+def test_dropped_db_log_entry_rejected(counter_app, run):
+    reports = faulty.drop_log_entry(run.reports, "db:main", 0)
+    result = audit(counter_app, run.trace, reports, run.initial_state)
+    assert not result.accepted
+
+
+def test_inserted_spurious_op_rejected(counter_app, run):
+    """Extra ops beyond M(rid) violate CheckLogs (§3.3: 'What prevents the
+    executor from justifying a spurious response by inserting into the
+    logs additional operations?')."""
+    rid = run.trace.request_ids()[0]
+    bogus = OpRecord(
+        rid, run.reports.op_counts[rid] + 1, OpType.KV_SET, ("k", "v")
+    )
+    reports = faulty.insert_log_entry(run.reports, "kv:apc", 2, bogus)
+    result = audit(counter_app, run.trace, reports, run.initial_state)
+    assert not result.accepted
+    assert result.reason is RejectReason.LOG_BAD_OPNUM
+
+
+def test_duplicated_op_rejected(counter_app, run):
+    log = run.reports.op_logs["kv:apc"]
+    reports = faulty.insert_log_entry(run.reports, "kv:apc", 1, log[0])
+    result = audit(counter_app, run.trace, reports, run.initial_state)
+    assert not result.accepted
+    assert result.reason is RejectReason.LOG_DUPLICATE_OP
+
+
+def test_rewritten_kv_write_value_rejected(counter_app, run):
+    """Changing a logged write's operand: CheckOp catches the mismatch
+    between program-generated operands and the log (§3.3)."""
+    log = run.reports.op_logs["kv:apc"]
+    position = next(
+        i for i, rec in enumerate(log) if rec.optype is OpType.KV_SET
+    )
+    old = log[position]
+    reports = faulty.rewrite_log_entry(
+        run.reports, "kv:apc", position,
+        opcontents=(old.opcontents[0], 999_999),
+    )
+    result = audit(counter_app, run.trace, reports, run.initial_state)
+    assert not result.accepted
+
+
+def test_rewritten_sql_rejected(counter_app, run):
+    log = run.reports.op_logs["db:main"]
+    position = next(
+        i for i, rec in enumerate(log)
+        if rec.opcontents[0][0].startswith("SELECT")
+    )
+    reports = faulty.rewrite_log_entry(
+        run.reports, "db:main", position,
+        opcontents=(("SELECT id FROM docs WHERE title = 'evil'",), True),
+    )
+    result = audit(counter_app, run.trace, reports, run.initial_state)
+    assert not result.accepted
+    assert result.reason is RejectReason.OP_MISMATCH
+
+
+def test_understated_op_count_rejected(counter_app, run):
+    rid = next(r for r, n in run.reports.op_counts.items() if n >= 2)
+    reports = faulty.tamper_op_count(run.reports, rid, -1)
+    result = audit(counter_app, run.trace, reports, run.initial_state)
+    assert not result.accepted
+
+
+def test_overstated_op_count_rejected(counter_app, run):
+    rid = run.trace.request_ids()[0]
+    reports = faulty.tamper_op_count(run.reports, rid, +1)
+    result = audit(counter_app, run.trace, reports, run.initial_state)
+    assert not result.accepted
+    assert result.reason is RejectReason.LOG_MISSING_OP
+
+
+def test_request_moved_to_wrong_group(counter_app, run):
+    """Misgrouping: strict mode rejects on divergence; resilient mode must
+    still accept only if outputs match (they do: re-execution is
+    idempotent), so it accepts — matching §3.1's 'verifier can filter
+    duplicates / re-execution is idempotent' discussion."""
+    groups = run.reports.groups
+    tags = sorted(groups)
+    assert len(tags) >= 2
+    rid = groups[tags[0]][0]
+    reports = faulty.move_to_group(run.reports, rid, tags[1])
+    strict = ssco_audit(counter_app, run.trace, reports,
+                        run.initial_state, strict=True)
+    assert not strict.accepted
+    assert strict.reason is RejectReason.GROUP_DIVERGED
+    resilient = ssco_audit(counter_app, run.trace, reports,
+                           run.initial_state, strict=False)
+    assert resilient.accepted
+    assert resilient.stats["fallback_requests"] > 0
+
+
+def test_request_dropped_from_groups_rejected(counter_app, run):
+    """An incomplete map means the dropped request's response is never
+    regenerated — output mismatch (§3.1)."""
+    rid = run.trace.request_ids()[0]
+    reports = faulty.drop_from_groups(run.reports, rid)
+    result = audit(counter_app, run.trace, reports, run.initial_state)
+    assert not result.accepted
+    assert result.reason is RejectReason.OUTPUT_MISMATCH
+
+
+def test_duplicate_rid_in_group_accepted(counter_app, run):
+    """Duplicates are harmless: re-execution is idempotent (§3.1)."""
+    rid = run.trace.request_ids()[0]
+    reports = faulty.duplicate_in_group(run.reports, rid)
+    result = audit(counter_app, run.trace, reports, run.initial_state)
+    assert result.accepted, (result.reason, result.detail)
+
+
+def test_unknown_rid_in_group_rejected(counter_app, run):
+    reports = run.reports.deep_copy()
+    tag = sorted(reports.groups)[0]
+    reports.groups[tag].append("ghost-rid")
+    result = audit(counter_app, run.trace, reports, run.initial_state)
+    assert not result.accepted
+    assert result.reason is RejectReason.GROUP_UNKNOWN_RID
+
+
+def test_unknown_rid_in_log_rejected(counter_app, run):
+    bogus = OpRecord("ghost-rid", 1, OpType.KV_GET, ("hits:front",))
+    reports = faulty.insert_log_entry(run.reports, "kv:apc", 0, bogus)
+    result = audit(counter_app, run.trace, reports, run.initial_state)
+    assert not result.accepted
+    assert result.reason is RejectReason.LOG_UNKNOWN_RID
+
+
+def test_tampered_time_value_rejected(counter_app, run):
+    """Feeding a different time changes the save.php output, which embeds
+    the timestamp — so the regenerated response mismatches the trace."""
+    rid = next(iter(run.reports.nondet))
+    reports = faulty.tamper_nondet_value(run.reports, rid, 0, 42)
+    result = audit(counter_app, run.trace, reports, run.initial_state)
+    assert not result.accepted
+
+
+def test_dropped_nondet_record_rejected(counter_app, run):
+    rid = next(iter(run.reports.nondet))
+    reports = faulty.drop_nondet_record(run.reports, rid, 0)
+    result = audit(counter_app, run.trace, reports, run.initial_state)
+    assert not result.accepted
+    assert result.reason in (
+        RejectReason.NONDET_MISSING,
+        RejectReason.OUTPUT_MISMATCH,
+    )
+
+
+def test_swapped_log_entries_detected(counter_app, run):
+    """Swapping two different-request entries in the KV log either creates
+    an ordering violation or changes simulated reads; either way the
+    audit must not validate the original outputs."""
+    log = run.reports.op_logs["kv:apc"]
+    # Find two adjacent entries from different requests where at least one
+    # is a set (so the swap is semantically visible).
+    position = next(
+        i
+        for i in range(len(log) - 1)
+        if log[i].rid != log[i + 1].rid
+        and (
+            log[i].optype is OpType.KV_SET
+            or log[i + 1].optype is OpType.KV_SET
+        )
+    )
+    reports = faulty.swap_log_entries(
+        run.reports, "kv:apc", position, position + 1
+    )
+    result = audit(counter_app, run.trace, reports, run.initial_state)
+    assert not result.accepted

@@ -1,0 +1,142 @@
+"""CreateTimePrecedenceGraph (Figure 6): correctness and minimality.
+
+Lemma 2: reachability in GTr equals the <Tr relation exactly.
+Lemma 12: the algorithm adds the minimum number of edges.
+Property-based over random balanced traces; cross-checked against the
+O(X²) ground truth and (for minimality) networkx's transitive reduction.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.timeprec import (
+    baseline_time_precedence,
+    create_time_precedence_graph,
+    naive_precedence_relation,
+    reachability,
+)
+from repro.trace.events import Event, Request, Response
+from repro.trace.trace import Trace
+
+
+def random_balanced_trace(rng: random.Random, n: int,
+                          max_inflight: int) -> Trace:
+    """Random balanced trace with bounded concurrency."""
+    events = []
+    inflight = []
+    created = 0
+    time = 0.0
+    while created < n or inflight:
+        time += 1.0
+        can_open = created < n and len(inflight) < max_inflight
+        if can_open and (not inflight or rng.random() < 0.55):
+            rid = f"r{created}"
+            created += 1
+            inflight.append(rid)
+            events.append(Event.request(Request(rid, "s.php"), time))
+        else:
+            rid = inflight.pop(rng.randrange(len(inflight)))
+            events.append(Event.response(Response(rid, "ok"), time))
+    return Trace(events)
+
+
+@st.composite
+def traces(draw):
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    n = draw(st.integers(min_value=1, max_value=40))
+    max_inflight = draw(st.integers(min_value=1, max_value=8))
+    return random_balanced_trace(random.Random(seed), n, max_inflight)
+
+
+@settings(max_examples=120, deadline=None)
+@given(trace=traces())
+def test_reachability_equals_precedence(trace):
+    """Lemma 2: r1 <Tr r2  <=>  path from r1 to r2 in GTr."""
+    gtr = create_time_precedence_graph(trace)
+    assert reachability(gtr) == naive_precedence_relation(trace)
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=traces())
+def test_edge_minimality(trace):
+    """Lemma 12: the edge set is the transitive reduction of <Tr."""
+    relation = naive_precedence_relation(trace)
+    full = nx.DiGraph()
+    full.add_nodes_from(ev.rid for ev in trace if ev.is_request)
+    full.add_edges_from(relation)
+    reduced = nx.transitive_reduction(full)
+    gtr = create_time_precedence_graph(trace)
+    assert set(gtr.edges()) == set(reduced.edges())
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces())
+def test_baseline_produces_same_edges(trace):
+    stream = create_time_precedence_graph(trace)
+    offline = baseline_time_precedence(trace)
+    assert set(stream.edges()) == set(offline.edges())
+    assert stream.nodes == offline.nodes
+
+
+def test_sequential_trace_is_a_chain():
+    events = []
+    for index in range(5):
+        events.append(Event.request(Request(f"r{index}", "s"), 2 * index))
+        events.append(Event.response(Response(f"r{index}", "x"),
+                                     2 * index + 1))
+    gtr = create_time_precedence_graph(Trace(events))
+    assert gtr.edge_count() == 4  # chain, no transitive extras
+    assert gtr.parents["r4"] == ["r3"]
+
+
+def test_fully_concurrent_trace_has_no_edges():
+    events = [Event.request(Request(f"r{i}", "s"), i) for i in range(6)]
+    events += [Event.response(Response(f"r{i}", "x"), 10 + i)
+               for i in range(6)]
+    gtr = create_time_precedence_graph(Trace(events))
+    assert gtr.edge_count() == 0
+
+
+def test_epoch_pattern_edge_count():
+    """P concurrent requests per epoch: each epoch-k request descends from
+    all P requests of epoch k-1 (the §A.8 Z ≈ X·P/2 intuition)."""
+    P, epochs = 4, 3
+    events = []
+    time = 0.0
+    for epoch in range(epochs):
+        for index in range(P):
+            time += 1
+            events.append(
+                Event.request(Request(f"e{epoch}_{index}", "s"), time)
+            )
+        for index in range(P):
+            time += 1
+            events.append(
+                Event.response(Response(f"e{epoch}_{index}", "x"), time)
+            )
+    gtr = create_time_precedence_graph(Trace(events))
+    assert gtr.edge_count() == (epochs - 1) * P * P
+
+
+def test_frontier_eviction():
+    """A completing request evicts exactly its parents (Figure 6 l.13)."""
+    events = [
+        Event.request(Request("a", "s"), 1),
+        Event.response(Response("a", "x"), 2),
+        Event.request(Request("b", "s"), 3),   # parent: a
+        Event.request(Request("c", "s"), 4),   # parent: a
+        Event.response(Response("b", "x"), 5),  # evicts a; frontier {b}
+        Event.request(Request("d", "s"), 6),   # parent: b only
+        Event.response(Response("c", "x"), 7),
+        Event.response(Response("d", "x"), 8),
+    ]
+    gtr = create_time_precedence_graph(Trace(events))
+    assert sorted(gtr.parents["b"]) == ["a"]
+    assert sorted(gtr.parents["c"]) == ["a"]
+    assert sorted(gtr.parents["d"]) == ["b"]

@@ -1,0 +1,194 @@
+"""Weblang lexer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import WeblangError
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    Call,
+    Echo,
+    Foreach,
+    If,
+    Index,
+    IndexAssign,
+    Lit,
+    Return,
+    Ternary,
+    Var,
+    While,
+)
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_program
+
+
+def body(src):
+    return parse_program(src).body
+
+
+def test_tokenize_variables_and_strings():
+    tokens = tokenize("$x = 'a\\n'; $y_2 = \"b\";")
+    kinds = [t.kind for t in tokens]
+    assert kinds == ["var", "punct", "str", "punct", "var", "punct", "str",
+                     "punct", "eof"]
+    assert tokens[2].value == "a\n"
+
+
+def test_tokenize_comments():
+    tokens = tokenize("$x = 1; // c1\n# c2\n/* c3\nc4 */ $y = 2;")
+    assert sum(1 for t in tokens if t.kind == "var") == 2
+
+
+def test_tokenize_number_vs_concat():
+    tokens = tokenize("1.5 . 2")
+    assert [t.kind for t in tokens] == ["float", "punct", "int", "eof"]
+
+
+def test_assignment():
+    stmt = body("$x = 1 + 2;")[0]
+    assert isinstance(stmt, Assign)
+    assert stmt.name == "x" and stmt.op == ""
+    assert isinstance(stmt.expr, BinOp) and stmt.expr.op == "+"
+
+
+def test_compound_assignment():
+    stmt = body("$x += 3;")[0]
+    assert isinstance(stmt, Assign) and stmt.op == "+"
+    stmt = body("$s .= 'x';")[0]
+    assert stmt.op == "."
+
+
+def test_increment_sugar():
+    stmt = body("$x++;")[0]
+    assert isinstance(stmt, Assign)
+    assert isinstance(stmt.expr, BinOp) and stmt.expr.op == "+"
+
+
+def test_index_assignment_and_append():
+    stmt = body("$a['k'] = 1;")[0]
+    assert isinstance(stmt, IndexAssign)
+    assert len(stmt.path) == 1
+    stmt = body("$a[] = 1;")[0]
+    assert stmt.path == [None]
+    stmt = body("$a['x']['y'] = 1;")[0]
+    assert len(stmt.path) == 2
+
+
+def test_nested_index_read():
+    stmt = body("$v = $a['x'][0];")[0]
+    assert isinstance(stmt.expr, Index)
+    assert isinstance(stmt.expr.base, Index)
+
+
+def test_if_elseif_else():
+    stmt = body("if ($x) { $y = 1; } elseif ($z) { $y = 2; }"
+                " else { $y = 3; }")[0]
+    assert isinstance(stmt, If)
+    assert len(stmt.branches) == 2
+    assert stmt.else_body is not None
+
+
+def test_else_if_two_words():
+    stmt = body("if ($x) { } else if ($z) { } else { }")[0]
+    assert len(stmt.branches) == 2
+
+
+def test_while_break_continue():
+    stmt = body("while (true) { break; continue; }")[0]
+    assert isinstance(stmt, While)
+
+
+def test_foreach_forms():
+    stmt = body("foreach ($a as $v) { }")[0]
+    assert isinstance(stmt, Foreach)
+    assert stmt.key_var is None and stmt.val_var == "v"
+    stmt = body("foreach ($a as $k => $v) { }")[0]
+    assert stmt.key_var == "k"
+
+
+def test_function_declaration():
+    program = parse_program("function f($a, $b) { return $a + $b; } $x = f(1, 2);")
+    assert "f" in program.functions
+    assert program.functions["f"].params == ["a", "b"]
+    assert isinstance(program.functions["f"].body[0], Return)
+
+
+def test_duplicate_function_rejected():
+    with pytest.raises(WeblangError):
+        parse_program("function f() { } function f() { }")
+
+
+def test_echo_multiple():
+    stmt = body("echo 'a', $b, 1;")[0]
+    assert isinstance(stmt, Echo) and len(stmt.exprs) == 3
+
+
+def test_ternary():
+    stmt = body("$x = $c ? 1 : 2;")[0]
+    assert isinstance(stmt.expr, Ternary)
+
+
+def test_operator_precedence():
+    stmt = body("$x = 1 + 2 * 3;")[0]
+    assert stmt.expr.op == "+"
+    assert stmt.expr.right.op == "*"
+
+
+def test_logical_precedence():
+    stmt = body("$x = $a || $b && $c;")[0]
+    assert stmt.expr.op == "||"
+    assert stmt.expr.right.op == "&&"
+
+
+def test_concat_same_level_as_plus():
+    stmt = body("$x = 'a' . 'b' . 'c';")[0]
+    assert stmt.expr.op == "."
+    assert stmt.expr.left.op == "."
+
+
+def test_array_literal():
+    stmt = body("$a = [1, 'k' => 2, 3,];")[0]
+    items = stmt.expr.items
+    assert items[0][0] is None
+    assert isinstance(items[1][0], Lit) and items[1][0].value == "k"
+
+
+def test_strict_equality_tokens():
+    stmt = body("$x = $a === $b;")[0]
+    assert stmt.expr.op == "==="
+    stmt = body("$x = $a !== $b;")[0]
+    assert stmt.expr.op == "!=="
+
+
+def test_expression_statement_with_call():
+    stmt = body("kv_set('a', 1);")[0]
+    assert isinstance(stmt.expr, Call)
+
+
+def test_variable_expression_statement():
+    stmt = body("$x[0] == 1 ? f() : g();")[0]
+    assert isinstance(stmt.expr, Ternary)
+
+
+def test_node_ids_deterministic():
+    first = parse_program("$x = 1; if ($x) { echo $x; }")
+    second = parse_program("$x = 1; if ($x) { echo $x; }")
+    assert first.body[1].nid == second.body[1].nid
+    assert first.node_count == second.node_count
+
+
+def test_unterminated_block_rejected():
+    with pytest.raises(WeblangError):
+        parse_program("if ($x) { echo 1;")
+
+
+def test_bad_variable_rejected():
+    with pytest.raises(WeblangError):
+        tokenize("$ = 1;")
+
+
+def test_append_outside_assignment_rejected():
+    with pytest.raises(WeblangError):
+        parse_program("$x = $a[];")

@@ -1,0 +1,91 @@
+"""Registers, KV store, and the versioned KV (§A.7 model-based property)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects import AtomicRegister, KVStore, VersionedKV
+from repro.objects.base import OpRecord, OpType
+
+
+def test_register_read_write():
+    register = AtomicRegister("reg:g:X", initial=0)
+    assert register.read() == 0
+    register.write(5)
+    assert register.read() == 5
+
+
+def test_register_snapshot_restore():
+    register = AtomicRegister("reg:g:X", initial={"a": 1})
+    snap = register.snapshot()
+    register.write({"a": 2})
+    register.restore(snap)
+    assert register.read() == {"a": 1}
+
+
+def test_kv_basic():
+    kv = KVStore("kv:apc")
+    assert kv.get("missing") is None
+    kv.set("k", 1)
+    assert kv.get("k") == 1
+    snap = kv.snapshot()
+    kv.set("k", 2)
+    kv.restore(snap)
+    assert kv.get("k") == 1
+
+
+def test_versioned_kv_basic():
+    log = [
+        OpRecord("r1", 1, OpType.KV_SET, ("k", "v1")),
+        OpRecord("r2", 1, OpType.KV_GET, ("k",)),
+        OpRecord("r3", 1, OpType.KV_SET, ("k", "v2")),
+    ]
+    vkv = VersionedKV()
+    vkv.build(log)
+    assert vkv.get("k", 1) is None      # before the first set
+    assert vkv.get("k", 2) == "v1"      # sees seq 1
+    assert vkv.get("k", 3) == "v1"      # the get at seq 2 changes nothing
+    assert vkv.get("k", 4) == "v2"
+    assert vkv.get("other", 4) is None
+    assert vkv.latest_state() == {"k": "v2"}
+    assert vkv.keys() == ("k",)
+
+
+def test_versioned_kv_op_record_sizes():
+    record = OpRecord("r1", 1, OpType.KV_SET, ("key", "value"))
+    assert record.size_bytes() > len("r1") + len("key") + len("value")
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    n_ops=st.integers(min_value=0, max_value=40),
+)
+def test_versioned_kv_matches_replay_model(seed, n_ops):
+    """§A.7 requirement: get(k, s) == replay OL[1..s-1] then get(k)."""
+    rng = random.Random(seed)
+    keys = ["a", "b", "c"]
+    log = []
+    for index in range(n_ops):
+        key = rng.choice(keys)
+        if rng.random() < 0.5:
+            log.append(
+                OpRecord(f"r{index}", 1, OpType.KV_SET,
+                         (key, rng.randint(0, 9)))
+            )
+        else:
+            log.append(OpRecord(f"r{index}", 1, OpType.KV_GET, (key,)))
+    vkv = VersionedKV()
+    vkv.build(log)
+    for s in range(1, n_ops + 2):
+        model = {}
+        for record in log[: s - 1]:
+            if record.optype is OpType.KV_SET:
+                key, value = record.opcontents
+                model[key] = value
+        for key in keys:
+            assert vkv.get(key, s) == model.get(key), (key, s)

@@ -1,0 +1,213 @@
+"""The online executor: trace shape, report recording, concurrency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.objects.base import OpType
+from repro.server import (
+    Application,
+    Executor,
+    FifoScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+)
+from repro.server.nondet import NondetSource
+from repro.trace.events import Request
+from repro.trace.trace import check_balanced
+from tests.conftest import COUNTER_SCHEMA, COUNTER_SRC, counter_requests
+
+
+def _app():
+    return Application.from_sources(
+        "counter", COUNTER_SRC, db_setup=COUNTER_SCHEMA
+    )
+
+
+def test_trace_is_balanced(honest_run):
+    check_balanced(honest_run.trace)
+
+
+def test_all_requests_answered(honest_run):
+    assert len(honest_run.trace.request_ids()) == 24
+    assert len(honest_run.trace.responses()) == 24
+
+
+def test_op_counts_match_logs(honest_run):
+    """M(rid) equals the number of log entries for rid across all logs."""
+    from collections import Counter
+
+    per_rid = Counter()
+    for log in honest_run.reports.op_logs.values():
+        for record in log:
+            per_rid[record.rid] += 1
+    for rid, count in honest_run.reports.op_counts.items():
+        assert per_rid.get(rid, 0) == count
+
+
+def test_opnums_sequential_per_request(honest_run):
+    from collections import defaultdict
+
+    opnums = defaultdict(list)
+    for log in honest_run.reports.op_logs.values():
+        for record in log:
+            opnums[record.rid].append(record.opnum)
+    for rid, nums in opnums.items():
+        assert sorted(nums) == list(range(1, len(nums) + 1))
+
+
+def test_groups_cover_all_requests(honest_run):
+    grouped = {
+        rid for rids in honest_run.reports.groups.values() for rid in rids
+    }
+    assert grouped == set(honest_run.trace.request_ids())
+
+
+def test_same_control_flow_same_group():
+    app = _app()
+    requests = [
+        # "warm" takes the cache-miss branch (different control flow);
+        # "a" and "b" both hit the warmed counter and share a path.
+        Request("warm", "page.php", get={"name": "front"}),
+        Request("a", "page.php", get={"name": "front"}),
+        Request("b", "page.php", get={"name": "front"}),
+    ]
+    run = Executor(app, max_concurrency=1).serve(requests)
+    tags = {
+        rid: tag
+        for tag, rids in run.reports.groups.items()
+        for rid in rids
+    }
+    assert tags["a"] == tags["b"]
+    assert tags["warm"] != tags["a"]
+
+
+def test_kv_log_order_is_execution_order(honest_run):
+    """Log order must reflect the actual serialization: a get of key K
+    after a set of K in the log must also be later in value terms —
+    checked by replaying the log against a dict."""
+    state = {}
+    for record in honest_run.reports.op_logs.get("kv:apc", []):
+        if record.optype is OpType.KV_SET:
+            key, value = record.opcontents
+            state[key] = value
+    # Final KV state from the log equals the executor's final state.
+    assert state == honest_run.final_state.kv
+
+
+def test_max_concurrency_one_serializes():
+    app = _app()
+    run = Executor(app, max_concurrency=1).serve(counter_requests(6))
+    events = [(e.kind.value, e.rid) for e in run.trace]
+    # With concurrency 1 the trace is strictly request/response alternating.
+    for index in range(0, len(events), 2):
+        assert events[index][0] == "REQUEST"
+        assert events[index + 1][0] == "RESPONSE"
+        assert events[index][1] == events[index + 1][1]
+
+
+def test_concurrency_overlaps_requests():
+    app = _app()
+    run = Executor(app, scheduler=RoundRobinScheduler(),
+                   max_concurrency=6).serve(counter_requests(12))
+    events = [(e.kind.value, e.rid) for e in run.trace]
+    first_response = next(i for i, e in enumerate(events)
+                          if e[0] == "RESPONSE")
+    assert first_response > 1  # at least two requests arrived first
+
+
+def test_different_schedulers_may_change_outputs_but_all_audit():
+    """Different interleavings give different hit counters (both valid)."""
+    from repro.core import ssco_audit
+
+    app1, app2 = _app(), _app()
+    run_fifo = Executor(app1, scheduler=FifoScheduler(),
+                        max_concurrency=4).serve(counter_requests(12))
+    run_rand = Executor(app2, scheduler=RandomScheduler(99),
+                        max_concurrency=4).serve(counter_requests(12))
+    assert ssco_audit(app1, run_fifo.trace, run_fifo.reports,
+                      run_fifo.initial_state).accepted
+    assert ssco_audit(app2, run_rand.trace, run_rand.reports,
+                      run_rand.initial_state).accepted
+
+
+def test_scripted_scheduler_follows_script():
+    app = Application.from_sources("tiny", {
+        "a.php": "reg_write('X', 'a'); echo reg_read('X');",
+    })
+    requests = [Request("r1", "a.php"), Request("r2", "a.php")]
+    # Let r2 fully run first, then r1.
+    run = Executor(
+        app,
+        scheduler=ScriptedScheduler(["r2", "r2", "r2", "r1", "r1", "r1"]),
+        max_concurrency=2,
+    ).serve(requests)
+    log = run.reports.op_logs["reg:g:X"]
+    assert [rec.rid for rec in log] == ["r2", "r2", "r1", "r1"]
+
+
+def test_db_lock_blocks_conflicting_transaction():
+    """While r1 holds a transaction, r2's DB ops wait; the log shows r1's
+    transaction strictly before r2's statement."""
+    app = Application.from_sources("txapp", {
+        "tx.php": """
+db_begin();
+db_exec("INSERT INTO t (v) VALUES (1)");
+db_exec("INSERT INTO t (v) VALUES (2)");
+db_commit();
+echo 'tx';
+""",
+        "read.php": """
+$rows = db_query("SELECT COUNT(*) AS n FROM t");
+echo $rows[0]['n'];
+""",
+    }, db_setup="CREATE TABLE t (id INT PRIMARY KEY AUTOINCREMENT, v INT)")
+    requests = [Request("r1", "tx.php"), Request("r2", "read.php")]
+    # Round-robin would interleave, but the lock forces r2 to wait.
+    run = Executor(app, scheduler=RoundRobinScheduler(),
+                   max_concurrency=2).serve(requests)
+    body = run.trace.responses()["r2"].body
+    assert body in ("0", "2")  # never 1: the transaction is atomic
+    log = run.reports.op_logs["db:main"]
+    tx_pos = next(i for i, r in enumerate(log) if r.rid == "r1")
+    read_pos = next(i for i, r in enumerate(log) if r.rid == "r2")
+    if body == "2":
+        assert tx_pos < read_pos
+    else:
+        assert read_pos < tx_pos
+
+
+def test_recording_off_produces_no_reports():
+    app = _app()
+    run = Executor(app, record=False).serve(counter_requests(6))
+    assert run.reports.op_logs.get("kv:apc") is None
+    assert not run.reports.groups
+    assert not run.reports.op_counts
+
+
+def test_nondet_recorded_in_call_order():
+    app = _app()
+    run = Executor(app, nondet=NondetSource(seed=5)).serve(
+        counter_requests(12)
+    )
+    stats_rids = [r.rid for r in counter_requests(12)
+                  if r.script == "stats.php"]
+    for rid in stats_rids:
+        records = run.reports.nondet[rid]
+        assert [r.func for r in records] == ["rand"]
+
+
+def test_initial_state_unaffected_by_serving():
+    app = _app()
+    executor = Executor(app)
+    run = executor.serve(counter_requests(12))
+    assert run.initial_state.db_engine.row_count() == 1  # just the seed row
+    assert run.final_state.db_engine.row_count() >= 1
+
+
+def test_report_sizes_accounting(honest_run):
+    sizes = honest_run.reports.size_bytes()
+    assert set(sizes) == {"groups", "op_logs", "op_counts", "nondet"}
+    assert honest_run.reports.total_size_bytes() == sum(sizes.values())
+    assert honest_run.reports.baseline_size_bytes() == sizes["nondet"]

@@ -1,0 +1,115 @@
+"""Tamper operators: they must modify copies, never the honest originals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.objects.base import OpRecord, OpType
+from repro.server import faulty
+
+
+def test_tamper_response_copies(honest_run):
+    original_body = honest_run.trace.responses()["r000"].body
+    tampered = faulty.tamper_response(honest_run.trace, "r000", "evil")
+    assert tampered.responses()["r000"].body == "evil"
+    assert honest_run.trace.responses()["r000"].body == original_body
+    # Other events untouched.
+    assert len(tampered) == len(honest_run.trace)
+
+
+def test_drop_log_entry_copies(honest_run):
+    before = len(honest_run.reports.op_logs["kv:apc"])
+    tampered = faulty.drop_log_entry(honest_run.reports, "kv:apc", 0)
+    assert len(tampered.op_logs["kv:apc"]) == before - 1
+    assert len(honest_run.reports.op_logs["kv:apc"]) == before
+
+
+def test_insert_log_entry(honest_run):
+    record = OpRecord("r000", 99, OpType.KV_GET, ("k",))
+    tampered = faulty.insert_log_entry(honest_run.reports, "kv:apc", 2,
+                                       record)
+    assert tampered.op_logs["kv:apc"][2] == record
+
+
+def test_swap_log_entries(honest_run):
+    log = honest_run.reports.op_logs["kv:apc"]
+    tampered = faulty.swap_log_entries(honest_run.reports, "kv:apc", 0, 1)
+    assert tampered.op_logs["kv:apc"][0] == log[1]
+    assert tampered.op_logs["kv:apc"][1] == log[0]
+
+
+def test_rewrite_log_entry_fields(honest_run):
+    tampered = faulty.rewrite_log_entry(
+        honest_run.reports, "kv:apc", 0,
+        rid="ghost", opnum=42,
+    )
+    record = tampered.op_logs["kv:apc"][0]
+    assert record.rid == "ghost" and record.opnum == 42
+    # Unspecified fields preserved.
+    assert record.optype == honest_run.reports.op_logs["kv:apc"][0].optype
+
+
+def test_tamper_op_count(honest_run):
+    rid = next(iter(honest_run.reports.op_counts))
+    before = honest_run.reports.op_counts[rid]
+    tampered = faulty.tamper_op_count(honest_run.reports, rid, 3)
+    assert tampered.op_counts[rid] == before + 3
+    assert honest_run.reports.op_counts[rid] == before
+
+
+def test_move_to_group_removes_from_old(honest_run):
+    tags = sorted(honest_run.reports.groups)
+    rid = honest_run.reports.groups[tags[0]][0]
+    tampered = faulty.move_to_group(honest_run.reports, rid, tags[1])
+    assert rid in tampered.groups[tags[1]]
+    assert rid not in tampered.groups.get(tags[0], [])
+    # Each rid appears exactly once in the tampered groupings.
+    count = sum(rids.count(rid) for rids in tampered.groups.values())
+    assert count == 1
+
+
+def test_drop_from_groups_removes_empty_tags(honest_run):
+    # Find a singleton group, if any; else drop and check no empties.
+    tampered = honest_run.reports
+    for tag in sorted(honest_run.reports.groups):
+        rids = honest_run.reports.groups[tag]
+        if len(rids) == 1:
+            tampered = faulty.drop_from_groups(honest_run.reports,
+                                               rids[0])
+            assert tag not in tampered.groups
+            break
+    assert all(rids for rids in tampered.groups.values())
+
+
+def test_duplicate_in_group(honest_run):
+    rid = honest_run.trace.request_ids()[0]
+    tampered = faulty.duplicate_in_group(honest_run.reports, rid)
+    count = sum(rids.count(rid) for rids in tampered.groups.values())
+    assert count == 2
+
+
+def test_tamper_nondet_value(honest_run):
+    rid = next(iter(honest_run.reports.nondet))
+    tampered = faulty.tamper_nondet_value(honest_run.reports, rid, 0,
+                                          "bogus")
+    assert tampered.nondet[rid][0].value == "bogus"
+    assert honest_run.reports.nondet[rid][0].value != "bogus"
+
+
+def test_drop_nondet_record(honest_run):
+    rid = next(iter(honest_run.reports.nondet))
+    before = len(honest_run.reports.nondet[rid])
+    tampered = faulty.drop_nondet_record(honest_run.reports, rid, 0)
+    assert len(tampered.nondet[rid]) == before - 1
+
+
+def test_tamper_transaction_flag(honest_run):
+    log = honest_run.reports.op_logs["db:main"]
+    position = next(
+        i for i, r in enumerate(log)
+        if r.opcontents[0][-1] in ("COMMIT", "ROLLBACK")
+    )
+    tampered = faulty.tamper_transaction_flag(
+        honest_run.reports, "db:main", position, False
+    )
+    assert tampered.op_logs["db:main"][position].opcontents[1] is False

@@ -1,0 +1,116 @@
+"""Schedulers and the simulated non-determinism source."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import WeblangError
+from repro.server.nondet import NondetSource
+from repro.server.scheduler import (
+    FifoScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+)
+
+
+# -- schedulers ----------------------------------------------------------------
+
+
+def test_fifo_picks_oldest():
+    scheduler = FifoScheduler()
+    assert scheduler.pick(["a", "b", "c"]) == "a"
+    assert scheduler.pick(["b", "c"]) == "b"
+
+
+def test_round_robin_rotates():
+    scheduler = RoundRobinScheduler()
+    ready = ["a", "b", "c"]
+    picks = [scheduler.pick(ready) for _ in range(6)]
+    assert picks == ["a", "b", "c", "a", "b", "c"]
+
+
+def test_round_robin_handles_departures():
+    scheduler = RoundRobinScheduler()
+    assert scheduler.pick(["a", "b"]) == "a"
+    # "a" finished; rotation restarts cleanly.
+    assert scheduler.pick(["b", "c"]) in ("b", "c")
+
+
+def test_random_scheduler_deterministic_by_seed():
+    a = [RandomScheduler(5).pick(["x", "y", "z"]) for _ in range(10)]
+    b = [RandomScheduler(5).pick(["x", "y", "z"]) for _ in range(10)]
+    assert a == b
+
+
+def test_random_scheduler_varies_by_seed():
+    picks = {
+        seed: tuple(
+            RandomScheduler(seed).pick(["x", "y", "z"]) for _ in range(8)
+        )
+        for seed in range(6)
+    }
+    assert len(set(picks.values())) > 1
+
+
+def test_scripted_scheduler_skips_unready():
+    scheduler = ScriptedScheduler(["ghost", "b", "a"])
+    assert scheduler.pick(["a", "b"]) == "b"
+    assert scheduler.pick(["a", "b"]) == "a"
+    # Script exhausted: falls back to FIFO.
+    assert scheduler.pick(["a", "b"]) == "a"
+
+
+# -- nondet source ----------------------------------------------------------------
+
+
+def test_time_monotonic():
+    source = NondetSource(start_time=1000)
+    values = [source.call("time", ()) for _ in range(5)]
+    assert values == sorted(values)
+    assert values[0] > 1000
+
+
+def test_microtime_advances_clock():
+    source = NondetSource(start_time=1000)
+    t1 = source.call("time", ())
+    m = source.call("microtime", ())
+    t2 = source.call("time", ())
+    assert t1 < m < t2 + 1
+    assert isinstance(m, float)
+
+
+def test_rand_range_and_determinism():
+    source = NondetSource(seed=9)
+    values = [source.call("rand", (1, 6)) for _ in range(50)]
+    assert all(1 <= v <= 6 for v in values)
+    source2 = NondetSource(seed=9)
+    assert values == [source2.call("rand", (1, 6)) for _ in range(50)]
+
+
+def test_rand_default_bounds():
+    source = NondetSource()
+    value = source.call("rand", ())
+    assert 0 <= value <= 2**31 - 1
+
+
+def test_rand_bad_range():
+    with pytest.raises(WeblangError):
+        NondetSource().call("rand", (6, 1))
+
+
+def test_uniqid_unique():
+    source = NondetSource()
+    values = {source.call("uniqid", ()) for _ in range(100)}
+    assert len(values) == 100
+
+
+def test_getpid_constant():
+    source = NondetSource(pid=777)
+    assert source.call("getpid", ()) == 777
+    assert source.call("getpid", ()) == 777
+
+
+def test_unknown_builtin():
+    with pytest.raises(WeblangError):
+        NondetSource().call("read_disk", ())

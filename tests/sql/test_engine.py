@@ -1,0 +1,194 @@
+"""The current-state storage engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SqlError
+from repro.sql.engine import Engine
+from repro.sql.parser import parse_script, parse_sql
+
+
+@pytest.fixture
+def engine():
+    eng = Engine()
+    for stmt in parse_script(
+        "CREATE TABLE pages (id INT PRIMARY KEY AUTOINCREMENT, title TEXT,"
+        " views INT, score FLOAT);"
+        "INSERT INTO pages (title, views, score) VALUES"
+        " ('alpha', 10, 1.5), ('beta', 3, 2.5), ('gamma', 10, 0.5)"
+    ):
+        eng.execute(stmt)
+    return eng
+
+
+def q(engine, sql):
+    return engine.execute(parse_sql(sql))
+
+
+def test_select_star_returns_copies(engine):
+    rows = q(engine, "SELECT * FROM pages").rows
+    rows[0]["title"] = "mutated"
+    again = q(engine, "SELECT * FROM pages").rows
+    assert again[0]["title"] == "alpha"
+
+
+def test_select_projection(engine):
+    rows = q(engine, "SELECT title FROM pages WHERE views = 10").rows
+    assert rows == [{"title": "alpha"}, {"title": "gamma"}]
+
+
+def test_select_insertion_order_is_deterministic(engine):
+    rows = q(engine, "SELECT title FROM pages").rows
+    assert [r["title"] for r in rows] == ["alpha", "beta", "gamma"]
+
+
+def test_order_by_multi_key(engine):
+    rows = q(engine,
+             "SELECT title FROM pages ORDER BY views DESC, title").rows
+    assert [r["title"] for r in rows] == ["alpha", "gamma", "beta"]
+
+
+def test_limit_offset(engine):
+    rows = q(engine,
+             "SELECT title FROM pages ORDER BY title LIMIT 1 OFFSET 1").rows
+    assert rows == [{"title": "beta"}]
+
+
+def test_aggregates(engine):
+    row = q(engine, "SELECT COUNT(*) AS n, MAX(views) AS mx, MIN(score)"
+            " AS mn, SUM(views) AS s, AVG(views) AS a FROM pages").rows[0]
+    assert row == {"n": 3, "mx": 10, "mn": 0.5, "s": 23,
+                   "a": pytest.approx(23 / 3)}
+
+
+def test_aggregate_on_empty_match(engine):
+    row = q(engine,
+            "SELECT COUNT(*) AS n, MAX(views) AS mx FROM pages"
+            " WHERE views > 99").rows[0]
+    assert row == {"n": 0, "mx": None}
+
+
+def test_insert_auto_increment(engine):
+    result = q(engine, "INSERT INTO pages (title, views, score) VALUES"
+               " ('delta', 0, 0.0)")
+    assert result.last_insert_id == 4
+    assert result.affected == 1
+
+
+def test_insert_explicit_id_bumps_counter(engine):
+    q(engine, "INSERT INTO pages (id, title, views, score) VALUES"
+      " (10, 'x', 0, 0.0)")
+    result = q(engine, "INSERT INTO pages (title, views, score) VALUES"
+               " ('y', 0, 0.0)")
+    assert result.last_insert_id == 11
+
+
+def test_update_expression(engine):
+    result = q(engine, "UPDATE pages SET views = views + 5 WHERE"
+               " title = 'beta'")
+    assert result.affected == 1
+    assert q(engine, "SELECT views FROM pages WHERE title = 'beta'"
+             ).rows == [{"views": 8}]
+
+
+def test_update_without_where_hits_all(engine):
+    assert q(engine, "UPDATE pages SET views = 0").affected == 3
+
+
+def test_delete(engine):
+    assert q(engine, "DELETE FROM pages WHERE views = 10").affected == 2
+    assert q(engine, "SELECT COUNT(*) AS n FROM pages").rows == [{"n": 1}]
+
+
+def test_like(engine):
+    rows = q(engine, "SELECT title FROM pages WHERE title LIKE '%a'").rows
+    assert [r["title"] for r in rows] == ["alpha", "beta", "gamma"]
+    rows = q(engine, "SELECT title FROM pages WHERE title LIKE 'a%'").rows
+    assert [r["title"] for r in rows] == ["alpha"]
+
+
+def test_in_list(engine):
+    rows = q(engine,
+             "SELECT title FROM pages WHERE title IN ('beta', 'gamma')"
+             ).rows
+    assert len(rows) == 2
+
+
+def test_is_null(engine):
+    q(engine, "INSERT INTO pages (title, views, score) VALUES"
+      " ('nullv', NULL, NULL)")
+    rows = q(engine, "SELECT title FROM pages WHERE views IS NULL").rows
+    assert rows == [{"title": "nullv"}]
+    rows = q(engine, "SELECT title FROM pages WHERE views IS NOT NULL").rows
+    assert len(rows) == 3
+
+
+def test_null_comparison_is_false(engine):
+    q(engine, "INSERT INTO pages (title, views, score) VALUES"
+      " ('nullv', NULL, NULL)")
+    rows = q(engine, "SELECT title FROM pages WHERE views > 0").rows
+    assert all(r["title"] != "nullv" for r in rows)
+
+
+def test_type_coercion_on_insert(engine):
+    q(engine, "INSERT INTO pages (title, views, score) VALUES"
+      " (123, '7', '1.25')")
+    row = q(engine, "SELECT title, views, score FROM pages WHERE"
+            " title = '123'").rows[0]
+    assert row == {"title": "123", "views": 7, "score": 1.25}
+
+
+def test_bad_coercion_rejected(engine):
+    with pytest.raises(SqlError):
+        q(engine, "INSERT INTO pages (title, views, score) VALUES"
+          " ('x', 'notanint', 0.0)")
+
+
+def test_unknown_table(engine):
+    with pytest.raises(SqlError):
+        q(engine, "SELECT * FROM ghosts")
+
+
+def test_unknown_column(engine):
+    with pytest.raises(SqlError):
+        q(engine, "SELECT ghost FROM pages")
+
+
+def test_duplicate_create_rejected(engine):
+    with pytest.raises(SqlError):
+        q(engine, "CREATE TABLE pages (id INT)")
+
+
+def test_create_if_not_exists_is_noop(engine):
+    q(engine, "CREATE TABLE IF NOT EXISTS pages (id INT)")
+    assert q(engine, "SELECT COUNT(*) AS n FROM pages").rows == [{"n": 3}]
+
+
+def test_division(engine):
+    rows = q(engine, "SELECT views / 2 AS half FROM pages WHERE"
+             " title = 'alpha'").rows
+    assert rows == [{"half": 5}]
+    rows = q(engine, "SELECT score / 0 AS bad FROM pages WHERE"
+             " title = 'alpha'").rows
+    assert rows == [{"bad": None}]
+
+
+def test_snapshot_restore(engine):
+    snap = engine.snapshot()
+    q(engine, "DELETE FROM pages")
+    assert q(engine, "SELECT COUNT(*) AS n FROM pages").rows == [{"n": 0}]
+    engine.restore(snap)
+    assert q(engine, "SELECT COUNT(*) AS n FROM pages").rows == [{"n": 3}]
+
+
+def test_deep_copy_independent(engine):
+    twin = engine.deep_copy()
+    q(engine, "DELETE FROM pages")
+    assert twin.execute(parse_sql("SELECT COUNT(*) AS n FROM pages")
+                        ).rows == [{"n": 3}]
+
+
+def test_size_accounting(engine):
+    assert engine.size_bytes() > 0
+    assert engine.row_count() == 3

@@ -1,0 +1,184 @@
+"""SQL lexer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SqlError
+from repro.sql.ast import (
+    Aggregate,
+    BinaryOp,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    CreateTable,
+    Delete,
+    InList,
+    Insert,
+    IsNull,
+    Literal,
+    NotOp,
+    OrderItem,
+    Select,
+    Update,
+    is_write,
+    tables_touched,
+)
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_script, parse_sql
+
+
+def test_tokenize_string_escape():
+    tokens = tokenize("SELECT 'it''s'")
+    assert tokens[1].value == "it's"
+
+
+def test_tokenize_comment_skipped():
+    tokens = tokenize("SELECT 1 -- rid comment channel\n")
+    assert [t.kind for t in tokens] == ["kw", "int", "eof"]
+
+
+def test_unterminated_string():
+    with pytest.raises(SqlError):
+        tokenize("SELECT 'oops")
+
+
+def test_select_star():
+    stmt = parse_sql("SELECT * FROM pages")
+    assert stmt == Select("pages", ())
+
+
+def test_select_columns_where():
+    stmt = parse_sql("SELECT id, title FROM pages WHERE views > 10")
+    assert isinstance(stmt, Select)
+    assert [item.expr for item in stmt.items] == [
+        ColumnRef("id"), ColumnRef("title"),
+    ]
+    assert stmt.where == Comparison(">", ColumnRef("views"), Literal(10))
+
+
+def test_select_order_limit_offset():
+    stmt = parse_sql(
+        "SELECT title FROM pages ORDER BY views DESC, title ASC "
+        "LIMIT 5 OFFSET 2"
+    )
+    assert stmt.order_by == (
+        OrderItem("views", True), OrderItem("title", False),
+    )
+    assert stmt.limit == 5 and stmt.offset == 2
+
+
+def test_select_aggregates():
+    stmt = parse_sql("SELECT COUNT(*) AS n, MAX(views) FROM pages")
+    assert stmt.items[0].expr == Aggregate("COUNT", None)
+    assert stmt.items[0].alias == "n"
+    assert stmt.items[1].expr == Aggregate("MAX", "views")
+
+
+def test_where_bool_precedence():
+    stmt = parse_sql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+    assert isinstance(stmt.where, BoolOp)
+    assert stmt.where.op == "OR"
+    assert isinstance(stmt.where.operands[1], BoolOp)
+    assert stmt.where.operands[1].op == "AND"
+
+
+def test_where_not_in_null_like():
+    stmt = parse_sql(
+        "SELECT * FROM t WHERE NOT a IN (1, 2) AND b IS NOT NULL "
+        "AND c LIKE '%x%'"
+    )
+    clause = stmt.where
+    assert isinstance(clause.operands[0], NotOp)
+    assert isinstance(clause.operands[0].operand, InList)
+    assert clause.operands[1] == IsNull(ColumnRef("b"), negated=True)
+    assert clause.operands[2] == Comparison(
+        "LIKE", ColumnRef("c"), Literal("%x%")
+    )
+
+
+def test_arithmetic_in_set_clause():
+    stmt = parse_sql("UPDATE t SET v = v + 1, w = w * 2 WHERE id = 3")
+    assert isinstance(stmt, Update)
+    assert stmt.assignments[0] == ("v", BinaryOp("+", ColumnRef("v"),
+                                                 Literal(1)))
+    assert stmt.assignments[1] == ("w", BinaryOp("*", ColumnRef("w"),
+                                                 Literal(2)))
+
+
+def test_insert_multiple_rows():
+    stmt = parse_sql(
+        "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')"
+    )
+    assert isinstance(stmt, Insert)
+    assert stmt.columns == ("a", "b")
+    assert len(stmt.values) == 2
+    assert stmt.values[1] == (Literal(2), Literal("y"))
+
+
+def test_insert_without_column_list():
+    stmt = parse_sql("INSERT INTO t VALUES (1, 'x')")
+    assert stmt.columns == ()
+
+
+def test_delete():
+    stmt = parse_sql("DELETE FROM t WHERE id = 9")
+    assert stmt == Delete("t", Comparison("=", ColumnRef("id"), Literal(9)))
+
+
+def test_create_table():
+    stmt = parse_sql(
+        "CREATE TABLE IF NOT EXISTS t "
+        "(id INT PRIMARY KEY AUTOINCREMENT, name TEXT, score FLOAT)"
+    )
+    assert isinstance(stmt, CreateTable)
+    assert stmt.if_not_exists
+    assert stmt.columns[0].primary_key and stmt.columns[0].auto_increment
+    assert stmt.columns[2].type_name == "FLOAT"
+
+
+def test_negative_literal():
+    stmt = parse_sql("SELECT * FROM t WHERE v = -5")
+    assert stmt.where == Comparison("=", ColumnRef("v"), Literal(-5))
+
+
+def test_neq_spellings():
+    a = parse_sql("SELECT * FROM t WHERE v != 1")
+    b = parse_sql("SELECT * FROM t WHERE v <> 1")
+    assert a.where == b.where
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(SqlError):
+        parse_sql("SELECT * FROM t garbage")
+
+
+def test_unknown_statement_rejected():
+    with pytest.raises(SqlError):
+        parse_sql("EXPLAIN SELECT 1")
+
+
+def test_parse_script_multiple():
+    statements = parse_script(
+        "CREATE TABLE t (id INT); INSERT INTO t (id) VALUES (1);"
+    )
+    assert len(statements) == 2
+
+
+def test_parse_cache_returns_same_object():
+    first = parse_sql("SELECT * FROM cache_probe")
+    second = parse_sql("SELECT * FROM cache_probe")
+    assert first is second
+
+
+def test_is_write_and_tables_touched():
+    assert is_write(parse_sql("INSERT INTO t (a) VALUES (1)"))
+    assert is_write(parse_sql("UPDATE t SET a = 1"))
+    assert is_write(parse_sql("DELETE FROM t"))
+    assert not is_write(parse_sql("SELECT * FROM t"))
+    assert tables_touched(parse_sql("SELECT * FROM pages")) == ("pages",)
+
+
+def test_keywords_case_insensitive():
+    stmt = parse_sql("select id from t where id = 1")
+    assert isinstance(stmt, Select)

@@ -1,0 +1,51 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_demo_accepts(capsys):
+    code = main(["demo", "--workload", "forum", "--scale", "0.005"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ACCEPTED" in out
+    assert "speedup" in out
+
+
+def test_record_then_audit(tmp_path, capsys):
+    bundle = str(tmp_path / "bundle.json")
+    assert main(["record", "--workload", "wiki", "--scale", "0.005",
+                 "--out", bundle]) == 0
+    assert main(["audit", bundle, "--workload", "wiki",
+                 "--scale", "0.005", "--baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "ACCEPTED" in out
+    assert "baseline" in out
+
+
+def test_audit_rejects_tampered_bundle(tmp_path, capsys):
+    import json
+
+    bundle = str(tmp_path / "bundle.json")
+    main(["record", "--workload", "wiki", "--scale", "0.005",
+          "--out", bundle])
+    with open(bundle) as fh:
+        data = json.load(fh)
+    for entry in data["trace"]["events"]:
+        if "response" in entry and entry["response"]["body"]:
+            entry["response"]["body"] = "forged!"
+            break
+    with open(bundle, "w") as fh:
+        json.dump(data, fh)
+    code = main(["audit", bundle, "--workload", "wiki",
+                 "--scale", "0.005"])
+    assert code == 1
+    assert "REJECTED" in capsys.readouterr().out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["demo", "--workload", "nope"])

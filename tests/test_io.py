@@ -1,0 +1,139 @@
+"""Serialization round-trips: the audit verdict must be identical whether
+the verifier runs on live objects or on a reloaded JSON bundle."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import ssco_audit
+from repro.io import (
+    load_audit_bundle,
+    reports_from_json,
+    reports_to_json,
+    save_audit_bundle,
+    state_from_json,
+    state_to_json,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.server import Application, Executor
+from repro.server.faulty import tamper_response
+from repro.trace.events import Request
+
+
+def test_trace_roundtrip(honest_run):
+    data = json.loads(json.dumps(trace_to_json(honest_run.trace)))
+    restored = trace_from_json(data)
+    assert len(restored) == len(honest_run.trace)
+    for a, b in zip(restored, honest_run.trace):
+        assert a.kind == b.kind and a.rid == b.rid
+        assert a.payload == b.payload
+
+
+def test_reports_roundtrip(honest_run):
+    data = json.loads(json.dumps(reports_to_json(honest_run.reports)))
+    restored = reports_from_json(data)
+    assert restored.groups == honest_run.reports.groups
+    assert restored.op_counts == honest_run.reports.op_counts
+    assert restored.op_logs == honest_run.reports.op_logs
+    assert restored.nondet == honest_run.reports.nondet
+
+
+def test_state_roundtrip(honest_run):
+    data = json.loads(json.dumps(state_to_json(honest_run.initial_state)))
+    restored = state_from_json(data)
+    original = honest_run.initial_state
+    assert restored.kv == original.kv
+    assert restored.registers == original.registers
+    for name, table in original.db_engine.tables.items():
+        twin = restored.db_engine.tables[name]
+        assert twin.rows == table.rows
+        assert twin.auto_counter == table.auto_counter
+        assert twin.columns == table.columns
+
+
+def test_audit_verdict_survives_roundtrip(counter_app, honest_run,
+                                          tmp_path):
+    path = tmp_path / "bundle.json"
+    save_audit_bundle(str(path), honest_run.trace, honest_run.reports,
+                      honest_run.initial_state)
+    trace, reports, initial = load_audit_bundle(str(path))
+    live = ssco_audit(counter_app, honest_run.trace, honest_run.reports,
+                      honest_run.initial_state)
+    reloaded = ssco_audit(counter_app, trace, reports, initial)
+    assert live.accepted and reloaded.accepted
+    assert live.produced == reloaded.produced
+
+
+def test_tampered_bundle_still_rejected(counter_app, honest_run,
+                                        tmp_path):
+    path = tmp_path / "bundle.json"
+    save_audit_bundle(
+        str(path),
+        tamper_response(honest_run.trace, "r000", "forged"),
+        honest_run.reports,
+        honest_run.initial_state,
+    )
+    trace, reports, initial = load_audit_bundle(str(path))
+    assert not ssco_audit(counter_app, trace, reports, initial).accepted
+
+
+def test_externals_roundtrip(tmp_path):
+    app = Application.from_sources("m", {
+        "s.php": "send_email('a@b.c', 'subj', 'body'); echo 'ok';",
+    })
+    run = Executor(app).serve([Request("r1", "s.php")])
+    data = json.loads(json.dumps(trace_to_json(run.trace)))
+    restored = trace_from_json(data)
+    externals = restored.externals()["r1"]
+    assert externals[0].service == "email"
+    assert externals[0].content == ("a@b.c", "subj", "body")
+    assert ssco_audit(app, restored,
+                      reports_from_json(
+                          json.loads(json.dumps(
+                              reports_to_json(run.reports)))),
+                      run.initial_state).accepted
+
+
+def test_frozen_array_values_roundtrip(tmp_path):
+    """Session arrays stored in registers are nested frozen tuples; the
+    tagged encoding must preserve them exactly (tuples, not lists)."""
+    app = Application.from_sources("m", {
+        "s.php": """
+$s = session_get();
+if (is_null($s)) { $s = ['n' => 0, 'tags' => ['a', 'b']]; }
+$s['n'] = $s['n'] + 1;
+session_put($s);
+echo $s['n'];
+""",
+    })
+    run = Executor(app).serve([
+        Request("r1", "s.php", cookies={"sess": "u"}),
+        Request("r2", "s.php", cookies={"sess": "u"}),
+    ])
+    data = json.loads(json.dumps(reports_to_json(run.reports)))
+    restored = reports_from_json(data)
+    log = restored.op_logs["reg:sess:u"]
+    assert log == run.reports.op_logs["reg:sess:u"]
+    # And the reloaded reports still audit.
+    assert ssco_audit(app, run.trace, restored,
+                      run.initial_state).accepted
+
+
+def test_version_check():
+    with pytest.raises(ValueError):
+        trace_from_json({"version": 99, "events": []})
+    with pytest.raises(ValueError):
+        reports_from_json({"version": None})
+
+
+def test_bundle_file_is_plain_json(counter_app, honest_run, tmp_path):
+    path = tmp_path / "bundle.json"
+    save_audit_bundle(str(path), honest_run.trace, honest_run.reports,
+                      honest_run.initial_state)
+    with open(path) as fh:
+        bundle = json.load(fh)
+    assert bundle["version"] == 1
+    assert {"trace", "reports", "initial_state"} <= set(bundle)

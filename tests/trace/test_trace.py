@@ -1,0 +1,113 @@
+"""Trace container, balance checking, collector."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import AuditReject, RejectReason
+from repro.trace.collector import Collector
+from repro.trace.events import Event, EventKind, Request, Response
+from repro.trace.trace import Trace, check_balanced, is_balanced
+
+
+def _req(rid):
+    return Event.request(Request(rid, "s.php"))
+
+
+def _resp(rid, body="ok"):
+    return Event.response(Response(rid, body))
+
+
+def test_empty_trace_is_balanced():
+    check_balanced(Trace())
+
+
+def test_simple_balanced():
+    check_balanced(Trace([_req("a"), _resp("a")]))
+
+
+def test_interleaved_balanced():
+    check_balanced(Trace([_req("a"), _req("b"), _resp("b"), _resp("a")]))
+
+
+def test_response_before_request_rejected():
+    with pytest.raises(AuditReject) as exc:
+        check_balanced(Trace([_resp("a"), _req("a")]))
+    assert exc.value.reason is RejectReason.TRACE_UNBALANCED
+
+
+def test_missing_response_rejected():
+    with pytest.raises(AuditReject):
+        check_balanced(Trace([_req("a"), _req("b"), _resp("a")]))
+
+
+def test_double_response_rejected():
+    with pytest.raises(AuditReject):
+        check_balanced(Trace([_req("a"), _resp("a"), _resp("a")]))
+
+
+def test_duplicate_request_id_rejected():
+    with pytest.raises(AuditReject) as exc:
+        check_balanced(Trace([_req("a"), _resp("a"), _req("a"),
+                              _resp("a")]))
+    assert exc.value.reason is RejectReason.DUPLICATE_REQUEST_ID
+
+
+def test_aborted_response_is_balanced():
+    trace = Trace([
+        _req("a"),
+        Event.response(Response("a", None, status=0,
+                                abort_info="client reset")),
+    ])
+    check_balanced(trace)
+
+
+def test_accessors():
+    trace = Trace([_req("a"), _req("b"), _resp("b", "B"), _resp("a", "A")])
+    assert trace.request_ids() == ["a", "b"]
+    assert trace.response_bodies() == {"a": "A", "b": "B"}
+    assert len(trace) == 4
+    assert trace[0].is_request
+    assert trace.size_bytes() > 0
+
+
+def test_collector_orders_and_timestamps():
+    collector = Collector()
+    collector.observe_request(Request("a", "s"))
+    collector.observe_request(Request("b", "s"))
+    collector.observe_response(Response("b", "x"))
+    collector.observe_response(Response("a", "y"))
+    trace = collector.trace
+    times = [event.time for event in trace]
+    assert times == sorted(times)
+    assert len(set(times)) == len(times)
+    check_balanced(trace)
+
+
+def test_collector_explicit_timestamps():
+    collector = Collector()
+    collector.observe_request(Request("a", "s"), at=10.0)
+    collector.observe_response(Response("a", "x"), at=5.0)  # clock skew
+    trace = collector.trace
+    assert trace[1].time > trace[0].time  # monotonicity enforced
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.sampled_from(["open", "close"]), max_size=30))
+def test_is_balanced_never_crashes(ops):
+    events = []
+    counter = 0
+    open_rids = []
+    for op in ops:
+        if op == "open":
+            counter += 1
+            rid = f"r{counter}"
+            open_rids.append(rid)
+            events.append(_req(rid))
+        elif open_rids:
+            events.append(_resp(open_rids.pop()))
+    trace = Trace(events)
+    result = is_balanced(trace)
+    assert result == (not open_rids)

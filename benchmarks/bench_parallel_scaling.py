@@ -1,0 +1,151 @@
+"""E8 — parallel audit scaling: re-execution wall-clock vs worker count.
+
+The audit's dominant phase (Figure 9's "PHP" bar) is grouped
+re-execution, which is embarrassingly parallel across group chunks
+(§4.7): each chunk only reads the versioned stores and logs.  This
+benchmark serves one wiki workload, audits it with increasing worker
+counts, checks every parallel audit's produced bodies are bitwise
+identical to the serial audit's, and reports the re-exec wall-clock.
+
+The recorded baseline carries ``cpu_count``: on a single-core host the
+expected outcome is wall-clock *parity* (the pool adds only a few
+percent overhead — the scaling headroom is real but unobservable);
+speedup materializes with cores.
+
+Run standalone to (re)generate the committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py \
+        --scale 0.1 --workers 1,2,4 --out BENCH_parallel.json
+
+or through pytest (uses the shared session bundle)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel_scaling.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.bench.harness import run_audit_phase, run_online_phase
+from repro.core import ssco_audit
+from repro.workloads import wiki_workload
+
+
+def measure_scaling(
+    workload,
+    execution,
+    workers_list=(1, 2, 4),
+    repeats: int = 1,
+):
+    """Audit the same execution at each worker count; returns rows."""
+    rows = []
+    serial_produced = None
+    serial_reexec = None
+    for workers in workers_list:
+        best = None
+        for _ in range(max(1, repeats)):
+            audit = ssco_audit(
+                workload.app,
+                execution.trace,
+                execution.reports,
+                execution.initial_state,
+                workers=workers,
+            )
+            assert audit.accepted, (audit.reason, audit.detail)
+            if best is None or audit.phases["reexec"] < best.phases["reexec"]:
+                best = audit
+        if serial_produced is None:
+            serial_produced = best.produced
+            serial_reexec = best.phases["reexec"]
+        else:
+            assert best.produced == serial_produced, (
+                f"workers={workers}: produced bodies diverge from serial"
+            )
+        rows.append({
+            "workers": workers,
+            "reexec_seconds": best.phases["reexec"],
+            "total_seconds": best.phases["total"],
+            "db_query_seconds": best.phases["db_query"],
+            "speedup_reexec": serial_reexec / max(best.phases["reexec"],
+                                                  1e-12),
+            "groups": best.stats["groups"],
+        })
+    return rows
+
+
+def run(scale: float, workers_list, seed: int = 1, repeats: int = 1):
+    workload = wiki_workload(scale=scale)
+    execution = run_online_phase(workload, seed=seed)
+    rows = measure_scaling(workload, execution, workers_list, repeats)
+    return {
+        "benchmark": "parallel_scaling",
+        "workload": "wiki",
+        "scale": scale,
+        "requests": len(workload.requests),
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+    }
+
+
+# -- pytest entry point --------------------------------------------------------
+
+
+def test_parallel_scaling(wiki_bundle, capsys):
+    """Parallel audits are verdict- and output-identical to serial, and
+    the per-shard accounting surfaces through the harness."""
+    workload, execution, _ = wiki_bundle
+    rows = measure_scaling(workload, execution, workers_list=(1, 2),
+                           repeats=2)
+    serial, parallel = rows[0], rows[1]
+    if (os.cpu_count() or 1) >= 2:
+        # With real cores the re-exec wall-clock must improve.
+        assert parallel["reexec_seconds"] < serial["reexec_seconds"], rows
+    else:
+        # Single-core host: demand bounded overhead, not speedup.
+        assert parallel["reexec_seconds"] < 2.5 * serial["reexec_seconds"], \
+            rows
+    run_parallel = run_audit_phase(workload, execution, workers=2,
+                                   run_baseline=False)
+    assert run_parallel.audit.accepted
+    with capsys.disabled():
+        print()
+        print("=== parallel scaling (re-exec seconds) ===")
+        for row in rows:
+            print(f"  workers={row['workers']}: "
+                  f"{row['reexec_seconds']:.3f}s "
+                  f"(speedup {row['speedup_reexec']:.2f}x)")
+
+
+# -- standalone entry point ----------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--workers", default="1,2,4",
+                        help="comma-separated worker counts")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="audits per worker count (best time wins)")
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    args = parser.parse_args(argv)
+    workers_list = [int(part) for part in args.workers.split(",")]
+    result = run(args.scale, workers_list, seed=args.seed,
+                 repeats=args.repeats)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    for row in result["rows"]:
+        print(f"  workers={row['workers']}: reexec "
+              f"{row['reexec_seconds']:.3f}s "
+              f"(speedup {row['speedup_reexec']:.2f}x, "
+              f"{row['groups']} groups)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,9 +30,12 @@ See ``examples/quickstart.py`` for the runnable version.
 """
 
 from repro.core import (
+    AuditOptions,
+    AuditPipeline,
     AuditResult,
     create_time_precedence_graph,
     ooo_audit,
+    run_audit,
     simple_audit,
     ssco_audit,
 )
@@ -50,6 +53,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Application",
+    "AuditOptions",
+    "AuditPipeline",
     "AuditResult",
     "Collector",
     "ExecutionResult",
@@ -62,6 +67,7 @@ __all__ = [
     "Trace",
     "create_time_precedence_graph",
     "ooo_audit",
+    "run_audit",
     "simple_audit",
     "ssco_audit",
     "__version__",

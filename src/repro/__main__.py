@@ -5,9 +5,17 @@ Commands:
 * ``demo`` — serve a built-in workload, audit it, print the verdict and
   the acceleration stats;
 * ``record`` — serve a built-in workload and save the audit bundle
-  (trace + reports + initial state) to a JSON file;
-* ``audit`` — load a bundle and run the SSCO audit (optionally the
-  simple-re-execution baseline for comparison).
+  (trace + reports + initial state) to a file, as the legacy JSON blob
+  or the streaming epoch-segmented JSONL format (``--format jsonl``);
+* ``audit`` — load a bundle (either format) and run the SSCO audit
+  (optionally the simple-re-execution baseline for comparison).
+
+All three subcommands expose the full audit knob set (``--strict``,
+``--max-group-size``, ``--no-dedup``, ``--no-collapse``,
+``--strict-registers``) plus the scaling knobs: ``--parallel N`` fans
+group re-execution out over N worker processes, and ``--epoch-size N``
+makes the server drain every N requests (``demo``/``record``) and the
+auditor shard at the resulting quiescent cuts (``demo``/``audit``).
 
 The built-in workloads are the paper's three applications: ``wiki``,
 ``forum``, ``hotcrp``.
@@ -19,9 +27,10 @@ import argparse
 import sys
 
 from repro.bench import figure9_decomposition, render_table
-from repro.bench.harness import BenchRun, run_audit_phase
+from repro.bench.harness import run_audit_phase
 from repro.core import simple_audit, ssco_audit
-from repro.io import load_audit_bundle, save_audit_bundle
+from repro.core.reexec import DEFAULT_MAX_GROUP
+from repro.io import load_audit_bundle_ex, save_audit_bundle
 from repro.workloads import forum_workload, hotcrp_workload, wiki_workload
 
 _WORKLOADS = {
@@ -45,8 +54,21 @@ def _serve(workload, args):
         scheduler=RandomScheduler(args.seed),
         max_concurrency=args.concurrency,
         nondet=NondetSource(seed=args.seed),
+        epoch_size=args.epoch_size,
     )
     return executor.serve(workload.requests)
+
+
+def _audit_kwargs(args) -> dict:
+    """The full knob set, shared by every auditing subcommand."""
+    return dict(
+        strict=args.strict,
+        dedup=not args.no_dedup,
+        collapse=not args.no_collapse,
+        strict_registers=args.strict_registers,
+        max_group_size=args.max_group_size,
+        workers=args.parallel,
+    )
 
 
 def cmd_demo(args) -> int:
@@ -54,8 +76,13 @@ def cmd_demo(args) -> int:
     print(f"serving {len(workload.requests)} {workload.label} requests "
           f"(concurrency {args.concurrency}) ...")
     execution = _serve(workload, args)
-    print("auditing ...")
-    run = run_audit_phase(workload, execution)
+    mode = (f"{args.parallel} workers" if args.parallel > 1 else "serial")
+    print(f"auditing ({mode}) ...")
+    run = run_audit_phase(
+        workload, execution,
+        epoch_cuts=execution.epoch_marks or None,
+        **_audit_kwargs(args),
+    )
     audit = run.audit
     if not audit.accepted:
         print(f"REJECTED: {audit.reason.value}: {audit.detail}")
@@ -69,6 +96,12 @@ def cmd_demo(args) -> int:
     print(f"groups={stats['groups']} alpha={alpha:.3f} "
           f"dedup={stats['dedup_hits']}/"
           f"{stats['dedup_hits'] + stats['dedup_misses']}")
+    if stats.get("shard_count"):
+        print(f"shards={stats['shard_count']}: " + " ".join(
+            f"[{s['shard']}] {s['requests']}req "
+            f"{s['reexec_seconds'] * 1e3:.1f}ms"
+            for s in stats["shards"]
+        ))
     rows = [{"phase": k, "seconds": v}
             for k, v in figure9_decomposition(run).items()]
     print(render_table(rows, ["phase", "seconds"]))
@@ -80,22 +113,36 @@ def cmd_record(args) -> int:
     print(f"serving {len(workload.requests)} {workload.label} requests ...")
     execution = _serve(workload, args)
     save_audit_bundle(args.out, execution.trace, execution.reports,
-                      execution.initial_state)
-    print(f"wrote {args.out} "
+                      execution.initial_state,
+                      epoch_marks=execution.epoch_marks,
+                      format=args.format)
+    epochs = len(execution.epoch_marks) + 1 if execution.epoch_marks else 1
+    print(f"wrote {args.out} [{args.format}] "
           f"({len(execution.trace)} events, "
-          f"{execution.reports.op_count_total()} logged ops)")
+          f"{execution.reports.op_count_total()} logged ops, "
+          f"{epochs} epoch(s))")
     return 0
 
 
 def cmd_audit(args) -> int:
-    trace, reports, initial = load_audit_bundle(args.bundle)
+    trace, reports, initial, epoch_marks = load_audit_bundle_ex(args.bundle)
     workload = _build(args)  # the program is the trusted input
+    workers = args.parallel if args.parallel > 1 else args.concurrency
+    cuts = None
+    if args.epoch_size > 0:
+        cuts = epoch_marks or None
     print(f"auditing {len(trace.request_ids())} requests against "
-          f"{workload.label} ...")
+          f"{workload.label} "
+          f"(workers={workers}, epoch_size={args.epoch_size}) ...")
+    kwargs = _audit_kwargs(args)
+    kwargs["workers"] = workers
     audit = ssco_audit(workload.app, trace, reports, initial,
-                       dedup=not args.no_dedup)
+                       epoch_size=args.epoch_size, epoch_cuts=cuts,
+                       **kwargs)
     if audit.accepted:
-        print(f"ACCEPTED in {audit.phases['total'] * 1e3:.1f} ms")
+        shards = audit.stats.get("shard_count")
+        suffix = f" across {shards} shard(s)" if shards else ""
+        print(f"ACCEPTED in {audit.phases['total'] * 1e3:.1f} ms{suffix}")
     else:
         print(f"REJECTED: {audit.reason.value}"
               + (f": {audit.detail}" if audit.detail else ""))
@@ -121,23 +168,59 @@ def main(argv=None) -> int:
         p.add_argument("--scale", type=float, default=0.02,
                        help="workload scale (1.0 = the paper's full size)")
         p.add_argument("--seed", type=int, default=1)
-        p.add_argument("--concurrency", type=int, default=8)
+        p.add_argument("--epoch-size", type=int, default=0,
+                       help="serve: drain every N requests and record an "
+                            "epoch mark; audit: shard at quiescent cuts "
+                            "(0 disables)")
+
+    def audit_knobs(p):
+        p.add_argument("--strict", dest="strict", action="store_true",
+                       default=True,
+                       help="reject on in-group control-flow divergence "
+                            "(default)")
+        p.add_argument("--no-strict", dest="strict", action="store_false",
+                       help="demote diverged groups to per-request "
+                            "re-execution instead of rejecting")
+        p.add_argument("--no-dedup", action="store_true",
+                       help="disable read-query deduplication")
+        p.add_argument("--no-collapse", action="store_true",
+                       help="disable multivalue collapse")
+        p.add_argument("--strict-registers", action="store_true",
+                       help="reject register reads with no logged write")
+        p.add_argument("--max-group-size", type=int,
+                       default=DEFAULT_MAX_GROUP,
+                       help="chunk re-execution groups beyond this size")
+        p.add_argument("--parallel", type=int, default=1, metavar="N",
+                       help="fan group re-execution out over N worker "
+                            "processes (1 = serial)")
 
     demo = sub.add_parser("demo", help="serve + audit, print stats")
     common(demo)
+    demo.add_argument("--concurrency", type=int, default=8,
+                      help="server's max in-flight requests")
+    audit_knobs(demo)
     demo.set_defaults(func=cmd_demo)
 
     record = sub.add_parser("record", help="serve and save a bundle")
     common(record)
+    record.add_argument("--concurrency", type=int, default=8,
+                        help="server's max in-flight requests")
     record.add_argument("--out", default="audit_bundle.json")
+    record.add_argument("--format", choices=("json", "jsonl"),
+                        default="json",
+                        help="bundle encoding: legacy JSON blob or "
+                             "streaming epoch-segmented JSONL")
     record.set_defaults(func=cmd_record)
 
     audit = sub.add_parser("audit", help="audit a saved bundle")
     common(audit)
+    audit.add_argument("--concurrency", type=int, default=1,
+                       help="audit worker processes (same as --parallel; "
+                            "--parallel wins when both are given)")
+    audit_knobs(audit)
     audit.add_argument("bundle")
     audit.add_argument("--baseline", action="store_true",
                        help="also run the simple re-execution baseline")
-    audit.add_argument("--no-dedup", action="store_true")
     audit.set_defaults(func=cmd_audit)
 
     args = parser.parse_args(argv)

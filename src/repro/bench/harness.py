@@ -4,9 +4,10 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.ooo import OooResult, simple_audit
+from repro.core.reexec import DEFAULT_MAX_GROUP
 from repro.core.verifier import AuditResult, ssco_audit
 from repro.server.executor import ExecutionResult, Executor
 from repro.server.nondet import NondetSource
@@ -31,6 +32,7 @@ def run_online_phase(
     seed: int = 1,
     concurrency: int = 8,
     record: bool = True,
+    epoch_size: int = 0,
 ) -> ExecutionResult:
     """Serve the workload with a seeded-random scheduler."""
     executor = Executor(
@@ -39,6 +41,7 @@ def run_online_phase(
         max_concurrency=concurrency,
         nondet=NondetSource(seed=seed),
         record=record,
+        epoch_size=epoch_size,
     )
     return executor.serve(workload.requests)
 
@@ -91,6 +94,11 @@ def run_audit_phase(
     collapse: bool = True,
     strict: bool = True,
     run_baseline: bool = True,
+    strict_registers: bool = False,
+    max_group_size: int = DEFAULT_MAX_GROUP,
+    workers: int = 1,
+    epoch_size: int = 0,
+    epoch_cuts: Optional[Sequence[int]] = None,
 ) -> BenchRun:
     audit = ssco_audit(
         workload.app,
@@ -100,6 +108,11 @@ def run_audit_phase(
         strict=strict,
         dedup=dedup,
         collapse=collapse,
+        strict_registers=strict_registers,
+        max_group_size=max_group_size,
+        workers=workers,
+        epoch_size=epoch_size,
+        epoch_cuts=epoch_cuts,
     )
     baseline = None
     if run_baseline:
@@ -109,13 +122,16 @@ def run_audit_phase(
             execution.reports,
             execution.initial_state,
         )
-    return BenchRun(
+    run = BenchRun(
         label=workload.label,
         execution=execution,
         legacy_seconds=0.0,
         audit=audit,
         baseline_audit=baseline,
     )
+    if "shards" in audit.stats:
+        run.extras["shards"] = audit.stats["shards"]
+    return run
 
 
 def run_workload_pipeline(
@@ -126,6 +142,8 @@ def run_workload_pipeline(
     collapse: bool = True,
     run_baseline: bool = True,
     measure_legacy: bool = True,
+    workers: int = 1,
+    epoch_size: int = 0,
 ) -> BenchRun:
     """Full pipeline: legacy serve, recorded serve, audit, baseline audit."""
     legacy_seconds = (
@@ -134,10 +152,13 @@ def run_workload_pipeline(
         else 0.0
     )
     execution = run_online_phase(workload, seed=seed,
-                                 concurrency=concurrency)
+                                 concurrency=concurrency,
+                                 epoch_size=epoch_size)
     run = run_audit_phase(
         workload, execution,
         dedup=dedup, collapse=collapse, run_baseline=run_baseline,
+        workers=workers,
+        epoch_cuts=execution.epoch_marks or None,
     )
     run.legacy_seconds = legacy_seconds
     return run

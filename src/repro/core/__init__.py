@@ -10,16 +10,42 @@ Public entry points:
   the Lemma 8 equivalence tests.
 * :func:`repro.core.timeprec.create_time_precedence_graph` — the streaming
   frontier algorithm (Figure 6).
+* :mod:`repro.core.pipeline` — the phased audit engine
+  (:class:`~repro.core.pipeline.AuditPipeline` of composable
+  :class:`~repro.core.pipeline.AuditPhase` objects) every entry point
+  above is built on, plus the epoch-sharded driver.
+* :mod:`repro.core.partition` — quiescent-cut epoch partitioning of
+  audit inputs.
 """
 
+from repro.core.pipeline import (
+    AuditContext,
+    AuditOptions,
+    AuditPipeline,
+    AuditPhase,
+    default_pipeline,
+    run_audit,
+    sharded_audit,
+)
+from repro.core.partition import Shard, find_epoch_cuts, partition_audit_inputs
 from repro.core.verifier import AuditResult, ssco_audit
 from repro.core.ooo import ooo_audit, simple_audit
 from repro.core.timeprec import create_time_precedence_graph
 
 __all__ = [
+    "AuditContext",
+    "AuditOptions",
+    "AuditPhase",
+    "AuditPipeline",
     "AuditResult",
+    "Shard",
     "create_time_precedence_graph",
+    "default_pipeline",
+    "find_epoch_cuts",
     "ooo_audit",
+    "partition_audit_inputs",
+    "run_audit",
+    "sharded_audit",
     "simple_audit",
     "ssco_audit",
 ]

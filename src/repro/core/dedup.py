@@ -13,12 +13,28 @@ clusters "all queries in a control flow group").
 from __future__ import annotations
 
 import bisect
+from functools import lru_cache
 from typing import Dict, List, Tuple
 
 from repro.sql.ast import Select, tables_touched
 from repro.sql.engine import StmtResult
 from repro.sql.parser import parse_sql
 from repro.sql.versioned import VersionedDB
+
+
+@lru_cache(maxsize=4096)
+def _parsed_select(sql: str) -> Tuple[Select, Tuple[str, ...]]:
+    """Parsed ``Select`` + touched tables, memoized per SQL text.
+
+    The cache is keyed by the query text — exactly the key the dedup
+    cache already clusters by — so re-parsing the same SELECT for every
+    occurrence across groups and shards is pure waste.  Non-SELECT text
+    raises (and is never cached: ``lru_cache`` does not cache raises).
+    """
+    stmt = parse_sql(sql)
+    if not isinstance(stmt, Select):
+        raise ValueError("dedup cache only handles SELECT")
+    return stmt, tuple(tables_touched(stmt))
 
 
 class QueryDedup:
@@ -35,10 +51,7 @@ class QueryDedup:
     def select(self, sql: str, ts: int) -> StmtResult:
         """Result of ``sql`` at version ``ts``, reusing a neighbouring
         execution when no intervening table writes exist."""
-        stmt = parse_sql(sql)
-        if not isinstance(stmt, Select):
-            raise ValueError("dedup cache only handles SELECT")
-        tables = tables_touched(stmt)
+        stmt, tables = _parsed_select(sql)
         ts_list = self._ts.get(sql)
         if ts_list:
             position = bisect.bisect_left(ts_list, ts)

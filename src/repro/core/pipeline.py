@@ -1,0 +1,448 @@
+"""The phased audit engine: SSCO_AUDIT2 as an explicit pipeline.
+
+The paper's verifier (Figure 12) is a sequence of independent phases —
+trace checks, ProcessOpReports, versioned-store redo, grouped
+re-execution, output comparison — and this module makes that structure
+explicit instead of hard-coding it in one monolithic function:
+
+* :class:`AuditContext` carries everything the phases share: the four
+  inputs (app, trace, reports, initial state), the :class:`AuditOptions`
+  knobs, and the artifacts phases produce for each other (graph, OpMap,
+  :class:`~repro.core.simulate.SimContext`, produced bodies) plus the
+  :class:`AuditResult` under construction.
+* :class:`AuditPhase` is one composable step; the stock phases
+  (:class:`TraceCheckPhase` ... :class:`MigratePhase`) reproduce Figure
+  12 exactly, and callers can insert, remove, or replace phases to build
+  custom auditors (ablations, extra validators, incremental audits).
+* :class:`AuditPipeline` runs the phases in order, times each one into
+  ``AuditResult.phases`` (the Figure 9 decomposition), converts
+  :class:`AuditReject` into a rejected result, and harvests
+  instrumentation in a ``finally`` block so rejected audits still carry
+  their stats.
+
+Scaling entry points layered on the pipeline:
+
+* ``AuditOptions.workers > 1`` makes :class:`ReExecPhase` fan group
+  chunks out over a process pool (see :mod:`repro.core.reexec`);
+* :func:`sharded_audit` splits the inputs into epoch shards along
+  quiescent trace cuts (see :mod:`repro.core.partition`) and audits them
+  as a chain, each shard's migrated state seeding the next — the paper's
+  contiguous-epoch scheme (§4.1, §4.5) applied *within* one recorded
+  bundle.
+
+:func:`repro.core.verifier.ssco_audit` remains the compatibility
+wrapper: same signature, same :class:`AuditResult` shape, implemented as
+``default_pipeline().run(...)``.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import AuditReject, RejectReason
+from repro.core.nondet import validate_nondet_reports
+from repro.core.ooo import _compare_externals, _compare_outputs
+from repro.core.partition import Shard, partition_audit_inputs
+from repro.core.process_reports import process_op_reports
+from repro.core.reexec import DEFAULT_MAX_GROUP, reexec_groups
+from repro.core.simulate import SimContext
+from repro.objects.base import OpType
+from repro.server.app import Application, InitialState
+from repro.server.reports import Reports
+from repro.trace.trace import Trace, check_balanced
+
+
+@dataclass
+class AuditOptions:
+    """The audit's knob set (every ``ssco_audit`` keyword in one place)."""
+
+    strict: bool = True
+    dedup: bool = True
+    collapse: bool = True
+    strict_registers: bool = False
+    max_group_size: int = DEFAULT_MAX_GROUP
+    migrate: bool = False
+    #: Worker processes for group re-execution; <= 1 means serial.
+    workers: int = 1
+    #: Shard the audit at quiescent cuts every ~N requests; 0 disables.
+    epoch_size: int = 0
+    #: Explicit cut positions (event indexes, e.g. the executor's epoch
+    #: marks); overrides ``epoch_size`` when set.
+    epoch_cuts: Optional[Sequence[int]] = None
+
+
+@dataclass
+class AuditResult:
+    """Outcome of an SSCO audit, with instrumentation."""
+
+    accepted: bool
+    reason: Optional[RejectReason] = None
+    detail: str = ""
+    #: Phase wall-clock seconds: proc_op_reports, db_redo, reexec,
+    #: db_query (subset of reexec), output_compare, total.
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: groups, grouped_requests, fallback_requests, dedup hits/misses,
+    #: steps, multi_steps, db_queries_issued, versioned sizes ...
+    stats: Dict[str, object] = field(default_factory=dict)
+    produced: Dict[str, str] = field(default_factory=dict)
+    #: Post-audit compacted state (the next epoch's initial state), only
+    #: populated on accept when ``migrate=True``.
+    next_initial: Optional[InitialState] = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.accepted
+
+
+class AuditContext:
+    """Shared state threaded through the pipeline's phases."""
+
+    def __init__(
+        self,
+        app: Application,
+        trace: Trace,
+        reports: Reports,
+        initial_state: InitialState,
+        options: Optional[AuditOptions] = None,
+    ):
+        self.app = app
+        self.trace = trace
+        self.reports = reports
+        self.initial_state = initial_state
+        self.options = options or AuditOptions()
+        # Artifacts the phases hand to each other.
+        self.graph = None
+        self.opmap = None
+        self.sim: Optional[SimContext] = None
+        self.produced: Dict[str, str] = {}
+        self.result = AuditResult(accepted=False)
+
+
+class AuditPhase:
+    """One composable audit step.
+
+    Subclasses set :attr:`name` (the ``AuditResult.phases`` timer key)
+    and implement :meth:`run`, which reads and writes the shared
+    :class:`AuditContext` and raises :class:`AuditReject` on a failed
+    check.
+    """
+
+    name = "phase"
+
+    def run(self, actx: AuditContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class TraceCheckPhase(AuditPhase):
+    """Balanced-trace and non-determinism plausibility checks (§3, §4.6)."""
+
+    name = "trace_check"
+
+    def run(self, actx: AuditContext) -> None:
+        check_balanced(actx.trace)
+        validate_nondet_reports(actx.reports)
+
+
+class ProcessReportsPhase(AuditPhase):
+    """ProcessOpReports (Figure 5): ordering verification + OpMap."""
+
+    name = "proc_op_reports"
+
+    def run(self, actx: AuditContext) -> None:
+        graph, opmap = process_op_reports(actx.trace, actx.reports)
+        actx.graph = graph
+        actx.opmap = opmap
+        actx.result.stats["graph_nodes"] = graph.node_count()
+        actx.result.stats["graph_edges"] = graph.edge_count()
+
+
+class BuildStoresPhase(AuditPhase):
+    """kv.Build / db.Build (Figure 12 lines 5-6): the versioned redo."""
+
+    name = "db_redo"
+
+    def run(self, actx: AuditContext) -> None:
+        actx.sim = SimContext(
+            actx.app, actx.reports, actx.opmap, actx.initial_state,
+            actx.options.strict_registers,
+        )
+        actx.sim.build_versioned_stores()
+
+
+class ReExecPhase(AuditPhase):
+    """ReExec2 (Figure 12 lines 29-53): grouped SIMD-on-demand
+    re-execution, optionally fanned out over worker processes."""
+
+    name = "reexec"
+
+    def run(self, actx: AuditContext) -> None:
+        options = actx.options
+        actx.produced = reexec_groups(
+            actx.app, actx.trace, actx.reports, actx.sim,
+            strict=options.strict, dedup=options.dedup,
+            collapse=options.collapse,
+            max_group_size=options.max_group_size,
+            workers=options.workers,
+        )
+        actx.result.phases["db_query"] = actx.sim.db_query_seconds
+
+
+class OutputComparePhase(AuditPhase):
+    """Figure 12 lines 55-57 plus the §5.5 external-request comparison."""
+
+    name = "output_compare"
+
+    def run(self, actx: AuditContext) -> None:
+        _compare_outputs(actx.trace, actx.produced)
+        _compare_externals(actx.trace, actx.sim)
+        actx.result.produced = actx.produced
+
+
+class MigratePhase(AuditPhase):
+    """§4.5 migration: compact the versioned stores into the next
+    epoch's trusted initial state.  No-op unless ``migrate`` is set."""
+
+    name = "migrate"
+
+    def run(self, actx: AuditContext) -> None:
+        if not actx.options.migrate:
+            return
+        ctx = actx.sim
+        app = actx.app
+        vdb = ctx.vdb[app.db_name]
+        vkv = ctx.vkv[app.kv_name]
+        registers = dict(actx.initial_state.registers)
+        registers.update(_final_registers(actx.reports))
+        kv_state = dict(actx.initial_state.kv)
+        kv_state.update(vkv.latest_state())
+        actx.result.next_initial = InitialState(
+            vdb.latest_engine(), kv_state, registers
+        )
+
+
+class AuditPipeline:
+    """Runs :class:`AuditPhase` objects in order over one context."""
+
+    def __init__(self, phases: Sequence[AuditPhase]):
+        self.phases: List[AuditPhase] = list(phases)
+
+    def run(self, actx: AuditContext) -> AuditResult:
+        """Run every phase; never raises :class:`AuditReject`."""
+        result = actx.result
+        total_start = _time.perf_counter()
+        try:
+            for phase in self.phases:
+                phase_start = _time.perf_counter()
+                try:
+                    phase.run(actx)
+                finally:
+                    result.phases[phase.name] = (
+                        result.phases.get(phase.name, 0.0)
+                        + _time.perf_counter() - phase_start
+                    )
+            result.accepted = True
+        except AuditReject as reject:
+            result.accepted = False
+            result.reason = reject.reason
+            result.detail = reject.detail
+        finally:
+            result.phases["total"] = _time.perf_counter() - total_start
+            _collect_stats(actx)
+        return result
+
+
+def default_pipeline(options: Optional[AuditOptions] = None) -> AuditPipeline:
+    """The stock Figure 12 phase sequence."""
+    return AuditPipeline([
+        TraceCheckPhase(),
+        ProcessReportsPhase(),
+        BuildStoresPhase(),
+        ReExecPhase(),
+        OutputComparePhase(),
+        MigratePhase(),
+    ])
+
+
+def run_audit(
+    app: Application,
+    trace: Trace,
+    reports: Reports,
+    initial_state: InitialState,
+    options: Optional[AuditOptions] = None,
+    pipeline: Optional[AuditPipeline] = None,
+) -> AuditResult:
+    """Audit one bundle: sharded when the options ask for it, otherwise
+    a single pass of the (default or caller-supplied) pipeline."""
+    options = options or AuditOptions()
+    if options.epoch_size > 0 or options.epoch_cuts:
+        return sharded_audit(app, trace, reports, initial_state, options,
+                             pipeline=pipeline)
+    actx = AuditContext(app, trace, reports, initial_state, options)
+    return (pipeline or default_pipeline(options)).run(actx)
+
+
+# -- instrumentation harvest ---------------------------------------------------
+
+
+def _collect_stats(actx: AuditContext) -> None:
+    """Fold the simulation context's counters into the result (runs in
+    the pipeline's ``finally``, so rejected audits keep their stats)."""
+    result = actx.result
+    ctx = actx.sim
+    if ctx is None:
+        return
+    result.stats.update(
+        {
+            "db_queries_issued": ctx.db_queries_issued,
+            "dedup_hits": ctx.dedup_hits,
+            "dedup_misses": ctx.dedup_misses,
+        }
+    )
+    vdb = ctx.vdb.get(actx.app.db_name)
+    if vdb is not None:
+        result.stats["versioned_db_bytes"] = vdb.size_bytes()
+        result.stats["versioned_db_versions"] = vdb.version_count()
+        result.stats["redo_statements"] = vdb.redo_statements
+    stats = getattr(ctx, "reexec_stats", None)
+    if stats is not None:
+        result.stats.update(
+            {
+                "groups": stats.groups,
+                "grouped_requests": stats.grouped_requests,
+                "fallback_requests": stats.fallback_requests,
+                "divergences": stats.divergences,
+                "steps": stats.steps,
+                "multi_steps": stats.multi_steps,
+                "group_alphas": stats.group_alphas,
+            }
+        )
+
+
+def _final_registers(reports: Reports) -> Dict[str, object]:
+    """Last written value of every register appearing in the logs."""
+    final: Dict[str, object] = {}
+    for obj_name, log in reports.op_logs.items():
+        if not obj_name.startswith("reg:"):
+            continue
+        for record in log:
+            if record.optype is OpType.REGISTER_WRITE:
+                final[obj_name] = record.opcontents[0]
+    return final
+
+
+# -- epoch-sharded audit -------------------------------------------------------
+
+#: Numeric stats that sum across shards; list-valued ones concatenate.
+_SUMMED_STATS = (
+    "graph_nodes", "graph_edges", "db_queries_issued", "dedup_hits",
+    "dedup_misses", "versioned_db_bytes", "versioned_db_versions",
+    "redo_statements", "groups", "grouped_requests", "fallback_requests",
+    "divergences", "steps", "multi_steps",
+)
+
+
+def sharded_audit(
+    app: Application,
+    trace: Trace,
+    reports: Reports,
+    initial_state: InitialState,
+    options: Optional[AuditOptions] = None,
+    pipeline: Optional[AuditPipeline] = None,
+) -> AuditResult:
+    """Audit the bundle as a chain of epoch shards (§4.1, §4.5).
+
+    The trace is cut at quiescent points (every ``epoch_size`` requests,
+    or at the explicit ``epoch_cuts``); each shard is audited by its own
+    pipeline pass with ``migrate=True``, and the migrated state seeds
+    the next shard — so accepting shard *k* certifies exactly the state
+    shard *k+1* starts from.  The merged result carries the union of
+    produced bodies, summed phase timers and stats, and per-shard
+    summaries under ``stats["shards"]``.
+
+    When no usable cut exists this degrades to the ordinary single-pass
+    audit.  Partitioning itself never rejects; only the phase checks do.
+
+    A caller-supplied ``pipeline`` is run for every shard; it must
+    include a :class:`MigratePhase` (the stock pipelines do), because
+    shard chaining consumes each non-final shard's migrated state.
+    """
+    options = options or AuditOptions()
+    merged = AuditResult(accepted=False)
+    total_start = _time.perf_counter()
+    try:
+        # Global pre-checks: balance is per-definition global, and the
+        # §4.6 plausibility checks include cross-request invariants
+        # (uniqid uniqueness) a per-shard pass would miss.
+        check_balanced(trace)
+        validate_nondet_reports(reports)
+        shards = partition_audit_inputs(
+            trace, reports, options.epoch_size, options.epoch_cuts
+        )
+    except AuditReject as reject:
+        merged.reason = reject.reason
+        merged.detail = reject.detail
+        merged.phases["total"] = _time.perf_counter() - total_start
+        return merged
+
+    state = initial_state
+    shard_summaries: List[Dict[str, object]] = []
+    merged.stats["shard_count"] = len(shards)
+    for shard in shards:
+        # Non-final shards must migrate: their compacted state is the
+        # next shard's trusted initial state.  The final shard migrates
+        # only when the caller asked for it.
+        is_last = shard.index == len(shards) - 1
+        shard_options = replace(
+            options, epoch_size=0, epoch_cuts=None,
+            migrate=options.migrate or not is_last,
+        )
+        actx = AuditContext(app, shard.trace, shard.reports, state,
+                            shard_options)
+        result = (pipeline or default_pipeline(shard_options)).run(actx)
+        _merge_shard_result(merged, result)
+        shard_summaries.append({
+            "shard": shard.index,
+            "requests": shard.request_count,
+            "events": len(shard.trace),
+            "accepted": result.accepted,
+            "reexec_seconds": result.phases.get("reexec", 0.0),
+            "groups": result.stats.get("groups", 0),
+        })
+        if not result.accepted:
+            merged.accepted = False
+            merged.reason = result.reason
+            merged.detail = result.detail
+            merged.produced = {}
+            break
+        if not is_last and result.next_initial is None:
+            raise ValueError(
+                "sharded_audit needs a MigratePhase in the pipeline to "
+                "chain shard state"
+            )
+        state = result.next_initial
+    else:
+        merged.accepted = True
+        merged.next_initial = state if options.migrate else None
+    merged.stats["shards"] = shard_summaries
+    merged.phases["total"] = _time.perf_counter() - total_start
+    return merged
+
+
+def _merge_shard_result(merged: AuditResult, result: AuditResult) -> None:
+    for key, seconds in result.phases.items():
+        if key != "total":
+            merged.phases[key] = merged.phases.get(key, 0.0) + seconds
+    for key in _SUMMED_STATS:
+        if key in result.stats:
+            merged.stats[key] = (
+                merged.stats.get(key, 0) + result.stats[key]
+            )
+    if "group_alphas" in result.stats:
+        merged.stats.setdefault("group_alphas", []).extend(
+            result.stats["group_alphas"]
+        )
+    merged.produced.update(result.produced)

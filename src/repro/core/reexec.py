@@ -20,13 +20,37 @@ requests in sequence").
 
 Groups larger than ``max_group_size`` are chunked, mirroring acc-PHP's
 3,000-request group cap (§4.7).
+
+Parallel driver (``workers > 1``): group chunks are embarrassingly
+parallel — each chunk only *reads* the versioned stores, logs, and OpMap
+and only *writes* its own produced bodies and counters — so
+:func:`reexec_groups` can fan the chunk plan out over a
+``ProcessPoolExecutor``.  On fork-capable platforms workers inherit the
+parent's already-built simulation context copy-on-write (no pickling,
+no per-worker redo); elsewhere each worker rebuilds it once from a
+pickled payload.  The parent merges produced bodies, regenerated
+externals, and :class:`ReExecStats` in submission order and surfaces
+the *first* failure in that order.
+
+Parallel/serial equivalence: produced bodies are identical by
+construction (re-execution is idempotent per request and chunking is
+invisible to it), and verdicts agree on every honest execution.  The
+parallel planner *does* subdivide large single-script groups below
+``max_group_size`` to spread them across workers — chunk granularity
+was already an audit-configuration knob (§4.7's group cap), and every
+CheckOp/SimOp/output check still runs per request, so subdivision never
+weakens soundness; it only narrows the window in which a *strict-mode*
+divergence of a bogus grouping is observed group-wide.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import pickle
 import time as _time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import (
     AuditReject,
@@ -65,35 +89,36 @@ class ReExecStats:
     #: (n_c, alpha_c, ell_c) per group, for Figure 11.
 
 
-def reexec_groups(
-    app: Application,
-    trace: Trace,
-    reports: Reports,
-    ctx: SimContext,
-    strict: bool = True,
-    dedup: bool = True,
-    collapse: bool = True,
-    max_group_size: int = DEFAULT_MAX_GROUP,
-) -> Dict[str, str]:
-    """Re-execute all groups; returns rid -> produced body.
+#: Parallel planning: aim for this many chunks per worker (load
+#: balancing headroom) without dropping below this chunk size (SIMD
+#: batching is what makes grouped re-execution fast in the first place).
+_CHUNKS_PER_WORKER = 4
+_MIN_PARALLEL_CHUNK = 32
 
-    Raises :class:`AuditReject` on any failed check.
+
+def plan_chunks(
+    reports: Reports,
+    requests: Dict[str, object],
+    max_group_size: int = DEFAULT_MAX_GROUP,
+    workers: int = 1,
+) -> List[List[str]]:
+    """The deterministic chunk plan the drivers execute.
+
+    Groups are visited in sorted-tag order; duplicate rids within one
+    group are dropped (re-execution is idempotent, but duplicate slots
+    would double-consume nondet cursors); oversized groups are chunked
+    at ``max_group_size`` (§4.7).  With ``workers > 1``, single-script
+    groups are further subdivided toward ``workers *
+    _CHUNKS_PER_WORKER`` chunks overall so one dominant group does not
+    serialize the pool (mixed-script groups keep the serial chunking —
+    their group-wide strict check must see them whole).  Raises
+    :class:`AuditReject` when a grouping names a request outside the
+    trace.
     """
-    requests = trace.requests()
-    produced: Dict[str, str] = {}
-    stats = ctx.reexec_stats = ReExecStats()
-    acc = AccInterpreter(
-        db_name=app.db_name,
-        kv_name=app.kv_name,
-        session_cookie=app.session_cookie,
-        collapse_enabled=collapse,
-    )
+    groups: List[List[str]] = []
+    grouped_total = 0
     for tag in sorted(reports.groups):
         rids_raw = reports.groups[tag]
-        # Duplicate rids within one group would make the superposed
-        # execution re-run the same request in two slots; re-execution is
-        # idempotent, but the slots would double-consume nondet cursors.
-        # Deduplicate, preserving first occurrence.
         seen = set()
         rids: List[str] = []
         for rid in rids_raw:
@@ -106,10 +131,62 @@ def reexec_groups(
                     RejectReason.GROUP_UNKNOWN_RID,
                     f"grouping names unknown request {rid!r}",
                 )
-        for start in range(0, len(rids), max_group_size):
-            chunk = rids[start : start + max_group_size]
-            _run_chunk(app, acc, chunk, requests, reports, ctx, strict,
-                       dedup, produced, stats)
+        groups.append(rids)
+        grouped_total += len(rids)
+
+    parallel_chunk = max_group_size
+    if workers > 1 and grouped_total:
+        target = workers * _CHUNKS_PER_WORKER
+        parallel_chunk = max(
+            _MIN_PARALLEL_CHUNK, -(-grouped_total // target)
+        )
+    chunks: List[List[str]] = []
+    for rids in groups:
+        chunk_size = max_group_size
+        if parallel_chunk < chunk_size and len(
+            {requests[rid].script for rid in rids}
+        ) == 1:
+            chunk_size = parallel_chunk
+        for start in range(0, len(rids), chunk_size):
+            chunks.append(rids[start : start + chunk_size])
+    return chunks
+
+
+def reexec_groups(
+    app: Application,
+    trace: Trace,
+    reports: Reports,
+    ctx: SimContext,
+    strict: bool = True,
+    dedup: bool = True,
+    collapse: bool = True,
+    max_group_size: int = DEFAULT_MAX_GROUP,
+    workers: int = 1,
+) -> Dict[str, str]:
+    """Re-execute all groups; returns rid -> produced body.
+
+    ``workers > 1`` fans the chunk plan out over a process pool; the
+    serial path is preserved verbatim for ``workers <= 1``.  Raises
+    :class:`AuditReject` on any failed check.
+    """
+    requests = trace.requests()
+    chunks = plan_chunks(reports, requests, max_group_size, workers)
+    if workers > 1 and len(chunks) > 1:
+        return _reexec_parallel(
+            app, requests, reports, ctx, chunks, strict, dedup, collapse,
+            workers,
+        )
+    produced: Dict[str, str] = {}
+    stats = ctx.reexec_stats = ReExecStats()
+    acc = AccInterpreter(
+        db_name=app.db_name,
+        kv_name=app.kv_name,
+        session_cookie=app.session_cookie,
+        collapse_enabled=collapse,
+    )
+    for chunk in chunks:
+        _run_chunk(app, acc, chunk, requests, reports, ctx, strict,
+                   dedup, produced, stats)
     return produced
 
 
@@ -200,6 +277,165 @@ def _run_chunk(
         _fallback(app, rids, requests, ctx, produced, stats)
     finally:
         ctx.dedup = None
+
+
+# -- parallel driver ---------------------------------------------------------
+
+#: Per-process simulation state, built once by the pool initializer.
+_WORKER = None
+
+#: Fork handoff: the parent parks its live state here just before
+#: creating a fork-context pool; children inherit it copy-on-write, so
+#: nothing is pickled and the versioned stores are not rebuilt.
+_FORK_HANDOFF = None
+
+
+class _WorkerState:
+    """Everything one worker process needs to run chunks."""
+
+    def __init__(self, app, requests, reports, ctx, strict, dedup,
+                 collapse):
+        self.app = app
+        self.requests = requests
+        self.reports = reports
+        self.strict = strict
+        self.dedup = dedup
+        self.ctx = ctx
+        self.acc = AccInterpreter(
+            db_name=app.db_name,
+            kv_name=app.kv_name,
+            session_cookie=app.session_cookie,
+            collapse_enabled=collapse,
+        )
+
+
+def _worker_init_fork() -> None:
+    """Pool initializer on fork platforms: adopt the inherited state."""
+    global _WORKER
+    app, requests, reports, ctx, strict, dedup, collapse = _FORK_HANDOFF
+    _WORKER = _WorkerState(app, requests, reports, ctx, strict, dedup,
+                           collapse)
+
+
+def _worker_init_spawn(payload: bytes) -> None:
+    """Pool initializer elsewhere: rebuild the context from a pickle
+    (one versioned redo per worker, amortized over its chunks)."""
+    global _WORKER
+    (app, requests, reports, opmap, initial_state, strict_registers,
+     strict, dedup, collapse) = pickle.loads(payload)
+    ctx = SimContext(app, reports, opmap, initial_state, strict_registers)
+    ctx.build_versioned_stores()
+    _WORKER = _WorkerState(app, requests, reports, ctx, strict, dedup,
+                           collapse)
+
+
+def _worker_run_chunk(rids: List[str]) -> Tuple[bool, object]:
+    """Run one chunk in the worker; returns (ok, outcome).
+
+    On success the outcome carries the chunk's produced bodies,
+    regenerated externals, stats, and counter deltas; on a failed check
+    it carries the reject (reason, detail) — exceptions never cross the
+    process boundary raw, so the parent controls failure ordering.
+    """
+    state = _WORKER
+    ctx = state.ctx
+    before = ctx.counter_snapshot()
+    stats = ReExecStats()
+    produced: Dict[str, str] = {}
+    try:
+        _run_chunk(state.app, state.acc, rids, state.requests,
+                   state.reports, ctx, state.strict, state.dedup,
+                   produced, stats)
+    except AuditReject as reject:
+        return False, (reject.reason.value, reject.detail)
+    externals = {
+        rid: ctx.produced_externals.pop(rid)
+        for rid in rids
+        if rid in ctx.produced_externals
+    }
+    return True, (produced, externals, stats, ctx.counter_delta(before))
+
+
+def _reexec_parallel(
+    app: Application,
+    requests,
+    reports: Reports,
+    ctx: SimContext,
+    chunks: List[List[str]],
+    strict: bool,
+    dedup: bool,
+    collapse: bool,
+    workers: int,
+) -> Dict[str, str]:
+    """Fan the chunk plan out over a process pool and merge the results.
+
+    Outcomes are merged in submission order, so the first failure the
+    parent raises is the same failure the serial driver would raise.
+    """
+    global _FORK_HANDOFF
+    produced: Dict[str, str] = {}
+    stats = ctx.reexec_stats = ReExecStats()
+    workers = min(workers, len(chunks))
+    use_fork = "fork" in multiprocessing.get_all_start_methods()
+    try:
+        if use_fork:
+            _FORK_HANDOFF = (app, requests, reports, ctx, strict, dedup,
+                             collapse)
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_worker_init_fork,
+            )
+        else:
+            payload = pickle.dumps((
+                app, requests, reports, ctx.opmap, ctx.initial,
+                ctx.strict_registers, strict, dedup, collapse,
+            ))
+            pool = ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_init_spawn,
+                initargs=(payload,),
+            )
+    except (OSError, ValueError, TypeError, AttributeError,
+            pickle.PickleError):
+        # No process support (or an unpicklable payload on a spawn
+        # platform): stay serial — ssco_audit must never raise.
+        _FORK_HANDOFF = None
+        acc = AccInterpreter(
+            db_name=app.db_name, kv_name=app.kv_name,
+            session_cookie=app.session_cookie, collapse_enabled=collapse,
+        )
+        for chunk in chunks:
+            _run_chunk(app, acc, chunk, requests, reports, ctx, strict,
+                       dedup, produced, stats)
+        return produced
+    try:
+        with pool:
+            futures = [pool.submit(_worker_run_chunk, chunk)
+                       for chunk in chunks]
+            for future in futures:
+                ok, outcome = future.result()
+                if not ok:
+                    reason_value, detail = outcome
+                    raise AuditReject(RejectReason(reason_value), detail)
+                chunk_produced, externals, chunk_stats, counters = outcome
+                produced.update(chunk_produced)
+                for rid, items in externals.items():
+                    ctx.produced_externals[rid] = items
+                _merge_stats(stats, chunk_stats)
+                ctx.add_counters(counters)
+    finally:
+        _FORK_HANDOFF = None
+    return produced
+
+
+def _merge_stats(into: ReExecStats, delta: ReExecStats) -> None:
+    into.groups += delta.groups
+    into.grouped_requests += delta.grouped_requests
+    into.fallback_requests += delta.fallback_requests
+    into.divergences += delta.divergences
+    into.steps += delta.steps
+    into.multi_steps += delta.multi_steps
+    into.group_alphas.extend(delta.group_alphas)
 
 
 def _fallback(

@@ -9,47 +9,34 @@ Pipeline::
     ReExec2             (grouped SIMD-on-demand + simulate-and-check)
     output comparison   (Figure 12 lines 55-57)
 
-The phase timers feed the Figure 9 decomposition; the per-group
-(n, α, ℓ) triples feed Figure 11; the dedup counters feed §5.2.
+The phases are first-class objects since the :mod:`repro.core.pipeline`
+refactor; :func:`ssco_audit` is the stable entry point, now a thin
+wrapper over :func:`repro.core.pipeline.run_audit`.  The phase timers
+feed the Figure 9 decomposition; the per-group (n, α, ℓ) triples feed
+Figure 11; the dedup counters feed §5.2.
+
+Scaling knobs (all default off, preserving the paper's serial audit):
+
+* ``workers`` — fan group re-execution out over N worker processes;
+* ``epoch_size`` / ``epoch_cuts`` — shard the audit at quiescent trace
+  cuts and chain the shards through §4.5 state migration.
 """
 
 from __future__ import annotations
 
-import time as _time
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional, Sequence
 
-from repro.common.errors import AuditReject, RejectReason
-from repro.core.ooo import _compare_externals, _compare_outputs
-from repro.core.process_reports import process_op_reports
-from repro.core.reexec import DEFAULT_MAX_GROUP, reexec_groups
-from repro.core.nondet import validate_nondet_reports
-from repro.core.simulate import SimContext
+# Re-exported for compatibility: AuditResult historically lived here.
+from repro.core.pipeline import (  # noqa: F401
+    AuditOptions,
+    AuditResult,
+    _final_registers,
+    run_audit,
+)
+from repro.core.reexec import DEFAULT_MAX_GROUP
 from repro.server.app import Application, InitialState
 from repro.server.reports import Reports
-from repro.trace.trace import Trace, check_balanced
-
-
-@dataclass
-class AuditResult:
-    """Outcome of an SSCO audit, with instrumentation."""
-
-    accepted: bool
-    reason: Optional[RejectReason] = None
-    detail: str = ""
-    #: Phase wall-clock seconds: proc_op_reports, db_redo, reexec,
-    #: db_query (subset of reexec), output_compare, total.
-    phases: Dict[str, float] = field(default_factory=dict)
-    #: groups, grouped_requests, fallback_requests, dedup hits/misses,
-    #: steps, multi_steps, db_queries_issued, versioned sizes ...
-    stats: Dict[str, object] = field(default_factory=dict)
-    produced: Dict[str, str] = field(default_factory=dict)
-    #: Post-audit compacted state (the next epoch's initial state), only
-    #: populated on accept when ``migrate=True``.
-    next_initial: Optional[InitialState] = None
-
-    def __bool__(self) -> bool:  # pragma: no cover - convenience
-        return self.accepted
+from repro.trace.trace import Trace
 
 
 def ssco_audit(
@@ -63,6 +50,9 @@ def ssco_audit(
     strict_registers: bool = False,
     max_group_size: int = DEFAULT_MAX_GROUP,
     migrate: bool = False,
+    workers: int = 1,
+    epoch_size: int = 0,
+    epoch_cuts: Optional[Sequence[int]] = None,
 ) -> AuditResult:
     """Run the full audit; never raises :class:`AuditReject`.
 
@@ -81,96 +71,26 @@ def ssco_audit(
         max_group_size: chunk groups beyond this size (§4.7).
         migrate: on accept, compact the versioned store into the next
             epoch's initial state (§4.5 migration).
+        workers: worker processes for group re-execution (<= 1: serial).
+            Parallel audits produce bit-identical bodies, and identical
+            verdicts on honest executions; the parallel planner
+            subdivides large groups, which in *strict* mode can narrow
+            the window in which a bogus grouping's internal divergence
+            is observed (see :mod:`repro.core.reexec`).
+        epoch_size: shard the audit at quiescent cuts every ~N requests
+            (0 disables).  Shards chain through migrated state.
+        epoch_cuts: explicit cut positions (event indexes, e.g. the
+            executor's recorded epoch marks); overrides ``epoch_size``.
     """
-    result = AuditResult(accepted=False)
-    total_start = _time.perf_counter()
-    ctx: Optional[SimContext] = None
-    try:
-        check_balanced(trace)
-        validate_nondet_reports(reports)
-
-        t0 = _time.perf_counter()
-        graph, opmap = process_op_reports(trace, reports)
-        result.phases["proc_op_reports"] = _time.perf_counter() - t0
-        result.stats["graph_nodes"] = graph.node_count()
-        result.stats["graph_edges"] = graph.edge_count()
-
-        ctx = SimContext(app, reports, opmap, initial_state,
-                         strict_registers)
-        t0 = _time.perf_counter()
-        ctx.build_versioned_stores()
-        result.phases["db_redo"] = _time.perf_counter() - t0
-
-        t0 = _time.perf_counter()
-        produced = reexec_groups(
-            app, trace, reports, ctx,
-            strict=strict, dedup=dedup, collapse=collapse,
-            max_group_size=max_group_size,
-        )
-        result.phases["reexec"] = _time.perf_counter() - t0
-        result.phases["db_query"] = ctx.db_query_seconds
-
-        t0 = _time.perf_counter()
-        _compare_outputs(trace, produced)
-        _compare_externals(trace, ctx)
-        result.phases["output_compare"] = _time.perf_counter() - t0
-
-        result.produced = produced
-        result.accepted = True
-        if migrate:
-            vdb = ctx.vdb[app.db_name]
-            vkv = ctx.vkv[app.kv_name]
-            registers = dict(initial_state.registers)
-            registers.update(_final_registers(reports))
-            kv_state = dict(initial_state.kv)
-            kv_state.update(vkv.latest_state())
-            result.next_initial = InitialState(
-                vdb.latest_engine(), kv_state, registers
-            )
-    except AuditReject as reject:
-        result.accepted = False
-        result.reason = reject.reason
-        result.detail = reject.detail
-    finally:
-        result.phases["total"] = _time.perf_counter() - total_start
-        if ctx is not None:
-            result.stats.update(
-                {
-                    "db_queries_issued": ctx.db_queries_issued,
-                    "dedup_hits": ctx.dedup_hits,
-                    "dedup_misses": ctx.dedup_misses,
-                }
-            )
-            vdb = ctx.vdb.get(app.db_name)
-            if vdb is not None:
-                result.stats["versioned_db_bytes"] = vdb.size_bytes()
-                result.stats["versioned_db_versions"] = vdb.version_count()
-                result.stats["redo_statements"] = vdb.redo_statements
-            stats = getattr(ctx, "reexec_stats", None)
-            if stats is not None:
-                result.stats.update(
-                    {
-                        "groups": stats.groups,
-                        "grouped_requests": stats.grouped_requests,
-                        "fallback_requests": stats.fallback_requests,
-                        "divergences": stats.divergences,
-                        "steps": stats.steps,
-                        "multi_steps": stats.multi_steps,
-                        "group_alphas": stats.group_alphas,
-                    }
-                )
-    return result
-
-
-def _final_registers(reports: Reports) -> Dict[str, object]:
-    """Last written value of every register appearing in the logs."""
-    final: Dict[str, object] = {}
-    from repro.objects.base import OpType
-
-    for obj_name, log in reports.op_logs.items():
-        if not obj_name.startswith("reg:"):
-            continue
-        for record in log:
-            if record.optype is OpType.REGISTER_WRITE:
-                final[obj_name] = record.opcontents[0]
-    return final
+    options = AuditOptions(
+        strict=strict,
+        dedup=dedup,
+        collapse=collapse,
+        strict_registers=strict_registers,
+        max_group_size=max_group_size,
+        migrate=migrate,
+        workers=workers,
+        epoch_size=epoch_size,
+        epoch_cuts=epoch_cuts,
+    )
+    return run_audit(app, trace, reports, initial_state, options)

@@ -11,6 +11,20 @@ encoding:
 * :func:`save_audit_bundle` / :func:`load_audit_bundle` — one file with
   all three.
 
+Two bundle encodings exist:
+
+* the legacy **JSON blob** (:func:`save_audit_bundle`): one JSON
+  document holding trace + reports + initial state;
+* the streaming **JSONL** format (:func:`save_audit_bundle_jsonl`): one
+  record per line — header, initial state, trace events interleaved
+  with ``epoch_mark`` records at the executor's quiescent cuts, then
+  the reports in bounded-size chunks.  Producers can append as they go
+  and consumers never hold more than one line in memory before
+  dispatch; the epoch marks let the auditor shard the bundle without
+  rescanning the trace (see :mod:`repro.core.partition`).
+
+:func:`load_audit_bundle` auto-detects the encoding.
+
 Weblang values inside op logs / registers / KV are already *frozen*
 (hashable tuples, see :func:`repro.lang.interp.freeze_value`); JSON
 round-tripping preserves them exactly via a small tagged encoding
@@ -20,7 +34,7 @@ round-tripping preserves them exactly via a small tagged encoding
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.objects.base import OpRecord, OpType
 from repro.server.app import InitialState
@@ -70,63 +84,69 @@ def _dec(value: object) -> object:
 # -- trace ------------------------------------------------------------------------
 
 
+def _event_to_json(event: Event) -> Dict:
+    entry: Dict = {"kind": event.kind.value, "time": event.time}
+    payload = event.payload
+    if event.is_request:
+        entry["request"] = {
+            "rid": payload.rid,
+            "script": payload.script,
+            "get": _enc(dict(payload.get)),
+            "post": _enc(dict(payload.post)),
+            "cookies": _enc(dict(payload.cookies)),
+        }
+    elif event.is_response:
+        entry["response"] = {
+            "rid": payload.rid,
+            "body": payload.body,
+            "status": payload.status,
+            "abort_info": payload.abort_info,
+        }
+    else:
+        entry["external"] = {
+            "rid": payload.rid,
+            "service": payload.service,
+            "content": _enc(payload.content),
+        }
+    return entry
+
+
+def _event_from_json(entry: Dict) -> Event:
+    kind = EventKind(entry["kind"])
+    time = entry.get("time", 0.0)
+    if kind is EventKind.REQUEST:
+        raw = entry["request"]
+        return Event.request(
+            Request(raw["rid"], raw["script"], _dec(raw["get"]),
+                    _dec(raw["post"]), _dec(raw["cookies"])),
+            time,
+        )
+    if kind is EventKind.RESPONSE:
+        raw = entry["response"]
+        return Event.response(
+            Response(raw["rid"], raw["body"], raw["status"],
+                     raw["abort_info"]),
+            time,
+        )
+    raw = entry["external"]
+    return Event.external(
+        ExternalRequest(raw["rid"], raw["service"], _dec(raw["content"])),
+        time,
+    )
+
+
 def trace_to_json(trace: Trace) -> Dict:
-    events: List[Dict] = []
-    for event in trace:
-        entry: Dict = {"kind": event.kind.value, "time": event.time}
-        payload = event.payload
-        if event.is_request:
-            entry["request"] = {
-                "rid": payload.rid,
-                "script": payload.script,
-                "get": _enc(dict(payload.get)),
-                "post": _enc(dict(payload.post)),
-                "cookies": _enc(dict(payload.cookies)),
-            }
-        elif event.is_response:
-            entry["response"] = {
-                "rid": payload.rid,
-                "body": payload.body,
-                "status": payload.status,
-                "abort_info": payload.abort_info,
-            }
-        else:
-            entry["external"] = {
-                "rid": payload.rid,
-                "service": payload.service,
-                "content": _enc(payload.content),
-            }
-        events.append(entry)
-    return {"version": FORMAT_VERSION, "events": events}
+    return {
+        "version": FORMAT_VERSION,
+        "events": [_event_to_json(event) for event in trace],
+    }
 
 
 def trace_from_json(data: Dict) -> Trace:
     _check_version(data)
     trace = Trace()
     for entry in data["events"]:
-        kind = EventKind(entry["kind"])
-        time = entry.get("time", 0.0)
-        if kind is EventKind.REQUEST:
-            raw = entry["request"]
-            trace.append(Event.request(
-                Request(raw["rid"], raw["script"], _dec(raw["get"]),
-                        _dec(raw["post"]), _dec(raw["cookies"])),
-                time,
-            ))
-        elif kind is EventKind.RESPONSE:
-            raw = entry["response"]
-            trace.append(Event.response(
-                Response(raw["rid"], raw["body"], raw["status"],
-                         raw["abort_info"]),
-                time,
-            ))
-        else:
-            raw = entry["external"]
-            trace.append(Event.external(
-                ExternalRequest(raw["rid"], raw["service"],
-                                _dec(raw["content"])),
-                time,
-            ))
+        trace.append(_event_from_json(entry))
     return trace
 
 
@@ -243,22 +263,166 @@ def state_from_json(data: Dict) -> InitialState:
 # -- bundles ------------------------------------------------------------------------
 
 
+#: First-line marker of the streaming format.
+JSONL_FORMAT = "ssco-jsonl"
+
+#: Op-log records per JSONL line (bounds the working set of a consumer).
+_JSONL_LOG_CHUNK = 1000
+
+
 def save_audit_bundle(
-    path: str, trace: Trace, reports: Reports, initial_state: InitialState
+    path: str,
+    trace: Trace,
+    reports: Reports,
+    initial_state: InitialState,
+    epoch_marks: Sequence[int] = (),
+    format: str = "json",
 ) -> None:
-    """Write everything the verifier needs into one JSON file."""
+    """Write everything the verifier needs into one file.
+
+    ``format`` selects the legacy JSON blob (``"json"``) or the
+    streaming epoch-segmented JSONL encoding (``"jsonl"``).
+    """
+    if format == "jsonl":
+        save_audit_bundle_jsonl(path, trace, reports, initial_state,
+                                epoch_marks)
+        return
+    if format != "json":
+        raise ValueError(f"unknown bundle format {format!r}")
     bundle = {
         "version": FORMAT_VERSION,
         "trace": trace_to_json(trace),
         "reports": reports_to_json(reports),
         "initial_state": state_to_json(initial_state),
     }
+    if epoch_marks:
+        bundle["epoch_marks"] = list(epoch_marks)
     with open(path, "w") as fh:
         json.dump(bundle, fh)
 
 
-def load_audit_bundle(path: str):
-    """Returns (trace, reports, initial_state)."""
+def save_audit_bundle_jsonl(
+    path: str,
+    trace: Trace,
+    reports: Reports,
+    initial_state: InitialState,
+    epoch_marks: Sequence[int] = (),
+) -> None:
+    """Write the streaming epoch-segmented bundle: one record per line.
+
+    Layout: header, initial state, trace events in order (with
+    ``epoch_mark`` records interleaved at the executor's quiescent
+    cuts), then the reports in bounded-size chunks.
+    """
+    marks = set(epoch_marks)
+    with open(path, "w") as fh:
+        def emit(record: Dict) -> None:
+            fh.write(json.dumps(record))
+            fh.write("\n")
+
+        emit({"format": JSONL_FORMAT, "version": FORMAT_VERSION})
+        emit({"kind": "state", "state": state_to_json(initial_state)})
+        for position, event in enumerate(trace):
+            if position in marks and position > 0:
+                emit({"kind": "epoch_mark", "events": position})
+            emit({"kind": "event", "event": _event_to_json(event)})
+        for tag in reports.groups:
+            emit({"kind": "group", "tag": tag,
+                  "rids": list(reports.groups[tag])})
+        for obj, log in reports.op_logs.items():
+            for start in range(0, len(log), _JSONL_LOG_CHUNK):
+                emit({"kind": "op_log", "obj": obj, "records": [
+                    {
+                        "rid": rec.rid,
+                        "opnum": rec.opnum,
+                        "optype": rec.optype.value,
+                        "opcontents": _enc(rec.opcontents),
+                    }
+                    for rec in log[start:start + _JSONL_LOG_CHUNK]
+                ]})
+        emit({"kind": "op_counts", "counts": dict(reports.op_counts)})
+        for rid, records in reports.nondet.items():
+            emit({"kind": "nondet", "rid": rid, "records": [
+                {
+                    "func": rec.func,
+                    "args": _enc(rec.args),
+                    "value": _enc(rec.value),
+                }
+                for rec in records
+            ]})
+
+
+def load_audit_bundle_jsonl(path: str):
+    """Returns (trace, reports, initial_state, epoch_marks)."""
+    trace = Trace()
+    reports = Reports()
+    initial_state = None
+    epoch_marks: List[int] = []
+    with open(path) as fh:
+        header = json.loads(next(fh))
+        if header.get("format") != JSONL_FORMAT:
+            raise ValueError(f"not a {JSONL_FORMAT} bundle: {path}")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported audit-bundle format version "
+                f"{header.get('version')!r} (expected {FORMAT_VERSION})"
+            )
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record["kind"]
+            if kind == "state":
+                initial_state = state_from_json(record["state"])
+            elif kind == "event":
+                trace.append(_event_from_json(record["event"]))
+            elif kind == "epoch_mark":
+                epoch_marks.append(int(record["events"]))
+            elif kind == "group":
+                reports.groups.setdefault(record["tag"], []).extend(
+                    record["rids"]
+                )
+            elif kind == "op_log":
+                log = reports.op_logs.setdefault(record["obj"], [])
+                for rec in record["records"]:
+                    log.append(OpRecord(
+                        rec["rid"], rec["opnum"], OpType(rec["optype"]),
+                        _dec(rec["opcontents"]),
+                    ))
+            elif kind == "op_counts":
+                reports.op_counts.update(record["counts"])
+            elif kind == "nondet":
+                reports.nondet.setdefault(record["rid"], []).extend(
+                    NondetRecord(rec["func"], _dec(rec["args"]),
+                                 _dec(rec["value"]))
+                    for rec in record["records"]
+                )
+            else:
+                raise ValueError(f"unknown bundle record kind {kind!r}")
+    if initial_state is None:
+        raise ValueError(f"bundle {path} has no initial state record")
+    return trace, reports, initial_state, epoch_marks
+
+
+def load_audit_bundle_ex(path: str):
+    """Load either bundle encoding; returns
+    (trace, reports, initial_state, epoch_marks).
+
+    Format sniffing reads a bounded prefix: the JSONL header is a short
+    first line, while the legacy blob is one huge line — so only the
+    prefix up to the first newline is ever parsed twice.
+    """
+    with open(path) as fh:
+        prefix = fh.read(256)
+    header = None
+    if "\n" in prefix:
+        try:
+            header = json.loads(prefix[:prefix.index("\n")])
+        except ValueError:
+            header = None
+    if isinstance(header, dict) and header.get("format") == JSONL_FORMAT:
+        return load_audit_bundle_jsonl(path)
     with open(path) as fh:
         bundle = json.load(fh)
     _check_version(bundle)
@@ -266,7 +430,14 @@ def load_audit_bundle(path: str):
         trace_from_json(bundle["trace"]),
         reports_from_json(bundle["reports"]),
         state_from_json(bundle["initial_state"]),
+        list(bundle.get("epoch_marks", [])),
     )
+
+
+def load_audit_bundle(path: str):
+    """Returns (trace, reports, initial_state); auto-detects the format."""
+    trace, reports, initial_state, _ = load_audit_bundle_ex(path)
+    return trace, reports, initial_state
 
 
 def _check_version(data: Dict) -> None:

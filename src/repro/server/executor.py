@@ -71,6 +71,9 @@ class ExecutionResult:
     recording_seconds: float = 0.0
     steps: int = 0
     final_state: Optional[InitialState] = None
+    #: Trace event indexes of the quiescent epoch cuts the executor
+    #: drained at (``epoch_size > 0``); audit-time shard boundaries.
+    epoch_marks: List[int] = field(default_factory=list)
 
 
 class _Task:
@@ -100,6 +103,7 @@ class Executor:
         fail_rids: Optional[Set[str]] = None,
         db_abort_hook=None,
         initial_state: Optional[InitialState] = None,
+        epoch_size: int = 0,
     ):
         self.app = app
         self.scheduler = scheduler or FifoScheduler()
@@ -111,6 +115,10 @@ class Executor:
         #: Start from this state instead of the app's setup scripts —
         #: used for continuous operation across audit epochs (§4.1).
         self.initial_state = initial_state
+        #: Drain in-flight requests every N completions, creating a
+        #: quiescent point in the trace (an *epoch mark*) the audit can
+        #: shard at (§4.7).  0 disables draining.
+        self.epoch_size = max(0, epoch_size)
 
     # -- main loop ----------------------------------------------------------
 
@@ -152,9 +160,15 @@ class Executor:
         steps = 0
         started_at = _time.perf_counter()
         recording_seconds = 0.0
+        epoch_marks: List[int] = []
+        epoch_index = 0
+        completed_in_epoch = 0
+        draining = False
 
         def admit() -> None:
             nonlocal queue_pos
+            if draining:
+                return
             while (
                 queue_pos < len(queue)
                 and len(inflight) < self.max_concurrency
@@ -190,7 +204,8 @@ class Executor:
 
         def finish(task: _Task, body: Optional[str],
                    abort_info: Optional[str] = None) -> None:
-            nonlocal recording_seconds
+            nonlocal recording_seconds, completed_in_epoch
+            completed_in_epoch += 1
             rid = task.rid
             task.done = True
             del inflight[rid]
@@ -211,6 +226,12 @@ class Executor:
             if not self.record or tag is None:
                 return
             t0 = _time.perf_counter()
+            if self.epoch_size:
+                # Per-epoch grouping: a control-flow group never spans
+                # an epoch cut, so sharded and unsharded audits see the
+                # same group boundaries.  Grouping is a hint; narrowing
+                # it is always sound.
+                tag = f"e{epoch_index}:{tag}"
             reports.groups.setdefault(tag, []).append(rid)
             recording_seconds += _time.perf_counter() - t0
 
@@ -341,6 +362,20 @@ class Executor:
 
         admit()
         while inflight or queue_pos < len(queue):
+            if (
+                self.epoch_size
+                and completed_in_epoch >= self.epoch_size
+                and queue_pos < len(queue)
+            ):
+                draining = True
+            if draining and not inflight:
+                # Quiescent: everything admitted has responded and the
+                # next epoch's requests arrive strictly after this
+                # point.  Record the cut and open the next epoch.
+                epoch_marks.append(len(collector.trace))
+                epoch_index += 1
+                completed_in_epoch = 0
+                draining = False
             admit()
             ready = ready_rids()
             if not ready:  # pragma: no cover - single-DB model cannot jam
@@ -370,4 +405,5 @@ class Executor:
             recording_seconds=recording_seconds,
             steps=steps,
             final_state=final_state,
+            epoch_marks=epoch_marks,
         )

@@ -91,3 +91,36 @@ def test_non_select_raises():
     dedup = QueryDedup(_vdb())
     with pytest.raises(ValueError):
         dedup.select("UPDATE a SET v = 2 WHERE id = 1", 0)
+    # The raise repeats: failures are never cached.
+    with pytest.raises(ValueError):
+        dedup.select("UPDATE a SET v = 2 WHERE id = 1", 0)
+
+
+def test_parse_memoized_per_sql_text():
+    """The parsed Select + touched tables are computed once per query
+    text, across QueryDedup instances (they are keyed by text already)."""
+    from repro.core.dedup import _parsed_select
+
+    stmt1, tables1 = _parsed_select("SELECT v FROM a WHERE id = 42")
+    stmt2, tables2 = _parsed_select("SELECT v FROM a WHERE id = 42")
+    assert stmt1 is stmt2
+    assert tables1 == ("a",) and tables1 is tables2
+
+    before = _parsed_select.cache_info().hits
+    dedup_a = QueryDedup(_vdb())
+    dedup_b = QueryDedup(_vdb())
+    dedup_a.select("SELECT v FROM a WHERE id = 42", 0)
+    dedup_b.select("SELECT v FROM a WHERE id = 42", 0)
+    assert _parsed_select.cache_info().hits >= before + 2
+
+
+def test_memoized_results_stay_correct_across_instances():
+    """Memoizing the parse must not leak *results* between caches."""
+    vdb = _vdb()
+    dedup = QueryDedup(vdb)
+    fresh = QueryDedup(vdb)
+    first = dedup.select("SELECT v FROM a", 0)
+    second = fresh.select("SELECT v FROM a", 2 * MAXQ)
+    assert first.rows == [{"v": 1}]
+    assert second.rows == [{"v": 9}]
+    assert fresh.hits == 0 and fresh.misses == 1

@@ -1,0 +1,151 @@
+"""Demotion paths in core/reexec.py (Figure 12 line 39; §4.3 retries).
+
+strict=True: control-flow divergence inside a group rejects the audit;
+strict=False: the group demotes to per-request re-execution.  Unsupported
+SIMD cases (MultivalueFallback) and mixed-script groups follow the same
+split: implementation retry vs verdict.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import RejectReason
+from repro.core import simple_audit, ssco_audit
+from repro.server import Application, Executor, RandomScheduler
+from repro.trace.events import Request
+
+BRANCHY_SRC = {
+    "branch.php": """
+$v = intval(param('v'));
+if ($v > 10) { echo "big:", $v; } else { echo "small:", $v; }
+""",
+    "other.php": "echo 'other:', param('v', '?');",
+}
+
+
+def _serve(requests, sources=BRANCHY_SRC):
+    app = Application.from_sources("demo", sources)
+    run = Executor(app, scheduler=RandomScheduler(3),
+                   max_concurrency=4).serve(requests)
+    return app, run
+
+
+def _merge_all_groups(reports):
+    """Tamper: collapse every control-flow group into one bogus group."""
+    merged = reports.deep_copy()
+    rids = [rid for rids in merged.groups.values() for rid in rids]
+    merged.groups = {"bogus": rids}
+    return merged
+
+
+def test_divergent_group_rejected_in_strict_mode():
+    app, run = _serve([
+        Request("r1", "branch.php", get={"v": "5"}),
+        Request("r2", "branch.php", get={"v": "50"}),
+    ])
+    tampered = _merge_all_groups(run.reports)
+    assert len(run.reports.groups) == 2  # honest: two flow tags
+    result = ssco_audit(app, run.trace, tampered, run.initial_state,
+                        strict=True)
+    assert not result.accepted
+    assert result.reason is RejectReason.GROUP_DIVERGED
+
+
+def test_divergent_group_demotes_in_non_strict_mode():
+    app, run = _serve([
+        Request("r1", "branch.php", get={"v": "5"}),
+        Request("r2", "branch.php", get={"v": "50"}),
+        Request("r3", "branch.php", get={"v": "7"}),
+    ])
+    tampered = _merge_all_groups(run.reports)
+    result = ssco_audit(app, run.trace, tampered, run.initial_state,
+                        strict=False)
+    baseline = simple_audit(app, run.trace, run.reports,
+                            run.initial_state)
+    assert result.accepted, (result.reason, result.detail)
+    assert result.stats["divergences"] >= 1
+    assert result.stats["fallback_requests"] == 3
+    assert result.produced == baseline.produced
+
+
+def test_mixed_script_group_rejected_in_strict_mode():
+    app, run = _serve([
+        Request("r1", "branch.php", get={"v": "1"}),
+        Request("r2", "other.php", get={"v": "2"}),
+    ])
+    tampered = _merge_all_groups(run.reports)
+    result = ssco_audit(app, run.trace, tampered, run.initial_state,
+                        strict=True)
+    assert not result.accepted
+    assert result.reason is RejectReason.GROUP_DIVERGED
+    assert "mixes scripts" in result.detail
+
+
+def test_mixed_script_group_demotes_in_non_strict_mode():
+    app, run = _serve([
+        Request("r1", "branch.php", get={"v": "1"}),
+        Request("r2", "other.php", get={"v": "2"}),
+    ])
+    tampered = _merge_all_groups(run.reports)
+    result = ssco_audit(app, run.trace, tampered, run.initial_state,
+                        strict=False)
+    assert result.accepted, (result.reason, result.detail)
+    assert result.stats["fallback_requests"] == 2
+    assert result.produced == run.trace.response_bodies()
+
+
+def test_multivalue_fallback_retries_in_both_modes():
+    """MultivalueFallback is a retry, not a verdict — even strict mode
+    demotes instead of rejecting (§4.3)."""
+    sources = {
+        "s.php": "echo param(param('which'), 'none');",
+    }
+    requests = [
+        Request("r1", "s.php", get={"which": "a", "a": "1"}),
+        Request("r2", "s.php", get={"which": "b", "b": "2"}),
+    ]
+    for strict in (True, False):
+        app, run = _serve(requests, sources)
+        result = ssco_audit(app, run.trace, run.reports,
+                            run.initial_state, strict=strict)
+        assert result.accepted, (strict, result.reason, result.detail)
+        assert result.stats["fallback_requests"] == 2
+        assert result.stats["divergences"] == 0
+
+
+def test_parallel_demotion_matches_serial():
+    """A divergence *inside a worker process* produces the same verdict
+    and bodies as the serial driver (multiple groups, so the pool
+    really engages)."""
+    app, run = _serve(
+        [Request(f"r{i}", "branch.php", get={"v": str(i * 9)})
+         for i in range(6)]
+        + [Request(f"o{i}", "other.php", get={"v": str(i)})
+           for i in range(4)]
+    )
+    # Merge only the two branch.php flow groups into one divergent
+    # group; other.php keeps its own group, so the plan has 2+ chunks.
+    tampered = run.reports.deep_copy()
+    branch_rids = [
+        rid for tag, rids in tampered.groups.items() for rid in rids
+        if rid.startswith("r")
+    ]
+    tampered.groups = {
+        tag: rids for tag, rids in tampered.groups.items()
+        if not any(rid.startswith("r") for rid in rids)
+    }
+    tampered.groups["bogus"] = branch_rids
+    serial = ssco_audit(app, run.trace, tampered, run.initial_state,
+                        strict=False)
+    parallel = ssco_audit(app, run.trace, tampered, run.initial_state,
+                          strict=False, workers=2)
+    assert serial.accepted and parallel.accepted
+    assert parallel.produced == serial.produced
+    serial_strict = ssco_audit(app, run.trace, tampered,
+                               run.initial_state, strict=True)
+    parallel_strict = ssco_audit(app, run.trace, tampered,
+                                 run.initial_state, strict=True,
+                                 workers=2)
+    assert not serial_strict.accepted and not parallel_strict.accepted
+    assert parallel_strict.reason is serial_strict.reason

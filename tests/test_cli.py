@@ -49,3 +49,72 @@ def test_audit_rejects_tampered_bundle(tmp_path, capsys):
 def test_unknown_workload_rejected():
     with pytest.raises(SystemExit):
         main(["demo", "--workload", "nope"])
+
+
+def test_demo_parallel_and_epochs(capsys):
+    code = main(["demo", "--workload", "forum", "--scale", "0.005",
+                 "--parallel", "2", "--epoch-size", "20"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ACCEPTED" in out
+    assert "shards=" in out
+
+
+def test_record_jsonl_then_sharded_parallel_audit(tmp_path, capsys):
+    bundle = str(tmp_path / "bundle.jsonl")
+    assert main(["record", "--workload", "wiki", "--scale", "0.005",
+                 "--epoch-size", "20", "--format", "jsonl",
+                 "--out", bundle]) == 0
+    assert main(["audit", bundle, "--workload", "wiki",
+                 "--scale", "0.005", "--epoch-size", "20",
+                 "--parallel", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "[jsonl]" in out
+    assert "ACCEPTED" in out
+    assert "shard(s)" in out
+
+
+def test_audit_concurrency_flag_drives_workers(tmp_path, capsys):
+    """--concurrency on the audit subcommand is no longer ignored: it
+    sets the worker-process count (same as --parallel)."""
+    bundle = str(tmp_path / "bundle.json")
+    main(["record", "--workload", "forum", "--scale", "0.005",
+          "--out", bundle])
+    assert main(["audit", bundle, "--workload", "forum",
+                 "--scale", "0.005", "--concurrency", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "workers=2" in out
+
+
+def test_audit_knob_passthrough(tmp_path, capsys):
+    bundle = str(tmp_path / "bundle.json")
+    main(["record", "--workload", "forum", "--scale", "0.005",
+          "--out", bundle])
+    assert main(["audit", bundle, "--workload", "forum",
+                 "--scale", "0.005", "--no-strict", "--no-dedup",
+                 "--no-collapse", "--max-group-size", "50"]) == 0
+    assert "ACCEPTED" in capsys.readouterr().out
+
+
+def test_audit_rejects_tampered_jsonl_bundle(tmp_path, capsys):
+    import json
+
+    bundle = str(tmp_path / "bundle.jsonl")
+    main(["record", "--workload", "wiki", "--scale", "0.005",
+          "--epoch-size", "20", "--format", "jsonl", "--out", bundle])
+    with open(bundle) as fh:
+        lines = fh.readlines()
+    for index, line in enumerate(lines):
+        record = json.loads(line)
+        if record.get("kind") == "event" and "response" in record["event"]:
+            if record["event"]["response"]["body"]:
+                record["event"]["response"]["body"] = "forged!"
+                lines[index] = json.dumps(record) + "\n"
+                break
+    with open(bundle, "w") as fh:
+        fh.writelines(lines)
+    code = main(["audit", bundle, "--workload", "wiki",
+                 "--scale", "0.005", "--epoch-size", "20",
+                 "--parallel", "2"])
+    assert code == 1
+    assert "REJECTED" in capsys.readouterr().out

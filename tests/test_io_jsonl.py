@@ -1,0 +1,125 @@
+"""The streaming epoch-segmented JSONL bundle format (repro.io)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.io import (
+    load_audit_bundle,
+    load_audit_bundle_ex,
+    load_audit_bundle_jsonl,
+    reports_to_json,
+    save_audit_bundle,
+    save_audit_bundle_jsonl,
+    state_to_json,
+    trace_to_json,
+)
+from repro.core import ssco_audit
+from repro.server import Executor, RandomScheduler
+from repro.server.nondet import NondetSource
+from tests.conftest import counter_requests
+
+
+@pytest.fixture
+def epoch_run(counter_app):
+    executor = Executor(
+        counter_app,
+        scheduler=RandomScheduler(9),
+        max_concurrency=4,
+        nondet=NondetSource(seed=9),
+        epoch_size=8,
+    )
+    return executor.serve(counter_requests(24))
+
+
+def _assert_equal_bundles(run, loaded):
+    trace, reports, state, marks = loaded
+    assert trace_to_json(trace) == trace_to_json(run.trace)
+    assert reports_to_json(reports) == reports_to_json(run.reports)
+    assert state_to_json(state) == state_to_json(run.initial_state)
+    return marks
+
+
+def test_jsonl_roundtrip_preserves_everything(tmp_path, epoch_run):
+    path = str(tmp_path / "bundle.jsonl")
+    save_audit_bundle_jsonl(path, epoch_run.trace, epoch_run.reports,
+                            epoch_run.initial_state,
+                            epoch_run.epoch_marks)
+    marks = _assert_equal_bundles(
+        epoch_run, load_audit_bundle_jsonl(path))
+    assert marks == epoch_run.epoch_marks
+
+
+def test_jsonl_is_line_oriented(tmp_path, epoch_run):
+    path = str(tmp_path / "bundle.jsonl")
+    save_audit_bundle_jsonl(path, epoch_run.trace, epoch_run.reports,
+                            epoch_run.initial_state,
+                            epoch_run.epoch_marks)
+    with open(path) as fh:
+        lines = [json.loads(line) for line in fh if line.strip()]
+    assert lines[0]["format"] == "ssco-jsonl"
+    kinds = {line.get("kind") for line in lines[1:]}
+    assert {"state", "event", "op_counts"} <= kinds
+    assert "epoch_mark" in kinds
+    # One record per event, in trace order.
+    events = [line for line in lines if line.get("kind") == "event"]
+    assert len(events) == len(epoch_run.trace)
+
+
+def test_save_audit_bundle_format_dispatch(tmp_path, epoch_run):
+    json_path = str(tmp_path / "bundle.json")
+    jsonl_path = str(tmp_path / "bundle.jsonl")
+    save_audit_bundle(json_path, epoch_run.trace, epoch_run.reports,
+                      epoch_run.initial_state,
+                      epoch_marks=epoch_run.epoch_marks)
+    save_audit_bundle(jsonl_path, epoch_run.trace, epoch_run.reports,
+                      epoch_run.initial_state,
+                      epoch_marks=epoch_run.epoch_marks, format="jsonl")
+    with pytest.raises(ValueError):
+        save_audit_bundle(json_path, epoch_run.trace, epoch_run.reports,
+                          epoch_run.initial_state, format="xml")
+    # Auto-detection loads both identically, with the epoch marks.
+    for path in (json_path, jsonl_path):
+        marks = _assert_equal_bundles(
+            epoch_run, load_audit_bundle_ex(path))
+        assert marks == epoch_run.epoch_marks
+        trace, reports, state = load_audit_bundle(path)
+        assert len(trace) == len(epoch_run.trace)
+
+
+def test_jsonl_bundle_audits_identically(tmp_path, counter_app,
+                                         epoch_run):
+    path = str(tmp_path / "bundle.jsonl")
+    save_audit_bundle_jsonl(path, epoch_run.trace, epoch_run.reports,
+                            epoch_run.initial_state,
+                            epoch_run.epoch_marks)
+    trace, reports, state, marks = load_audit_bundle_ex(path)
+    direct = ssco_audit(counter_app, epoch_run.trace, epoch_run.reports,
+                        epoch_run.initial_state)
+    loaded = ssco_audit(counter_app, trace, reports, state,
+                        epoch_cuts=marks)
+    assert direct.accepted and loaded.accepted, (
+        loaded.reason, loaded.detail)
+    assert loaded.produced == direct.produced
+
+
+def test_jsonl_rejects_bad_header(tmp_path):
+    path = str(tmp_path / "bad.jsonl")
+    with open(path, "w") as fh:
+        fh.write('{"format": "ssco-jsonl", "version": 99}\n')
+    with pytest.raises(ValueError):
+        load_audit_bundle_jsonl(path)
+    with open(path, "w") as fh:
+        fh.write('{"something": "else"}\n')
+    with pytest.raises(ValueError):
+        load_audit_bundle_jsonl(path)
+
+
+def test_jsonl_requires_initial_state(tmp_path):
+    path = str(tmp_path / "empty.jsonl")
+    with open(path, "w") as fh:
+        fh.write('{"format": "ssco-jsonl", "version": 1}\n')
+    with pytest.raises(ValueError):
+        load_audit_bundle_jsonl(path)

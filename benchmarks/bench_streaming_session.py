@@ -1,0 +1,181 @@
+"""E9 — streaming audit sessions: per-epoch latency vs one-shot.
+
+The service API turns the audit from a batch job into a stream: a
+``BundleReader`` tails the epoch-segmented JSONL bundle and an
+``AuditSession`` audits each epoch as it arrives, chaining migrated
+state.  This benchmark measures what that buys:
+
+* **per-epoch audit latency** — the wall-clock from an epoch's slice
+  being available to its verdict (the continuous deployment's feedback
+  delay), vs. the one-shot audit where the first verdict arrives only
+  after the *whole* bundle is processed;
+* **streaming overhead** — total session wall-clock vs. the equivalent
+  one-shot ``ssco_audit(..., epoch_cuts=...)`` (same shards, same
+  chain), which bounds the cost of the incremental API;
+* **equivalence** — verdicts and produced bodies must be identical.
+
+Run standalone to (re)generate the committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_streaming_session.py \
+        --scale 0.1 --epoch-size 100 --out BENCH_streaming.json
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_streaming_session.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time as _time
+
+from repro.bench.harness import run_online_phase
+from repro.core import Auditor, AuditConfig, ssco_audit
+from repro.io import BundleReader, save_audit_bundle_segmented
+from repro.workloads import wiki_workload
+
+
+def measure_streaming(workload, execution, workers: int = 1,
+                      repeats: int = 1):
+    """One-shot vs. streamed-session audit of the same execution."""
+    cuts = execution.epoch_marks
+    assert cuts, "streaming needs epoch marks (serve with epoch_size)"
+
+    one_shot_best = None
+    for _ in range(max(1, repeats)):
+        started = _time.perf_counter()
+        one_shot = ssco_audit(
+            workload.app, execution.trace, execution.reports,
+            execution.initial_state, epoch_cuts=cuts, workers=workers,
+        )
+        elapsed = _time.perf_counter() - started
+        assert one_shot.accepted, (one_shot.reason, one_shot.detail)
+        if one_shot_best is None or elapsed < one_shot_best[1]:
+            one_shot_best = (one_shot, elapsed)
+    one_shot, one_shot_seconds = one_shot_best
+
+    fd, path = tempfile.mkstemp(suffix=".jsonl", prefix="repro_bench_")
+    os.close(fd)
+    try:
+        save_audit_bundle_segmented(path, execution.trace,
+                                    execution.reports,
+                                    execution.initial_state, cuts)
+        session_best = None
+        for _ in range(max(1, repeats)):
+            auditor = Auditor(workload.app, AuditConfig(workers=workers))
+            epoch_latencies = []
+            started = _time.perf_counter()
+            with BundleReader(path) as reader:
+                initial = reader.read_initial_state()
+                with auditor.session(initial) as session:
+                    for epoch_slice in reader.epochs():
+                        fed = _time.perf_counter()
+                        epoch = session.feed_epoch(epoch_slice.trace,
+                                                   epoch_slice.reports)
+                        epoch_latencies.append(
+                            _time.perf_counter() - fed)
+                        assert epoch.accepted, (epoch.reason,
+                                                epoch.detail)
+                merged = session.close()
+            session_seconds = _time.perf_counter() - started
+            if session_best is None or session_seconds < session_best[2]:
+                session_best = (merged, epoch_latencies, session_seconds)
+        merged, epoch_latencies, session_seconds = session_best
+    finally:
+        os.unlink(path)
+
+    assert merged.accepted
+    assert merged.produced == one_shot.produced, (
+        "streamed session's produced bodies diverge from one-shot")
+    return {
+        "epochs": len(epoch_latencies),
+        "one_shot_seconds": one_shot_seconds,
+        "session_seconds": session_seconds,
+        "session_overhead": session_seconds / max(one_shot_seconds,
+                                                  1e-12),
+        "first_verdict_seconds": epoch_latencies[0],
+        "mean_epoch_seconds": sum(epoch_latencies)
+        / len(epoch_latencies),
+        "max_epoch_seconds": max(epoch_latencies),
+        "epoch_latencies": epoch_latencies,
+    }
+
+
+def run(scale: float, epoch_size: int, workers: int = 1, seed: int = 1,
+        repeats: int = 1):
+    workload = wiki_workload(scale=scale)
+    execution = run_online_phase(workload, seed=seed,
+                                 epoch_size=epoch_size)
+    row = measure_streaming(workload, execution, workers=workers,
+                            repeats=repeats)
+    return {
+        "benchmark": "streaming_session",
+        "workload": "wiki",
+        "scale": scale,
+        "epoch_size": epoch_size,
+        "workers": workers,
+        "requests": len(workload.requests),
+        "cpu_count": os.cpu_count(),
+        **row,
+    }
+
+
+# -- pytest entry point --------------------------------------------------------
+
+
+def test_streaming_session_latency(capsys):
+    """The streamed session's first verdict lands well before the
+    one-shot audit finishes, at bounded total overhead."""
+    workload = wiki_workload(scale=0.02)
+    execution = run_online_phase(workload, seed=1, epoch_size=25)
+    row = measure_streaming(workload, execution, repeats=2)
+    assert row["epochs"] > 1
+    # Per-epoch latency is the point of streaming: the first verdict
+    # must not cost the whole one-shot audit.
+    assert row["first_verdict_seconds"] < row["one_shot_seconds"], row
+    # The incremental API may not cost more than 2x the batch audit.
+    assert row["session_seconds"] < 2.0 * row["one_shot_seconds"], row
+    with capsys.disabled():
+        print()
+        print("=== streaming session vs one-shot ===")
+        print(f"  epochs={row['epochs']} "
+              f"one-shot={row['one_shot_seconds'] * 1e3:.1f}ms "
+              f"session={row['session_seconds'] * 1e3:.1f}ms "
+              f"first-verdict={row['first_verdict_seconds'] * 1e3:.1f}ms")
+
+
+# -- standalone entry point ----------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--epoch-size", type=int, default=100)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="audits per mode (best time wins)")
+    parser.add_argument("--out", default="BENCH_streaming.json")
+    args = parser.parse_args(argv)
+    result = run(args.scale, args.epoch_size, workers=args.workers,
+                 seed=args.seed, repeats=args.repeats)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    print(f"  epochs={result['epochs']} requests={result['requests']}")
+    print(f"  one-shot:   {result['one_shot_seconds'] * 1e3:.1f} ms")
+    print(f"  session:    {result['session_seconds'] * 1e3:.1f} ms "
+          f"({result['session_overhead']:.2f}x)")
+    print(f"  first verdict after "
+          f"{result['first_verdict_seconds'] * 1e3:.1f} ms, "
+          f"mean epoch {result['mean_epoch_seconds'] * 1e3:.1f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,14 @@ This is the paper's whole story in fifty lines:
 Run:  python examples/quickstart.py
 """
 
-from repro import Application, Executor, Request, ssco_audit
+from repro import (
+    Application,
+    AuditConfig,
+    Auditor,
+    Executor,
+    Request,
+    ssco_audit,
+)
 from repro.server.faulty import tamper_response
 
 # 1. The program: a tiny greeting counter using the KV store.
@@ -44,9 +51,16 @@ print(f"  control-flow groups: {len(result.reports.groups)}")
 print(f"  op-log entries:      {result.reports.op_count_total()}")
 print(f"  op counts M:         {dict(result.reports.op_counts)}")
 
-# 4. The audit.
+# 4. The audit.  ssco_audit is the one-shot call; the equivalent
+# service API binds the program to a validated AuditConfig once and
+# audits any number of bundles (see examples/continuous_audit.py for
+# the incremental, epoch-by-epoch session it also offers).
 audit = ssco_audit(app, result.trace, result.reports,
                    result.initial_state)
+auditor = Auditor(app, AuditConfig(backend="accinterp"))
+service_audit = auditor.audit(result.trace, result.reports,
+                              result.initial_state)
+assert service_audit.accepted == audit.accepted
 print("\n=== audit (honest execution) ===")
 print(f"  accepted: {audit.accepted}")
 print(f"  phases:   "

@@ -26,15 +26,32 @@ Quickstart::
                        result.initial_state)
     assert audit.accepted
 
-See ``examples/quickstart.py`` for the runnable version.
+For continuous deployments, the service API audits epoch by epoch::
+
+    from repro import AuditConfig, Auditor
+
+    auditor = Auditor(app, AuditConfig(workers=4))
+    with auditor.session(initial_state) as session:
+        for epoch in reader.epochs(follow=True):   # repro.io.BundleReader
+            session.feed_epoch(epoch.trace, epoch.reports)
+    assert session.close().accepted
+
+See ``examples/quickstart.py`` and ``examples/continuous_audit.py`` for
+the runnable versions.
 """
 
 from repro.core import (
+    AuditConfig,
     AuditOptions,
     AuditPipeline,
     AuditResult,
+    AuditSession,
+    Auditor,
+    EpochResult,
+    available_backends,
     create_time_precedence_graph,
     ooo_audit,
+    register_reexec_backend,
     run_audit,
     simple_audit,
     ssco_audit,
@@ -53,10 +70,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Application",
+    "AuditConfig",
     "AuditOptions",
     "AuditPipeline",
     "AuditResult",
+    "AuditSession",
+    "Auditor",
     "Collector",
+    "EpochResult",
     "ExecutionResult",
     "Executor",
     "InitialState",
@@ -65,8 +86,10 @@ __all__ = [
     "Request",
     "Response",
     "Trace",
+    "available_backends",
     "create_time_precedence_graph",
     "ooo_audit",
+    "register_reexec_backend",
     "run_audit",
     "simple_audit",
     "ssco_audit",

@@ -5,17 +5,22 @@ Commands:
 * ``demo`` — serve a built-in workload, audit it, print the verdict and
   the acceleration stats;
 * ``record`` — serve a built-in workload and save the audit bundle
-  (trace + reports + initial state) to a file, as the legacy JSON blob
-  or the streaming epoch-segmented JSONL format (``--format jsonl``);
-* ``audit`` — load a bundle (either format) and run the SSCO audit
-  (optionally the simple-re-execution baseline for comparison).
+  (trace + reports + initial state) to a file, as the legacy JSON blob,
+  the streaming JSONL format (``--format jsonl``), or the per-epoch
+  segmented JSONL layout (``--format jsonl-epochs``);
+* ``audit`` — load a bundle (any format) and run the SSCO audit, or
+  tail a live JSONL bundle epoch by epoch (``--follow``) through an
+  incremental :class:`~repro.core.auditor.AuditSession`.
 
-All three subcommands expose the full audit knob set (``--strict``,
-``--max-group-size``, ``--no-dedup``, ``--no-collapse``,
-``--strict-registers``) plus the scaling knobs: ``--parallel N`` fans
-group re-execution out over N worker processes, and ``--epoch-size N``
-makes the server drain every N requests (``demo``/``record``) and the
-auditor shard at the resulting quiescent cuts (``demo``/``audit``).
+Every auditing subcommand is driven by one validated
+:class:`~repro.core.config.AuditConfig`: flags layer over an optional
+``--config audit.json`` file, which layers over the defaults.  The
+canonical scaling flag is ``--workers N`` (the old ``--parallel`` and
+the audit subcommand's ``--concurrency`` remain as deprecated aliases);
+``--epoch-size N`` makes the server drain every N requests
+(``demo``/``record``) and the auditor shard at the resulting quiescent
+cuts, ``--epoch-cuts "i,j,k"`` pins explicit cut positions, and
+``--backend`` selects the registered re-execution engine.
 
 The built-in workloads are the paper's three applications: ``wiki``,
 ``forum``, ``hotcrp``.
@@ -28,9 +33,10 @@ import sys
 
 from repro.bench import figure9_decomposition, render_table
 from repro.bench.harness import run_audit_phase
-from repro.core import simple_audit, ssco_audit
-from repro.core.reexec import DEFAULT_MAX_GROUP
-from repro.io import load_audit_bundle_ex, save_audit_bundle
+from repro.core import Auditor, simple_audit
+from repro.core.config import AuditConfig, parse_epoch_cuts
+from repro.core.reexec import available_backends
+from repro.io import BundleReader, load_audit_bundle_ex, save_audit_bundle
 from repro.workloads import forum_workload, hotcrp_workload, wiki_workload
 
 _WORKLOADS = {
@@ -38,6 +44,22 @@ _WORKLOADS = {
     "forum": forum_workload,
     "hotcrp": hotcrp_workload,
 }
+
+
+class _DeprecatedAlias(argparse.Action):
+    """A flag kept for compatibility that warns and forwards its value."""
+
+    def __init__(self, *args, preferred: str = "--workers", **kwargs):
+        self.preferred = preferred
+        super().__init__(*args, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(
+            f"warning: {option_string} is deprecated; use "
+            f"{self.preferred} instead",
+            file=sys.stderr,
+        )
+        setattr(namespace, self.dest, values)
 
 
 def _build(args):
@@ -54,35 +76,29 @@ def _serve(workload, args):
         scheduler=RandomScheduler(args.seed),
         max_concurrency=args.concurrency,
         nondet=NondetSource(seed=args.seed),
-        epoch_size=args.epoch_size,
+        epoch_size=args.epoch_size or 0,
     )
     return executor.serve(workload.requests)
 
 
-def _audit_kwargs(args) -> dict:
-    """The full knob set, shared by every auditing subcommand."""
-    return dict(
-        strict=args.strict,
-        dedup=not args.no_dedup,
-        collapse=not args.no_collapse,
-        strict_registers=args.strict_registers,
-        max_group_size=args.max_group_size,
-        workers=args.parallel,
-    )
+def _config_from_args(parser, args) -> AuditConfig:
+    """One validated config from defaults < ``--config`` < flags."""
+    try:
+        return AuditConfig.from_args(args)
+    except (ValueError, OSError) as exc:
+        parser.error(str(exc))
 
 
 def cmd_demo(args) -> int:
+    config = _config_from_args(args._parser, args)
     workload = _build(args)
     print(f"serving {len(workload.requests)} {workload.label} requests "
           f"(concurrency {args.concurrency}) ...")
     execution = _serve(workload, args)
-    mode = (f"{args.parallel} workers" if args.parallel > 1 else "serial")
-    print(f"auditing ({mode}) ...")
-    run = run_audit_phase(
-        workload, execution,
-        epoch_cuts=execution.epoch_marks or None,
-        **_audit_kwargs(args),
-    )
+    if execution.epoch_marks and config.epoch_cuts is None:
+        config = config.replace(epoch_cuts=tuple(execution.epoch_marks))
+    print(f"auditing ({config.describe()}) ...")
+    run = run_audit_phase(workload, execution, config=config)
     audit = run.audit
     if not audit.accepted:
         print(f"REJECTED: {audit.reason.value}: {audit.detail}")
@@ -125,20 +141,18 @@ def cmd_record(args) -> int:
 
 
 def cmd_audit(args) -> int:
-    trace, reports, initial, epoch_marks = load_audit_bundle_ex(args.bundle)
+    config = _config_from_args(args._parser, args)
     workload = _build(args)  # the program is the trusted input
-    workers = args.parallel if args.parallel > 1 else args.concurrency
-    cuts = None
-    if args.epoch_size > 0:
-        cuts = epoch_marks or None
+    if args.follow:
+        return _audit_follow(args, workload, config)
+    trace, reports, initial, epoch_marks = load_audit_bundle_ex(args.bundle)
+    if (config.epoch_cuts is None and (config.epoch_size or 0) > 0
+            and epoch_marks):
+        # The recorded quiescent marks are the natural cut positions.
+        config = config.replace(epoch_cuts=tuple(epoch_marks))
     print(f"auditing {len(trace.request_ids())} requests against "
-          f"{workload.label} "
-          f"(workers={workers}, epoch_size={args.epoch_size}) ...")
-    kwargs = _audit_kwargs(args)
-    kwargs["workers"] = workers
-    audit = ssco_audit(workload.app, trace, reports, initial,
-                       epoch_size=args.epoch_size, epoch_cuts=cuts,
-                       **kwargs)
+          f"{workload.label} ({config.describe()}) ...")
+    audit = Auditor(workload.app, config).audit(trace, reports, initial)
     if audit.accepted:
         shards = audit.stats.get("shard_count")
         suffix = f" across {shards} shard(s)" if shards else ""
@@ -152,6 +166,47 @@ def cmd_audit(args) -> int:
         print(f"simple re-execution baseline: {verdict} in "
               f"{base.seconds * 1e3:.1f} ms")
     return 0 if audit.accepted else 1
+
+
+def _audit_follow(args, workload, config: AuditConfig) -> int:
+    """Tail a (possibly still-growing) JSONL bundle epoch by epoch
+    through an incremental audit session — the paper's continuous
+    deployment: audit epoch N while the server records epoch N+1."""
+    timeout = args.follow_timeout
+    try:
+        # Waits out the startup race: the auditor may launch before the
+        # recording server has flushed the bundle's header line.
+        reader = BundleReader.open(args.bundle, follow=True,
+                                   idle_timeout=timeout)
+    except (OSError, ValueError) as exc:
+        print(f"error: --follow needs a streaming JSONL bundle: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"following {args.bundle} against {workload.label} "
+          f"({config.describe()}) ...")
+    with reader:
+        initial = reader.read_initial_state(follow=True,
+                                            idle_timeout=timeout)
+        auditor = Auditor(workload.app, config)
+        with auditor.session(initial) as session:
+            for epoch_slice in reader.epochs(follow=True,
+                                             idle_timeout=timeout):
+                epoch = session.feed_epoch(epoch_slice.trace,
+                                           epoch_slice.reports)
+                verdict = "ACCEPTED" if epoch.accepted else "REJECTED"
+                print(f"epoch {epoch.index}: {verdict} "
+                      f"({epoch.requests} requests, "
+                      f"{epoch.phases.get('total', 0.0) * 1e3:.1f} ms)")
+                if not epoch.accepted:
+                    break
+            audit = session.close()
+    if audit.accepted:
+        print(f"ACCEPTED in {audit.phases['total'] * 1e3:.1f} ms "
+              f"across {audit.stats['shard_count']} epoch(s)")
+        return 0
+    print(f"REJECTED: {audit.reason.value}"
+          + (f": {audit.detail}" if audit.detail else ""))
+    return 1
 
 
 def main(argv=None) -> int:
@@ -168,31 +223,47 @@ def main(argv=None) -> int:
         p.add_argument("--scale", type=float, default=0.02,
                        help="workload scale (1.0 = the paper's full size)")
         p.add_argument("--seed", type=int, default=1)
-        p.add_argument("--epoch-size", type=int, default=0,
+        p.add_argument("--epoch-size", type=int, default=None,
                        help="serve: drain every N requests and record an "
                             "epoch mark; audit: shard at quiescent cuts "
                             "(0 disables)")
 
     def audit_knobs(p):
+        # Every knob defaults to None so AuditConfig.from_args can tell
+        # "not given" from "given the default" (--config layering).
         p.add_argument("--strict", dest="strict", action="store_true",
-                       default=True,
+                       default=None,
                        help="reject on in-group control-flow divergence "
                             "(default)")
         p.add_argument("--no-strict", dest="strict", action="store_false",
                        help="demote diverged groups to per-request "
                             "re-execution instead of rejecting")
-        p.add_argument("--no-dedup", action="store_true",
+        p.add_argument("--no-dedup", action="store_true", default=None,
                        help="disable read-query deduplication")
-        p.add_argument("--no-collapse", action="store_true",
+        p.add_argument("--no-collapse", action="store_true", default=None,
                        help="disable multivalue collapse")
         p.add_argument("--strict-registers", action="store_true",
+                       default=None,
                        help="reject register reads with no logged write")
-        p.add_argument("--max-group-size", type=int,
-                       default=DEFAULT_MAX_GROUP,
+        p.add_argument("--max-group-size", type=int, default=None,
                        help="chunk re-execution groups beyond this size")
-        p.add_argument("--parallel", type=int, default=1, metavar="N",
+        p.add_argument("--workers", type=int, default=None, metavar="N",
                        help="fan group re-execution out over N worker "
                             "processes (1 = serial)")
+        p.add_argument("--parallel", dest="workers", type=int, metavar="N",
+                       action=_DeprecatedAlias,
+                       help="deprecated alias for --workers")
+        p.add_argument("--backend", choices=available_backends(),
+                       default=None,
+                       help="registered re-execution backend "
+                            "(default: accinterp)")
+        p.add_argument("--epoch-cuts", type=parse_epoch_cuts, default=None,
+                       metavar="I,J,K",
+                       help="explicit cut positions (event indexes); "
+                            "overrides --epoch-size")
+        p.add_argument("--config", default=None, metavar="AUDIT.JSON",
+                       help="audit config file (flags override its "
+                            "fields; see AuditConfig.to_json)")
 
     demo = sub.add_parser("demo", help="serve + audit, print stats")
     common(demo)
@@ -206,24 +277,34 @@ def main(argv=None) -> int:
     record.add_argument("--concurrency", type=int, default=8,
                         help="server's max in-flight requests")
     record.add_argument("--out", default="audit_bundle.json")
-    record.add_argument("--format", choices=("json", "jsonl"),
+    record.add_argument("--format",
+                        choices=("json", "jsonl", "jsonl-epochs"),
                         default="json",
-                        help="bundle encoding: legacy JSON blob or "
-                             "streaming epoch-segmented JSONL")
+                        help="bundle encoding: legacy JSON blob, "
+                             "streaming JSONL, or per-epoch segmented "
+                             "JSONL (tailable with audit --follow)")
     record.set_defaults(func=cmd_record)
 
     audit = sub.add_parser("audit", help="audit a saved bundle")
     common(audit)
-    audit.add_argument("--concurrency", type=int, default=1,
-                       help="audit worker processes (same as --parallel; "
-                            "--parallel wins when both are given)")
     audit_knobs(audit)
+    audit.add_argument("--concurrency", dest="workers", type=int,
+                       metavar="N", action=_DeprecatedAlias,
+                       help="deprecated alias for --workers")
     audit.add_argument("bundle")
     audit.add_argument("--baseline", action="store_true",
                        help="also run the simple re-execution baseline")
+    audit.add_argument("--follow", action="store_true",
+                       help="tail a JSONL bundle epoch by epoch through "
+                            "an incremental audit session")
+    audit.add_argument("--follow-timeout", type=float, default=3.0,
+                       metavar="SECONDS",
+                       help="--follow: give up after this long without "
+                            "new data (default 3s)")
     audit.set_defaults(func=cmd_audit)
 
     args = parser.parse_args(argv)
+    args._parser = parser
     return args.func(args)
 
 

@@ -6,9 +6,11 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.core.auditor import Auditor
+from repro.core.config import AuditConfig
 from repro.core.ooo import OooResult, simple_audit
-from repro.core.reexec import DEFAULT_MAX_GROUP
-from repro.core.verifier import AuditResult, ssco_audit
+from repro.core.reexec import DEFAULT_BACKEND, DEFAULT_MAX_GROUP
+from repro.core.verifier import AuditResult
 from repro.server.executor import ExecutionResult, Executor
 from repro.server.nondet import NondetSource
 from repro.server.scheduler import RandomScheduler
@@ -99,20 +101,29 @@ def run_audit_phase(
     workers: int = 1,
     epoch_size: int = 0,
     epoch_cuts: Optional[Sequence[int]] = None,
+    backend: str = DEFAULT_BACKEND,
+    config: Optional[AuditConfig] = None,
 ) -> BenchRun:
-    audit = ssco_audit(
-        workload.app,
-        execution.trace,
-        execution.reports,
-        execution.initial_state,
-        strict=strict,
-        dedup=dedup,
-        collapse=collapse,
-        strict_registers=strict_registers,
-        max_group_size=max_group_size,
-        workers=workers,
-        epoch_size=epoch_size,
-        epoch_cuts=epoch_cuts,
+    """Audit ``execution`` and package the outcome for the benchmarks.
+
+    A validated :class:`AuditConfig` supersedes the individual keyword
+    knobs when given (the CLI path); either way the audit itself is the
+    one-shot :class:`Auditor` service call.
+    """
+    if config is None:
+        config = AuditConfig(
+            strict=strict,
+            dedup=dedup,
+            collapse=collapse,
+            strict_registers=strict_registers,
+            max_group_size=max_group_size,
+            workers=max(1, workers),
+            epoch_size=epoch_size,
+            epoch_cuts=tuple(epoch_cuts) if epoch_cuts else None,
+            backend=backend,
+        )
+    audit = Auditor(workload.app, config).audit(
+        execution.trace, execution.reports, execution.initial_state
     )
     baseline = None
     if run_baseline:

@@ -16,6 +16,14 @@ Public entry points:
   above is built on, plus the epoch-sharded driver.
 * :mod:`repro.core.partition` — quiescent-cut epoch partitioning of
   audit inputs.
+* :mod:`repro.core.auditor` — the service API: a long-lived
+  :class:`~repro.core.auditor.Auditor` bound to a validated
+  :class:`~repro.core.config.AuditConfig`, with incremental epoch
+  :class:`~repro.core.auditor.AuditSession` feeding (the paper's
+  continuous deployment, §4.1).
+* :mod:`repro.core.reexec` — the re-execution engines behind the
+  pipeline's :class:`~repro.core.pipeline.ReExecPhase`, pluggable via
+  :func:`~repro.core.reexec.register_reexec_backend`.
 """
 
 from repro.core.pipeline import (
@@ -27,23 +35,37 @@ from repro.core.pipeline import (
     run_audit,
     sharded_audit,
 )
+from repro.core.auditor import AuditSession, Auditor, EpochResult
+from repro.core.config import AuditConfig
 from repro.core.partition import Shard, find_epoch_cuts, partition_audit_inputs
+from repro.core.reexec import (
+    DEFAULT_BACKEND,
+    available_backends,
+    register_reexec_backend,
+)
 from repro.core.verifier import AuditResult, ssco_audit
 from repro.core.ooo import ooo_audit, simple_audit
 from repro.core.timeprec import create_time_precedence_graph
 
 __all__ = [
+    "AuditConfig",
     "AuditContext",
     "AuditOptions",
     "AuditPhase",
     "AuditPipeline",
     "AuditResult",
+    "AuditSession",
+    "Auditor",
+    "DEFAULT_BACKEND",
+    "EpochResult",
     "Shard",
+    "available_backends",
     "create_time_precedence_graph",
     "default_pipeline",
     "find_epoch_cuts",
     "ooo_audit",
     "partition_audit_inputs",
+    "register_reexec_backend",
     "run_audit",
     "sharded_audit",
     "simple_audit",

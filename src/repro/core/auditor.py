@@ -1,0 +1,439 @@
+"""The auditing service API: :class:`Auditor` and :class:`AuditSession`.
+
+The paper's deployment is *continuous* (§4.1): the verifier audits epoch
+N while the server records epoch N+1, and only migrated state crosses
+epoch boundaries.  ``ssco_audit`` — one function call over one complete
+bundle — cannot express that.  This module redesigns the audit phase
+around a long-lived service object:
+
+* :class:`Auditor` binds the trusted program and a validated
+  :class:`~repro.core.config.AuditConfig`.  :meth:`Auditor.audit` is the
+  one-shot entry point (exactly ``ssco_audit``); :meth:`Auditor.session`
+  opens an **incremental epoch session**.
+* :class:`AuditSession` consumes one epoch at a time:
+  :meth:`~AuditSession.feed_epoch` audits a (trace slice, reports slice)
+  pair against the state migrated out of the previous epoch and returns
+  a per-epoch :class:`EpochResult`; :meth:`~AuditSession.close` returns
+  the merged :class:`~repro.core.pipeline.AuditResult`.  Feeding the
+  epochs of a bundle one by one produces verdicts, produced bodies, and
+  deterministic stats identical to the one-shot
+  :func:`~repro.core.pipeline.sharded_audit` over the same cuts — the
+  session *is* the sharded audit, unrolled over time.
+* With ``session(pipelined=True)``, :meth:`~AuditSession.feed_epoch_async`
+  returns a :class:`PendingEpoch` immediately and audits in a background
+  thread: the caller ingests (reads, parses) epoch N+1 while epoch N
+  re-executes — and with ``config.workers > 1`` the re-execution itself
+  runs in the existing process pool, so ingest genuinely overlaps audit
+  CPU.  Epochs still audit strictly in feed order (state chains).
+
+Soundness across epochs: the session chains each epoch's §4.5 migrated
+state into the next (acceptance is inductive, as for contiguous audit
+epochs), and threads the ``uniqid()``-uniqueness plausibility check's
+state across feeds so the §4.6 whole-stream check is preserved.  After a
+rejected epoch the chain is broken and every further feed returns a
+*skipped* result carrying the original verdict.
+
+The streaming front end lives in :mod:`repro.io`:
+``BundleReader.epochs(follow=True)`` tails a live JSONL bundle and
+yields exactly the slices :meth:`~AuditSession.feed_epoch` consumes.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.errors import AuditReject, RejectReason
+from repro.core.config import AuditConfig
+from repro.core.nondet import validate_nondet_reports
+from repro.core.pipeline import (
+    AuditContext,
+    AuditPipeline,
+    AuditResult,
+    _merge_shard_result,
+    default_pipeline,
+    run_audit,
+)
+from repro.server.app import Application, InitialState
+from repro.server.reports import Reports
+from repro.trace.trace import Trace, check_balanced
+
+
+@dataclass
+class EpochResult:
+    """Outcome of auditing one epoch inside a session."""
+
+    #: Zero-based feed position.
+    index: int
+    accepted: bool
+    reason: Optional[RejectReason] = None
+    detail: str = ""
+    #: Requests / events in this epoch's slice.
+    requests: int = 0
+    events: int = 0
+    #: Phase timers and stats of this epoch's pipeline pass (same keys
+    #: as a one-shot :class:`~repro.core.pipeline.AuditResult`).
+    phases: Dict[str, float] = field(default_factory=dict)
+    stats: Dict[str, object] = field(default_factory=dict)
+    #: rid -> produced body for this epoch.
+    produced: Dict[str, str] = field(default_factory=dict)
+    #: True when the epoch was never audited because an earlier epoch
+    #: already rejected (the chain's state is untrusted from there on).
+    skipped: bool = False
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.accepted
+
+
+class PendingEpoch:
+    """Handle for an epoch fed asynchronously; :meth:`result` blocks."""
+
+    def __init__(self, index: int, future: "Future[EpochResult]"):
+        self.index = index
+        self._future = future
+
+    def result(self, timeout: Optional[float] = None) -> EpochResult:
+        return self._future.result(timeout)
+
+    def done(self) -> bool:
+        return self._future.done()
+
+
+class AuditSession:
+    """One continuous audit: epochs in, per-epoch verdicts out.
+
+    Sessions are created by :meth:`Auditor.session` and consumed either
+    synchronously (:meth:`feed_epoch`) or pipelined
+    (:meth:`feed_epoch_async`).  The session owns the chain state: the
+    initial state it was opened with, then each accepted epoch's
+    migrated state.  Use as a context manager to guarantee
+    :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        auditor: "Auditor",
+        initial_state: InitialState,
+        pipelined: bool = False,
+    ):
+        self._auditor = auditor
+        self._state = initial_state
+        self._pipelined = pipelined
+        self._pool: Optional[ThreadPoolExecutor] = None
+        if pipelined:
+            # One thread: epochs must audit in feed order (state chains).
+            self._pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="audit-session"
+            )
+        self._seen_uniq: set = set()
+        self._epochs: List[EpochResult] = []
+        self._summaries: List[Dict[str, object]] = []
+        self._merged = AuditResult(accepted=False)
+        self._pending: List["Future[EpochResult]"] = []
+        self._audit_seconds = 0.0
+        self._failure: Optional[EpochResult] = None
+        self._fed = 0
+        self._closed = False
+        self._final: Optional[AuditResult] = None
+
+    # -- feeding ----------------------------------------------------------
+
+    def feed_epoch(self, trace: Trace, reports: Reports) -> EpochResult:
+        """Audit the next epoch of the stream; returns its result.
+
+        The slice must be self-contained: a balanced trace segment cut
+        at a quiescent point, with the reports restricted to its
+        requests (exactly what ``BundleReader.epochs()`` or
+        :func:`repro.core.partition.partition_audit_inputs` yield).
+        """
+        return self.submit_epoch(trace, reports).result()
+
+    def feed_epoch_async(self, trace: Trace,
+                         reports: Reports) -> PendingEpoch:
+        """Queue the next epoch and return immediately.
+
+        Requires a ``pipelined=True`` session.  Epochs audit in feed
+        order on the session's worker thread; the caller is free to
+        ingest the next epoch meanwhile.
+        """
+        if not self._pipelined:
+            raise RuntimeError(
+                "feed_epoch_async requires a pipelined session: "
+                "auditor.session(state, pipelined=True)"
+            )
+        return self.submit_epoch(trace, reports)
+
+    def submit_epoch(self, trace: Trace, reports: Reports) -> PendingEpoch:
+        """Common feed path: synchronous sessions run inline, pipelined
+        sessions enqueue on the worker thread."""
+        if self._closed:
+            raise RuntimeError("audit session is closed")
+        index = self._fed
+        self._fed += 1
+        if self._pool is not None:
+            future = self._pool.submit(self._audit_epoch, index, trace,
+                                       reports)
+            # Remembered so close()/_drain can re-raise an unexpected
+            # worker exception even if the caller drops the handle —
+            # a session must never report ACCEPTED over an epoch whose
+            # audit crashed.
+            self._pending.append(future)
+        else:
+            future: "Future[EpochResult]" = Future()
+            future.set_result(self._audit_epoch(index, trace, reports))
+        return PendingEpoch(index, future)
+
+    # -- the per-epoch audit (single-threaded by construction) ------------
+
+    def _audit_epoch(self, index: int, trace: Trace,
+                     reports: Reports) -> EpochResult:
+        started = _time.perf_counter()
+        try:
+            return self._audit_epoch_inner(index, trace, reports)
+        finally:
+            # Time actually spent auditing — unlike wall-clock since
+            # session start, this excludes waiting for epochs to arrive
+            # (a follow session is mostly waiting).
+            self._audit_seconds += _time.perf_counter() - started
+
+    def _audit_epoch_inner(self, index: int, trace: Trace,
+                           reports: Reports) -> EpochResult:
+        if self._failure is not None:
+            epoch = EpochResult(
+                index=index,
+                accepted=False,
+                reason=self._failure.reason,
+                detail=f"skipped: epoch {self._failure.index} already "
+                       f"rejected ({self._failure.detail})",
+                requests=len(trace.request_ids()),
+                events=len(trace),
+                skipped=True,
+            )
+            self._epochs.append(epoch)
+            return epoch
+
+        config = self._auditor.config
+        # The §4.6 plausibility pre-check with whole-stream state: the
+        # per-epoch pipeline re-checks internally, but only this shared
+        # set catches a uniqid duplicated *across* epochs (sharded_audit
+        # sees the whole report set at once and needs no threading).
+        try:
+            check_balanced(trace)
+            validate_nondet_reports(reports, self._seen_uniq)
+        except AuditReject as reject:
+            epoch = EpochResult(
+                index=index, accepted=False, reason=reject.reason,
+                detail=reject.detail,
+                requests=len(trace.request_ids()), events=len(trace),
+            )
+            self._record(epoch, None)
+            return epoch
+
+        options = config.to_options()
+        options.epoch_size = 0
+        options.epoch_cuts = None
+        options.migrate = True  # the chain always needs the next state
+        actx = AuditContext(self._auditor.app, trace, reports,
+                            self._state, options)
+        pipeline = self._auditor.pipeline or default_pipeline(options)
+        result = pipeline.run(actx)
+        epoch = EpochResult(
+            index=index,
+            accepted=result.accepted,
+            reason=result.reason,
+            detail=result.detail,
+            requests=len(trace.request_ids()),
+            events=len(trace),
+            phases=result.phases,
+            stats=result.stats,
+            produced=result.produced,
+        )
+        self._record(epoch, result)
+        return epoch
+
+    def _record(self, epoch: EpochResult,
+                result: Optional[AuditResult]) -> None:
+        self._epochs.append(epoch)
+        if result is not None:
+            _merge_shard_result(self._merged, result)
+            self._summaries.append({
+                "shard": epoch.index,
+                "requests": epoch.requests,
+                "events": epoch.events,
+                "accepted": epoch.accepted,
+                "reexec_seconds": epoch.phases.get("reexec", 0.0),
+                "groups": epoch.stats.get("groups", 0),
+            })
+        if not epoch.accepted:
+            self._failure = epoch
+            self._merged.produced = {}
+            return
+        if result is not None:
+            if result.next_initial is None:
+                raise ValueError(
+                    "audit session needs a MigratePhase in the pipeline "
+                    "to chain epoch state"
+                )
+            self._state = result.next_initial
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def current_state(self) -> InitialState:
+        """The state the *next* epoch will be audited against (the last
+        accepted epoch's migrated state)."""
+        self._drain()
+        return self._state
+
+    @property
+    def epochs(self) -> List[EpochResult]:
+        """Per-epoch results so far (feed order)."""
+        self._drain()
+        return list(self._epochs)
+
+    @property
+    def rejected(self) -> bool:
+        self._drain()
+        return self._failure is not None
+
+    def _drain(self) -> None:
+        """Wait for queued pipelined epochs to finish, re-raising any
+        unexpected exception a worker-thread audit hit (rejections are
+        results, not exceptions — only genuine crashes surface here)."""
+        if self._pool is None or self._closed:
+            return
+        pending, self._pending = self._pending, []
+        for future in pending:
+            future.result()
+
+    def close(self) -> AuditResult:
+        """Finish the session and return the merged result.
+
+        The merged result has the same shape as one-shot
+        ``ssco_audit(..., epoch_cuts=...)`` over the concatenated
+        stream: summed phase timers and stats, per-epoch summaries under
+        ``stats["shards"]``, the union of produced bodies, and — when
+        the config asks for ``migrate`` — the final chained state in
+        ``next_initial``.  ``phases["total"]`` is the summed per-epoch
+        audit time, *not* wall-clock since the session opened (a follow
+        session spends most of its life waiting for epochs).
+        Idempotent.
+        """
+        if self._final is not None:
+            return self._final
+        try:
+            self._drain()
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+            self._closed = True
+        merged = self._merged
+        merged.accepted = self._failure is None
+        if self._failure is not None:
+            merged.reason = self._failure.reason
+            merged.detail = self._failure.detail
+        elif self._auditor.config.migrate:
+            merged.next_initial = self._state
+        merged.stats["shard_count"] = self._fed
+        merged.stats["shards"] = self._summaries
+        merged.phases["total"] = self._audit_seconds
+        self._final = merged
+        return merged
+
+    #: ``result()`` is the reading most callers expect at the end.
+    result = close
+
+    def __enter__(self) -> "AuditSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class Auditor:
+    """A long-lived audit service for one application.
+
+    ``Auditor(app, config)`` binds the trusted program to a validated
+    :class:`~repro.core.config.AuditConfig` (keyword knobs build one:
+    ``Auditor(app, workers=4, backend="accinterp")``).
+
+    * :meth:`audit` — one-shot, exactly ``ssco_audit``;
+    * :meth:`session` — incremental epoch-by-epoch auditing;
+    * :meth:`audit_epochs` — drive a session over any iterable of epoch
+      slices (e.g. ``BundleReader.epochs(follow=True)``).
+
+    A custom :class:`~repro.core.pipeline.AuditPipeline` may replace the
+    stock phase sequence; sessions require it to keep a ``MigratePhase``
+    (state must chain).
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        config: Optional[AuditConfig] = None,
+        pipeline: Optional[AuditPipeline] = None,
+        **knobs,
+    ):
+        if config is not None and knobs:
+            raise ValueError(
+                "pass either a config object or keyword knobs, not both"
+            )
+        self.app = app
+        self.config = config or AuditConfig(**knobs)
+        self.pipeline = pipeline
+
+    def audit(
+        self,
+        trace: Trace,
+        reports: Reports,
+        initial_state: InitialState,
+    ) -> AuditResult:
+        """Audit one complete bundle under this auditor's config."""
+        self.config.validate_for_trace(trace)
+        return run_audit(self.app, trace, reports, initial_state,
+                         self.config.to_options(), pipeline=self.pipeline)
+
+    def session(
+        self,
+        initial_state: InitialState,
+        pipelined: bool = False,
+    ) -> AuditSession:
+        """Open an incremental epoch session starting from
+        ``initial_state`` (the verifier's trusted state at stream start,
+        §4.1)."""
+        return AuditSession(self, initial_state, pipelined=pipelined)
+
+    def audit_epochs(
+        self,
+        epochs: Iterable,
+        initial_state: InitialState,
+        pipelined: bool = False,
+    ) -> AuditResult:
+        """Feed every epoch slice of ``epochs`` through a session.
+
+        Items may be ``(trace, reports)`` pairs or objects with
+        ``.trace`` / ``.reports`` attributes (``BundleReader``'s
+        :class:`~repro.io.EpochSlice`, the partitioner's
+        :class:`~repro.core.partition.Shard`).  The whole iterable is
+        consumed — epochs after a rejection come back as cheap *skipped*
+        results, so the merged outcome (verdict, stats, shard count) is
+        identical to the one-shot sharded audit over the same cuts.
+        Returns the merged result.
+        """
+        with self.session(initial_state, pipelined=pipelined) as session:
+            for item in epochs:
+                if isinstance(item, tuple):
+                    trace, reports = item
+                else:
+                    trace, reports = item.trace, item.reports
+                # Enqueues on pipelined sessions (the iterable keeps
+                # ingesting while earlier epochs audit); inline on
+                # synchronous ones.
+                session.submit_epoch(trace, reports)
+            return session.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Auditor app={self.app.name!r} "
+                f"{self.config.describe()}>")

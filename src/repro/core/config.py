@@ -1,0 +1,288 @@
+"""The unified, validated audit configuration.
+
+Before this module, the audit's knobs were threaded three separate ways:
+``ssco_audit``'s twelve keyword arguments, the internal
+:class:`~repro.core.pipeline.AuditOptions` dataclass, and the CLI's flag
+set — with no validation anywhere (a negative worker count silently
+meant "serial", an out-of-range epoch cut was silently dropped deep in
+the partitioner).  :class:`AuditConfig` is the one place all of them
+meet:
+
+* every knob, documented, with the same defaults as ``ssco_audit``;
+* **hard validation** at construction: nonsensical values (negative
+  ``workers``/``epoch_size``, unsorted ``epoch_cuts``, an unregistered
+  ``backend``) raise :class:`ValueError` with a message naming the field
+  — at the API boundary, not five frames deep in the pipeline;
+* **serialization**: :meth:`to_json` / :meth:`from_json` (plain dicts)
+  and :meth:`save` / :meth:`load` (files), so a deployment's audit
+  configuration is a reviewable artifact (the CLI's ``--config
+  audit.json``);
+* **CLI binding**: :meth:`from_args` builds a config from an argparse
+  namespace, layering explicit flags over an optional ``--config`` file.
+
+:class:`AuditConfig` is the public face; the pipeline keeps consuming
+the lenient :class:`~repro.core.pipeline.AuditOptions` internally
+(:meth:`to_options` converts).  ``ssco_audit`` remains the
+signature-compatible kwargs wrapper for one-shot use;
+:class:`~repro.core.auditor.Auditor` takes an :class:`AuditConfig`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.pipeline import AuditOptions
+from repro.core.reexec import (
+    DEFAULT_BACKEND,
+    DEFAULT_MAX_GROUP,
+    available_backends,
+    get_reexec_backend,
+)
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Every audit knob, validated at construction.
+
+    Invalid values raise :class:`ValueError` immediately; an
+    :class:`AuditConfig` that exists is safe to run.
+    """
+
+    #: Reject on in-group control-flow divergence (Figure 12 line 39)
+    #: instead of demoting the group to per-request re-execution.
+    strict: bool = True
+    #: Read-query deduplication (§4.5).
+    dedup: bool = True
+    #: Multivalue collapse (§4.3) — ablation hook.
+    collapse: bool = True
+    #: Reject register reads with no logged write and no initial value.
+    strict_registers: bool = False
+    #: Chunk re-execution groups beyond this size (§4.7).
+    max_group_size: int = DEFAULT_MAX_GROUP
+    #: On accept, compact the versioned stores into the next epoch's
+    #: trusted initial state (§4.5 migration).
+    migrate: bool = False
+    #: Worker processes for group re-execution; 1 means serial.
+    workers: int = 1
+    #: Shard the audit at quiescent cuts every ~N requests; 0 disables.
+    epoch_size: int = 0
+    #: Explicit cut positions (event indexes, e.g. the executor's epoch
+    #: marks); overrides ``epoch_size`` when set.  Must be positive and
+    #: strictly increasing.
+    epoch_cuts: Optional[Tuple[int, ...]] = None
+    #: Registered re-execution backend (``"accinterp"``, ``"interp"``,
+    #: or anything added via ``register_reexec_backend``).
+    backend: str = DEFAULT_BACKEND
+
+    def __post_init__(self):
+        if self.epoch_cuts is not None and not isinstance(
+            self.epoch_cuts, tuple
+        ):
+            object.__setattr__(self, "epoch_cuts",
+                               tuple(self.epoch_cuts))
+        self.validate()
+
+    # -- validation -------------------------------------------------------
+
+    def validate(self) -> "AuditConfig":
+        """Raise :class:`ValueError` on any nonsensical knob value."""
+        for flag in ("strict", "dedup", "collapse", "strict_registers",
+                     "migrate"):
+            if not isinstance(getattr(self, flag), bool):
+                raise ValueError(
+                    f"{flag} must be a bool, got "
+                    f"{getattr(self, flag)!r}"
+                )
+        if not _is_int(self.workers) or self.workers < 1:
+            raise ValueError(
+                f"workers must be an integer >= 1, got {self.workers!r}"
+            )
+        if not _is_int(self.epoch_size) or self.epoch_size < 0:
+            raise ValueError(
+                f"epoch_size must be an integer >= 0 (0 disables "
+                f"sharding), got {self.epoch_size!r}"
+            )
+        if not _is_int(self.max_group_size) or self.max_group_size < 1:
+            raise ValueError(
+                f"max_group_size must be an integer >= 1, got "
+                f"{self.max_group_size!r}"
+            )
+        if self.epoch_cuts is not None:
+            previous = 0
+            for cut in self.epoch_cuts:
+                if not _is_int(cut) or cut <= 0:
+                    raise ValueError(
+                        f"epoch_cuts entries must be positive event "
+                        f"indexes, got {cut!r}"
+                    )
+                if cut <= previous:
+                    raise ValueError(
+                        f"epoch_cuts must be strictly increasing, got "
+                        f"{list(self.epoch_cuts)}"
+                    )
+                previous = cut
+        get_reexec_backend(self.backend)  # unknown name -> ValueError
+        return self
+
+    def validate_for_trace(self, trace) -> "AuditConfig":
+        """Also check trace-dependent bounds: every explicit cut must
+        fall inside the trace (cut ``i`` splits after event ``i-1``)."""
+        if self.epoch_cuts:
+            limit = len(trace)
+            for cut in self.epoch_cuts:
+                if cut >= limit:
+                    raise ValueError(
+                        f"epoch cut {cut} is out of range for a trace "
+                        f"of {limit} events"
+                    )
+        return self
+
+    # -- conversions ------------------------------------------------------
+
+    def to_options(self) -> AuditOptions:
+        """The pipeline-internal knob set this config denotes."""
+        return AuditOptions(
+            strict=self.strict,
+            dedup=self.dedup,
+            collapse=self.collapse,
+            strict_registers=self.strict_registers,
+            max_group_size=self.max_group_size,
+            migrate=self.migrate,
+            workers=self.workers,
+            epoch_size=self.epoch_size,
+            epoch_cuts=self.epoch_cuts,
+            backend=self.backend,
+        )
+
+    @classmethod
+    def from_options(cls, options: AuditOptions) -> "AuditConfig":
+        """Validated config from a (lenient) options object."""
+        cuts = options.epoch_cuts
+        return cls(
+            strict=options.strict,
+            dedup=options.dedup,
+            collapse=options.collapse,
+            strict_registers=options.strict_registers,
+            max_group_size=options.max_group_size,
+            migrate=options.migrate,
+            workers=max(1, options.workers),
+            epoch_size=options.epoch_size,
+            epoch_cuts=tuple(cuts) if cuts is not None else None,
+            backend=options.backend,
+        )
+
+    def replace(self, **changes) -> "AuditConfig":
+        """A copy with the given fields changed (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        """A plain-JSON dict (epoch_cuts as a list)."""
+        data = dataclasses.asdict(self)
+        if data["epoch_cuts"] is not None:
+            data["epoch_cuts"] = list(data["epoch_cuts"])
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "AuditConfig":
+        """Validated config from :meth:`to_json` output; unknown keys
+        raise :class:`ValueError` (typos must not silently no-op)."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"audit config must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown audit config keys: {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        kwargs = dict(data)
+        if kwargs.get("epoch_cuts") is not None:
+            kwargs["epoch_cuts"] = tuple(kwargs["epoch_cuts"])
+        return cls(**kwargs)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "AuditConfig":
+        with open(path) as fh:
+            return cls.from_json(json.load(fh))
+
+    # -- CLI binding ------------------------------------------------------
+
+    @classmethod
+    def from_args(cls, args) -> "AuditConfig":
+        """Config from an argparse namespace.
+
+        Layering: defaults, then the ``--config`` file (when given),
+        then every flag the user supplied explicitly (the CLI registers
+        the knobs with ``default=None`` so "not given" is detectable).
+        ``args.workers`` must already be alias-resolved by the CLI
+        (``--parallel`` / audit's ``--concurrency`` fold into it).
+        """
+        config = cls()
+        if getattr(args, "config", None):
+            config = cls.load(args.config)
+        changes: Dict[str, object] = {}
+        for field in ("strict", "strict_registers", "max_group_size",
+                      "workers", "epoch_size", "backend", "migrate"):
+            value = getattr(args, field, None)
+            if value is not None:
+                changes[field] = value
+        if getattr(args, "no_dedup", None):
+            changes["dedup"] = False
+        if getattr(args, "no_collapse", None):
+            changes["collapse"] = False
+        cuts = getattr(args, "epoch_cuts", None)
+        if cuts is not None:
+            changes["epoch_cuts"] = tuple(cuts)
+        return config.replace(**changes) if changes else config
+
+    def describe(self) -> str:
+        """One-line human summary (CLI banners)."""
+        parts = [f"backend={self.backend}", f"workers={self.workers}"]
+        if self.epoch_cuts:
+            parts.append(f"epoch_cuts={list(self.epoch_cuts)}")
+        elif self.epoch_size:
+            parts.append(f"epoch_size={self.epoch_size}")
+        if not self.strict:
+            parts.append("no-strict")
+        if not self.dedup:
+            parts.append("no-dedup")
+        if not self.collapse:
+            parts.append("no-collapse")
+        if self.strict_registers:
+            parts.append("strict-registers")
+        if self.max_group_size != DEFAULT_MAX_GROUP:
+            parts.append(f"max_group={self.max_group_size}")
+        return " ".join(parts)
+
+
+def _is_int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def parse_epoch_cuts(text: str) -> Tuple[int, ...]:
+    """Parse the CLI's ``--epoch-cuts "100,200,350"`` into a tuple.
+
+    Raises :class:`ValueError` on non-integers; ordering and positivity
+    are checked by :class:`AuditConfig` itself.
+    """
+    parts = [part.strip() for part in text.split(",") if part.strip()]
+    try:
+        return tuple(int(part) for part in parts)
+    except ValueError:
+        raise ValueError(
+            f"--epoch-cuts expects comma-separated event indexes, got "
+            f"{text!r}"
+        ) from None

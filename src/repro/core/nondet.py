@@ -13,16 +13,25 @@ nevertheless rejects reports that are *internally* implausible:
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Optional, Set
 
 from repro.common.errors import AuditReject, RejectReason
 from repro.lang.values import to_int
 from repro.server.reports import Reports
 
 
-def validate_nondet_reports(reports: Reports) -> None:
-    """Raise :class:`AuditReject` on implausible non-determinism reports."""
-    seen_uniq: Set[str] = set()
+def validate_nondet_reports(
+    reports: Reports, seen_uniq: Optional[Set[str]] = None
+) -> None:
+    """Raise :class:`AuditReject` on implausible non-determinism reports.
+
+    ``seen_uniq`` lets incremental callers (an epoch-fed
+    :class:`~repro.core.auditor.AuditSession`) thread the set of
+    ``uniqid()`` values across epochs, so the whole-report-set uniqueness
+    check still spans the full stream; the set is updated in place.
+    """
+    if seen_uniq is None:
+        seen_uniq = set()
     for rid, records in reports.nondet.items():
         last_time: float = float("-inf")
         pid: object = None

@@ -46,7 +46,7 @@ from repro.core.nondet import validate_nondet_reports
 from repro.core.ooo import _compare_externals, _compare_outputs
 from repro.core.partition import Shard, partition_audit_inputs
 from repro.core.process_reports import process_op_reports
-from repro.core.reexec import DEFAULT_MAX_GROUP, reexec_groups
+from repro.core.reexec import DEFAULT_BACKEND, DEFAULT_MAX_GROUP, reexec_groups
 from repro.core.simulate import SimContext
 from repro.objects.base import OpType
 from repro.server.app import Application, InitialState
@@ -71,6 +71,9 @@ class AuditOptions:
     #: Explicit cut positions (event indexes, e.g. the executor's epoch
     #: marks); overrides ``epoch_size`` when set.
     epoch_cuts: Optional[Sequence[int]] = None
+    #: Registered re-execution backend that runs each group chunk (see
+    #: :func:`repro.core.reexec.register_reexec_backend`).
+    backend: str = DEFAULT_BACKEND
 
 
 @dataclass
@@ -187,6 +190,7 @@ class ReExecPhase(AuditPhase):
             collapse=options.collapse,
             max_group_size=options.max_group_size,
             workers=options.workers,
+            backend=options.backend,
         )
         actx.result.phases["db_query"] = actx.sim.db_query_seconds
 

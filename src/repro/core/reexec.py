@@ -41,6 +41,28 @@ was already an audit-configuration knob (§4.7's group cap), and every
 CheckOp/SimOp/output check still runs per request, so subdivision never
 weakens soundness; it only narrows the window in which a *strict-mode*
 divergence of a bogus grouping is observed group-wide.
+
+Pluggable backends: the re-execution engine that runs one chunk is a
+registered component (:func:`register_reexec_backend`), selected by
+name through ``AuditConfig.backend`` / ``ssco_audit(backend=...)``.
+Two backends ship:
+
+* ``"accinterp"`` (default) — the SIMD-on-demand grouped interpreter
+  (:class:`~repro.accel.accinterp.AccInterpreter`), the paper's
+  acceleration;
+* ``"interp"`` — a reference backend that re-executes every request of
+  the chunk individually through the plain :mod:`repro.lang.interp`
+  interpreter.  Same simulate-and-check, same produced bodies and
+  verdicts on honest executions; no SIMD batching (and therefore no
+  in-group divergence detection — a bogus grouping is still caught by
+  the per-request output checks).  It is the oracle the equivalence
+  tests compare against and the template for future engines (bytecode,
+  subinterpreters, remote workers).
+
+Backends only replace the *re-execution engine*; chunk planning, the
+process-pool fan-out, and result merging are shared.  A backend name is
+what crosses the process boundary, so third-party backends registered
+at import time work with both pool start methods.
 """
 
 from __future__ import annotations
@@ -76,6 +98,9 @@ from repro.trace.trace import Trace
 #: acc-PHP's group size cap (§4.7).
 DEFAULT_MAX_GROUP = 3000
 
+#: The stock re-execution backend (the paper's accelerated interpreter).
+DEFAULT_BACKEND = "accinterp"
+
 
 @dataclass
 class ReExecStats:
@@ -87,6 +112,133 @@ class ReExecStats:
     multi_steps: int = 0
     group_alphas: List[tuple] = field(default_factory=list)
     #: (n_c, alpha_c, ell_c) per group, for Figure 11.
+
+
+# -- backend registry --------------------------------------------------------
+
+
+class ReexecBackend:
+    """One re-execution engine: runs a single chunk of a group.
+
+    A backend is constructed per audit pass (and once per worker process
+    in parallel mode) via its registered factory —
+    ``factory(app, collapse=...)`` — and then driven chunk by chunk.
+    :meth:`run_chunk` must apply every per-request check (CheckOp /
+    SimOp via :class:`~repro.core.simulate.OpHandler`, nondet cursors,
+    regenerated externals) and fill ``produced`` / ``stats``; it raises
+    :class:`AuditReject` to fail the audit.
+    """
+
+    #: Registry key; set by subclasses.
+    name = "?"
+
+    def run_chunk(
+        self,
+        app: Application,
+        rids: List[str],
+        requests,
+        reports: Reports,
+        ctx: SimContext,
+        strict: bool,
+        dedup: bool,
+        produced: Dict[str, str],
+        stats: ReExecStats,
+    ) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+#: name -> factory(app, collapse=...) -> ReexecBackend.
+_BACKENDS: Dict[str, object] = {}
+
+
+def register_reexec_backend(name: str, factory) -> None:
+    """Register (or replace) a re-execution backend under ``name``.
+
+    ``factory(app, collapse=...)`` must return an object with the
+    :class:`ReexecBackend` interface.  The name becomes selectable via
+    ``AuditConfig.backend``, ``ssco_audit(backend=...)``, and the CLI's
+    ``--backend``; it must be importable-at-registration in worker
+    processes too (register at module import time, not conditionally).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string: {name!r}")
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+def get_reexec_backend(name: str):
+    """The factory registered under ``name``; raises :class:`ValueError`
+    (naming the available backends) for unknown names."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown re-exec backend {name!r} "
+            f"(available: {', '.join(available_backends())})"
+        ) from None
+
+
+def make_backend(name: str, app: Application, collapse: bool = True):
+    """Instantiate the named backend for one audit pass."""
+    return get_reexec_backend(name)(app, collapse=collapse)
+
+
+class AccInterpBackend(ReexecBackend):
+    """The paper's SIMD-on-demand grouped interpreter (§4.2-4.3)."""
+
+    name = "accinterp"
+
+    def __init__(self, app: Application, collapse: bool = True):
+        self.acc = AccInterpreter(
+            db_name=app.db_name,
+            kv_name=app.kv_name,
+            session_cookie=app.session_cookie,
+            collapse_enabled=collapse,
+        )
+
+    def run_chunk(self, app, rids, requests, reports, ctx, strict, dedup,
+                  produced, stats) -> None:
+        _run_chunk(app, self.acc, rids, requests, reports, ctx, strict,
+                   dedup, produced, stats)
+
+
+class PlainInterpBackend(ReexecBackend):
+    """Reference backend: per-request re-execution via the plain
+    interpreter (no SIMD batching, no query dedup).
+
+    Every simulate-and-check and output check still runs per request, so
+    verdicts and produced bodies match the accelerated backend on honest
+    executions; requests are accounted as ``fallback_requests``.  The
+    mixed-script strict check is kept — a grouping that mixes scripts is
+    bogus regardless of engine.
+    """
+
+    name = "interp"
+
+    def __init__(self, app: Application, collapse: bool = True):
+        del app, collapse  # per-request execution needs no shared engine
+
+    def run_chunk(self, app, rids, requests, reports, ctx, strict, dedup,
+                  produced, stats) -> None:
+        stats.groups += 1
+        scripts = {requests[rid].script for rid in rids}
+        if len(scripts) > 1 and strict:
+            raise AuditReject(
+                RejectReason.GROUP_DIVERGED,
+                f"group mixes scripts {sorted(scripts)}",
+            )
+        _fallback(app, rids, requests, ctx, produced, stats)
+
+
+register_reexec_backend(AccInterpBackend.name, AccInterpBackend)
+register_reexec_backend(PlainInterpBackend.name, PlainInterpBackend)
 
 
 #: Parallel planning: aim for this many chunks per worker (load
@@ -162,31 +314,28 @@ def reexec_groups(
     collapse: bool = True,
     max_group_size: int = DEFAULT_MAX_GROUP,
     workers: int = 1,
+    backend: str = DEFAULT_BACKEND,
 ) -> Dict[str, str]:
     """Re-execute all groups; returns rid -> produced body.
 
     ``workers > 1`` fans the chunk plan out over a process pool; the
-    serial path is preserved verbatim for ``workers <= 1``.  Raises
-    :class:`AuditReject` on any failed check.
+    serial path is preserved verbatim for ``workers <= 1``.  ``backend``
+    names the registered re-execution engine that runs each chunk.
+    Raises :class:`AuditReject` on any failed check.
     """
     requests = trace.requests()
     chunks = plan_chunks(reports, requests, max_group_size, workers)
     if workers > 1 and len(chunks) > 1:
         return _reexec_parallel(
             app, requests, reports, ctx, chunks, strict, dedup, collapse,
-            workers,
+            workers, backend,
         )
     produced: Dict[str, str] = {}
     stats = ctx.reexec_stats = ReExecStats()
-    acc = AccInterpreter(
-        db_name=app.db_name,
-        kv_name=app.kv_name,
-        session_cookie=app.session_cookie,
-        collapse_enabled=collapse,
-    )
+    engine = make_backend(backend, app, collapse)
     for chunk in chunks:
-        _run_chunk(app, acc, chunk, requests, reports, ctx, strict,
-                   dedup, produced, stats)
+        engine.run_chunk(app, chunk, requests, reports, ctx, strict,
+                         dedup, produced, stats)
     return produced
 
 
@@ -294,27 +443,23 @@ class _WorkerState:
     """Everything one worker process needs to run chunks."""
 
     def __init__(self, app, requests, reports, ctx, strict, dedup,
-                 collapse):
+                 collapse, backend=DEFAULT_BACKEND):
         self.app = app
         self.requests = requests
         self.reports = reports
         self.strict = strict
         self.dedup = dedup
         self.ctx = ctx
-        self.acc = AccInterpreter(
-            db_name=app.db_name,
-            kv_name=app.kv_name,
-            session_cookie=app.session_cookie,
-            collapse_enabled=collapse,
-        )
+        self.engine = make_backend(backend, app, collapse)
 
 
 def _worker_init_fork() -> None:
     """Pool initializer on fork platforms: adopt the inherited state."""
     global _WORKER
-    app, requests, reports, ctx, strict, dedup, collapse = _FORK_HANDOFF
+    (app, requests, reports, ctx, strict, dedup, collapse,
+     backend) = _FORK_HANDOFF
     _WORKER = _WorkerState(app, requests, reports, ctx, strict, dedup,
-                           collapse)
+                           collapse, backend)
 
 
 def _worker_init_spawn(payload: bytes) -> None:
@@ -322,11 +467,11 @@ def _worker_init_spawn(payload: bytes) -> None:
     (one versioned redo per worker, amortized over its chunks)."""
     global _WORKER
     (app, requests, reports, opmap, initial_state, strict_registers,
-     strict, dedup, collapse) = pickle.loads(payload)
+     strict, dedup, collapse, backend) = pickle.loads(payload)
     ctx = SimContext(app, reports, opmap, initial_state, strict_registers)
     ctx.build_versioned_stores()
     _WORKER = _WorkerState(app, requests, reports, ctx, strict, dedup,
-                           collapse)
+                           collapse, backend)
 
 
 def _worker_run_chunk(rids: List[str]) -> Tuple[bool, object]:
@@ -343,9 +488,9 @@ def _worker_run_chunk(rids: List[str]) -> Tuple[bool, object]:
     stats = ReExecStats()
     produced: Dict[str, str] = {}
     try:
-        _run_chunk(state.app, state.acc, rids, state.requests,
-                   state.reports, ctx, state.strict, state.dedup,
-                   produced, stats)
+        state.engine.run_chunk(state.app, rids, state.requests,
+                               state.reports, ctx, state.strict,
+                               state.dedup, produced, stats)
     except AuditReject as reject:
         return False, (reject.reason.value, reject.detail)
     externals = {
@@ -366,6 +511,7 @@ def _reexec_parallel(
     dedup: bool,
     collapse: bool,
     workers: int,
+    backend: str = DEFAULT_BACKEND,
 ) -> Dict[str, str]:
     """Fan the chunk plan out over a process pool and merge the results.
 
@@ -380,7 +526,7 @@ def _reexec_parallel(
     try:
         if use_fork:
             _FORK_HANDOFF = (app, requests, reports, ctx, strict, dedup,
-                             collapse)
+                             collapse, backend)
             pool = ProcessPoolExecutor(
                 max_workers=workers,
                 mp_context=multiprocessing.get_context("fork"),
@@ -389,7 +535,7 @@ def _reexec_parallel(
         else:
             payload = pickle.dumps((
                 app, requests, reports, ctx.opmap, ctx.initial,
-                ctx.strict_registers, strict, dedup, collapse,
+                ctx.strict_registers, strict, dedup, collapse, backend,
             ))
             pool = ProcessPoolExecutor(
                 max_workers=workers, initializer=_worker_init_spawn,
@@ -400,13 +546,10 @@ def _reexec_parallel(
         # No process support (or an unpicklable payload on a spawn
         # platform): stay serial — ssco_audit must never raise.
         _FORK_HANDOFF = None
-        acc = AccInterpreter(
-            db_name=app.db_name, kv_name=app.kv_name,
-            session_cookie=app.session_cookie, collapse_enabled=collapse,
-        )
+        engine = make_backend(backend, app, collapse)
         for chunk in chunks:
-            _run_chunk(app, acc, chunk, requests, reports, ctx, strict,
-                       dedup, produced, stats)
+            engine.run_chunk(app, chunk, requests, reports, ctx, strict,
+                             dedup, produced, stats)
         return produced
     try:
         with pool:

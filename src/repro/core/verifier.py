@@ -33,7 +33,7 @@ from repro.core.pipeline import (  # noqa: F401
     _final_registers,
     run_audit,
 )
-from repro.core.reexec import DEFAULT_MAX_GROUP
+from repro.core.reexec import DEFAULT_BACKEND, DEFAULT_MAX_GROUP
 from repro.server.app import Application, InitialState
 from repro.server.reports import Reports
 from repro.trace.trace import Trace
@@ -53,6 +53,7 @@ def ssco_audit(
     workers: int = 1,
     epoch_size: int = 0,
     epoch_cuts: Optional[Sequence[int]] = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> AuditResult:
     """Run the full audit; never raises :class:`AuditReject`.
 
@@ -81,6 +82,14 @@ def ssco_audit(
             (0 disables).  Shards chain through migrated state.
         epoch_cuts: explicit cut positions (event indexes, e.g. the
             executor's recorded epoch marks); overrides ``epoch_size``.
+        backend: registered re-execution backend running each group
+            chunk (``"accinterp"`` is the paper's accelerated
+            interpreter, ``"interp"`` the plain per-request reference;
+            see :func:`repro.core.reexec.register_reexec_backend`).
+
+    For long-lived / incremental use, prefer the object API:
+    ``Auditor(app, AuditConfig(...))`` (see :mod:`repro.core.auditor`) —
+    this function is its one-shot equivalent and remains stable.
     """
     options = AuditOptions(
         strict=strict,
@@ -92,5 +101,6 @@ def ssco_audit(
         workers=workers,
         epoch_size=epoch_size,
         epoch_cuts=epoch_cuts,
+        backend=backend,
     )
     return run_audit(app, trace, reports, initial_state, options)

@@ -15,15 +15,35 @@ Two bundle encodings exist:
 
 * the legacy **JSON blob** (:func:`save_audit_bundle`): one JSON
   document holding trace + reports + initial state;
-* the streaming **JSONL** format (:func:`save_audit_bundle_jsonl`): one
-  record per line — header, initial state, trace events interleaved
-  with ``epoch_mark`` records at the executor's quiescent cuts, then
-  the reports in bounded-size chunks.  Producers can append as they go
-  and consumers never hold more than one line in memory before
-  dispatch; the epoch marks let the auditor shard the bundle without
-  rescanning the trace (see :mod:`repro.core.partition`).
+* the streaming **JSONL** format: one record per line — header, initial
+  state, trace events interleaved with ``epoch_mark`` records at the
+  executor's quiescent cuts, and the reports in bounded-size chunks.
+  Producers can append as they go and consumers never hold more than
+  one line in memory before dispatch; the epoch marks let the auditor
+  shard the bundle without rescanning the trace (see
+  :mod:`repro.core.partition`).
 
-:func:`load_audit_bundle` auto-detects the encoding.
+The JSONL side is built from two streaming objects:
+
+* :class:`BundleWriter` appends records incrementally.  Its
+  **segmented** layout (``segmented=True``) writes each epoch as a
+  self-contained run — the epoch's events followed by the epoch's
+  report records, with the ``epoch_mark`` opening the next run — so a
+  consumer can audit epoch N the moment the mark (or the final ``end``
+  record) arrives.  The default layout reproduces the original
+  all-events-then-all-reports stream.
+* :class:`BundleReader` parses either layout.  :meth:`BundleReader.read_all`
+  loads the whole bundle; :meth:`BundleReader.epochs` *yields* epoch
+  slices ``(trace, reports)`` incrementally — record-by-record on
+  segmented bundles, via the quiescent-cut partitioner otherwise — and
+  with ``follow=True`` it tails a bundle that is still being written
+  (the paper's continuous deployment: audit epoch N while the server
+  records epoch N+1), feeding a live
+  :class:`~repro.core.auditor.AuditSession`.
+
+:func:`save_audit_bundle_jsonl` / :func:`load_audit_bundle_jsonl` (and
+the auto-detecting :func:`load_audit_bundle`) remain as thin wrappers
+over the two objects.
 
 Weblang values inside op logs / registers / KV are already *frozen*
 (hashable tuples, see :func:`repro.lang.interp.freeze_value`); JSON
@@ -34,7 +54,9 @@ round-tripping preserves them exactly via a small tagged encoding
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.objects.base import OpRecord, OpType
 from repro.server.app import InitialState
@@ -266,8 +288,432 @@ def state_from_json(data: Dict) -> InitialState:
 #: First-line marker of the streaming format.
 JSONL_FORMAT = "ssco-jsonl"
 
+#: Header value marking the per-epoch segmented record layout.
+SEGMENTED_LAYOUT = "segmented"
+
 #: Op-log records per JSONL line (bounds the working set of a consumer).
 _JSONL_LOG_CHUNK = 1000
+
+
+class BundleWriter:
+    """Incremental writer of the streaming JSONL bundle.
+
+    The writer is deliberately low-level — one method per record kind —
+    so a recording server can append as it goes.  Two layouts:
+
+    * default: the original stream (state, all events with interleaved
+      epoch marks, then all reports);
+    * ``segmented=True``: per-epoch runs (the epoch's events, then the
+      epoch's report records), each non-first run opened by its
+      ``epoch_mark``; finished bundles end with an ``end`` record so a
+      tailing reader knows the stream is complete.
+      :meth:`write_epoch` emits one whole run.
+
+    Both layouts are read by :class:`BundleReader` and the legacy
+    loaders (record kinds are identical; only their order differs).
+    With ``autoflush`` (the default) every record is flushed, so a
+    concurrently tailing reader never sees a torn line become
+    permanent; batch savers turn it off and use ordinary buffering.
+    """
+
+    def __init__(self, path: str, segmented: bool = False,
+                 autoflush: bool = True):
+        self.path = path
+        self.segmented = segmented
+        #: Flush after every record so a concurrently tailing reader
+        #: sees it immediately (the live-writer default).  Batch savers
+        #: pass ``autoflush=False`` and rely on ordinary buffering —
+        #: nobody tails a file that is written and closed in one go.
+        self.autoflush = autoflush
+        #: Events written so far == the next event's trace index.
+        self.position = 0
+        #: Epoch-mark positions written so far.
+        self.epoch_marks: List[int] = []
+        self._fh = open(path, "w")
+        self._closed = False
+        header: Dict[str, object] = {
+            "format": JSONL_FORMAT, "version": FORMAT_VERSION,
+        }
+        if segmented:
+            header["layout"] = SEGMENTED_LAYOUT
+        self._emit(header)
+
+    def _emit(self, record: Dict) -> None:
+        self._fh.write(json.dumps(record) + "\n")
+        if self.autoflush:
+            self._fh.flush()
+
+    def write_state(self, initial_state: InitialState) -> None:
+        self._emit({"kind": "state", "state": state_to_json(initial_state)})
+
+    def write_event(self, event: Event) -> None:
+        self._emit({"kind": "event", "event": _event_to_json(event)})
+        self.position += 1
+
+    def write_epoch_mark(self, position: Optional[int] = None) -> None:
+        """Record a quiescent cut; defaults to the current position."""
+        position = self.position if position is None else position
+        self._emit({"kind": "epoch_mark", "events": position})
+        self.epoch_marks.append(position)
+
+    def write_reports(self, reports: Reports) -> None:
+        """All four report types, op logs chunked at a bounded size."""
+        for tag in reports.groups:
+            self._emit({"kind": "group", "tag": tag,
+                        "rids": list(reports.groups[tag])})
+        for obj, log in reports.op_logs.items():
+            for start in range(0, len(log), _JSONL_LOG_CHUNK):
+                self._emit({"kind": "op_log", "obj": obj, "records": [
+                    {
+                        "rid": rec.rid,
+                        "opnum": rec.opnum,
+                        "optype": rec.optype.value,
+                        "opcontents": _enc(rec.opcontents),
+                    }
+                    for rec in log[start:start + _JSONL_LOG_CHUNK]
+                ]})
+        self._emit({"kind": "op_counts",
+                    "counts": dict(reports.op_counts)})
+        for rid, records in reports.nondet.items():
+            self._emit({"kind": "nondet", "rid": rid, "records": [
+                {
+                    "func": rec.func,
+                    "args": _enc(rec.args),
+                    "value": _enc(rec.value),
+                }
+                for rec in records
+            ]})
+
+    def write_epoch(self, trace: Trace, reports: Reports) -> None:
+        """One self-contained epoch run (segmented layout): the opening
+        mark (for every epoch after the first), the slice's events, then
+        the slice's reports."""
+        if self.position > 0:
+            self.write_epoch_mark()
+        for event in trace:
+            self.write_event(event)
+        self.write_reports(reports)
+
+    def write_end(self) -> None:
+        """Mark the stream complete (stops ``follow`` readers)."""
+        self._emit({"kind": "end", "events": self.position})
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._fh.close()
+
+    def __enter__(self) -> "BundleWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+@dataclass
+class EpochSlice:
+    """One epoch's worth of audit inputs, as yielded by
+    :meth:`BundleReader.epochs` (shape-compatible with
+    :class:`~repro.core.partition.Shard`)."""
+
+    index: int
+    trace: Trace
+    reports: Reports
+
+    @property
+    def request_count(self) -> int:
+        return len(self.trace.request_ids())
+
+
+class BundleReader:
+    """Streaming reader of the JSONL bundle format.
+
+    * :meth:`read_all` — the whole bundle at once:
+      ``(trace, reports, initial_state, epoch_marks)``;
+    * :meth:`epochs` — an iterator of :class:`EpochSlice`, produced
+      incrementally on segmented bundles (each slice is emitted as soon
+      as its closing ``epoch_mark`` / ``end`` arrives) and via the
+      quiescent-cut partitioner on default-layout bundles (which hold
+      all reports at the tail, so epochs only become separable once the
+      file is complete);
+    * ``follow=True`` tails a bundle that is still being written,
+      sleeping ``poll_interval`` between attempts and giving up after
+      ``idle_timeout`` seconds without new data (``None`` waits until
+      the writer's ``end`` record).
+
+    The header is parsed eagerly, so constructing a reader on a
+    non-JSONL file raises :class:`ValueError` immediately.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path)
+        self._partial = ""
+        self._pushback: List[Dict] = []
+        self._initial_state: Optional[InitialState] = None
+        self._ended = False
+        self._closed = False
+        header = None
+        first = self._fh.readline()
+        if first.endswith("\n"):
+            try:
+                header = json.loads(first)
+            except ValueError:
+                header = None
+        if not isinstance(header, dict) or header.get(
+            "format"
+        ) != JSONL_FORMAT:
+            self._fh.close()
+            raise ValueError(f"not a {JSONL_FORMAT} bundle: {path}")
+        if header.get("version") != FORMAT_VERSION:
+            self._fh.close()
+            raise ValueError(
+                f"unsupported audit-bundle format version "
+                f"{header.get('version')!r} (expected {FORMAT_VERSION})"
+            )
+        self.header = header
+        self.segmented = header.get("layout") == SEGMENTED_LAYOUT
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        follow: bool = False,
+        poll_interval: float = 0.05,
+        idle_timeout: Optional[float] = None,
+    ) -> "BundleReader":
+        """Construct a reader; with ``follow=True``, wait for the file
+        and its header line to appear first.
+
+        The continuous deployment has a startup race: the auditor may
+        be launched before the recording server opens its
+        :class:`BundleWriter` (or within one flush of it).  A plain
+        constructor call would fail on the missing/torn header; this
+        waits up to ``idle_timeout`` seconds for a complete first line.
+        A header that is complete but wrong (a legacy blob, a foreign
+        file) still raises :class:`ValueError` immediately.
+        """
+        if not follow:
+            return cls(path)
+        idle = 0.0
+        while True:
+            prefix = None
+            try:
+                with open(path) as fh:
+                    prefix = fh.read(4096)
+            except OSError:
+                pass
+            if prefix is not None and (
+                "\n" in prefix or len(prefix) >= 4096
+            ):
+                # Header line complete — or provably not a short JSONL
+                # header; either way the constructor has its answer.
+                return cls(path)
+            if idle_timeout is not None and idle >= idle_timeout:
+                return cls(path)  # surfaces the real open/parse error
+            _time.sleep(poll_interval)
+            idle += poll_interval
+
+    # -- record stream ----------------------------------------------------
+
+    def _records(
+        self,
+        follow: bool = False,
+        poll_interval: float = 0.05,
+        idle_timeout: Optional[float] = None,
+    ) -> Iterator[Dict]:
+        """Parsed records, replaying any pushed-back prefix first.
+
+        In follow mode, EOF means "wait for the writer": poll until new
+        complete lines appear, the writer's ``end`` record arrives, or
+        ``idle_timeout`` seconds pass without progress.
+        """
+        while self._pushback:
+            yield self._pushback.pop(0)
+        if self._ended:
+            return
+        idle = 0.0
+        while True:
+            line = self._fh.readline()
+            if not line:
+                if not follow or self._ended:
+                    return
+                if idle_timeout is not None and idle >= idle_timeout:
+                    return
+                _time.sleep(poll_interval)
+                idle += poll_interval
+                continue
+            if not line.endswith("\n"):
+                # A torn line: the writer is mid-record.  Stash it; the
+                # next readline continues from the same byte offset.
+                self._partial += line
+                if not follow:
+                    # Finished file whose last record lacks the trailing
+                    # newline (writer died between its two writes).  If
+                    # the JSON is complete it is a real record;
+                    # truncated JSON raises ValueError.
+                    line, self._partial = self._partial, ""
+                    if line.strip():
+                        record = json.loads(line)
+                        if record.get("kind") == "end":
+                            self._ended = True
+                            return
+                        yield record
+                    return
+                continue
+            if self._partial:
+                line, self._partial = self._partial + line, ""
+            idle = 0.0
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "end":
+                self._ended = True
+                return
+            yield record
+
+    # -- whole-bundle loading ---------------------------------------------
+
+    def read_all(
+        self,
+        follow: bool = False,
+        poll_interval: float = 0.05,
+        idle_timeout: Optional[float] = None,
+    ):
+        """Consume the remaining stream into
+        ``(trace, reports, initial_state, epoch_marks)``."""
+        trace = Trace()
+        reports = Reports()
+        epoch_marks: List[int] = []
+        for record in self._records(follow, poll_interval, idle_timeout):
+            kind = record["kind"]
+            if kind == "event":
+                trace.append(_event_from_json(record["event"]))
+            elif kind == "epoch_mark":
+                epoch_marks.append(int(record["events"]))
+            else:
+                self._dispatch_meta(kind, record, reports)
+        if self._initial_state is None:
+            raise ValueError(
+                f"bundle {self.path} has no initial state record"
+            )
+        return trace, reports, self._initial_state, epoch_marks
+
+    def _dispatch_meta(self, kind: str, record: Dict,
+                       reports: Reports) -> None:
+        """Non-event record kinds, accumulated into ``reports``."""
+        if kind == "state":
+            self._initial_state = state_from_json(record["state"])
+        elif kind == "group":
+            reports.groups.setdefault(record["tag"], []).extend(
+                record["rids"]
+            )
+        elif kind == "op_log":
+            log = reports.op_logs.setdefault(record["obj"], [])
+            for rec in record["records"]:
+                log.append(OpRecord(
+                    rec["rid"], rec["opnum"], OpType(rec["optype"]),
+                    _dec(rec["opcontents"]),
+                ))
+        elif kind == "op_counts":
+            reports.op_counts.update(record["counts"])
+        elif kind == "nondet":
+            reports.nondet.setdefault(record["rid"], []).extend(
+                NondetRecord(rec["func"], _dec(rec["args"]),
+                             _dec(rec["value"]))
+                for rec in record["records"]
+            )
+        else:
+            raise ValueError(f"unknown bundle record kind {kind!r}")
+
+    # -- incremental epoch streaming --------------------------------------
+
+    @property
+    def initial_state(self) -> InitialState:
+        """The bundle's initial state (reads ahead to the state record,
+        which both layouts place before the first event)."""
+        return self.read_initial_state()
+
+    def read_initial_state(
+        self,
+        follow: bool = False,
+        poll_interval: float = 0.05,
+        idle_timeout: Optional[float] = None,
+    ) -> InitialState:
+        """Read up to the state record; later records are replayed to
+        the next consumer (:meth:`epochs` / :meth:`read_all`)."""
+        if self._initial_state is not None:
+            return self._initial_state
+        consumed: List[Dict] = []
+        for record in self._records(follow, poll_interval, idle_timeout):
+            consumed.append(record)
+            if record["kind"] == "state":
+                break
+        self._pushback = consumed + self._pushback
+        if self._initial_state is None:
+            for record in consumed:
+                if record["kind"] == "state":
+                    self._initial_state = state_from_json(record["state"])
+        if self._initial_state is None:
+            raise ValueError(
+                f"bundle {self.path} has no initial state record"
+            )
+        return self._initial_state
+
+    def epochs(
+        self,
+        follow: bool = False,
+        poll_interval: float = 0.05,
+        idle_timeout: Optional[float] = None,
+    ) -> Iterator[EpochSlice]:
+        """Yield the bundle's epochs as independently auditable slices.
+
+        Segmented bundles stream: each slice is yielded the moment its
+        run is closed by the next ``epoch_mark`` (or the stream's end),
+        which is what makes ``follow=True`` a live audit feed.  Default
+        -layout bundles are read fully, then cut at their recorded epoch
+        marks via :func:`~repro.core.partition.partition_audit_inputs`
+        (one slice covering everything when no usable mark exists).
+        """
+        if not self.segmented:
+            from repro.core.partition import partition_audit_inputs
+
+            trace, reports, _, marks = self.read_all(
+                follow, poll_interval, idle_timeout
+            )
+            for shard in partition_audit_inputs(trace, reports,
+                                                cuts=marks):
+                yield EpochSlice(shard.index, shard.trace, shard.reports)
+            return
+
+        index = 0
+        trace = Trace()
+        reports = Reports()
+        for record in self._records(follow, poll_interval, idle_timeout):
+            kind = record["kind"]
+            if kind == "event":
+                trace.append(_event_from_json(record["event"]))
+            elif kind == "epoch_mark":
+                if len(trace):
+                    yield EpochSlice(index, trace, reports)
+                    index += 1
+                    trace = Trace()
+                    reports = Reports()
+            else:
+                self._dispatch_meta(kind, record, reports)
+        if len(trace):
+            yield EpochSlice(index, trace, reports)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._fh.close()
+
+    def __enter__(self) -> "BundleReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 def save_audit_bundle(
@@ -280,12 +726,18 @@ def save_audit_bundle(
 ) -> None:
     """Write everything the verifier needs into one file.
 
-    ``format`` selects the legacy JSON blob (``"json"``) or the
-    streaming epoch-segmented JSONL encoding (``"jsonl"``).
+    ``format`` selects the legacy JSON blob (``"json"``), the streaming
+    JSONL encoding (``"jsonl"``), or the per-epoch segmented JSONL
+    layout (``"jsonl-epochs"``) whose epochs a :class:`BundleReader`
+    can stream to an audit session without waiting for the whole file.
     """
     if format == "jsonl":
         save_audit_bundle_jsonl(path, trace, reports, initial_state,
                                 epoch_marks)
+        return
+    if format == "jsonl-epochs":
+        save_audit_bundle_segmented(path, trace, reports, initial_state,
+                                    epoch_marks)
         return
     if format != "json":
         raise ValueError(f"unknown bundle format {format!r}")
@@ -308,101 +760,48 @@ def save_audit_bundle_jsonl(
     initial_state: InitialState,
     epoch_marks: Sequence[int] = (),
 ) -> None:
-    """Write the streaming epoch-segmented bundle: one record per line.
-
-    Layout: header, initial state, trace events in order (with
-    ``epoch_mark`` records interleaved at the executor's quiescent
-    cuts), then the reports in bounded-size chunks.
-    """
+    """Write the streaming bundle in the default layout: header, initial
+    state, trace events in order (with ``epoch_mark`` records at the
+    executor's quiescent cuts), then the reports in bounded chunks."""
     marks = set(epoch_marks)
-    with open(path, "w") as fh:
-        def emit(record: Dict) -> None:
-            fh.write(json.dumps(record))
-            fh.write("\n")
-
-        emit({"format": JSONL_FORMAT, "version": FORMAT_VERSION})
-        emit({"kind": "state", "state": state_to_json(initial_state)})
+    with BundleWriter(path, autoflush=False) as writer:
+        writer.write_state(initial_state)
         for position, event in enumerate(trace):
             if position in marks and position > 0:
-                emit({"kind": "epoch_mark", "events": position})
-            emit({"kind": "event", "event": _event_to_json(event)})
-        for tag in reports.groups:
-            emit({"kind": "group", "tag": tag,
-                  "rids": list(reports.groups[tag])})
-        for obj, log in reports.op_logs.items():
-            for start in range(0, len(log), _JSONL_LOG_CHUNK):
-                emit({"kind": "op_log", "obj": obj, "records": [
-                    {
-                        "rid": rec.rid,
-                        "opnum": rec.opnum,
-                        "optype": rec.optype.value,
-                        "opcontents": _enc(rec.opcontents),
-                    }
-                    for rec in log[start:start + _JSONL_LOG_CHUNK]
-                ]})
-        emit({"kind": "op_counts", "counts": dict(reports.op_counts)})
-        for rid, records in reports.nondet.items():
-            emit({"kind": "nondet", "rid": rid, "records": [
-                {
-                    "func": rec.func,
-                    "args": _enc(rec.args),
-                    "value": _enc(rec.value),
-                }
-                for rec in records
-            ]})
+                writer.write_epoch_mark(position)
+            writer.write_event(event)
+        writer.write_reports(reports)
+
+
+def save_audit_bundle_segmented(
+    path: str,
+    trace: Trace,
+    reports: Reports,
+    initial_state: InitialState,
+    epoch_marks: Sequence[int] = (),
+) -> None:
+    """Write the segmented streaming layout: each epoch's events are
+    followed by that epoch's report records, so a tailing reader can
+    hand finished epochs to an audit session immediately.
+
+    The epoch runs are produced by the quiescent-cut partitioner over
+    ``epoch_marks``; when the reports refuse to split the whole bundle
+    becomes one run (still a valid segmented bundle).
+    """
+    from repro.core.partition import partition_audit_inputs
+
+    with BundleWriter(path, segmented=True, autoflush=False) as writer:
+        writer.write_state(initial_state)
+        for shard in partition_audit_inputs(trace, reports,
+                                            cuts=list(epoch_marks)):
+            writer.write_epoch(shard.trace, shard.reports)
+        writer.write_end()
 
 
 def load_audit_bundle_jsonl(path: str):
     """Returns (trace, reports, initial_state, epoch_marks)."""
-    trace = Trace()
-    reports = Reports()
-    initial_state = None
-    epoch_marks: List[int] = []
-    with open(path) as fh:
-        header = json.loads(next(fh))
-        if header.get("format") != JSONL_FORMAT:
-            raise ValueError(f"not a {JSONL_FORMAT} bundle: {path}")
-        if header.get("version") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported audit-bundle format version "
-                f"{header.get('version')!r} (expected {FORMAT_VERSION})"
-            )
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
-            kind = record["kind"]
-            if kind == "state":
-                initial_state = state_from_json(record["state"])
-            elif kind == "event":
-                trace.append(_event_from_json(record["event"]))
-            elif kind == "epoch_mark":
-                epoch_marks.append(int(record["events"]))
-            elif kind == "group":
-                reports.groups.setdefault(record["tag"], []).extend(
-                    record["rids"]
-                )
-            elif kind == "op_log":
-                log = reports.op_logs.setdefault(record["obj"], [])
-                for rec in record["records"]:
-                    log.append(OpRecord(
-                        rec["rid"], rec["opnum"], OpType(rec["optype"]),
-                        _dec(rec["opcontents"]),
-                    ))
-            elif kind == "op_counts":
-                reports.op_counts.update(record["counts"])
-            elif kind == "nondet":
-                reports.nondet.setdefault(record["rid"], []).extend(
-                    NondetRecord(rec["func"], _dec(rec["args"]),
-                                 _dec(rec["value"]))
-                    for rec in record["records"]
-                )
-            else:
-                raise ValueError(f"unknown bundle record kind {kind!r}")
-    if initial_state is None:
-        raise ValueError(f"bundle {path} has no initial state record")
-    return trace, reports, initial_state, epoch_marks
+    with BundleReader(path) as reader:
+        return reader.read_all()
 
 
 def load_audit_bundle_ex(path: str):

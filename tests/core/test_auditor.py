@@ -1,0 +1,480 @@
+"""The auditing service API (repro.core.auditor).
+
+The acceptance bar: an :class:`AuditSession` fed epoch by epoch — from
+the partitioner or from a ``BundleReader`` JSONL stream — must produce
+verdicts, produced bodies, and deterministic stats identical to the
+one-shot ``ssco_audit(..., epoch_cuts=...)`` over the same cuts, on
+honest and faulty executions, across all three paper workloads.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.common.errors import RejectReason
+from repro.core import (
+    Auditor,
+    AuditConfig,
+    available_backends,
+    register_reexec_backend,
+    ssco_audit,
+)
+from repro.core.auditor import AuditSession, EpochResult
+from repro.core.partition import partition_audit_inputs
+from repro.core.pipeline import AuditPipeline, default_pipeline
+from repro.core.reexec import _BACKENDS, PlainInterpBackend
+from repro.io import BundleReader, save_audit_bundle_segmented
+from repro.objects.base import OpRecord
+from repro.server import Application, Executor, RandomScheduler
+from repro.server.faulty import tamper_response
+from repro.server.nondet import NondetSource
+from repro.trace.events import Request
+from tests.conftest import counter_requests
+
+#: Stats that must match exactly between one-shot and session audits
+#: (timers excluded: wall-clock is not deterministic).
+_DET_STATS = (
+    "shard_count", "graph_nodes", "graph_edges", "db_queries_issued",
+    "dedup_hits", "dedup_misses", "groups", "grouped_requests",
+    "fallback_requests", "divergences", "steps", "multi_steps",
+    "group_alphas",
+)
+
+
+def _epoch_execution(app, n=24, epoch_size=8, seed=7):
+    executor = Executor(
+        app,
+        scheduler=RandomScheduler(seed),
+        max_concurrency=4,
+        nondet=NondetSource(seed=seed),
+        epoch_size=epoch_size,
+    )
+    execution = executor.serve(counter_requests(n))
+    assert execution.epoch_marks, "need interior quiescent cuts"
+    return execution
+
+
+def _shard_summary(stats):
+    return [
+        {k: s[k] for k in ("shard", "requests", "events", "accepted",
+                           "groups")}
+        for s in stats.get("shards", [])
+    ]
+
+
+def _assert_equivalent(one_shot, merged):
+    assert merged.accepted == one_shot.accepted, (
+        merged.reason, merged.detail)
+    assert merged.reason == one_shot.reason
+    assert merged.produced == one_shot.produced
+    for key in _DET_STATS:
+        assert merged.stats.get(key) == one_shot.stats.get(key), key
+    assert _shard_summary(merged.stats) == _shard_summary(one_shot.stats)
+
+
+def _session_audit(app, execution, trace=None, config=None,
+                   pipelined=False):
+    trace = trace if trace is not None else execution.trace
+    shards = partition_audit_inputs(trace, execution.reports,
+                                    cuts=execution.epoch_marks)
+    auditor = Auditor(app, config or AuditConfig())
+    return auditor.audit_epochs(shards, execution.initial_state,
+                                pipelined=pipelined)
+
+
+def test_session_matches_one_shot_honest(counter_app):
+    execution = _epoch_execution(counter_app)
+    one_shot = ssco_audit(counter_app, execution.trace, execution.reports,
+                          execution.initial_state,
+                          epoch_cuts=execution.epoch_marks)
+    assert one_shot.accepted
+    assert one_shot.stats["shard_count"] > 1
+    merged = _session_audit(counter_app, execution)
+    _assert_equivalent(one_shot, merged)
+
+
+def test_pipelined_session_matches_one_shot(counter_app):
+    execution = _epoch_execution(counter_app)
+    one_shot = ssco_audit(counter_app, execution.trace, execution.reports,
+                          execution.initial_state,
+                          epoch_cuts=execution.epoch_marks)
+    merged = _session_audit(counter_app, execution, pipelined=True)
+    _assert_equivalent(one_shot, merged)
+
+
+def test_session_matches_one_shot_faulty(counter_app):
+    execution = _epoch_execution(counter_app)
+    # Tamper a response that lands *after* the first cut so the session
+    # accepts at least one epoch before rejecting.
+    cut = execution.epoch_marks[0]
+    victim = next(e.rid for e in execution.trace.events[cut:]
+                  if e.is_response and e.payload.body)
+    tampered = tamper_response(execution.trace, victim, "forged!")
+    one_shot = ssco_audit(counter_app, tampered, execution.reports,
+                          execution.initial_state,
+                          epoch_cuts=execution.epoch_marks)
+    assert not one_shot.accepted
+    assert one_shot.reason is RejectReason.OUTPUT_MISMATCH
+    merged = _session_audit(counter_app, execution, trace=tampered)
+    _assert_equivalent(one_shot, merged)
+    assert merged.produced == {}
+
+
+@pytest.mark.parametrize("workload_name", ["wiki", "forum", "hotcrp"])
+@pytest.mark.parametrize("faulty", [False, True])
+def test_session_equivalence_all_workloads(workload_name, faulty):
+    from repro.bench.harness import run_online_phase
+    from repro.workloads import (
+        forum_workload,
+        hotcrp_workload,
+        wiki_workload,
+    )
+
+    factory = {"wiki": wiki_workload, "forum": forum_workload,
+               "hotcrp": hotcrp_workload}[workload_name]
+    workload = factory(scale=0.005, seed=2)
+    execution = run_online_phase(workload, seed=2, epoch_size=20)
+    assert execution.epoch_marks
+    trace = execution.trace
+    if faulty:
+        victim = next(e.rid for e in reversed(trace.events)
+                      if e.is_response and e.payload.body)
+        trace = tamper_response(trace, victim, "forged!")
+    one_shot = ssco_audit(workload.app, trace, execution.reports,
+                          execution.initial_state,
+                          epoch_cuts=execution.epoch_marks)
+    assert one_shot.accepted is (not faulty), (
+        one_shot.reason, one_shot.detail)
+    merged = _session_audit(workload.app, execution, trace=trace)
+    _assert_equivalent(one_shot, merged)
+
+
+def test_session_from_bundle_reader_stream(tmp_path, counter_app):
+    """The acceptance-criteria path: epochs streamed from a segmented
+    JSONL bundle into a session match the one-shot audit bit for bit."""
+    execution = _epoch_execution(counter_app)
+    path = str(tmp_path / "bundle.jsonl")
+    save_audit_bundle_segmented(path, execution.trace, execution.reports,
+                                execution.initial_state,
+                                execution.epoch_marks)
+    one_shot = ssco_audit(counter_app, execution.trace, execution.reports,
+                          execution.initial_state,
+                          epoch_cuts=execution.epoch_marks)
+    with BundleReader(path) as reader:
+        initial = reader.read_initial_state()
+        merged = Auditor(counter_app, AuditConfig()).audit_epochs(
+            reader.epochs(), initial
+        )
+    _assert_equivalent(one_shot, merged)
+
+
+def test_epochs_after_rejection_are_skipped(counter_app):
+    execution = _epoch_execution(counter_app)
+    victim = next(e.rid for e in execution.trace.events
+                  if e.is_response and e.payload.body)
+    tampered = tamper_response(execution.trace, victim, "forged!")
+    shards = partition_audit_inputs(tampered, execution.reports,
+                                    cuts=execution.epoch_marks)
+    assert len(shards) > 2
+    auditor = Auditor(counter_app)
+    with auditor.session(execution.initial_state) as session:
+        results = [session.feed_epoch(s.trace, s.reports) for s in shards]
+    assert not results[0].accepted
+    assert not results[0].skipped
+    for later in results[1:]:
+        assert later.skipped and not later.accepted
+        assert later.reason is results[0].reason
+        assert "already rejected" in later.detail
+    merged = session.close()
+    assert not merged.accepted
+    assert merged.reason is results[0].reason
+    assert session.rejected
+
+
+def test_session_chains_migrated_state(counter_app):
+    execution = _epoch_execution(counter_app)
+    shards = partition_audit_inputs(execution.trace, execution.reports,
+                                    cuts=execution.epoch_marks)
+    auditor = Auditor(counter_app, AuditConfig(migrate=True))
+    session = auditor.session(execution.initial_state)
+    assert session.current_state is execution.initial_state
+    first = session.feed_epoch(shards[0].trace, shards[0].reports)
+    assert first.accepted and bool(first)
+    assert session.current_state is not execution.initial_state
+    for shard in shards[1:]:
+        session.feed_epoch(shard.trace, shard.reports)
+    merged = session.close()
+    assert merged.accepted
+    # migrate=True surfaces the final chained state, like one-shot.
+    one_shot = ssco_audit(counter_app, execution.trace, execution.reports,
+                          execution.initial_state, migrate=True,
+                          epoch_cuts=execution.epoch_marks)
+    assert merged.next_initial is not None
+    from repro.io import state_to_json
+    assert state_to_json(merged.next_initial) == \
+        state_to_json(one_shot.next_initial)
+    # close() is idempotent.
+    assert session.close() is merged
+
+
+def test_feed_epoch_async_requires_pipelined_session(counter_app,
+                                                     honest_run):
+    session = Auditor(counter_app).session(honest_run.initial_state)
+    with pytest.raises(RuntimeError, match="pipelined"):
+        session.feed_epoch_async(honest_run.trace, honest_run.reports)
+    session.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        session.feed_epoch(honest_run.trace, honest_run.reports)
+
+
+def test_pipelined_feed_overlaps_ingest(counter_app):
+    execution = _epoch_execution(counter_app)
+    shards = partition_audit_inputs(execution.trace, execution.reports,
+                                    cuts=execution.epoch_marks)
+    auditor = Auditor(counter_app)
+    with auditor.session(execution.initial_state,
+                         pipelined=True) as session:
+        pending = [session.feed_epoch_async(s.trace, s.reports)
+                   for s in shards]
+        results = [p.result() for p in pending]
+        assert all(p.done() for p in pending)
+    assert [r.index for r in results] == list(range(len(shards)))
+    assert all(r.accepted for r in results)
+    assert session.epochs == results
+
+
+def test_session_requires_migrate_phase(counter_app, honest_run):
+    # A custom pipeline without MigratePhase cannot chain epoch state.
+    stripped = AuditPipeline(default_pipeline().phases[:-1])
+    auditor = Auditor(counter_app, pipeline=stripped)
+    session = auditor.session(honest_run.initial_state)
+    with pytest.raises(ValueError, match="MigratePhase"):
+        session.feed_epoch(honest_run.trace, honest_run.reports)
+
+
+def test_auditor_rejects_config_plus_knobs(counter_app):
+    with pytest.raises(ValueError, match="not both"):
+        Auditor(counter_app, AuditConfig(), workers=2)
+    # Keyword knobs alone build (and validate) a config.
+    assert Auditor(counter_app, workers=2).config.workers == 2
+    with pytest.raises(ValueError):
+        Auditor(counter_app, workers=-1)
+
+
+def test_auditor_one_shot_matches_ssco_audit(counter_app, honest_run):
+    direct = ssco_audit(counter_app, honest_run.trace, honest_run.reports,
+                        honest_run.initial_state)
+    service = Auditor(counter_app).audit(
+        honest_run.trace, honest_run.reports, honest_run.initial_state
+    )
+    assert service.accepted and direct.accepted
+    assert service.produced == direct.produced
+    for key in _DET_STATS[1:]:
+        assert service.stats.get(key) == direct.stats.get(key), key
+
+
+def test_auditor_one_shot_validates_cuts_against_trace(counter_app,
+                                                       honest_run):
+    auditor = Auditor(counter_app,
+                      AuditConfig(epoch_cuts=(10 ** 9,)))
+    with pytest.raises(ValueError, match="out of range"):
+        auditor.audit(honest_run.trace, honest_run.reports,
+                      honest_run.initial_state)
+
+
+# -- re-exec backends ---------------------------------------------------------
+
+
+def test_two_backends_registered():
+    assert {"accinterp", "interp"} <= set(available_backends())
+
+
+def test_interp_backend_verdict_and_bodies_match(counter_app, honest_run):
+    acc = ssco_audit(counter_app, honest_run.trace, honest_run.reports,
+                     honest_run.initial_state)
+    ref = ssco_audit(counter_app, honest_run.trace, honest_run.reports,
+                     honest_run.initial_state, backend="interp")
+    assert acc.accepted and ref.accepted
+    assert ref.produced == acc.produced
+    # The reference backend runs per request: everything is fallback.
+    assert ref.stats["fallback_requests"] == \
+        acc.stats["grouped_requests"] + acc.stats["fallback_requests"]
+
+
+def test_interp_backend_still_rejects_tampering(counter_app, honest_run):
+    victim = next(e.rid for e in honest_run.trace.events
+                  if e.is_response and e.payload.body)
+    tampered = tamper_response(honest_run.trace, victim, "forged!")
+    ref = ssco_audit(counter_app, tampered, honest_run.reports,
+                     honest_run.initial_state, backend="interp")
+    assert not ref.accepted
+    assert ref.reason is RejectReason.OUTPUT_MISMATCH
+
+
+def test_backend_selectable_through_session(counter_app):
+    execution = _epoch_execution(counter_app)
+    one_shot = ssco_audit(counter_app, execution.trace, execution.reports,
+                          execution.initial_state,
+                          epoch_cuts=execution.epoch_marks,
+                          backend="interp")
+    merged = _session_audit(counter_app, execution,
+                            config=AuditConfig(backend="interp"))
+    _assert_equivalent(one_shot, merged)
+
+
+def test_register_custom_backend(counter_app, honest_run):
+    class EchoBackend(PlainInterpBackend):
+        name = "test-echo"
+
+    register_reexec_backend("test-echo", EchoBackend)
+    try:
+        assert "test-echo" in available_backends()
+        config = AuditConfig(backend="test-echo")  # validates
+        audit = Auditor(counter_app, config).audit(
+            honest_run.trace, honest_run.reports, honest_run.initial_state
+        )
+        assert audit.accepted
+    finally:
+        _BACKENDS.pop("test-echo", None)
+    with pytest.raises(ValueError, match="unknown re-exec backend"):
+        AuditConfig(backend="test-echo")
+
+
+def test_register_backend_rejects_bad_names():
+    with pytest.raises(ValueError):
+        register_reexec_backend("", PlainInterpBackend)
+    with pytest.raises(ValueError):
+        register_reexec_backend(None, PlainInterpBackend)
+
+
+# -- the cross-epoch uniqid check ---------------------------------------------
+
+
+TOKEN_SRC = {
+    "token.php": """
+$u = uniqid();
+kv_set('tok', $u);
+echo 'ok';
+""",
+}
+
+
+def _swap(value, old, new):
+    if value == old:
+        return new
+    if isinstance(value, tuple):
+        return tuple(_swap(item, old, new) for item in value)
+    return value
+
+
+def test_session_threads_uniqid_check_across_epochs():
+    """A uniqid duplicated *across* epochs is invisible to each epoch
+    alone; the session's threaded seen-set must still catch it, exactly
+    as the one-shot whole-report-set check does (§4.6)."""
+    app = Application.from_sources("token", TOKEN_SRC)
+    executor = Executor(
+        app, scheduler=RandomScheduler(3), max_concurrency=2,
+        nondet=NondetSource(seed=3), epoch_size=4,
+    )
+    execution = executor.serve(
+        [Request(f"t{i}", "token.php") for i in range(8)]
+    )
+    assert execution.epoch_marks
+    cut = execution.epoch_marks[0]
+    rid_a = next(e.rid for e in execution.trace.events[:cut]
+                 if e.is_request)
+    rid_b = next(e.rid for e in execution.trace.events[cut:]
+                 if e.is_request)
+
+    reports = copy.deepcopy(execution.reports)
+    value_a = next(r.value for r in reports.nondet[rid_a]
+                   if r.func == "uniqid")
+    value_b = next(r.value for r in reports.nondet[rid_b]
+                   if r.func == "uniqid")
+    # A lying server replays epoch 0's token in epoch 1, consistently:
+    # the nondet report and the KV op log both carry the duplicate.
+    reports.nondet[rid_b] = [
+        type(r)(r.func, r.args, _swap(r.value, value_b, value_a))
+        for r in reports.nondet[rid_b]
+    ]
+    for obj, log in reports.op_logs.items():
+        reports.op_logs[obj] = [
+            OpRecord(r.rid, r.opnum, r.optype,
+                     _swap(r.opcontents, value_b, value_a))
+            if r.rid == rid_b else r
+            for r in log
+        ]
+
+    one_shot = ssco_audit(app, execution.trace, reports,
+                          execution.initial_state)
+    assert not one_shot.accepted
+    assert one_shot.reason is RejectReason.NONDET_IMPLAUSIBLE
+
+    shards = partition_audit_inputs(execution.trace, reports,
+                                    cuts=execution.epoch_marks)
+    assert len(shards) >= 2
+    # Each epoch alone is internally plausible: auditing epoch 1 against
+    # epoch 0's migrated state ACCEPTS — the duplicate is only visible
+    # across the stream.
+    first = ssco_audit(app, shards[0].trace, shards[0].reports,
+                       execution.initial_state, migrate=True)
+    assert first.accepted
+    alone = ssco_audit(app, shards[1].trace, shards[1].reports,
+                       first.next_initial)
+    assert alone.accepted
+    # The session is not fooled.
+    with Auditor(app).session(execution.initial_state) as session:
+        results = [session.feed_epoch(s.trace, s.reports) for s in shards]
+    assert results[0].accepted
+    assert not results[1].accepted
+    assert results[1].reason is RejectReason.NONDET_IMPLAUSIBLE
+    assert "duplicate uniqid" in results[1].detail
+
+
+def test_epoch_result_shape(counter_app):
+    execution = _epoch_execution(counter_app)
+    shards = partition_audit_inputs(execution.trace, execution.reports,
+                                    cuts=execution.epoch_marks)
+    with Auditor(counter_app).session(execution.initial_state) as session:
+        epoch = session.feed_epoch(shards[0].trace, shards[0].reports)
+    assert isinstance(epoch, EpochResult)
+    assert epoch.index == 0
+    assert epoch.requests == shards[0].request_count
+    assert epoch.events == len(shards[0].trace)
+    assert epoch.produced  # this epoch's bodies only
+    assert set(epoch.produced) == set(shards[0].trace.request_ids())
+    assert "reexec" in epoch.phases and "total" in epoch.phases
+    assert isinstance(session, AuditSession)
+
+
+def test_pipelined_session_surfaces_worker_crash_at_close(counter_app,
+                                                          honest_run):
+    """An unexpected exception inside a worker-thread audit must never
+    be swallowed: a session whose epoch crashed cannot report ACCEPTED,
+    even if the caller dropped the PendingEpoch handle."""
+    stripped = AuditPipeline(default_pipeline().phases[:-1])
+    auditor = Auditor(counter_app, pipeline=stripped)
+    session = auditor.session(honest_run.initial_state, pipelined=True)
+    session.submit_epoch(honest_run.trace, honest_run.reports)  # dropped
+    with pytest.raises(ValueError, match="MigratePhase"):
+        session.close()
+
+
+def test_session_total_excludes_ingest_wait(counter_app):
+    """phases['total'] is summed audit time, not wall-clock since the
+    session opened — a follow session is mostly waiting for epochs."""
+    import time as _t
+
+    execution = _epoch_execution(counter_app)
+    shards = partition_audit_inputs(execution.trace, execution.reports,
+                                    cuts=execution.epoch_marks)
+    with Auditor(counter_app).session(execution.initial_state) as session:
+        session.feed_epoch(shards[0].trace, shards[0].reports)
+        _t.sleep(0.3)  # the "next epoch" is still being recorded
+        session.feed_epoch(shards[1].trace, shards[1].reports)
+    merged = session.close()
+    audited = sum(e.phases.get("total", 0.0) for e in session.epochs)
+    assert merged.phases["total"] < 0.25
+    assert merged.phases["total"] >= audited

@@ -1,0 +1,163 @@
+"""The unified, validated audit configuration (repro.core.config)."""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import pytest
+
+from repro.core.config import AuditConfig, parse_epoch_cuts
+from repro.core.pipeline import AuditOptions
+from repro.core.reexec import DEFAULT_BACKEND, DEFAULT_MAX_GROUP
+from repro.trace.trace import Trace
+
+
+def test_defaults_match_ssco_audit():
+    config = AuditConfig()
+    assert config.strict and config.dedup and config.collapse
+    assert not config.strict_registers and not config.migrate
+    assert config.workers == 1
+    assert config.epoch_size == 0
+    assert config.epoch_cuts is None
+    assert config.max_group_size == DEFAULT_MAX_GROUP
+    assert config.backend == DEFAULT_BACKEND
+
+
+@pytest.mark.parametrize("kwargs,fragment", [
+    (dict(workers=0), "workers"),
+    (dict(workers=-2), "workers"),
+    (dict(workers=2.5), "workers"),
+    (dict(epoch_size=-1), "epoch_size"),
+    (dict(epoch_size="10"), "epoch_size"),
+    (dict(max_group_size=0), "max_group_size"),
+    (dict(epoch_cuts=(0, 5)), "positive"),
+    (dict(epoch_cuts=(-3,)), "positive"),
+    (dict(epoch_cuts=(10, 10)), "strictly increasing"),
+    (dict(epoch_cuts=(30, 20)), "strictly increasing"),
+    (dict(backend="no-such-engine"), "unknown re-exec backend"),
+    (dict(strict="yes"), "strict"),
+    (dict(dedup=1), "dedup"),
+])
+def test_validation_rejects_nonsense(kwargs, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        AuditConfig(**kwargs)
+
+
+def test_epoch_cuts_normalized_to_tuple():
+    config = AuditConfig(epoch_cuts=[10, 20, 30])
+    assert config.epoch_cuts == (10, 20, 30)
+
+
+def test_validate_for_trace_bounds():
+    trace = Trace()
+    config = AuditConfig(epoch_cuts=(2,))
+    with pytest.raises(ValueError, match="out of range"):
+        config.validate_for_trace(trace)
+
+
+def test_replace_revalidates():
+    config = AuditConfig(workers=2)
+    assert config.replace(workers=4).workers == 4
+    with pytest.raises(ValueError):
+        config.replace(workers=-1)
+    # The original is immutable and untouched.
+    assert config.workers == 2
+    with pytest.raises(Exception):
+        config.workers = 8
+
+
+def test_json_roundtrip():
+    config = AuditConfig(strict=False, workers=3, epoch_cuts=(5, 9),
+                         backend="interp", max_group_size=100)
+    data = config.to_json()
+    assert data["epoch_cuts"] == [5, 9]  # plain JSON, no tuples
+    json.dumps(data)  # serializable as-is
+    assert AuditConfig.from_json(data) == config
+
+
+def test_from_json_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown audit config keys"):
+        AuditConfig.from_json({"workerz": 2})
+    with pytest.raises(ValueError, match="JSON object"):
+        AuditConfig.from_json([1, 2])
+
+
+def test_save_load_file(tmp_path):
+    path = str(tmp_path / "audit.json")
+    config = AuditConfig(workers=2, epoch_size=50)
+    config.save(path)
+    assert AuditConfig.load(path) == config
+    with open(path) as fh:
+        assert json.load(fh)["workers"] == 2
+
+
+def test_to_options_and_back():
+    config = AuditConfig(strict=False, dedup=False, workers=2,
+                         epoch_cuts=(7,), backend="interp")
+    options = config.to_options()
+    assert isinstance(options, AuditOptions)
+    assert options.workers == 2 and options.backend == "interp"
+    assert AuditConfig.from_options(options) == config
+
+
+def test_from_options_clamps_lenient_workers():
+    # AuditOptions tolerates workers=0 ("serial"); the validated config
+    # normalizes it instead of raising.
+    options = AuditOptions(workers=0)
+    assert AuditConfig.from_options(options).workers == 1
+
+
+def _namespace(**kwargs):
+    defaults = dict(strict=None, no_dedup=None, no_collapse=None,
+                    strict_registers=None, max_group_size=None,
+                    workers=None, epoch_size=None, epoch_cuts=None,
+                    backend=None, config=None)
+    defaults.update(kwargs)
+    return argparse.Namespace(**defaults)
+
+
+def test_from_args_defaults():
+    assert AuditConfig.from_args(_namespace()) == AuditConfig()
+
+
+def test_from_args_flags_layer_over_config_file(tmp_path):
+    path = str(tmp_path / "audit.json")
+    AuditConfig(workers=4, epoch_size=100, backend="interp").save(path)
+    # No flags: the file wins over the defaults.
+    config = AuditConfig.from_args(_namespace(config=path))
+    assert (config.workers, config.epoch_size, config.backend) == \
+        (4, 100, "interp")
+    # Explicit flags win over the file; untouched fields keep its values.
+    config = AuditConfig.from_args(
+        _namespace(config=path, workers=2, no_dedup=True)
+    )
+    assert config.workers == 2
+    assert config.backend == "interp"
+    assert config.dedup is False
+
+
+def test_from_args_validates(tmp_path):
+    with pytest.raises(ValueError):
+        AuditConfig.from_args(_namespace(workers=-1))
+    with pytest.raises(ValueError, match="unknown audit config keys"):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            json.dump({"paralel": 2}, fh)
+        AuditConfig.from_args(_namespace(config=path))
+
+
+def test_parse_epoch_cuts():
+    assert parse_epoch_cuts("100,200, 350") == (100, 200, 350)
+    assert parse_epoch_cuts("42") == (42,)
+    with pytest.raises(ValueError, match="comma-separated"):
+        parse_epoch_cuts("10,abc")
+
+
+def test_describe_mentions_the_interesting_knobs():
+    text = AuditConfig(workers=3, epoch_cuts=(5,), strict=False,
+                       backend="interp").describe()
+    assert "workers=3" in text
+    assert "backend=interp" in text
+    assert "epoch_cuts=[5]" in text
+    assert "no-strict" in text

@@ -118,3 +118,156 @@ def test_audit_rejects_tampered_jsonl_bundle(tmp_path, capsys):
                  "--parallel", "2"])
     assert code == 1
     assert "REJECTED" in capsys.readouterr().out
+
+
+# -- the AuditConfig-driven flag set ------------------------------------------
+
+
+def test_audit_workers_flag_is_canonical(tmp_path, capsys):
+    bundle = str(tmp_path / "bundle.json")
+    main(["record", "--workload", "forum", "--scale", "0.005",
+          "--out", bundle])
+    assert main(["audit", bundle, "--workload", "forum",
+                 "--scale", "0.005", "--workers", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "workers=2" in captured.out
+    assert "deprecated" not in captured.err
+
+
+def test_parallel_and_concurrency_aliases_warn(tmp_path, capsys):
+    bundle = str(tmp_path / "bundle.json")
+    main(["record", "--workload", "forum", "--scale", "0.005",
+          "--out", bundle])
+    capsys.readouterr()
+    assert main(["audit", bundle, "--workload", "forum",
+                 "--scale", "0.005", "--parallel", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "workers=2" in captured.out
+    assert "--parallel is deprecated" in captured.err
+    assert "--workers" in captured.err
+    assert main(["audit", bundle, "--workload", "forum",
+                 "--scale", "0.005", "--concurrency", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "workers=2" in captured.out
+    assert "--concurrency is deprecated" in captured.err
+
+
+def test_audit_backend_flag(tmp_path, capsys):
+    bundle = str(tmp_path / "bundle.json")
+    main(["record", "--workload", "forum", "--scale", "0.005",
+          "--out", bundle])
+    assert main(["audit", bundle, "--workload", "forum",
+                 "--scale", "0.005", "--backend", "interp"]) == 0
+    out = capsys.readouterr().out
+    assert "backend=interp" in out
+    assert "ACCEPTED" in out
+    with pytest.raises(SystemExit):
+        main(["audit", bundle, "--workload", "forum",
+              "--scale", "0.005", "--backend", "bogus"])
+
+
+def test_audit_explicit_epoch_cuts(tmp_path, capsys):
+    bundle = str(tmp_path / "bundle.jsonl")
+    main(["record", "--workload", "wiki", "--scale", "0.005",
+          "--epoch-size", "20", "--format", "jsonl", "--out", bundle])
+    # Replay the recorded marks as explicit --epoch-cuts.
+    import json as _json
+
+    with open(bundle) as fh:
+        marks = [rec["events"] for rec in map(_json.loads, fh)
+                 if rec.get("kind") == "epoch_mark"]
+    assert marks
+    cuts = ",".join(str(mark) for mark in marks)
+    assert main(["audit", bundle, "--workload", "wiki",
+                 "--scale", "0.005", "--epoch-cuts", cuts]) == 0
+    out = capsys.readouterr().out
+    assert f"epoch_cuts={marks}" in out
+    assert "shard(s)" in out
+    # Nonsense cuts are rejected at the boundary, before any auditing.
+    with pytest.raises(SystemExit):
+        main(["audit", bundle, "--workload", "wiki",
+              "--scale", "0.005", "--epoch-cuts", "30,20"])
+
+
+def test_audit_config_file_with_flag_override(tmp_path, capsys):
+    import json as _json
+
+    bundle = str(tmp_path / "bundle.json")
+    config_path = str(tmp_path / "audit.json")
+    main(["record", "--workload", "forum", "--scale", "0.005",
+          "--out", bundle])
+    with open(config_path, "w") as fh:
+        _json.dump({"workers": 2, "backend": "interp"}, fh)
+    assert main(["audit", bundle, "--workload", "forum",
+                 "--scale", "0.005", "--config", config_path]) == 0
+    out = capsys.readouterr().out
+    assert "workers=2" in out and "backend=interp" in out
+    # An explicit flag overrides the file.
+    assert main(["audit", bundle, "--workload", "forum",
+                 "--scale", "0.005", "--config", config_path,
+                 "--workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "workers=1" in out and "backend=interp" in out
+    # Typos in the file are an immediate CLI error.
+    with open(config_path, "w") as fh:
+        _json.dump({"workerz": 2}, fh)
+    with pytest.raises(SystemExit):
+        main(["audit", bundle, "--workload", "forum",
+              "--scale", "0.005", "--config", config_path])
+
+
+def test_record_segmented_then_audit_follow(tmp_path, capsys):
+    bundle = str(tmp_path / "bundle.jsonl")
+    assert main(["record", "--workload", "wiki", "--scale", "0.005",
+                 "--epoch-size", "20", "--format", "jsonl-epochs",
+                 "--out", bundle]) == 0
+    assert main(["audit", bundle, "--workload", "wiki",
+                 "--scale", "0.005", "--follow"]) == 0
+    out = capsys.readouterr().out
+    assert "[jsonl-epochs]" in out
+    assert "epoch 0: ACCEPTED" in out
+    assert "epoch(s)" in out
+
+
+def test_audit_follow_rejects_tampered_epoch(tmp_path, capsys):
+    import json as _json
+
+    bundle = str(tmp_path / "bundle.jsonl")
+    main(["record", "--workload", "wiki", "--scale", "0.005",
+          "--epoch-size", "20", "--format", "jsonl-epochs",
+          "--out", bundle])
+    with open(bundle) as fh:
+        lines = fh.readlines()
+    for index, line in enumerate(lines):
+        record = _json.loads(line)
+        if record.get("kind") == "event" and "response" in record["event"]:
+            if record["event"]["response"]["body"]:
+                record["event"]["response"]["body"] = "forged!"
+                lines[index] = _json.dumps(record) + "\n"
+                break
+    with open(bundle, "w") as fh:
+        fh.writelines(lines)
+    assert main(["audit", bundle, "--workload", "wiki",
+                 "--scale", "0.005", "--follow"]) == 1
+    out = capsys.readouterr().out
+    assert "epoch 0: REJECTED" in out
+    assert "REJECTED: output_mismatch" in out
+
+
+def test_audit_follow_requires_jsonl(tmp_path, capsys):
+    bundle = str(tmp_path / "bundle.json")
+    main(["record", "--workload", "forum", "--scale", "0.005",
+          "--out", bundle])
+    assert main(["audit", bundle, "--workload", "forum",
+                 "--scale", "0.005", "--follow"]) == 2
+    assert "streaming JSONL" in capsys.readouterr().err
+
+
+def test_demo_accepts_workers_flag(capsys):
+    code = main(["demo", "--workload", "forum", "--scale", "0.005",
+                 "--workers", "2", "--epoch-size", "20"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ACCEPTED" in out
+    assert "workers=2" in out
+    assert "shards=" in out

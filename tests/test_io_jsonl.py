@@ -3,16 +3,22 @@
 from __future__ import annotations
 
 import json
+import time
+import threading
 
 import pytest
 
+from repro.core.partition import partition_audit_inputs
 from repro.io import (
+    BundleReader,
+    BundleWriter,
     load_audit_bundle,
     load_audit_bundle_ex,
     load_audit_bundle_jsonl,
     reports_to_json,
     save_audit_bundle,
     save_audit_bundle_jsonl,
+    save_audit_bundle_segmented,
     state_to_json,
     trace_to_json,
 )
@@ -123,3 +129,225 @@ def test_jsonl_requires_initial_state(tmp_path):
         fh.write('{"format": "ssco-jsonl", "version": 1}\n')
     with pytest.raises(ValueError):
         load_audit_bundle_jsonl(path)
+
+
+# -- streaming reader/writer objects ------------------------------------------
+
+
+def test_segmented_bundle_roundtrips_vs_blob(tmp_path, epoch_run):
+    """Streaming-vs-blob: the segmented JSONL layout and the legacy one-
+    blob JSON load back to identical audit inputs."""
+    blob = str(tmp_path / "bundle.json")
+    segmented = str(tmp_path / "bundle.jsonl")
+    save_audit_bundle(blob, epoch_run.trace, epoch_run.reports,
+                      epoch_run.initial_state,
+                      epoch_marks=epoch_run.epoch_marks)
+    save_audit_bundle_segmented(segmented, epoch_run.trace,
+                                epoch_run.reports,
+                                epoch_run.initial_state,
+                                epoch_run.epoch_marks)
+    from_blob = load_audit_bundle_ex(blob)
+    from_stream = load_audit_bundle_ex(segmented)
+    assert trace_to_json(from_stream[0]) == trace_to_json(from_blob[0])
+    assert reports_to_json(from_stream[1]) == reports_to_json(from_blob[1])
+    assert state_to_json(from_stream[2]) == state_to_json(from_blob[2])
+
+
+def test_segmented_epochs_match_partitioner(tmp_path, epoch_run):
+    """BundleReader.epochs on a segmented bundle yields exactly the
+    slices the quiescent-cut partitioner produces."""
+    path = str(tmp_path / "bundle.jsonl")
+    save_audit_bundle_segmented(path, epoch_run.trace, epoch_run.reports,
+                                epoch_run.initial_state,
+                                epoch_run.epoch_marks)
+    shards = partition_audit_inputs(epoch_run.trace, epoch_run.reports,
+                                    cuts=epoch_run.epoch_marks)
+    assert len(shards) > 1
+    with BundleReader(path) as reader:
+        assert reader.segmented
+        state = reader.read_initial_state()
+        assert state_to_json(state) == state_to_json(
+            epoch_run.initial_state)
+        slices = list(reader.epochs())
+    assert [s.index for s in slices] == [s.index for s in shards]
+    for epoch_slice, shard in zip(slices, shards):
+        assert trace_to_json(epoch_slice.trace) == \
+            trace_to_json(shard.trace)
+        assert reports_to_json(epoch_slice.reports) == \
+            reports_to_json(shard.reports)
+        assert epoch_slice.request_count == shard.request_count
+
+
+def test_default_layout_epochs_use_partitioner(tmp_path, epoch_run):
+    path = str(tmp_path / "bundle.jsonl")
+    save_audit_bundle_jsonl(path, epoch_run.trace, epoch_run.reports,
+                            epoch_run.initial_state,
+                            epoch_run.epoch_marks)
+    with BundleReader(path) as reader:
+        assert not reader.segmented
+        slices = list(reader.epochs())
+    shards = partition_audit_inputs(epoch_run.trace, epoch_run.reports,
+                                    cuts=epoch_run.epoch_marks)
+    assert len(slices) == len(shards) > 1
+    total = sum(len(s.trace) for s in slices)
+    assert total == len(epoch_run.trace)
+
+
+def test_bundle_writer_reader_tail_live(tmp_path, epoch_run):
+    """follow=True tails a bundle that is still being written: the
+    reader hands each epoch over as soon as its run is closed, and the
+    writer's end record terminates the stream."""
+    path = str(tmp_path / "live.jsonl")
+    shards = partition_audit_inputs(epoch_run.trace, epoch_run.reports,
+                                    cuts=epoch_run.epoch_marks)
+    started = threading.Event()
+
+    def write_slowly():
+        with BundleWriter(path, segmented=True) as writer:
+            writer.write_state(epoch_run.initial_state)
+            started.set()
+            for shard in shards:
+                writer.write_epoch(shard.trace, shard.reports)
+            writer.write_end()
+
+    writer_thread = threading.Thread(target=write_slowly)
+    writer_thread.start()
+    try:
+        started.wait(timeout=10)
+        with BundleReader(path) as reader:
+            slices = list(reader.epochs(follow=True, poll_interval=0.01,
+                                        idle_timeout=10))
+    finally:
+        writer_thread.join(timeout=10)
+    assert len(slices) == len(shards)
+    for epoch_slice, shard in zip(slices, shards):
+        assert trace_to_json(epoch_slice.trace) == \
+            trace_to_json(shard.trace)
+
+
+def test_follow_gives_up_after_idle_timeout(tmp_path, epoch_run):
+    """An unfinished bundle (no end record) stops a follow reader after
+    idle_timeout seconds without new data."""
+    path = str(tmp_path / "unfinished.jsonl")
+    shards = partition_audit_inputs(epoch_run.trace, epoch_run.reports,
+                                    cuts=epoch_run.epoch_marks)
+    writer = BundleWriter(path, segmented=True)
+    writer.write_state(epoch_run.initial_state)
+    writer.write_epoch(shards[0].trace, shards[0].reports)
+    writer.write_epoch_mark()  # closes epoch 0; epoch 1 never arrives
+    writer.close()
+    with BundleReader(path) as reader:
+        slices = list(reader.epochs(follow=True, poll_interval=0.01,
+                                    idle_timeout=0.1))
+    assert len(slices) == 1
+
+
+def test_reader_tolerates_torn_line_in_follow(tmp_path, epoch_run):
+    """A half-written final line is invisible to a follow reader (it
+    waits) and a hard error on a supposedly finished file."""
+    path = str(tmp_path / "torn.jsonl")
+    shards = partition_audit_inputs(epoch_run.trace, epoch_run.reports,
+                                    cuts=epoch_run.epoch_marks)
+    with BundleWriter(path, segmented=True) as writer:
+        writer.write_state(epoch_run.initial_state)
+        writer.write_epoch(shards[0].trace, shards[0].reports)
+        writer.write_epoch_mark()
+    with open(path, "a") as fh:
+        fh.write('{"kind": "event", "eve')  # torn mid-record
+    with BundleReader(path) as reader:
+        slices = list(reader.epochs(follow=True, poll_interval=0.01,
+                                    idle_timeout=0.1))
+        assert len(slices) == 1
+    with BundleReader(path) as reader:
+        with pytest.raises(ValueError):
+            reader.read_all()
+
+
+def test_save_audit_bundle_dispatches_segmented(tmp_path, epoch_run):
+    path = str(tmp_path / "bundle.jsonl")
+    save_audit_bundle(path, epoch_run.trace, epoch_run.reports,
+                      epoch_run.initial_state,
+                      epoch_marks=epoch_run.epoch_marks,
+                      format="jsonl-epochs")
+    with open(path) as fh:
+        header = json.loads(fh.readline())
+        kinds = [json.loads(line)["kind"] for line in fh if line.strip()]
+    assert header["layout"] == "segmented"
+    assert kinds[-1] == "end"
+    # Auto-detecting loaders read it like any other JSONL bundle.
+    trace, reports, state, _ = load_audit_bundle_ex(path)
+    assert trace_to_json(trace) == trace_to_json(epoch_run.trace)
+    assert reports_to_json(reports) == reports_to_json(epoch_run.reports)
+
+
+def test_final_record_without_trailing_newline_is_kept(tmp_path,
+                                                       epoch_run):
+    """A writer that dies between writing its last record and the
+    newline leaves complete JSON with no trailing '\\n'; the record
+    must load, not silently vanish."""
+    path = str(tmp_path / "bundle.jsonl")
+    save_audit_bundle_jsonl(path, epoch_run.trace, epoch_run.reports,
+                            epoch_run.initial_state,
+                            epoch_run.epoch_marks)
+    with open(path) as fh:
+        content = fh.read()
+    assert content.endswith("\n")
+    with open(path, "w") as fh:
+        fh.write(content[:-1])  # drop only the final newline
+    trace, reports, state, marks = load_audit_bundle_jsonl(path)
+    assert trace_to_json(trace) == trace_to_json(epoch_run.trace)
+    assert reports_to_json(reports) == reports_to_json(epoch_run.reports)
+
+
+def test_reader_open_waits_for_late_header(tmp_path, epoch_run):
+    """BundleReader.open(follow=True) tolerates the startup race: the
+    auditor may be launched before the writer's header is flushed."""
+    path = str(tmp_path / "late.jsonl")
+    shards = partition_audit_inputs(epoch_run.trace, epoch_run.reports,
+                                    cuts=epoch_run.epoch_marks)
+
+    def write_later():
+        time.sleep(0.2)
+        with BundleWriter(path, segmented=True) as writer:
+            writer.write_state(epoch_run.initial_state)
+            writer.write_epoch(shards[0].trace, shards[0].reports)
+            writer.write_end()
+
+    writer_thread = threading.Thread(target=write_later)
+    writer_thread.start()
+    try:
+        reader = BundleReader.open(path, follow=True, poll_interval=0.01,
+                                   idle_timeout=10)
+        with reader:
+            slices = list(reader.epochs(follow=True, poll_interval=0.01,
+                                        idle_timeout=10))
+    finally:
+        writer_thread.join(timeout=10)
+    assert len(slices) == 1
+
+
+def test_reader_open_fails_fast_on_wrong_complete_header(tmp_path):
+    path = str(tmp_path / "foreign.jsonl")
+    with open(path, "w") as fh:
+        fh.write('{"something": "else"}\n')
+    with pytest.raises(ValueError, match="not a ssco-jsonl bundle"):
+        BundleReader.open(path, follow=True, idle_timeout=10)
+
+
+def test_reader_open_times_out_on_missing_file(tmp_path):
+    path = str(tmp_path / "never.jsonl")
+    with pytest.raises(OSError):
+        BundleReader.open(path, follow=True, poll_interval=0.01,
+                          idle_timeout=0.05)
+
+
+def test_batch_savers_do_not_autoflush(tmp_path, epoch_run):
+    path = str(tmp_path / "bundle.jsonl")
+    save_audit_bundle_segmented(path, epoch_run.trace, epoch_run.reports,
+                                epoch_run.initial_state,
+                                epoch_run.epoch_marks)
+    # Behavioral contract: the file still round-trips exactly.
+    trace, reports, state, _ = load_audit_bundle_ex(path)
+    assert trace_to_json(trace) == trace_to_json(epoch_run.trace)
+    # And the live writer keeps flushing by default.
+    assert BundleWriter(str(tmp_path / "live.jsonl")).autoflush

@@ -19,8 +19,10 @@ canonical scaling flag is ``--workers N`` (the old ``--parallel`` and
 the audit subcommand's ``--concurrency`` remain as deprecated aliases);
 ``--epoch-size N`` makes the server drain every N requests
 (``demo``/``record``) and the auditor shard at the resulting quiescent
-cuts, ``--epoch-cuts "i,j,k"`` pins explicit cut positions, and
-``--backend`` selects the registered re-execution engine.
+cuts, ``--epoch-cuts "i,j,k"`` pins explicit cut positions,
+``--epoch-workers N`` audits those epoch shards concurrently (a
+redo-only state precompute materializes each shard's initial state
+first), and ``--backend`` selects the registered re-execution engine.
 
 The built-in workloads are the paper's three applications: ``wiki``,
 ``forum``, ``hotcrp``.
@@ -253,6 +255,12 @@ def main(argv=None) -> int:
         p.add_argument("--parallel", dest="workers", type=int, metavar="N",
                        action=_DeprecatedAlias,
                        help="deprecated alias for --workers")
+        p.add_argument("--epoch-workers", type=int, default=None,
+                       metavar="N",
+                       help="audit epoch shards concurrently in a pool "
+                            "of N after a redo-only state precompute "
+                            "(1 = serial epoch chain; pair with "
+                            "--epoch-size/--epoch-cuts)")
         p.add_argument("--backend", choices=available_backends(),
                        default=None,
                        help="registered re-execution backend "

@@ -32,8 +32,10 @@ from repro.core.pipeline import (
     AuditPipeline,
     AuditPhase,
     default_pipeline,
+    precompute_epoch_states,
     run_audit,
     sharded_audit,
+    state_precompute_pipeline,
 )
 from repro.core.auditor import AuditSession, Auditor, EpochResult
 from repro.core.config import AuditConfig
@@ -65,9 +67,11 @@ __all__ = [
     "find_epoch_cuts",
     "ooo_audit",
     "partition_audit_inputs",
+    "precompute_epoch_states",
     "register_reexec_backend",
     "run_audit",
     "sharded_audit",
     "simple_audit",
     "ssco_audit",
+    "state_precompute_pipeline",
 ]

@@ -25,6 +25,17 @@ around a long-lived service object:
   re-executes — and with ``config.workers > 1`` the re-execution itself
   runs in the existing process pool, so ingest genuinely overlaps audit
   CPU.  Epochs still audit strictly in feed order (state chains).
+* With ``config.epoch_workers > 1`` the chain itself is unrolled: at
+  feed time only the cheap, serial part runs — the cross-epoch checks
+  and the redo-only **state precompute**
+  (:func:`~repro.core.pipeline.state_precompute_pipeline`), which
+  migrates the next epoch's initial state without re-executing anything
+  — and the heavy remainder (grouped re-execution, output comparison)
+  is dispatched to a pool of ``epoch_workers`` threads.  Several epochs
+  audit concurrently; results are merged strictly in feed order, so the
+  per-epoch results and the merged outcome are bit-identical to the
+  serial session (epochs after the first rejection come back *skipped*
+  and their speculative audits are discarded).
 
 Soundness across epochs: the session chains each epoch's §4.5 migrated
 state into the next (acceptance is inductive, as for contiguous audit
@@ -40,22 +51,27 @@ yields exactly the slices :meth:`~AuditSession.feed_epoch` consumes.
 
 from __future__ import annotations
 
+import threading
 import time as _time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.errors import AuditReject, RejectReason
 from repro.core.config import AuditConfig
 from repro.core.nondet import validate_nondet_reports
+from repro.core.partition import make_shard_summary
 from repro.core.pipeline import (
     AuditContext,
     AuditPipeline,
     AuditResult,
     _merge_shard_result,
     default_pipeline,
+    finish_precomputed_audit,
     run_audit,
+    state_precompute_pipeline,
 )
+from repro.core.reexec import available_cpus, fork_inherits_context
 from repro.server.app import Application, InitialState
 from repro.server.reports import Reports
 from repro.trace.trace import Trace, check_balanced
@@ -88,16 +104,30 @@ class EpochResult:
 
 
 class PendingEpoch:
-    """Handle for an epoch fed asynchronously; :meth:`result` blocks."""
+    """Handle for an epoch fed asynchronously; :meth:`result` blocks.
 
-    def __init__(self, index: int, future: "Future[EpochResult]"):
+    In ``epoch_workers`` mode the handle resolves through the session's
+    in-order merge (a ``resolver``/``done_fn`` pair) instead of a bare
+    future, so the result a caller sees is always the *normalized* one
+    — e.g. *skipped* when an earlier epoch's concurrent audit rejected.
+    """
+
+    def __init__(self, index: int,
+                 future: Optional["Future[EpochResult]"] = None,
+                 resolver=None, done_fn=None):
         self.index = index
         self._future = future
+        self._resolver = resolver
+        self._done_fn = done_fn
 
     def result(self, timeout: Optional[float] = None) -> EpochResult:
+        if self._resolver is not None:
+            return self._resolver(timeout)
         return self._future.result(timeout)
 
     def done(self) -> bool:
+        if self._done_fn is not None:
+            return self._done_fn()
         return self._future.done()
 
 
@@ -122,7 +152,39 @@ class AuditSession:
         self._state = initial_state
         self._pipelined = pipelined
         self._pool: Optional[ThreadPoolExecutor] = None
-        if pipelined:
+        self._epoch_pool: Optional[ThreadPoolExecutor] = None
+        config = auditor.config
+        # Concurrent epoch mode needs the stock phase structure (the
+        # prepass stands in for specific phases); custom pipelines keep
+        # the serial chain.
+        epoch_workers = (
+            config.epoch_workers if auditor.pipeline is None else 1
+        )
+        if epoch_workers > 1:
+            # Concurrent epoch mode: the cheap redo-only prepass chains
+            # state serially at submit time; the heavy audits run in
+            # this pool and are merged back strictly in feed order.
+            # (The pipelined single worker thread is superseded — the
+            # epoch pool already decouples feeding from auditing.)
+            self._epoch_pool = ThreadPoolExecutor(
+                max_workers=epoch_workers,
+                thread_name_prefix="audit-epoch",
+            )
+            # Offload each epoch's serial re-exec to a worker process
+            # only where fork lets it inherit the built stores; a spawn
+            # pool would re-run the redo the precompute just did.
+            self._offload = (config.workers == 1 and available_cpus() > 1
+                             and fork_inherits_context())
+            #: Feed-order merge queue: ("skipped"|"precheck"|"rejected"|
+            #: "audit", payload, requests, events) per fed epoch.
+            self._entries: List[Tuple] = []
+            self._merged_upto = 0
+            #: Speculative chain state (redo-only); ``_state`` remains
+            #: the *certified* chain, advanced only at merge time.
+            self._prepass_state = initial_state
+            self._prepass_failed = False
+            self._merge_lock = threading.RLock()
+        elif pipelined:
             # One thread: epochs must audit in feed order (state chains).
             self._pool = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="audit-session"
@@ -137,6 +199,10 @@ class AuditSession:
         self._fed = 0
         self._closed = False
         self._final: Optional[AuditResult] = None
+        #: Latched first crash (a non-AuditReject exception from an
+        #: epoch's audit).  Every later drain/close re-raises it — a
+        #: session that crashed can never fall through to ACCEPTED.
+        self._crash: Optional[BaseException] = None
 
     # -- feeding ----------------------------------------------------------
 
@@ -154,25 +220,39 @@ class AuditSession:
                          reports: Reports) -> PendingEpoch:
         """Queue the next epoch and return immediately.
 
-        Requires a ``pipelined=True`` session.  Epochs audit in feed
-        order on the session's worker thread; the caller is free to
+        Requires a ``pipelined=True`` session or an ``epoch_workers``
+        session (which is natively asynchronous).  Epochs audit in feed
+        order on the session's worker thread (concurrently, merged back
+        in feed order, with ``epoch_workers``); the caller is free to
         ingest the next epoch meanwhile.
         """
-        if not self._pipelined:
+        if not self._pipelined and self._epoch_pool is None:
             raise RuntimeError(
                 "feed_epoch_async requires a pipelined session: "
-                "auditor.session(state, pipelined=True)"
+                "auditor.session(state, pipelined=True) "
+                "(or an epoch_workers > 1 config)"
             )
         return self.submit_epoch(trace, reports)
 
     def submit_epoch(self, trace: Trace, reports: Reports) -> PendingEpoch:
         """Common feed path: synchronous sessions run inline, pipelined
-        sessions enqueue on the worker thread."""
+        sessions enqueue on the worker thread, ``epoch_workers``
+        sessions prepass inline and dispatch to the epoch pool."""
         if self._closed:
             raise RuntimeError("audit session is closed")
         index = self._fed
         self._fed += 1
+        if self._epoch_pool is not None:
+            return self._submit_epoch_concurrent(index, trace, reports)
         if self._pool is not None:
+            # Prune completed, exception-free futures so a long follow
+            # session does not pin every finished epoch's future for
+            # the stream's lifetime; futures that crashed are kept so
+            # close()/_drain can still re-raise them.
+            self._pending = [
+                f for f in self._pending
+                if not f.done() or f.exception() is not None
+            ]
             future = self._pool.submit(self._audit_epoch, index, trace,
                                        reports)
             # Remembered so close()/_drain can re-raise an unexpected
@@ -184,6 +264,198 @@ class AuditSession:
             future: "Future[EpochResult]" = Future()
             future.set_result(self._audit_epoch(index, trace, reports))
         return PendingEpoch(index, future)
+
+    # -- the concurrent (epoch_workers) feed path -------------------------
+
+    def _submit_epoch_concurrent(self, index: int, trace: Trace,
+                                 reports: Reports) -> PendingEpoch:
+        """Feed-order half of the concurrent mode.
+
+        The parts that must run serially happen here, in the caller's
+        thread: the cross-epoch checks (balance, the §4.6 uniqid
+        seen-set) and the redo-only prepass that migrates the next
+        epoch's initial state.  The heavy remainder goes to the epoch
+        pool.  EpochResults are constructed at merge time, strictly in
+        feed order, so verdicts and stats match the serial session even
+        when a rejection is discovered after later epochs were fed.
+        """
+        requests = len(trace.request_ids())
+        events = len(trace)
+        with self._merge_lock:
+            if self._prepass_failed or self._failure is not None:
+                self._entries.append(("skipped", None, requests, events))
+            else:
+                try:
+                    entry = self._prepass_epoch(trace, reports, requests,
+                                                events)
+                except BaseException as crash:
+                    # Keep the merge queue aligned with epoch indexes: a
+                    # crashed prepass still occupies its slot, and the
+                    # crash resurfaces at merge/close time too (a
+                    # session must never report ACCEPTED over an epoch
+                    # whose audit crashed).
+                    self._prepass_failed = True
+                    self._entries.append(("crashed", crash, requests,
+                                          events))
+                    raise
+                self._entries.append(entry)
+        return PendingEpoch(
+            index,
+            resolver=lambda timeout=None: self._resolve(index, timeout),
+            done_fn=lambda: self._entry_done(index),
+        )
+
+    def _prepass_epoch(self, trace: Trace, reports: Reports,
+                       requests: int, events: int) -> Tuple:
+        """One epoch's serial half; returns its merge-queue entry."""
+        try:
+            check_balanced(trace)
+            validate_nondet_reports(reports, self._seen_uniq)
+        except AuditReject as reject:
+            self._prepass_failed = True
+            return ("precheck", reject, requests, events)
+        options = self._auditor.config.to_options()
+        options.epoch_size = 0
+        options.epoch_cuts = None
+        options.epoch_workers = 1
+        options.migrate = True  # the chain always needs the next state
+        options.offload_reexec = self._offload
+        actx = AuditContext(self._auditor.app, trace, reports,
+                            self._prepass_state, options)
+        pre = state_precompute_pipeline().run(actx)
+        if not pre.accepted:
+            # The full audit would reject at the same phase with the
+            # same reason — the prepass *is* that prefix of it — so its
+            # result already carries the epoch's verdict and stats.
+            self._prepass_failed = True
+            return ("rejected", pre, requests, events)
+        self._prepass_state = pre.next_initial
+        future = self._epoch_pool.submit(finish_precomputed_audit, actx)
+        return ("audit", (future, pre.next_initial), requests, events)
+
+    def _resolve(self, index: int,
+                 timeout: Optional[float] = None) -> EpochResult:
+        """Merge entries in feed order up to ``index``; returns its
+        normalized :class:`EpochResult`.
+
+        Pool futures are waited on *outside* the merge lock, so feeding
+        and ``done()`` polls stay responsive while an epoch audits; the
+        merges themselves happen under the lock.  ``timeout`` is an
+        overall deadline for the whole call, not per predecessor epoch.
+        """
+        deadline = (None if timeout is None
+                    else _time.monotonic() + timeout)
+        while True:
+            with self._merge_lock:
+                if index < self._merged_upto:
+                    return self._epochs[index]
+                kind, payload = self._entries[self._merged_upto][:2]
+                if (self._failure is not None or kind != "audit"
+                        or payload[0].done()):
+                    self._merge_next_entry()
+                    continue
+                future = payload[0]
+            remaining = (None if deadline is None
+                         else deadline - _time.monotonic())
+            try:
+                # Lock-free wait; raises TimeoutError past the deadline.
+                # The merge happens under the lock on the next loop turn
+                # (re-checked — another thread may have merged it first).
+                future.exception(remaining)
+            except CancelledError:
+                # An earlier epoch rejected and cancelled this one; the
+                # next turn takes the skipped path.
+                pass
+
+    def _entry_done(self, index: int) -> bool:
+        """True only when ``result()`` would not block: every entry up
+        to ``index`` must be mergeable without waiting (after a
+        recorded failure, merging never waits — later audits are
+        cancelled, not joined)."""
+        with self._merge_lock:
+            if index < self._merged_upto:
+                return True
+            if self._failure is not None:
+                return True
+            for position in range(self._merged_upto, index + 1):
+                kind, payload = self._entries[position][:2]
+                if kind == "audit" and not payload[0].done():
+                    return False
+            return True
+
+    def _merge_next_entry(self) -> None:
+        """Merge the next queued epoch (lock held by the caller; any
+        pool future involved is already done)."""
+        index = self._merged_upto
+        kind, payload, requests, events = self._entries[index]
+        if self._failure is not None:
+            # Everything after the first rejection mirrors the serial
+            # session's *skipped* results; a speculative audit that is
+            # already running is discarded unseen.
+            if kind == "audit":
+                future, _ = payload
+                future.cancel()
+                future.add_done_callback(
+                    lambda f: f.cancelled() or f.exception()
+                )
+            self._epochs.append(EpochResult(
+                index=index,
+                accepted=False,
+                reason=self._failure.reason,
+                detail=f"skipped: epoch {self._failure.index} already "
+                       f"rejected ({self._failure.detail})",
+                requests=requests,
+                events=events,
+                skipped=True,
+            ))
+        elif kind == "crashed":
+            # Re-raise the feed-time crash (see _submit_epoch_concurrent)
+            # so close()/_drain can never report ACCEPTED past it.
+            raise payload
+        elif kind == "precheck":
+            epoch = EpochResult(
+                index=index, accepted=False, reason=payload.reason,
+                detail=payload.detail, requests=requests, events=events,
+            )
+            self._epochs.append(epoch)
+            self._failure = epoch
+            self._merged.produced = {}
+        else:  # "rejected" (a prepass verdict) or "audit" (pool future)
+            if kind == "audit":
+                future, next_state = payload
+                result = future.result()
+            else:
+                result, next_state = payload, None
+            epoch = EpochResult(
+                index=index,
+                accepted=result.accepted,
+                reason=result.reason,
+                detail=result.detail,
+                requests=requests,
+                events=events,
+                phases=result.phases,
+                stats=result.stats,
+                produced=result.produced,
+            )
+            self._epochs.append(epoch)
+            _merge_shard_result(self._merged, result)
+            self._summaries.append(
+                make_shard_summary(index, requests, events, result)
+            )
+            self._audit_seconds += result.phases.get("total", 0.0)
+            if not epoch.accepted:
+                self._failure = epoch
+                self._merged.produced = {}
+            else:
+                # Certify the prepass state: this epoch's full audit
+                # validated the very logs the prepass migrated.
+                self._state = next_state
+        # Release the merged entry's payload (future + migrated-state
+        # snapshot): a long follow session must hold one chain state,
+        # not one per epoch.  ("crashed" entries never reach this line
+        # — they re-raise above and keep their exception.)
+        self._entries[index] = (kind, None, requests, events)
+        self._merged_upto += 1
 
     # -- the per-epoch audit (single-threaded by construction) ------------
 
@@ -258,14 +530,9 @@ class AuditSession:
         self._epochs.append(epoch)
         if result is not None:
             _merge_shard_result(self._merged, result)
-            self._summaries.append({
-                "shard": epoch.index,
-                "requests": epoch.requests,
-                "events": epoch.events,
-                "accepted": epoch.accepted,
-                "reexec_seconds": epoch.phases.get("reexec", 0.0),
-                "groups": epoch.stats.get("groups", 0),
-            })
+            self._summaries.append(make_shard_summary(
+                epoch.index, epoch.requests, epoch.events, result
+            ))
         if not epoch.accepted:
             self._failure = epoch
             self._merged.produced = {}
@@ -299,10 +566,35 @@ class AuditSession:
         return self._failure is not None
 
     def _drain(self) -> None:
-        """Wait for queued pipelined epochs to finish, re-raising any
-        unexpected exception a worker-thread audit hit (rejections are
-        results, not exceptions — only genuine crashes surface here)."""
-        if self._pool is None or self._closed:
+        """Wait for queued epochs to finish, re-raising any unexpected
+        exception an epoch's audit hit (rejections are results, not
+        exceptions — only genuine crashes surface here).  A crash is
+        latched: every later drain/close re-raises it, so a crashed
+        session can never fall through to an ACCEPTED verdict.  In
+        ``epoch_workers`` mode this performs the in-order merge of
+        every fed epoch."""
+        if self._crash is not None:
+            raise self._crash
+        try:
+            self._drain_inner()
+        except Exception as crash:
+            self._crash = crash
+            raise
+        # KeyboardInterrupt/SystemExit raised in the *waiting* thread
+        # propagate un-latched: no epoch audit crashed, and a later
+        # drain can still deliver the real verdict.
+
+    def _drain_inner(self) -> None:
+        if self._closed:
+            return
+        if self._epoch_pool is not None:
+            while True:
+                with self._merge_lock:
+                    total = len(self._entries)
+                    if self._merged_upto >= total:
+                        return
+                self._resolve(total - 1)
+        if self._pool is None:
             return
         pending, self._pending = self._pending, []
         for future in pending:
@@ -328,6 +620,8 @@ class AuditSession:
         finally:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
+            if self._epoch_pool is not None:
+                self._epoch_pool.shutdown(wait=True)
             self._closed = True
         merged = self._merged
         merged.accepted = self._failure is None
@@ -420,18 +714,34 @@ class Auditor:
         consumed — epochs after a rejection come back as cheap *skipped*
         results, so the merged outcome (verdict, stats, shard count) is
         identical to the one-shot sharded audit over the same cuts.
-        Returns the merged result.
+        With ``config.epoch_workers > 1`` the epochs audit concurrently
+        (only the redo-only state prepass runs between submissions) and
+        are merged back in feed order; submission is windowed to
+        ``2 * epoch_workers`` in-flight epochs so a long stream never
+        holds more than a bounded number of primed contexts (their
+        versioned stores) in memory.  Returns the merged result.
         """
         with self.session(initial_state, pipelined=pipelined) as session:
+            window = (2 * self.config.epoch_workers
+                      if session._epoch_pool is not None else 0)
+            pending: List[PendingEpoch] = []
             for item in epochs:
                 if isinstance(item, tuple):
                     trace, reports = item
                 else:
                     trace, reports = item.trace, item.reports
-                # Enqueues on pipelined sessions (the iterable keeps
-                # ingesting while earlier epochs audit); inline on
-                # synchronous ones.
-                session.submit_epoch(trace, reports)
+                # Enqueues on pipelined/epoch_workers sessions (the
+                # iterable keeps ingesting while earlier epochs audit);
+                # inline on synchronous ones.
+                handle = session.submit_epoch(trace, reports)
+                if window:
+                    # Backpressure: settle (and release) the oldest
+                    # epoch before priming more.  Handles are only kept
+                    # when the window consumes them — pipelined and
+                    # synchronous sessions track their own futures.
+                    pending.append(handle)
+                    if len(pending) >= window:
+                        pending.pop(0).result()
             return session.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

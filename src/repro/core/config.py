@@ -67,6 +67,11 @@ class AuditConfig:
     migrate: bool = False
     #: Worker processes for group re-execution; 1 means serial.
     workers: int = 1
+    #: Audit epoch shards concurrently in a pool of this size (a
+    #: redo-only state precompute materializes every epoch's initial
+    #: state first); 1 keeps the serial epoch chain.  Results are
+    #: bit-identical to the serial chain either way.
+    epoch_workers: int = 1
     #: Shard the audit at quiescent cuts every ~N requests; 0 disables.
     epoch_size: int = 0
     #: Explicit cut positions (event indexes, e.g. the executor's epoch
@@ -99,6 +104,11 @@ class AuditConfig:
         if not _is_int(self.workers) or self.workers < 1:
             raise ValueError(
                 f"workers must be an integer >= 1, got {self.workers!r}"
+            )
+        if not _is_int(self.epoch_workers) or self.epoch_workers < 1:
+            raise ValueError(
+                f"epoch_workers must be an integer >= 1, got "
+                f"{self.epoch_workers!r}"
             )
         if not _is_int(self.epoch_size) or self.epoch_size < 0:
             raise ValueError(
@@ -152,6 +162,7 @@ class AuditConfig:
             max_group_size=self.max_group_size,
             migrate=self.migrate,
             workers=self.workers,
+            epoch_workers=self.epoch_workers,
             epoch_size=self.epoch_size,
             epoch_cuts=self.epoch_cuts,
             backend=self.backend,
@@ -169,6 +180,7 @@ class AuditConfig:
             max_group_size=options.max_group_size,
             migrate=options.migrate,
             workers=max(1, options.workers),
+            epoch_workers=max(1, options.epoch_workers),
             epoch_size=options.epoch_size,
             epoch_cuts=tuple(cuts) if cuts is not None else None,
             backend=options.backend,
@@ -235,7 +247,8 @@ class AuditConfig:
             config = cls.load(args.config)
         changes: Dict[str, object] = {}
         for field in ("strict", "strict_registers", "max_group_size",
-                      "workers", "epoch_size", "backend", "migrate"):
+                      "workers", "epoch_workers", "epoch_size", "backend",
+                      "migrate"):
             value = getattr(args, field, None)
             if value is not None:
                 changes[field] = value
@@ -251,6 +264,8 @@ class AuditConfig:
     def describe(self) -> str:
         """One-line human summary (CLI banners)."""
         parts = [f"backend={self.backend}", f"workers={self.workers}"]
+        if self.epoch_workers > 1:
+            parts.append(f"epoch_workers={self.epoch_workers}")
         if self.epoch_cuts:
             parts.append(f"epoch_cuts={list(self.epoch_cuts)}")
         elif self.epoch_size:

@@ -223,3 +223,24 @@ def partition_audit_inputs(
 
 def _whole_shard(trace: Trace, reports: Reports) -> Shard:
     return Shard(0, trace, reports, set(trace.request_ids()))
+
+
+def make_shard_summary(
+    index: int, requests: int, events: int, result
+) -> Dict[str, object]:
+    """One ``stats["shards"]`` entry for an audited shard/epoch.
+
+    Every driver that reports per-shard outcomes — the serial chain,
+    the concurrent epoch driver, and the incremental session — builds
+    its entries here, so the summaries stay bit-for-bit comparable
+    across them.  ``result`` is any object with ``accepted`` /
+    ``phases`` / ``stats`` (an ``AuditResult``).
+    """
+    return {
+        "shard": index,
+        "requests": requests,
+        "events": events,
+        "accepted": result.accepted,
+        "reexec_seconds": result.phases.get("reexec", 0.0),
+        "groups": result.stats.get("groups", 0),
+    }

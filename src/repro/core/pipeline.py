@@ -28,7 +28,20 @@ Scaling entry points layered on the pipeline:
   quiescent trace cuts (see :mod:`repro.core.partition`) and audits them
   as a chain, each shard's migrated state seeding the next — the paper's
   contiguous-epoch scheme (§4.1, §4.5) applied *within* one recorded
-  bundle.
+  bundle;
+* ``AuditOptions.epoch_workers > 1`` audits the epoch shards
+  *concurrently*: a redo-only **state precompute** pass
+  (:func:`state_precompute_pipeline` — trace check, ProcessOpReports,
+  kv.Build/db.Build, §4.5 migration; no re-execution, no output
+  comparison) walks the chain once to materialize every epoch's initial
+  state, then a thread pool finishes each epoch's audit (grouped
+  re-execution + output comparison) independently.  Results merge in
+  epoch order, so verdicts, produced bodies, and per-shard stats are
+  bit-identical to the serial chain.  Soundness: epoch *k*'s prepass
+  state is derived from epochs ``0..k-1``'s logs by the same verifier
+  code the full audit runs, and the merged verdict only ACCEPTS once
+  every earlier epoch's *full* audit certified those logs; the first
+  rejection discards everything after it, exactly like the chain.
 
 :func:`repro.core.verifier.ssco_audit` remains the compatibility
 wrapper: same signature, same :class:`AuditResult` shape, implemented as
@@ -38,15 +51,26 @@ wrapper: same signature, same :class:`AuditResult` shape, implemented as
 from __future__ import annotations
 
 import time as _time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.errors import AuditReject, RejectReason
 from repro.core.nondet import validate_nondet_reports
 from repro.core.ooo import _compare_externals, _compare_outputs
-from repro.core.partition import Shard, partition_audit_inputs
+from repro.core.partition import (
+    Shard,
+    make_shard_summary,
+    partition_audit_inputs,
+)
 from repro.core.process_reports import process_op_reports
-from repro.core.reexec import DEFAULT_BACKEND, DEFAULT_MAX_GROUP, reexec_groups
+from repro.core.reexec import (
+    DEFAULT_BACKEND,
+    DEFAULT_MAX_GROUP,
+    available_cpus,
+    fork_inherits_context,
+    reexec_groups,
+)
 from repro.core.simulate import SimContext
 from repro.objects.base import OpType
 from repro.server.app import Application, InitialState
@@ -74,6 +98,15 @@ class AuditOptions:
     #: Registered re-execution backend that runs each group chunk (see
     #: :func:`repro.core.reexec.register_reexec_backend`).
     backend: str = DEFAULT_BACKEND
+    #: Audit epoch shards concurrently in a thread pool of this size,
+    #: after a redo-only state precompute unlocks the chain; <= 1 keeps
+    #: the serial epoch chain.  Only consulted by :func:`sharded_audit`.
+    epoch_workers: int = 1
+    #: Route re-execution through the worker pool even when ``workers ==
+    #: 1`` (same chunk plan, one worker process): the concurrent epoch
+    #: driver sets this to move each epoch's re-exec CPU off the GIL.
+    #: Never changes produced bodies, verdicts, or deterministic stats.
+    offload_reexec: bool = False
 
 
 @dataclass
@@ -191,6 +224,7 @@ class ReExecPhase(AuditPhase):
             max_group_size=options.max_group_size,
             workers=options.workers,
             backend=options.backend,
+            offload=options.offload_reexec,
         )
         actx.result.phases["db_query"] = actx.sim.db_query_seconds
 
@@ -269,6 +303,100 @@ def default_pipeline(options: Optional[AuditOptions] = None) -> AuditPipeline:
         OutputComparePhase(),
         MigratePhase(),
     ])
+
+
+def state_precompute_pipeline() -> AuditPipeline:
+    """The redo-only prepass: trace check → ProcessOpReports →
+    BuildStores → Migrate — no re-execution, no output comparison.
+
+    With ``migrate=True`` this computes exactly the §4.5 migrated state
+    the full audit would emit: kv.Build/db.Build (Figure 12 lines 5-6)
+    replay the logged writes without re-executing any request, and
+    re-execution itself never mutates the versioned stores.  Walking a
+    shard chain with it therefore materializes every epoch's initial
+    state up front (:func:`precompute_epoch_states`), which is what
+    unlocks auditing the epochs concurrently.
+    """
+    return AuditPipeline([
+        TraceCheckPhase(),
+        ProcessReportsPhase(),
+        BuildStoresPhase(),
+        MigratePhase(),
+    ])
+
+
+def run_state_precompute(
+    app: Application,
+    trace: Trace,
+    reports: Reports,
+    initial_state: InitialState,
+    options: Optional[AuditOptions] = None,
+) -> AuditContext:
+    """Run the redo-only prepass over one epoch slice.
+
+    Returns the *primed* :class:`AuditContext`: graph, OpMap, and
+    versioned stores built, ``result.next_initial`` populated when the
+    options migrate.  :func:`finish_precomputed_audit` completes the
+    audit of a primed context later (possibly on another thread).
+    """
+    actx = AuditContext(app, trace, reports, initial_state, options)
+    state_precompute_pipeline().run(actx)
+    return actx
+
+
+def precompute_epoch_states(
+    app: Application,
+    shards: Sequence[Shard],
+    initial_state: InitialState,
+    options: Optional[AuditOptions] = None,
+) -> Optional[List[AuditContext]]:
+    """Walk the shard chain once with the redo-only prepass.
+
+    Returns one primed context per shard — shard *k*'s context holds
+    the chain state migrated out of shards ``0..k-1`` — or ``None`` if
+    any prepass rejects, in which case the caller falls back to the
+    serial chain (whose full per-epoch audit reproduces the same
+    verdict: the prepass phases are a prefix of the full pipeline).
+    Non-final shards always migrate; the final shard migrates only when
+    the caller's options ask for it.
+
+    Note every returned context holds its shard's built versioned
+    stores, so this materializes O(bundle) state at once; the internal
+    concurrent drivers prime lazily with a bounded window instead —
+    prefer them for large bundles.
+    """
+    options = options or AuditOptions()
+    contexts: List[AuditContext] = []
+    state = initial_state
+    for shard in shards:
+        is_last = shard.index == len(shards) - 1
+        shard_options = replace(
+            options, epoch_size=0, epoch_cuts=None, epoch_workers=1,
+            migrate=options.migrate or not is_last,
+        )
+        actx = run_state_precompute(app, shard.trace, shard.reports,
+                                    state, shard_options)
+        if not actx.result.accepted:
+            return None
+        contexts.append(actx)
+        if not is_last:
+            state = actx.result.next_initial
+    return contexts
+
+
+def finish_precomputed_audit(actx: AuditContext) -> AuditResult:
+    """Complete a prepassed epoch's audit: grouped re-execution and
+    output comparison over the already-built stores.
+
+    Phase timers and stats accumulate on top of the prepass's (the
+    pipeline adds into existing timer keys, and ``phases["total"]`` is
+    restored to cover both passes), so the result is shaped exactly
+    like one full pipeline pass over the same slice.
+    """
+    prepass_total = actx.result.phases.get("total", 0.0)
+    result = AuditPipeline([ReExecPhase(), OutputComparePhase()]).run(actx)
+    result.phases["total"] += prepass_total
+    return result
 
 
 def run_audit(
@@ -370,9 +498,19 @@ def sharded_audit(
     When no usable cut exists this degrades to the ordinary single-pass
     audit.  Partitioning itself never rejects; only the phase checks do.
 
+    With ``options.epoch_workers > 1`` (and the stock pipeline) the
+    chain is unrolled: a redo-only prepass precomputes every shard's
+    initial state, then the shards' audits finish concurrently in a
+    thread pool (each shard's re-execution may itself use worker
+    processes).  Results merge in epoch order, stopping at the first
+    rejection, so the outcome is bit-identical to the serial chain.
+
     A caller-supplied ``pipeline`` is run for every shard; it must
     include a :class:`MigratePhase` (the stock pipelines do), because
     shard chaining consumes each non-final shard's migrated state.
+    Custom pipelines always use the serial chain — the concurrent
+    driver would have to guess which of their phases the prepass may
+    stand in for.
     """
     options = options or AuditOptions()
     merged = AuditResult(accepted=False)
@@ -392,48 +530,184 @@ def sharded_audit(
         merged.phases["total"] = _time.perf_counter() - total_start
         return merged
 
-    state = initial_state
-    shard_summaries: List[Dict[str, object]] = []
     merged.stats["shard_count"] = len(shards)
+    shard_summaries: List[Dict[str, object]] = []
+    if options.epoch_workers > 1 and len(shards) > 1 and pipeline is None:
+        _sharded_audit_concurrent(app, shards, initial_state, options,
+                                  merged, shard_summaries)
+    else:
+        ok, state = _audit_shard_chain(app, shards, len(shards),
+                                       initial_state, options, pipeline,
+                                       merged, shard_summaries)
+        if ok:
+            merged.accepted = True
+            merged.next_initial = state if options.migrate else None
+    merged.stats["shards"] = shard_summaries
+    merged.phases["total"] = _time.perf_counter() - total_start
+    return merged
+
+
+def _audit_shard_chain(
+    app: Application,
+    shards: Sequence[Shard],
+    total_shards: int,
+    state: InitialState,
+    options: AuditOptions,
+    pipeline: Optional[AuditPipeline],
+    merged: AuditResult,
+    shard_summaries: List[Dict[str, object]],
+):
+    """The serial chain over (a tail of) the shard list.
+
+    Audits each shard fully against ``state``, chaining migrated state,
+    merging results and appending summaries.  Returns ``(True,
+    final_state)`` when every shard accepted, ``(False, None)`` after
+    recording the first rejection.  Non-final shards (relative to
+    ``total_shards``) must migrate: their compacted state is the next
+    shard's trusted initial state; the final shard migrates only when
+    the caller asked for it.
+    """
     for shard in shards:
-        # Non-final shards must migrate: their compacted state is the
-        # next shard's trusted initial state.  The final shard migrates
-        # only when the caller asked for it.
-        is_last = shard.index == len(shards) - 1
+        is_last = shard.index == total_shards - 1
         shard_options = replace(
-            options, epoch_size=0, epoch_cuts=None,
+            options, epoch_size=0, epoch_cuts=None, epoch_workers=1,
             migrate=options.migrate or not is_last,
         )
         actx = AuditContext(app, shard.trace, shard.reports, state,
                             shard_options)
         result = (pipeline or default_pipeline(shard_options)).run(actx)
         _merge_shard_result(merged, result)
-        shard_summaries.append({
-            "shard": shard.index,
-            "requests": shard.request_count,
-            "events": len(shard.trace),
-            "accepted": result.accepted,
-            "reexec_seconds": result.phases.get("reexec", 0.0),
-            "groups": result.stats.get("groups", 0),
-        })
+        shard_summaries.append(make_shard_summary(
+            shard.index, shard.request_count, len(shard.trace), result
+        ))
         if not result.accepted:
             merged.accepted = False
             merged.reason = result.reason
             merged.detail = result.detail
             merged.produced = {}
-            break
+            return False, None
         if not is_last and result.next_initial is None:
             raise ValueError(
                 "sharded_audit needs a MigratePhase in the pipeline to "
                 "chain shard state"
             )
         state = result.next_initial
-    else:
-        merged.accepted = True
-        merged.next_initial = state if options.migrate else None
-    merged.stats["shards"] = shard_summaries
-    merged.phases["total"] = _time.perf_counter() - total_start
-    return merged
+    return True, state
+
+
+def _sharded_audit_concurrent(
+    app: Application,
+    shards: Sequence[Shard],
+    initial_state: InitialState,
+    options: AuditOptions,
+    merged: AuditResult,
+    shard_summaries: List[Dict[str, object]],
+) -> None:
+    """Audit the shards concurrently against precomputed initial states.
+
+    The redo-only prepass walks the chain in order; each primed shard
+    is handed to the thread pool immediately, and completed audits are
+    merged back in epoch order.  In-flight shards are windowed to ``2 *
+    epoch_workers`` so peak memory stays bounded by the window, not the
+    bundle (the serial chain holds one shard's versioned stores at a
+    time; this holds at most a window's worth).
+
+    Soundness: shard *k*'s initial state comes from the prepass over
+    shards ``0..k-1``'s logs — the same deterministic kv.Build/db.Build
+    + §4.5 migration the chained audit performs — and the merge only
+    ever reaches shard *k*'s outcome after every earlier shard's *full*
+    audit accepted, i.e. after the logs the prepass replayed were
+    themselves certified.  The first rejection stops priming and
+    discards every later shard's outcome, exactly like the serial
+    chain.  If the prepass itself rejects a shard, the remaining tail
+    is audited by the serial chain (the prepass phases are a prefix of
+    the full pipeline, so the verdict is identical).
+    """
+    prepass_options = options
+    if (options.workers == 1 and available_cpus() > 1
+            and fork_inherits_context()):
+        # Each epoch's re-exec runs serially inside its thread; move it
+        # into a worker process so epochs overlap on real cores.  The
+        # chunk plan is unchanged, so results stay bit-identical.  Only
+        # worthwhile on fork platforms, where the worker inherits the
+        # built stores instead of re-running the redo.
+        prepass_options = replace(options, offload_reexec=True)
+    pool = ThreadPoolExecutor(
+        max_workers=min(options.epoch_workers, len(shards)),
+        thread_name_prefix="epoch-audit",
+    )
+    window = 2 * options.epoch_workers
+    inflight: List = []  # (shard, future) in epoch order
+    precompute_seconds = 0.0
+    state = initial_state  # the prepass chain
+    final_state = None
+    failed = False
+
+    def merge_oldest() -> None:
+        nonlocal failed
+        shard, future = inflight.pop(0)
+        result = future.result()
+        _merge_shard_result(merged, result)
+        shard_summaries.append(make_shard_summary(
+            shard.index, shard.request_count, len(shard.trace), result
+        ))
+        if not result.accepted:
+            merged.accepted = False
+            merged.reason = result.reason
+            merged.detail = result.detail
+            merged.produced = {}
+            failed = True
+
+    try:
+        for position, shard in enumerate(shards):
+            is_last = shard.index == len(shards) - 1
+            shard_options = replace(
+                prepass_options, epoch_size=0, epoch_cuts=None,
+                epoch_workers=1, migrate=options.migrate or not is_last,
+            )
+            prepass_start = _time.perf_counter()
+            actx = run_state_precompute(app, shard.trace, shard.reports,
+                                        state, shard_options)
+            precompute_seconds += _time.perf_counter() - prepass_start
+            if not actx.result.accepted:
+                # Settle what's in flight, then let the serial chain
+                # finish the tail from this shard (it reproduces the
+                # prepass's verdict on it).
+                while inflight and not failed:
+                    merge_oldest()
+                if not failed:
+                    ok, tail_state = _audit_shard_chain(
+                        app, shards[position:], len(shards), state,
+                        options, None, merged, shard_summaries,
+                    )
+                    if ok:  # pragma: no cover - a prepass reject means
+                        # the tail's first full audit rejects too; kept
+                        # for robustness.
+                        merged.accepted = True
+                        merged.next_initial = (
+                            tail_state if options.migrate else None
+                        )
+                return
+            if is_last:
+                final_state = (
+                    actx.result.next_initial if options.migrate else None
+                )
+            else:
+                state = actx.result.next_initial
+            inflight.append((shard, pool.submit(finish_precomputed_audit,
+                                                actx)))
+            if len(inflight) >= window:
+                merge_oldest()  # backpressure: bound primed contexts
+                if failed:
+                    return
+        while inflight and not failed:
+            merge_oldest()
+        if not failed:
+            merged.accepted = True
+            merged.next_initial = final_state
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+        merged.phases["state_precompute"] = precompute_seconds
 
 
 def _merge_shard_result(merged: AuditResult, result: AuditResult) -> None:

@@ -21,16 +21,27 @@ requests in sequence").
 Groups larger than ``max_group_size`` are chunked, mirroring acc-PHP's
 3,000-request group cap (§4.7).
 
-Parallel driver (``workers > 1``): group chunks are embarrassingly
-parallel — each chunk only *reads* the versioned stores, logs, and OpMap
-and only *writes* its own produced bodies and counters — so
-:func:`reexec_groups` can fan the chunk plan out over a
+Parallel driver (``workers > 1``, or ``offload=True``): group chunks
+are embarrassingly parallel — each chunk only *reads* the versioned
+stores, logs, and OpMap and only *writes* its own produced bodies and
+counters — so :func:`reexec_groups` can fan the chunk plan out over a
 ``ProcessPoolExecutor``.  On fork-capable platforms workers inherit the
 parent's already-built simulation context copy-on-write (no pickling,
 no per-worker redo); elsewhere each worker rebuilds it once from a
 pickled payload.  The parent merges produced bodies, regenerated
 externals, and :class:`ReExecStats` in submission order and surfaces
 the *first* failure in that order.
+
+The driver is safe to run concurrently from several threads of one
+process (pipelined audit sessions, the concurrent epoch driver): each
+pool receives its state explicitly through its initializer arguments —
+for fork pools these are handed over in-memory, never pickled — and
+pool creation plus chunk submission (the moments worker processes are
+actually forked/spawned) are serialized under a module lock, so two
+drivers can never interleave their handoffs.  A worker killed
+mid-chunk (``BrokenProcessPool``) is not a verdict: the driver re-runs
+the lost chunks serially in the parent — infrastructure failures never
+escape ``ssco_audit``.
 
 Parallel/serial equivalence: produced bodies are identical by
 construction (re-execution is idempotent per request and chunking is
@@ -68,9 +79,12 @@ at import time work with both pool start methods.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
+import threading
 import time as _time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -315,28 +329,52 @@ def reexec_groups(
     max_group_size: int = DEFAULT_MAX_GROUP,
     workers: int = 1,
     backend: str = DEFAULT_BACKEND,
+    offload: bool = False,
 ) -> Dict[str, str]:
     """Re-execute all groups; returns rid -> produced body.
 
     ``workers > 1`` fans the chunk plan out over a process pool; the
     serial path is preserved verbatim for ``workers <= 1``.  ``backend``
     names the registered re-execution engine that runs each chunk.
-    Raises :class:`AuditReject` on any failed check.
+    ``offload=True`` routes the chunks through the worker pool even when
+    ``workers == 1`` — the chunk *plan* stays the serial one, so
+    produced bodies, verdicts, and deterministic stats are unchanged;
+    only the re-execution CPU moves to a worker process (the concurrent
+    epoch driver uses this to run epochs off the GIL).  Raises
+    :class:`AuditReject` on any failed check.
     """
     requests = trace.requests()
     chunks = plan_chunks(reports, requests, max_group_size, workers)
-    if workers > 1 and len(chunks) > 1:
+    if chunks and ((workers > 1 and len(chunks) > 1) or offload):
         return _reexec_parallel(
             app, requests, reports, ctx, chunks, strict, dedup, collapse,
             workers, backend,
         )
     produced: Dict[str, str] = {}
     stats = ctx.reexec_stats = ReExecStats()
+    _run_chunks_serial(app, chunks, requests, reports, ctx, strict,
+                       dedup, collapse, backend, produced, stats)
+    return produced
+
+
+def _run_chunks_serial(
+    app: Application,
+    chunks: List[List[str]],
+    requests,
+    reports: Reports,
+    ctx: SimContext,
+    strict: bool,
+    dedup: bool,
+    collapse: bool,
+    backend: str,
+    produced: Dict[str, str],
+    stats: ReExecStats,
+) -> None:
+    """The serial chunk loop (also the parallel driver's fallback)."""
     engine = make_backend(backend, app, collapse)
     for chunk in chunks:
         engine.run_chunk(app, chunk, requests, reports, ctx, strict,
                          dedup, produced, stats)
-    return produced
 
 
 def _run_chunk(
@@ -431,12 +469,44 @@ def _run_chunk(
 # -- parallel driver ---------------------------------------------------------
 
 #: Per-process simulation state, built once by the pool initializer.
+#: Worker processes are single-threaded, so this global is race-free
+#: *inside* a worker; the parent process never sets it.
 _WORKER = None
 
-#: Fork handoff: the parent parks its live state here just before
-#: creating a fork-context pool; children inherit it copy-on-write, so
-#: nothing is pickled and the versioned stores are not rebuilt.
-_FORK_HANDOFF = None
+#: Serializes pool creation and chunk submission in the parent.  Worker
+#: processes are forked/spawned lazily at submit time; without the lock,
+#: two drivers running on different threads of one process (pipelined
+#: sessions, concurrent epochs) could fork mid-way through each other's
+#: setup.  Each pool's state travels explicitly via ``initargs`` — there
+#: is no shared handoff global left to race on.
+_POOL_LOCK = threading.Lock()
+
+
+def available_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def fork_inherits_context() -> bool:
+    """True when worker pools can inherit the parent's simulation
+    context via fork (no pickling, no per-worker redo).  Callers use
+    this to decide whether offloading serial re-exec to a worker
+    process is free — on spawn platforms it would re-run the versioned
+    redo per pool, which defeats the state precompute."""
+    return _use_fork()
+
+
+def _use_fork() -> bool:
+    """Fork pools need the platform to support fork *and* the process
+    default to still be fork (tests/CI force spawn to cover the
+    pickled-payload path on fork-capable hosts)."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    return multiprocessing.get_start_method(allow_none=True) in (
+        None, "fork")
 
 
 class _WorkerState:
@@ -453,13 +523,15 @@ class _WorkerState:
         self.engine = make_backend(backend, app, collapse)
 
 
-def _worker_init_fork() -> None:
-    """Pool initializer on fork platforms: adopt the inherited state."""
+def _worker_init_fork(state: Tuple) -> None:
+    """Pool initializer on fork platforms: adopt the parent's live state.
+
+    The tuple arrives through ``initargs``, which fork-context children
+    receive in-memory (no pickling, no per-worker redo) — each pool
+    carries its own state, so concurrent pools cannot cross wires.
+    """
     global _WORKER
-    (app, requests, reports, ctx, strict, dedup, collapse,
-     backend) = _FORK_HANDOFF
-    _WORKER = _WorkerState(app, requests, reports, ctx, strict, dedup,
-                           collapse, backend)
+    _WORKER = _WorkerState(*state)
 
 
 def _worker_init_spawn(payload: bytes) -> None:
@@ -479,8 +551,12 @@ def _worker_run_chunk(rids: List[str]) -> Tuple[bool, object]:
 
     On success the outcome carries the chunk's produced bodies,
     regenerated externals, stats, and counter deltas; on a failed check
-    it carries the reject (reason, detail) — exceptions never cross the
-    process boundary raw, so the parent controls failure ordering.
+    it carries the reject (reason, detail) plus the partial stats and
+    counters the chunk accumulated before failing — exactly what the
+    serial driver would have folded into the context before raising —
+    so rejected parallel audits report the same stats as serial ones.
+    Exceptions never cross the process boundary raw, so the parent
+    controls failure ordering.
     """
     state = _WORKER
     ctx = state.ctx
@@ -492,13 +568,36 @@ def _worker_run_chunk(rids: List[str]) -> Tuple[bool, object]:
                                state.reports, ctx, state.strict,
                                state.dedup, produced, stats)
     except AuditReject as reject:
-        return False, (reject.reason.value, reject.detail)
+        return False, (reject.reason.value, reject.detail, stats,
+                       ctx.counter_delta(before))
     externals = {
         rid: ctx.produced_externals.pop(rid)
         for rid in rids
         if rid in ctx.produced_externals
     }
     return True, (produced, externals, stats, ctx.counter_delta(before))
+
+
+def _make_pool(app, requests, reports, ctx, strict, dedup, collapse,
+               backend, workers) -> ProcessPoolExecutor:
+    """One process pool with its state bound explicitly via initargs."""
+    if _use_fork():
+        state = (app, requests, reports, ctx, strict, dedup, collapse,
+                 backend)
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("fork"),
+            initializer=_worker_init_fork,
+            initargs=(state,),
+        )
+    payload = pickle.dumps((
+        app, requests, reports, ctx.opmap, ctx.initial,
+        ctx.strict_registers, strict, dedup, collapse, backend,
+    ))
+    return ProcessPoolExecutor(
+        max_workers=workers, initializer=_worker_init_spawn,
+        initargs=(payload,),
+    )
 
 
 def _reexec_parallel(
@@ -517,57 +616,65 @@ def _reexec_parallel(
 
     Outcomes are merged in submission order, so the first failure the
     parent raises is the same failure the serial driver would raise.
+    Infrastructure failures (no process support, a worker killed
+    mid-chunk) degrade to serial re-execution of the affected chunks —
+    they are never verdicts and never escape as exceptions.
     """
-    global _FORK_HANDOFF
     produced: Dict[str, str] = {}
     stats = ctx.reexec_stats = ReExecStats()
-    workers = min(workers, len(chunks))
-    use_fork = "fork" in multiprocessing.get_all_start_methods()
-    try:
-        if use_fork:
-            _FORK_HANDOFF = (app, requests, reports, ctx, strict, dedup,
-                             collapse, backend)
-            pool = ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=multiprocessing.get_context("fork"),
-                initializer=_worker_init_fork,
-            )
-        else:
-            payload = pickle.dumps((
-                app, requests, reports, ctx.opmap, ctx.initial,
-                ctx.strict_registers, strict, dedup, collapse, backend,
-            ))
-            pool = ProcessPoolExecutor(
-                max_workers=workers, initializer=_worker_init_spawn,
-                initargs=(payload,),
-            )
-    except (OSError, ValueError, TypeError, AttributeError,
-            pickle.PickleError):
-        # No process support (or an unpicklable payload on a spawn
-        # platform): stay serial — ssco_audit must never raise.
-        _FORK_HANDOFF = None
-        engine = make_backend(backend, app, collapse)
-        for chunk in chunks:
-            engine.run_chunk(app, chunk, requests, reports, ctx, strict,
-                             dedup, produced, stats)
-        return produced
-    try:
-        with pool:
+    workers = max(1, min(workers, len(chunks)))
+    pool = None
+    futures: List = []
+    with _POOL_LOCK:
+        # Creation *and* submission run under the lock: worker processes
+        # are forked/spawned lazily at submit time, and concurrent
+        # drivers in one process must not interleave those forks.
+        try:
+            pool = _make_pool(app, requests, reports, ctx, strict, dedup,
+                              collapse, backend, workers)
             futures = [pool.submit(_worker_run_chunk, chunk)
                        for chunk in chunks]
-            for future in futures:
+        except (OSError, ValueError, TypeError, AttributeError,
+                pickle.PickleError, BrokenProcessPool):
+            # No process support (an unpicklable payload on a spawn
+            # platform, or workers dying during startup): stay serial —
+            # ssco_audit must never raise.
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+            pool = None
+    if pool is None:
+        _run_chunks_serial(app, chunks, requests, reports, ctx, strict,
+                           dedup, collapse, backend, produced, stats)
+        return produced
+    remaining: List[List[str]] = []
+    try:
+        for index, future in enumerate(futures):
+            try:
                 ok, outcome = future.result()
-                if not ok:
-                    reason_value, detail = outcome
-                    raise AuditReject(RejectReason(reason_value), detail)
-                chunk_produced, externals, chunk_stats, counters = outcome
-                produced.update(chunk_produced)
-                for rid, items in externals.items():
-                    ctx.produced_externals[rid] = items
+            except BrokenProcessPool:
+                # A worker was killed mid-chunk; this chunk's result and
+                # everything after it are lost.  Re-execution is
+                # idempotent, so finish those chunks serially below.
+                remaining = chunks[index:]
+                break
+            if not ok:
+                reason_value, detail, chunk_stats, counters = outcome
+                # Fold in the failing chunk's partial accounting first —
+                # the serial driver mutates the context before raising.
                 _merge_stats(stats, chunk_stats)
                 ctx.add_counters(counters)
+                raise AuditReject(RejectReason(reason_value), detail)
+            chunk_produced, externals, chunk_stats, counters = outcome
+            produced.update(chunk_produced)
+            for rid, items in externals.items():
+                ctx.produced_externals[rid] = items
+            _merge_stats(stats, chunk_stats)
+            ctx.add_counters(counters)
     finally:
-        _FORK_HANDOFF = None
+        pool.shutdown(wait=True, cancel_futures=True)
+    if remaining:
+        _run_chunks_serial(app, remaining, requests, reports, ctx, strict,
+                           dedup, collapse, backend, produced, stats)
     return produced
 
 

@@ -19,7 +19,9 @@ Scaling knobs (all default off, preserving the paper's serial audit):
 
 * ``workers`` — fan group re-execution out over N worker processes;
 * ``epoch_size`` / ``epoch_cuts`` — shard the audit at quiescent trace
-  cuts and chain the shards through §4.5 state migration.
+  cuts and chain the shards through §4.5 state migration;
+* ``epoch_workers`` — audit the epoch shards concurrently after a
+  redo-only state precompute materializes each shard's initial state.
 """
 
 from __future__ import annotations
@@ -54,6 +56,7 @@ def ssco_audit(
     epoch_size: int = 0,
     epoch_cuts: Optional[Sequence[int]] = None,
     backend: str = DEFAULT_BACKEND,
+    epoch_workers: int = 1,
 ) -> AuditResult:
     """Run the full audit; never raises :class:`AuditReject`.
 
@@ -86,6 +89,13 @@ def ssco_audit(
             chunk (``"accinterp"`` is the paper's accelerated
             interpreter, ``"interp"`` the plain per-request reference;
             see :func:`repro.core.reexec.register_reexec_backend`).
+        epoch_workers: audit the epoch shards concurrently in a thread
+            pool of this size (<= 1 keeps the serial chain).  A
+            redo-only state precompute materializes each shard's
+            initial state first; verdicts, produced bodies, and
+            per-shard stats are bit-identical to the serial chain (see
+            :func:`repro.core.pipeline.sharded_audit`).  Only
+            meaningful together with ``epoch_size``/``epoch_cuts``.
 
     For long-lived / incremental use, prefer the object API:
     ``Auditor(app, AuditConfig(...))`` (see :mod:`repro.core.auditor`) —
@@ -102,5 +112,6 @@ def ssco_audit(
         epoch_size=epoch_size,
         epoch_cuts=epoch_cuts,
         backend=backend,
+        epoch_workers=epoch_workers,
     )
     return run_audit(app, trace, reports, initial_state, options)

@@ -166,6 +166,24 @@ def test_audit_backend_flag(tmp_path, capsys):
               "--scale", "0.005", "--backend", "bogus"])
 
 
+def test_audit_epoch_workers(tmp_path, capsys):
+    bundle = str(tmp_path / "bundle.jsonl")
+    assert main(["record", "--workload", "forum", "--scale", "0.005",
+                 "--epoch-size", "20", "--format", "jsonl",
+                 "--out", bundle]) == 0
+    assert main(["audit", bundle, "--workload", "forum",
+                 "--scale", "0.005", "--epoch-size", "20",
+                 "--epoch-workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "epoch_workers=2" in out
+    assert "ACCEPTED" in out
+    assert "shard(s)" in out
+    # Nonsense worker counts are rejected at the boundary.
+    with pytest.raises(SystemExit):
+        main(["audit", bundle, "--workload", "forum",
+              "--scale", "0.005", "--epoch-workers", "0"])
+
+
 def test_audit_explicit_epoch_cuts(tmp_path, capsys):
     bundle = str(tmp_path / "bundle.jsonl")
     main(["record", "--workload", "wiki", "--scale", "0.005",

@@ -1,0 +1,174 @@
+"""E10 — live transport: socket vs file-follow epoch throughput.
+
+The live audit feed has two transports behind the same ``epochs()``
+iterator: tailing a segmented JSONL bundle on a (shared) filesystem
+(``BundleReader(follow=True)``) and streaming framed records over TCP
+(``repro.net``: ``BundlePublisher`` → ``RemoteBundleReader``).  This
+benchmark measures what the network layer costs:
+
+* **epoch throughput** — epochs/s (and events/s) a consumer can pull
+  through each transport, publisher running full tilt;
+* **equivalence** — both transports must deliver the same number of
+  epochs with the same event/request counts per epoch.
+
+Run standalone to (re)generate the committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_transport.py \
+        --scale 0.1 --epoch-size 50 --out BENCH_transport.json
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_transport.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time as _time
+
+from repro.bench.harness import run_online_phase
+from repro.core.partition import partition_audit_inputs
+from repro.io import BundleReader, save_audit_bundle_segmented
+from repro.net import BundlePublisher, RemoteBundleReader
+from repro.workloads import wiki_workload
+
+
+def _consume(epochs_iter):
+    """Drain an epoch iterator; returns the per-epoch shape summary."""
+    return [(s.index, len(s.trace), s.request_count)
+            for s in epochs_iter]
+
+
+def measure_file(execution, repeats: int = 1):
+    fd, path = tempfile.mkstemp(suffix=".jsonl", prefix="repro_bench_")
+    os.close(fd)
+    try:
+        save_audit_bundle_segmented(path, execution.trace,
+                                    execution.reports,
+                                    execution.initial_state,
+                                    execution.epoch_marks)
+        best = None
+        for _ in range(max(1, repeats)):
+            started = _time.perf_counter()
+            with BundleReader(path) as reader:
+                reader.read_initial_state()
+                shapes = _consume(reader.epochs(follow=True,
+                                                idle_timeout=30))
+            elapsed = _time.perf_counter() - started
+            if best is None or elapsed < best[1]:
+                best = (shapes, elapsed)
+        return best
+    finally:
+        os.unlink(path)
+
+
+def measure_socket(execution, repeats: int = 1):
+    shards = partition_audit_inputs(execution.trace, execution.reports,
+                                    cuts=execution.epoch_marks)
+    best = None
+    for _ in range(max(1, repeats)):
+        with BundlePublisher() as publisher:
+
+            def publish():
+                publisher.write_state(execution.initial_state)
+                for shard in shards:
+                    publisher.write_epoch(shard.trace, shard.reports)
+                publisher.write_end()
+
+            thread = threading.Thread(target=publish)
+            started = _time.perf_counter()
+            thread.start()
+            with RemoteBundleReader(publisher.endpoint,
+                                    idle_timeout=30) as reader:
+                reader.read_initial_state()
+                shapes = _consume(reader.epochs())
+            elapsed = _time.perf_counter() - started
+            thread.join(timeout=30)
+        if best is None or elapsed < best[1]:
+            best = (shapes, elapsed)
+    return best
+
+
+def run(scale: float, epoch_size: int, seed: int = 1, repeats: int = 2):
+    workload = wiki_workload(scale=scale)
+    execution = run_online_phase(workload, seed=seed,
+                                 epoch_size=epoch_size)
+    file_shapes, file_seconds = measure_file(execution, repeats)
+    socket_shapes, socket_seconds = measure_socket(execution, repeats)
+    assert socket_shapes == file_shapes, (
+        "transports disagree on the epoch stream")
+    epochs = len(file_shapes)
+    events = sum(shape[1] for shape in file_shapes)
+    return {
+        "benchmark": "transport",
+        "workload": "wiki",
+        "scale": scale,
+        "epoch_size": epoch_size,
+        "requests": len(workload.requests),
+        "epochs": epochs,
+        "events": events,
+        "cpu_count": os.cpu_count(),
+        "file_seconds": file_seconds,
+        "socket_seconds": socket_seconds,
+        "file_epochs_per_s": epochs / max(file_seconds, 1e-12),
+        "socket_epochs_per_s": epochs / max(socket_seconds, 1e-12),
+        "file_events_per_s": events / max(file_seconds, 1e-12),
+        "socket_events_per_s": events / max(socket_seconds, 1e-12),
+        "socket_overhead": socket_seconds / max(file_seconds, 1e-12),
+    }
+
+
+# -- pytest entry point --------------------------------------------------------
+
+
+def test_socket_matches_file_and_keeps_up(capsys):
+    """Both transports deliver the identical epoch stream, and the
+    socket path's throughput is within an order of magnitude of the
+    local-file path (it replaces a *shared filesystem*, not a local
+    read — parity is not required, a collapse would be a bug)."""
+    row = run(scale=0.02, epoch_size=25, repeats=2)
+    assert row["epochs"] > 1
+    assert row["socket_epochs_per_s"] > 0.1 * row["file_epochs_per_s"], row
+    with capsys.disabled():
+        print()
+        print("=== socket vs file-follow transport ===")
+        print(f"  epochs={row['epochs']} events={row['events']} "
+              f"file={row['file_seconds'] * 1e3:.1f}ms "
+              f"socket={row['socket_seconds'] * 1e3:.1f}ms "
+              f"({row['socket_overhead']:.2f}x)")
+
+
+# -- standalone entry point ----------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--epoch-size", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="runs per transport (best time wins)")
+    parser.add_argument("--out", default="BENCH_transport.json")
+    args = parser.parse_args(argv)
+    result = run(args.scale, args.epoch_size, seed=args.seed,
+                 repeats=args.repeats)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    print(f"  epochs={result['epochs']} events={result['events']}")
+    print(f"  file-follow: {result['file_seconds'] * 1e3:.1f} ms "
+          f"({result['file_epochs_per_s']:.1f} epochs/s)")
+    print(f"  socket:      {result['socket_seconds'] * 1e3:.1f} ms "
+          f"({result['socket_epochs_per_s']:.1f} epochs/s, "
+          f"{result['socket_overhead']:.2f}x file)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

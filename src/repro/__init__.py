@@ -36,8 +36,12 @@ For continuous deployments, the service API audits epoch by epoch::
             session.feed_epoch(epoch.trace, epoch.reports)
     assert session.close().accepted
 
-See ``examples/quickstart.py`` and ``examples/continuous_audit.py`` for
-the runnable versions.
+The reader can also be a :class:`~repro.net.RemoteBundleReader`
+attached to a recorder's :class:`~repro.net.BundlePublisher` over TCP
+— same iterator contract, no shared filesystem (:mod:`repro.net`).
+
+See ``examples/quickstart.py``, ``examples/continuous_audit.py``, and
+``examples/remote_audit.py`` for the runnable versions.
 """
 
 from repro.core import (
@@ -56,6 +60,7 @@ from repro.core import (
     simple_audit,
     ssco_audit,
 )
+from repro.net import BundlePublisher, RemoteBundleReader
 from repro.server import (
     Application,
     ExecutionResult,
@@ -76,12 +81,14 @@ __all__ = [
     "AuditResult",
     "AuditSession",
     "Auditor",
+    "BundlePublisher",
     "Collector",
     "EpochResult",
     "ExecutionResult",
     "Executor",
     "InitialState",
     "NondetSource",
+    "RemoteBundleReader",
     "Reports",
     "Request",
     "Response",

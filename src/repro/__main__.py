@@ -8,9 +8,13 @@ Commands:
   (trace + reports + initial state) to a file, as the legacy JSON blob,
   the streaming JSONL format (``--format jsonl``), or the per-epoch
   segmented JSONL layout (``--format jsonl-epochs``);
-* ``audit`` — load a bundle (any format) and run the SSCO audit, or
-  tail a live JSONL bundle epoch by epoch (``--follow``) through an
-  incremental :class:`~repro.core.auditor.AuditSession`.
+* ``serve`` — serve a built-in workload and *publish* the audit stream
+  over TCP (``--listen HOST:PORT``) for remote auditors, epoch by
+  epoch, via :class:`~repro.net.publisher.BundlePublisher`;
+* ``audit`` — load a bundle (any format) and run the SSCO audit, tail
+  a live JSONL bundle epoch by epoch (``--follow``), or attach to a
+  remote ``serve`` publisher (``--connect HOST:PORT``) — both stream
+  through an incremental :class:`~repro.core.auditor.AuditSession`.
 
 Every auditing subcommand is driven by one validated
 :class:`~repro.core.config.AuditConfig`: flags layer over an optional
@@ -32,13 +36,26 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.bench import figure9_decomposition, render_table
 from repro.bench.harness import run_audit_phase
 from repro.core import Auditor, simple_audit
 from repro.core.config import AuditConfig, parse_epoch_cuts
+from repro.core.partition import partition_audit_inputs
 from repro.core.reexec import available_backends
-from repro.io import BundleReader, load_audit_bundle_ex, save_audit_bundle
+from repro.io import (
+    BundleReader,
+    BundleWriter,
+    load_audit_bundle_ex,
+    save_audit_bundle,
+)
+from repro.net import (
+    BundlePublisher,
+    ProtocolError,
+    RemoteBundleReader,
+    TransportError,
+)
 from repro.workloads import forum_workload, hotcrp_workload, wiki_workload
 
 _WORKLOADS = {
@@ -142,9 +159,78 @@ def cmd_record(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Record a workload and publish the audit stream over TCP."""
+    config = _config_from_args(args._parser, args)
+    if not config.listen:
+        args._parser.error("serve requires --listen HOST:PORT "
+                           "(port 0 binds an ephemeral port)")
+    workload = _build(args)
+    # Bind before the (long) recording run: a taken or privileged port
+    # fails in milliseconds with a clean error, auditors can attach
+    # early, and the --out mirror is not yet truncated.
+    try:
+        publisher = BundlePublisher(config.listen,
+                                    stall_timeout=config.net_idle_timeout,
+                                    spool_epochs=args.spool_epochs)
+    except OSError as exc:
+        print(f"error: cannot listen on {config.listen}: {exc}",
+              file=sys.stderr)
+        return 2
+    writer = None
+    try:
+        with publisher:
+            print(f"listening on {publisher.endpoint}", flush=True)
+            print(f"serving {len(workload.requests)} {workload.label} "
+                  f"requests (concurrency {args.concurrency}) ...")
+            execution = _serve(workload, args)
+            shards = partition_audit_inputs(execution.trace,
+                                            execution.reports,
+                                            cuts=execution.epoch_marks)
+            if args.out:
+                writer = BundleWriter(args.out, segmented=True)
+                publisher.writer = writer
+            print(f"publishing {len(shards)} epoch(s) on "
+                  f"{publisher.endpoint} "
+                  f"({len(execution.trace)} events, "
+                  f"{execution.reports.op_count_total()} logged ops)",
+                  flush=True)
+            publisher.write_state(execution.initial_state)
+            for shard in shards:
+                publisher.write_epoch(shard.trace, shard.reports)
+                if args.epoch_delay:
+                    time.sleep(args.epoch_delay)
+            publisher.write_end()
+            drained = publisher.wait_drained(timeout=args.linger)
+    finally:
+        if writer is not None:
+            writer.close()
+    if drained:
+        print("stream complete (auditor drained)")
+    else:
+        print("stream complete (no auditor drained the stream within "
+              f"--linger {args.linger}s)")
+    return 0
+
+
 def cmd_audit(args) -> int:
     config = _config_from_args(args._parser, args)
     workload = _build(args)  # the program is the trusted input
+    if config.connect:
+        if args.bundle:
+            args._parser.error(
+                "give either a bundle file or --connect, not both"
+            )
+        if args.follow:
+            args._parser.error(
+                "--follow tails a bundle file; a --connect stream is "
+                "already live (its patience is --net-idle-timeout)"
+            )
+        return _audit_connect(args, workload, config)
+    if not args.bundle:
+        args._parser.error(
+            "audit needs a bundle file (or --connect HOST:PORT)"
+        )
     if args.follow:
         return _audit_follow(args, workload, config)
     trace, reports, initial, epoch_marks = load_audit_bundle_ex(args.bundle)
@@ -186,6 +272,39 @@ def _audit_follow(args, workload, config: AuditConfig) -> int:
         return 2
     print(f"following {args.bundle} against {workload.label} "
           f"({config.describe()}) ...")
+    return _drive_stream_session(reader, workload, config, timeout)
+
+
+def _audit_connect(args, workload, config: AuditConfig) -> int:
+    """Attach to a remote ``repro serve`` publisher and audit its live
+    stream — the paper's deployment with the verifier on its own
+    machine, no shared filesystem."""
+    try:
+        reader = RemoteBundleReader(
+            config.connect,
+            connect_timeout=config.net_connect_timeout,
+            idle_timeout=config.net_idle_timeout,
+            reconnect=config.net_retries,
+        )
+    except (TransportError, ProtocolError, ValueError, OSError) as exc:
+        print(f"error: cannot attach to publisher at {config.connect}: "
+              f"{exc}", file=sys.stderr)
+        return 2
+    print(f"auditing live stream from {config.connect} against "
+          f"{workload.label} ({config.describe()}) ...")
+    try:
+        return _drive_stream_session(reader, workload, config,
+                                     config.net_idle_timeout)
+    except (TransportError, ProtocolError) as exc:
+        print(f"error: live stream failed: {exc}", file=sys.stderr)
+        return 2
+
+
+def _drive_stream_session(reader, workload, config: AuditConfig,
+                          timeout) -> int:
+    """The live audit loop shared by ``--follow`` (file tail) and
+    ``--connect`` (socket): feed each arriving epoch slice into an
+    incremental audit session, print per-epoch verdicts, merge."""
     with reader:
         initial = reader.read_initial_state(follow=True,
                                             idle_timeout=timeout)
@@ -293,13 +412,52 @@ def main(argv=None) -> int:
                              "JSONL (tailable with audit --follow)")
     record.set_defaults(func=cmd_record)
 
-    audit = sub.add_parser("audit", help="audit a saved bundle")
+    serve = sub.add_parser(
+        "serve",
+        help="serve a workload and publish the live audit stream "
+             "over TCP (audit it with: audit --connect HOST:PORT)",
+    )
+    common(serve)
+    serve.add_argument("--concurrency", type=int, default=8,
+                       help="server's max in-flight requests")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="publish the framed audit stream here "
+                            "(port 0 binds an ephemeral port; the bound "
+                            "address is printed)")
+    serve.add_argument("--out", default=None, metavar="BUNDLE.JSONL",
+                       help="also mirror the stream to a segmented "
+                            "JSONL bundle file")
+    serve.add_argument("--epoch-delay", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="pause between published epochs (stands in "
+                            "for a live recorder mid-stream)")
+    serve.add_argument("--linger", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="after the end record, wait this long for "
+                            "an auditor to drain the stream")
+    serve.add_argument("--net-idle-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="drop a subscriber that lags this long "
+                            "(it can reconnect and resume)")
+    serve.add_argument("--spool-epochs", type=int, default=None,
+                       metavar="N",
+                       help="keep only the newest N sealed epochs for "
+                            "late-connect/resume replay (bounds "
+                            "publisher memory; default: keep all)")
+    serve.add_argument("--config", default=None, metavar="AUDIT.JSON",
+                       help="audit config file for the transport knobs "
+                            "(listen, net_idle_timeout); flags override "
+                            "its fields")
+    serve.set_defaults(func=cmd_serve)
+
+    audit = sub.add_parser("audit", help="audit a saved bundle or a "
+                                         "live stream")
     common(audit)
     audit_knobs(audit)
     audit.add_argument("--concurrency", dest="workers", type=int,
                        metavar="N", action=_DeprecatedAlias,
                        help="deprecated alias for --workers")
-    audit.add_argument("bundle")
+    audit.add_argument("bundle", nargs="?", default=None)
     audit.add_argument("--baseline", action="store_true",
                        help="also run the simple re-execution baseline")
     audit.add_argument("--follow", action="store_true",
@@ -309,6 +467,22 @@ def main(argv=None) -> int:
                        metavar="SECONDS",
                        help="--follow: give up after this long without "
                             "new data (default 3s)")
+    audit.add_argument("--connect", default=None, metavar="HOST:PORT",
+                       help="audit the live stream of a `repro serve` "
+                            "publisher instead of a bundle file")
+    audit.add_argument("--net-connect-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="--connect: bound on connect + handshake "
+                            "(refused connections are retried until it "
+                            "expires; default 5s)")
+    audit.add_argument("--net-idle-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="--connect: give up after this long without "
+                            "a frame (default 30s)")
+    audit.add_argument("--net-retries", type=int, default=None,
+                       metavar="N",
+                       help="--connect: resume attempts after a "
+                            "mid-stream disconnect (default 3)")
     audit.set_defaults(func=cmd_audit)
 
     args = parser.parse_args(argv)

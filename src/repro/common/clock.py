@@ -1,0 +1,62 @@
+"""Monotonic deadlines for everything that waits on a stream.
+
+The follow-mode :class:`~repro.io.BundleReader` and the whole
+:mod:`repro.net` transport share one failure mode: "give up after this
+long without progress".  Accumulating assumed sleep intervals
+(``idle += poll_interval``) drifts — a slow ``readline`` or ``recv``
+makes each iteration take longer than the interval, so the giving-up
+point overshoots by the accumulated I/O time.  :class:`Deadline`
+measures the real :func:`time.monotonic` clock instead, and re-arms on
+progress.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """An idle deadline on the monotonic clock.
+
+    ``Deadline(None)`` never expires (wait forever).  Call
+    :meth:`restart` whenever progress happens — the deadline means
+    "this long *without progress*", not "this long in total".
+    """
+
+    __slots__ = ("timeout", "_expires_at")
+
+    def __init__(self, timeout: Optional[float]):
+        self.timeout = timeout
+        self._expires_at = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+
+    def restart(self) -> "Deadline":
+        """Re-arm the same timeout from now (progress was made)."""
+        if self.timeout is not None:
+            self._expires_at = time.monotonic() + self.timeout
+        return self
+
+    def expired(self) -> bool:
+        return (self._expires_at is not None
+                and time.monotonic() >= self._expires_at)
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, clamped at zero; ``None`` when unbounded."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def sleep(self, interval: float) -> None:
+        """Sleep ``interval`` seconds, but never past the deadline."""
+        remaining = self.remaining()
+        if remaining is not None:
+            interval = min(interval, remaining)
+        if interval > 0:
+            time.sleep(interval)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(timeout={self.timeout!r})"

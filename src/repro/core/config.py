@@ -81,6 +81,25 @@ class AuditConfig:
     #: Registered re-execution backend (``"accinterp"``, ``"interp"``,
     #: or anything added via ``register_reexec_backend``).
     backend: str = DEFAULT_BACKEND
+    #: Audit a live stream from a remote publisher at ``HOST:PORT``
+    #: (``repro audit --connect``) instead of a bundle file.
+    connect: Optional[str] = None
+    #: Publish the recorded stream on ``HOST:PORT`` (``repro serve
+    #: --listen``); port 0 binds an ephemeral port.
+    listen: Optional[str] = None
+    #: Transport: bound on connecting + handshaking with the publisher
+    #: (connection-refused is retried until it expires — the auditor
+    #: may start before the recorder).  ``None`` waits forever.
+    net_connect_timeout: Optional[float] = 5.0
+    #: Transport: on the audit side, give up after this long without a
+    #: frame (the same role as the file reader's follow
+    #: ``idle_timeout``); on the serve side, drop a subscriber that
+    #: lags this long (it reconnects and resumes from the spool).
+    #: ``None`` waits / blocks indefinitely.
+    net_idle_timeout: Optional[float] = 30.0
+    #: Transport: resume attempts after a mid-stream disconnect before
+    #: the audit fails (0 disables resume).
+    net_retries: int = 3
 
     def __post_init__(self):
         if self.epoch_cuts is not None and not isinstance(
@@ -135,6 +154,39 @@ class AuditConfig:
                     )
                 previous = cut
         get_reexec_backend(self.backend)  # unknown name -> ValueError
+        # Imported lazily: the core layer has no hard dependency on the
+        # transport package unless a net knob is actually used.
+        for field, endpoint in (("connect", self.connect),
+                                ("listen", self.listen)):
+            if endpoint is None:
+                continue
+            from repro.net.protocol import parse_endpoint
+
+            try:
+                _, port = parse_endpoint(endpoint)
+            except ValueError as exc:
+                raise ValueError(f"{field}: {exc}") from None
+            if field == "connect" and port < 1:
+                raise ValueError(
+                    f"connect needs a real port (1-65535), got "
+                    f"{endpoint!r}"
+                )
+        for field in ("net_connect_timeout", "net_idle_timeout"):
+            value = getattr(self, field)
+            if value is None:
+                continue
+            if (isinstance(value, bool)
+                    or not isinstance(value, (int, float))
+                    or value <= 0):
+                raise ValueError(
+                    f"{field} must be a positive number of seconds "
+                    f"(or None to wait forever), got {value!r}"
+                )
+        if not _is_int(self.net_retries) or self.net_retries < 0:
+            raise ValueError(
+                f"net_retries must be an integer >= 0, got "
+                f"{self.net_retries!r}"
+            )
         return self
 
     def validate_for_trace(self, trace) -> "AuditConfig":
@@ -248,7 +300,9 @@ class AuditConfig:
         changes: Dict[str, object] = {}
         for field in ("strict", "strict_registers", "max_group_size",
                       "workers", "epoch_workers", "epoch_size", "backend",
-                      "migrate"):
+                      "migrate", "connect", "listen",
+                      "net_connect_timeout", "net_idle_timeout",
+                      "net_retries"):
             value = getattr(args, field, None)
             if value is not None:
                 changes[field] = value
@@ -280,6 +334,10 @@ class AuditConfig:
             parts.append("strict-registers")
         if self.max_group_size != DEFAULT_MAX_GROUP:
             parts.append(f"max_group={self.max_group_size}")
+        if self.connect:
+            parts.append(f"connect={self.connect}")
+        if self.listen:
+            parts.append(f"listen={self.listen}")
         return " ".join(parts)
 
 

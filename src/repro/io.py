@@ -54,10 +54,10 @@ round-tripping preserves them exactly via a small tagged encoding
 from __future__ import annotations
 
 import json
-import time as _time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence
 
+from repro.common.clock import Deadline
 from repro.objects.base import OpRecord, OpType
 from repro.server.app import InitialState
 from repro.server.reports import NondetRecord, Reports
@@ -295,6 +295,57 @@ SEGMENTED_LAYOUT = "segmented"
 _JSONL_LOG_CHUNK = 1000
 
 
+# -- record builders ------------------------------------------------------------
+#
+# The streaming record kinds, as plain dicts.  BundleWriter serializes
+# them to JSONL lines; repro.net's BundlePublisher frames the very same
+# dicts over a socket — one encoding, two transports.
+
+
+def state_record(initial_state: InitialState) -> Dict:
+    return {"kind": "state", "state": state_to_json(initial_state)}
+
+
+def event_record(event: Event) -> Dict:
+    return {"kind": "event", "event": _event_to_json(event)}
+
+
+def epoch_mark_record(position: int) -> Dict:
+    return {"kind": "epoch_mark", "events": position}
+
+
+def end_record(position: int) -> Dict:
+    return {"kind": "end", "events": position}
+
+
+def iter_report_records(reports: Reports) -> Iterator[Dict]:
+    """All four report types, op logs chunked at a bounded size."""
+    for tag in reports.groups:
+        yield {"kind": "group", "tag": tag,
+               "rids": list(reports.groups[tag])}
+    for obj, log in reports.op_logs.items():
+        for start in range(0, len(log), _JSONL_LOG_CHUNK):
+            yield {"kind": "op_log", "obj": obj, "records": [
+                {
+                    "rid": rec.rid,
+                    "opnum": rec.opnum,
+                    "optype": rec.optype.value,
+                    "opcontents": _enc(rec.opcontents),
+                }
+                for rec in log[start:start + _JSONL_LOG_CHUNK]
+            ]}
+    yield {"kind": "op_counts", "counts": dict(reports.op_counts)}
+    for rid, records in reports.nondet.items():
+        yield {"kind": "nondet", "rid": rid, "records": [
+            {
+                "func": rec.func,
+                "args": _enc(rec.args),
+                "value": _enc(rec.value),
+            }
+            for rec in records
+        ]}
+
+
 class BundleWriter:
     """Incremental writer of the streaming JSONL bundle.
 
@@ -344,45 +395,22 @@ class BundleWriter:
             self._fh.flush()
 
     def write_state(self, initial_state: InitialState) -> None:
-        self._emit({"kind": "state", "state": state_to_json(initial_state)})
+        self._emit(state_record(initial_state))
 
     def write_event(self, event: Event) -> None:
-        self._emit({"kind": "event", "event": _event_to_json(event)})
+        self._emit(event_record(event))
         self.position += 1
 
     def write_epoch_mark(self, position: Optional[int] = None) -> None:
         """Record a quiescent cut; defaults to the current position."""
         position = self.position if position is None else position
-        self._emit({"kind": "epoch_mark", "events": position})
+        self._emit(epoch_mark_record(position))
         self.epoch_marks.append(position)
 
     def write_reports(self, reports: Reports) -> None:
         """All four report types, op logs chunked at a bounded size."""
-        for tag in reports.groups:
-            self._emit({"kind": "group", "tag": tag,
-                        "rids": list(reports.groups[tag])})
-        for obj, log in reports.op_logs.items():
-            for start in range(0, len(log), _JSONL_LOG_CHUNK):
-                self._emit({"kind": "op_log", "obj": obj, "records": [
-                    {
-                        "rid": rec.rid,
-                        "opnum": rec.opnum,
-                        "optype": rec.optype.value,
-                        "opcontents": _enc(rec.opcontents),
-                    }
-                    for rec in log[start:start + _JSONL_LOG_CHUNK]
-                ]})
-        self._emit({"kind": "op_counts",
-                    "counts": dict(reports.op_counts)})
-        for rid, records in reports.nondet.items():
-            self._emit({"kind": "nondet", "rid": rid, "records": [
-                {
-                    "func": rec.func,
-                    "args": _enc(rec.args),
-                    "value": _enc(rec.value),
-                }
-                for rec in records
-            ]})
+        for record in iter_report_records(reports):
+            self._emit(record)
 
     def write_epoch(self, trace: Trace, reports: Reports) -> None:
         """One self-contained epoch run (segmented layout): the opening
@@ -396,7 +424,7 @@ class BundleWriter:
 
     def write_end(self) -> None:
         """Mark the stream complete (stops ``follow`` readers)."""
-        self._emit({"kind": "end", "events": self.position})
+        self._emit(end_record(self.position))
 
     def close(self) -> None:
         if not self._closed:
@@ -408,6 +436,38 @@ class BundleWriter:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+def dispatch_meta_record(kind: str, record: Dict,
+                         reports: Reports) -> Optional[InitialState]:
+    """Accumulate one non-event record into ``reports``; a ``state``
+    record instead returns the decoded initial state.  Shared by the
+    file reader and :class:`repro.net.client.RemoteBundleReader` — the
+    wire transport carries the very same record dicts."""
+    if kind == "state":
+        return state_from_json(record["state"])
+    if kind == "group":
+        reports.groups.setdefault(record["tag"], []).extend(
+            record["rids"]
+        )
+    elif kind == "op_log":
+        log = reports.op_logs.setdefault(record["obj"], [])
+        for rec in record["records"]:
+            log.append(OpRecord(
+                rec["rid"], rec["opnum"], OpType(rec["optype"]),
+                _dec(rec["opcontents"]),
+            ))
+    elif kind == "op_counts":
+        reports.op_counts.update(record["counts"])
+    elif kind == "nondet":
+        reports.nondet.setdefault(record["rid"], []).extend(
+            NondetRecord(rec["func"], _dec(rec["args"]),
+                         _dec(rec["value"]))
+            for rec in record["records"]
+        )
+    else:
+        raise ValueError(f"unknown bundle record kind {kind!r}")
+    return None
 
 
 @dataclass
@@ -423,6 +483,59 @@ class EpochSlice:
     @property
     def request_count(self) -> int:
         return len(self.trace.request_ids())
+
+
+class EpochAccumulator:
+    """The segmented-stream state machine shared by the file reader and
+    the net client: feed bundle records in order, get
+    :class:`EpochSlice` objects out at each ``epoch_mark``.
+
+    Keeping one copy of this loop is what guarantees the two transports
+    cannot drift: a record stream produces the same slices whether it
+    came off a disk or a socket.
+    """
+
+    def __init__(self, index: int = 0):
+        self.index = index
+        self.trace = Trace()
+        self.reports = Reports()
+        #: Set when a ``state`` record passes through.
+        self.initial_state: Optional[InitialState] = None
+
+    def reset(self, index: int) -> None:
+        """Discard the partial epoch being accumulated (the net
+        client's resume: the publisher replays it from the start)."""
+        self.index = index
+        self.trace = Trace()
+        self.reports = Reports()
+
+    def _cut(self) -> EpochSlice:
+        slice_ = EpochSlice(self.index, self.trace, self.reports)
+        self.index += 1
+        self.trace = Trace()
+        self.reports = Reports()
+        return slice_
+
+    def feed(self, record: Dict) -> Optional[EpochSlice]:
+        """Consume one record; returns the finished slice when the
+        record is an ``epoch_mark`` closing a non-empty epoch."""
+        kind = record["kind"]
+        if kind == "event":
+            self.trace.append(_event_from_json(record["event"]))
+            return None
+        if kind == "epoch_mark":
+            return self._cut() if len(self.trace) else None
+        state = dispatch_meta_record(kind, record, self.reports)
+        if state is not None:
+            self.initial_state = state
+        return None
+
+    def flush(self) -> Optional[EpochSlice]:
+        """The trailing slice at stream end — including a *torn* one
+        (stream stopped mid-epoch): yielding it makes truncation loud
+        (the audit rejects an unbalanced slice) instead of silently
+        passing a shortened stream."""
+        return self._cut() if len(self.trace) else None
 
 
 class BundleReader:
@@ -495,7 +608,10 @@ class BundleReader:
         """
         if not follow:
             return cls(path)
-        idle = 0.0
+        # A real-clock deadline: accumulating assumed sleep intervals
+        # would overshoot the timeout whenever the open/read itself is
+        # slow (network filesystems, a loaded host).
+        deadline = Deadline(idle_timeout)
         while True:
             prefix = None
             try:
@@ -509,10 +625,9 @@ class BundleReader:
                 # Header line complete — or provably not a short JSONL
                 # header; either way the constructor has its answer.
                 return cls(path)
-            if idle_timeout is not None and idle >= idle_timeout:
+            if deadline.expired():
                 return cls(path)  # surfaces the real open/parse error
-            _time.sleep(poll_interval)
-            idle += poll_interval
+            deadline.sleep(poll_interval)
 
     # -- record stream ----------------------------------------------------
 
@@ -532,16 +647,19 @@ class BundleReader:
             yield self._pushback.pop(0)
         if self._ended:
             return
-        idle = 0.0
+        # The idle timeout is measured on the monotonic clock
+        # (repro.common.clock.Deadline, shared with the net transport),
+        # not by summing assumed ``poll_interval`` sleeps — slow reads
+        # must count against the timeout too.
+        deadline = Deadline(idle_timeout)
         while True:
             line = self._fh.readline()
             if not line:
                 if not follow or self._ended:
                     return
-                if idle_timeout is not None and idle >= idle_timeout:
+                if deadline.expired():
                     return
-                _time.sleep(poll_interval)
-                idle += poll_interval
+                deadline.sleep(poll_interval)
                 continue
             if not line.endswith("\n"):
                 # A torn line: the writer is mid-record.  Stash it; the
@@ -563,7 +681,7 @@ class BundleReader:
                 continue
             if self._partial:
                 line, self._partial = self._partial + line, ""
-            idle = 0.0
+            deadline.restart()
             if not line.strip():
                 continue
             record = json.loads(line)
@@ -571,6 +689,11 @@ class BundleReader:
                 self._ended = True
                 return
             yield record
+            # Re-armed after the consumer returns: time spent auditing
+            # an epoch between yields is not stream idleness (the
+            # deadline bounds consecutive empty polls, like the old
+            # accumulator did).
+            deadline.restart()
 
     # -- whole-bundle loading ---------------------------------------------
 
@@ -602,29 +725,9 @@ class BundleReader:
     def _dispatch_meta(self, kind: str, record: Dict,
                        reports: Reports) -> None:
         """Non-event record kinds, accumulated into ``reports``."""
-        if kind == "state":
-            self._initial_state = state_from_json(record["state"])
-        elif kind == "group":
-            reports.groups.setdefault(record["tag"], []).extend(
-                record["rids"]
-            )
-        elif kind == "op_log":
-            log = reports.op_logs.setdefault(record["obj"], [])
-            for rec in record["records"]:
-                log.append(OpRecord(
-                    rec["rid"], rec["opnum"], OpType(rec["optype"]),
-                    _dec(rec["opcontents"]),
-                ))
-        elif kind == "op_counts":
-            reports.op_counts.update(record["counts"])
-        elif kind == "nondet":
-            reports.nondet.setdefault(record["rid"], []).extend(
-                NondetRecord(rec["func"], _dec(rec["args"]),
-                             _dec(rec["value"]))
-                for rec in record["records"]
-            )
-        else:
-            raise ValueError(f"unknown bundle record kind {kind!r}")
+        state = dispatch_meta_record(kind, record, reports)
+        if state is not None:
+            self._initial_state = state
 
     # -- incremental epoch streaming --------------------------------------
 
@@ -686,23 +789,16 @@ class BundleReader:
                 yield EpochSlice(shard.index, shard.trace, shard.reports)
             return
 
-        index = 0
-        trace = Trace()
-        reports = Reports()
+        accumulator = EpochAccumulator()
         for record in self._records(follow, poll_interval, idle_timeout):
-            kind = record["kind"]
-            if kind == "event":
-                trace.append(_event_from_json(record["event"]))
-            elif kind == "epoch_mark":
-                if len(trace):
-                    yield EpochSlice(index, trace, reports)
-                    index += 1
-                    trace = Trace()
-                    reports = Reports()
-            else:
-                self._dispatch_meta(kind, record, reports)
-        if len(trace):
-            yield EpochSlice(index, trace, reports)
+            epoch_slice = accumulator.feed(record)
+            if accumulator.initial_state is not None:
+                self._initial_state = accumulator.initial_state
+            if epoch_slice is not None:
+                yield epoch_slice
+        epoch_slice = accumulator.flush()
+        if epoch_slice is not None:
+            yield epoch_slice
 
     def close(self) -> None:
         if not self._closed:

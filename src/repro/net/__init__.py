@@ -1,0 +1,40 @@
+"""repro.net: the live audit transport.
+
+The paper's verifier audits a *live* service: the recorder ships the
+trace and op reports across a network boundary, not a shared disk.
+This package is that boundary:
+
+* :mod:`repro.net.protocol` — the framed-JSONL wire format (frame =
+  kind + length + JSON payload + CRC-32) and endpoint parsing;
+* :class:`~repro.net.publisher.BundlePublisher` — recorder side: the
+  :class:`~repro.io.BundleWriter` record API served over TCP to any
+  number of auditors, with epoch-aligned spool replay for late
+  connects/resumes and bounded-queue backpressure for lagging ones;
+* :class:`~repro.net.client.RemoteBundleReader` — auditor side: the
+  exact ``epochs()`` / ``initial_state`` contract of
+  :class:`~repro.io.BundleReader`, plus transparent
+  resume-from-last-epoch on disconnect.
+
+CLI: ``python -m repro serve --listen HOST:PORT`` publishes,
+``python -m repro audit --connect HOST:PORT`` audits.  See
+``docs/protocol.md`` for the wire format and resume semantics, and
+``examples/remote_audit.py`` for the two-process quickstart.
+"""
+
+from repro.net.client import RemoteBundleReader
+from repro.net.protocol import (
+    IdleTimeout,
+    ProtocolError,
+    TransportError,
+    parse_endpoint,
+)
+from repro.net.publisher import BundlePublisher
+
+__all__ = [
+    "BundlePublisher",
+    "IdleTimeout",
+    "ProtocolError",
+    "RemoteBundleReader",
+    "TransportError",
+    "parse_endpoint",
+]

@@ -1,0 +1,333 @@
+"""The framed-JSONL wire protocol of the live audit transport.
+
+The file-based streaming bundle is a sequence of JSON records, one per
+line (:mod:`repro.io`).  Over a socket the same records travel in
+**frames** — a line has no integrity story on a network, a frame does:
+
+.. code-block:: text
+
+    frame   := kind (1 byte) | length (4 bytes, big-endian) | payload | crc
+    payload := `length` bytes of UTF-8 JSON
+    crc     := CRC-32 of (kind byte + payload), 4 bytes big-endian
+
+Every connection opens with an 8-byte preamble ``b"SSCO" + version +
+flags`` (two big-endian uint16s), sent by both sides, so a foreign
+client (or a stale peer speaking a future protocol) is rejected before
+any JSON is parsed.  Frame kinds:
+
+* ``HELLO`` — server → client; the bundle header (format, version,
+  layout) plus the granted resume position (``from_epoch``) and the
+  oldest epoch still in the publisher's spool (``spool_start``);
+* ``SUBSCRIBE`` — client → server; ``{"from_epoch": N}`` asks for
+  replay from epoch ``N`` (0 on first connect, the count of fully
+  consumed epochs on a resume);
+* ``RECORD`` — server → client; one bundle record, identical to a
+  JSONL line's dict (``state`` / ``event`` / ``epoch_mark`` / report
+  kinds / ``end``);
+* ``ERROR`` — server → client; ``{"error": msg}``, e.g. a resume from
+  an epoch the spool has already evicted.
+
+A frame whose CRC does not match its payload, whose length field is
+absurd, or that ends mid-payload is *rejected*: :class:`ProtocolError`
+for corruption (fail loud — the evidence stream must not be silently
+mangled), :class:`TransportError` for truncation/disconnect (the
+client's resume machinery handles those).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import zlib
+from typing import Optional, Tuple
+
+from repro.common.clock import Deadline
+
+#: Connection preamble: magic + protocol version + flags.
+MAGIC = b"SSCO"
+PROTOCOL_VERSION = 1
+_PREAMBLE = struct.Struct("!4sHH")
+PREAMBLE = _PREAMBLE.pack(MAGIC, PROTOCOL_VERSION, 0)
+
+_HEADER = struct.Struct("!BI")   # kind, payload length
+_TRAILER = struct.Struct("!I")   # crc32(kind byte + payload)
+
+#: Frame kinds.
+HELLO = 0x01
+SUBSCRIBE = 0x02
+RECORD = 0x03
+ERROR = 0x04
+#: Server → client no-op: proves the stream is alive while the
+#: recorder has nothing to publish yet (e.g. an auditor that attached
+#: before a long recording run finished).  Receivers reset their idle
+#: deadline and otherwise ignore it.
+HEARTBEAT = 0x05
+
+_KNOWN_KINDS = frozenset({HELLO, SUBSCRIBE, RECORD, ERROR, HEARTBEAT})
+
+#: Upper bound on a frame payload; a length beyond this is corruption,
+#: not a big record (the op-log chunking in repro.io bounds real
+#: records far below it).
+MAX_FRAME_PAYLOAD = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """The peer sent bytes that violate the frame format (bad magic,
+    unknown kind, CRC mismatch, absurd length, malformed JSON)."""
+
+
+class TransportError(ConnectionError):
+    """The connection died mid-stream (truncated frame, peer reset,
+    send/recv failure)."""
+
+
+class IdleTimeout(TransportError):
+    """No data arrived within the idle deadline.  The peer may simply
+    have nothing to say (a quiet recorder between epochs) — callers
+    treat this as "give up waiting", not as a broken connection."""
+
+
+def parse_endpoint(text: str) -> Tuple[str, int]:
+    """``"HOST:PORT"`` → ``(host, port)``; raises :class:`ValueError`
+    with the offending text on anything else.  Port 0 is allowed (bind
+    to an ephemeral port); callers that *connect* should require > 0.
+    """
+    if not isinstance(text, str) or ":" not in text:
+        raise ValueError(
+            f"endpoint must look like HOST:PORT, got {text!r}"
+        )
+    host, _, port_text = text.rpartition(":")
+    bracketed = host.startswith("[") and host.endswith("]")
+    if bracketed:
+        host = host[1:-1]  # [::1]:9000
+    if not host:
+        raise ValueError(
+            f"endpoint must name a host, got {text!r}"
+        )
+    if ":" in host and not bracketed:
+        # "::1" would silently misparse as host "::" port 1.
+        raise ValueError(
+            f"IPv6 endpoints need brackets, like [::1]:9000; "
+            f"got {text!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"endpoint port must be an integer, got {text!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(
+            f"endpoint port must be in [0, 65535], got {port}"
+        )
+    return host, port
+
+
+def address_family(host: str) -> int:
+    """The socket family for a host accepted by
+    :func:`parse_endpoint` (an IPv6 literal contains colons)."""
+    return socket.AF_INET6 if ":" in host else socket.AF_INET
+
+
+def encode_frame(kind: int, payload_obj: object) -> bytes:
+    """One wire frame for ``payload_obj`` (JSON-encoded)."""
+    payload = json.dumps(payload_obj, separators=(",", ":")).encode()
+    crc = zlib.crc32(bytes([kind]) + payload) & 0xFFFFFFFF
+    return _HEADER.pack(kind, len(payload)) + payload + _TRAILER.pack(crc)
+
+
+def decode_frame(data: bytes) -> Tuple[int, object, int]:
+    """Decode one frame from the head of ``data``; returns
+    ``(kind, payload_obj, bytes_consumed)``.
+
+    Raises :class:`ProtocolError` on corruption and
+    :class:`TransportError` when ``data`` ends mid-frame (the caller
+    should read more bytes or treat it as a disconnect).
+    """
+    if len(data) < _HEADER.size:
+        raise TransportError("truncated frame header")
+    kind, length = _HEADER.unpack_from(data)
+    _check_header(kind, length)
+    end = _HEADER.size + length + _TRAILER.size
+    if len(data) < end:
+        raise TransportError("truncated frame payload")
+    payload = data[_HEADER.size:_HEADER.size + length]
+    (crc,) = _TRAILER.unpack_from(data, _HEADER.size + length)
+    return kind, _verify(kind, payload, crc), end
+
+
+def _check_header(kind: int, length: int) -> None:
+    if kind not in _KNOWN_KINDS:
+        raise ProtocolError(f"unknown frame kind 0x{kind:02x}")
+    if length > MAX_FRAME_PAYLOAD:
+        raise ProtocolError(
+            f"frame payload of {length} bytes exceeds the "
+            f"{MAX_FRAME_PAYLOAD}-byte bound (corrupt length field?)"
+        )
+
+
+def _verify(kind: int, payload: bytes, crc: int) -> object:
+    expected = zlib.crc32(bytes([kind]) + payload) & 0xFFFFFFFF
+    if crc != expected:
+        raise ProtocolError(
+            f"frame CRC mismatch (got 0x{crc:08x}, "
+            f"expected 0x{expected:08x})"
+        )
+    try:
+        return json.loads(payload.decode())
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"frame payload is not JSON: {exc}") from None
+
+
+class FrameSocket:
+    """A socket that speaks preamble + frames.
+
+    Thin and blocking by design: the publisher gives every subscriber
+    its own sender thread, and the client reads its one stream.  All
+    receive methods take a :class:`~repro.common.clock.Deadline`, the
+    same helper the file-follow reader polls with.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._buffer = bytearray()  # append is amortized O(1)
+        self._closed = False
+
+    # -- sending ----------------------------------------------------------
+
+    def send_preamble(self) -> None:
+        self.send_raw(PREAMBLE)  # OSError -> TransportError, like frames
+
+    def send_frame(self, kind: int, payload_obj: object) -> None:
+        self.send_raw(encode_frame(kind, payload_obj))
+
+    def send_raw(self, frame: bytes) -> None:
+        """Send pre-encoded frame bytes (the publisher encodes each
+        record once and fans the bytes out to every subscriber)."""
+        try:
+            self._sock.sendall(frame)
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
+
+    # -- receiving --------------------------------------------------------
+
+    def _recv_exact(self, count: int, deadline: Deadline) -> bytes:
+        while len(self._buffer) < count:
+            remaining = deadline.remaining()
+            if remaining is not None and remaining <= 0:
+                raise IdleTimeout(
+                    f"no data for {deadline.timeout}s (idle deadline)"
+                )
+            try:
+                self._sock.settimeout(remaining)
+                chunk = self._sock.recv(65536)
+            except socket.timeout:
+                raise IdleTimeout(
+                    f"no data for {deadline.timeout}s (idle deadline)"
+                ) from None
+            except OSError as exc:
+                raise TransportError(f"recv failed: {exc}") from exc
+            if not chunk:
+                raise TransportError("connection closed by peer")
+            self._buffer += chunk
+            # Bytes are progress: the idle deadline means "no data",
+            # so a large frame trickling over a slow link must never
+            # be misread as a mid-frame stall.
+            deadline.restart()
+        data = bytes(self._buffer[:count])
+        del self._buffer[:count]
+        return data
+
+    def recv_preamble(self, deadline: Deadline) -> None:
+        raw = self._recv_exact(_PREAMBLE.size, deadline)
+        magic, version, _flags = _PREAMBLE.unpack(raw)
+        if magic != MAGIC:
+            raise ProtocolError(
+                f"bad preamble magic {magic!r} (not a repro.net peer)"
+            )
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {version} "
+                f"(expected {PROTOCOL_VERSION})"
+            )
+
+    def recv_frame(self, deadline: Deadline) -> Tuple[int, object]:
+        try:
+            header = self._recv_exact(_HEADER.size, deadline)
+        except IdleTimeout:
+            if self._buffer:
+                raise TransportError(
+                    "peer stalled mid-frame (partial header)"
+                ) from None
+            raise
+        kind, length = _HEADER.unpack(header)
+        _check_header(kind, length)
+        try:
+            payload = self._recv_exact(length, deadline)
+            (crc,) = _TRAILER.unpack(
+                self._recv_exact(_TRAILER.size, deadline))
+        except IdleTimeout as exc:
+            # Past the header we are provably mid-frame: a stall here is
+            # truncation (resume territory), never a quiet stream.
+            raise TransportError(
+                f"peer stalled mid-frame: {exc}"
+            ) from None
+        return kind, _verify(kind, payload, crc)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        """Reset the raw socket timeout (``_recv_exact`` leaves the
+        last deadline's remaining time installed; a sender loop that
+        must block indefinitely clears it)."""
+        self._sock.settimeout(timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    def __enter__(self) -> "FrameSocket":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def connect_endpoint(host: str, port: int, timeout: Optional[float],
+                     rcvbuf: Optional[int] = None) -> FrameSocket:
+    """TCP-connect and wrap; raises :class:`TransportError` on failure.
+
+    ``rcvbuf`` caps ``SO_RCVBUF`` (set before connecting, so it bounds
+    the advertised window): a small receive buffer makes a slow auditor
+    exert backpressure on the publisher instead of letting the kernel
+    sponge up megabytes of evidence stream.
+    """
+    sock = None
+    try:
+        if rcvbuf is None:
+            sock = socket.create_connection((host, port),
+                                            timeout=timeout)
+        else:
+            sock = socket.socket(address_family(host),
+                                 socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
+            sock.settimeout(timeout)
+            sock.connect((host, port))
+    except OSError as exc:
+        if sock is not None:
+            sock.close()
+        raise TransportError(
+            f"cannot connect to {host}:{port}: {exc}"
+        ) from exc
+    sock.settimeout(None)
+    return FrameSocket(sock)

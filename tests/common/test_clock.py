@@ -1,0 +1,50 @@
+"""The shared monotonic deadline helper (repro.common.clock)."""
+
+from __future__ import annotations
+
+import time
+
+from repro.common.clock import Deadline
+
+
+def test_none_never_expires():
+    deadline = Deadline(None)
+    assert not deadline.expired()
+    assert deadline.remaining() is None
+    deadline.sleep(0.0)  # no-op, no deadline to clamp against
+    assert not deadline.expired()
+
+
+def test_expiry_measures_real_time():
+    deadline = Deadline(0.05)
+    assert not deadline.expired()
+    time.sleep(0.08)
+    assert deadline.expired()
+    assert deadline.remaining() == 0.0
+
+
+def test_restart_rearms():
+    deadline = Deadline(0.2)
+    time.sleep(0.05)
+    before = deadline.remaining()
+    deadline.restart()
+    assert deadline.remaining() > before
+    assert not deadline.expired()
+
+
+def test_sleep_clamps_to_deadline():
+    deadline = Deadline(0.05)
+    started = time.monotonic()
+    deadline.sleep(10.0)  # must wake at the deadline, not in 10s
+    assert time.monotonic() - started < 1.0
+    assert deadline.expired()
+
+
+def test_overshooting_work_counts_against_the_deadline():
+    """The drift bug this helper fixes: slow work between polls used to
+    be invisible to an accumulated ``idle += poll_interval`` counter."""
+    deadline = Deadline(0.05)
+    time.sleep(0.08)  # "slow I/O" longer than the whole timeout
+    # One iteration of slow work already exhausted the deadline — an
+    # interval accumulator would still read idle=0 here.
+    assert deadline.expired()

@@ -161,3 +161,67 @@ def test_describe_mentions_the_interesting_knobs():
     assert "backend=interp" in text
     assert "epoch_cuts=[5]" in text
     assert "no-strict" in text
+
+
+# -- the live-transport knobs (repro.net) -------------------------------------
+
+
+def test_net_defaults():
+    config = AuditConfig()
+    assert config.connect is None and config.listen is None
+    assert config.net_connect_timeout == 5.0
+    assert config.net_idle_timeout == 30.0
+    assert config.net_retries == 3
+
+
+@pytest.mark.parametrize("kwargs,fragment", [
+    (dict(connect="nohost"), "connect"),
+    (dict(connect="host:notaport"), "connect"),
+    (dict(connect="host:70000"), "connect"),
+    (dict(connect="host:0"), "real port"),
+    (dict(listen="nocolon"), "listen"),
+    (dict(listen=":123"), "listen"),
+    (dict(net_connect_timeout=0), "net_connect_timeout"),
+    (dict(net_connect_timeout=-1.0), "net_connect_timeout"),
+    (dict(net_connect_timeout=True), "net_connect_timeout"),
+    (dict(net_idle_timeout=0.0), "net_idle_timeout"),
+    (dict(net_retries=-1), "net_retries"),
+    (dict(net_retries=1.5), "net_retries"),
+])
+def test_net_validation_rejects_nonsense(kwargs, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        AuditConfig(**kwargs)
+
+
+def test_net_knobs_accept_sane_values():
+    config = AuditConfig(connect="127.0.0.1:9000", listen="0.0.0.0:0",
+                         net_connect_timeout=1.5, net_idle_timeout=None,
+                         net_retries=0)
+    assert config.connect == "127.0.0.1:9000"
+    assert config.listen == "0.0.0.0:0"  # port 0 = ephemeral, valid
+    assert config.net_idle_timeout is None  # wait forever
+
+
+def test_net_json_roundtrip():
+    config = AuditConfig(connect="recorder:9000",
+                         net_connect_timeout=2.0,
+                         net_idle_timeout=None, net_retries=7)
+    data = config.to_json()
+    json.dumps(data)  # serializable as-is
+    assert AuditConfig.from_json(data) == config
+
+
+def test_net_fields_layer_through_from_args(tmp_path):
+    path = str(tmp_path / "audit.json")
+    AuditConfig(connect="filehost:9000", net_retries=9).save(path)
+    config = AuditConfig.from_args(_namespace(
+        config=path, connect="flaghost:9001", net_idle_timeout=12.0,
+    ))
+    assert config.connect == "flaghost:9001"  # flag beats the file
+    assert config.net_retries == 9            # file beats the default
+    assert config.net_idle_timeout == 12.0
+
+
+def test_describe_mentions_endpoints():
+    assert "connect=h:1" in AuditConfig(connect="h:1").describe()
+    assert "listen=h:0" in AuditConfig(listen="h:0").describe()

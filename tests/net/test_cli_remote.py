@@ -1,0 +1,177 @@
+"""The remote-audit CLI surface: ``serve --listen`` / ``audit --connect``."""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench.harness import run_online_phase
+from repro.core.partition import partition_audit_inputs
+from repro.net import BundlePublisher
+from repro.server.faulty import tamper_response
+from repro.workloads import wiki_workload
+
+
+def _publish_workload(publisher, scale=0.005, epoch_size=20,
+                      tamper_rid=None):
+    """Publish a recorded wiki execution the way ``repro serve`` does
+    (the CLI auditor rebuilds the same trusted app from its flags)."""
+    workload = wiki_workload(scale=scale)
+    execution = run_online_phase(workload, seed=1,
+                                 epoch_size=epoch_size)
+    trace = execution.trace
+    if tamper_rid is not None:
+        rid = sorted(trace.request_ids())[tamper_rid]
+        trace = tamper_response(trace, rid, "forged!")
+    publisher.write_state(execution.initial_state)
+    for shard in partition_audit_inputs(trace, execution.reports,
+                                        cuts=execution.epoch_marks):
+        publisher.write_epoch(shard.trace, shard.reports)
+    publisher.write_end()
+
+
+def test_audit_connect_accepts(capsys):
+    with BundlePublisher() as publisher:
+        thread = threading.Thread(target=_publish_workload,
+                                  args=(publisher,))
+        thread.start()
+        code = main(["audit", "--connect", publisher.endpoint,
+                     "--workload", "wiki", "--scale", "0.005"])
+        thread.join(timeout=30)
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"connect={publisher.endpoint}" in out
+    assert "epoch 0: ACCEPTED" in out
+    assert "epoch(s)" in out
+
+
+def test_audit_connect_rejects_tampered_stream(capsys):
+    with BundlePublisher() as publisher:
+        thread = threading.Thread(target=_publish_workload,
+                                  args=(publisher,),
+                                  kwargs={"tamper_rid": 3})
+        thread.start()
+        code = main(["audit", "--connect", publisher.endpoint,
+                     "--workload", "wiki", "--scale", "0.005"])
+        thread.join(timeout=30)
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REJECTED" in out
+
+
+def test_audit_connect_unreachable(capsys):
+    code = main(["audit", "--connect", "127.0.0.1:1",
+                 "--net-connect-timeout", "0.2",
+                 "--workload", "wiki", "--scale", "0.005"])
+    assert code == 2
+    assert "cannot attach" in capsys.readouterr().err
+
+
+def test_audit_connect_and_bundle_are_exclusive(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["audit", str(tmp_path / "bundle.json"),
+              "--connect", "127.0.0.1:9000",
+              "--workload", "wiki", "--scale", "0.005"])
+
+
+def test_audit_needs_bundle_or_connect():
+    with pytest.raises(SystemExit):
+        main(["audit", "--workload", "wiki", "--scale", "0.005"])
+
+
+def test_audit_connect_and_follow_are_exclusive():
+    with pytest.raises(SystemExit):
+        main(["audit", "--connect", "127.0.0.1:9000", "--follow",
+              "--workload", "wiki", "--scale", "0.005"])
+
+
+def test_serve_requires_listen():
+    with pytest.raises(SystemExit):
+        main(["serve", "--workload", "wiki", "--scale", "0.005"])
+
+
+def test_audit_connect_bad_endpoint_rejected():
+    with pytest.raises(SystemExit):
+        main(["audit", "--connect", "not-an-endpoint",
+              "--workload", "wiki", "--scale", "0.005"])
+
+
+def test_serve_listen_port_in_use_fails_clean(capsys):
+    """A taken port is a friendly exit-2 error before any recording."""
+    import socket
+
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    port = blocker.getsockname()[1]
+    try:
+        code = main(["serve", "--workload", "wiki", "--scale", "0.005",
+                     "--listen", f"127.0.0.1:{port}"])
+    finally:
+        blocker.close()
+    assert code == 2
+    assert "cannot listen" in capsys.readouterr().err
+
+
+def test_serve_takes_listen_from_config_file(tmp_path, capsys):
+    import json
+
+    config_path = str(tmp_path / "audit.json")
+    with open(config_path, "w") as fh:
+        json.dump({"listen": "127.0.0.1:0", "net_idle_timeout": 5.0},
+                  fh)
+    code = main(["serve", "--workload", "wiki", "--scale", "0.005",
+                 "--epoch-size", "20", "--config", config_path,
+                 "--linger", "0.2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "listening on 127.0.0.1:" in out
+    assert "stream complete" in out
+
+
+def test_serve_then_connect_two_processes(tmp_path):
+    """The real thing: recorder and auditor as separate OS processes
+    over localhost (the CI smoke job runs the same pair)."""
+    env = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env["PYTHONPATH"] = (os.path.join(root, "src")
+                         + os.pathsep + env.get("PYTHONPATH", ""))
+    mirror = str(tmp_path / "mirror.jsonl")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--workload", "wiki",
+         "--scale", "0.005", "--epoch-size", "20",
+         "--listen", "127.0.0.1:0", "--linger", "60", "--out", mirror],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env, cwd=root,
+    )
+    try:
+        endpoint = None
+        for line in server.stdout:
+            match = re.search(r"on (\d+\.\d+\.\d+\.\d+:\d+)", line)
+            if match:
+                endpoint = match.group(1)
+                break
+        assert endpoint, "serve never printed its endpoint"
+        audit = subprocess.run(
+            [sys.executable, "-m", "repro", "audit",
+             "--connect", endpoint,
+             "--workload", "wiki", "--scale", "0.005"],
+            capture_output=True, text=True, timeout=120, env=env,
+            cwd=root,
+        )
+        assert audit.returncode == 0, audit.stdout + audit.stderr
+        assert "ACCEPTED" in audit.stdout
+        assert server.wait(timeout=60) == 0
+    finally:
+        server.kill()
+        server.stdout.close()
+    # The mirrored bundle audits identically through the file path.
+    assert main(["audit", mirror, "--workload", "wiki",
+                 "--scale", "0.005", "--follow"]) == 0

@@ -242,6 +242,85 @@ def test_follow_gives_up_after_idle_timeout(tmp_path, epoch_run):
     assert len(slices) == 1
 
 
+class _SlowAtEOF:
+    """A file whose empty reads (the polling case) are slow — the I/O
+    pattern that made an interval-accumulating idle counter drift."""
+
+    def __init__(self, fh, delay):
+        self._fh = fh
+        self._delay = delay
+
+    def readline(self):
+        line = self._fh.readline()
+        if not line:
+            time.sleep(self._delay)
+        return line
+
+    def close(self):
+        self._fh.close()
+
+
+def test_follow_idle_timeout_measures_wall_clock(tmp_path, epoch_run):
+    """Regression: ``idle += poll_interval`` assumed each poll cost
+    exactly the sleep interval, so slow reads made ``idle_timeout``
+    overshoot by the accumulated I/O time (20x here).  The deadline is
+    now the real monotonic clock."""
+    path = str(tmp_path / "unfinished.jsonl")
+    shards = partition_audit_inputs(epoch_run.trace, epoch_run.reports,
+                                    cuts=epoch_run.epoch_marks)
+    writer = BundleWriter(path, segmented=True)
+    writer.write_state(epoch_run.initial_state)
+    writer.write_epoch(shards[0].trace, shards[0].reports)
+    writer.write_epoch_mark()  # epoch 1 never arrives: pure polling
+    writer.close()
+    with BundleReader(path) as reader:
+        reader._fh = _SlowAtEOF(reader._fh, delay=0.05)
+        started = time.monotonic()
+        slices = list(reader.epochs(follow=True, poll_interval=0.01,
+                                    idle_timeout=0.2))
+        elapsed = time.monotonic() - started
+    assert len(slices) == 1
+    # With the accumulator, giving up took ~20 polls x (50ms read +
+    # 10ms sleep) = ~1.2s; the real-clock deadline stops near 0.2s.
+    assert elapsed < 0.8, elapsed
+
+
+def test_follow_slow_consumer_gets_fresh_idle_budget(tmp_path,
+                                                     epoch_run):
+    """Time the consumer spends auditing between yields must not count
+    as stream idleness: after a slow epoch, the reader polls a fresh
+    ``idle_timeout`` instead of giving up on resume."""
+    path = str(tmp_path / "live.jsonl")
+    shards = partition_audit_inputs(epoch_run.trace, epoch_run.reports,
+                                    cuts=epoch_run.epoch_marks)
+    assert len(shards) >= 2
+    writer = BundleWriter(path, segmented=True)
+    writer.write_state(epoch_run.initial_state)
+    writer.write_epoch(shards[0].trace, shards[0].reports)
+    writer.write_epoch_mark()  # closes epoch 0
+
+    def late_writer():
+        # Epoch 1 lands *after* the consumer's slow audit resumed.
+        time.sleep(0.6)
+        writer.write_epoch(shards[1].trace, shards[1].reports)
+        writer.write_end()
+        writer.close()
+
+    thread = threading.Thread(target=late_writer)
+    thread.start()
+    slices = []
+    with BundleReader(path) as reader:
+        for epoch_slice in reader.epochs(follow=True, poll_interval=0.01,
+                                         idle_timeout=0.3):
+            slices.append(epoch_slice.index)
+            if len(slices) == 1:
+                time.sleep(0.5)  # "auditing" epoch 0, > idle_timeout
+    thread.join()
+    # The buggy wall-clock deadline expired during the 0.5s audit and
+    # dropped epoch 1; a per-resume fresh budget sees it arrive.
+    assert slices == [0, 1]
+
+
 def test_reader_tolerates_torn_line_in_follow(tmp_path, epoch_run):
     """A half-written final line is invisible to a follow reader (it
     waits) and a hard error on a supposedly finished file."""

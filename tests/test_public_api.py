@@ -42,6 +42,7 @@ def test_subpackage_imports():
     import repro.core
     import repro.lang
     import repro.multivalue
+    import repro.net
     import repro.objects
     import repro.server
     import repro.sql

@@ -18,7 +18,7 @@ after the audit (permanent overhead 1x).
 from __future__ import annotations
 
 from repro.bench import figure8_row, render_table
-from repro.bench.harness import BenchRun, run_audit_phase
+from repro.bench.harness import run_audit_phase
 from repro.core import ssco_audit
 
 _COLUMNS = [

@@ -11,7 +11,6 @@ Run:  python examples/tamper_detection.py
 
 from repro import ssco_audit
 from repro.apps import build_minicrp
-from repro.objects.base import OpRecord, OpType
 from repro.server import Executor, RandomScheduler, faulty
 from repro.trace.events import Request
 

@@ -300,26 +300,47 @@ def _audit_connect(args, workload, config: AuditConfig) -> int:
         return 2
 
 
+def _print_epoch_verdict(epoch) -> bool:
+    """Print one epoch's line; returns True when it rejected."""
+    verdict = "ACCEPTED" if epoch.accepted else "REJECTED"
+    print(f"epoch {epoch.index}: {verdict} "
+          f"({epoch.requests} requests, "
+          f"{epoch.phases.get('total', 0.0) * 1e3:.1f} ms)")
+    return not epoch.accepted
+
+
 def _drive_stream_session(reader, workload, config: AuditConfig,
                           timeout) -> int:
     """The live audit loop shared by ``--follow`` (file tail) and
     ``--connect`` (socket): feed each arriving epoch slice into an
-    incremental audit session, print per-epoch verdicts, merge."""
+    incremental audit session, print per-epoch verdicts, merge.
+
+    Feeding is asynchronous: with ``epoch_workers > 1`` the session
+    audits several epochs concurrently while this loop keeps ingesting
+    (bounded by the session's prepass-depth backpressure); verdicts are
+    printed in epoch order as they settle.  On a synchronous session
+    every handle resolves immediately, so the loop degenerates to the
+    strict feed-print alternation.
+    """
     with reader:
         initial = reader.read_initial_state(follow=True,
                                             idle_timeout=timeout)
         auditor = Auditor(workload.app, config)
+        rejected = False
         with auditor.session(initial) as session:
+            pending = []
             for epoch_slice in reader.epochs(follow=True,
                                              idle_timeout=timeout):
-                epoch = session.feed_epoch(epoch_slice.trace,
-                                           epoch_slice.reports)
-                verdict = "ACCEPTED" if epoch.accepted else "REJECTED"
-                print(f"epoch {epoch.index}: {verdict} "
-                      f"({epoch.requests} requests, "
-                      f"{epoch.phases.get('total', 0.0) * 1e3:.1f} ms)")
-                if not epoch.accepted:
+                pending.append(session.submit_epoch(epoch_slice.trace,
+                                                    epoch_slice.reports))
+                while pending and pending[0].done():
+                    if _print_epoch_verdict(pending.pop(0).result()):
+                        rejected = True
+                        break
+                if rejected:
                     break
+            while pending and not rejected:
+                rejected = _print_epoch_verdict(pending.pop(0).result())
             audit = session.close()
     if audit.accepted:
         print(f"ACCEPTED in {audit.phases['total'] * 1e3:.1f} ms "
@@ -376,10 +397,22 @@ def main(argv=None) -> int:
                        help="deprecated alias for --workers")
         p.add_argument("--epoch-workers", type=int, default=None,
                        metavar="N",
-                       help="audit epoch shards concurrently in a pool "
-                            "of N after a redo-only state precompute "
+                       help="audit epoch shards concurrently, N at a "
+                            "time, on a shared persistent process pool "
+                            "after a redo-only state precompute "
                             "(1 = serial epoch chain; pair with "
                             "--epoch-size/--epoch-cuts)")
+        p.add_argument("--prepass-depth", type=int, default=None,
+                       metavar="N",
+                       help="bound on in-flight primed epochs: how far "
+                            "the speculative state precompute may run "
+                            "ahead of the slowest unfinished epoch "
+                            "audit (0 = 2 * epoch-workers)")
+        p.add_argument("--epoch-threads", action="store_true",
+                       default=None,
+                       help="keep the thread-based epoch driver "
+                            "instead of process-level epoch execution "
+                            "(results are identical; for comparison)")
         p.add_argument("--backend", choices=available_backends(),
                        default=None,
                        help="registered re-execution backend "

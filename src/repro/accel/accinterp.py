@@ -36,7 +36,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.common.digest import FlowDigest
 from repro.common.errors import (
     DivergenceError,
     MultivalueFallback,
@@ -76,7 +75,6 @@ from repro.lang.interp import Interpreter, freeze_value, thaw_value
 from repro.lang.values import PhpArray, arith, to_str, truthy
 from repro.multivalue.multivalue import (
     MultiValue,
-    collapse,
     components,
     make_multi,
 )

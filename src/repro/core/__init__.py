@@ -38,6 +38,7 @@ from repro.core.pipeline import (
     state_precompute_pipeline,
 )
 from repro.core.auditor import AuditSession, Auditor, EpochResult
+from repro.core.epochpool import EpochPool
 from repro.core.config import AuditConfig
 from repro.core.partition import Shard, find_epoch_cuts, partition_audit_inputs
 from repro.core.reexec import (
@@ -59,6 +60,7 @@ __all__ = [
     "AuditSession",
     "Auditor",
     "DEFAULT_BACKEND",
+    "EpochPool",
     "EpochResult",
     "Shard",
     "available_backends",

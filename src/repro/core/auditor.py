@@ -59,6 +59,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.errors import AuditReject, RejectReason
 from repro.core.config import AuditConfig
+from repro.core.epochpool import EpochPool, epoch_worker_options
 from repro.core.nondet import validate_nondet_reports
 from repro.core.partition import make_shard_summary
 from repro.core.pipeline import (
@@ -68,6 +69,7 @@ from repro.core.pipeline import (
     _merge_shard_result,
     default_pipeline,
     finish_precomputed_audit,
+    resolve_prepass_depth,
     run_audit,
     state_precompute_pipeline,
 )
@@ -160,6 +162,7 @@ class AuditSession:
         epoch_workers = (
             config.epoch_workers if auditor.pipeline is None else 1
         )
+        self._process_pool: Optional[EpochPool] = None
         if epoch_workers > 1:
             # Concurrent epoch mode: the cheap redo-only prepass chains
             # state serially at submit time; the heavy audits run in
@@ -170,11 +173,25 @@ class AuditSession:
                 max_workers=epoch_workers,
                 thread_name_prefix="audit-epoch",
             )
-            # Offload each epoch's serial re-exec to a worker process
-            # only where fork lets it inherit the built stores; a spawn
-            # pool would re-run the redo the precompute just did.
-            self._offload = (config.workers == 1 and available_cpus() > 1
-                             and fork_inherits_context())
+            if config.epoch_processes:
+                # Process-level epochs: one persistent pool shared by
+                # every epoch of this session; the threads above only
+                # submit work units and merge results.
+                self._process_pool = EpochPool(epoch_workers)
+                self._offload = False
+            else:
+                # Thread driver: offload each epoch's serial re-exec to
+                # a worker process only where fork lets it inherit the
+                # built stores; a spawn pool would re-run the redo the
+                # precompute just did.
+                self._offload = (config.workers == 1
+                                 and available_cpus() > 1
+                                 and fork_inherits_context())
+            #: Backpressure: submit_epoch blocks once this many primed
+            #: epochs are in flight (speculative prepass depth).
+            self._prepass_depth = resolve_prepass_depth(
+                config.to_options())
+            self._precompute_seconds = 0.0
             #: Feed-order merge queue: ("skipped"|"precheck"|"rejected"|
             #: "audit", payload, requests, events) per fed epoch.
             self._entries: List[Tuple] = []
@@ -278,9 +295,25 @@ class AuditSession:
         pool.  EpochResults are constructed at merge time, strictly in
         feed order, so verdicts and stats match the serial session even
         when a rejection is discovered after later epochs were fed.
+
+        Backpressure: before priming another epoch, the speculative
+        prepass is held back until fewer than ``prepass_depth`` primed
+        epochs are in flight — a follow/connect session feeding faster
+        than the pool audits blocks here instead of accumulating
+        unbounded speculative state.
         """
         requests = len(trace.request_ids())
         events = len(trace)
+        while True:
+            with self._merge_lock:
+                if (self._prepass_failed or self._failure is not None
+                        or len(self._entries) - self._merged_upto
+                        < self._prepass_depth):
+                    break
+                oldest = self._merged_upto
+            # Settle (and release) the oldest in-flight epoch before
+            # priming more; the wait happens outside the merge lock.
+            self._resolve(oldest)
         with self._merge_lock:
             if self._prepass_failed or self._failure is not None:
                 self._entries.append(("skipped", None, requests, events))
@@ -320,9 +353,12 @@ class AuditSession:
         options.epoch_workers = 1
         options.migrate = True  # the chain always needs the next state
         options.offload_reexec = self._offload
+        epoch_state = self._prepass_state
         actx = AuditContext(self._auditor.app, trace, reports,
-                            self._prepass_state, options)
+                            epoch_state, options)
+        prepass_start = _time.perf_counter()
         pre = state_precompute_pipeline().run(actx)
+        self._precompute_seconds += _time.perf_counter() - prepass_start
         if not pre.accepted:
             # The full audit would reject at the same phase with the
             # same reason — the prepass *is* that prefix of it — so its
@@ -330,7 +366,18 @@ class AuditSession:
             self._prepass_failed = True
             return ("rejected", pre, requests, events)
         self._prepass_state = pre.next_initial
-        future = self._epoch_pool.submit(finish_precomputed_audit, actx)
+        if self._process_pool is not None:
+            # Whole-epoch work unit on the shared persistent process
+            # pool; the primed context's stores are released here (the
+            # worker rebuilds its own from the pickled slices) — only
+            # the migrated chain state extracted above is kept.
+            worker_options = epoch_worker_options(options)
+            future = self._epoch_pool.submit(
+                self._process_pool.run_epoch, self._auditor.app, trace,
+                reports, epoch_state, worker_options)
+        else:
+            future = self._epoch_pool.submit(finish_precomputed_audit,
+                                             actx)
         return ("audit", (future, pre.next_initial), requests, events)
 
     def _resolve(self, index: int,
@@ -622,8 +669,17 @@ class AuditSession:
                 self._pool.shutdown(wait=True)
             if self._epoch_pool is not None:
                 self._epoch_pool.shutdown(wait=True)
+            if self._process_pool is not None:
+                self._process_pool.close()
             self._closed = True
         merged = self._merged
+        if self._process_pool is not None:
+            # The workers re-time their own phases, so the parent-side
+            # prepass is extra work the per-epoch results do not carry;
+            # surface it like the one-shot driver does.  (The thread
+            # driver's prepass timers already live inside each epoch's
+            # result — no separate entry there.)
+            merged.phases["state_precompute"] = self._precompute_seconds
         merged.accepted = self._failure is None
         if self._failure is not None:
             merged.reason = self._failure.reason
@@ -716,32 +772,23 @@ class Auditor:
         identical to the one-shot sharded audit over the same cuts.
         With ``config.epoch_workers > 1`` the epochs audit concurrently
         (only the redo-only state prepass runs between submissions) and
-        are merged back in feed order; submission is windowed to
-        ``2 * epoch_workers`` in-flight epochs so a long stream never
-        holds more than a bounded number of primed contexts (their
-        versioned stores) in memory.  Returns the merged result.
+        are merged back in feed order; the session itself bounds
+        in-flight primed epochs to ``config.prepass_depth`` (default
+        ``2 * epoch_workers``), so a long stream never holds more than
+        a bounded number of speculative work units in memory.  Returns
+        the merged result.
         """
         with self.session(initial_state, pipelined=pipelined) as session:
-            window = (2 * self.config.epoch_workers
-                      if session._epoch_pool is not None else 0)
-            pending: List[PendingEpoch] = []
             for item in epochs:
                 if isinstance(item, tuple):
                     trace, reports = item
                 else:
                     trace, reports = item.trace, item.reports
                 # Enqueues on pipelined/epoch_workers sessions (the
-                # iterable keeps ingesting while earlier epochs audit);
+                # iterable keeps ingesting while earlier epochs audit,
+                # subject to the session's prepass-depth backpressure);
                 # inline on synchronous ones.
-                handle = session.submit_epoch(trace, reports)
-                if window:
-                    # Backpressure: settle (and release) the oldest
-                    # epoch before priming more.  Handles are only kept
-                    # when the window consumes them — pipelined and
-                    # synchronous sessions track their own futures.
-                    pending.append(handle)
-                    if len(pending) >= window:
-                        pending.pop(0).result()
+                session.submit_epoch(trace, reports)
             return session.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -38,7 +38,6 @@ from repro.core.pipeline import AuditOptions
 from repro.core.reexec import (
     DEFAULT_BACKEND,
     DEFAULT_MAX_GROUP,
-    available_backends,
     get_reexec_backend,
 )
 
@@ -72,6 +71,16 @@ class AuditConfig:
     #: state first); 1 keeps the serial epoch chain.  Results are
     #: bit-identical to the serial chain either way.
     epoch_workers: int = 1
+    #: Run whole epochs in worker *processes* on one persistent pool
+    #: shared across the run (the default); False keeps the older
+    #: thread-based epoch driver.  Only consulted when
+    #: ``epoch_workers > 1``; results are bit-identical either way.
+    epoch_processes: bool = True
+    #: Bound on in-flight *primed* epochs: how far the speculative
+    #: redo-only prepass may run ahead of the slowest unfinished epoch
+    #: audit (backpressure for follow/connect sessions).  0 means the
+    #: default ``2 * epoch_workers``.
+    prepass_depth: int = 0
     #: Shard the audit at quiescent cuts every ~N requests; 0 disables.
     epoch_size: int = 0
     #: Explicit cut positions (event indexes, e.g. the executor's epoch
@@ -114,7 +123,7 @@ class AuditConfig:
     def validate(self) -> "AuditConfig":
         """Raise :class:`ValueError` on any nonsensical knob value."""
         for flag in ("strict", "dedup", "collapse", "strict_registers",
-                     "migrate"):
+                     "migrate", "epoch_processes"):
             if not isinstance(getattr(self, flag), bool):
                 raise ValueError(
                     f"{flag} must be a bool, got "
@@ -128,6 +137,11 @@ class AuditConfig:
             raise ValueError(
                 f"epoch_workers must be an integer >= 1, got "
                 f"{self.epoch_workers!r}"
+            )
+        if not _is_int(self.prepass_depth) or self.prepass_depth < 0:
+            raise ValueError(
+                f"prepass_depth must be an integer >= 0 (0 means "
+                f"2 * epoch_workers), got {self.prepass_depth!r}"
             )
         if not _is_int(self.epoch_size) or self.epoch_size < 0:
             raise ValueError(
@@ -215,6 +229,8 @@ class AuditConfig:
             migrate=self.migrate,
             workers=self.workers,
             epoch_workers=self.epoch_workers,
+            epoch_processes=self.epoch_processes,
+            prepass_depth=self.prepass_depth,
             epoch_size=self.epoch_size,
             epoch_cuts=self.epoch_cuts,
             backend=self.backend,
@@ -233,6 +249,8 @@ class AuditConfig:
             migrate=options.migrate,
             workers=max(1, options.workers),
             epoch_workers=max(1, options.epoch_workers),
+            epoch_processes=options.epoch_processes,
+            prepass_depth=max(0, options.prepass_depth),
             epoch_size=options.epoch_size,
             epoch_cuts=tuple(cuts) if cuts is not None else None,
             backend=options.backend,
@@ -299,15 +317,17 @@ class AuditConfig:
             config = cls.load(args.config)
         changes: Dict[str, object] = {}
         for field in ("strict", "strict_registers", "max_group_size",
-                      "workers", "epoch_workers", "epoch_size", "backend",
-                      "migrate", "connect", "listen",
-                      "net_connect_timeout", "net_idle_timeout",
-                      "net_retries"):
+                      "workers", "epoch_workers", "prepass_depth",
+                      "epoch_size", "backend", "migrate", "connect",
+                      "listen", "net_connect_timeout",
+                      "net_idle_timeout", "net_retries"):
             value = getattr(args, field, None)
             if value is not None:
                 changes[field] = value
         if getattr(args, "no_dedup", None):
             changes["dedup"] = False
+        if getattr(args, "epoch_threads", None):
+            changes["epoch_processes"] = False
         if getattr(args, "no_collapse", None):
             changes["collapse"] = False
         cuts = getattr(args, "epoch_cuts", None)
@@ -320,6 +340,10 @@ class AuditConfig:
         parts = [f"backend={self.backend}", f"workers={self.workers}"]
         if self.epoch_workers > 1:
             parts.append(f"epoch_workers={self.epoch_workers}")
+            if not self.epoch_processes:
+                parts.append("epoch-threads")
+        if self.prepass_depth:
+            parts.append(f"prepass_depth={self.prepass_depth}")
         if self.epoch_cuts:
             parts.append(f"epoch_cuts={list(self.epoch_cuts)}")
         elif self.epoch_size:

@@ -15,7 +15,7 @@ limit.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 #: The ``∞`` opnum marking the response-departure node.
 OPNUM_INF = float("inf")

@@ -88,7 +88,9 @@ class _LenientOpHandler(OpHandler):
                     raise _Incomparable()
                 logged_sql = tx.queries[tx.q]
                 ts = tx.seq * MAXQ + tx.q + 1
-                advance = lambda: setattr(tx, "q", tx.q + 1)
+
+                def advance():
+                    tx.q += 1
             else:
                 # Auto-commit: super().handle already bumped opnum.
                 obj_hat, seq, record = self.ctx.lookup_op(
@@ -101,7 +103,9 @@ class _LenientOpHandler(OpHandler):
                     raise _Incomparable()
                 logged_sql = queries[0]
                 ts = seq * MAXQ + 1
-                advance = lambda: None
+
+                def advance():
+                    pass
             try:
                 patched_is_read = isinstance(parse_sql(args[0]), Select)
                 logged_is_read = isinstance(parse_sql(logged_sql), Select)

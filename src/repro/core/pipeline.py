@@ -103,10 +103,25 @@ class AuditOptions:
     #: the serial epoch chain.  Only consulted by :func:`sharded_audit`.
     epoch_workers: int = 1
     #: Route re-execution through the worker pool even when ``workers ==
-    #: 1`` (same chunk plan, one worker process): the concurrent epoch
+    #: 1`` (same chunk plan, one worker process): the thread-based epoch
     #: driver sets this to move each epoch's re-exec CPU off the GIL.
     #: Never changes produced bodies, verdicts, or deterministic stats.
     offload_reexec: bool = False
+    #: Run whole epochs in worker *processes* on one persistent pool
+    #: shared across the run (see :mod:`repro.core.epochpool`); False
+    #: keeps the thread-based epoch driver (per-epoch re-exec offload).
+    #: Only consulted when ``epoch_workers > 1``.  Either way the
+    #: results are bit-identical to the serial chain.
+    epoch_processes: bool = True
+    #: Bound on in-flight *primed* epochs — how far the speculative
+    #: redo-only prepass may run ahead of the slowest unfinished epoch
+    #: audit (backpressure in follow/connect sessions and the one-shot
+    #: driver alike).  0 means the default ``2 * epoch_workers``.
+    prepass_depth: int = 0
+    #: Execute the ``workers``-shaped chunk plan serially in-process,
+    #: never creating a re-exec pool.  Set inside process-level epoch
+    #: workers; chunk plans (and therefore all results) are unchanged.
+    inline_reexec: bool = False
 
 
 @dataclass
@@ -225,6 +240,7 @@ class ReExecPhase(AuditPhase):
             workers=options.workers,
             backend=options.backend,
             offload=options.offload_reexec,
+            inline=options.inline_reexec,
         )
         actx.result.phases["db_query"] = actx.sim.db_query_seconds
 
@@ -477,6 +493,18 @@ _SUMMED_STATS = (
 )
 
 
+def resolve_prepass_depth(options: AuditOptions) -> int:
+    """The effective bound on in-flight primed epochs: the explicit
+    ``prepass_depth`` knob, or ``2 * epoch_workers`` when unset — a
+    window deep enough to keep every worker busy while the next epochs
+    prime, shallow enough that a stream cannot hold more than a bounded
+    number of speculative work units (follow sessions: the prepass must
+    not run unboundedly ahead of the auditor)."""
+    if options.prepass_depth > 0:
+        return options.prepass_depth
+    return 2 * max(1, options.epoch_workers)
+
+
 def sharded_audit(
     app: Application,
     trace: Trace,
@@ -606,11 +634,17 @@ def _sharded_audit_concurrent(
     """Audit the shards concurrently against precomputed initial states.
 
     The redo-only prepass walks the chain in order; each primed shard
-    is handed to the thread pool immediately, and completed audits are
-    merged back in epoch order.  In-flight shards are windowed to ``2 *
-    epoch_workers`` so peak memory stays bounded by the window, not the
-    bundle (the serial chain holds one shard's versioned stores at a
-    time; this holds at most a window's worth).
+    becomes a whole-epoch work unit on **one persistent process pool**
+    shared across the run (:class:`~repro.core.epochpool.EpochPool` —
+    the driver threads only submit payloads and merge results), and
+    completed audits are merged back in epoch order.  With
+    ``epoch_processes=False`` the thread-based driver is kept: the
+    primed context finishes on a thread, its re-exec offloaded to a
+    per-epoch worker process where fork makes that free.  In-flight
+    primed shards are windowed to ``prepass_depth`` (default ``2 *
+    epoch_workers``) so peak memory stays bounded by the window, not
+    the bundle (the serial chain holds one shard's versioned stores at
+    a time; this holds at most a window's worth).
 
     Soundness: shard *k*'s initial state comes from the prepass over
     shards ``0..k-1``'s logs — the same deterministic kv.Build/db.Build
@@ -624,19 +658,24 @@ def _sharded_audit_concurrent(
     the full pipeline, so the verdict is identical).
     """
     prepass_options = options
-    if (options.workers == 1 and available_cpus() > 1
+    epoch_pool = None
+    if options.epoch_processes:
+        from repro.core.epochpool import EpochPool, epoch_worker_options
+
+        epoch_pool = EpochPool(options.epoch_workers)
+    elif (options.workers == 1 and available_cpus() > 1
             and fork_inherits_context()):
-        # Each epoch's re-exec runs serially inside its thread; move it
-        # into a worker process so epochs overlap on real cores.  The
-        # chunk plan is unchanged, so results stay bit-identical.  Only
-        # worthwhile on fork platforms, where the worker inherits the
-        # built stores instead of re-running the redo.
+        # Thread driver: each epoch's re-exec runs serially inside its
+        # thread; move it into a worker process so epochs overlap on
+        # real cores.  The chunk plan is unchanged, so results stay
+        # bit-identical.  Only worthwhile on fork platforms, where the
+        # worker inherits the built stores instead of re-running redo.
         prepass_options = replace(options, offload_reexec=True)
     pool = ThreadPoolExecutor(
         max_workers=min(options.epoch_workers, len(shards)),
         thread_name_prefix="epoch-audit",
     )
-    window = 2 * options.epoch_workers
+    window = resolve_prepass_depth(options)
     inflight: List = []  # (shard, future) in epoch order
     precompute_seconds = 0.0
     state = initial_state  # the prepass chain
@@ -665,6 +704,7 @@ def _sharded_audit_concurrent(
                 prepass_options, epoch_size=0, epoch_cuts=None,
                 epoch_workers=1, migrate=options.migrate or not is_last,
             )
+            epoch_state = state  # the state this epoch audits against
             prepass_start = _time.perf_counter()
             actx = run_state_precompute(app, shard.trace, shard.reports,
                                         state, shard_options)
@@ -694,8 +734,17 @@ def _sharded_audit_concurrent(
                 )
             else:
                 state = actx.result.next_initial
-            inflight.append((shard, pool.submit(finish_precomputed_audit,
-                                                actx)))
+            if epoch_pool is not None:
+                # The primed context's stores are only needed for the
+                # chain state extracted above; the worker rebuilds its
+                # own from the (much smaller) pickled slice payload.
+                worker_options = epoch_worker_options(options)
+                future = pool.submit(
+                    epoch_pool.run_epoch, app, shard.trace,
+                    shard.reports, epoch_state, worker_options)
+            else:
+                future = pool.submit(finish_precomputed_audit, actx)
+            inflight.append((shard, future))
             if len(inflight) >= window:
                 merge_oldest()  # backpressure: bound primed contexts
                 if failed:
@@ -707,6 +756,8 @@ def _sharded_audit_concurrent(
             merged.next_initial = final_state
     finally:
         pool.shutdown(wait=True, cancel_futures=True)
+        if epoch_pool is not None:
+            epoch_pool.close()
         merged.phases["state_precompute"] = precompute_seconds
 
 

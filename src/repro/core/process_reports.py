@@ -15,7 +15,7 @@ order all events consistently with the trace and the alleged operations
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.common.errors import AuditReject, RejectReason
 from repro.core.graph import Graph, OPNUM_INF

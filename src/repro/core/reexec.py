@@ -82,11 +82,10 @@ import multiprocessing
 import os
 import pickle
 import threading
-import time as _time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.common.errors import (
     AuditReject,
@@ -330,6 +329,7 @@ def reexec_groups(
     workers: int = 1,
     backend: str = DEFAULT_BACKEND,
     offload: bool = False,
+    inline: bool = False,
 ) -> Dict[str, str]:
     """Re-execute all groups; returns rid -> produced body.
 
@@ -340,12 +340,18 @@ def reexec_groups(
     ``workers == 1`` — the chunk *plan* stays the serial one, so
     produced bodies, verdicts, and deterministic stats are unchanged;
     only the re-execution CPU moves to a worker process (the concurrent
-    epoch driver uses this to run epochs off the GIL).  Raises
-    :class:`AuditReject` on any failed check.
+    epoch driver uses this to run epochs off the GIL).  ``inline=True``
+    is the converse: keep the (possibly parallel-shaped, ``workers``-
+    sized) chunk plan but execute it serially in this process, never
+    creating a pool — the process-level epoch driver sets it inside its
+    worker processes, where epoch parallelism already owns the cores
+    and chunk-plan parity with the serial chain is what matters.
+    Raises :class:`AuditReject` on any failed check.
     """
     requests = trace.requests()
     chunks = plan_chunks(reports, requests, max_group_size, workers)
-    if chunks and ((workers > 1 and len(chunks) > 1) or offload):
+    if chunks and not inline and (
+            (workers > 1 and len(chunks) > 1) or offload):
         return _reexec_parallel(
             app, requests, reports, ctx, chunks, strict, dedup, collapse,
             workers, backend,

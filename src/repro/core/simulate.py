@@ -28,7 +28,7 @@ Semantics implemented here:
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import AuditReject, RejectReason

@@ -57,6 +57,8 @@ def ssco_audit(
     epoch_cuts: Optional[Sequence[int]] = None,
     backend: str = DEFAULT_BACKEND,
     epoch_workers: int = 1,
+    epoch_processes: bool = True,
+    prepass_depth: int = 0,
 ) -> AuditResult:
     """Run the full audit; never raises :class:`AuditReject`.
 
@@ -89,13 +91,21 @@ def ssco_audit(
             chunk (``"accinterp"`` is the paper's accelerated
             interpreter, ``"interp"`` the plain per-request reference;
             see :func:`repro.core.reexec.register_reexec_backend`).
-        epoch_workers: audit the epoch shards concurrently in a thread
-            pool of this size (<= 1 keeps the serial chain).  A
-            redo-only state precompute materializes each shard's
-            initial state first; verdicts, produced bodies, and
-            per-shard stats are bit-identical to the serial chain (see
+        epoch_workers: audit the epoch shards concurrently, this many
+            at a time (<= 1 keeps the serial chain).  A redo-only
+            state precompute materializes each shard's initial state
+            first; verdicts, produced bodies, and per-shard stats are
+            bit-identical to the serial chain (see
             :func:`repro.core.pipeline.sharded_audit`).  Only
             meaningful together with ``epoch_size``/``epoch_cuts``.
+        epoch_processes: run whole epochs in worker *processes* on one
+            persistent pool shared across the run (the default; see
+            :mod:`repro.core.epochpool`).  ``False`` keeps the older
+            thread-based epoch driver.  Results are bit-identical
+            either way.
+        prepass_depth: bound on in-flight primed epochs — how far the
+            speculative prepass may run ahead of the slowest
+            unfinished epoch audit (0 means ``2 * epoch_workers``).
 
     For long-lived / incremental use, prefer the object API:
     ``Auditor(app, AuditConfig(...))`` (see :mod:`repro.core.auditor`) —
@@ -113,5 +123,7 @@ def ssco_audit(
         epoch_cuts=epoch_cuts,
         backend=backend,
         epoch_workers=epoch_workers,
+        epoch_processes=epoch_processes,
+        prepass_depth=prepass_depth,
     )
     return run_audit(app, trace, reports, initial_state, options)

@@ -30,7 +30,6 @@ from typing import Callable, Dict, List, Tuple
 from repro.common.errors import WeblangError
 from repro.lang.values import (
     PhpArray,
-    compare,
     loose_eq,
     to_float,
     to_int,

@@ -51,7 +51,6 @@ from repro.lang.ast import (
 )
 from repro.lang.builtins import (
     EXTERNAL_BUILTINS,
-    MUTATING_BUILTINS,
     NONDET_BUILTINS,
     PURE_BUILTINS,
     STATE_BUILTINS,

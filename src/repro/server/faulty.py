@@ -12,7 +12,6 @@ All operators copy their inputs; the honest artifacts are never mutated.
 
 from __future__ import annotations
 
-import copy
 from typing import Optional, Tuple
 
 from repro.objects.base import OpRecord, OpType

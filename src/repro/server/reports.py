@@ -12,7 +12,6 @@ compression constant does not change the ratios' shape).
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 

@@ -12,7 +12,6 @@ trusting a report — strictly stronger, and documented in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import copy
 import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple

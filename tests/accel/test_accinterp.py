@@ -18,10 +18,9 @@ from repro.accel import (
     GroupNondetIntent,
     GroupStateOpIntent,
 )
-from repro.common.errors import DivergenceError, WeblangError
-from repro.lang.interp import Interpreter, NondetIntent, StateOpIntent
+from repro.common.errors import DivergenceError
+from repro.lang.interp import Interpreter, NondetIntent
 from repro.lang.parser import parse_program
-from repro.multivalue.multivalue import MultiValue
 from repro.trace.events import Request
 
 

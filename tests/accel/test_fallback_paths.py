@@ -8,9 +8,8 @@ to per-request execution.
 
 from __future__ import annotations
 
-import pytest
 
-from repro.common.errors import MultivalueFallback, RejectReason
+from repro.common.errors import RejectReason
 from repro.core import simple_audit, ssco_audit
 from repro.server import Application, Executor, RandomScheduler
 from repro.trace.events import Request

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.apps import build_minicrp, build_miniforum, build_miniwiki
 from repro.core import ssco_audit

@@ -9,14 +9,12 @@ and the simple-re-execution baseline alike.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import ooo_audit, simple_audit, ssco_audit
 from repro.server import Application, Executor, RandomScheduler
 from repro.server.nondet import NondetSource
-from repro.trace.events import Request
 from tests.conftest import COUNTER_SCHEMA, COUNTER_SRC, counter_requests
 
 

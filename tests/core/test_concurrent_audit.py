@@ -90,7 +90,9 @@ def _assert_equivalent(serial, concurrent):
 # -- one-shot: sharded_audit with epoch_workers -------------------------------
 
 
-def test_epoch_workers_matches_serial_accept(counter_app):
+@pytest.mark.parametrize("epoch_processes", [True, False])
+def test_epoch_workers_matches_serial_accept(counter_app,
+                                             epoch_processes):
     execution = _epoch_execution(counter_app)
     serial = ssco_audit(counter_app, execution.trace, execution.reports,
                         execution.initial_state,
@@ -98,7 +100,8 @@ def test_epoch_workers_matches_serial_accept(counter_app):
     concurrent = ssco_audit(counter_app, execution.trace,
                             execution.reports, execution.initial_state,
                             epoch_cuts=execution.epoch_marks,
-                            epoch_workers=4)
+                            epoch_workers=4,
+                            epoch_processes=epoch_processes)
     assert serial.accepted and serial.stats["shard_count"] > 1
     _assert_equivalent(serial, concurrent)
     assert "state_precompute" in concurrent.phases
@@ -221,14 +224,17 @@ def test_offload_reexec_is_invisible(counter_app, honest_run):
 # -- sessions: epoch_workers mode ---------------------------------------------
 
 
-def test_session_epoch_workers_matches_serial(counter_app):
+@pytest.mark.parametrize("epoch_processes", [True, False])
+def test_session_epoch_workers_matches_serial(counter_app,
+                                              epoch_processes):
     execution = _epoch_execution(counter_app)
     shards = partition_audit_inputs(execution.trace, execution.reports,
                                     cuts=execution.epoch_marks)
     serial = Auditor(counter_app, AuditConfig()).audit_epochs(
         shards, execution.initial_state)
-    concurrent = Auditor(counter_app, AuditConfig(epoch_workers=3)) \
-        .audit_epochs(shards, execution.initial_state)
+    concurrent = Auditor(counter_app, AuditConfig(
+        epoch_workers=3, epoch_processes=epoch_processes,
+    )).audit_epochs(shards, execution.initial_state)
     assert serial.accepted
     _assert_equivalent(serial, concurrent)
 
@@ -340,23 +346,30 @@ def test_feed_epoch_async_on_epoch_workers_session(counter_app):
     assert session.epochs == results
 
 
+@pytest.mark.parametrize("driver", ["process", "thread"])
 def test_crashed_epoch_audit_never_reports_accepted(counter_app,
-                                                    monkeypatch):
+                                                    monkeypatch, driver):
     """A non-AuditReject crash inside a concurrent epoch audit is
     latched: close() raises it, and *every* later close()/result()/
     property access re-raises instead of falling through to ACCEPTED
-    over unaudited epochs."""
+    over unaudited epochs — whichever epoch driver ran the audit."""
     import repro.core.auditor as auditor_mod
+    import repro.core.epochpool as epochpool_mod
 
     execution = _epoch_execution(counter_app)
     shards = partition_audit_inputs(execution.trace, execution.reports,
                                     cuts=execution.epoch_marks)
 
-    def _boom(actx):
+    def _boom(*args, **kwargs):
         raise RuntimeError("kaboom")
 
-    monkeypatch.setattr(auditor_mod, "finish_precomputed_audit", _boom)
-    auditor = Auditor(counter_app, AuditConfig(epoch_workers=2))
+    if driver == "process":
+        monkeypatch.setattr(epochpool_mod.EpochPool, "run_epoch", _boom)
+    else:
+        monkeypatch.setattr(auditor_mod, "finish_precomputed_audit",
+                            _boom)
+    auditor = Auditor(counter_app, AuditConfig(
+        epoch_workers=2, epoch_processes=(driver == "process")))
     session = auditor.session(execution.initial_state)
     for shard in shards:
         session.submit_epoch(shard.trace, shard.reports)

@@ -225,3 +225,60 @@ def test_net_fields_layer_through_from_args(tmp_path):
 def test_describe_mentions_endpoints():
     assert "connect=h:1" in AuditConfig(connect="h:1").describe()
     assert "listen=h:0" in AuditConfig(listen="h:0").describe()
+
+
+# -- process-level epoch execution knobs (PR-5) -------------------------------
+
+
+@pytest.mark.parametrize("kwargs,fragment", [
+    (dict(prepass_depth=-1), "prepass_depth"),
+    (dict(prepass_depth=2.5), "prepass_depth"),
+    (dict(prepass_depth="4"), "prepass_depth"),
+    (dict(epoch_processes="yes"), "epoch_processes"),
+    (dict(epoch_processes=1), "epoch_processes"),
+])
+def test_epoch_process_knob_validation(kwargs, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        AuditConfig(**kwargs)
+
+
+def test_epoch_process_knob_defaults_and_roundtrip():
+    config = AuditConfig()
+    assert config.epoch_processes is True
+    assert config.prepass_depth == 0
+    tuned = AuditConfig(epoch_workers=4, epoch_processes=False,
+                        prepass_depth=6)
+    options = tuned.to_options()
+    assert options.epoch_processes is False
+    assert options.prepass_depth == 6
+    assert AuditConfig.from_options(options) == tuned
+    round_trip = AuditConfig.from_json(tuned.to_json())
+    assert round_trip == tuned
+    assert "prepass_depth=6" in tuned.describe()
+    assert "epoch-threads" in tuned.describe()
+    assert "epoch-threads" not in AuditConfig(epoch_workers=4).describe()
+
+
+def test_prepass_depth_resolution():
+    from repro.core.pipeline import resolve_prepass_depth
+
+    assert resolve_prepass_depth(
+        AuditConfig(epoch_workers=3).to_options()) == 6
+    assert resolve_prepass_depth(
+        AuditConfig(epoch_workers=3, prepass_depth=2).to_options()) == 2
+
+
+def test_epoch_process_knobs_layer_through_from_args(tmp_path):
+    config = AuditConfig.from_args(
+        _namespace(prepass_depth=4, epoch_threads=True))
+    assert config.prepass_depth == 4
+    assert config.epoch_processes is False
+    path = str(tmp_path / "audit.json")
+    AuditConfig(prepass_depth=8, epoch_processes=False).save(path)
+    layered = AuditConfig.from_args(_namespace(config=path))
+    assert layered.prepass_depth == 8
+    assert layered.epoch_processes is False
+    # An explicit flag wins over the file.
+    layered = AuditConfig.from_args(_namespace(config=path,
+                                               prepass_depth=2))
+    assert layered.prepass_depth == 2

@@ -15,7 +15,7 @@ import pytest
 from repro.common.errors import AuditReject, RejectReason
 from repro.core import ooo_audit, simple_audit, ssco_audit
 from repro.server import Application, Executor, RandomScheduler
-from repro.trace.events import Event, EventKind, ExternalRequest
+from repro.trace.events import Event, ExternalRequest
 from repro.trace.trace import Trace, check_balanced
 
 APP_SRC = {

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.common.errors import RejectReason
 from repro.core import ooo_audit

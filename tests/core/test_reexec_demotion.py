@@ -8,7 +8,6 @@ split: implementation retry vs verdict.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.common.errors import RejectReason
 from repro.core import simple_audit, ssco_audit

@@ -5,14 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.common.errors import AuditReject, RejectReason
-from repro.core.opmap import OpMap
 from repro.core.process_reports import check_logs
 from repro.core.simulate import NondetCursor, OpHandler, SimContext
 from repro.objects.base import OpRecord, OpType
 from repro.server.app import Application, InitialState
 from repro.server.reports import NondetRecord, Reports
 from repro.sql.engine import Engine
-from repro.sql.versioned import MAXQ
 from repro.trace.events import Event, Request, Response
 from repro.trace.trace import Trace
 

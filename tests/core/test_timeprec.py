@@ -11,7 +11,6 @@ from __future__ import annotations
 import random
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,13 +3,11 @@ failure injection, instrumentation, group chunking, error-page replay."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.common.errors import RejectReason
 from repro.core import ssco_audit
-from repro.server import Application, Executor, RandomScheduler
+from repro.server import Application, Executor
 from repro.server.executor import ERROR_BODY
-from repro.server.nondet import NondetSource
 from repro.trace.events import Request
 from tests.conftest import COUNTER_SCHEMA, COUNTER_SRC, counter_requests
 

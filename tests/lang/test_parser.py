@@ -17,7 +17,6 @@ from repro.lang.ast import (
     Lit,
     Return,
     Ternary,
-    Var,
     While,
 )
 from repro.lang.lexer import tokenize

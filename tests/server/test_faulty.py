@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.objects.base import OpRecord, OpType
 from repro.server import faulty

@@ -63,9 +63,9 @@ def test_insert_and_delete_versioning():
         _dbop("r1", 1, "INSERT INTO t (v, name) VALUES (3, 'c')"),
         _dbop("r2", 1, "DELETE FROM t WHERE name = 'a'"),
     ])
-    names = lambda ts: [
-        r["name"] for r in vdb.do_query("SELECT name FROM t", ts).rows
-    ]
+    def names(ts):
+        return [r["name"]
+                for r in vdb.do_query("SELECT name FROM t", ts).rows]
     assert names(0) == ["a", "b"]
     assert names(MAXQ + 1) == ["a", "b", "c"]
     assert names(2 * MAXQ + 1) == ["b", "c"]

@@ -289,3 +289,44 @@ def test_demo_accepts_workers_flag(capsys):
     assert "ACCEPTED" in out
     assert "workers=2" in out
     assert "shards=" in out
+
+
+def test_audit_prepass_depth_and_epoch_threads(tmp_path, capsys):
+    """The PR-5 knobs parse, validate at the boundary, and reach the
+    config (visible in the banner's describe() line)."""
+    bundle = str(tmp_path / "bundle.jsonl")
+    assert main(["record", "--workload", "forum", "--scale", "0.005",
+                 "--epoch-size", "20", "--format", "jsonl",
+                 "--out", bundle]) == 0
+    assert main(["audit", bundle, "--workload", "forum",
+                 "--scale", "0.005", "--epoch-size", "20",
+                 "--epoch-workers", "2", "--prepass-depth", "3",
+                 "--epoch-threads"]) == 0
+    out = capsys.readouterr().out
+    assert "epoch_workers=2" in out
+    assert "prepass_depth=3" in out
+    assert "epoch-threads" in out
+    assert "ACCEPTED" in out
+    with pytest.raises(SystemExit):
+        main(["audit", bundle, "--workload", "forum",
+              "--scale", "0.005", "--prepass-depth", "-1"])
+
+
+def test_follow_with_epoch_workers(tmp_path, capsys):
+    """--follow drives the session asynchronously under epoch_workers:
+    per-epoch verdicts still print in epoch order."""
+    bundle = str(tmp_path / "live.jsonl")
+    assert main(["record", "--workload", "forum", "--scale", "0.005",
+                 "--epoch-size", "20", "--format", "jsonl-epochs",
+                 "--out", bundle]) == 0
+    assert main(["audit", bundle, "--workload", "forum",
+                 "--scale", "0.005", "--follow", "--epoch-workers", "2",
+                 "--prepass-depth", "2", "--follow-timeout", "2"]) == 0
+    out = capsys.readouterr().out
+    epochs = [line for line in out.splitlines()
+              if line.startswith("epoch ")]
+    assert len(epochs) >= 2
+    indexes = [int(line.split()[1].rstrip(":")) for line in epochs]
+    assert indexes == sorted(indexes)
+    assert all("ACCEPTED" in line for line in epochs)
+    assert "ACCEPTED in" in out

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 
 def test_top_level_exports():
@@ -84,7 +83,7 @@ def test_render_table_column_subset():
 
 
 def test_figure8_row_keys(counter_app, honest_run):
-    from repro.bench.harness import BenchRun, run_audit_phase
+    from repro.bench.harness import run_audit_phase
     from repro.bench.metrics import figure8_row, figure9_decomposition
     from repro.workloads.wiki import Workload
 

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.common.errors import AuditReject, RejectReason
 from repro.trace.collector import Collector
-from repro.trace.events import Event, EventKind, Request, Response
+from repro.trace.events import Event, Request, Response
 from repro.trace.trace import Trace, check_balanced, is_balanced
 
 

@@ -11,6 +11,16 @@ benchmark measures what the network layer costs:
 * **equivalence** — both transports must deliver the same number of
   epochs with the same event/request counts per epoch.
 
+Both transports start from the same recorded evidence: the bundle the
+recorder persisted.  The file path tails that bundle directly; the
+socket path replays it through ``write_record_payload`` — the
+publisher's zero re-encode path, which splices the bundle's
+already-encoded lines into batched frames (kind sniffed from the
+leading bytes, never parsed).  That makes ``socket_overhead`` a
+consumer-side apples-to-apples: both sides read the identical records,
+and the delta is exactly what the wire adds (framing, CRC, syscalls,
+batching) — not a re-serialization the deployment never pays twice.
+
 Run standalone to (re)generate the committed baseline::
 
     PYTHONPATH=src python benchmarks/bench_transport.py \
@@ -32,8 +42,7 @@ import threading
 import time as _time
 
 from repro.bench.harness import run_online_phase
-from repro.core.partition import partition_audit_inputs
-from repro.io import BundleReader, save_audit_bundle_segmented
+from repro.io import BundleReader, record_kind, save_audit_bundle_segmented
 from repro.net import BundlePublisher, RemoteBundleReader
 from repro.workloads import wiki_workload
 
@@ -44,41 +53,34 @@ def _consume(epochs_iter):
             for s in epochs_iter]
 
 
-def measure_file(execution, repeats: int = 1):
-    fd, path = tempfile.mkstemp(suffix=".jsonl", prefix="repro_bench_")
-    os.close(fd)
-    try:
-        save_audit_bundle_segmented(path, execution.trace,
-                                    execution.reports,
-                                    execution.initial_state,
-                                    execution.epoch_marks)
-        best = None
-        for _ in range(max(1, repeats)):
-            started = _time.perf_counter()
-            with BundleReader(path) as reader:
-                reader.read_initial_state()
-                shapes = _consume(reader.epochs(follow=True,
-                                                idle_timeout=30))
-            elapsed = _time.perf_counter() - started
-            if best is None or elapsed < best[1]:
-                best = (shapes, elapsed)
-        return best
-    finally:
-        os.unlink(path)
-
-
-def measure_socket(execution, repeats: int = 1):
-    shards = partition_audit_inputs(execution.trace, execution.reports,
-                                    cuts=execution.epoch_marks)
+def measure_file(path, repeats: int = 1):
     best = None
     for _ in range(max(1, repeats)):
-        with BundlePublisher() as publisher:
+        started = _time.perf_counter()
+        with BundleReader(path) as reader:
+            reader.read_initial_state()
+            shapes = _consume(reader.epochs(follow=True,
+                                            idle_timeout=30))
+        elapsed = _time.perf_counter() - started
+        if best is None or elapsed < best[1]:
+            best = (shapes, elapsed)
+    return best
+
+
+def measure_socket(path, repeats: int = 1, **publisher_knobs):
+    best = None
+    for _ in range(max(1, repeats)):
+        with BundlePublisher(**publisher_knobs) as publisher:
 
             def publish():
-                publisher.write_state(execution.initial_state)
-                for shard in shards:
-                    publisher.write_epoch(shard.trace, shard.reports)
-                publisher.write_end()
+                # The zero re-encode path: each bundle line goes onto
+                # the wire verbatim; only its kind is sniffed.
+                with open(path, "rb") as fh:
+                    for line in fh:
+                        kind = record_kind(line)
+                        if kind is not None:  # skip the header line
+                            publisher.write_record_payload(line,
+                                                           kind=kind)
 
             thread = threading.Thread(target=publish)
             started = _time.perf_counter()
@@ -87,10 +89,11 @@ def measure_socket(execution, repeats: int = 1):
                                     idle_timeout=30) as reader:
                 reader.read_initial_state()
                 shapes = _consume(reader.epochs())
+                wire_bytes = reader.wire_bytes_received
             elapsed = _time.perf_counter() - started
             thread.join(timeout=30)
         if best is None or elapsed < best[1]:
-            best = (shapes, elapsed)
+            best = (shapes, elapsed, wire_bytes)
     return best
 
 
@@ -98,8 +101,18 @@ def run(scale: float, epoch_size: int, seed: int = 1, repeats: int = 2):
     workload = wiki_workload(scale=scale)
     execution = run_online_phase(workload, seed=seed,
                                  epoch_size=epoch_size)
-    file_shapes, file_seconds = measure_file(execution, repeats)
-    socket_shapes, socket_seconds = measure_socket(execution, repeats)
+    fd, path = tempfile.mkstemp(suffix=".jsonl", prefix="repro_bench_")
+    os.close(fd)
+    try:
+        save_audit_bundle_segmented(path, execution.trace,
+                                    execution.reports,
+                                    execution.initial_state,
+                                    execution.epoch_marks)
+        file_shapes, file_seconds = measure_file(path, repeats)
+        socket_shapes, socket_seconds, wire_bytes = measure_socket(
+            path, repeats)
+    finally:
+        os.unlink(path)
     assert socket_shapes == file_shapes, (
         "transports disagree on the epoch stream")
     epochs = len(file_shapes)
@@ -120,6 +133,8 @@ def run(scale: float, epoch_size: int, seed: int = 1, repeats: int = 2):
         "file_events_per_s": events / max(file_seconds, 1e-12),
         "socket_events_per_s": events / max(socket_seconds, 1e-12),
         "socket_overhead": socket_seconds / max(file_seconds, 1e-12),
+        "wire_bytes": wire_bytes,
+        "wire_bytes_per_event": wire_bytes / max(events, 1),
     }
 
 
@@ -134,13 +149,15 @@ def test_socket_matches_file_and_keeps_up(capsys):
     row = run(scale=0.02, epoch_size=25, repeats=2)
     assert row["epochs"] > 1
     assert row["socket_epochs_per_s"] > 0.1 * row["file_epochs_per_s"], row
+    assert row["wire_bytes"] > 0
     with capsys.disabled():
         print()
         print("=== socket vs file-follow transport ===")
         print(f"  epochs={row['epochs']} events={row['events']} "
               f"file={row['file_seconds'] * 1e3:.1f}ms "
               f"socket={row['socket_seconds'] * 1e3:.1f}ms "
-              f"({row['socket_overhead']:.2f}x)")
+              f"({row['socket_overhead']:.2f}x, "
+              f"{row['wire_bytes_per_event']:.0f} B/event)")
 
 
 # -- standalone entry point ----------------------------------------------------
@@ -166,7 +183,8 @@ def main(argv=None) -> int:
           f"({result['file_epochs_per_s']:.1f} epochs/s)")
     print(f"  socket:      {result['socket_seconds'] * 1e3:.1f} ms "
           f"({result['socket_epochs_per_s']:.1f} epochs/s, "
-          f"{result['socket_overhead']:.2f}x file)")
+          f"{result['socket_overhead']:.2f}x file, "
+          f"{result['wire_bytes_per_event']:.0f} B/event)")
     return 0
 
 

@@ -134,11 +134,31 @@ def metrics_epoch_parallel(data) -> List[Metric]:
 
 def metrics_transport(data) -> List[Metric]:
     """``bench_transport``: socket-vs-file overhead of the live
-    transport (lower is better)."""
+    transport, and the wire's serialization cost per event (both lower
+    is better; bytes/event is host-independent, so it catches framing
+    bloat even on a noisy runner)."""
     out: List[Metric] = []
     if "socket_overhead" in data:
         out.append(Metric("socket_overhead", data["socket_overhead"],
                           higher_is_better=False))
+    if "wire_bytes_per_event" in data:
+        out.append(Metric("wire_bytes_per_event",
+                          data["wire_bytes_per_event"],
+                          higher_is_better=False))
+    return out
+
+
+def metrics_backends(data) -> List[Metric]:
+    """``bench_backends``: the compiling backend's speedup over the
+    tree-walk engines on the same run's singleton-group workload.
+    Serial measurements — meaningful on any runner — with a parity
+    floor: compinterp regressing below the plain interpreter is a
+    structural loss no baseline can excuse."""
+    out: List[Metric] = []
+    for name in ("compinterp_speedup_vs_interp",
+                 "compinterp_speedup_vs_accinterp"):
+        if name in data:
+            out.append(Metric(name, data[name], floor=1.0))
     return out
 
 
@@ -147,6 +167,7 @@ EXTRACTORS = {
     "streaming_session": metrics_streaming_session,
     "epoch_parallel": metrics_epoch_parallel,
     "transport": metrics_transport,
+    "backends": metrics_backends,
 }
 
 

@@ -172,7 +172,9 @@ def cmd_serve(args) -> int:
     try:
         publisher = BundlePublisher(config.listen,
                                     stall_timeout=config.net_idle_timeout,
-                                    spool_epochs=args.spool_epochs)
+                                    spool_epochs=args.spool_epochs,
+                                    batch_records=config.batch_records,
+                                    batch_bytes=config.batch_bytes)
     except OSError as exc:
         print(f"error: cannot listen on {config.listen}: {exc}",
               file=sys.stderr)
@@ -472,6 +474,14 @@ def main(argv=None) -> int:
                        metavar="SECONDS",
                        help="drop a subscriber that lags this long "
                             "(it can reconnect and resume)")
+    serve.add_argument("--batch-records", type=int, default=None,
+                       dest="batch_records", metavar="N",
+                       help="records per RECORD_BATCH wire frame "
+                            "(default 64; 1 disables batching)")
+    serve.add_argument("--batch-bytes", type=int, default=None,
+                       dest="batch_bytes", metavar="BYTES",
+                       help="flush the pending wire batch at this many "
+                            "payload bytes (default 262144)")
     serve.add_argument("--spool-epochs", type=int, default=None,
                        metavar="N",
                        help="keep only the newest N sealed epochs for "

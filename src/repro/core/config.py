@@ -109,6 +109,12 @@ class AuditConfig:
     #: Transport: resume attempts after a mid-stream disconnect before
     #: the audit fails (0 disables resume).
     net_retries: int = 3
+    #: Transport (serve side): records per ``RECORD_BATCH`` wire frame;
+    #: 1 reproduces the unbatched (one RECORD per frame) wire exactly.
+    batch_records: int = 64
+    #: Transport (serve side): flush the pending batch once its JSON
+    #: payload reaches this many bytes, whatever the record count.
+    batch_bytes: int = 256 * 1024
 
     def __post_init__(self):
         if self.epoch_cuts is not None and not isinstance(
@@ -201,6 +207,12 @@ class AuditConfig:
                 f"net_retries must be an integer >= 0, got "
                 f"{self.net_retries!r}"
             )
+        for field in ("batch_records", "batch_bytes"):
+            value = getattr(self, field)
+            if not _is_int(value) or value < 1:
+                raise ValueError(
+                    f"{field} must be an integer >= 1, got {value!r}"
+                )
         return self
 
     def validate_for_trace(self, trace) -> "AuditConfig":
@@ -320,7 +332,8 @@ class AuditConfig:
                       "workers", "epoch_workers", "prepass_depth",
                       "epoch_size", "backend", "migrate", "connect",
                       "listen", "net_connect_timeout",
-                      "net_idle_timeout", "net_retries"):
+                      "net_idle_timeout", "net_retries",
+                      "batch_records", "batch_bytes"):
             value = getattr(args, field, None)
             if value is not None:
                 changes[field] = value
@@ -362,6 +375,10 @@ class AuditConfig:
             parts.append(f"connect={self.connect}")
         if self.listen:
             parts.append(f"listen={self.listen}")
+            if self.batch_records != 64:
+                parts.append(f"batch_records={self.batch_records}")
+            if self.batch_bytes != 256 * 1024:
+                parts.append(f"batch_bytes={self.batch_bytes}")
         return " ".join(parts)
 
 

@@ -39,24 +39,29 @@ from repro.trace.trace import Trace, check_balanced
 
 
 def execute_one(
-    app: Application, request: Request, ctx: SimContext
+    app: Application, request: Request, ctx: SimContext,
+    interp=None,
 ) -> str:
     """Re-execute one request to completion against the logs.
 
     Returns the produced body.  A deterministic application error
     reproduces the executor's fixed 500 page (and the handler checks the
-    log shows the matching rollback).
+    log shows the matching rollback).  ``interp`` swaps in another
+    engine with the :meth:`Interpreter.run` generator contract (the
+    ``compinterp`` backend passes its compiled-program runner); ``None``
+    means the plain interpreter.
     """
     handler = OpHandler(ctx, request.rid)
     cursor = NondetCursor(
         request.rid, ctx.reports.nondet.get(request.rid, [])
     )
-    interp = Interpreter(
-        db_name=app.db_name,
-        kv_name=app.kv_name,
-        session_cookie=app.session_cookie,
-        record_flow=False,
-    )
+    if interp is None:
+        interp = Interpreter(
+            db_name=app.db_name,
+            kv_name=app.kv_name,
+            session_cookie=app.session_cookie,
+            record_flow=False,
+        )
     program = app.script(request.script)
     gen = interp.run(program, request)
     try:

@@ -69,6 +69,7 @@ from repro.core.reexec import (
     DEFAULT_MAX_GROUP,
     available_cpus,
     fork_inherits_context,
+    get_reexec_backend,
     reexec_groups,
 )
 from repro.core.simulate import SimContext
@@ -162,6 +163,12 @@ class AuditContext:
         self.reports = reports
         self.initial_state = initial_state
         self.options = options or AuditOptions()
+        # Fail at the boundary, not five frames deep in reexec_groups:
+        # AuditOptions is deliberately lenient (internal plumbing), so a
+        # bad backend name entering via ssco_audit kwargs or a
+        # hand-built options object is caught here, with the registered
+        # names in the message.
+        get_reexec_backend(self.options.backend)
         # Artifacts the phases hand to each other.
         self.graph = None
         self.opmap = None

@@ -16,7 +16,9 @@ Divergence policy:
 Unsupported-SIMD cases (:class:`MultivalueFallback`) and application
 errors always demote, in both modes — they are implementation retry paths,
 not verdicts (§4.3: acc-PHP "retries, by separately re-executing the
-requests in sequence").
+requests in sequence").  So does divergence inside an ``error:<script>``
+group: the executor groups errored requests by script, not by the path
+taken before the error, so such groups diverge on honest executions.
 
 Groups larger than ``max_group_size`` are chunked, mirroring acc-PHP's
 3,000-request group cap (§4.7).
@@ -56,7 +58,7 @@ divergence of a bogus grouping is observed group-wide.
 Pluggable backends: the re-execution engine that runs one chunk is a
 registered component (:func:`register_reexec_backend`), selected by
 name through ``AuditConfig.backend`` / ``ssco_audit(backend=...)``.
-Two backends ship:
+Three backends ship:
 
 * ``"accinterp"`` (default) — the SIMD-on-demand grouped interpreter
   (:class:`~repro.accel.accinterp.AccInterpreter`), the paper's
@@ -68,7 +70,11 @@ Two backends ship:
   in-group divergence detection — a bogus grouping is still caught by
   the per-request output checks).  It is the oracle the equivalence
   tests compare against and the template for future engines (bytecode,
-  subinterpreters, remote workers).
+  subinterpreters, remote workers);
+* ``"compinterp"`` — the compiling engine (:mod:`repro.lang.compile`):
+  same per-request discipline as ``"interp"``, but each script's AST is
+  compiled to closure chains once per process and cached, so repeated
+  re-execution pays no per-node dispatch.
 
 Backends only replace the *re-execution engine*; chunk planning, the
 process-pool fan-out, and result merging are shared.  A backend name is
@@ -100,6 +106,7 @@ from repro.accel.accinterp import (
     GroupNondetIntent,
     GroupStateOpIntent,
 )
+from repro.lang.compile import CompInterpreter
 from repro.trace.events import ExternalRequest
 from repro.core.dedup import QueryDedup
 from repro.core.ooo import execute_one
@@ -112,7 +119,13 @@ from repro.trace.trace import Trace
 DEFAULT_MAX_GROUP = 3000
 
 #: The stock re-execution backend (the paper's accelerated interpreter).
-DEFAULT_BACKEND = "accinterp"
+#: ``REPRO_BACKEND`` overrides the default process-wide — it is read at
+#: import time so every seam that bakes the default in (function
+#: defaults, ``AuditConfig`` fields, worker initializers) agrees, and
+#: CI's backend-matrix job uses it to run the whole suite on another
+#: engine without touching any call site.  An unknown name fails with
+#: the registry's clean "unknown re-exec backend" error on first use.
+DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "accinterp")
 
 
 @dataclass
@@ -250,8 +263,48 @@ class PlainInterpBackend(ReexecBackend):
         _fallback(app, rids, requests, ctx, produced, stats)
 
 
+class CompInterpBackend(ReexecBackend):
+    """Per-request re-execution through the compiling engine
+    (:mod:`repro.lang.compile`).
+
+    Same per-request simulate-and-check discipline as the ``interp``
+    reference backend — and therefore bit-identical produced bodies,
+    verdicts, and stats accounting — but each script's AST is compiled
+    to closure chains once per process and reused across every chunk,
+    group, and epoch (the compile cache is keyed by program identity,
+    so pool workers compile on first use after unpickling the app)."""
+
+    name = "compinterp"
+
+    def __init__(self, app: Application, collapse: bool = True):
+        del collapse  # per-request execution has no SIMD to collapse
+        self.interp = CompInterpreter(
+            db_name=app.db_name,
+            kv_name=app.kv_name,
+            session_cookie=app.session_cookie,
+            record_flow=False,
+        )
+
+    def run_chunk(self, app, rids, requests, reports, ctx, strict, dedup,
+                  produced, stats) -> None:
+        stats.groups += 1
+        scripts = {requests[rid].script for rid in rids}
+        if len(scripts) > 1 and strict:
+            raise AuditReject(
+                RejectReason.GROUP_DIVERGED,
+                f"group mixes scripts {sorted(scripts)}",
+            )
+        ctx.dedup = None
+        for rid in rids:
+            ctx.produced_externals.pop(rid, None)
+            produced[rid] = execute_one(app, requests[rid], ctx,
+                                        interp=self.interp)
+            stats.fallback_requests += 1
+
+
 register_reexec_backend(AccInterpBackend.name, AccInterpBackend)
 register_reexec_backend(PlainInterpBackend.name, PlainInterpBackend)
+register_reexec_backend(CompInterpBackend.name, CompInterpBackend)
 
 
 #: Parallel planning: aim for this many chunks per worker (load
@@ -462,7 +515,7 @@ def _run_chunk(
         stats.group_alphas.append((len(rids), alpha, output.steps))
     except DivergenceError as diverged:
         stats.divergences += 1
-        if strict:
+        if strict and not _in_error_group(reports, rids[0]):
             raise AuditReject(RejectReason.GROUP_DIVERGED, diverged.detail)
         _fallback(app, rids, requests, ctx, produced, stats)
     except (MultivalueFallback, WeblangError):
@@ -692,6 +745,23 @@ def _merge_stats(into: ReExecStats, delta: ReExecStats) -> None:
     into.steps += delta.steps
     into.multi_steps += delta.multi_steps
     into.group_alphas.extend(delta.group_alphas)
+
+
+def _in_error_group(reports: Reports, rid: str) -> bool:
+    """Whether ``rid`` was grouped under an ``error:<script>`` tag.
+
+    The executor groups every errored request of a script under one
+    ``error:`` flow tag regardless of the path taken before the error,
+    so divergence inside such a group is expected on honest executions
+    — it must demote (the same retry path application errors already
+    take), never reject, even in strict mode.  A bogus ``error:`` label
+    buys an attacker nothing: demotion re-executes per request with
+    every output check intact.
+    """
+    for tag, rids in reports.groups.items():
+        if tag.startswith("error:") and rid in rids:
+            return True
+    return False
 
 
 def _fallback(

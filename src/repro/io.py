@@ -318,6 +318,35 @@ def end_record(position: int) -> Dict:
     return {"kind": "end", "events": position}
 
 
+#: Every record dict above leads with its ``"kind"`` key, and
+#: ``json.dumps`` preserves insertion order — so an encoded record's
+#: kind is readable from its first bytes, in both the writer's spelling
+#: (default separators) and the wire's (compact separators).
+_KIND_PREFIXES = (b'{"kind": "', b'{"kind":"')
+
+
+def record_kind(line: bytes) -> Optional[str]:
+    """The kind of one encoded record line, without parsing it.
+
+    This is what lets :meth:`repro.net.BundlePublisher.
+    write_record_payload` splice a recorder's on-disk bundle straight
+    onto the wire: a prefix sniff instead of a full JSON round-trip per
+    record.  Falls back to a real parse for encodings this module did
+    not produce; returns ``None`` for the bundle header line (the only
+    bundle line without a kind).
+    """
+    for prefix in _KIND_PREFIXES:
+        if line.startswith(prefix):
+            end = line.index(b'"', len(prefix))
+            return line[len(prefix):end].decode("ascii")
+    try:
+        record = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    kind = record.get("kind") if isinstance(record, dict) else None
+    return kind if isinstance(kind, str) else None
+
+
 def iter_report_records(reports: Reports) -> Iterator[Dict]:
     """All four report types, op logs chunked at a bounded size."""
     for tag in reports.groups:

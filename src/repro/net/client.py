@@ -52,9 +52,11 @@ from repro.io import (
 )
 from repro.net.protocol import (
     ERROR,
+    FLAG_BATCH,
     HEARTBEAT,
     HELLO,
     RECORD,
+    RECORD_BATCH,
     SUBSCRIBE,
     FrameSocket,
     IdleTimeout,
@@ -115,6 +117,7 @@ class RemoteBundleReader:
         self.segmented = True  # the wire layout is always per-epoch runs
         self.header: Optional[dict] = None
         self._fsock: Optional[FrameSocket] = None
+        self._bytes_prev_connections = 0
         self._pushback: List[object] = []
         self._initial_state: Optional[InitialState] = None
         #: Epochs fully yielded — the resume position after a disconnect.
@@ -138,6 +141,13 @@ class RemoteBundleReader:
         recorder may not be listening yet (startup race) or may be
         restarting (resume race).
         """
+        if self._fsock is not None and not self._fsock.closed:
+            self._fsock.close()
+        if self._fsock is not None:
+            # Bank the dead connection's byte count exactly once (a
+            # failed reconnect retries _connect with _fsock unchanged).
+            self._bytes_prev_connections += self._fsock.bytes_received
+            self._fsock.bytes_received = 0
         deadline = Deadline(self._connect_timeout)
         while True:
             try:
@@ -150,7 +160,9 @@ class RemoteBundleReader:
                     raise
                 deadline.sleep(0.1)
         try:
-            fsock.send_preamble()
+            # Advertise batch capability; a pre-batching publisher
+            # ignores the flag and streams plain RECORD frames.
+            fsock.send_preamble(FLAG_BATCH)
             fsock.send_frame(SUBSCRIBE,
                              {"from_epoch": self._epochs_done})
             fsock.recv_preamble(deadline)
@@ -239,15 +251,37 @@ class RemoteBundleReader:
                     f"publisher error: "
                     f"{(payload or {}).get('error', 'unknown')}"
                 )
-            if kind != RECORD:
+            if kind == RECORD:
+                records = (payload,)
+            elif kind == RECORD_BATCH:
+                # Negotiated via FLAG_BATCH in our preamble: many
+                # records amortizing one frame header + CRC.
+                if not isinstance(payload, list):
+                    raise ProtocolError(
+                        "RECORD_BATCH payload is not a JSON array"
+                    )
+                records = payload
+            else:
                 raise ProtocolError(
                     f"unexpected frame kind 0x{kind:02x} mid-stream"
                 )
             failures = 0
-            if payload.get("kind") == "end":
-                self._ended = True
-                return
-            yield payload
+            for record in records:
+                if (isinstance(record, dict)
+                        and record.get("kind") == "end"):
+                    self._ended = True
+                    return
+                yield record
+
+    @property
+    def wire_bytes_received(self) -> int:
+        """Total bytes read off the wire across all connections of this
+        reader (frames + preambles) — the transport benchmark divides
+        this by events received to gate serialization bloat."""
+        total = self._bytes_prev_connections
+        if self._fsock is not None:
+            total += self._fsock.bytes_received
+        return total
 
     # -- the BundleReader contract ----------------------------------------
 

@@ -24,8 +24,23 @@ any JSON is parsed.  Frame kinds:
 * ``RECORD`` — server → client; one bundle record, identical to a
   JSONL line's dict (``state`` / ``event`` / ``epoch_mark`` / report
   kinds / ``end``);
+* ``RECORD_BATCH`` — server → client; a JSON *array* of bundle
+  records, in stream order — one frame header + CRC amortized over
+  many records.  Sent only to subscribers that advertised
+  :data:`FLAG_BATCH` in their preamble flags (see below); a
+  non-advertising subscriber receives the same records as individual
+  ``RECORD`` frames, so old and new peers interoperate in both
+  directions.  A peer that somehow receives the kind without
+  advertising it fails loud with "unknown frame kind" — never a
+  silent truncation;
 * ``ERROR`` — server → client; ``{"error": msg}``, e.g. a resume from
   an epoch the spool has already evicted.
+
+The preamble's ``flags`` field is the capability negotiation: bit 0
+(:data:`FLAG_BATCH`) means "I accept ``RECORD_BATCH`` frames".  Flags
+a peer does not know are ignored, so capabilities extend the protocol
+without a version bump (the version field stays reserved for breaking
+changes to the frame format itself).
 
 A frame whose CRC does not match its payload, whose length field is
 absurd, or that ends mid-payload is *rejected*: :class:`ProtocolError`
@@ -50,6 +65,11 @@ PROTOCOL_VERSION = 1
 _PREAMBLE = struct.Struct("!4sHH")
 PREAMBLE = _PREAMBLE.pack(MAGIC, PROTOCOL_VERSION, 0)
 
+#: Preamble capability flags.  A peer sets a bit to say "I accept
+#: this"; unknown bits are ignored (that is what makes them
+#: capabilities and not a version bump).
+FLAG_BATCH = 0x0001  # accepts RECORD_BATCH frames
+
 _HEADER = struct.Struct("!BI")   # kind, payload length
 _TRAILER = struct.Struct("!I")   # crc32(kind byte + payload)
 
@@ -63,8 +83,23 @@ ERROR = 0x04
 #: before a long recording run finished).  Receivers reset their idle
 #: deadline and otherwise ignore it.
 HEARTBEAT = 0x05
+#: Server → client; a JSON array of records in stream order.  Only
+#: sent to subscribers whose preamble advertised FLAG_BATCH.
+RECORD_BATCH = 0x06
 
-_KNOWN_KINDS = frozenset({HELLO, SUBSCRIBE, RECORD, ERROR, HEARTBEAT})
+_KNOWN_KINDS = frozenset({HELLO, SUBSCRIBE, RECORD, ERROR, HEARTBEAT,
+                          RECORD_BATCH})
+
+#: Frames per sendmsg() call in :meth:`FrameSocket.send_frames` —
+#: comfortably under every platform's IOV_MAX (POSIX floor is 16,
+#: Linux is 1024).
+_SENDMSG_FRAMES = 16
+
+#: :class:`FrameSocket` caches the timeout it last installed on the
+#: raw socket (``settimeout`` is not free, and receive loops would
+#: otherwise reinstall a near-identical deadline once per recv).  This
+#: sentinel marks "never installed / externally changed".
+_TIMEOUT_UNKNOWN = object()
 
 #: Upper bound on a frame payload; a length beyond this is corruption,
 #: not a big record (the op-log chunking in repro.io bounds real
@@ -130,11 +165,46 @@ def address_family(host: str) -> int:
     return socket.AF_INET6 if ":" in host else socket.AF_INET
 
 
+def _frame_crc(kind: int, payload) -> int:
+    # Incremental CRC over the kind byte then the payload: no
+    # ``bytes([kind]) + payload`` copy of the (possibly large) payload.
+    return zlib.crc32(payload, zlib.crc32(bytes((kind,)))) & 0xFFFFFFFF
+
+
+def encode_json(obj: object) -> bytes:
+    """The canonical JSON encoding of one record (compact separators)."""
+    return json.dumps(obj, separators=(",", ":")).encode()
+
+
 def encode_frame(kind: int, payload_obj: object) -> bytes:
     """One wire frame for ``payload_obj`` (JSON-encoded)."""
-    payload = json.dumps(payload_obj, separators=(",", ":")).encode()
-    crc = zlib.crc32(bytes([kind]) + payload) & 0xFFFFFFFF
-    return _HEADER.pack(kind, len(payload)) + payload + _TRAILER.pack(crc)
+    return encode_frame_payload(kind, encode_json(payload_obj))
+
+
+def encode_frame_payload(kind: int, payload: bytes) -> bytes:
+    """One wire frame around an already-JSON-encoded ``payload``.
+
+    This is the batching fast path: the publisher JSON-encodes each
+    record exactly once and splices the encodings into a
+    ``RECORD_BATCH`` payload with ``b",".join`` — no re-serialization
+    per subscriber or per framing decision.
+    """
+    crc = _frame_crc(kind, payload)
+    return b"".join((
+        _HEADER.pack(kind, len(payload)), payload, _TRAILER.pack(crc)
+    ))
+
+
+def encode_batch_frame(payloads) -> bytes:
+    """A ``RECORD_BATCH`` frame from per-record JSON encodings.
+
+    ``payloads`` is a sequence of ``encode_json(record)`` results;
+    joining them with commas inside brackets *is* the JSON array — the
+    records are never parsed or re-encoded here.
+    """
+    return encode_frame_payload(
+        RECORD_BATCH, b"[" + b",".join(payloads) + b"]"
+    )
 
 
 def decode_frame(data: bytes) -> Tuple[int, object, int]:
@@ -167,15 +237,18 @@ def _check_header(kind: int, length: int) -> None:
         )
 
 
-def _verify(kind: int, payload: bytes, crc: int) -> object:
-    expected = zlib.crc32(bytes([kind]) + payload) & 0xFFFFFFFF
+def _verify(kind: int, payload, crc: int) -> object:
+    """CRC-check then parse; ``payload`` may be bytes or a memoryview
+    over the receive buffer (the CRC runs on it in place — the only
+    copy is the one ``json`` needs anyway)."""
+    expected = _frame_crc(kind, payload)
     if crc != expected:
         raise ProtocolError(
             f"frame CRC mismatch (got 0x{crc:08x}, "
             f"expected 0x{expected:08x})"
         )
     try:
-        return json.loads(payload.decode())
+        return json.loads(bytes(payload).decode())
     except (UnicodeDecodeError, ValueError) as exc:
         raise ProtocolError(f"frame payload is not JSON: {exc}") from None
 
@@ -192,12 +265,21 @@ class FrameSocket:
     def __init__(self, sock: socket.socket):
         self._sock = sock
         self._buffer = bytearray()  # append is amortized O(1)
+        self._pos = 0               # consumed prefix of _buffer
+        self._timeout_installed: object = _TIMEOUT_UNKNOWN
         self._closed = False
+        #: Wire-byte counters (frames + preambles, both directions) —
+        #: the transport benchmark's ``wire_bytes_per_event`` metric
+        #: reads these.
+        self.bytes_sent = 0
+        self.bytes_received = 0
 
     # -- sending ----------------------------------------------------------
 
-    def send_preamble(self) -> None:
-        self.send_raw(PREAMBLE)  # OSError -> TransportError, like frames
+    def send_preamble(self, flags: int = 0) -> None:
+        # OSError -> TransportError, like frames.
+        self.send_raw(PREAMBLE if not flags else
+                      _PREAMBLE.pack(MAGIC, PROTOCOL_VERSION, flags))
 
     def send_frame(self, kind: int, payload_obj: object) -> None:
         self.send_raw(encode_frame(kind, payload_obj))
@@ -209,39 +291,117 @@ class FrameSocket:
             self._sock.sendall(frame)
         except OSError as exc:
             raise TransportError(f"send failed: {exc}") from exc
+        self.bytes_sent += len(frame)
+
+    def send_frames(self, frames) -> None:
+        """Vectored send of several pre-encoded frames: one
+        ``sendmsg()`` per :data:`_SENDMSG_FRAMES` frames instead of one
+        syscall (and one kernel copy boundary) per frame.  The
+        publisher's sender thread drains its whole queue backlog
+        through this."""
+        if not frames:
+            return
+        if len(frames) == 1 or not hasattr(self._sock, "sendmsg"):
+            for frame in frames:  # pragma: no cover - sendmsg is POSIX
+                self.send_raw(frame)
+            return
+        views = [memoryview(f) for f in frames]
+        total = sum(len(f) for f in frames)
+        try:
+            start = 0
+            while start < len(views):
+                sent = self._sock.sendmsg(
+                    views[start:start + _SENDMSG_FRAMES])
+                # sendmsg may stop short; resume mid-frame without
+                # copying by re-slicing the memoryview.
+                while sent:
+                    head = views[start]
+                    if sent >= len(head):
+                        sent -= len(head)
+                        start += 1
+                    else:
+                        views[start] = head[sent:]
+                        sent = 0
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
+        self.bytes_sent += total
 
     # -- receiving --------------------------------------------------------
 
-    def _recv_exact(self, count: int, deadline: Deadline) -> bytes:
-        while len(self._buffer) < count:
+    def _recv_exact(self, count: int, deadline: Deadline):
+        """Return a memoryview over the next ``count`` buffered bytes.
+
+        The view is valid only until the next ``_recv_exact`` call
+        (which may compact or grow the buffer); callers consume it
+        immediately.  Compared to slicing ``bytes`` off the front of
+        the buffer per field, this parses frames with zero copies —
+        the consumed prefix is dropped at most once per refill instead
+        of three times per frame.
+        """
+        buffer = self._buffer
+        pos = self._pos
+        if pos and (len(buffer) == pos or pos >= 65536):
+            try:
+                del buffer[:pos]
+            except BufferError:  # pragma: no cover - defensive
+                # A caller's view is still alive (e.g. kept by an
+                # exception traceback); skip compaction this round.
+                pass
+            else:
+                self._pos = pos = 0
+        while len(buffer) - pos < count:
             remaining = deadline.remaining()
             if remaining is not None and remaining <= 0:
                 raise IdleTimeout(
                     f"no data for {deadline.timeout}s (idle deadline)"
                 )
+            self._install_timeout(remaining)
             try:
-                self._sock.settimeout(remaining)
                 chunk = self._sock.recv(65536)
             except socket.timeout:
-                raise IdleTimeout(
-                    f"no data for {deadline.timeout}s (idle deadline)"
-                ) from None
+                # The installed timeout may lag the deadline slightly;
+                # the loop head re-checks and raises IdleTimeout only
+                # when the deadline has truly expired.
+                continue
             except OSError as exc:
                 raise TransportError(f"recv failed: {exc}") from exc
             if not chunk:
                 raise TransportError("connection closed by peer")
-            self._buffer += chunk
+            buffer += chunk
+            self.bytes_received += len(chunk)
             # Bytes are progress: the idle deadline means "no data",
             # so a large frame trickling over a slow link must never
             # be misread as a mid-frame stall.
             deadline.restart()
-        data = bytes(self._buffer[:count])
-        del self._buffer[:count]
-        return data
+        self._pos = pos + count
+        return memoryview(buffer)[pos:self._pos]
 
-    def recv_preamble(self, deadline: Deadline) -> None:
-        raw = self._recv_exact(_PREAMBLE.size, deadline)
-        magic, version, _flags = _PREAMBLE.unpack(raw)
+    def _install_timeout(self, remaining) -> None:
+        """Put ``remaining`` on the raw socket, skipping the syscall
+        when the installed timeout is already close enough: at least
+        ``remaining`` (never time out early — a premature wake is just
+        a wasted loop, but systematically undershooting would spin) and
+        within 10% + 50ms of it (bounded overshoot, so an idle deadline
+        fires at most fractionally late)."""
+        current = self._timeout_installed
+        if current is _TIMEOUT_UNKNOWN:
+            pass
+        elif remaining is None:
+            if current is None:
+                return
+        elif (current is not None
+                and remaining <= current <= remaining * 1.1 + 0.05):
+            return
+        self._sock.settimeout(remaining)
+        self._timeout_installed = remaining
+
+    def _buffered(self) -> int:
+        return len(self._buffer) - self._pos
+
+    def recv_preamble(self, deadline: Deadline) -> int:
+        """Validate the peer's preamble; returns its capability flags."""
+        magic, version, flags = _PREAMBLE.unpack(
+            self._recv_exact(_PREAMBLE.size, deadline))
         if magic != MAGIC:
             raise ProtocolError(
                 f"bad preamble magic {magic!r} (not a repro.net peer)"
@@ -251,29 +411,33 @@ class FrameSocket:
                 f"unsupported protocol version {version} "
                 f"(expected {PROTOCOL_VERSION})"
             )
+        return flags
 
     def recv_frame(self, deadline: Deadline) -> Tuple[int, object]:
         try:
-            header = self._recv_exact(_HEADER.size, deadline)
+            kind, length = _HEADER.unpack(
+                self._recv_exact(_HEADER.size, deadline))
         except IdleTimeout:
-            if self._buffer:
+            if self._buffered():
                 raise TransportError(
                     "peer stalled mid-frame (partial header)"
                 ) from None
             raise
-        kind, length = _HEADER.unpack(header)
         _check_header(kind, length)
         try:
-            payload = self._recv_exact(length, deadline)
-            (crc,) = _TRAILER.unpack(
-                self._recv_exact(_TRAILER.size, deadline))
+            body = self._recv_exact(length + _TRAILER.size, deadline)
         except IdleTimeout as exc:
             # Past the header we are provably mid-frame: a stall here is
             # truncation (resume territory), never a quiet stream.
             raise TransportError(
                 f"peer stalled mid-frame: {exc}"
             ) from None
-        return kind, _verify(kind, payload, crc)
+        try:
+            (crc,) = _TRAILER.unpack_from(body, length)
+            payload = _verify(kind, body[:length], crc)
+        finally:
+            body.release()  # let the next _recv_exact compact the buffer
+        return kind, payload
 
     # -- lifecycle --------------------------------------------------------
 
@@ -282,6 +446,7 @@ class FrameSocket:
         last deadline's remaining time installed; a sender loop that
         must block indefinitely clears it)."""
         self._sock.settimeout(timeout)
+        self._timeout_installed = timeout
 
     @property
     def closed(self) -> bool:

@@ -32,10 +32,22 @@ Three properties matter for a live deployment:
 * **single writer** — like :class:`~repro.io.BundleWriter`, the
   ``write_*`` methods are meant for one recording thread; fan-out and
   per-subscriber sending happen on internal threads.
+* **batching** — records are JSON-encoded once on arrival and shipped
+  ``batch_records``/``batch_bytes`` at a time as ``RECORD_BATCH``
+  frames to subscribers that negotiated the capability (a legacy
+  subscriber transparently receives the same records as individual
+  ``RECORD`` frames).  An epoch seal always flushes, so batching never
+  delays an auditable slice; ``batch_records=1`` reproduces the
+  unbatched wire byte for byte.
+* **zero re-encode replay** — :meth:`write_record_payload` publishes an
+  already-encoded record line verbatim (its kind sniffed from the
+  leading bytes), so replaying the recorder's persisted evidence bundle
+  to remote auditors costs framing, not serialization.
 """
 
 from __future__ import annotations
 
+import json
 import queue
 import socket
 import threading
@@ -52,19 +64,26 @@ from repro.io import (
     epoch_mark_record,
     event_record,
     iter_report_records,
+    record_kind,
     state_record,
 )
 from repro.net.protocol import (
     ERROR,
+    FLAG_BATCH,
     HEARTBEAT,
     HELLO,
     RECORD,
+    RECORD_BATCH,
     SUBSCRIBE,
     FrameSocket,
     ProtocolError,
     TransportError,
     address_family,
+    decode_frame,
+    encode_batch_frame,
     encode_frame,
+    encode_frame_payload,
+    encode_json,
     parse_endpoint,
 )
 from repro.server.app import InitialState
@@ -76,15 +95,34 @@ from repro.trace.trace import Trace
 _DONE = None
 
 
+def _explode_frame(frame: bytes) -> List[bytes]:
+    """Re-frame a spooled ``RECORD_BATCH`` as individual ``RECORD``
+    frames for a subscriber that did not advertise the batch
+    capability.  The slow path: only replayed snapshots for legacy
+    peers pay the decode/re-encode."""
+    if frame[0] != RECORD_BATCH:
+        return [frame]
+    _, records, _ = decode_frame(frame)
+    return [encode_frame(RECORD, record) for record in records]
+
+
 class _Subscriber:
     """One attached auditor: a framed socket, a bounded frame queue,
     and the sender thread that drains it."""
 
-    def __init__(self, fsock: FrameSocket, max_lag: int):
+    def __init__(self, fsock: FrameSocket, max_lag: int,
+                 batched: bool, seq_floor: int):
         self.fsock = fsock
         self.queue: "queue.Queue" = queue.Queue(maxsize=max_lag)
         self.closed = False
         self.drained = threading.Event()
+        #: The peer advertised FLAG_BATCH: it may be sent RECORD_BATCH
+        #: frames; a legacy peer gets every record as its own frame.
+        self.batched = batched
+        #: First flush sequence number this subscriber must receive
+        #: from the live broadcast — everything before it was already
+        #: delivered in the attach snapshot.
+        self.seq_floor = seq_floor
 
     def offer(self, frame: Optional[bytes],
               stall_timeout: Optional[float]) -> bool:
@@ -137,6 +175,8 @@ class BundlePublisher:
         backlog: int = 16,
         sndbuf: Optional[int] = None,
         heartbeat_interval: Optional[float] = 5.0,
+        batch_records: int = 64,
+        batch_bytes: int = 256 * 1024,
     ):
         if spool_epochs is not None and spool_epochs < 1:
             raise ValueError(
@@ -145,12 +185,28 @@ class BundlePublisher:
             )
         if max_lag < 1:
             raise ValueError(f"max_lag must be >= 1, got {max_lag!r}")
+        if batch_records < 1:
+            raise ValueError(
+                f"batch_records must be >= 1, got {batch_records!r}"
+            )
+        if batch_bytes < 1:
+            raise ValueError(
+                f"batch_bytes must be >= 1, got {batch_bytes!r}"
+            )
         host, port = parse_endpoint(listen)
         self.writer = writer
         self._spool_epochs = spool_epochs
         self.max_lag = max_lag
         self.stall_timeout = stall_timeout
         self.handshake_timeout = handshake_timeout
+        #: Wire batching: records accumulate (JSON-encoded once) until
+        #: ``batch_records`` records or ``batch_bytes`` payload bytes,
+        #: then ship as one ``RECORD_BATCH`` frame.  An epoch seal
+        #: (mark/end) always flushes, so nothing an auditor could act
+        #: on is ever delayed — auditable slices close on marks.
+        #: ``batch_records=1`` reproduces the unbatched wire exactly.
+        self.batch_records = batch_records
+        self.batch_bytes = batch_bytes
         #: Cap on each subscriber socket's SO_SNDBUF: together with
         #: ``max_lag`` this bounds the bytes a lagging consumer can pin
         #: on the publisher (kernel buffer + queued frames).
@@ -171,6 +227,17 @@ class BundlePublisher:
         self._current: List[bytes] = []
         self._current_epoch = 0
         self._current_has_events = False
+        #: Records awaiting a flush, as per-record JSON encodings (the
+        #: only serialization they ever get), plus their byte total.
+        self._pending: List[bytes] = []
+        self._pending_bytes = 0
+        #: Flushed entries not yet broadcast: (seq, frame, parts) where
+        #: ``parts`` is the per-record payload list for a batch frame
+        #: (None for a single-record frame).  The recorder thread
+        #: drains this at its next _publish, preserving per-subscriber
+        #: FIFO order even when an attach forced the flush.
+        self._unsent: List[Tuple[int, bytes, Optional[List[bytes]]]] = []
+        self._seq = 0
         self._ended = False
         self._closing = False
 
@@ -254,36 +321,151 @@ class BundlePublisher:
             self.writer.write_end()
         self._publish(end_record(self.position))
 
+    def write_record_payload(self, payload: bytes,
+                             kind: Optional[str] = None) -> None:
+        """Publish one **already-encoded** record — a line of the
+        recorder's on-disk JSONL bundle — without decoding or
+        re-serializing it.
+
+        This is the zero-copy splice from evidence file to wire: the
+        recorder pays the JSON encode once when it persists the bundle,
+        and replaying that bundle to remote auditors costs only the
+        framing.  ``kind`` skips the prefix sniff when the caller
+        already knows it.  The bundle header line has no kind and must
+        not be published (the ``HELLO`` frame carries its contents);
+        passing it raises ``ValueError``.  Pre-encoded records cannot
+        be mirrored to a wrapped writer — the payload *is* the writer's
+        output — so a publisher constructed with one rejects this call.
+        """
+        if self.writer is not None:
+            raise RuntimeError(
+                "write_record_payload does not mirror to a writer; "
+                "the payload already is the writer's encoding"
+            )
+        payload = payload.rstrip(b"\r\n")
+        if kind is None:
+            kind = record_kind(payload)
+        if kind is None:
+            raise ValueError(
+                "record payload has no kind (the bundle header line is "
+                "carried by HELLO, not republished)"
+            )
+        self._publish_payload(kind, payload)
+        if kind == "event":
+            self.position += 1
+        elif kind in ("epoch_mark", "end"):
+            # Rare (one per epoch): parse only for the bookkeeping the
+            # record-level API keeps.
+            events = json.loads(payload).get("events")
+            if kind == "epoch_mark" and isinstance(events, int):
+                self.epoch_marks.append(events)
+
     # -- spool + broadcast ------------------------------------------------
 
     def _publish(self, record: Dict) -> None:
-        frame = encode_frame(RECORD, record)
-        kind = record.get("kind")
+        self._publish_payload(record.get("kind"), encode_json(record))
+
+    def _publish_payload(self, kind: Optional[str],
+                         payload: bytes) -> None:
         with self._lock:
             if self._ended:
                 raise RuntimeError("publisher stream already ended")
             if kind == "state":
+                # The state record is every snapshot's first frame, so
+                # it stays an immediate plain RECORD; flush first to
+                # keep stream order.
+                self._flush_pending_locked()
+                frame = encode_frame_payload(RECORD, payload)
                 self._state_frame = frame
-                targets = list(self._subscribers)
+                self._unsent.append((self._seq, frame, None))
+                self._seq += 1
             else:
-                self._current.append(frame)
+                self._pending.append(payload)
+                self._pending_bytes += len(payload)
+                seal = False
                 if kind == "event":
                     self._current_has_events = True
                 elif kind == "epoch_mark" and self._current_has_events:
-                    self._seal_current_run()
+                    seal = True
                 elif kind == "end":
+                    seal = True
+                if (seal
+                        or len(self._pending) >= self.batch_records
+                        or self._pending_bytes >= self.batch_bytes):
+                    self._flush_pending_locked()
+                if seal:
                     self._seal_current_run()
+                if kind == "end":
                     self._ended = True
-                targets = list(self._subscribers)
+            to_send = self._unsent
+            self._unsent = []
+            targets = list(self._subscribers)
         # Fan out off-lock: only the (single) recorder thread broadcasts,
         # so per-subscriber FIFO order is preserved, and a registration
-        # racing this broadcast either sees the frame in its snapshot or
-        # in its queue — never both, never neither (see _attach).
+        # racing this broadcast either sees the flush in its snapshot or
+        # in its queue — never both, never neither (the seq floor set
+        # under the lock in _attach decides; see _broadcast).
+        self._broadcast(to_send, targets, self.stall_timeout,
+                        final=kind == "end")
+
+    def _flush_pending_locked(self) -> None:
+        """Frame the pending records (lock held): one ``RECORD`` for a
+        single record, one ``RECORD_BATCH`` for several — the payloads
+        were JSON-encoded on arrival and are spliced here, never
+        re-serialized.  The entry lands in ``_current`` (for snapshot
+        replay) and ``_unsent`` (for the live broadcast)."""
+        if not self._pending:
+            return
+        pending = self._pending
+        self._pending = []
+        self._pending_bytes = 0
+        if len(pending) == 1:
+            frame = encode_frame_payload(RECORD, pending[0])
+            parts: Optional[List[bytes]] = None
+        else:
+            frame = encode_batch_frame(pending)
+            parts = pending
+        self._current.append(frame)
+        self._unsent.append((self._seq, frame, parts))
+        self._seq += 1
+
+    def _broadcast(
+        self,
+        entries: List[Tuple[int, bytes, Optional[List[bytes]]]],
+        targets: List[_Subscriber],
+        stall_timeout: Optional[float],
+        final: bool = False,
+    ) -> None:
+        """Offer flushed entries to every subscriber (off-lock).
+
+        Each frame is encoded exactly once per fan-out: batch-capable
+        subscribers share the ``RECORD_BATCH`` bytes; the per-record
+        explosion for legacy subscribers is built lazily, once, and
+        shared among them.  Entries below a subscriber's ``seq_floor``
+        were already delivered in its attach snapshot.
+        """
+        legacy: Dict[int, List[bytes]] = {}
         for sub in targets:
-            if not sub.offer(frame, self.stall_timeout):
+            ok = True
+            for pos, (seq, frame, parts) in enumerate(entries):
+                if seq < sub.seq_floor:
+                    continue
+                if parts is None or sub.batched:
+                    frames = (frame,)
+                else:
+                    if pos not in legacy:
+                        legacy[pos] = [encode_frame_payload(RECORD, p)
+                                       for p in parts]
+                    frames = legacy[pos]
+                for item in frames:
+                    if not sub.offer(item, stall_timeout):
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if not ok:
                 self._drop(sub, lagging=True)
-            elif kind == "end" and not sub.offer(_DONE,
-                                                self.stall_timeout):
+            elif final and not sub.offer(_DONE, stall_timeout):
                 # Same laggard policy for the closing sentinel: the
                 # recorder must never block past stall_timeout (the
                 # kick delivers a sentinel of its own).
@@ -361,7 +543,7 @@ class BundlePublisher:
         fsock = FrameSocket(conn)
         try:
             deadline = Deadline(self.handshake_timeout)
-            fsock.recv_preamble(deadline)
+            flags = fsock.recv_preamble(deadline)
             kind, payload = fsock.recv_frame(deadline)
             if kind != SUBSCRIBE or not isinstance(payload, dict):
                 raise ProtocolError("expected a SUBSCRIBE frame")
@@ -369,32 +551,53 @@ class BundlePublisher:
         except (ProtocolError, TransportError, TypeError, ValueError):
             fsock.close()  # not a valid auditor; say nothing
             return
-        sub, hello, snapshot, error = self._attach(from_epoch, fsock)
+        batched = bool(flags & FLAG_BATCH)
+        sub, hello, snapshot, error = self._attach(from_epoch, fsock,
+                                                   batched)
         # The handshake recv installed its deadline as the socket
         # timeout; the send loop must block as long as the backpressure
         # policy says, not ~handshake_timeout per sendall.
         fsock.settimeout(None)
         try:
-            fsock.send_preamble()
+            fsock.send_preamble(FLAG_BATCH)
             if error is not None:
                 fsock.send_frame(ERROR, {"error": error})
                 return
             fsock.send_frame(HELLO, hello)
-            for frame in snapshot:
-                fsock.send_raw(frame)
-            while True:
+            if not batched:
+                exploded: List[bytes] = []
+                for frame in snapshot:
+                    exploded.extend(_explode_frame(frame))
+                snapshot = exploded
+            fsock.send_frames(snapshot)
+            done = False
+            while not done:
                 item = sub.queue.get()
-                if item is _DONE:
-                    # Drained means "received the complete stream": the
-                    # sentinel only counts when the end record actually
-                    # went out (close() without write_end also sends a
-                    # sentinel, and that must never read as success).
-                    if not sub.closed and self._ended:
-                        sub.drained.set()
-                        with self._lock:
-                            self._drained_count += 1
-                    break
-                fsock.send_raw(item)
+                # Coalesce the queue backlog into one vectored send:
+                # a consumer that fell behind catches up in a few
+                # syscalls instead of one sendall per frame.
+                frames: List[bytes] = []
+                while True:
+                    if item is _DONE:
+                        done = True
+                        break
+                    frames.append(item)
+                    if len(frames) >= 64:
+                        break
+                    try:
+                        item = sub.queue.get_nowait()
+                    except queue.Empty:
+                        break
+                if frames:
+                    fsock.send_frames(frames)
+            # Drained means "received the complete stream": the
+            # sentinel only counts when the end record actually
+            # went out (close() without write_end also sends a
+            # sentinel, and that must never read as success).
+            if not sub.closed and self._ended:
+                sub.drained.set()
+                with self._lock:
+                    self._drained_count += 1
         except TransportError:
             pass  # consumer went away; it may reconnect and resume
         finally:
@@ -402,8 +605,15 @@ class BundlePublisher:
                 self._drop(sub, lagging=False)
             fsock.close()
 
-    def _attach(self, from_epoch: int, fsock: FrameSocket):
-        """Register a subscriber atomically with a replay snapshot."""
+    def _attach(self, from_epoch: int, fsock: FrameSocket,
+                batched: bool):
+        """Register a subscriber atomically with a replay snapshot.
+
+        Flushes the pending batch first, so the snapshot contains every
+        record published so far; the subscriber's ``seq_floor`` then
+        fences the live broadcast to strictly newer flushes (the
+        attach-flushed entries reach *existing* subscribers via
+        ``_unsent`` at the recorder's next publish)."""
         with self._lock:
             if from_epoch < self._first_epoch:
                 return None, None, None, (
@@ -415,6 +625,7 @@ class BundlePublisher:
                     f"epoch {from_epoch} not yet published "
                     f"(next epoch: {self._current_epoch})"
                 )
+            self._flush_pending_locked()
             hello = {
                 "format": JSONL_FORMAT,
                 "version": FORMAT_VERSION,
@@ -422,9 +633,11 @@ class BundlePublisher:
                 "from_epoch": from_epoch,
                 "spool_start": self._first_epoch,
                 "ended": self._ended,
+                "batch": batched,
             }
             snapshot = self._snapshot(from_epoch)
-            sub = _Subscriber(fsock, self.max_lag)
+            sub = _Subscriber(fsock, self.max_lag, batched,
+                              seq_floor=self._seq)
             self._subscribers.append(sub)
             self._ever_connected += 1
             if self._ended:
@@ -478,7 +691,16 @@ class BundlePublisher:
         except OSError:  # pragma: no cover - defensive
             pass
         with self._lock:
+            if not self._ended:
+                self._flush_pending_locked()
+            to_send = self._unsent
+            self._unsent = []
             subs = list(self._subscribers)
+        if to_send:
+            # Last-gasp delivery of anything still buffered (a close
+            # without write_end); bounded stall so a dead consumer
+            # cannot wedge shutdown.
+            self._broadcast(to_send, subs, stall_timeout=0.5)
         for sub in subs:
             sub.offer(_DONE, 0.0) or sub.kick()
         self._accept_thread.join(timeout=2.0)

@@ -287,8 +287,9 @@ def test_auditor_one_shot_validates_cuts_against_trace(counter_app,
 # -- re-exec backends ---------------------------------------------------------
 
 
-def test_two_backends_registered():
-    assert {"accinterp", "interp"} <= set(available_backends())
+def test_shipped_backends_registered():
+    assert {"accinterp", "interp", "compinterp"} <= \
+        set(available_backends())
 
 
 def test_interp_backend_verdict_and_bodies_match(counter_app, honest_run):
@@ -322,6 +323,78 @@ def test_backend_selectable_through_session(counter_app):
     merged = _session_audit(counter_app, execution,
                             config=AuditConfig(backend="interp"))
     _assert_equivalent(one_shot, merged)
+
+
+def test_compinterp_backend_bit_identical_to_interp(counter_app,
+                                                    honest_run):
+    """The compiling backend's contract: same verdict, same bodies, and
+    the same deterministic stats as the per-request reference."""
+    ref = ssco_audit(counter_app, honest_run.trace, honest_run.reports,
+                     honest_run.initial_state, backend="interp")
+    comp = ssco_audit(counter_app, honest_run.trace, honest_run.reports,
+                      honest_run.initial_state, backend="compinterp")
+    assert comp.accepted and ref.accepted
+    assert comp.produced == ref.produced
+    for key in _DET_STATS:
+        assert comp.stats.get(key) == ref.stats.get(key), key
+
+
+def test_compinterp_backend_still_rejects_tampering(counter_app,
+                                                    honest_run):
+    victim = next(e.rid for e in honest_run.trace.events
+                  if e.is_response and e.payload.body)
+    tampered = tamper_response(honest_run.trace, victim, "forged!")
+    comp = ssco_audit(counter_app, tampered, honest_run.reports,
+                      honest_run.initial_state, backend="compinterp")
+    assert not comp.accepted
+    assert comp.reason is RejectReason.OUTPUT_MISMATCH
+
+
+def test_compinterp_selectable_through_session_and_epochs(counter_app):
+    execution = _epoch_execution(counter_app)
+    one_shot = ssco_audit(counter_app, execution.trace, execution.reports,
+                          execution.initial_state,
+                          epoch_cuts=execution.epoch_marks,
+                          backend="compinterp")
+    merged = _session_audit(counter_app, execution,
+                            config=AuditConfig(backend="compinterp"))
+    _assert_equivalent(one_shot, merged)
+    reference = ssco_audit(counter_app, execution.trace, execution.reports,
+                           execution.initial_state,
+                           epoch_cuts=execution.epoch_marks,
+                           backend="interp")
+    _assert_equivalent(reference, merged)
+
+
+def test_compinterp_through_parallel_workers(counter_app, honest_run):
+    """Worker processes compile on first use after unpickling the app;
+    results stay bit-identical to the serial compiling audit."""
+    serial = ssco_audit(counter_app, honest_run.trace, honest_run.reports,
+                        honest_run.initial_state, backend="compinterp")
+    parallel = ssco_audit(counter_app, honest_run.trace,
+                          honest_run.reports, honest_run.initial_state,
+                          backend="compinterp", workers=2)
+    assert parallel.accepted and serial.accepted
+    assert parallel.produced == serial.produced
+    for key in _DET_STATS:
+        assert parallel.stats.get(key) == serial.stats.get(key), key
+
+
+def test_unknown_backend_fails_at_the_boundary(counter_app, honest_run):
+    """A bad backend name must fail in AuditConfig / at pipeline entry
+    with the registered names in the message — not five frames deep in
+    reexec_groups."""
+    with pytest.raises(ValueError) as config_err:
+        AuditConfig(backend="no-such-engine")
+    message = str(config_err.value)
+    assert "unknown re-exec backend" in message
+    for name in ("accinterp", "compinterp", "interp"):
+        assert name in message
+    # The ssco_audit kwargs path (bypasses AuditConfig) fails just as
+    # early, before any phase runs.
+    with pytest.raises(ValueError, match="unknown re-exec backend"):
+        ssco_audit(counter_app, honest_run.trace, honest_run.reports,
+                   honest_run.initial_state, backend="no-such-engine")
 
 
 def test_register_custom_backend(counter_app, honest_run):

@@ -282,3 +282,58 @@ def test_epoch_process_knobs_layer_through_from_args(tmp_path):
     layered = AuditConfig.from_args(_namespace(config=path,
                                                prepass_depth=2))
     assert layered.prepass_depth == 2
+
+
+# -- wire-batching knobs (RECORD_BATCH) ---------------------------------------
+
+
+def test_batch_defaults():
+    config = AuditConfig()
+    assert config.batch_records == 64
+    assert config.batch_bytes == 256 * 1024
+
+
+@pytest.mark.parametrize("kwargs,fragment", [
+    (dict(batch_records=0), "batch_records"),
+    (dict(batch_records=-3), "batch_records"),
+    (dict(batch_records=1.5), "batch_records"),
+    (dict(batch_records=True), "batch_records"),
+    (dict(batch_bytes=0), "batch_bytes"),
+    (dict(batch_bytes="big"), "batch_bytes"),
+])
+def test_batch_validation_rejects_nonsense(kwargs, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        AuditConfig(**kwargs)
+
+
+def test_batch_knobs_accept_sane_values_and_roundtrip():
+    config = AuditConfig(batch_records=1, batch_bytes=4096)
+    assert config.batch_records == 1  # 1 = unbatched wire
+    data = config.to_json()
+    json.dumps(data)
+    assert AuditConfig.from_json(data) == config
+
+
+def test_batch_knobs_layer_through_from_args(tmp_path):
+    path = str(tmp_path / "audit.json")
+    AuditConfig(batch_records=8).save(path)
+    config = AuditConfig.from_args(_namespace(
+        config=path, batch_bytes=1024,
+    ))
+    assert config.batch_records == 8   # file beats the default
+    assert config.batch_bytes == 1024  # flag beats the file
+
+
+def test_describe_mentions_batching_only_when_serving():
+    assert "batch_records" not in AuditConfig(batch_records=8).describe()
+    described = AuditConfig(listen="h:0", batch_records=8,
+                            batch_bytes=512).describe()
+    assert "batch_records=8" in described
+    assert "batch_bytes=512" in described
+
+
+def test_backend_error_names_registered_backends():
+    with pytest.raises(ValueError) as err:
+        AuditConfig(backend="warp-drive")
+    assert "accinterp" in str(err.value)
+    assert "compinterp" in str(err.value)

@@ -4,13 +4,25 @@ strict=True: control-flow divergence inside a group rejects the audit;
 strict=False: the group demotes to per-request re-execution.  Unsupported
 SIMD cases (MultivalueFallback) and mixed-script groups follow the same
 split: implementation retry vs verdict.
+
+Divergence *observation* is a grouped-backend behavior: only the SIMD
+engine executes a group in lockstep and can see its requests branch
+apart (per-request backends catch a bogus grouping through the output
+checks instead — see the backend contract in core/reexec.py).  The
+tests that assert the divergence policy therefore pin
+``backend="accinterp"`` so the suite holds under a ``REPRO_BACKEND``
+override.
 """
 
 from __future__ import annotations
 
+import functools
 
 from repro.common.errors import RejectReason
-from repro.core import simple_audit, ssco_audit
+from repro.core import simple_audit, ssco_audit as _ssco_audit
+
+#: The divergence policy under test is the grouped engine's.
+ssco_audit = functools.partial(_ssco_audit, backend="accinterp")
 from repro.server import Application, Executor, RandomScheduler
 from repro.trace.events import Request
 
@@ -148,3 +160,37 @@ def test_parallel_demotion_matches_serial():
                                  workers=2)
     assert not serial_strict.accepted and not parallel_strict.accepted
     assert parallel_strict.reason is serial_strict.reason
+
+
+def test_divergent_error_group_demotes_even_in_strict_mode():
+    """The executor groups every errored request of a script under one
+    ``error:<script>`` tag regardless of the branch taken before the
+    error, so honest executions produce divergent error groups.  Strict
+    mode must demote these (retry path), never reject — the fuzzer
+    caught accinterp falsely rejecting exactly this shape."""
+    sources = {
+        "boom.php": """
+$v = intval(param('v'));
+if ($v > 10) { echo "big:", $v; } else { echo "small:", $v; }
+nosuchfn($v);
+""",
+    }
+    requests = [
+        Request("r1", "boom.php", get={"v": "5"}),
+        Request("r2", "boom.php", get={"v": "50"}),
+    ]
+    app, run = _serve(requests, sources)
+    assert list(run.reports.groups) == ["error:boom.php"]
+    for strict in (True, False):
+        result = ssco_audit(app, run.trace, run.reports,
+                            run.initial_state, strict=strict)
+        assert result.accepted, (strict, result.reason, result.detail)
+        assert result.stats["fallback_requests"] == 2
+    # A *non*-error group that diverges still rejects in strict mode:
+    # the retry path is scoped to the executor's error-group contract.
+    tampered = run.reports.deep_copy()
+    tampered.groups = {"bogus": list(run.reports.groups["error:boom.php"])}
+    strict_result = ssco_audit(app, run.trace, tampered,
+                               run.initial_state, strict=True)
+    assert not strict_result.accepted
+    assert strict_result.reason is RejectReason.GROUP_DIVERGED

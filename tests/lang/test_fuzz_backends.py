@@ -1,0 +1,353 @@
+"""Differential fuzzing of the re-execution engines.
+
+Two layers, both seeded and deterministic:
+
+* **engine lockstep** — ~200 randomized weblang programs driven through
+  the plain :class:`~repro.lang.interp.Interpreter` and the compiling
+  :class:`~repro.lang.compile.CompInterpreter` with identical canned
+  intent results; produced body, flow digest, instruction count
+  (``RunOutput.steps``), the full intent sequence, and error behaviour
+  must match exactly;
+* **audit lockstep** — randomized applications recorded with the real
+  executor and audited with all three registered backends: ``interp``,
+  ``accinterp``, and ``compinterp`` must agree on the verdict and the
+  produced bodies, and the two per-request engines (``interp``,
+  ``compinterp``) must agree on every deterministic stat bit for bit.
+
+The generator emits *textual* source and goes through the real parser,
+so fuzzing also covers the parse → AST → compile pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import WeblangError
+from repro.core import ssco_audit
+from repro.lang.compile import CompInterpreter
+from repro.lang.interp import Interpreter, NondetIntent, StateOpIntent
+from repro.lang.parser import parse_program
+from repro.server import Application, Executor, RandomScheduler
+from repro.server.nondet import NondetSource
+from repro.trace.events import Request
+
+ENGINE_CASES = 200
+AUDIT_CASES = 24
+
+#: Deterministic stats (no timers) that the two per-request engines
+#: must produce identically at audit level.
+_DET_STATS = (
+    "shard_count", "graph_nodes", "graph_edges", "db_queries_issued",
+    "dedup_hits", "dedup_misses", "groups", "grouped_requests",
+    "fallback_requests", "divergences", "steps", "multi_steps",
+)
+
+
+class ProgramGen:
+    """A seeded random weblang program generator.
+
+    Emits source text: bounded loops (counter idiom), non-recursive
+    helper functions, arithmetic/string/array expressions, request
+    inputs, nondet built-ins, and key-value/register state ops.
+    Programs may raise :class:`WeblangError` at runtime — that is a
+    feature: both engines must fail identically.
+    """
+
+    PURE_CALLS = [
+        ("strlen", 1), ("strtoupper", 1), ("strtolower", 1),
+        ("intval", 1), ("strval", 1), ("abs", 1), ("md5", 1),
+        ("trim", 1), ("ucfirst", 1), ("boolval", 1), ("is_numeric", 1),
+        ("count", 1), ("max", 2), ("min", 2), ("substr", 2),
+    ]
+
+    def __init__(self, rng: random.Random, state_ops: bool = True):
+        self.rng = rng
+        self.state_ops = state_ops
+        self.vars = ["a", "b", "c"]
+        self.funcs = []
+        self.loop_id = 0
+
+    # -- expressions ------------------------------------------------------
+
+    def literal(self) -> str:
+        r = self.rng
+        pick = r.randrange(4)
+        if pick == 0:
+            return str(r.randrange(-9, 100))
+        if pick == 1:
+            return repr(r.choice(["", "x", "abc", "Hello World", "0",
+                                  "7", "a-b-c"]))
+        if pick == 2:
+            return str(r.choice([1.5, 2.25, 0.5]))
+        return r.choice(["0", "1"])
+
+    def expr(self, depth: int = 0) -> str:
+        r = self.rng
+        if depth >= 3 or r.random() < 0.3:
+            if r.random() < 0.5:
+                return self.literal()
+            return f"${r.choice(self.vars)}"
+        pick = r.randrange(10)
+        if pick <= 2:
+            op = r.choice(["+", "-", "*", ".", "%", "==", "!=", "<",
+                           "<=", ">", ">=", "===", "!==", "&&", "||"])
+            return (f"({self.expr(depth + 1)} {op} "
+                    f"{self.expr(depth + 1)})")
+        if pick == 3:
+            op = r.choice(["!", "-"])
+            return f"{op}({self.expr(depth + 1)})"
+        if pick == 4:
+            return (f"({self.expr(depth + 1)} ? {self.expr(depth + 1)}"
+                    f" : {self.expr(depth + 1)})")
+        if pick == 5:
+            items = ", ".join(self.expr(depth + 1)
+                              for _ in range(r.randrange(1, 4)))
+            return f"[{items}]"
+        if pick == 6:
+            name, arity = r.choice(self.PURE_CALLS)
+            args = ", ".join(self.expr(depth + 1) for _ in range(arity))
+            return f"{name}({args})"
+        if pick == 7:
+            key = r.choice(["q", "n", "z"])
+            return f"param('{key}', {self.literal()})"
+        if pick == 8 and self.funcs:
+            name, arity = r.choice(self.funcs)
+            args = ", ".join(self.expr(depth + 1) for _ in range(arity))
+            return f"{name}({args})"
+        return f"${r.choice(self.vars)}[{self.expr(depth + 1)}]"
+
+    def nondet_expr(self) -> str:
+        return self.rng.choice(
+            ["rand(1, 100)", "time()", "mt_rand(0, 9)", "getpid()"])
+
+    # -- statements -------------------------------------------------------
+
+    def block(self, depth: int, budget: int) -> str:
+        count = self.rng.randrange(1, max(2, budget))
+        return " ".join(self.stmt(depth) for _ in range(count))
+
+    def stmt(self, depth: int = 0) -> str:
+        r = self.rng
+        pick = r.randrange(12)
+        if pick <= 2:
+            var = r.choice(self.vars)
+            op = r.choice(["=", "=", "=", "+=", ".="])
+            return f"${var} {op} {self.expr()};"
+        if pick == 3:
+            args = ", ".join(self.expr() for _ in range(r.randrange(1, 3)))
+            return f"echo {args};"
+        if pick == 4 and depth < 2:
+            branches = f"if ({self.expr()}) {{ {self.block(depth + 1, 3)} }}"
+            if r.random() < 0.5:
+                branches += (f" elseif ({self.expr()})"
+                             f" {{ {self.block(depth + 1, 2)} }}")
+            if r.random() < 0.6:
+                branches += f" else {{ {self.block(depth + 1, 2)} }}"
+            return branches
+        if pick == 5 and depth < 2:
+            self.loop_id += 1
+            i = f"i{self.loop_id}"
+            bound = r.randrange(1, 5)
+            body = self.block(depth + 1, 3)
+            extra = ""
+            if r.random() < 0.3:
+                extra = r.choice([f"if (${i} == 2) {{ continue; }} ",
+                                  f"if (${i} == 3) {{ break; }} "])
+            return (f"${i} = 0; while (${i} < {bound})"
+                    f" {{ ${i} += 1; {extra}{body} }}")
+        if pick == 6 and depth < 2:
+            self.loop_id += 1
+            k, v = f"k{self.loop_id}", f"v{self.loop_id}"
+            self.vars.append(v)
+            items = ", ".join(self.expr(2)
+                              for _ in range(r.randrange(1, 4)))
+            shape = r.choice([f"foreach ([{items}] as ${v})",
+                              f"foreach ([{items}] as ${k} => ${v})"])
+            return f"{shape} {{ {self.block(depth + 1, 2)} }}"
+        if pick == 7:
+            var = r.choice(self.vars)
+            return f"${var}[{self.expr(2)}] = {self.expr()};"
+        if pick == 8:
+            var = r.choice(self.vars)
+            return f"${var} = {self.nondet_expr()};"
+        if pick == 9 and self.state_ops:
+            key = r.choice(["k1", "k2"])
+            return r.choice([
+                f"kv_set('{key}', {self.expr()});",
+                f"${r.choice(self.vars)} = kv_get('{key}');",
+                f"reg_write('{key}', {self.expr()});",
+                f"${r.choice(self.vars)} = reg_read('{key}');",
+            ])
+        if pick == 10 and depth == 0 and len(self.funcs) < 3:
+            return self.func_decl()
+        var = r.choice(self.vars)
+        return f"${var} = {self.expr()};"
+
+    def func_decl(self) -> str:
+        r = self.rng
+        name = f"fn{len(self.funcs)}"
+        arity = r.randrange(0, 3)
+        params = [f"p{j}" for j in range(arity)]
+        saved = self.vars
+        self.vars = params or ["p"]
+        uses_global = r.random() < 0.3
+        prefix = ""
+        if uses_global:
+            target = r.choice(saved)
+            self.vars = self.vars + [target]
+            prefix = f"global ${target}; "
+        body = self.block(1, 3)
+        ret = f" return {self.expr()};" if r.random() < 0.7 else ""
+        self.vars = saved
+        # Register *after* generating the body: no recursion.
+        self.funcs.append((name, arity))
+        return (f"function {name}({', '.join('$' + p for p in params)})"
+                f" {{ {prefix}{body}{ret} }}")
+
+    def program(self) -> str:
+        statements = [self.stmt(0)
+                      for _ in range(self.rng.randrange(3, 9))]
+        statements.append(f"echo 'tail:', ${self.rng.choice(self.vars)};")
+        return " ".join(statements)
+
+
+def canned_results(rng: random.Random):
+    """An infinite-ish list of canned state-op results both engines see
+    in the same order."""
+    pool = [None, 0, 1, 7, "", "str", [1, 2], {"k": 3}, True, 2.5]
+    return [rng.choice(pool) for _ in range(64)]
+
+
+def drive(engine, program, request, canned, nondets):
+    gen = engine.run(program, request)
+    canned = list(canned)
+    nondets = list(nondets)
+    intents = []
+    try:
+        intent = next(gen)
+        while True:
+            intents.append(repr(intent))
+            if isinstance(intent, NondetIntent):
+                result = nondets.pop(0) if nondets else 3
+            elif isinstance(intent, StateOpIntent):
+                result = canned.pop(0) if canned else None
+            else:
+                result = True
+            intent = gen.send(result)
+    except StopIteration as stop:
+        return stop.value, intents, None
+    except WeblangError as exc:
+        return None, intents, f"{type(exc).__name__}: {exc}"
+
+
+def test_engine_lockstep_fuzz():
+    """~200 random programs: interp and compinterp agree on body, flow
+    digest, instruction count, intent sequence, and errors."""
+    failures = []
+    for seed in range(ENGINE_CASES):
+        rng = random.Random(1000 + seed)
+        src = ProgramGen(rng).program()
+        try:
+            program = parse_program(src)
+        except WeblangError:
+            continue  # generator emitted something unparsable; rare
+        request = Request(
+            f"r{seed}", "fuzz.php",
+            get={"q": str(rng.randrange(10)), "n": "5"},
+            cookies={"sess": "s1"} if rng.random() < 0.5 else {},
+        )
+        canned = canned_results(rng)
+        nondets = [rng.randrange(100) for _ in range(32)]
+        ref = drive(Interpreter(record_flow=True), program, request,
+                    canned, nondets)
+        got = drive(CompInterpreter(record_flow=True), program, request,
+                    canned, nondets)
+        if got[1] != ref[1] or got[2] != ref[2]:
+            failures.append((seed, src, ref[2], got[2]))
+            continue
+        if ref[2] is None:
+            ref_out, got_out = ref[0], got[0]
+            if (got_out.body, got_out.flow_tag, got_out.steps) != \
+                    (ref_out.body, ref_out.flow_tag, ref_out.steps):
+                failures.append((seed, src,
+                                 (ref_out.body, ref_out.steps),
+                                 (got_out.body, got_out.steps)))
+    assert not failures, failures[:3]
+
+
+def _fuzz_app(seed: int):
+    """A random application (no state ops beyond kv/reg: no schema
+    needed) plus a request mix that repeats scripts for grouping."""
+    rng = random.Random(5000 + seed)
+    sources = {}
+    for index in range(rng.randrange(1, 4)):
+        gen = ProgramGen(rng)
+        sources[f"s{index}.php"] = gen.program()
+    app = Application.from_sources(f"fuzz{seed}", sources)
+    requests = []
+    for rid in range(rng.randrange(4, 14)):
+        script = rng.choice(sorted(sources))
+        requests.append(Request(
+            f"q{rid}", script,
+            get={"q": str(rng.randrange(4)), "n": str(rng.randrange(9))},
+            cookies={"sess": f"u{rng.randrange(3)}"},
+        ))
+    return app, requests, rng
+
+
+def test_audit_lockstep_fuzz():
+    """Randomized recorded executions audited with all three backends:
+    same verdict and bodies everywhere; interp and compinterp agree on
+    every deterministic stat."""
+    failures = []
+    audited = 0
+    for seed in range(AUDIT_CASES):
+        app, requests, rng = _fuzz_app(seed)
+        executor = Executor(
+            app,
+            scheduler=RandomScheduler(seed),
+            max_concurrency=rng.choice([1, 2, 4]),
+            nondet=NondetSource(seed=seed),
+        )
+        execution = executor.serve(requests)
+        audits = {
+            name: ssco_audit(app, execution.trace, execution.reports,
+                             execution.initial_state, backend=name)
+            for name in ("interp", "accinterp", "compinterp")
+        }
+        audited += 1
+        ref = audits["interp"]
+        comp = audits["compinterp"]
+        acc = audits["accinterp"]
+        for other_name, other in (("compinterp", comp),
+                                  ("accinterp", acc)):
+            if (other.accepted, other.reason) != (ref.accepted,
+                                                  ref.reason):
+                failures.append((seed, other_name, "verdict",
+                                 ref.reason, other.reason, other.detail))
+            elif other.produced != ref.produced:
+                failures.append((seed, other_name, "bodies"))
+        mismatched = [
+            key for key in _DET_STATS
+            if comp.stats.get(key) != ref.stats.get(key)
+        ]
+        if mismatched:
+            failures.append((seed, "compinterp", "stats", mismatched))
+    assert audited == AUDIT_CASES
+    assert not failures, failures[:3]
+
+
+def test_fuzz_generator_is_deterministic():
+    """Same seed, same program — the corpus is reproducible."""
+    first = ProgramGen(random.Random(42)).program()
+    second = ProgramGen(random.Random(42)).program()
+    assert first == second
+
+
+@pytest.mark.parametrize("seed", [0, 17, 101])
+def test_fuzz_programs_exercise_real_constructs(seed):
+    src = ProgramGen(random.Random(seed)).program()
+    assert parse_program(src) is not None
+    assert "echo" in src

@@ -135,6 +135,27 @@ def test_serve_takes_listen_from_config_file(tmp_path, capsys):
     assert "stream complete" in out
 
 
+def test_serve_accepts_batch_knobs(capsys):
+    code = main(["serve", "--workload", "wiki", "--scale", "0.005",
+                 "--epoch-size", "20", "--listen", "127.0.0.1:0",
+                 "--linger", "0.2", "--batch-records", "8",
+                 "--batch-bytes", "4096"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "listening on 127.0.0.1:" in out
+    assert "stream complete" in out
+
+
+@pytest.mark.parametrize("flag, bad", [
+    ("--batch-records", "0"), ("--batch-bytes", "-1"),
+])
+def test_serve_rejects_bad_batch_knobs(capsys, flag, bad):
+    with pytest.raises(SystemExit):
+        main(["serve", "--workload", "wiki", "--scale", "0.005",
+              "--listen", "127.0.0.1:0", flag, bad])
+    assert "batch" in capsys.readouterr().err
+
+
 def test_serve_then_connect_two_processes(tmp_path):
     """The real thing: recorder and auditor as separate OS processes
     over localhost (the CI smoke job runs the same pair)."""

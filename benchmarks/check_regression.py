@@ -162,12 +162,28 @@ def metrics_backends(data) -> List[Metric]:
     return out
 
 
+def metrics_fleet(data) -> List[Metric]:
+    """``bench_fleet``: the distributed fleet's steady-state speedup
+    over the same run's serial epoch chain (submit→merge with workers
+    enrolled; enrollment is reported separately and not gated).  Parity
+    floor 1.0: with real cores a two-worker loopback fleet must at
+    least roughly match the serial chain — the committed baseline may
+    be recorded on a single-core host where the wire and duplicated
+    redo run below parity by construction."""
+    out: List[Metric] = []
+    if "fleet_speedup" in data:
+        out.append(Metric("fleet_speedup", data["fleet_speedup"],
+                          needs_cores=2, floor=1.0))
+    return out
+
+
 EXTRACTORS = {
     "parallel_scaling": metrics_parallel_scaling,
     "streaming_session": metrics_streaming_session,
     "epoch_parallel": metrics_epoch_parallel,
     "transport": metrics_transport,
     "backends": metrics_backends,
+    "fleet": metrics_fleet,
 }
 
 

@@ -15,6 +15,12 @@ Commands:
   a live JSONL bundle epoch by epoch (``--follow``), or attach to a
   remote ``serve`` publisher (``--connect HOST:PORT``) — both stream
   through an incremental :class:`~repro.core.auditor.AuditSession`.
+  With ``--fleet-listen [HOST:]PORT`` the session additionally fans
+  each epoch out to registered ``repro worker`` daemons (composes
+  with ``--connect``: one auditor, N worker hosts, one recorder);
+* ``worker`` — join a fleet coordinator (``--join HOST:PORT``) and
+  execute dispatched epoch audits until dismissed (see
+  :mod:`repro.fleet` and ``docs/fleet.md``).
 
 Every auditing subcommand is driven by one validated
 :class:`~repro.core.config.AuditConfig`: flags layer over an optional
@@ -98,6 +104,12 @@ def _serve(workload, args):
         epoch_size=args.epoch_size or 0,
     )
     return executor.serve(workload.requests)
+
+
+def _fleet_endpoint(text: str) -> str:
+    """``--fleet-listen`` accepts ``PORT`` or ``HOST:PORT``; a bare
+    port listens on every interface (workers are remote hosts)."""
+    return text if ":" in text else f"0.0.0.0:{text}"
 
 
 def _config_from_args(parser, args) -> AuditConfig:
@@ -300,6 +312,32 @@ def _audit_connect(args, workload, config: AuditConfig) -> int:
     except (TransportError, ProtocolError) as exc:
         print(f"error: live stream failed: {exc}", file=sys.stderr)
         return 2
+
+
+def cmd_worker(args) -> int:
+    """Join a fleet coordinator and execute dispatched epoch audits."""
+    from repro.fleet import FleetWorker
+
+    try:
+        worker = FleetWorker(args.join, name=args.name,
+                             heartbeat_interval=args.heartbeat,
+                             connect_timeout=args.connect_timeout)
+    except ValueError as exc:
+        args._parser.error(str(exc))
+    print(f"joining fleet coordinator at {args.join} as {worker.name} "
+          f"...", flush=True)
+    try:
+        worker.run()
+    except (TransportError, ProtocolError) as exc:
+        print(f"error: cannot join fleet at {args.join}: {exc}",
+              file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("worker interrupted", file=sys.stderr)
+        return 130
+    print(f"worker done: {worker.epochs_run} epoch(s) audited, "
+          f"{worker.epochs_failed} failed")
+    return 0
 
 
 def _print_epoch_verdict(epoch) -> bool:
@@ -526,7 +564,46 @@ def main(argv=None) -> int:
                        metavar="N",
                        help="--connect: resume attempts after a "
                             "mid-stream disconnect (default 3)")
+    audit.add_argument("--fleet-listen", dest="fleet_listen",
+                       type=_fleet_endpoint, default=None,
+                       metavar="[HOST:]PORT",
+                       help="listen for `repro worker` daemons and fan "
+                            "epoch audits out to them (bare port = all "
+                            "interfaces; composes with --connect)")
+    audit.add_argument("--fleet-min-workers", dest="fleet_min_workers",
+                       type=int, default=None, metavar="N",
+                       help="wait for N registered workers before "
+                            "dispatching the first epoch")
+    audit.add_argument("--fleet-task-timeout", dest="fleet_task_timeout",
+                       type=float, default=None, metavar="SECONDS",
+                       help="per-epoch straggler deadline on a worker; "
+                            "past it the epoch is re-dispatched")
+    audit.add_argument("--fleet-redundancy", dest="fleet_redundancy",
+                       type=int, default=None, metavar="K",
+                       help="dispatch each epoch to K workers and "
+                            "cross-check their verdicts (default 1)")
     audit.set_defaults(func=cmd_audit)
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a fleet coordinator (audit --fleet-listen) and "
+             "execute dispatched epoch audits",
+    )
+    worker.add_argument("--join", required=True, metavar="HOST:PORT",
+                        help="the coordinator's fleet endpoint")
+    worker.add_argument("--name", default=None,
+                        help="worker name shown to the coordinator "
+                             "(default: hostname-pid)")
+    worker.add_argument("--heartbeat", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="heartbeat interval while an epoch runs "
+                             "(default 2s)")
+    worker.add_argument("--connect-timeout", type=float, default=30.0,
+                        dest="connect_timeout", metavar="SECONDS",
+                        help="bound on joining; refused connections are "
+                             "retried until it expires (workers may "
+                             "start before the coordinator binds)")
+    worker.set_defaults(func=cmd_worker)
 
     args = parser.parse_args(argv)
     args._parser = parser

@@ -162,6 +162,14 @@ class AuditSession:
         epoch_workers = (
             config.epoch_workers if auditor.pipeline is None else 1
         )
+        fleet = (config.fleet_listen is not None
+                 and auditor.pipeline is None)
+        if fleet:
+            # Fleet mode implies concurrent epochs: widen the driver so
+            # every remote worker can hold an epoch even when
+            # epoch_workers was left at 1.
+            epoch_workers = max(epoch_workers,
+                                config.fleet_min_workers, 2)
         self._process_pool: Optional[EpochPool] = None
         if epoch_workers > 1:
             # Concurrent epoch mode: the cheap redo-only prepass chains
@@ -173,7 +181,23 @@ class AuditSession:
                 max_workers=epoch_workers,
                 thread_name_prefix="audit-epoch",
             )
-            if config.epoch_processes:
+            if fleet:
+                # Remote epochs: the coordinator implements the same
+                # run_epoch/close/serial_fallbacks contract as
+                # EpochPool, so the merge discipline below is shared.
+                # Imported lazily — the core layer only depends on the
+                # fleet package when a fleet is actually requested.
+                from repro.fleet.coordinator import FleetCoordinator
+
+                self._process_pool = FleetCoordinator(
+                    config.fleet_listen,
+                    min_workers=config.fleet_min_workers,
+                    task_timeout=config.fleet_task_timeout,
+                    redundancy=config.fleet_redundancy,
+                    heartbeat_timeout=config.net_idle_timeout,
+                )
+                self._offload = False
+            elif config.epoch_processes:
                 # Process-level epochs: one persistent pool shared by
                 # every epoch of this session; the threads above only
                 # submit work units and merge results.
@@ -188,9 +212,12 @@ class AuditSession:
                                  and available_cpus() > 1
                                  and fork_inherits_context())
             #: Backpressure: submit_epoch blocks once this many primed
-            #: epochs are in flight (speculative prepass depth).
-            self._prepass_depth = resolve_prepass_depth(
-                config.to_options())
+            #: epochs are in flight (speculative prepass depth) —
+            #: fleet-wide, since dispatches only happen from this
+            #: bounded set of in-flight epochs.
+            depth_options = config.to_options()
+            depth_options.epoch_workers = epoch_workers
+            self._prepass_depth = resolve_prepass_depth(depth_options)
             self._precompute_seconds = 0.0
             #: Feed-order merge queue: ("skipped"|"precheck"|"rejected"|
             #: "audit", payload, requests, events) per fed epoch.

@@ -115,6 +115,24 @@ class AuditConfig:
     #: Transport (serve side): flush the pending batch once its JSON
     #: payload reaches this many bytes, whatever the record count.
     batch_bytes: int = 256 * 1024
+    #: Fleet: listen for ``repro worker`` daemons on ``HOST:PORT`` and
+    #: fan epoch work units out to them (``repro audit
+    #: --fleet-listen``); port 0 binds an ephemeral port.  ``None``
+    #: keeps every epoch on this host.  Composes with ``connect``: one
+    #: auditor can drive N worker hosts against one recorder.
+    fleet_listen: Optional[str] = None
+    #: Fleet: wait for this many registered workers before dispatching
+    #: the first epoch (0 dispatches to whoever has joined; with no
+    #: workers at all, epochs run locally).
+    fleet_min_workers: int = 0
+    #: Fleet: overall per-epoch deadline on a worker; a straggler past
+    #: it is dropped and its epoch re-dispatched.  ``None`` relies on
+    #: heartbeat-miss detection alone.
+    fleet_task_timeout: Optional[float] = None
+    #: Fleet: dispatch each epoch to this many workers and cross-check
+    #: their verdicts (1 disables; a disagreement re-runs the epoch
+    #: locally — the local chain arbitrates).
+    fleet_redundancy: int = 1
 
     def __post_init__(self):
         if self.epoch_cuts is not None and not isinstance(
@@ -177,7 +195,8 @@ class AuditConfig:
         # Imported lazily: the core layer has no hard dependency on the
         # transport package unless a net knob is actually used.
         for field, endpoint in (("connect", self.connect),
-                                ("listen", self.listen)):
+                                ("listen", self.listen),
+                                ("fleet_listen", self.fleet_listen)):
             if endpoint is None:
                 continue
             from repro.net.protocol import parse_endpoint
@@ -191,7 +210,8 @@ class AuditConfig:
                     f"connect needs a real port (1-65535), got "
                     f"{endpoint!r}"
                 )
-        for field in ("net_connect_timeout", "net_idle_timeout"):
+        for field in ("net_connect_timeout", "net_idle_timeout",
+                      "fleet_task_timeout"):
             value = getattr(self, field)
             if value is None:
                 continue
@@ -213,6 +233,16 @@ class AuditConfig:
                 raise ValueError(
                     f"{field} must be an integer >= 1, got {value!r}"
                 )
+        if not _is_int(self.fleet_min_workers) or self.fleet_min_workers < 0:
+            raise ValueError(
+                f"fleet_min_workers must be an integer >= 0, got "
+                f"{self.fleet_min_workers!r}"
+            )
+        if not _is_int(self.fleet_redundancy) or self.fleet_redundancy < 1:
+            raise ValueError(
+                f"fleet_redundancy must be an integer >= 1 (1 disables "
+                f"cross-checking), got {self.fleet_redundancy!r}"
+            )
         return self
 
     def validate_for_trace(self, trace) -> "AuditConfig":
@@ -246,6 +276,10 @@ class AuditConfig:
             epoch_size=self.epoch_size,
             epoch_cuts=self.epoch_cuts,
             backend=self.backend,
+            fleet_listen=self.fleet_listen,
+            fleet_min_workers=self.fleet_min_workers,
+            fleet_task_timeout=self.fleet_task_timeout,
+            fleet_redundancy=self.fleet_redundancy,
         )
 
     @classmethod
@@ -266,6 +300,10 @@ class AuditConfig:
             epoch_size=options.epoch_size,
             epoch_cuts=tuple(cuts) if cuts is not None else None,
             backend=options.backend,
+            fleet_listen=options.fleet_listen,
+            fleet_min_workers=max(0, options.fleet_min_workers),
+            fleet_task_timeout=options.fleet_task_timeout,
+            fleet_redundancy=max(1, options.fleet_redundancy),
         )
 
     def replace(self, **changes) -> "AuditConfig":
@@ -333,7 +371,9 @@ class AuditConfig:
                       "epoch_size", "backend", "migrate", "connect",
                       "listen", "net_connect_timeout",
                       "net_idle_timeout", "net_retries",
-                      "batch_records", "batch_bytes"):
+                      "batch_records", "batch_bytes",
+                      "fleet_listen", "fleet_min_workers",
+                      "fleet_task_timeout", "fleet_redundancy"):
             value = getattr(args, field, None)
             if value is not None:
                 changes[field] = value
@@ -373,6 +413,15 @@ class AuditConfig:
             parts.append(f"max_group={self.max_group_size}")
         if self.connect:
             parts.append(f"connect={self.connect}")
+        if self.fleet_listen:
+            parts.append(f"fleet_listen={self.fleet_listen}")
+            if self.fleet_min_workers:
+                parts.append(f"fleet_min_workers={self.fleet_min_workers}")
+            if self.fleet_task_timeout is not None:
+                parts.append(
+                    f"fleet_task_timeout={self.fleet_task_timeout}")
+            if self.fleet_redundancy > 1:
+                parts.append(f"fleet_redundancy={self.fleet_redundancy}")
         if self.listen:
             parts.append(f"listen={self.listen}")
             if self.batch_records != 64:

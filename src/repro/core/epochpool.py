@@ -47,10 +47,17 @@ import pickle
 import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import replace
 from typing import Optional
 
+from repro.core.epochwork import (
+    encode_work_unit,
+    epoch_worker_options,
+    run_epoch_inline,
+    run_work_unit,
+)
 from repro.core.reexec import _POOL_LOCK
+
+__all__ = ["EpochPool", "epoch_worker_options", "pools_created_total"]
 
 #: Pools ever created in this process — test instrumentation: the
 #: lifecycle tests assert one audit run creates exactly one pool (plus
@@ -63,54 +70,23 @@ def pools_created_total() -> int:
     return _POOLS_CREATED
 
 
-def epoch_worker_options(options):
-    """The knob set one epoch work unit runs under.
-
-    The serial chain's per-shard options with no further sharding and
-    the same ``workers`` count — the chunk *plan* must match the serial
-    chain's bit for bit.  ``inline_reexec`` executes that plan serially
-    inside the worker process instead of fanning out a nested pool.
-    ``migrate`` is off: the chain state is produced by the parent's
-    redo-only prepass, so a worker-side §4.5 compaction would be built
-    only to be thrown away.  MigratePhase never rejects and emits no
-    stats (it still appears as a zero-cost phase timer), so disabling
-    it cannot change verdicts, bodies, or deterministic stats.
-    """
-    return replace(
-        options,
-        epoch_size=0,
-        epoch_cuts=None,
-        epoch_workers=1,
-        migrate=False,
-        offload_reexec=False,
-        inline_reexec=True,
-        epoch_processes=False,
-        prepass_depth=0,
-    )
-
-
-def _run_epoch_inline(app, trace, reports, initial_state, options):
-    """One full pipeline pass over an epoch slice, in this process.
-
-    Both the worker-side entry point and the serial fallback run
-    through here, so the two paths cannot diverge.  ``next_initial`` is
-    dropped: the drivers chain state through the redo-only prepass, and
-    a migrated store has no business crossing the process boundary.
-    """
-    from repro.core.pipeline import AuditContext, default_pipeline
-
-    actx = AuditContext(app, trace, reports, initial_state, options)
-    result = default_pipeline(options).run(actx)
-    result.next_initial = None
-    return result
+# The work-unit encoding and the inline executor live in
+# repro.core.epochwork so the process pool, the serial fallback, and
+# the distributed fleet all run byte-identical payloads through one
+# entry point.  The private aliases keep historical imports working.
+_run_epoch_inline = run_epoch_inline
 
 
 def _run_epoch_payload(payload: bytes):
     """Worker-process entry point: unpickle one epoch work unit and
     audit it.  Raises only on genuine crashes (a rejection is a result,
-    never an exception — the pipeline converts :class:`AuditReject`)."""
-    app, trace, reports, initial_state, options = pickle.loads(payload)
-    return _run_epoch_inline(app, trace, reports, initial_state, options)
+    never an exception — the pipeline converts :class:`AuditReject`).
+
+    Kept as a module-level function (not just an alias) so the name
+    submitted to the :class:`ProcessPoolExecutor` pickles by reference
+    from this module, matching what historical worker processes import.
+    """
+    return run_work_unit(payload)
 
 
 class EpochPool:
@@ -193,8 +169,8 @@ class EpochPool:
         those re-run the epoch serially in the calling thread.
         """
         try:
-            payload = pickle.dumps(
-                (app, trace, reports, initial_state, options))
+            payload = encode_work_unit(app, trace, reports, initial_state,
+                                       options)
         except (pickle.PickleError, TypeError, AttributeError):
             return self._run_inline(app, trace, reports, initial_state,
                                     options)
@@ -227,8 +203,8 @@ class EpochPool:
 
     def _run_inline(self, app, trace, reports, initial_state, options):
         self.serial_fallbacks += 1
-        return _run_epoch_inline(app, trace, reports, initial_state,
-                                 options)
+        return run_epoch_inline(app, trace, reports, initial_state,
+                                options)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<EpochPool workers={self.max_workers} "

@@ -123,6 +123,21 @@ class AuditOptions:
     #: never creating a re-exec pool.  Set inside process-level epoch
     #: workers; chunk plans (and therefore all results) are unchanged.
     inline_reexec: bool = False
+    #: Fleet: listen for remote workers on ``HOST:PORT`` and fan epoch
+    #: work units out to them (see :mod:`repro.fleet`); ``None`` keeps
+    #: every epoch on this host.  Only consulted by the epoch drivers;
+    #: results are bit-identical to the single-host run either way.
+    fleet_listen: Optional[str] = None
+    #: Fleet: wait for this many registered workers before the first
+    #: dispatch (0 dispatches to whoever has joined).
+    fleet_min_workers: int = 0
+    #: Fleet: overall per-epoch deadline on one worker; a straggler is
+    #: dropped and its epoch re-dispatched.  ``None`` relies on
+    #: heartbeat-miss detection alone.
+    fleet_task_timeout: Optional[float] = None
+    #: Fleet: dispatch each epoch to this many workers and cross-check
+    #: the verdicts (1 disables).
+    fleet_redundancy: int = 1
 
 
 @dataclass
@@ -567,7 +582,8 @@ def sharded_audit(
 
     merged.stats["shard_count"] = len(shards)
     shard_summaries: List[Dict[str, object]] = []
-    if options.epoch_workers > 1 and len(shards) > 1 and pipeline is None:
+    if ((options.epoch_workers > 1 or options.fleet_listen)
+            and len(shards) > 1 and pipeline is None):
         _sharded_audit_concurrent(app, shards, initial_state, options,
                                   merged, shard_summaries)
     else:
@@ -666,7 +682,26 @@ def _sharded_audit_concurrent(
     """
     prepass_options = options
     epoch_pool = None
-    if options.epoch_processes:
+    driver_width = options.epoch_workers
+    if options.fleet_listen:
+        # Fleet mode: the "pool" is a coordinator fanning work units
+        # out to remote workers over repro.net; it implements the same
+        # run_epoch/close/serial_fallbacks contract as EpochPool, so
+        # the merge/backpressure/REJECT-drain discipline below is
+        # shared verbatim.  The driver is widened so every remote
+        # worker can hold an epoch even when epoch_workers was left 1.
+        from repro.core.epochpool import epoch_worker_options
+        from repro.fleet.coordinator import FleetCoordinator
+
+        driver_width = max(options.epoch_workers,
+                           options.fleet_min_workers, 2)
+        epoch_pool = FleetCoordinator(
+            options.fleet_listen,
+            min_workers=options.fleet_min_workers,
+            task_timeout=options.fleet_task_timeout,
+            redundancy=options.fleet_redundancy,
+        )
+    elif options.epoch_processes:
         from repro.core.epochpool import EpochPool, epoch_worker_options
 
         epoch_pool = EpochPool(options.epoch_workers)
@@ -679,10 +714,12 @@ def _sharded_audit_concurrent(
         # worker inherits the built stores instead of re-running redo.
         prepass_options = replace(options, offload_reexec=True)
     pool = ThreadPoolExecutor(
-        max_workers=min(options.epoch_workers, len(shards)),
+        max_workers=min(driver_width, len(shards)),
         thread_name_prefix="epoch-audit",
     )
-    window = resolve_prepass_depth(options)
+    window = resolve_prepass_depth(
+        options if driver_width == options.epoch_workers
+        else replace(options, epoch_workers=driver_width))
     inflight: List = []  # (shard, future) in epoch order
     precompute_seconds = 0.0
     state = initial_state  # the prepass chain

@@ -58,7 +58,7 @@ divergence of a bogus grouping is observed group-wide.
 Pluggable backends: the re-execution engine that runs one chunk is a
 registered component (:func:`register_reexec_backend`), selected by
 name through ``AuditConfig.backend`` / ``ssco_audit(backend=...)``.
-Three backends ship:
+Four backends ship:
 
 * ``"accinterp"`` (default) — the SIMD-on-demand grouped interpreter
   (:class:`~repro.accel.accinterp.AccInterpreter`), the paper's
@@ -74,7 +74,11 @@ Three backends ship:
 * ``"compinterp"`` — the compiling engine (:mod:`repro.lang.compile`):
   same per-request discipline as ``"interp"``, but each script's AST is
   compiled to closure chains once per process and cached, so repeated
-  re-execution pays no per-node dispatch.
+  re-execution pays no per-node dispatch;
+* ``"hybrid"`` — ``accinterp`` for genuine groups, ``compinterp`` for
+  the per-request paths (singleton groups and demotions), so the
+  workload's grouped fraction gets SIMD and its ungrouped fraction gets
+  compiled dispatch.
 
 Backends only replace the *re-execution engine*; chunk planning, the
 process-pool fan-out, and result merging are shared.  A backend name is
@@ -302,9 +306,53 @@ class CompInterpBackend(ReexecBackend):
             stats.fallback_requests += 1
 
 
+class HybridBackend(ReexecBackend):
+    """SIMD-on-demand for real groups, the compiling engine for
+    everything that runs per request anyway.
+
+    Singleton groups gain nothing from SIMD batching (every step is a
+    multi-step of width one), and demoted groups re-execute per request
+    by definition — both paths go through the compiled closure chains
+    instead of the tree-walking interpreter, while genuine groups keep
+    the accelerated interpreter.  Produced bodies and verdicts match
+    ``accinterp`` on honest executions; accounting differs only where
+    the engines do (singletons count as ``fallback_requests``)."""
+
+    name = "hybrid"
+
+    def __init__(self, app: Application, collapse: bool = True):
+        self.acc = AccInterpreter(
+            db_name=app.db_name,
+            kv_name=app.kv_name,
+            session_cookie=app.session_cookie,
+            collapse_enabled=collapse,
+        )
+        self.comp = CompInterpreter(
+            db_name=app.db_name,
+            kv_name=app.kv_name,
+            session_cookie=app.session_cookie,
+            record_flow=False,
+        )
+
+    def run_chunk(self, app, rids, requests, reports, ctx, strict, dedup,
+                  produced, stats) -> None:
+        if len(rids) == 1:
+            stats.groups += 1
+            ctx.dedup = None
+            rid = rids[0]
+            ctx.produced_externals.pop(rid, None)
+            produced[rid] = execute_one(app, requests[rid], ctx,
+                                        interp=self.comp)
+            stats.fallback_requests += 1
+            return
+        _run_chunk(app, self.acc, rids, requests, reports, ctx, strict,
+                   dedup, produced, stats, interp=self.comp)
+
+
 register_reexec_backend(AccInterpBackend.name, AccInterpBackend)
 register_reexec_backend(PlainInterpBackend.name, PlainInterpBackend)
 register_reexec_backend(CompInterpBackend.name, CompInterpBackend)
+register_reexec_backend(HybridBackend.name, HybridBackend)
 
 
 #: Parallel planning: aim for this many chunks per worker (load
@@ -447,6 +495,7 @@ def _run_chunk(
     dedup: bool,
     produced: Dict[str, str],
     stats: ReExecStats,
+    interp=None,
 ) -> None:
     stats.groups += 1
     scripts = {requests[rid].script for rid in rids}
@@ -458,7 +507,7 @@ def _run_chunk(
                 RejectReason.GROUP_DIVERGED,
                 f"group mixes scripts {sorted(scripts)}",
             )
-        _fallback(app, rids, requests, ctx, produced, stats)
+        _fallback(app, rids, requests, ctx, produced, stats, interp=interp)
         return
     program = app.script(next(iter(scripts)))
     group_requests = [requests[rid] for rid in rids]
@@ -517,10 +566,10 @@ def _run_chunk(
         stats.divergences += 1
         if strict and not _in_error_group(reports, rids[0]):
             raise AuditReject(RejectReason.GROUP_DIVERGED, diverged.detail)
-        _fallback(app, rids, requests, ctx, produced, stats)
+        _fallback(app, rids, requests, ctx, produced, stats, interp=interp)
     except (MultivalueFallback, WeblangError):
         # Retry path (§4.3): not a verdict about the executor.
-        _fallback(app, rids, requests, ctx, produced, stats)
+        _fallback(app, rids, requests, ctx, produced, stats, interp=interp)
     finally:
         ctx.dedup = None
 
@@ -771,11 +820,14 @@ def _fallback(
     ctx: SimContext,
     produced: Dict[str, str],
     stats: ReExecStats,
+    interp=None,
 ) -> None:
     """Re-execute each request of the group individually (fresh handlers:
-    partial group progress is discarded; checks are idempotent reads)."""
+    partial group progress is discarded; checks are idempotent reads).
+    ``interp`` swaps in another per-request engine (the hybrid backend
+    passes its compiled-program runner)."""
     ctx.dedup = None
     for rid in rids:
         ctx.produced_externals.pop(rid, None)  # discard partial progress
-        produced[rid] = execute_one(app, requests[rid], ctx)
+        produced[rid] = execute_one(app, requests[rid], ctx, interp=interp)
         stats.fallback_requests += 1

@@ -59,6 +59,10 @@ def ssco_audit(
     epoch_workers: int = 1,
     epoch_processes: bool = True,
     prepass_depth: int = 0,
+    fleet_listen: Optional[str] = None,
+    fleet_min_workers: int = 0,
+    fleet_task_timeout: Optional[float] = None,
+    fleet_redundancy: int = 1,
 ) -> AuditResult:
     """Run the full audit; never raises :class:`AuditReject`.
 
@@ -106,6 +110,16 @@ def ssco_audit(
         prepass_depth: bound on in-flight primed epochs — how far the
             speculative prepass may run ahead of the slowest
             unfinished epoch audit (0 means ``2 * epoch_workers``).
+        fleet_listen: listen for ``repro worker`` daemons on
+            ``HOST:PORT`` and fan the epoch work units out to them
+            (see :mod:`repro.fleet`); verdicts, bodies, and stats are
+            bit-identical to the single-host run.
+        fleet_min_workers: wait for this many registered workers
+            before the first dispatch.
+        fleet_task_timeout: per-epoch straggler deadline on a worker;
+            past it the epoch is re-dispatched.
+        fleet_redundancy: dispatch each epoch to this many workers and
+            cross-check the verdicts (1 disables).
 
     For long-lived / incremental use, prefer the object API:
     ``Auditor(app, AuditConfig(...))`` (see :mod:`repro.core.auditor`) —
@@ -125,5 +139,9 @@ def ssco_audit(
         epoch_workers=epoch_workers,
         epoch_processes=epoch_processes,
         prepass_depth=prepass_depth,
+        fleet_listen=fleet_listen,
+        fleet_min_workers=fleet_min_workers,
+        fleet_task_timeout=fleet_task_timeout,
+        fleet_redundancy=fleet_redundancy,
     )
     return run_audit(app, trace, reports, initial_state, options)

@@ -1,0 +1,472 @@
+"""The fleet coordinator: an ``EpochPool``-shaped pool of remote hosts.
+
+:class:`FleetCoordinator` is a drop-in for
+:class:`~repro.core.epochpool.EpochPool` in the concurrent epoch
+drivers: ``run_epoch`` blocks for one epoch's
+:class:`~repro.core.pipeline.AuditResult`, ``close`` tears the fleet
+down, and ``serial_fallbacks`` counts epochs that ran locally.
+Because the drivers already merge results strictly in feed order,
+bound speculation with ``prepass_depth``, and drain in-flight epochs
+after a REJECT, the coordinator inherits the whole single-host merge
+discipline for free — it only changes *where* an epoch executes.
+
+Dispatch contract (one driver thread per in-flight epoch):
+
+* a worker is checked out *exclusively* for one epoch — its socket
+  carries exactly one ``WORK`` frame, then ``HEARTBEAT`` frames
+  (liveness, resetting the miss window) until the ``RESULT`` arrives;
+* **heartbeat miss** (no frame for ``heartbeat_timeout``), **task
+  deadline** (``task_timeout`` exceeded overall), disconnect, or a
+  protocol violation drops the worker and **re-dispatches** the epoch
+  to the next idle worker — generalizing the killed-process serial
+  fallback of ``EpochPool``;
+* a worker-side crash (``RESULT`` with ``ok: false``) is an
+  infrastructure failure, never a verdict: the epoch re-runs locally
+  (reproducing any genuine deterministic crash) and the worker —
+  which is alive and honest about its failure — returns to the pool;
+* with no live workers (none joined, or all dead), the coordinator
+  itself is the last-resort worker: the epoch runs serially inline,
+  exactly the ``EpochPool`` degradation path;
+* ``redundancy >= 2`` dispatches each epoch to that many workers and
+  cross-checks the verdicts (accepted/reason/detail/bodies/stats); a
+  disagreement is treated like an infrastructure failure — the local
+  inline run arbitrates.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import queue
+import socket
+import threading
+from typing import List, Optional
+
+from repro.common.clock import Deadline
+from repro.core.epochwork import (
+    decode_result_frame,
+    encode_work_frame,
+    encode_work_unit,
+    run_epoch_inline,
+)
+from repro.net.protocol import (
+    FLAG_FLEET,
+    HEARTBEAT,
+    HELLO,
+    RESULT,
+    WORK,
+    WORKER_BYE,
+    WORKER_HELLO,
+    FrameSocket,
+    ProtocolError,
+    TransportError,
+    parse_endpoint,
+)
+
+__all__ = ["FleetCoordinator"]
+
+
+class _WorkerLost(Exception):
+    """The worker can no longer be trusted with work (disconnect,
+    heartbeat miss, deadline, protocol violation): drop it and
+    re-dispatch the epoch."""
+
+
+class _WorkerFailed(Exception):
+    """The worker reported it could not *execute* the work unit
+    (``ok: false``): the worker stays, the epoch re-runs locally."""
+
+
+class _RemoteWorker:
+    __slots__ = ("name", "fsock", "dead")
+
+    def __init__(self, name: str, fsock: FrameSocket):
+        self.name = name
+        self.fsock = fsock
+        self.dead = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<_RemoteWorker {self.name} dead={self.dead}>"
+
+
+class FleetCoordinator:
+    """Listen for fleet workers and fan epoch work units out to them.
+
+    Thread-safe: the concurrent drivers call :meth:`run_epoch` from
+    several epoch threads at once; each call checks out one idle
+    worker (or runs inline as the last resort).
+    """
+
+    def __init__(self, listen: str, *, min_workers: int = 0,
+                 task_timeout: Optional[float] = None,
+                 redundancy: int = 1,
+                 heartbeat_timeout: Optional[float] = 30.0,
+                 handshake_timeout: float = 10.0,
+                 join_timeout: Optional[float] = 60.0):
+        host, port = parse_endpoint(listen)
+        self.min_workers = max(0, int(min_workers))
+        self.task_timeout = task_timeout
+        self.redundancy = max(1, int(redundancy))
+        self.heartbeat_timeout = heartbeat_timeout
+        self.handshake_timeout = handshake_timeout
+        self.join_timeout = join_timeout
+
+        self._cond = threading.Condition()
+        self._workers: List[_RemoteWorker] = []
+        self._idle: "queue.Queue[_RemoteWorker]" = queue.Queue()
+        self._closed = False
+        self._epoch_ids = itertools.count()
+
+        #: Epochs that ran serially in the coordinator process (the
+        #: last-resort worker) — same meaning as ``EpochPool``'s.
+        self.serial_fallbacks = 0
+        #: Epochs whose verdict came back over the wire.
+        self.remote_epochs = 0
+        #: Epoch dispatches abandoned on a dead/straggling worker and
+        #: requeued (each increment is one lost worker attempt).
+        self.redispatches = 0
+        #: Workers that ever completed registration.
+        self.workers_joined = 0
+        #: ``ok: false`` RESULTs (worker-side crashes, not verdicts).
+        self.worker_failures = 0
+        #: Redundant dispatches that produced >= 2 comparable verdicts.
+        self.cross_checks = 0
+        #: Cross-checks whose verdicts disagreed (locally arbitrated).
+        self.cross_check_mismatches = 0
+
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            server.bind((host, port))
+            server.listen(16)
+        except OSError:
+            server.close()
+            raise
+        server.settimeout(0.2)
+        self._server = server
+        self.host, self.port = server.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fleet-accept", daemon=True)
+        self._accept_thread.start()
+
+    @property
+    def endpoint(self) -> str:
+        """The actually-bound ``HOST:PORT`` (resolves port 0)."""
+        return f"{self.host}:{self.port}"
+
+    # -- worker registration ----------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._server.accept()
+            except socket.timeout:
+                with self._cond:
+                    if self._closed:
+                        return
+                continue
+            except OSError:
+                return
+            threading.Thread(target=self._handshake, args=(conn,),
+                             name="fleet-join", daemon=True).start()
+
+    def _handshake(self, conn: socket.socket) -> None:
+        fsock = FrameSocket(conn)
+        try:
+            deadline = Deadline(self.handshake_timeout)
+            flags = fsock.recv_preamble(deadline)
+            if not flags & FLAG_FLEET:
+                raise ProtocolError("peer does not speak fleet frames")
+            kind, obj = fsock.recv_frame(deadline)
+            if kind != WORKER_HELLO:
+                raise ProtocolError(
+                    f"expected WORKER_HELLO, got kind {kind:#x}")
+            name = ""
+            if isinstance(obj, dict):
+                name = str(obj.get("name") or "")
+            fsock.send_preamble(FLAG_FLEET)
+            fsock.send_frame(HELLO, {"role": "fleet-coordinator"})
+            fsock.settimeout(None)
+        except (TransportError, ProtocolError, ValueError):
+            fsock.close()
+            return
+        with self._cond:
+            if self._closed:
+                self._say_goodbye(fsock)
+                return
+            self.workers_joined += 1
+            worker = _RemoteWorker(name or f"worker-{self.workers_joined}",
+                                   fsock)
+            self._workers.append(worker)
+            self._cond.notify_all()
+        self._idle.put(worker)
+
+    def _await_min_workers(self) -> None:
+        if self.min_workers <= 0:
+            return
+        deadline = Deadline(self.join_timeout)
+        with self._cond:
+            while (self.workers_joined < self.min_workers
+                   and not self._closed and not deadline.expired()):
+                # Short slices so close() and the join timeout are both
+                # observed promptly.
+                self._cond.wait(timeout=0.1)
+
+    # -- worker checkout --------------------------------------------------
+
+    def _live_workers(self) -> int:
+        with self._cond:
+            return sum(1 for w in self._workers if not w.dead)
+
+    def _checkout(self) -> Optional[_RemoteWorker]:
+        """Block until an idle worker is available; ``None`` once no
+        live worker remains (the caller runs the epoch inline)."""
+        while True:
+            if self._live_workers() == 0:
+                return None
+            try:
+                worker = self._idle.get(timeout=0.05)
+            except queue.Empty:
+                with self._cond:
+                    if self._closed:
+                        return None
+                continue
+            if worker.dead:
+                continue
+            return worker
+
+    def _checkout_nowait(self) -> Optional[_RemoteWorker]:
+        while True:
+            try:
+                worker = self._idle.get_nowait()
+            except queue.Empty:
+                return None
+            if not worker.dead:
+                return worker
+
+    def _checkin(self, worker: _RemoteWorker) -> None:
+        if worker.dead:
+            return
+        with self._cond:
+            closed = self._closed
+        if closed:
+            return
+        self._idle.put(worker)
+
+    def _discard(self, worker: _RemoteWorker) -> None:
+        with self._cond:
+            worker.dead = True
+            if worker in self._workers:
+                self._workers.remove(worker)
+        worker.fsock.close()
+
+    # -- the EpochPool contract -------------------------------------------
+
+    def run_epoch(self, app, trace, reports, initial_state, options):
+        """Audit one epoch slice somewhere in the fleet; blocks for the
+        result.  Never raises on infrastructure failure — dead and
+        straggling workers re-dispatch, and the coordinator itself is
+        the last-resort worker."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("fleet coordinator is closed")
+        try:
+            payload = encode_work_unit(app, trace, reports, initial_state,
+                                       options)
+        except (pickle.PickleError, TypeError, AttributeError):
+            return self._run_inline(app, trace, reports, initial_state,
+                                    options)
+        self._await_min_workers()
+        epoch = next(self._epoch_ids)
+        if self.redundancy > 1:
+            result = self._run_redundant(epoch, payload)
+        else:
+            result = self._run_remote(epoch, payload)
+        if result is None:
+            return self._run_inline(app, trace, reports, initial_state,
+                                    options)
+        self.remote_epochs += 1
+        return result
+
+    def _run_inline(self, app, trace, reports, initial_state, options):
+        self.serial_fallbacks += 1
+        return run_epoch_inline(app, trace, reports, initial_state,
+                                options)
+
+    def _run_remote(self, epoch: int, payload: bytes):
+        """Dispatch with re-dispatch-on-loss; ``None`` means "run it
+        locally" (no workers, or a surviving worker reported a crash)."""
+        while True:
+            worker = self._checkout()
+            if worker is None:
+                return None
+            try:
+                result = self._dispatch(worker, epoch, payload)
+            except _WorkerLost:
+                self._discard(worker)
+                self.redispatches += 1
+                continue
+            except _WorkerFailed:
+                self.worker_failures += 1
+                self._checkin(worker)
+                return None
+            self._checkin(worker)
+            return result
+
+    def _run_redundant(self, epoch: int, payload: bytes):
+        """Dispatch one epoch to up to ``redundancy`` workers and
+        cross-check the verdicts.  Degrades gracefully: fewer idle
+        workers → fewer replicas; a disagreement returns ``None`` so
+        the local inline run arbitrates."""
+        primary = self._checkout()
+        if primary is None:
+            return None
+        replicas = [primary]
+        while len(replicas) < self.redundancy:
+            extra = self._checkout_nowait()
+            if extra is None:
+                break
+            replicas.append(extra)
+
+        outcomes: List[Optional[tuple]] = [None] * len(replicas)
+
+        def _one(slot: int, worker: _RemoteWorker) -> None:
+            try:
+                outcomes[slot] = ("ok", self._dispatch(worker, epoch,
+                                                       payload))
+            except _WorkerLost:
+                outcomes[slot] = ("lost", None)
+            except _WorkerFailed:
+                outcomes[slot] = ("failed", None)
+
+        threads = [threading.Thread(target=_one, args=(slot, worker),
+                                    name="fleet-replica", daemon=True)
+                   for slot, worker in enumerate(replicas[1:], start=1)]
+        for thread in threads:
+            thread.start()
+        _one(0, replicas[0])
+        for thread in threads:
+            thread.join()
+
+        results = []
+        lost = False
+        for (state, result), worker in zip(outcomes, replicas):
+            if state == "ok":
+                self._checkin(worker)
+                results.append(result)
+            elif state == "lost":
+                self._discard(worker)
+                self.redispatches += 1
+                lost = True
+            else:
+                self.worker_failures += 1
+                self._checkin(worker)
+        if not results:
+            # Every replica died: this is the straggler-requeue path.
+            # Every replica merely crashed: local re-run arbitrates.
+            return self._run_remote(epoch, payload) if lost else None
+        if len(results) >= 2:
+            self.cross_checks += 1
+            if not self._results_agree(results[0], results[1]):
+                self.cross_check_mismatches += 1
+                return None
+        return results[0]
+
+    @staticmethod
+    def _results_agree(a, b) -> bool:
+        """Bit-level agreement on everything deterministic (phases are
+        wall-clock timings, so they are excluded)."""
+        return (a.accepted == b.accepted
+                and a.reason == b.reason
+                and a.detail == b.detail
+                and a.produced == b.produced
+                and a.stats == b.stats)
+
+    def _dispatch(self, worker: _RemoteWorker, epoch: int, payload: bytes):
+        """One WORK → (HEARTBEAT...) → RESULT round trip on a worker
+        held exclusively by this thread."""
+        task = Deadline(self.task_timeout)
+        try:
+            worker.fsock.send_frame(WORK, encode_work_frame(epoch, payload))
+            while True:
+                step = self.heartbeat_timeout
+                remaining = task.remaining()
+                if remaining is not None:
+                    if remaining <= 0:
+                        raise _WorkerLost(
+                            f"{worker.name}: task deadline exceeded")
+                    step = (remaining if step is None
+                            else min(step, remaining))
+                kind, obj = worker.fsock.recv_frame(Deadline(step))
+                if kind == HEARTBEAT:
+                    # Liveness: the worker is computing.  The *task*
+                    # deadline keeps ticking — heartbeats prove life,
+                    # not progress, so a straggler still gets requeued.
+                    continue
+                if kind == RESULT:
+                    try:
+                        repoch, ok, result, error = decode_result_frame(obj)
+                    except ValueError as exc:
+                        raise _WorkerLost(
+                            f"{worker.name}: bad RESULT: {exc}") from exc
+                    if repoch != epoch:
+                        raise _WorkerLost(
+                            f"{worker.name}: RESULT for epoch {repoch}, "
+                            f"expected {epoch}")
+                    if not ok:
+                        raise _WorkerFailed(error or "worker crash")
+                    return result
+                if kind == WORKER_BYE:
+                    raise _WorkerLost(f"{worker.name}: worker left")
+                raise _WorkerLost(
+                    f"{worker.name}: unexpected frame kind {kind:#x}")
+        except (TransportError, ProtocolError) as exc:
+            # IdleTimeout (a TransportError) is the heartbeat miss.
+            raise _WorkerLost(f"{worker.name}: {exc}") from exc
+
+    # -- lifecycle --------------------------------------------------------
+
+    @staticmethod
+    def _say_goodbye(fsock: FrameSocket) -> None:
+        try:
+            fsock.send_frame(WORKER_BYE, {})
+        except TransportError:
+            pass
+        fsock.close()
+
+    def close(self) -> None:
+        """Dismiss the fleet.  Idempotent; callers must have drained
+        their in-flight epochs first (the drivers do)."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            workers, self._workers = self._workers, []
+            self._cond.notify_all()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=5)
+        # Anything still parked in the idle queue is also in `workers`;
+        # drain the queue so no thread can check a closed worker out.
+        while True:
+            try:
+                self._idle.get_nowait()
+            except queue.Empty:
+                break
+        for worker in workers:
+            worker.dead = True
+            self._say_goodbye(worker.fsock)
+
+    def __enter__(self) -> "FleetCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FleetCoordinator {self.endpoint} "
+                f"joined={self.workers_joined} "
+                f"remote={self.remote_epochs} "
+                f"fallbacks={self.serial_fallbacks}>")

@@ -455,6 +455,36 @@ class BundleWriter:
         """Mark the stream complete (stops ``follow`` readers)."""
         self._emit(end_record(self.position))
 
+    def write_payload_line(self, payload: bytes,
+                           kind: Optional[str] = None) -> None:
+        """Append one **already-encoded** record line verbatim.
+
+        The zero re-encode path's mirror half: the publisher encodes
+        each record exactly once (the wire's compact encoding) and the
+        ``--out`` mirror writes those same bytes as a bundle line —
+        ``record_kind`` and every reader accept both JSON spellings.
+        ``kind`` skips the prefix sniff when the caller already knows
+        it.  Position/epoch-mark bookkeeping matches the record-level
+        methods (the rare mark/end records are parsed for it).
+        """
+        payload = payload.rstrip(b"\r\n")
+        if kind is None:
+            kind = record_kind(payload)
+        if kind is None:
+            raise ValueError(
+                "record payload has no kind (bundle header lines are "
+                "emitted by the constructor, not appended)"
+            )
+        self._fh.write(payload.decode() + "\n")
+        if self.autoflush:
+            self._fh.flush()
+        if kind == "event":
+            self.position += 1
+        elif kind == "epoch_mark":
+            events = json.loads(payload).get("events")
+            if isinstance(events, int):
+                self.epoch_marks.append(events)
+
     def close(self) -> None:
         if not self._closed:
             self._closed = True

@@ -34,13 +34,26 @@ any JSON is parsed.  Frame kinds:
   advertising it fails loud with "unknown frame kind" — never a
   silent truncation;
 * ``ERROR`` — server → client; ``{"error": msg}``, e.g. a resume from
-  an epoch the spool has already evicted.
+  an epoch the spool has already evicted;
+* ``WORKER_HELLO`` / ``WORKER_BYE`` — fleet worker ↔ coordinator;
+  registration (``{"name": ..., "pid": ...}``) and orderly departure
+  (see :mod:`repro.fleet`);
+* ``WORK`` — coordinator → worker; one epoch work unit
+  (``{"epoch": N, "unit": base64(pickle)}`` — the byte-identical
+  payload ``core/epochpool.py`` submits to its process pool);
+* ``RESULT`` — worker → coordinator; the epoch's verdict
+  (``{"epoch": N, "ok": true, "result": base64(pickle)}``, or
+  ``ok: false`` with an ``error`` string for a crash that is an
+  infrastructure failure, never a verdict).
 
 The preamble's ``flags`` field is the capability negotiation: bit 0
-(:data:`FLAG_BATCH`) means "I accept ``RECORD_BATCH`` frames".  Flags
-a peer does not know are ignored, so capabilities extend the protocol
-without a version bump (the version field stays reserved for breaking
-changes to the frame format itself).
+(:data:`FLAG_BATCH`) means "I accept ``RECORD_BATCH`` frames"; bit 1
+(:data:`FLAG_FLEET`) means "I speak the fleet work-dispatch frames"
+(``WORK`` / ``RESULT`` / ``WORKER_HELLO`` / ``WORKER_BYE``, with
+``HEARTBEAT`` reused for worker liveness).  Flags a peer does not
+know are ignored, so capabilities extend the protocol without a
+version bump (the version field stays reserved for breaking changes
+to the frame format itself).
 
 A frame whose CRC does not match its payload, whose length field is
 absurd, or that ends mid-payload is *rejected*: :class:`ProtocolError`
@@ -69,6 +82,7 @@ PREAMBLE = _PREAMBLE.pack(MAGIC, PROTOCOL_VERSION, 0)
 #: this"; unknown bits are ignored (that is what makes them
 #: capabilities and not a version bump).
 FLAG_BATCH = 0x0001  # accepts RECORD_BATCH frames
+FLAG_FLEET = 0x0002  # speaks the fleet work-dispatch frames
 
 _HEADER = struct.Struct("!BI")   # kind, payload length
 _TRAILER = struct.Struct("!I")   # crc32(kind byte + payload)
@@ -86,9 +100,20 @@ HEARTBEAT = 0x05
 #: Server → client; a JSON array of records in stream order.  Only
 #: sent to subscribers whose preamble advertised FLAG_BATCH.
 RECORD_BATCH = 0x06
+#: Fleet dispatch (peers advertising FLAG_FLEET; see repro.fleet):
+#: coordinator → worker, one pickled epoch work unit.
+WORK = 0x07
+#: Worker → coordinator, the epoch's pickled AuditResult (or a crash
+#: report with ok=false — an infrastructure failure, never a verdict).
+RESULT = 0x08
+#: Worker → coordinator registration, sent right after the preamble.
+WORKER_HELLO = 0x09
+#: Orderly departure, either direction; the peer stops dispatching.
+WORKER_BYE = 0x0A
 
 _KNOWN_KINDS = frozenset({HELLO, SUBSCRIBE, RECORD, ERROR, HEARTBEAT,
-                          RECORD_BATCH})
+                          RECORD_BATCH, WORK, RESULT, WORKER_HELLO,
+                          WORKER_BYE})
 
 #: Frames per sendmsg() call in :meth:`FrameSocket.send_frames` —
 #: comfortably under every platform's IOV_MAX (POSIX floor is 16,

@@ -281,27 +281,19 @@ class BundlePublisher:
     # -- the BundleWriter-shaped record API -------------------------------
 
     def write_state(self, initial_state: InitialState) -> None:
-        if self.writer is not None:
-            self.writer.write_state(initial_state)
         self._publish(state_record(initial_state))
 
     def write_event(self, event: Event) -> None:
-        if self.writer is not None:
-            self.writer.write_event(event)
         self._publish(event_record(event))
         self.position += 1
 
     def write_epoch_mark(self, position: Optional[int] = None) -> None:
         """Record a quiescent cut; seals the current epoch run."""
         position = self.position if position is None else position
-        if self.writer is not None:
-            self.writer.write_epoch_mark(position)
         self._publish(epoch_mark_record(position))
         self.epoch_marks.append(position)
 
     def write_reports(self, reports: Reports) -> None:
-        if self.writer is not None:
-            self.writer.write_reports(reports)
         for record in iter_report_records(reports):
             self._publish(record)
 
@@ -317,8 +309,6 @@ class BundlePublisher:
 
     def write_end(self) -> None:
         """Mark the stream complete; subscribers drain and disconnect."""
-        if self.writer is not None:
-            self.writer.write_end()
         self._publish(end_record(self.position))
 
     def write_record_payload(self, payload: bytes,
@@ -333,15 +323,11 @@ class BundlePublisher:
         framing.  ``kind`` skips the prefix sniff when the caller
         already knows it.  The bundle header line has no kind and must
         not be published (the ``HELLO`` frame carries its contents);
-        passing it raises ``ValueError``.  Pre-encoded records cannot
-        be mirrored to a wrapped writer — the payload *is* the writer's
-        output — so a publisher constructed with one rejects this call.
+        passing it raises ``ValueError``.  A wrapped ``--out`` mirror
+        writer receives the same bytes as one appended line
+        (``BundleWriter.write_payload_line``) — the mirror and the
+        wire share one encoding.
         """
-        if self.writer is not None:
-            raise RuntimeError(
-                "write_record_payload does not mirror to a writer; "
-                "the payload already is the writer's encoding"
-            )
         payload = payload.rstrip(b"\r\n")
         if kind is None:
             kind = record_kind(payload)
@@ -367,6 +353,12 @@ class BundlePublisher:
 
     def _publish_payload(self, kind: Optional[str],
                          payload: bytes) -> None:
+        if self.writer is not None:
+            # The --out mirror gets the identical encoded bytes the
+            # wire carries — one JSON encode per record, shared by
+            # file and socket (mirror order is safe off-lock: only the
+            # single recorder thread publishes).
+            self.writer.write_payload_line(payload, kind=kind)
         with self._lock:
             if self._ended:
                 raise RuntimeError("publisher stream already ended")

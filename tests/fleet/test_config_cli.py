@@ -1,0 +1,115 @@
+"""The fleet configuration surface: ``AuditConfig`` knobs, option
+plumbing, and the ``repro worker`` / ``repro audit --fleet-listen``
+command line."""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.__main__ import _fleet_endpoint, main
+from repro.core.config import AuditConfig
+from repro.core.epochwork import epoch_worker_options
+from repro.core.pipeline import AuditOptions
+
+
+# -- AuditConfig --------------------------------------------------------------
+
+
+def test_fleet_defaults_are_off():
+    config = AuditConfig()
+    assert config.fleet_listen is None
+    assert config.fleet_min_workers == 0
+    assert config.fleet_task_timeout is None
+    assert config.fleet_redundancy == 1
+
+
+@pytest.mark.parametrize("kwargs,fragment", [
+    (dict(fleet_listen="no-port-here"), "fleet_listen"),
+    (dict(fleet_listen=8700), "fleet_listen"),
+    (dict(fleet_min_workers=-1), "fleet_min_workers"),
+    (dict(fleet_min_workers=1.5), "fleet_min_workers"),
+    (dict(fleet_task_timeout=0), "fleet_task_timeout"),
+    (dict(fleet_task_timeout=-3.0), "fleet_task_timeout"),
+    (dict(fleet_redundancy=0), "fleet_redundancy"),
+    (dict(fleet_redundancy="two"), "fleet_redundancy"),
+])
+def test_validation_rejects_nonsense(kwargs, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        AuditConfig(**kwargs)
+
+
+def test_fleet_knobs_flow_through_options():
+    config = AuditConfig(fleet_listen="0.0.0.0:8700", fleet_min_workers=3,
+                         fleet_task_timeout=45.0, fleet_redundancy=2)
+    options = config.to_options()
+    assert options.fleet_listen == "0.0.0.0:8700"
+    assert options.fleet_min_workers == 3
+    assert options.fleet_task_timeout == 45.0
+    assert options.fleet_redundancy == 2
+    back = AuditConfig.from_options(options)
+    assert back.fleet_listen == config.fleet_listen
+    assert back.fleet_min_workers == config.fleet_min_workers
+    assert back.fleet_task_timeout == config.fleet_task_timeout
+    assert back.fleet_redundancy == config.fleet_redundancy
+
+
+def test_describe_mentions_fleet():
+    text = AuditConfig(fleet_listen="0.0.0.0:8700", fleet_min_workers=2,
+                       fleet_redundancy=2).describe()
+    assert "fleet_listen=0.0.0.0:8700" in text
+    assert "fleet_min_workers=2" in text
+    assert "fleet_redundancy=2" in text
+
+
+def test_worker_options_never_recurse_into_a_nested_fleet():
+    options = AuditOptions(fleet_listen="0.0.0.0:8700",
+                           fleet_min_workers=2, fleet_redundancy=2,
+                           epoch_workers=4)
+    unit = epoch_worker_options(options)
+    assert unit.fleet_listen is None
+    assert unit.fleet_min_workers == 0
+    assert unit.fleet_redundancy == 1
+    assert unit.epoch_workers == 1
+    assert unit.epoch_processes is False
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_fleet_listen_flag_expands_bare_ports():
+    # A bare port expands to a wildcard bind — workers are remote hosts.
+    assert _fleet_endpoint("8700") == "0.0.0.0:8700"
+    assert _fleet_endpoint("127.0.0.1:8700") == "127.0.0.1:8700"
+
+
+def test_from_args_picks_up_fleet_flags():
+    args = argparse.Namespace(fleet_listen="0.0.0.0:9000",
+                              fleet_min_workers=1)
+    config = AuditConfig.from_args(args)
+    assert config.fleet_listen == "0.0.0.0:9000"
+    assert config.fleet_min_workers == 1
+    # Unset flags keep their defaults so config-file layering works.
+    assert config.fleet_redundancy == 1
+    assert config.fleet_task_timeout is None
+
+
+def test_worker_command_requires_join(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["worker"])
+    assert excinfo.value.code == 2
+
+
+def test_worker_command_rejects_bad_endpoint(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["worker", "--join", "not-an-endpoint"])
+    assert excinfo.value.code == 2
+
+
+def test_worker_command_reports_unreachable_coordinator(capsys):
+    # Nothing listens on the discard port; the retry deadline expires.
+    code = main(["worker", "--join", "127.0.0.1:9",
+                 "--connect-timeout", "0.3"])
+    assert code == 2
+    assert "cannot join fleet" in capsys.readouterr().err

@@ -1,0 +1,452 @@
+"""Distributed audit fleet: bit-identical verdicts through remote
+workers, re-dispatch on worker loss, and the local last-resort path.
+
+The invariants under test mirror the single-host concurrent driver's
+(PR 5/6): a two-worker fleet run must produce the same verdict, bodies,
+and deterministic stats as the serial epoch chain — on ACCEPT, and on
+REJECT from a tampered bundle (where the rejecting epoch's *partial*
+stats must cross the wire, never be zeroed).  Dead workers (socket
+drop, SIGKILL mid-epoch) re-dispatch their epoch; crashed-but-alive
+workers hand the epoch back for a local run and stay in the pool.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import subprocess
+import sys
+import threading
+
+from repro.common.clock import Deadline
+from repro.core import AuditConfig, Auditor, ssco_audit
+from repro.core.epochpool import epoch_worker_options
+from repro.core.epochwork import run_epoch_inline
+from repro.core.partition import partition_audit_inputs
+from repro.core.pipeline import AuditOptions
+from repro.core.reexec import (
+    _BACKENDS,
+    PlainInterpBackend,
+    register_reexec_backend,
+)
+from repro.fleet import FleetCoordinator, FleetWorker
+from repro.net.protocol import (
+    FLAG_FLEET,
+    WORK,
+    WORKER_HELLO,
+    ProtocolError,
+    TransportError,
+    connect_endpoint,
+)
+from repro.objects.base import OpType
+from repro.server import Executor, RandomScheduler, faulty
+from repro.server.nondet import NondetSource
+from tests.conftest import counter_requests
+from tests.net.test_transport import _assert_equivalent
+
+
+def _epoch_execution(app, n=40, epoch_size=8, seed=7, min_marks=2):
+    executor = Executor(
+        app,
+        scheduler=RandomScheduler(seed),
+        max_concurrency=4,
+        nondet=NondetSource(seed=seed),
+        epoch_size=epoch_size,
+    )
+    execution = executor.serve(counter_requests(n))
+    assert len(execution.epoch_marks) >= min_marks, \
+        "need enough quiescent cuts"
+    return execution
+
+
+def _free_port() -> int:
+    import socket as _socket
+    sock = _socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+@contextlib.contextmanager
+def _fleet_workers(endpoint, count, prefix="fleet-test-worker"):
+    """``count`` in-process worker daemons joined to ``endpoint``;
+    asserts they all exit cleanly (the coordinator dismisses them)."""
+    workers = [FleetWorker(endpoint, name=f"{prefix}-{i}",
+                           heartbeat_interval=0.2)
+               for i in range(count)]
+    errors = []
+
+    def _run(worker):
+        try:
+            worker.run()
+        except (TransportError, ProtocolError) as exc:
+            errors.append((worker.name, repr(exc)))
+
+    threads = [threading.Thread(target=_run, args=(worker,),
+                                name=f"{prefix}-{i}", daemon=True)
+               for i, worker in enumerate(workers)]
+    for thread in threads:
+        thread.start()
+    try:
+        yield workers
+    finally:
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in threads), \
+            "worker daemons did not exit after the coordinator closed"
+        assert not errors, errors
+
+
+# -- ACCEPT: fleet == single host ---------------------------------------------
+
+
+def test_fleet_accept_matches_single_host(counter_app):
+    execution = _epoch_execution(counter_app)
+    serial = ssco_audit(counter_app, execution.trace, execution.reports,
+                        execution.initial_state,
+                        epoch_cuts=execution.epoch_marks)
+    port = _free_port()
+    with _fleet_workers(f"127.0.0.1:{port}", 2) as workers:
+        fleet = ssco_audit(counter_app, execution.trace,
+                           execution.reports, execution.initial_state,
+                           epoch_cuts=execution.epoch_marks,
+                           fleet_listen=f"127.0.0.1:{port}",
+                           fleet_min_workers=2)
+    assert fleet.accepted, (fleet.reason, fleet.detail)
+    _assert_equivalent(serial, fleet)
+    # Every epoch actually went over the wire.
+    assert sum(w.epochs_run for w in workers) == fleet.stats["shard_count"]
+    assert all(w.epochs_failed == 0 for w in workers)
+
+
+def test_fleet_session_uses_coordinator_pool(counter_app):
+    """The incremental session path: ``AuditConfig.fleet_listen`` swaps
+    the shared process pool for a coordinator; verdicts still match."""
+    execution = _epoch_execution(counter_app)
+    shards = partition_audit_inputs(execution.trace, execution.reports,
+                                    cuts=execution.epoch_marks)
+    serial = Auditor(counter_app, AuditConfig()).audit_epochs(
+        shards, execution.initial_state)
+    port = _free_port()
+    with _fleet_workers(f"127.0.0.1:{port}", 2):
+        auditor = Auditor(counter_app, AuditConfig(
+            fleet_listen=f"127.0.0.1:{port}", fleet_min_workers=2))
+        with auditor.session(execution.initial_state) as session:
+            pool = session._process_pool
+            assert isinstance(pool, FleetCoordinator)
+            for shard in shards:
+                session.submit_epoch(shard.trace, shard.reports)
+        merged = session.close()
+    assert merged.accepted, (merged.reason, merged.detail)
+    assert merged.produced == serial.produced
+    assert pool.remote_epochs == len(shards)
+    assert pool.serial_fallbacks == 0
+
+
+# -- REJECT: tampered bundles through remote workers --------------------------
+
+
+def test_fleet_tampered_report_rejects_identically(counter_app):
+    """A flipped response body in a late epoch: the fleet REJECT must be
+    bit-identical to the serial chain's — reason, detail, and the
+    rejecting epoch's *partial* stats (shipped inside the pickled
+    result, never zeroed by the wire)."""
+    execution = _epoch_execution(counter_app)
+    trace = faulty.tamper_response(execution.trace, "r035",
+                                   "<h1>defaced</h1>")
+    serial = ssco_audit(counter_app, trace, execution.reports,
+                        execution.initial_state,
+                        epoch_cuts=execution.epoch_marks)
+    assert not serial.accepted
+    port = _free_port()
+    with _fleet_workers(f"127.0.0.1:{port}", 2):
+        fleet = ssco_audit(counter_app, trace, execution.reports,
+                           execution.initial_state,
+                           epoch_cuts=execution.epoch_marks,
+                           fleet_listen=f"127.0.0.1:{port}",
+                           fleet_min_workers=2)
+    assert not fleet.accepted
+    _assert_equivalent(serial, fleet)
+    # The rejecting run still carries real accounting from the epochs
+    # that executed — remote verdicts must not silently zero stats.
+    assert fleet.stats.get("groups", 0) > 0
+
+
+def test_fleet_spliced_epoch_rejects_identically(counter_app):
+    """KV log entries spliced across epochs (a swap between distant
+    positions): wrong state crosses an epoch boundary, and the fleet
+    must reject exactly like the single-host chain."""
+    execution = _epoch_execution(counter_app)
+    log = execution.reports.op_logs["kv:apc"]
+    # Splice inside the *late* epochs so the earlier ones still audit
+    # remotely before the chain hits the corruption.
+    start = (2 * len(log)) // 3
+    position = next(
+        i for i in range(start, len(log) - 1)
+        if log[i].rid != log[i + 1].rid
+        and (log[i].optype is OpType.KV_SET
+             or log[i + 1].optype is OpType.KV_SET))
+    reports = faulty.swap_log_entries(execution.reports, "kv:apc",
+                                      position, position + 1)
+    serial = ssco_audit(counter_app, execution.trace, reports,
+                        execution.initial_state,
+                        epoch_cuts=execution.epoch_marks)
+    assert not serial.accepted
+    port = _free_port()
+    with _fleet_workers(f"127.0.0.1:{port}", 2):
+        fleet = ssco_audit(counter_app, execution.trace, reports,
+                           execution.initial_state,
+                           epoch_cuts=execution.epoch_marks,
+                           fleet_listen=f"127.0.0.1:{port}",
+                           fleet_min_workers=2)
+    assert not fleet.accepted
+    _assert_equivalent(serial, fleet)
+
+
+# -- worker loss and re-dispatch ----------------------------------------------
+
+
+def test_dead_worker_redispatches_to_live_worker(counter_app):
+    """A worker that takes an epoch and drops the connection: the
+    coordinator discards it and re-dispatches the same epoch to the
+    next live worker — the verdict is unaffected."""
+    execution = _epoch_execution(counter_app, n=16, min_marks=1)
+    options = epoch_worker_options(AuditOptions())
+    reference = run_epoch_inline(counter_app, execution.trace,
+                                 execution.reports,
+                                 execution.initial_state, options)
+    with FleetCoordinator("127.0.0.1:0", min_workers=2,
+                          join_timeout=30) as coord:
+
+        def _doomed():
+            fsock = connect_endpoint(coord.host, coord.port, timeout=5)
+            try:
+                fsock.send_preamble(FLAG_FLEET)
+                fsock.send_frame(WORKER_HELLO, {"name": "doomed"})
+                deadline = Deadline(10)
+                fsock.recv_preamble(deadline)
+                fsock.recv_frame(deadline)  # HELLO
+                kind, _obj = fsock.recv_frame(Deadline(30))
+                assert kind == WORK
+            finally:
+                fsock.close()  # mid-epoch death
+
+        doomed = threading.Thread(target=_doomed, daemon=True)
+        doomed.start()
+        # The doomed worker joins first, so the single dispatch below
+        # checks it out first; the real worker joins second and absorbs
+        # the re-dispatch.
+        joined = Deadline(10)
+        while coord.workers_joined < 1 and not joined.expired():
+            joined.sleep(0.01)
+        assert coord.workers_joined == 1
+        with _fleet_workers(coord.endpoint, 1):
+            result = coord.run_epoch(counter_app, execution.trace,
+                                     execution.reports,
+                                     execution.initial_state, options)
+            assert coord.redispatches == 1
+            assert coord.remote_epochs == 1
+            assert coord.serial_fallbacks == 0
+            coord.close()  # dismiss the worker so its daemon exits
+        doomed.join(timeout=10)
+    assert result.accepted
+    assert result.produced == reference.produced
+    assert result.stats == reference.stats
+
+
+class _CrashOnWorkerThread(PlainInterpBackend):
+    """Crashes (a RuntimeError, not a verdict) only when re-executing
+    inside an in-process fleet worker thread; behaves like ``interp``
+    everywhere else (the coordinator's local re-run)."""
+
+    name = "fleet-crashy"
+
+    def run_chunk(self, app, rids, requests, reports, ctx, strict, dedup,
+                  produced, stats):
+        if threading.current_thread().name.startswith("fleet-test-worker"):
+            raise RuntimeError("injected worker crash")
+        super().run_chunk(app, rids, requests, reports, ctx, strict,
+                          dedup, produced, stats)
+
+
+def test_worker_crash_is_not_a_verdict_and_worker_survives(counter_app):
+    """``RESULT ok: false``: the epoch re-runs locally (the last-resort
+    worker) with the identical verdict, and the crashed-but-honest
+    worker stays in the pool."""
+    execution = _epoch_execution(counter_app, n=16, min_marks=1)
+    register_reexec_backend("fleet-crashy", _CrashOnWorkerThread)
+    try:
+        options = epoch_worker_options(
+            AuditOptions(backend="fleet-crashy"))
+        reference = run_epoch_inline(counter_app, execution.trace,
+                                     execution.reports,
+                                     execution.initial_state, options)
+        with FleetCoordinator("127.0.0.1:0", min_workers=1,
+                              join_timeout=30) as coord:
+            with _fleet_workers(coord.endpoint, 1) as workers:
+                result = coord.run_epoch(counter_app, execution.trace,
+                                         execution.reports,
+                                         execution.initial_state, options)
+                assert coord.worker_failures == 1
+                assert coord.serial_fallbacks == 1
+                assert coord.remote_epochs == 0
+                assert coord._live_workers() == 1  # still in the pool
+                coord.close()  # dismiss the worker so its daemon exits
+        assert workers[0].epochs_failed == 1
+        assert result.accepted
+        assert result.produced == reference.produced
+        assert result.stats == reference.stats
+    finally:
+        _BACKENDS.pop("fleet-crashy", None)
+
+
+def test_no_workers_falls_back_to_local_serial(counter_app):
+    """An empty fleet: the coordinator itself is the last-resort worker
+    (the ``EpochPool`` degradation path), bit-identical results."""
+    execution = _epoch_execution(counter_app, n=16, min_marks=1)
+    options = epoch_worker_options(AuditOptions())
+    reference = run_epoch_inline(counter_app, execution.trace,
+                                 execution.reports,
+                                 execution.initial_state, options)
+    with FleetCoordinator("127.0.0.1:0") as coord:
+        result = coord.run_epoch(counter_app, execution.trace,
+                                 execution.reports,
+                                 execution.initial_state, options)
+        assert coord.serial_fallbacks == 1
+        assert coord.remote_epochs == 0
+    assert result.accepted
+    assert result.produced == reference.produced
+    assert result.stats == reference.stats
+
+
+# -- redundancy ---------------------------------------------------------------
+
+
+def test_redundant_dispatch_cross_checks_verdicts(counter_app):
+    execution = _epoch_execution(counter_app, n=16, min_marks=1)
+    options = epoch_worker_options(AuditOptions())
+    reference = run_epoch_inline(counter_app, execution.trace,
+                                 execution.reports,
+                                 execution.initial_state, options)
+    with FleetCoordinator("127.0.0.1:0", min_workers=2, redundancy=2,
+                          join_timeout=30) as coord:
+        with _fleet_workers(coord.endpoint, 2) as workers:
+            # Both workers must be parked idle before the dispatch, or
+            # the redundant checkout degrades to one replica.
+            parked = Deadline(10)
+            while coord._idle.qsize() < 2 and not parked.expired():
+                parked.sleep(0.01)
+            result = coord.run_epoch(counter_app, execution.trace,
+                                     execution.reports,
+                                     execution.initial_state, options)
+            assert coord.cross_checks == 1
+            assert coord.cross_check_mismatches == 0
+            assert coord.remote_epochs == 1
+            assert coord.serial_fallbacks == 0
+            coord.close()  # dismiss the workers so their daemons exit
+        # Both replicas really executed the epoch.
+        assert [w.epochs_run for w in workers] == [1, 1]
+    assert result.accepted
+    assert result.produced == reference.produced
+    assert result.stats == reference.stats
+
+
+# -- SIGKILL mid-epoch (real subprocess) --------------------------------------
+
+
+_KAMIKAZE_WORKER = """
+import os, signal, sys
+
+from repro.core.reexec import PlainInterpBackend, register_reexec_backend
+
+
+class Kamikaze(PlainInterpBackend):
+    name = "fleet-kamikaze"
+
+    def run_chunk(self, *args, **kwargs):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+register_reexec_backend("fleet-kamikaze", Kamikaze)
+
+from repro.fleet import FleetWorker
+
+print("ready", flush=True)
+FleetWorker(sys.argv[1], name="kamikaze",
+            heartbeat_interval=0.2).run()
+"""
+
+
+class _KamikazeLocal(PlainInterpBackend):
+    """The test process's view of the kamikaze backend: plain interp
+    semantics (no SIGKILL), so re-dispatched and locally-run epochs
+    produce the reference verdict."""
+
+    name = "fleet-kamikaze"
+
+
+def test_sigkilled_worker_mid_epoch_redispatches(counter_app):
+    """One real ``repro``-stack subprocess worker SIGKILLs itself inside
+    its first epoch; the coordinator re-dispatches to the surviving
+    in-process worker and the final audit is bit-identical to the
+    serial chain (stats included)."""
+    execution = _epoch_execution(counter_app)
+    register_reexec_backend("fleet-kamikaze", _KamikazeLocal)
+    proc = None
+    try:
+        serial = ssco_audit(counter_app, execution.trace,
+                            execution.reports, execution.initial_state,
+                            epoch_cuts=execution.epoch_marks,
+                            backend="fleet-kamikaze")
+        assert serial.accepted
+        port = _free_port()
+        endpoint = f"127.0.0.1:{port}"
+        src = os.path.dirname(os.path.dirname(
+            __import__("repro").__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [src, env.get("PYTHONPATH")]))
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _KAMIKAZE_WORKER, endpoint],
+            env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, text=True)
+        assert proc.stdout.readline().strip() == "ready"
+
+        # The kamikaze subprocess is already retry-connecting, so it
+        # registers first and receives the first dispatched epoch; the
+        # survivor joins a beat later and absorbs the re-dispatch.
+        survivor = FleetWorker(endpoint, name="survivor",
+                               heartbeat_interval=0.2)
+        survivor_errors = []
+
+        def _run_survivor():
+            import time
+            time.sleep(1.0)
+            try:
+                survivor.run()
+            except (TransportError, ProtocolError) as exc:
+                survivor_errors.append(repr(exc))
+
+        thread = threading.Thread(target=_run_survivor, daemon=True)
+        thread.start()
+        fleet = ssco_audit(counter_app, execution.trace,
+                           execution.reports,
+                           execution.initial_state,
+                           epoch_cuts=execution.epoch_marks,
+                           fleet_listen=endpoint,
+                           fleet_min_workers=2,
+                           backend="fleet-kamikaze")
+        thread.join(timeout=60)
+        assert not thread.is_alive() and not survivor_errors, \
+            survivor_errors
+        assert fleet.accepted, (fleet.reason, fleet.detail)
+        _assert_equivalent(serial, fleet)
+        assert proc.wait(timeout=30) == -signal.SIGKILL
+        assert survivor.epochs_run == serial.stats["shard_count"]
+    finally:
+        _BACKENDS.pop("fleet-kamikaze", None)
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)

@@ -298,9 +298,9 @@ def _fuzz_app(seed: int):
 
 
 def test_audit_lockstep_fuzz():
-    """Randomized recorded executions audited with all three backends:
-    same verdict and bodies everywhere; interp and compinterp agree on
-    every deterministic stat."""
+    """Randomized recorded executions audited with every shipped
+    backend: same verdict and bodies everywhere; interp and compinterp
+    agree on every deterministic stat."""
     failures = []
     audited = 0
     for seed in range(AUDIT_CASES):
@@ -315,14 +315,15 @@ def test_audit_lockstep_fuzz():
         audits = {
             name: ssco_audit(app, execution.trace, execution.reports,
                              execution.initial_state, backend=name)
-            for name in ("interp", "accinterp", "compinterp")
+            for name in ("interp", "accinterp", "compinterp", "hybrid")
         }
         audited += 1
         ref = audits["interp"]
         comp = audits["compinterp"]
         acc = audits["accinterp"]
         for other_name, other in (("compinterp", comp),
-                                  ("accinterp", acc)):
+                                  ("accinterp", acc),
+                                  ("hybrid", audits["hybrid"])):
             if (other.accepted, other.reason) != (ref.accepted,
                                                   ref.reason):
                 failures.append((seed, other_name, "verdict",

@@ -375,19 +375,23 @@ def test_preencoded_replay_reaches_legacy_subscribers(epoch_execution,
         len(epoch_execution.trace)
 
 
-def test_preencoded_rejects_header_and_mirror_writer(tmp_path):
+def test_preencoded_rejects_header_and_mirrors_to_writer(tmp_path):
     with BundlePublisher() as publisher:
         with pytest.raises(ValueError, match="kind"):
             publisher.write_record_payload(
                 b'{"format": "ssco-jsonl", "version": 1}')
-    writer = BundleWriter(str(tmp_path / "mirror.jsonl"), segmented=True)
+    # A --out mirror writer receives the already-encoded bytes verbatim:
+    # one encode shared by file and wire, no re-serialization.
+    mirror = str(tmp_path / "mirror.jsonl")
+    payload = encode_json({"kind": "event", "event": {"n": 1}})
+    writer = BundleWriter(mirror, segmented=True)
     try:
         with BundlePublisher(writer=writer) as publisher:
-            with pytest.raises(RuntimeError, match="mirror"):
-                publisher.write_record_payload(
-                    encode_json({"kind": "event"}))
+            publisher.write_record_payload(payload)
     finally:
         writer.close()
+    lines = open(mirror, "rb").read().splitlines()
+    assert lines[-1] == payload.rstrip(b"\r\n")
 
 
 # -- failure modes -------------------------------------------------------------

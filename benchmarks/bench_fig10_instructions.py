@@ -15,7 +15,6 @@ check as shape assertions:
 from __future__ import annotations
 
 import time as _time
-from typing import Dict, List
 
 from repro.bench import render_table
 from repro.accel import AccInterpreter, GroupNondetIntent
@@ -80,7 +79,7 @@ def _run_acc(program, requests) -> None:
         pass
 
 
-def _requests(n: int, identical: bool) -> List[Request]:
+def _requests(n: int, identical: bool) -> list[Request]:
     return [
         Request(f"r{i}", "bench.php",
                 get={"v": 7 if identical else 7 + i})
@@ -97,7 +96,7 @@ def _measure(fn) -> float:
     return best / INNER  # seconds per op
 
 
-def measure_category(snippet: str) -> Dict[str, float]:
+def measure_category(snippet: str) -> dict[str, float]:
     program = parse_program(_PREFIX % snippet, "bench.php")
     plain = _measure(
         lambda: _run_plain(program, _requests(1, True)[0])

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Dict, List
 
 from repro.bench import render_table
 
@@ -30,7 +29,7 @@ def simulate_open_loop(
     num_requests: int = 4000,
     workers: int = WORKERS,
     seed: int = 7,
-) -> Dict[str, float]:
+) -> dict[str, float]:
     """M/D/c FCFS queue: Poisson arrivals, deterministic service."""
     rng = random.Random(seed)
     arrivals = []
@@ -40,7 +39,7 @@ def simulate_open_loop(
         arrivals.append(now)
     free_at = [0.0] * workers
     heapq.heapify(free_at)
-    latencies: List[float] = []
+    latencies: list[float] = []
     for arrival in arrivals:
         earliest = heapq.heappop(free_at)
         start = max(arrival, earliest)

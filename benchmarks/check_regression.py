@@ -48,7 +48,6 @@ import json
 import os
 import sys
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 #: Default relative tolerance: CI runners are shared and noisy; the
 #: gate is meant to catch structural regressions (a lost speedup, a
@@ -70,19 +69,19 @@ class Metric:
     #: the baseline value — speedups carry a parity floor of 1.0 so a
     #: single-core-recorded baseline cannot make the gate vacuous on
     #: multi-core runners.  ``None`` disables it.
-    floor: Optional[float] = None
+    floor: float | None = None
 
 
-def _rows_by(rows, *keys) -> Dict[tuple, dict]:
+def _rows_by(rows, *keys) -> dict[tuple, dict]:
     return {tuple(row.get(key) for key in keys): row for row in rows}
 
 
-def metrics_parallel_scaling(data) -> List[Metric]:
+def metrics_parallel_scaling(data) -> list[Metric]:
     """``bench_parallel_scaling``: per-worker-count normalized
     throughput and re-exec speedup, relative to the run's serial row."""
     rows = _rows_by(data.get("rows", []), "workers")
     base = rows.get((1,))
-    out: List[Metric] = []
+    out: list[Metric] = []
     if base is None:
         return out
     for (workers,), row in sorted(rows.items()):
@@ -103,20 +102,20 @@ def metrics_parallel_scaling(data) -> List[Metric]:
     return out
 
 
-def metrics_streaming_session(data) -> List[Metric]:
+def metrics_streaming_session(data) -> list[Metric]:
     """``bench_streaming_session``: the incremental session's overhead
     over the one-shot audit of the same bundle (lower is better)."""
-    out: List[Metric] = []
+    out: list[Metric] = []
     if "session_overhead" in data:
         out.append(Metric("session_overhead", data["session_overhead"],
                           higher_is_better=False))
     return out
 
 
-def metrics_epoch_parallel(data) -> List[Metric]:
+def metrics_epoch_parallel(data) -> list[Metric]:
     """``bench_epoch_parallel``: per-driver epoch-parallel speedup over
     the run's serial chain (normalized throughput)."""
-    out: List[Metric] = []
+    out: list[Metric] = []
     for row in data.get("rows", []):
         epoch_workers = row.get("epoch_workers")
         if epoch_workers in (None, 1):
@@ -132,12 +131,12 @@ def metrics_epoch_parallel(data) -> List[Metric]:
     return out
 
 
-def metrics_transport(data) -> List[Metric]:
+def metrics_transport(data) -> list[Metric]:
     """``bench_transport``: socket-vs-file overhead of the live
     transport, and the wire's serialization cost per event (both lower
     is better; bytes/event is host-independent, so it catches framing
     bloat even on a noisy runner)."""
-    out: List[Metric] = []
+    out: list[Metric] = []
     if "socket_overhead" in data:
         out.append(Metric("socket_overhead", data["socket_overhead"],
                           higher_is_better=False))
@@ -148,13 +147,13 @@ def metrics_transport(data) -> List[Metric]:
     return out
 
 
-def metrics_backends(data) -> List[Metric]:
+def metrics_backends(data) -> list[Metric]:
     """``bench_backends``: the compiling backend's speedup over the
     tree-walk engines on the same run's singleton-group workload.
     Serial measurements — meaningful on any runner — with a parity
     floor: compinterp regressing below the plain interpreter is a
     structural loss no baseline can excuse."""
-    out: List[Metric] = []
+    out: list[Metric] = []
     for name in ("compinterp_speedup_vs_interp",
                  "compinterp_speedup_vs_accinterp"):
         if name in data:
@@ -162,7 +161,7 @@ def metrics_backends(data) -> List[Metric]:
     return out
 
 
-def metrics_fleet(data) -> List[Metric]:
+def metrics_fleet(data) -> list[Metric]:
     """``bench_fleet``: the distributed fleet's steady-state speedup
     over the same run's serial epoch chain (submit→merge with workers
     enrolled; enrollment is reported separately and not gated).  Parity
@@ -170,7 +169,7 @@ def metrics_fleet(data) -> List[Metric]:
     least roughly match the serial chain — the committed baseline may
     be recorded on a single-core host where the wire and duplicated
     redo run below parity by construction."""
-    out: List[Metric] = []
+    out: list[Metric] = []
     if "fleet_speedup" in data:
         out.append(Metric("fleet_speedup", data["fleet_speedup"],
                           needs_cores=2, floor=1.0))
@@ -197,7 +196,7 @@ def runner_cores(data) -> int:
 
 
 def compare(result: dict, baseline: dict, tolerance: float,
-            min_cores: int = 2) -> List[str]:
+            min_cores: int = 2) -> list[str]:
     """Compare one result file against its baseline.
 
     Returns the list of regression messages (empty = pass); prints one
@@ -219,7 +218,7 @@ def compare(result: dict, baseline: dict, tolerance: float,
     ci = {m.name: m for m in extractor(result)}
     base = {m.name: m for m in extractor(baseline)}
     cores = runner_cores(result)
-    failures: List[str] = []
+    failures: list[str] = []
     compared = 0
     for name in sorted(base):
         if name not in ci:
@@ -283,7 +282,7 @@ def main(argv=None) -> int:
         parser.error(f"--tolerance must be in [0, 1), got "
                      f"{args.tolerance}")
 
-    failures: List[str] = []
+    failures: list[str] = []
     for pair in args.pairs:
         result_path, sep, baseline_path = pair.partition(":")
         if not sep or not result_path or not baseline_path:

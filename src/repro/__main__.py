@@ -20,7 +20,11 @@ Commands:
   with ``--connect``: one auditor, N worker hosts, one recorder);
 * ``worker`` — join a fleet coordinator (``--join HOST:PORT``) and
   execute dispatched epoch audits until dismissed (see
-  :mod:`repro.fleet` and ``docs/fleet.md``).
+  :mod:`repro.fleet` and ``docs/fleet.md``);
+* ``lint`` — run the static analyzer over a built-in application's
+  weblang scripts and print the audit-soundness diagnostics (text or
+  ``--json``; ``--fail-on`` gates the exit code — see
+  ``docs/analysis.md``).
 
 Every auditing subcommand is driven by one validated
 :class:`~repro.core.config.AuditConfig`: flags layer over an optional
@@ -41,15 +45,18 @@ The built-in workloads are the paper's three applications: ``wiki``,
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from repro.apps import build_minicrp, build_miniforum, build_miniwiki
 from repro.bench import figure9_decomposition, render_table
 from repro.bench.harness import run_audit_phase
 from repro.core import Auditor, simple_audit
 from repro.core.config import AuditConfig, parse_epoch_cuts
 from repro.core.partition import partition_audit_inputs
 from repro.core.reexec import available_backends
+from repro.lang.analysis import SEVERITIES, analyze_app
 from repro.io import (
     BundleReader,
     BundleWriter,
@@ -69,6 +76,15 @@ _WORKLOADS = {
     "forum": forum_workload,
     "hotcrp": hotcrp_workload,
 }
+
+_LINT_APPS = {
+    "miniwiki": build_miniwiki,
+    "miniforum": build_miniforum,
+    "minicrp": build_minicrp,
+}
+#: Workload-style names accepted as aliases by ``repro lint``.
+_LINT_ALIASES = {"wiki": "miniwiki", "forum": "miniforum",
+                 "hotcrp": "minicrp"}
 
 
 class _DeprecatedAlias(argparse.Action):
@@ -340,6 +356,36 @@ def cmd_worker(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Statically analyze one built-in app; print the diagnostics."""
+    name = _LINT_ALIASES.get(args.app, args.app)
+    app = _LINT_APPS[name]()
+    reports = analyze_app(app)
+    counts = {severity: 0 for severity in SEVERITIES}
+    for report in reports.values():
+        for severity, n in report.severity_counts().items():
+            counts[severity] += n
+    if args.json:
+        payload = {
+            "app": name,
+            "scripts": {script: report.to_json()
+                        for script, report in reports.items()},
+            "summary": {"errors": counts["error"],
+                        "warnings": counts["warning"],
+                        "infos": counts["info"]},
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for script in sorted(reports):
+            for diag in sorted(reports[script].diagnostics,
+                               key=lambda d: (d.nid, d.code)):
+                print(diag.format())
+        print(f"lint[{name}]: errors={counts['error']} "
+              f"warnings={counts['warning']} infos={counts['info']}")
+    threshold = SEVERITIES.index(args.fail_on)
+    return 1 if any(counts[s] for s in SEVERITIES[threshold:]) else 0
+
+
 def _print_epoch_verdict(epoch) -> bool:
     """Print one epoch's line; returns True when it rejected."""
     verdict = "ACCEPTED" if epoch.accepted else "REJECTED"
@@ -420,6 +466,11 @@ def main(argv=None) -> int:
         p.add_argument("--no-strict", dest="strict", action="store_false",
                        help="demote diverged groups to per-request "
                             "re-execution instead of rejecting")
+        p.add_argument("--plan-hints", dest="plan_hints",
+                       action="store_true", default=None,
+                       help="consult the static analyzer's divergence "
+                            "hazards during chunk planning (non-strict "
+                            "audits only; see `repro lint`)")
         p.add_argument("--no-dedup", action="store_true", default=None,
                        help="disable read-query deduplication")
         p.add_argument("--no-collapse", action="store_true", default=None,
@@ -583,6 +634,27 @@ def main(argv=None) -> int:
                        help="dispatch each epoch to K workers and "
                             "cross-check their verdicts (default 1)")
     audit.set_defaults(func=cmd_audit)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze a built-in app's weblang scripts "
+             "(effect inference, state-key footprints, audit-soundness "
+             "lint; see docs/analysis.md)",
+    )
+    lint.add_argument("app",
+                      choices=sorted(_LINT_APPS) + sorted(_LINT_ALIASES),
+                      help="application to lint (workload names are "
+                           "accepted as aliases)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the full machine-readable report "
+                           "(effects, footprints, diagnostics) instead "
+                           "of text diagnostics")
+    lint.add_argument("--fail-on", dest="fail_on", choices=SEVERITIES,
+                      default="error",
+                      help="exit nonzero when any diagnostic of this "
+                           "severity (or worse) is found (default: "
+                           "error)")
+    lint.set_defaults(func=cmd_lint)
 
     worker = sub.add_parser(
         "worker",

@@ -34,7 +34,6 @@ copy ... the objects were no longer equivalent").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import (
     DivergenceError,
@@ -91,8 +90,8 @@ class GroupStateOpIntent:
     """
 
     kind: str
-    objs: List[str]
-    args: List[Tuple]
+    objs: list[str]
+    args: list[tuple]
 
 
 @dataclass
@@ -100,7 +99,7 @@ class GroupNondetIntent:
     """A non-deterministic built-in invoked by the whole group."""
 
     func: str
-    args: List[Tuple]
+    args: list[tuple]
 
 
 @dataclass
@@ -108,15 +107,15 @@ class GroupExternalIntent:
     """An outbound external request issued by the whole group (§5.5
     extension); per-slot services and contents."""
 
-    services: List[str]
-    contents: List[Tuple]
+    services: list[str]
+    contents: list[tuple]
 
 
 @dataclass
 class GroupRunOutput:
     """Result of re-executing one control-flow group."""
 
-    bodies: List[str]
+    bodies: list[str]
     steps: int  # total "instructions" (AST evaluations)
     multi_steps: int  # instructions that produced a multivalue
 
@@ -137,8 +136,8 @@ class _ReturnSignal(Exception):
 class _Env:
     __slots__ = ("vars", "globals", "global_names")
 
-    def __init__(self, global_vars: Optional[Dict[str, object]] = None):
-        self.vars: Dict[str, object] = {}
+    def __init__(self, global_vars: dict[str, object] | None = None):
+        self.vars: dict[str, object] = {}
         self.globals = global_vars if global_vars is not None else self.vars
         self.global_names: set = set()
 
@@ -158,10 +157,10 @@ class _GroupState:
     __slots__ = ("requests", "size", "output", "in_tx", "steps",
                  "multi_steps", "funcs", "depth")
 
-    def __init__(self, requests: List[Request], funcs: Dict[str, FuncDecl]):
+    def __init__(self, requests: list[Request], funcs: dict[str, FuncDecl]):
         self.requests = requests
         self.size = len(requests)
-        self.output: List[object] = []  # str or MultiValue of str
+        self.output: list[object] = []  # str or MultiValue of str
         self.in_tx = False
         self.steps = 0
         self.multi_steps = 0
@@ -227,14 +226,14 @@ class AccInterpreter:
         # multivalue even when uniform (benchmarks measure the cost).
         self.collapse_enabled = collapse_enabled
 
-    def _merge(self, values: List[object]) -> object:
+    def _merge(self, values: list[object]) -> object:
         if self.collapse_enabled:
             return make_multi(values)
         return MultiValue(values)
 
     # -- entry point --------------------------------------------------------
 
-    def run_group(self, program: Program, requests: List[Request]):
+    def run_group(self, program: Program, requests: list[Request]):
         """Superposed execution of ``requests`` (all share control flow).
 
         Generator: yields Group*Intents, returns :class:`GroupRunOutput`.
@@ -248,14 +247,14 @@ class AccInterpreter:
         except _ReturnSignal:
             pass
         except (_BreakSignal, _ContinueSignal):
-            raise WeblangError("break/continue outside loop")
+            raise WeblangError("break/continue outside loop") from None
         if state.in_tx:
             raise WeblangError("script ended with an open transaction")
         bodies = self._render_output(state)
         return GroupRunOutput(bodies, state.steps, state.multi_steps)
 
-    def _render_output(self, state: _GroupState) -> List[str]:
-        buffers: List[List[str]] = [[] for _ in range(state.size)]
+    def _render_output(self, state: _GroupState) -> list[str]:
+        buffers: list[list[str]] = [[] for _ in range(state.size)]
         for part in state.output:
             if isinstance(part, MultiValue):
                 for slot in range(state.size):
@@ -279,7 +278,7 @@ class AccInterpreter:
 
     # -- statements -----------------------------------------------------------
 
-    def _exec_block(self, stmts: List[Node], env: _Env, state: _GroupState):
+    def _exec_block(self, stmts: list[Node], env: _Env, state: _GroupState):
         for stmt in stmts:
             yield from self._exec_stmt(stmt, env, state)
 
@@ -311,7 +310,7 @@ class AccInterpreter:
             return
         if kind is If:
             taken = -1
-            for index, (cond, body) in enumerate(stmt.branches):
+            for index, (cond, _body) in enumerate(stmt.branches):
                 value = yield from self._eval(cond, env, state)
                 if self._uniform_truth(value, f"if#{stmt.nid}"):
                     taken = index
@@ -423,7 +422,7 @@ class AccInterpreter:
         self, stmt: IndexAssign, env: _Env, state: _GroupState
     ):
         value = yield from self._eval_copy(stmt.expr, env, state)
-        keys: List[object] = []
+        keys: list[object] = []
         for path_expr in stmt.path:
             if path_expr is None:
                 keys.append(None)  # append slot
@@ -481,7 +480,7 @@ class AccInterpreter:
     def _plain_set(
         self,
         container: PhpArray,
-        keys: List[object],
+        keys: list[object],
         value: object,
         op: str,
         state: _GroupState,
@@ -628,8 +627,8 @@ class AccInterpreter:
         raise WeblangError("indexing a non-array value")
 
     def _eval_array_lit(self, node: ArrayLit, env: _Env, state: _GroupState):
-        keys: List[object] = []
-        values: List[object] = []
+        keys: list[object] = []
+        values: list[object] = []
         for key_expr, value_expr in node.items:
             if key_expr is None:
                 keys.append(None)
@@ -641,7 +640,7 @@ class AccInterpreter:
             # A literal with per-request keys: the array itself becomes a
             # multivalue of per-slot arrays.
             state.multi_steps += 1
-            slot_arrays: List[object] = []
+            slot_arrays: list[object] = []
             for slot in range(state.size):
                 array = PhpArray()
                 for key, value in zip(keys, values):
@@ -664,7 +663,7 @@ class AccInterpreter:
 
     def _eval_call(self, node: Call, env: _Env, state: _GroupState):
         name = node.name
-        args: List[object] = []
+        args: list[object] = []
         for arg in node.args:
             value = yield from self._eval_copy(arg, env, state)
             args.append(value)
@@ -705,14 +704,14 @@ class AccInterpreter:
             return self._call_pure(name, pure, args, state)
         raise WeblangError(f"call to undefined function {name}()")
 
-    def _per_slot_args(self, args: List[object],
-                       state: _GroupState) -> List[Tuple]:
+    def _per_slot_args(self, args: list[object],
+                       state: _GroupState) -> list[tuple]:
         return [
             tuple(project(arg, slot) for arg in args)
             for slot in range(state.size)
         ]
 
-    def _call_pure(self, name: str, func, args: List[object],
+    def _call_pure(self, name: str, func, args: list[object],
                    state: _GroupState) -> object:
         needs_split = any(
             isinstance(arg, MultiValue)
@@ -729,7 +728,7 @@ class AccInterpreter:
             results.append(func(*slot_args))
         return self._merge(results)
 
-    def _request_input(self, which: str, args: List[object],
+    def _request_input(self, which: str, args: list[object],
                        state: _GroupState) -> object:
         if len(args) not in (1, 2):
             raise WeblangError(f"{which}() expects 1 or 2 arguments")
@@ -749,7 +748,7 @@ class AccInterpreter:
             state.multi_steps += 1
         return result
 
-    def _call_user(self, func: FuncDecl, args: List[object], env: _Env,
+    def _call_user(self, func: FuncDecl, args: list[object], env: _Env,
                    state: _GroupState):
         if state.depth >= _MAX_CALL_DEPTH:
             raise WeblangError("maximum call depth exceeded")
@@ -767,7 +766,7 @@ class AccInterpreter:
 
     # -- state-operation built-ins ----------------------------------------
 
-    def _state_call(self, name: str, args: List[object], state: _GroupState):
+    def _state_call(self, name: str, args: list[object], state: _GroupState):
         size = state.size
         if name in ("db_query", "db_exec"):
             if len(args) != 1:
@@ -882,7 +881,7 @@ class AccInterpreter:
             return None
         raise WeblangError(f"unknown state builtin {name}")  # pragma: no cover
 
-    def _session_registers(self, state: _GroupState) -> List[str]:
+    def _session_registers(self, state: _GroupState) -> list[str]:
         registers = []
         for request in state.requests:
             cookie = request.cookies.get(self.session_cookie)

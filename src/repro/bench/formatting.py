@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 
 def _fmt(value: object) -> str:
@@ -20,7 +20,7 @@ def _fmt(value: object) -> str:
 
 
 def render_table(
-    rows: Sequence[Dict[str, object]], columns: Sequence[str] | None = None
+    rows: Sequence[dict[str, object]], columns: Sequence[str] | None = None
 ) -> str:
     """Render dict rows as an aligned text table."""
     if not rows:
@@ -34,7 +34,7 @@ def render_table(
         max(len(line[index]) for line in table)
         for index in range(len(columns))
     ]
-    out: List[str] = []
+    out: list[str] = []
     header = "  ".join(
         cell.ljust(width) for cell, width in zip(table[0], widths)
     )

@@ -4,12 +4,12 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.core.auditor import Auditor
 from repro.core.config import AuditConfig
 from repro.core.ooo import OooResult, simple_audit
-from repro.core.reexec import DEFAULT_BACKEND, DEFAULT_MAX_GROUP
+from repro.core.reexec import DEFAULT_MAX_GROUP, default_backend
 from repro.core.verifier import AuditResult
 from repro.server.executor import ExecutionResult, Executor
 from repro.server.nondet import NondetSource
@@ -25,8 +25,8 @@ class BenchRun:
     execution: ExecutionResult
     legacy_seconds: float  # serving without recording (the baseline server)
     audit: AuditResult
-    baseline_audit: Optional[OooResult] = None
-    extras: Dict[str, object] = field(default_factory=dict)
+    baseline_audit: OooResult | None = None
+    extras: dict[str, object] = field(default_factory=dict)
 
 
 def run_online_phase(
@@ -64,7 +64,7 @@ def measure_serve_seconds(
     seed: int = 1,
     concurrency: int = 8,
     repeats: int = 2,
-) -> Tuple[float, float]:
+) -> tuple[float, float]:
     """(legacy_seconds, recorded_seconds), measured fairly.
 
     Serving the same workload back to back warms allocator and parser
@@ -100,9 +100,9 @@ def run_audit_phase(
     max_group_size: int = DEFAULT_MAX_GROUP,
     workers: int = 1,
     epoch_size: int = 0,
-    epoch_cuts: Optional[Sequence[int]] = None,
-    backend: str = DEFAULT_BACKEND,
-    config: Optional[AuditConfig] = None,
+    epoch_cuts: Sequence[int] | None = None,
+    backend: str | None = None,
+    config: AuditConfig | None = None,
 ) -> BenchRun:
     """Audit ``execution`` and package the outcome for the benchmarks.
 
@@ -120,7 +120,7 @@ def run_audit_phase(
             workers=max(1, workers),
             epoch_size=epoch_size,
             epoch_cuts=tuple(epoch_cuts) if epoch_cuts else None,
-            backend=backend,
+            backend=backend if backend is not None else default_backend(),
         )
     audit = Auditor(workload.app, config).audit(
         execution.trace, execution.reports, execution.initial_state

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict
 
 from repro.bench.harness import BenchRun
 
 
-def figure8_row(run: BenchRun) -> Dict[str, object]:
+def figure8_row(run: BenchRun) -> dict[str, object]:
     """One row of Figure 8's left table.
 
     * **audit speedup**: baseline audit seconds / SSCO audit seconds.  The
@@ -66,7 +65,7 @@ def figure8_row(run: BenchRun) -> Dict[str, object]:
     }
 
 
-def figure9_decomposition(run: BenchRun) -> Dict[str, float]:
+def figure9_decomposition(run: BenchRun) -> dict[str, float]:
     """Figure 9's bars: audit-time CPU decomposition (seconds).
 
     * ``php`` — SIMD-on-demand execution + simulate-and-check;

@@ -13,7 +13,6 @@ progress.
 from __future__ import annotations
 
 import time
-from typing import Optional
 
 __all__ = ["Deadline"]
 
@@ -28,13 +27,13 @@ class Deadline:
 
     __slots__ = ("timeout", "_expires_at")
 
-    def __init__(self, timeout: Optional[float]):
+    def __init__(self, timeout: float | None):
         self.timeout = timeout
         self._expires_at = (
             None if timeout is None else time.monotonic() + timeout
         )
 
-    def restart(self) -> "Deadline":
+    def restart(self) -> Deadline:
         """Re-arm the same timeout from now (progress was made)."""
         if self.timeout is not None:
             self._expires_at = time.monotonic() + self.timeout
@@ -44,7 +43,7 @@ class Deadline:
         return (self._expires_at is not None
                 and time.monotonic() >= self._expires_at)
 
-    def remaining(self) -> Optional[float]:
+    def remaining(self) -> float | None:
         """Seconds left, clamped at zero; ``None`` when unbounded."""
         if self._expires_at is None:
             return None

@@ -60,7 +60,7 @@ class FlowDigest:
     def update_str(self, token: str) -> None:
         """Fold an arbitrary string token (used for script names)."""
         value = self._value
-        for byte in token.encode("utf-8"):
+        for byte in token.encode():
             value = ((value ^ byte) * _FNV_PRIME) & _MASK
         self._value = value
 

@@ -44,6 +44,7 @@ from repro.core.partition import Shard, find_epoch_cuts, partition_audit_inputs
 from repro.core.reexec import (
     DEFAULT_BACKEND,
     available_backends,
+    default_backend,
     register_reexec_backend,
 )
 from repro.core.verifier import AuditResult, ssco_audit
@@ -65,6 +66,7 @@ __all__ = [
     "Shard",
     "available_backends",
     "create_time_precedence_graph",
+    "default_backend",
     "default_pipeline",
     "find_epoch_cuts",
     "ooo_audit",

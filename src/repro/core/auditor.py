@@ -55,7 +55,7 @@ import threading
 import time as _time
 from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 from repro.common.errors import AuditReject, RejectReason
 from repro.core.config import AuditConfig
@@ -86,17 +86,17 @@ class EpochResult:
     #: Zero-based feed position.
     index: int
     accepted: bool
-    reason: Optional[RejectReason] = None
+    reason: RejectReason | None = None
     detail: str = ""
     #: Requests / events in this epoch's slice.
     requests: int = 0
     events: int = 0
     #: Phase timers and stats of this epoch's pipeline pass (same keys
     #: as a one-shot :class:`~repro.core.pipeline.AuditResult`).
-    phases: Dict[str, float] = field(default_factory=dict)
-    stats: Dict[str, object] = field(default_factory=dict)
+    phases: dict[str, float] = field(default_factory=dict)
+    stats: dict[str, object] = field(default_factory=dict)
     #: rid -> produced body for this epoch.
-    produced: Dict[str, str] = field(default_factory=dict)
+    produced: dict[str, str] = field(default_factory=dict)
     #: True when the epoch was never audited because an earlier epoch
     #: already rejected (the chain's state is untrusted from there on).
     skipped: bool = False
@@ -115,14 +115,14 @@ class PendingEpoch:
     """
 
     def __init__(self, index: int,
-                 future: Optional["Future[EpochResult]"] = None,
+                 future: "Future[EpochResult]" | None = None,
                  resolver=None, done_fn=None):
         self.index = index
         self._future = future
         self._resolver = resolver
         self._done_fn = done_fn
 
-    def result(self, timeout: Optional[float] = None) -> EpochResult:
+    def result(self, timeout: float | None = None) -> EpochResult:
         if self._resolver is not None:
             return self._resolver(timeout)
         return self._future.result(timeout)
@@ -146,15 +146,15 @@ class AuditSession:
 
     def __init__(
         self,
-        auditor: "Auditor",
+        auditor: Auditor,
         initial_state: InitialState,
         pipelined: bool = False,
     ):
         self._auditor = auditor
         self._state = initial_state
         self._pipelined = pipelined
-        self._pool: Optional[ThreadPoolExecutor] = None
-        self._epoch_pool: Optional[ThreadPoolExecutor] = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._epoch_pool: ThreadPoolExecutor | None = None
         config = auditor.config
         # Concurrent epoch mode needs the stock phase structure (the
         # prepass stands in for specific phases); custom pipelines keep
@@ -170,7 +170,7 @@ class AuditSession:
             # epoch_workers was left at 1.
             epoch_workers = max(epoch_workers,
                                 config.fleet_min_workers, 2)
-        self._process_pool: Optional[EpochPool] = None
+        self._process_pool: EpochPool | None = None
         if epoch_workers > 1:
             # Concurrent epoch mode: the cheap redo-only prepass chains
             # state serially at submit time; the heavy audits run in
@@ -221,7 +221,7 @@ class AuditSession:
             self._precompute_seconds = 0.0
             #: Feed-order merge queue: ("skipped"|"precheck"|"rejected"|
             #: "audit", payload, requests, events) per fed epoch.
-            self._entries: List[Tuple] = []
+            self._entries: list[tuple] = []
             self._merged_upto = 0
             #: Speculative chain state (redo-only); ``_state`` remains
             #: the *certified* chain, advanced only at merge time.
@@ -234,19 +234,19 @@ class AuditSession:
                 max_workers=1, thread_name_prefix="audit-session"
             )
         self._seen_uniq: set = set()
-        self._epochs: List[EpochResult] = []
-        self._summaries: List[Dict[str, object]] = []
+        self._epochs: list[EpochResult] = []
+        self._summaries: list[dict[str, object]] = []
         self._merged = AuditResult(accepted=False)
-        self._pending: List["Future[EpochResult]"] = []
+        self._pending: list["Future[EpochResult]"] = []
         self._audit_seconds = 0.0
-        self._failure: Optional[EpochResult] = None
+        self._failure: EpochResult | None = None
         self._fed = 0
         self._closed = False
-        self._final: Optional[AuditResult] = None
+        self._final: AuditResult | None = None
         #: Latched first crash (a non-AuditReject exception from an
         #: epoch's audit).  Every later drain/close re-raises it — a
         #: session that crashed can never fall through to ACCEPTED.
-        self._crash: Optional[BaseException] = None
+        self._crash: BaseException | None = None
 
     # -- feeding ----------------------------------------------------------
 
@@ -305,7 +305,7 @@ class AuditSession:
             # audit crashed.
             self._pending.append(future)
         else:
-            future: "Future[EpochResult]" = Future()
+            future: Future[EpochResult] = Future()
             future.set_result(self._audit_epoch(index, trace, reports))
         return PendingEpoch(index, future)
 
@@ -366,7 +366,7 @@ class AuditSession:
         )
 
     def _prepass_epoch(self, trace: Trace, reports: Reports,
-                       requests: int, events: int) -> Tuple:
+                       requests: int, events: int) -> tuple:
         """One epoch's serial half; returns its merge-queue entry."""
         try:
             check_balanced(trace)
@@ -408,7 +408,7 @@ class AuditSession:
         return ("audit", (future, pre.next_initial), requests, events)
 
     def _resolve(self, index: int,
-                 timeout: Optional[float] = None) -> EpochResult:
+                 timeout: float | None = None) -> EpochResult:
         """Merge entries in feed order up to ``index``; returns its
         normalized :class:`EpochResult`.
 
@@ -600,7 +600,7 @@ class AuditSession:
         return epoch
 
     def _record(self, epoch: EpochResult,
-                result: Optional[AuditResult]) -> None:
+                result: AuditResult | None) -> None:
         self._epochs.append(epoch)
         if result is not None:
             _merge_shard_result(self._merged, result)
@@ -629,7 +629,7 @@ class AuditSession:
         return self._state
 
     @property
-    def epochs(self) -> List[EpochResult]:
+    def epochs(self) -> list[EpochResult]:
         """Per-epoch results so far (feed order)."""
         self._drain()
         return list(self._epochs)
@@ -722,7 +722,7 @@ class AuditSession:
     #: ``result()`` is the reading most callers expect at the end.
     result = close
 
-    def __enter__(self) -> "AuditSession":
+    def __enter__(self) -> AuditSession:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -749,8 +749,8 @@ class Auditor:
     def __init__(
         self,
         app: Application,
-        config: Optional[AuditConfig] = None,
-        pipeline: Optional[AuditPipeline] = None,
+        config: AuditConfig | None = None,
+        pipeline: AuditPipeline | None = None,
         **knobs,
     ):
         if config is not None and knobs:

@@ -32,12 +32,11 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
 
 from repro.core.pipeline import AuditOptions
 from repro.core.reexec import (
-    DEFAULT_BACKEND,
     DEFAULT_MAX_GROUP,
+    default_backend,
     get_reexec_backend,
 )
 
@@ -86,26 +85,36 @@ class AuditConfig:
     #: Explicit cut positions (event indexes, e.g. the executor's epoch
     #: marks); overrides ``epoch_size`` when set.  Must be positive and
     #: strictly increasing.
-    epoch_cuts: Optional[Tuple[int, ...]] = None
+    epoch_cuts: tuple[int, ...] | None = None
     #: Registered re-execution backend (``"accinterp"``, ``"interp"``,
-    #: or anything added via ``register_reexec_backend``).
-    backend: str = DEFAULT_BACKEND
+    #: or anything added via ``register_reexec_backend``).  The default
+    #: reads ``REPRO_BACKEND`` when the config is *constructed*, not
+    #: when the module was imported.
+    backend: str = dataclasses.field(default_factory=default_backend)
+    #: Consult the static analyzer's divergence-hazard report
+    #: (:func:`repro.lang.analysis.divergence_hazards`) during chunk
+    #: planning: multi-request groups whose script is a known hazard are
+    #: pre-demoted to singleton chunks instead of diverging at run time
+    #: and being replayed one by one.  Only consulted by non-strict
+    #: audits (strict treats divergence as a verdict); never changes
+    #: produced bodies or verdicts.
+    plan_hints: bool = False
     #: Audit a live stream from a remote publisher at ``HOST:PORT``
     #: (``repro audit --connect``) instead of a bundle file.
-    connect: Optional[str] = None
+    connect: str | None = None
     #: Publish the recorded stream on ``HOST:PORT`` (``repro serve
     #: --listen``); port 0 binds an ephemeral port.
-    listen: Optional[str] = None
+    listen: str | None = None
     #: Transport: bound on connecting + handshaking with the publisher
     #: (connection-refused is retried until it expires — the auditor
     #: may start before the recorder).  ``None`` waits forever.
-    net_connect_timeout: Optional[float] = 5.0
+    net_connect_timeout: float | None = 5.0
     #: Transport: on the audit side, give up after this long without a
     #: frame (the same role as the file reader's follow
     #: ``idle_timeout``); on the serve side, drop a subscriber that
     #: lags this long (it reconnects and resumes from the spool).
     #: ``None`` waits / blocks indefinitely.
-    net_idle_timeout: Optional[float] = 30.0
+    net_idle_timeout: float | None = 30.0
     #: Transport: resume attempts after a mid-stream disconnect before
     #: the audit fails (0 disables resume).
     net_retries: int = 3
@@ -120,7 +129,7 @@ class AuditConfig:
     #: --fleet-listen``); port 0 binds an ephemeral port.  ``None``
     #: keeps every epoch on this host.  Composes with ``connect``: one
     #: auditor can drive N worker hosts against one recorder.
-    fleet_listen: Optional[str] = None
+    fleet_listen: str | None = None
     #: Fleet: wait for this many registered workers before dispatching
     #: the first epoch (0 dispatches to whoever has joined; with no
     #: workers at all, epochs run locally).
@@ -128,7 +137,7 @@ class AuditConfig:
     #: Fleet: overall per-epoch deadline on a worker; a straggler past
     #: it is dropped and its epoch re-dispatched.  ``None`` relies on
     #: heartbeat-miss detection alone.
-    fleet_task_timeout: Optional[float] = None
+    fleet_task_timeout: float | None = None
     #: Fleet: dispatch each epoch to this many workers and cross-check
     #: their verdicts (1 disables; a disagreement re-runs the epoch
     #: locally — the local chain arbitrates).
@@ -144,10 +153,10 @@ class AuditConfig:
 
     # -- validation -------------------------------------------------------
 
-    def validate(self) -> "AuditConfig":
+    def validate(self) -> AuditConfig:
         """Raise :class:`ValueError` on any nonsensical knob value."""
         for flag in ("strict", "dedup", "collapse", "strict_registers",
-                     "migrate", "epoch_processes"):
+                     "migrate", "epoch_processes", "plan_hints"):
             if not isinstance(getattr(self, flag), bool):
                 raise ValueError(
                     f"{flag} must be a bool, got "
@@ -245,7 +254,7 @@ class AuditConfig:
             )
         return self
 
-    def validate_for_trace(self, trace) -> "AuditConfig":
+    def validate_for_trace(self, trace) -> AuditConfig:
         """Also check trace-dependent bounds: every explicit cut must
         fall inside the trace (cut ``i`` splits after event ``i-1``)."""
         if self.epoch_cuts:
@@ -276,6 +285,7 @@ class AuditConfig:
             epoch_size=self.epoch_size,
             epoch_cuts=self.epoch_cuts,
             backend=self.backend,
+            plan_hints=self.plan_hints,
             fleet_listen=self.fleet_listen,
             fleet_min_workers=self.fleet_min_workers,
             fleet_task_timeout=self.fleet_task_timeout,
@@ -283,7 +293,7 @@ class AuditConfig:
         )
 
     @classmethod
-    def from_options(cls, options: AuditOptions) -> "AuditConfig":
+    def from_options(cls, options: AuditOptions) -> AuditConfig:
         """Validated config from a (lenient) options object."""
         cuts = options.epoch_cuts
         return cls(
@@ -300,19 +310,20 @@ class AuditConfig:
             epoch_size=options.epoch_size,
             epoch_cuts=tuple(cuts) if cuts is not None else None,
             backend=options.backend,
+            plan_hints=options.plan_hints,
             fleet_listen=options.fleet_listen,
             fleet_min_workers=max(0, options.fleet_min_workers),
             fleet_task_timeout=options.fleet_task_timeout,
             fleet_redundancy=max(1, options.fleet_redundancy),
         )
 
-    def replace(self, **changes) -> "AuditConfig":
+    def replace(self, **changes) -> AuditConfig:
         """A copy with the given fields changed (re-validated)."""
         return dataclasses.replace(self, **changes)
 
     # -- serialization ----------------------------------------------------
 
-    def to_json(self) -> Dict[str, object]:
+    def to_json(self) -> dict[str, object]:
         """A plain-JSON dict (epoch_cuts as a list)."""
         data = dataclasses.asdict(self)
         if data["epoch_cuts"] is not None:
@@ -320,7 +331,7 @@ class AuditConfig:
         return data
 
     @classmethod
-    def from_json(cls, data: Dict[str, object]) -> "AuditConfig":
+    def from_json(cls, data: dict[str, object]) -> AuditConfig:
         """Validated config from :meth:`to_json` output; unknown keys
         raise :class:`ValueError` (typos must not silently no-op)."""
         if not isinstance(data, dict):
@@ -346,14 +357,14 @@ class AuditConfig:
             fh.write("\n")
 
     @classmethod
-    def load(cls, path: str) -> "AuditConfig":
+    def load(cls, path: str) -> AuditConfig:
         with open(path) as fh:
             return cls.from_json(json.load(fh))
 
     # -- CLI binding ------------------------------------------------------
 
     @classmethod
-    def from_args(cls, args) -> "AuditConfig":
+    def from_args(cls, args) -> AuditConfig:
         """Config from an argparse namespace.
 
         Layering: defaults, then the ``--config`` file (when given),
@@ -365,7 +376,7 @@ class AuditConfig:
         config = cls()
         if getattr(args, "config", None):
             config = cls.load(args.config)
-        changes: Dict[str, object] = {}
+        changes: dict[str, object] = {}
         for field in ("strict", "strict_registers", "max_group_size",
                       "workers", "epoch_workers", "prepass_depth",
                       "epoch_size", "backend", "migrate", "connect",
@@ -379,6 +390,8 @@ class AuditConfig:
                 changes[field] = value
         if getattr(args, "no_dedup", None):
             changes["dedup"] = False
+        if getattr(args, "plan_hints", None):
+            changes["plan_hints"] = True
         if getattr(args, "epoch_threads", None):
             changes["epoch_processes"] = False
         if getattr(args, "no_collapse", None):
@@ -409,6 +422,8 @@ class AuditConfig:
             parts.append("no-collapse")
         if self.strict_registers:
             parts.append("strict-registers")
+        if self.plan_hints:
+            parts.append("plan-hints")
         if self.max_group_size != DEFAULT_MAX_GROUP:
             parts.append(f"max_group={self.max_group_size}")
         if self.connect:
@@ -435,7 +450,7 @@ def _is_int(value: object) -> bool:
     return isinstance(value, int) and not isinstance(value, bool)
 
 
-def parse_epoch_cuts(text: str) -> Tuple[int, ...]:
+def parse_epoch_cuts(text: str) -> tuple[int, ...]:
     """Parse the CLI's ``--epoch-cuts "100,200,350"`` into a tuple.
 
     Raises :class:`ValueError` on non-integers; ordering and positivity

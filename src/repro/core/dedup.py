@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import bisect
 from functools import lru_cache
-from typing import Dict, List, Tuple
 
 from repro.sql.ast import Select, tables_touched
 from repro.sql.engine import StmtResult
@@ -23,7 +22,7 @@ from repro.sql.versioned import VersionedDB
 
 
 @lru_cache(maxsize=4096)
-def _parsed_select(sql: str) -> Tuple[Select, Tuple[str, ...]]:
+def _parsed_select(sql: str) -> tuple[Select, tuple[str, ...]]:
     """Parsed ``Select`` + touched tables, memoized per SQL text.
 
     The cache is keyed by the query text — exactly the key the dedup
@@ -43,8 +42,8 @@ class QueryDedup:
     def __init__(self, vdb: VersionedDB):
         self._vdb = vdb
         # sql text -> parallel sorted lists of timestamps and results.
-        self._ts: Dict[str, List[int]] = {}
-        self._results: Dict[str, List[StmtResult]] = {}
+        self._ts: dict[str, list[int]] = {}
+        self._results: dict[str, list[StmtResult]] = {}
         self.hits = 0
         self.misses = 0
 

@@ -47,7 +47,6 @@ import pickle
 import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Optional
 
 from repro.core.epochwork import (
     encode_work_unit,
@@ -102,7 +101,7 @@ class EpochPool:
     def __init__(self, max_workers: int):
         self.max_workers = max(1, max_workers)
         self._lock = threading.Lock()
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool: ProcessPoolExecutor | None = None
         self._generation = 0
         self._closed = False
         self._disabled = False

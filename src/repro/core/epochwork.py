@@ -33,7 +33,7 @@ from __future__ import annotations
 import base64
 import pickle
 from dataclasses import replace
-from typing import Any, Optional, Tuple
+from typing import Any
 
 __all__ = [
     "epoch_worker_options",
@@ -132,7 +132,7 @@ def encode_work_frame(epoch: int, payload: bytes) -> dict:
     }
 
 
-def decode_work_frame(obj: Any) -> Tuple[int, bytes]:
+def decode_work_frame(obj: Any) -> tuple[int, bytes]:
     """Validate and unpack a ``WORK`` frame body."""
     if not isinstance(obj, dict):
         raise ValueError(f"WORK body must be an object, got {type(obj).__name__}")
@@ -167,7 +167,7 @@ def encode_error_frame(epoch: int, error: str) -> dict:
     return {"epoch": int(epoch), "ok": False, "error": str(error)}
 
 
-def decode_result_frame(obj: Any) -> Tuple[int, bool, Any, Optional[str]]:
+def decode_result_frame(obj: Any) -> tuple[int, bool, Any, str | None]:
     """Validate and unpack a ``RESULT`` body.
 
     Returns ``(epoch, ok, result, error)`` — ``result`` is the

@@ -15,19 +15,19 @@ limit.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 #: The ``∞`` opnum marking the response-departure node.
 OPNUM_INF = float("inf")
 
-Node = Tuple[str, object]  # (rid, opnum) with opnum int or OPNUM_INF
+Node = tuple[str, object]  # (rid, opnum) with opnum int or OPNUM_INF
 
 
 class Graph:
     """Directed graph over event nodes, adjacency-list based."""
 
     def __init__(self) -> None:
-        self.adj: Dict[Node, List[Node]] = {}
+        self.adj: dict[Node, list[Node]] = {}
 
     # -- construction -------------------------------------------------------
 
@@ -55,12 +55,12 @@ class Graph:
     def has_cycle(self) -> bool:
         """Three-color DFS, iterative."""
         WHITE, GRAY, BLACK = 0, 1, 2
-        color: Dict[Node, int] = {node: WHITE for node in self.adj}
+        color: dict[Node, int] = {node: WHITE for node in self.adj}
         for start in self.adj:
             if color[start] != WHITE:
                 continue
             # Stack holds (node, iterator over successors).
-            stack: List[Tuple[Node, int]] = [(start, 0)]
+            stack: list[tuple[Node, int]] = [(start, 0)]
             color[start] = GRAY
             while stack:
                 node, index = stack[-1]
@@ -79,14 +79,14 @@ class Graph:
                     stack.pop()
         return False
 
-    def topo_sort(self) -> Optional[List[Node]]:
+    def topo_sort(self) -> list[Node] | None:
         """Kahn's algorithm; None if the graph has a cycle."""
-        indegree: Dict[Node, int] = {node: 0 for node in self.adj}
+        indegree: dict[Node, int] = {node: 0 for node in self.adj}
         for out in self.adj.values():
             for dst in out:
                 indegree[dst] += 1
         ready = [node for node, deg in indegree.items() if deg == 0]
-        order: List[Node] = []
+        order: list[Node] = []
         while ready:
             node = ready.pop()
             order.append(node)

@@ -13,7 +13,6 @@ nevertheless rejects reports that are *internally* implausible:
 
 from __future__ import annotations
 
-from typing import Optional, Set
 
 from repro.common.errors import AuditReject, RejectReason
 from repro.lang.values import to_int
@@ -21,7 +20,7 @@ from repro.server.reports import Reports
 
 
 def validate_nondet_reports(
-    reports: Reports, seen_uniq: Optional[Set[str]] = None
+    reports: Reports, seen_uniq: set[str] | None = None
 ) -> None:
     """Raise :class:`AuditReject` on implausible non-determinism reports.
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import AuditReject, RejectReason, WeblangError
 from repro.core.graph import OPNUM_INF
@@ -94,9 +93,9 @@ def execute_one(
 @dataclass
 class OooResult:
     accepted: bool
-    reason: Optional[RejectReason] = None
+    reason: RejectReason | None = None
     detail: str = ""
-    produced: Dict[str, str] = field(default_factory=dict)
+    produced: dict[str, str] = field(default_factory=dict)
     seconds: float = 0.0
 
 
@@ -120,7 +119,7 @@ def simple_audit(
         ctx = SimContext(app, reports, opmap, initial_state,
                          strict_registers)
         ctx.build_versioned_stores()
-        produced: Dict[str, str] = {}
+        produced: dict[str, str] = {}
         requests = trace.requests()
         for rid in trace.request_ids():
             produced[rid] = execute_one(app, requests[rid], ctx)
@@ -136,7 +135,7 @@ def simple_audit(
     )
 
 
-def _compare_outputs(trace: Trace, produced: Dict[str, str]) -> None:
+def _compare_outputs(trace: Trace, produced: dict[str, str]) -> None:
     """Figure 12, lines 55-57 (aborted responses carry no body to check)."""
     for rid, response in trace.responses().items():
         if response.abort_info is not None:
@@ -170,7 +169,7 @@ def _compare_externals(trace: Trace, ctx: SimContext) -> None:
 # Schedule-driven OOOAudit (Figure 13, for the Lemma 8 equivalence tests)
 # --------------------------------------------------------------------------
 
-ScheduleEntry = Tuple[str, object]  # (rid, opnum) with opnum int or inf
+ScheduleEntry = tuple[str, object]  # (rid, opnum) with opnum int or inf
 
 
 class _OooTask:
@@ -182,7 +181,7 @@ class _OooTask:
         self.gen = gen
         self.pending = None
         self.done = False
-        self.body: Optional[str] = None
+        self.body: str | None = None
         self.handler = handler
         self.cursor = cursor
         self.errored = False
@@ -195,7 +194,7 @@ def ooo_audit(
     trace: Trace,
     reports: Reports,
     initial_state: InitialState,
-    schedule: Optional[List[ScheduleEntry]] = None,
+    schedule: list[ScheduleEntry] | None = None,
     strict_registers: bool = False,
 ) -> OooResult:
     """OOOAudit (Definition 5): re-execute following an op schedule.
@@ -233,8 +232,8 @@ def _run_schedule(
     trace: Trace,
     reports: Reports,
     ctx: SimContext,
-    schedule: List[ScheduleEntry],
-) -> Dict[str, str]:
+    schedule: list[ScheduleEntry],
+) -> dict[str, str]:
     interp = Interpreter(
         db_name=app.db_name,
         kv_name=app.kv_name,
@@ -242,7 +241,7 @@ def _run_schedule(
         record_flow=False,
     )
     requests = trace.requests()
-    tasks: Dict[str, _OooTask] = {}
+    tasks: dict[str, _OooTask] = {}
 
     def advance(task: _OooTask, result: object) -> None:
         """Send ``result`` in (or start); buffer the next state-op intent,
@@ -335,7 +334,7 @@ def _run_schedule(
             if task.done:
                 break
 
-    produced: Dict[str, str] = {}
+    produced: dict[str, str] = {}
     for rid, task in tasks.items():
         if task.emitted and task.body is not None:
             produced[rid] = task.body

@@ -8,9 +8,8 @@ of the operation within its object's log.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
 
-Entry = Tuple[str, int]  # (object name, 1-based log position)
+Entry = tuple[str, int]  # (object name, 1-based log position)
 
 
 class OpMap:
@@ -18,15 +17,15 @@ class OpMap:
     tamper tests a stable surface."""
 
     def __init__(self) -> None:
-        self._map: Dict[Tuple[str, int], Entry] = {}
+        self._map: dict[tuple[str, int], Entry] = {}
 
     def insert(self, rid: str, opnum: int, obj: str, seq: int) -> None:
         self._map[(rid, opnum)] = (obj, seq)
 
-    def get(self, rid: str, opnum: int) -> Optional[Entry]:
+    def get(self, rid: str, opnum: int) -> Entry | None:
         return self._map.get((rid, opnum))
 
-    def __contains__(self, key: Tuple[str, int]) -> bool:
+    def __contains__(self, key: tuple[str, int]) -> bool:
         return key in self._map
 
     def __len__(self) -> int:

@@ -42,7 +42,7 @@ as one shard.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from collections.abc import Sequence
 
 from repro.server.reports import Reports
 from repro.trace.trace import Trace
@@ -62,22 +62,22 @@ class Shard:
     index: int
     trace: Trace
     reports: Reports
-    rids: Set[str] = field(default_factory=set)
+    rids: set[str] = field(default_factory=set)
 
     @property
     def request_count(self) -> int:
         return len(self.rids)
 
 
-def quiescent_points(trace: Trace) -> List[int]:
+def quiescent_points(trace: Trace) -> list[int]:
     """Interior event indexes where no request is in flight.
 
     A returned index ``i`` means: after consuming events ``[0, i)`` every
     arrived request has departed.  Endpoints (0 and ``len(trace)``) are
     excluded — they are always quiescent and never useful cuts.
     """
-    points: List[int] = []
-    in_flight: Set[str] = set()
+    points: list[int] = []
+    in_flight: set[str] = set()
     for position, event in enumerate(trace):
         if event.is_request:
             in_flight.add(event.rid)
@@ -88,7 +88,7 @@ def quiescent_points(trace: Trace) -> List[int]:
     return points
 
 
-def find_epoch_cuts(trace: Trace, epoch_size: int) -> List[int]:
+def find_epoch_cuts(trace: Trace, epoch_size: int) -> list[int]:
     """Quiescent cuts spaced at least ``epoch_size`` requests apart.
 
     Returns event indexes suitable for :func:`partition_audit_inputs`;
@@ -98,7 +98,7 @@ def find_epoch_cuts(trace: Trace, epoch_size: int) -> List[int]:
     if epoch_size <= 0:
         return []
     candidates = set(quiescent_points(trace))
-    cuts: List[int] = []
+    cuts: list[int] = []
     completed_since_cut = 0
     for position, event in enumerate(trace):
         if event.is_response:
@@ -109,15 +109,15 @@ def find_epoch_cuts(trace: Trace, epoch_size: int) -> List[int]:
     return cuts
 
 
-def validate_cuts(trace: Trace, cuts: Sequence[int]) -> List[int]:
+def validate_cuts(trace: Trace, cuts: Sequence[int]) -> list[int]:
     """Keep only cuts that are genuine quiescent points, sorted, deduped."""
     quiescent = set(quiescent_points(trace))
     return sorted({cut for cut in cuts if cut in quiescent})
 
 
-def partition_trace(trace: Trace, cuts: Sequence[int]) -> List[Trace]:
+def partition_trace(trace: Trace, cuts: Sequence[int]) -> list[Trace]:
     """Split the trace at the given (validated) event indexes."""
-    segments: List[Trace] = []
+    segments: list[Trace] = []
     previous = 0
     for cut in list(cuts) + [len(trace)]:
         if cut <= previous:
@@ -128,8 +128,8 @@ def partition_trace(trace: Trace, cuts: Sequence[int]) -> List[Trace]:
 
 
 def partition_reports(
-    reports: Reports, shard_of: Dict[str, int], shard_count: int
-) -> List[Reports]:
+    reports: Reports, shard_of: dict[str, int], shard_count: int
+) -> list[Reports]:
     """Split reports along the request→shard assignment.
 
     * op logs must split contiguously (entries' shard indexes
@@ -184,8 +184,8 @@ def partition_audit_inputs(
     trace: Trace,
     reports: Reports,
     epoch_size: int = 0,
-    cuts: Optional[Sequence[int]] = None,
-) -> List[Shard]:
+    cuts: Sequence[int] | None = None,
+) -> list[Shard]:
     """Split (trace, reports) into independently auditable shards.
 
     ``cuts`` (event indexes, e.g. the executor's epoch marks) wins over
@@ -202,7 +202,7 @@ def partition_audit_inputs(
         return [_whole_shard(trace, reports)]
 
     segments = partition_trace(trace, chosen)
-    shard_of: Dict[str, int] = {}
+    shard_of: dict[str, int] = {}
     for index, segment in enumerate(segments):
         for rid in segment.request_ids():
             shard_of[rid] = index
@@ -227,7 +227,7 @@ def _whole_shard(trace: Trace, reports: Reports) -> Shard:
 
 def make_shard_summary(
     index: int, requests: int, events: int, result
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """One ``stats["shards"]`` entry for an audited shard/epoch.
 
     Every driver that reports per-shard outcomes — the serial chain,

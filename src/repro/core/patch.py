@@ -28,7 +28,6 @@ otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import AuditReject, RejectReason, WeblangError
 from repro.core.ooo import execute_one
@@ -55,7 +54,7 @@ class _LenientOpHandler(OpHandler):
         super().__init__(ctx, rid)
         self.comparable = True
 
-    def handle(self, kind: str, obj: str, args: Tuple) -> object:
+    def handle(self, kind: str, obj: str, args: tuple) -> object:
         try:
             return super().handle(kind, obj, args)
         except AuditReject as reject:
@@ -63,7 +62,7 @@ class _LenientOpHandler(OpHandler):
                 raise
             return self._lenient(kind, obj, args, reject)
 
-    def _lenient(self, kind: str, obj: str, args: Tuple,
+    def _lenient(self, kind: str, obj: str, args: tuple,
                  reject: AuditReject) -> object:
         """Resolve an operand mismatch: writes pass through; anything
         structural marks the request incomparable."""
@@ -110,7 +109,7 @@ class _LenientOpHandler(OpHandler):
                 patched_is_read = isinstance(parse_sql(args[0]), Select)
                 logged_is_read = isinstance(parse_sql(logged_sql), Select)
             except Exception:
-                raise _Incomparable()
+                raise _Incomparable() from None
             if patched_is_read or logged_is_read:
                 # A read moved or changed: its value cannot be derived
                 # from this epoch's logs (Poirot uses templates here).
@@ -129,12 +128,12 @@ class PatchAuditResult:
     """Outcome of re-auditing a trace against patched code (§7)."""
 
     accepted_original: bool
-    unchanged: List[str] = field(default_factory=list)
-    changed: Dict[str, Tuple[Optional[str], Optional[str]]] = field(
+    unchanged: list[str] = field(default_factory=list)
+    changed: dict[str, tuple[str | None, str | None]] = field(
         default_factory=dict
     )  # rid -> (original body, patched body)
-    incomparable: List[str] = field(default_factory=list)
-    reason: Optional[RejectReason] = None
+    incomparable: list[str] = field(default_factory=list)
+    reason: RejectReason | None = None
     detail: str = ""
 
 
@@ -159,7 +158,7 @@ def patch_audit(
         ctx = SimContext(original, reports, opmap, initial_state)
         ctx.build_versioned_stores()
         requests = trace.requests()
-        originals: Dict[str, str] = {}
+        originals: dict[str, str] = {}
         for rid in trace.request_ids():
             originals[rid] = execute_one(original, requests[rid], ctx)
             observed = trace.responses()[rid]

@@ -53,7 +53,7 @@ from __future__ import annotations
 import time as _time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.common.errors import AuditReject, RejectReason
 from repro.core.nondet import validate_nondet_reports
@@ -65,9 +65,9 @@ from repro.core.partition import (
 )
 from repro.core.process_reports import process_op_reports
 from repro.core.reexec import (
-    DEFAULT_BACKEND,
     DEFAULT_MAX_GROUP,
     available_cpus,
+    default_backend,
     fork_inherits_context,
     get_reexec_backend,
     reexec_groups,
@@ -95,10 +95,18 @@ class AuditOptions:
     epoch_size: int = 0
     #: Explicit cut positions (event indexes, e.g. the executor's epoch
     #: marks); overrides ``epoch_size`` when set.
-    epoch_cuts: Optional[Sequence[int]] = None
+    epoch_cuts: Sequence[int] | None = None
     #: Registered re-execution backend that runs each group chunk (see
-    #: :func:`repro.core.reexec.register_reexec_backend`).
-    backend: str = DEFAULT_BACKEND
+    #: :func:`repro.core.reexec.register_reexec_backend`).  Resolved
+    #: from ``REPRO_BACKEND`` at construction time, not import time.
+    backend: str = field(default_factory=default_backend)
+    #: Consult the static analyzer's divergence-hazard report when
+    #: planning re-exec chunks: groups whose script is a known hazard
+    #: are pre-demoted to singletons instead of being grouped, demoted
+    #: at run time, and replayed.  Non-strict audits only (in strict
+    #: mode divergence is a verdict, not a perf problem); produced
+    #: bodies and verdicts are unchanged either way.
+    plan_hints: bool = False
     #: Audit epoch shards concurrently in a thread pool of this size,
     #: after a redo-only state precompute unlocks the chain; <= 1 keeps
     #: the serial epoch chain.  Only consulted by :func:`sharded_audit`.
@@ -127,14 +135,14 @@ class AuditOptions:
     #: work units out to them (see :mod:`repro.fleet`); ``None`` keeps
     #: every epoch on this host.  Only consulted by the epoch drivers;
     #: results are bit-identical to the single-host run either way.
-    fleet_listen: Optional[str] = None
+    fleet_listen: str | None = None
     #: Fleet: wait for this many registered workers before the first
     #: dispatch (0 dispatches to whoever has joined).
     fleet_min_workers: int = 0
     #: Fleet: overall per-epoch deadline on one worker; a straggler is
     #: dropped and its epoch re-dispatched.  ``None`` relies on
     #: heartbeat-miss detection alone.
-    fleet_task_timeout: Optional[float] = None
+    fleet_task_timeout: float | None = None
     #: Fleet: dispatch each epoch to this many workers and cross-check
     #: the verdicts (1 disables).
     fleet_redundancy: int = 1
@@ -145,18 +153,18 @@ class AuditResult:
     """Outcome of an SSCO audit, with instrumentation."""
 
     accepted: bool
-    reason: Optional[RejectReason] = None
+    reason: RejectReason | None = None
     detail: str = ""
     #: Phase wall-clock seconds: proc_op_reports, db_redo, reexec,
     #: db_query (subset of reexec), output_compare, total.
-    phases: Dict[str, float] = field(default_factory=dict)
+    phases: dict[str, float] = field(default_factory=dict)
     #: groups, grouped_requests, fallback_requests, dedup hits/misses,
     #: steps, multi_steps, db_queries_issued, versioned sizes ...
-    stats: Dict[str, object] = field(default_factory=dict)
-    produced: Dict[str, str] = field(default_factory=dict)
+    stats: dict[str, object] = field(default_factory=dict)
+    produced: dict[str, str] = field(default_factory=dict)
     #: Post-audit compacted state (the next epoch's initial state), only
     #: populated on accept when ``migrate=True``.
-    next_initial: Optional[InitialState] = None
+    next_initial: InitialState | None = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.accepted
@@ -171,7 +179,7 @@ class AuditContext:
         trace: Trace,
         reports: Reports,
         initial_state: InitialState,
-        options: Optional[AuditOptions] = None,
+        options: AuditOptions | None = None,
     ):
         self.app = app
         self.trace = trace
@@ -187,8 +195,8 @@ class AuditContext:
         # Artifacts the phases hand to each other.
         self.graph = None
         self.opmap = None
-        self.sim: Optional[SimContext] = None
-        self.produced: Dict[str, str] = {}
+        self.sim: SimContext | None = None
+        self.produced: dict[str, str] = {}
         self.result = AuditResult(accepted=False)
 
 
@@ -263,6 +271,7 @@ class ReExecPhase(AuditPhase):
             backend=options.backend,
             offload=options.offload_reexec,
             inline=options.inline_reexec,
+            plan_hints=options.plan_hints,
         )
         actx.result.phases["db_query"] = actx.sim.db_query_seconds
 
@@ -304,7 +313,7 @@ class AuditPipeline:
     """Runs :class:`AuditPhase` objects in order over one context."""
 
     def __init__(self, phases: Sequence[AuditPhase]):
-        self.phases: List[AuditPhase] = list(phases)
+        self.phases: list[AuditPhase] = list(phases)
 
     def run(self, actx: AuditContext) -> AuditResult:
         """Run every phase; never raises :class:`AuditReject`."""
@@ -331,7 +340,7 @@ class AuditPipeline:
         return result
 
 
-def default_pipeline(options: Optional[AuditOptions] = None) -> AuditPipeline:
+def default_pipeline(options: AuditOptions | None = None) -> AuditPipeline:
     """The stock Figure 12 phase sequence."""
     return AuditPipeline([
         TraceCheckPhase(),
@@ -368,7 +377,7 @@ def run_state_precompute(
     trace: Trace,
     reports: Reports,
     initial_state: InitialState,
-    options: Optional[AuditOptions] = None,
+    options: AuditOptions | None = None,
 ) -> AuditContext:
     """Run the redo-only prepass over one epoch slice.
 
@@ -386,8 +395,8 @@ def precompute_epoch_states(
     app: Application,
     shards: Sequence[Shard],
     initial_state: InitialState,
-    options: Optional[AuditOptions] = None,
-) -> Optional[List[AuditContext]]:
+    options: AuditOptions | None = None,
+) -> list[AuditContext] | None:
     """Walk the shard chain once with the redo-only prepass.
 
     Returns one primed context per shard — shard *k*'s context holds
@@ -404,7 +413,7 @@ def precompute_epoch_states(
     prefer them for large bundles.
     """
     options = options or AuditOptions()
-    contexts: List[AuditContext] = []
+    contexts: list[AuditContext] = []
     state = initial_state
     for shard in shards:
         is_last = shard.index == len(shards) - 1
@@ -442,8 +451,8 @@ def run_audit(
     trace: Trace,
     reports: Reports,
     initial_state: InitialState,
-    options: Optional[AuditOptions] = None,
-    pipeline: Optional[AuditPipeline] = None,
+    options: AuditOptions | None = None,
+    pipeline: AuditPipeline | None = None,
 ) -> AuditResult:
     """Audit one bundle: sharded when the options ask for it, otherwise
     a single pass of the (default or caller-supplied) pipeline."""
@@ -492,9 +501,9 @@ def _collect_stats(actx: AuditContext) -> None:
         )
 
 
-def _final_registers(reports: Reports) -> Dict[str, object]:
+def _final_registers(reports: Reports) -> dict[str, object]:
     """Last written value of every register appearing in the logs."""
-    final: Dict[str, object] = {}
+    final: dict[str, object] = {}
     for obj_name, log in reports.op_logs.items():
         if not obj_name.startswith("reg:"):
             continue
@@ -532,8 +541,8 @@ def sharded_audit(
     trace: Trace,
     reports: Reports,
     initial_state: InitialState,
-    options: Optional[AuditOptions] = None,
-    pipeline: Optional[AuditPipeline] = None,
+    options: AuditOptions | None = None,
+    pipeline: AuditPipeline | None = None,
 ) -> AuditResult:
     """Audit the bundle as a chain of epoch shards (§4.1, §4.5).
 
@@ -581,7 +590,7 @@ def sharded_audit(
         return merged
 
     merged.stats["shard_count"] = len(shards)
-    shard_summaries: List[Dict[str, object]] = []
+    shard_summaries: list[dict[str, object]] = []
     if ((options.epoch_workers > 1 or options.fleet_listen)
             and len(shards) > 1 and pipeline is None):
         _sharded_audit_concurrent(app, shards, initial_state, options,
@@ -604,9 +613,9 @@ def _audit_shard_chain(
     total_shards: int,
     state: InitialState,
     options: AuditOptions,
-    pipeline: Optional[AuditPipeline],
+    pipeline: AuditPipeline | None,
     merged: AuditResult,
-    shard_summaries: List[Dict[str, object]],
+    shard_summaries: list[dict[str, object]],
 ):
     """The serial chain over (a tail of) the shard list.
 
@@ -652,7 +661,7 @@ def _sharded_audit_concurrent(
     initial_state: InitialState,
     options: AuditOptions,
     merged: AuditResult,
-    shard_summaries: List[Dict[str, object]],
+    shard_summaries: list[dict[str, object]],
 ) -> None:
     """Audit the shards concurrently against precomputed initial states.
 
@@ -720,7 +729,7 @@ def _sharded_audit_concurrent(
     window = resolve_prepass_depth(
         options if driver_width == options.epoch_workers
         else replace(options, epoch_workers=driver_width))
-    inflight: List = []  # (shard, future) in epoch order
+    inflight: list = []  # (shard, future) in epoch order
     precompute_seconds = 0.0
     state = initial_state  # the prepass chain
     final_state = None

@@ -15,7 +15,6 @@ order all events consistently with the trace and the alleged operations
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 from repro.common.errors import AuditReject, RejectReason
 from repro.core.graph import Graph, OPNUM_INF
@@ -43,7 +42,7 @@ def split_nodes(gtr: TimePrecedenceGraph) -> Graph:
 
 
 def add_program_edges(
-    graph: Graph, trace: Trace, op_counts: Dict[str, int]
+    graph: Graph, trace: Trace, op_counts: dict[str, int]
 ) -> None:
     """AddProgramEdges (Figure 5, lines 21-26): chain each request's
     alleged operations between its arrival and departure nodes."""
@@ -131,7 +130,7 @@ def add_state_edges(graph: Graph, reports: Reports) -> None:
 
 def process_op_reports(
     trace: Trace, reports: Reports
-) -> Tuple[Graph, OpMap]:
+) -> tuple[Graph, OpMap]:
     """ProcessOpReports (Figure 5, lines 2-12).
 
     Returns (G, OpMap) or raises :class:`AuditReject`.

@@ -95,7 +95,6 @@ import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 from repro.common.errors import (
     AuditReject,
@@ -110,6 +109,7 @@ from repro.accel.accinterp import (
     GroupNondetIntent,
     GroupStateOpIntent,
 )
+from repro.lang.analysis import divergence_hazards
 from repro.lang.compile import CompInterpreter
 from repro.trace.events import ExternalRequest
 from repro.core.dedup import QueryDedup
@@ -123,13 +123,28 @@ from repro.trace.trace import Trace
 DEFAULT_MAX_GROUP = 3000
 
 #: The stock re-execution backend (the paper's accelerated interpreter).
-#: ``REPRO_BACKEND`` overrides the default process-wide — it is read at
-#: import time so every seam that bakes the default in (function
-#: defaults, ``AuditConfig`` fields, worker initializers) agrees, and
-#: CI's backend-matrix job uses it to run the whole suite on another
-#: engine without touching any call site.  An unknown name fails with
-#: the registry's clean "unknown re-exec backend" error on first use.
-DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "accinterp")
+_FALLBACK_BACKEND = "accinterp"
+
+
+def default_backend() -> str:
+    """The process-wide default re-execution backend.
+
+    ``REPRO_BACKEND`` overrides it and is read *at call time*, so
+    subprocess tests and CI matrix steps that set the variable after
+    this module is imported are honored.  Every seam that used to bake
+    the default in (function defaults, ``AuditConfig`` fields, worker
+    initializers) now passes ``backend=None`` and resolves it here.  An
+    unknown name fails with the registry's clean "unknown re-exec
+    backend" error on first use.
+    """
+    return os.environ.get("REPRO_BACKEND", _FALLBACK_BACKEND)
+
+
+#: Deprecated alias: the env var as read at import time.  Kept for
+#: callers that imported the old constant; new code should call
+#: :func:`default_backend` (or pass ``backend=None``) so late changes to
+#: ``REPRO_BACKEND`` are honored.
+DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", _FALLBACK_BACKEND)
 
 
 @dataclass
@@ -140,7 +155,7 @@ class ReExecStats:
     divergences: int = 0
     steps: int = 0
     multi_steps: int = 0
-    group_alphas: List[tuple] = field(default_factory=list)
+    group_alphas: list[tuple] = field(default_factory=list)
     #: (n_c, alpha_c, ell_c) per group, for Figure 11.
 
 
@@ -165,13 +180,13 @@ class ReexecBackend:
     def run_chunk(
         self,
         app: Application,
-        rids: List[str],
+        rids: list[str],
         requests,
         reports: Reports,
         ctx: SimContext,
         strict: bool,
         dedup: bool,
-        produced: Dict[str, str],
+        produced: dict[str, str],
         stats: ReExecStats,
     ) -> None:
         raise NotImplementedError
@@ -181,7 +196,7 @@ class ReexecBackend:
 
 
 #: name -> factory(app, collapse=...) -> ReexecBackend.
-_BACKENDS: Dict[str, object] = {}
+_BACKENDS: dict[str, object] = {}
 
 
 def register_reexec_backend(name: str, factory) -> None:
@@ -198,7 +213,7 @@ def register_reexec_backend(name: str, factory) -> None:
     _BACKENDS[name] = factory
 
 
-def available_backends() -> List[str]:
+def available_backends() -> list[str]:
     """Registered backend names, sorted."""
     return sorted(_BACKENDS)
 
@@ -364,10 +379,13 @@ _MIN_PARALLEL_CHUNK = 32
 
 def plan_chunks(
     reports: Reports,
-    requests: Dict[str, object],
+    requests: dict[str, object],
     max_group_size: int = DEFAULT_MAX_GROUP,
     workers: int = 1,
-) -> List[List[str]]:
+    app: Application | None = None,
+    plan_hints: bool = False,
+    strict: bool = True,
+) -> list[list[str]]:
     """The deterministic chunk plan the drivers execute.
 
     Groups are visited in sorted-tag order; duplicate rids within one
@@ -380,13 +398,24 @@ def plan_chunks(
     their group-wide strict check must see them whole).  Raises
     :class:`AuditReject` when a grouping names a request outside the
     trace.
+
+    With ``plan_hints`` enabled (and ``app`` provided), groups of
+    scripts the static analyzer flags as divergence hazards
+    (:func:`repro.lang.analysis.divergence_hazards`) are pre-demoted to
+    singleton chunks: grouped SIMD re-execution of such scripts tends to
+    diverge and restart per request anyway, so planning the demotion
+    avoids the doomed group pass.  The hint only applies in non-strict
+    mode — under ``strict`` a real divergence is a *verdict* (REJECT),
+    and pre-demotion would skip the group-wide check that produces it.
+    Produced bodies and verdicts are unchanged either way (equivalence-
+    tested); only the grouped/fallback accounting moves.
     """
-    groups: List[List[str]] = []
+    groups: list[list[str]] = []
     grouped_total = 0
     for tag in sorted(reports.groups):
         rids_raw = reports.groups[tag]
         seen = set()
-        rids: List[str] = []
+        rids: list[str] = []
         for rid in rids_raw:
             if rid not in seen:
                 seen.add(rid)
@@ -400,19 +429,27 @@ def plan_chunks(
         groups.append(rids)
         grouped_total += len(rids)
 
+    hazards: frozenset = frozenset()
+    if plan_hints and not strict and app is not None:
+        hazards = divergence_hazards(app)
+
     parallel_chunk = max_group_size
     if workers > 1 and grouped_total:
         target = workers * _CHUNKS_PER_WORKER
         parallel_chunk = max(
             _MIN_PARALLEL_CHUNK, -(-grouped_total // target)
         )
-    chunks: List[List[str]] = []
+    chunks: list[list[str]] = []
     for rids in groups:
         chunk_size = max_group_size
-        if parallel_chunk < chunk_size and len(
-            {requests[rid].script for rid in rids}
-        ) == 1:
-            chunk_size = parallel_chunk
+        scripts = {requests[rid].script for rid in rids}
+        if len(scripts) == 1:
+            if len(rids) > 1 and next(iter(scripts)) in hazards:
+                # Hopeless group: pre-demote to singletons.
+                chunks.extend([rid] for rid in rids)
+                continue
+            if parallel_chunk < chunk_size:
+                chunk_size = parallel_chunk
         for start in range(0, len(rids), chunk_size):
             chunks.append(rids[start : start + chunk_size])
     return chunks
@@ -428,15 +465,19 @@ def reexec_groups(
     collapse: bool = True,
     max_group_size: int = DEFAULT_MAX_GROUP,
     workers: int = 1,
-    backend: str = DEFAULT_BACKEND,
+    backend: str | None = None,
     offload: bool = False,
     inline: bool = False,
-) -> Dict[str, str]:
+    plan_hints: bool = False,
+) -> dict[str, str]:
     """Re-execute all groups; returns rid -> produced body.
 
     ``workers > 1`` fans the chunk plan out over a process pool; the
     serial path is preserved verbatim for ``workers <= 1``.  ``backend``
-    names the registered re-execution engine that runs each chunk.
+    names the registered re-execution engine that runs each chunk
+    (``None`` resolves :func:`default_backend` at call time);
+    ``plan_hints`` lets the chunk plan consult the static analyzer's
+    divergence hazards (see :func:`plan_chunks`; non-strict mode only).
     ``offload=True`` routes the chunks through the worker pool even when
     ``workers == 1`` — the chunk *plan* stays the serial one, so
     produced bodies, verdicts, and deterministic stats are unchanged;
@@ -449,15 +490,17 @@ def reexec_groups(
     and chunk-plan parity with the serial chain is what matters.
     Raises :class:`AuditReject` on any failed check.
     """
+    backend = backend if backend is not None else default_backend()
     requests = trace.requests()
-    chunks = plan_chunks(reports, requests, max_group_size, workers)
+    chunks = plan_chunks(reports, requests, max_group_size, workers,
+                         app=app, plan_hints=plan_hints, strict=strict)
     if chunks and not inline and (
             (workers > 1 and len(chunks) > 1) or offload):
         return _reexec_parallel(
             app, requests, reports, ctx, chunks, strict, dedup, collapse,
             workers, backend,
         )
-    produced: Dict[str, str] = {}
+    produced: dict[str, str] = {}
     stats = ctx.reexec_stats = ReExecStats()
     _run_chunks_serial(app, chunks, requests, reports, ctx, strict,
                        dedup, collapse, backend, produced, stats)
@@ -466,7 +509,7 @@ def reexec_groups(
 
 def _run_chunks_serial(
     app: Application,
-    chunks: List[List[str]],
+    chunks: list[list[str]],
     requests,
     reports: Reports,
     ctx: SimContext,
@@ -474,7 +517,7 @@ def _run_chunks_serial(
     dedup: bool,
     collapse: bool,
     backend: str,
-    produced: Dict[str, str],
+    produced: dict[str, str],
     stats: ReExecStats,
 ) -> None:
     """The serial chunk loop (also the parallel driver's fallback)."""
@@ -487,13 +530,13 @@ def _run_chunks_serial(
 def _run_chunk(
     app: Application,
     acc: AccInterpreter,
-    rids: List[str],
+    rids: list[str],
     requests,
     reports: Reports,
     ctx: SimContext,
     strict: bool,
     dedup: bool,
-    produced: Dict[str, str],
+    produced: dict[str, str],
     stats: ReExecStats,
     interp=None,
 ) -> None:
@@ -565,7 +608,9 @@ def _run_chunk(
     except DivergenceError as diverged:
         stats.divergences += 1
         if strict and not _in_error_group(reports, rids[0]):
-            raise AuditReject(RejectReason.GROUP_DIVERGED, diverged.detail)
+            raise AuditReject(
+                RejectReason.GROUP_DIVERGED, diverged.detail
+            ) from diverged
         _fallback(app, rids, requests, ctx, produced, stats, interp=interp)
     except (MultivalueFallback, WeblangError):
         # Retry path (§4.3): not a verdict about the executor.
@@ -621,7 +666,8 @@ class _WorkerState:
     """Everything one worker process needs to run chunks."""
 
     def __init__(self, app, requests, reports, ctx, strict, dedup,
-                 collapse, backend=DEFAULT_BACKEND):
+                 collapse, backend=None):
+        backend = backend if backend is not None else default_backend()
         self.app = app
         self.requests = requests
         self.reports = reports
@@ -631,7 +677,7 @@ class _WorkerState:
         self.engine = make_backend(backend, app, collapse)
 
 
-def _worker_init_fork(state: Tuple) -> None:
+def _worker_init_fork(state: tuple) -> None:
     """Pool initializer on fork platforms: adopt the parent's live state.
 
     The tuple arrives through ``initargs``, which fork-context children
@@ -654,7 +700,7 @@ def _worker_init_spawn(payload: bytes) -> None:
                            collapse, backend)
 
 
-def _worker_run_chunk(rids: List[str]) -> Tuple[bool, object]:
+def _worker_run_chunk(rids: list[str]) -> tuple[bool, object]:
     """Run one chunk in the worker; returns (ok, outcome).
 
     On success the outcome carries the chunk's produced bodies,
@@ -670,7 +716,7 @@ def _worker_run_chunk(rids: List[str]) -> Tuple[bool, object]:
     ctx = state.ctx
     before = ctx.counter_snapshot()
     stats = ReExecStats()
-    produced: Dict[str, str] = {}
+    produced: dict[str, str] = {}
     try:
         state.engine.run_chunk(state.app, rids, state.requests,
                                state.reports, ctx, state.strict,
@@ -713,13 +759,13 @@ def _reexec_parallel(
     requests,
     reports: Reports,
     ctx: SimContext,
-    chunks: List[List[str]],
+    chunks: list[list[str]],
     strict: bool,
     dedup: bool,
     collapse: bool,
     workers: int,
-    backend: str = DEFAULT_BACKEND,
-) -> Dict[str, str]:
+    backend: str | None = None,
+) -> dict[str, str]:
     """Fan the chunk plan out over a process pool and merge the results.
 
     Outcomes are merged in submission order, so the first failure the
@@ -728,11 +774,12 @@ def _reexec_parallel(
     mid-chunk) degrade to serial re-execution of the affected chunks —
     they are never verdicts and never escape as exceptions.
     """
-    produced: Dict[str, str] = {}
+    backend = backend if backend is not None else default_backend()
+    produced: dict[str, str] = {}
     stats = ctx.reexec_stats = ReExecStats()
     workers = max(1, min(workers, len(chunks)))
     pool = None
-    futures: List = []
+    futures: list = []
     with _POOL_LOCK:
         # Creation *and* submission run under the lock: worker processes
         # are forked/spawned lazily at submit time, and concurrent
@@ -754,7 +801,7 @@ def _reexec_parallel(
         _run_chunks_serial(app, chunks, requests, reports, ctx, strict,
                            dedup, collapse, backend, produced, stats)
         return produced
-    remaining: List[List[str]] = []
+    remaining: list[list[str]] = []
     try:
         for index, future in enumerate(futures):
             try:
@@ -815,10 +862,10 @@ def _in_error_group(reports: Reports, rid: str) -> bool:
 
 def _fallback(
     app: Application,
-    rids: List[str],
+    rids: list[str],
     requests,
     ctx: SimContext,
-    produced: Dict[str, str],
+    produced: dict[str, str],
     stats: ReExecStats,
     interp=None,
 ) -> None:

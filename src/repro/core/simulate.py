@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import AuditReject, RejectReason
 from repro.core.dedup import QueryDedup
@@ -72,14 +71,14 @@ class SimContext:
         self.op_counts = reports.op_counts
         self.initial = initial_state
         self.strict_registers = strict_registers
-        self.vkv: Dict[str, VersionedKV] = {}
-        self.vdb: Dict[str, VersionedDB] = {}
+        self.vkv: dict[str, VersionedKV] = {}
+        self.vdb: dict[str, VersionedDB] = {}
         #: Installed by the group driver for the duration of one group.
-        self.dedup: Optional[QueryDedup] = None
+        self.dedup: QueryDedup | None = None
         #: rid -> outbound externals regenerated during re-execution
         #: (the §5.5 extension; compared against the trace's EXTERNAL
         #: events by the verifier).
-        self.produced_externals: Dict[str, list] = {}
+        self.produced_externals: dict[str, list] = {}
         # Instrumentation (Figure 9's "DB query" bar; §5.2 dedup stats).
         self.db_query_seconds = 0.0
         self.db_queries_issued = 0
@@ -95,18 +94,18 @@ class SimContext:
     _COUNTERS = ("db_query_seconds", "db_queries_issued", "dedup_hits",
                  "dedup_misses")
 
-    def counter_snapshot(self) -> Dict[str, float]:
+    def counter_snapshot(self) -> dict[str, float]:
         """Current instrumentation counters, for delta accounting."""
         return {name: getattr(self, name) for name in self._COUNTERS}
 
-    def counter_delta(self, before: Dict[str, float]) -> Dict[str, float]:
+    def counter_delta(self, before: dict[str, float]) -> dict[str, float]:
         """Counters accumulated since ``before`` (a prior snapshot)."""
         return {
             name: getattr(self, name) - before[name]
             for name in self._COUNTERS
         }
 
-    def add_counters(self, delta: Dict[str, float]) -> None:
+    def add_counters(self, delta: dict[str, float]) -> None:
         """Fold a worker's counter delta into this context."""
         for name in self._COUNTERS:
             setattr(self, name, getattr(self, name) + delta.get(name, 0))
@@ -136,7 +135,7 @@ class SimContext:
 
     # -- CheckOp -------------------------------------------------------------
 
-    def lookup_op(self, rid: str, opnum: int) -> Tuple[str, int, OpRecord]:
+    def lookup_op(self, rid: str, opnum: int) -> tuple[str, int, OpRecord]:
         entry = self.opmap.get(rid, opnum)
         if entry is None:
             raise AuditReject(
@@ -153,7 +152,7 @@ class SimContext:
         opnum: int,
         obj: str,
         optype: OpType,
-        opcontents: Tuple,
+        opcontents: tuple,
     ) -> int:
         """Figure 12, lines 10-15.  Returns the log sequence number."""
         obj_hat, seq, record = self.lookup_op(rid, opnum)
@@ -228,7 +227,7 @@ class SimContext:
 @dataclass
 class _OpenTx:
     seq: int
-    queries: Tuple[str, ...]
+    queries: tuple[str, ...]
     succeeded: bool
     q: int = 0  # next query index
 
@@ -240,11 +239,11 @@ class OpHandler:
         self.ctx = ctx
         self.rid = rid
         self.opnum = 0
-        self.tx: Optional[_OpenTx] = None
+        self.tx: _OpenTx | None = None
 
     # -- entry point ----------------------------------------------------------
 
-    def handle(self, kind: str, obj: str, args: Tuple) -> object:
+    def handle(self, kind: str, obj: str, args: tuple) -> object:
         if kind == "db_statement":
             return self._db_statement(obj, args[0])
         if kind == "db_begin":
@@ -412,12 +411,12 @@ class OpHandler:
 class NondetCursor:
     """Feeds recorded non-determinism to a re-executed request (§4.6)."""
 
-    def __init__(self, rid: str, records: List[NondetRecord]):
+    def __init__(self, rid: str, records: list[NondetRecord]):
         self.rid = rid
         self.records = records
         self.position = 0
 
-    def next(self, func: str, args: Tuple) -> object:
+    def next(self, func: str, args: tuple) -> object:
         if self.position >= len(self.records):
             raise AuditReject(
                 RejectReason.NONDET_MISSING,

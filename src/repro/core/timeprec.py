@@ -19,7 +19,6 @@ Three implementations:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
 
 from repro.trace.trace import Trace
 
@@ -28,11 +27,11 @@ from repro.trace.trace import Trace
 class TimePrecedenceGraph:
     """GTr: request-level precedence edges (before node splitting)."""
 
-    nodes: List[str] = field(default_factory=list)
+    nodes: list[str] = field(default_factory=list)
     #: child rid -> parent rids (the edges point parent -> child).
-    parents: Dict[str, List[str]] = field(default_factory=dict)
+    parents: dict[str, list[str]] = field(default_factory=dict)
 
-    def edges(self) -> List[Tuple[str, str]]:
+    def edges(self) -> list[tuple[str, str]]:
         return [
             (parent, child)
             for child, parent_list in self.parents.items()
@@ -52,7 +51,7 @@ def create_time_precedence_graph(trace: Trace) -> TimePrecedenceGraph:
     parents from the frontier and joins it.
     """
     gtr = TimePrecedenceGraph()
-    frontier: Set[str] = set()
+    frontier: set[str] = set()
     for event in trace:
         if event.is_request:
             rid = event.rid
@@ -78,7 +77,7 @@ def baseline_time_precedence(trace: Trace) -> TimePrecedenceGraph:
                enumerate(trace)]
     stamped.sort(key=lambda item: (item[0], item[1]))
     gtr = TimePrecedenceGraph()
-    frontier: Set[str] = set()
+    frontier: set[str] = set()
     for _, _, event in stamped:
         if event.is_request:
             rid = event.rid
@@ -92,11 +91,11 @@ def baseline_time_precedence(trace: Trace) -> TimePrecedenceGraph:
     return gtr
 
 
-def naive_precedence_relation(trace: Trace) -> Set[Tuple[str, str]]:
+def naive_precedence_relation(trace: Trace) -> set[tuple[str, str]]:
     """Ground-truth ``<Tr``: (r1, r2) iff RESPONSE(r1) precedes
     REQUEST(r2) in the trace.  O(X²); tests only."""
-    relation: Set[Tuple[str, str]] = set()
-    responded: List[str] = []
+    relation: set[tuple[str, str]] = set()
+    responded: list[str] = []
     for event in trace:
         if event.is_request:
             for earlier in responded:
@@ -106,15 +105,15 @@ def naive_precedence_relation(trace: Trace) -> Set[Tuple[str, str]]:
     return relation
 
 
-def reachability(gtr: TimePrecedenceGraph) -> Set[Tuple[str, str]]:
+def reachability(gtr: TimePrecedenceGraph) -> set[tuple[str, str]]:
     """All (ancestor, descendant) pairs in GTr.  O(X·Z); tests only."""
-    children: Dict[str, List[str]] = {}
+    children: dict[str, list[str]] = {}
     for child, parent_list in gtr.parents.items():
         for parent in parent_list:
             children.setdefault(parent, []).append(child)
-    closure: Set[Tuple[str, str]] = set()
+    closure: set[tuple[str, str]] = set()
     for start in gtr.nodes:
-        seen: Set[str] = set()
+        seen: set[str] = set()
         stack = list(children.get(start, ()))
         while stack:
             node = stack.pop()

@@ -26,7 +26,7 @@ Scaling knobs (all default off, preserving the paper's serial audit):
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 # Re-exported for compatibility: AuditResult historically lived here.
 from repro.core.pipeline import (  # noqa: F401
@@ -35,7 +35,7 @@ from repro.core.pipeline import (  # noqa: F401
     _final_registers,
     run_audit,
 )
-from repro.core.reexec import DEFAULT_BACKEND, DEFAULT_MAX_GROUP
+from repro.core.reexec import DEFAULT_MAX_GROUP, default_backend
 from repro.server.app import Application, InitialState
 from repro.server.reports import Reports
 from repro.trace.trace import Trace
@@ -54,14 +54,15 @@ def ssco_audit(
     migrate: bool = False,
     workers: int = 1,
     epoch_size: int = 0,
-    epoch_cuts: Optional[Sequence[int]] = None,
-    backend: str = DEFAULT_BACKEND,
+    epoch_cuts: Sequence[int] | None = None,
+    backend: str | None = None,
+    plan_hints: bool = False,
     epoch_workers: int = 1,
     epoch_processes: bool = True,
     prepass_depth: int = 0,
-    fleet_listen: Optional[str] = None,
+    fleet_listen: str | None = None,
     fleet_min_workers: int = 0,
-    fleet_task_timeout: Optional[float] = None,
+    fleet_task_timeout: float | None = None,
     fleet_redundancy: int = 1,
 ) -> AuditResult:
     """Run the full audit; never raises :class:`AuditReject`.
@@ -95,6 +96,10 @@ def ssco_audit(
             chunk (``"accinterp"`` is the paper's accelerated
             interpreter, ``"interp"`` the plain per-request reference;
             see :func:`repro.core.reexec.register_reexec_backend`).
+            ``None`` resolves ``REPRO_BACKEND`` at call time.
+        plan_hints: consult the static analyzer's divergence-hazard
+            report during chunk planning (non-strict audits only);
+            never changes produced bodies or verdicts.
         epoch_workers: audit the epoch shards concurrently, this many
             at a time (<= 1 keeps the serial chain).  A redo-only
             state precompute materializes each shard's initial state
@@ -135,7 +140,8 @@ def ssco_audit(
         workers=workers,
         epoch_size=epoch_size,
         epoch_cuts=epoch_cuts,
-        backend=backend,
+        backend=backend if backend is not None else default_backend(),
+        plan_hints=plan_hints,
         epoch_workers=epoch_workers,
         epoch_processes=epoch_processes,
         prepass_depth=prepass_depth,

@@ -40,7 +40,6 @@ import pickle
 import queue
 import socket
 import threading
-from typing import List, Optional
 
 from repro.common.clock import Deadline
 from repro.core.epochwork import (
@@ -98,11 +97,11 @@ class FleetCoordinator:
     """
 
     def __init__(self, listen: str, *, min_workers: int = 0,
-                 task_timeout: Optional[float] = None,
+                 task_timeout: float | None = None,
                  redundancy: int = 1,
-                 heartbeat_timeout: Optional[float] = 30.0,
+                 heartbeat_timeout: float | None = 30.0,
                  handshake_timeout: float = 10.0,
-                 join_timeout: Optional[float] = 60.0):
+                 join_timeout: float | None = 60.0):
         host, port = parse_endpoint(listen)
         self.min_workers = max(0, int(min_workers))
         self.task_timeout = task_timeout
@@ -112,8 +111,8 @@ class FleetCoordinator:
         self.join_timeout = join_timeout
 
         self._cond = threading.Condition()
-        self._workers: List[_RemoteWorker] = []
-        self._idle: "queue.Queue[_RemoteWorker]" = queue.Queue()
+        self._workers: list[_RemoteWorker] = []
+        self._idle: queue.Queue[_RemoteWorker] = queue.Queue()
         self._closed = False
         self._epoch_ids = itertools.count()
 
@@ -218,7 +217,7 @@ class FleetCoordinator:
         with self._cond:
             return sum(1 for w in self._workers if not w.dead)
 
-    def _checkout(self) -> Optional[_RemoteWorker]:
+    def _checkout(self) -> _RemoteWorker | None:
         """Block until an idle worker is available; ``None`` once no
         live worker remains (the caller runs the epoch inline)."""
         while True:
@@ -235,7 +234,7 @@ class FleetCoordinator:
                 continue
             return worker
 
-    def _checkout_nowait(self) -> Optional[_RemoteWorker]:
+    def _checkout_nowait(self) -> _RemoteWorker | None:
         while True:
             try:
                 worker = self._idle.get_nowait()
@@ -328,7 +327,7 @@ class FleetCoordinator:
                 break
             replicas.append(extra)
 
-        outcomes: List[Optional[tuple]] = [None] * len(replicas)
+        outcomes: list[tuple | None] = [None] * len(replicas)
 
         def _one(slot: int, worker: _RemoteWorker) -> None:
             try:
@@ -459,7 +458,7 @@ class FleetCoordinator:
             worker.dead = True
             self._say_goodbye(worker.fsock)
 
-    def __enter__(self) -> "FleetCoordinator":
+    def __enter__(self) -> FleetCoordinator:
         return self
 
     def __exit__(self, *exc) -> None:

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Optional
 
 from repro.common.clock import Deadline
 from repro.core.epochwork import (
@@ -58,9 +57,9 @@ __all__ = ["FleetWorker"]
 class FleetWorker:
     """One worker process's client side of the fleet protocol."""
 
-    def __init__(self, endpoint: str, *, name: Optional[str] = None,
+    def __init__(self, endpoint: str, *, name: str | None = None,
                  heartbeat_interval: float = 2.0,
-                 connect_timeout: Optional[float] = 30.0,
+                 connect_timeout: float | None = 30.0,
                  handshake_timeout: float = 10.0):
         host, port = parse_endpoint(endpoint)
         if port <= 0:

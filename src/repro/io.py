@@ -55,7 +55,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.common.clock import Deadline
 from repro.objects.base import OpRecord, OpType
@@ -106,8 +106,8 @@ def _dec(value: object) -> object:
 # -- trace ------------------------------------------------------------------------
 
 
-def _event_to_json(event: Event) -> Dict:
-    entry: Dict = {"kind": event.kind.value, "time": event.time}
+def _event_to_json(event: Event) -> dict:
+    entry: dict = {"kind": event.kind.value, "time": event.time}
     payload = event.payload
     if event.is_request:
         entry["request"] = {
@@ -133,7 +133,7 @@ def _event_to_json(event: Event) -> Dict:
     return entry
 
 
-def _event_from_json(entry: Dict) -> Event:
+def _event_from_json(entry: dict) -> Event:
     kind = EventKind(entry["kind"])
     time = entry.get("time", 0.0)
     if kind is EventKind.REQUEST:
@@ -157,14 +157,14 @@ def _event_from_json(entry: Dict) -> Event:
     )
 
 
-def trace_to_json(trace: Trace) -> Dict:
+def trace_to_json(trace: Trace) -> dict:
     return {
         "version": FORMAT_VERSION,
         "events": [_event_to_json(event) for event in trace],
     }
 
 
-def trace_from_json(data: Dict) -> Trace:
+def trace_from_json(data: dict) -> Trace:
     _check_version(data)
     trace = Trace()
     for entry in data["events"]:
@@ -175,7 +175,7 @@ def trace_from_json(data: Dict) -> Trace:
 # -- reports ------------------------------------------------------------------------
 
 
-def reports_to_json(reports: Reports) -> Dict:
+def reports_to_json(reports: Reports) -> dict:
     return {
         "version": FORMAT_VERSION,
         "groups": {tag: list(rids) for tag, rids in reports.groups.items()},
@@ -206,7 +206,7 @@ def reports_to_json(reports: Reports) -> Dict:
     }
 
 
-def reports_from_json(data: Dict) -> Reports:
+def reports_from_json(data: dict) -> Reports:
     _check_version(data)
     return Reports(
         groups={tag: list(rids) for tag, rids in data["groups"].items()},
@@ -237,7 +237,7 @@ def reports_from_json(data: Dict) -> Reports:
 # -- initial state ---------------------------------------------------------------
 
 
-def state_to_json(state: InitialState) -> Dict:
+def state_to_json(state: InitialState) -> dict:
     tables = {}
     for name, table in state.db_engine.tables.items():
         tables[name] = {
@@ -261,7 +261,7 @@ def state_to_json(state: InitialState) -> Dict:
     }
 
 
-def state_from_json(data: Dict) -> InitialState:
+def state_from_json(data: dict) -> InitialState:
     _check_version(data)
     engine = Engine()
     for name, raw in data["tables"].items():
@@ -302,19 +302,19 @@ _JSONL_LOG_CHUNK = 1000
 # dicts over a socket — one encoding, two transports.
 
 
-def state_record(initial_state: InitialState) -> Dict:
+def state_record(initial_state: InitialState) -> dict:
     return {"kind": "state", "state": state_to_json(initial_state)}
 
 
-def event_record(event: Event) -> Dict:
+def event_record(event: Event) -> dict:
     return {"kind": "event", "event": _event_to_json(event)}
 
 
-def epoch_mark_record(position: int) -> Dict:
+def epoch_mark_record(position: int) -> dict:
     return {"kind": "epoch_mark", "events": position}
 
 
-def end_record(position: int) -> Dict:
+def end_record(position: int) -> dict:
     return {"kind": "end", "events": position}
 
 
@@ -325,7 +325,7 @@ def end_record(position: int) -> Dict:
 _KIND_PREFIXES = (b'{"kind": "', b'{"kind":"')
 
 
-def record_kind(line: bytes) -> Optional[str]:
+def record_kind(line: bytes) -> str | None:
     """The kind of one encoded record line, without parsing it.
 
     This is what lets :meth:`repro.net.BundlePublisher.
@@ -347,7 +347,7 @@ def record_kind(line: bytes) -> Optional[str]:
     return kind if isinstance(kind, str) else None
 
 
-def iter_report_records(reports: Reports) -> Iterator[Dict]:
+def iter_report_records(reports: Reports) -> Iterator[dict]:
     """All four report types, op logs chunked at a bounded size."""
     for tag in reports.groups:
         yield {"kind": "group", "tag": tag,
@@ -408,17 +408,17 @@ class BundleWriter:
         #: Events written so far == the next event's trace index.
         self.position = 0
         #: Epoch-mark positions written so far.
-        self.epoch_marks: List[int] = []
+        self.epoch_marks: list[int] = []
         self._fh = open(path, "w")
         self._closed = False
-        header: Dict[str, object] = {
+        header: dict[str, object] = {
             "format": JSONL_FORMAT, "version": FORMAT_VERSION,
         }
         if segmented:
             header["layout"] = SEGMENTED_LAYOUT
         self._emit(header)
 
-    def _emit(self, record: Dict) -> None:
+    def _emit(self, record: dict) -> None:
         self._fh.write(json.dumps(record) + "\n")
         if self.autoflush:
             self._fh.flush()
@@ -430,7 +430,7 @@ class BundleWriter:
         self._emit(event_record(event))
         self.position += 1
 
-    def write_epoch_mark(self, position: Optional[int] = None) -> None:
+    def write_epoch_mark(self, position: int | None = None) -> None:
         """Record a quiescent cut; defaults to the current position."""
         position = self.position if position is None else position
         self._emit(epoch_mark_record(position))
@@ -456,7 +456,7 @@ class BundleWriter:
         self._emit(end_record(self.position))
 
     def write_payload_line(self, payload: bytes,
-                           kind: Optional[str] = None) -> None:
+                           kind: str | None = None) -> None:
         """Append one **already-encoded** record line verbatim.
 
         The zero re-encode path's mirror half: the publisher encodes
@@ -490,15 +490,15 @@ class BundleWriter:
             self._closed = True
             self._fh.close()
 
-    def __enter__(self) -> "BundleWriter":
+    def __enter__(self) -> BundleWriter:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
 
-def dispatch_meta_record(kind: str, record: Dict,
-                         reports: Reports) -> Optional[InitialState]:
+def dispatch_meta_record(kind: str, record: dict,
+                         reports: Reports) -> InitialState | None:
     """Accumulate one non-event record into ``reports``; a ``state``
     record instead returns the decoded initial state.  Shared by the
     file reader and :class:`repro.net.client.RemoteBundleReader` — the
@@ -558,8 +558,8 @@ class EpochAccumulator:
         self.index = index
         self.trace = Trace()
         self.reports = Reports()
-        #: Set when a ``state`` record passes through.
-        self.initial_state: Optional[InitialState] = None
+        #: set when a ``state`` record passes through.
+        self.initial_state: InitialState | None = None
 
     def reset(self, index: int) -> None:
         """Discard the partial epoch being accumulated (the net
@@ -575,7 +575,7 @@ class EpochAccumulator:
         self.reports = Reports()
         return slice_
 
-    def feed(self, record: Dict) -> Optional[EpochSlice]:
+    def feed(self, record: dict) -> EpochSlice | None:
         """Consume one record; returns the finished slice when the
         record is an ``epoch_mark`` closing a non-empty epoch."""
         kind = record["kind"]
@@ -589,7 +589,7 @@ class EpochAccumulator:
             self.initial_state = state
         return None
 
-    def flush(self) -> Optional[EpochSlice]:
+    def flush(self) -> EpochSlice | None:
         """The trailing slice at stream end — including a *torn* one
         (stream stopped mid-epoch): yielding it makes truncation loud
         (the audit rejects an unbalanced slice) instead of silently
@@ -621,8 +621,8 @@ class BundleReader:
         self.path = path
         self._fh = open(path)
         self._partial = ""
-        self._pushback: List[Dict] = []
-        self._initial_state: Optional[InitialState] = None
+        self._pushback: list[dict] = []
+        self._initial_state: InitialState | None = None
         self._ended = False
         self._closed = False
         header = None
@@ -652,8 +652,8 @@ class BundleReader:
         path: str,
         follow: bool = False,
         poll_interval: float = 0.05,
-        idle_timeout: Optional[float] = None,
-    ) -> "BundleReader":
+        idle_timeout: float | None = None,
+    ) -> BundleReader:
         """Construct a reader; with ``follow=True``, wait for the file
         and its header line to appear first.
 
@@ -694,8 +694,8 @@ class BundleReader:
         self,
         follow: bool = False,
         poll_interval: float = 0.05,
-        idle_timeout: Optional[float] = None,
-    ) -> Iterator[Dict]:
+        idle_timeout: float | None = None,
+    ) -> Iterator[dict]:
         """Parsed records, replaying any pushed-back prefix first.
 
         In follow mode, EOF means "wait for the writer": poll until new
@@ -760,13 +760,13 @@ class BundleReader:
         self,
         follow: bool = False,
         poll_interval: float = 0.05,
-        idle_timeout: Optional[float] = None,
+        idle_timeout: float | None = None,
     ):
         """Consume the remaining stream into
         ``(trace, reports, initial_state, epoch_marks)``."""
         trace = Trace()
         reports = Reports()
-        epoch_marks: List[int] = []
+        epoch_marks: list[int] = []
         for record in self._records(follow, poll_interval, idle_timeout):
             kind = record["kind"]
             if kind == "event":
@@ -781,7 +781,7 @@ class BundleReader:
             )
         return trace, reports, self._initial_state, epoch_marks
 
-    def _dispatch_meta(self, kind: str, record: Dict,
+    def _dispatch_meta(self, kind: str, record: dict,
                        reports: Reports) -> None:
         """Non-event record kinds, accumulated into ``reports``."""
         state = dispatch_meta_record(kind, record, reports)
@@ -800,13 +800,13 @@ class BundleReader:
         self,
         follow: bool = False,
         poll_interval: float = 0.05,
-        idle_timeout: Optional[float] = None,
+        idle_timeout: float | None = None,
     ) -> InitialState:
         """Read up to the state record; later records are replayed to
         the next consumer (:meth:`epochs` / :meth:`read_all`)."""
         if self._initial_state is not None:
             return self._initial_state
-        consumed: List[Dict] = []
+        consumed: list[dict] = []
         for record in self._records(follow, poll_interval, idle_timeout):
             consumed.append(record)
             if record["kind"] == "state":
@@ -826,7 +826,7 @@ class BundleReader:
         self,
         follow: bool = False,
         poll_interval: float = 0.05,
-        idle_timeout: Optional[float] = None,
+        idle_timeout: float | None = None,
     ) -> Iterator[EpochSlice]:
         """Yield the bundle's epochs as independently auditable slices.
 
@@ -864,7 +864,7 @@ class BundleReader:
             self._closed = True
             self._fh.close()
 
-    def __enter__(self) -> "BundleReader":
+    def __enter__(self) -> BundleReader:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -994,7 +994,7 @@ def load_audit_bundle(path: str):
     return trace, reports, initial_state
 
 
-def _check_version(data: Dict) -> None:
+def _check_version(data: dict) -> None:
     version = data.get("version")
     if version != FORMAT_VERSION:
         raise ValueError(

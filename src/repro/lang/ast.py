@@ -8,7 +8,6 @@ stable for a given source text — the parser numbers nodes in parse order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
 
 
 class Node:
@@ -36,7 +35,7 @@ class Var(Node):
 class ArrayLit(Node):
     """``[v1, 'k' => v2, ...]``; key None means auto-index append."""
 
-    items: List[Tuple[Optional[Node], Node]]
+    items: list[tuple[Node | None, Node]]
     nid: int = 0
 
 
@@ -80,7 +79,7 @@ class Call(Node):
     """Built-in or user-defined function call."""
 
     name: str
-    args: List[Node]
+    args: list[Node]
     nid: int = 0
 
 
@@ -114,7 +113,7 @@ class IndexAssign(Node):
     """
 
     name: str
-    path: List[Optional[Node]]
+    path: list[Node | None]
     expr: Node
     op: str = ""
     nid: int = 0
@@ -122,7 +121,7 @@ class IndexAssign(Node):
 
 @dataclass
 class Echo(Node):
-    exprs: List[Node]
+    exprs: list[Node]
     nid: int = 0
 
 
@@ -130,44 +129,44 @@ class Echo(Node):
 class If(Node):
     """``if/elseif*/else``: list of (condition, body) plus optional else."""
 
-    branches: List[Tuple[Node, List[Node]]]
-    else_body: Optional[List[Node]]
+    branches: list[tuple[Node, list[Node]]]
+    else_body: list[Node] | None
     nid: int = 0
 
 
 @dataclass
 class While(Node):
     cond: Node
-    body: List[Node]
+    body: list[Node]
     nid: int = 0
 
 
 @dataclass
 class Foreach(Node):
     subject: Node
-    key_var: Optional[str]
+    key_var: str | None
     val_var: str
-    body: List[Node]
+    body: list[Node]
     nid: int = 0
 
 
 @dataclass
 class FuncDecl(Node):
     name: str
-    params: List[str]
-    body: List[Node]
+    params: list[str]
+    body: list[Node]
     nid: int = 0
 
 
 @dataclass
 class Return(Node):
-    expr: Optional[Node]
+    expr: Node | None
     nid: int = 0
 
 
 @dataclass
 class GlobalDecl(Node):
-    names: List[str]
+    names: list[str]
     nid: int = 0
 
 
@@ -187,6 +186,6 @@ class Program(Node):
 
     name: str
     functions: dict = field(default_factory=dict)  # name -> FuncDecl
-    body: List[Node] = field(default_factory=list)
+    body: list[Node] = field(default_factory=list)
     nid: int = 0
     node_count: int = 0

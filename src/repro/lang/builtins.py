@@ -25,7 +25,7 @@ interpreter's deep-copy split path.
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Dict, List, Tuple
+from collections.abc import Callable
 
 from repro.common.errors import WeblangError
 from repro.lang.values import (
@@ -52,8 +52,46 @@ EXTERNAL_BUILTINS = ("send_email", "external_call")
 #: Built-ins that mutate an array argument (need deep-copy when split).
 MUTATING_BUILTINS = frozenset({"array_push"})
 
+#: Request-input built-ins: deterministic functions of the recorded
+#: request, hence effect-free for analysis purposes (the interpreter and
+#: compiler resolve them before every other class).
+REQUEST_INPUT_BUILTINS = ("param", "post_param", "cookie")
 
-def _arity(name: str, args: Tuple, low: int, high: int | None = None) -> None:
+
+# -- static effect classification --------------------------------------------
+#
+# Effect atoms of the analyzer's lattice (repro.lang.analysis); "pure" is
+# the empty set.  Every builtin is classified exactly once, here, next to
+# the builtin tables themselves, so a builtin added without a
+# classification fails the analyzer's coverage test.
+
+EFFECT_STATE_READ = "state-read"
+EFFECT_STATE_WRITE = "state-write"
+EFFECT_NONDET = "nondet"
+EFFECT_EXTERNAL = "external"
+
+EFFECTS_NONE: frozenset = frozenset()
+
+#: Which state built-ins read vs write shared objects.  ``db_query`` and
+#: ``db_exec`` are classified read+write: the statement *text* decides,
+#: and only the analyzer — when the SQL argument constant-folds — can
+#: refine the footprint to the actual tables.
+_STATE_EFFECTS: dict = {
+    "db_query": frozenset({EFFECT_STATE_READ, EFFECT_STATE_WRITE}),
+    "db_exec": frozenset({EFFECT_STATE_READ, EFFECT_STATE_WRITE}),
+    "db_begin": frozenset({EFFECT_STATE_WRITE}),
+    "db_commit": frozenset({EFFECT_STATE_WRITE}),
+    "db_rollback": frozenset({EFFECT_STATE_WRITE}),
+    "kv_get": frozenset({EFFECT_STATE_READ}),
+    "kv_set": frozenset({EFFECT_STATE_WRITE}),
+    "session_get": frozenset({EFFECT_STATE_READ}),
+    "session_put": frozenset({EFFECT_STATE_WRITE}),
+    "reg_read": frozenset({EFFECT_STATE_READ}),
+    "reg_write": frozenset({EFFECT_STATE_WRITE}),
+}
+
+
+def _arity(name: str, args: tuple, low: int, high: int | None = None) -> None:
     high = low if high is None else high
     if not (low <= len(args) <= high):
         raise WeblangError(
@@ -161,7 +199,7 @@ def _implode(*args: object) -> str:
 def _sprintf(*args: object) -> str:
     _arity("sprintf", args, 1, 64)
     fmt = to_str(args[0])
-    out: List[str] = []
+    out: list[str] = []
     arg_index = 1
     i = 0
     while i < len(fmt):
@@ -214,7 +252,7 @@ def _htmlspecialchars(*args: object) -> str:
 
 def _md5(*args: object) -> str:
     _arity("md5", args, 1)
-    return hashlib.md5(to_str(args[0]).encode("utf-8")).hexdigest()
+    return hashlib.md5(to_str(args[0]).encode()).hexdigest()
 
 
 def _number_format(*args: object) -> str:
@@ -297,7 +335,7 @@ def _array_reverse(*args: object) -> PhpArray:
     )
 
 
-def _sort_key(value: object) -> Tuple[int, object]:
+def _sort_key(value: object) -> tuple[int, object]:
     if value is None:
         return (0, 0)
     if isinstance(value, bool):
@@ -451,7 +489,7 @@ def _sql_quote(*args: object) -> str:
     return f"'{escaped}'"
 
 
-PURE_BUILTINS: Dict[str, Callable[..., object]] = {
+PURE_BUILTINS: dict[str, Callable[..., object]] = {
     "strlen": _strlen,
     "substr": _substr,
     "strpos": _strpos,
@@ -496,3 +534,20 @@ PURE_BUILTINS: Dict[str, Callable[..., object]] = {
     "empty": _empty,
     "sql_quote": _sql_quote,
 }
+
+
+#: name -> effect set, for every builtin the runtime can dispatch to.
+#: Consumed by :mod:`repro.lang.analysis` and, through it, by the
+#: compiling backend's purity decisions.
+BUILTIN_EFFECTS: dict[str, frozenset] = {}
+for _name in PURE_BUILTINS:
+    BUILTIN_EFFECTS[_name] = EFFECTS_NONE
+for _name in REQUEST_INPUT_BUILTINS:
+    BUILTIN_EFFECTS[_name] = EFFECTS_NONE
+for _name in NONDET_BUILTINS:
+    BUILTIN_EFFECTS[_name] = frozenset({EFFECT_NONDET})
+for _name in STATE_BUILTINS:
+    BUILTIN_EFFECTS[_name] = _STATE_EFFECTS[_name]
+for _name in EXTERNAL_BUILTINS:
+    BUILTIN_EFFECTS[_name] = frozenset({EFFECT_EXTERNAL})
+del _name

@@ -10,7 +10,10 @@ into a tree of pre-bound Python closures:
 * **pure subtrees** — expressions and statements that can never perform
   a shared-object operation, a non-deterministic built-in, or an
   external call — compile to plain ``fn(env, state)`` closures: no
-  generator frames at all, which is where most of the win comes from;
+  generator frames at all, which is where most of the win comes from.
+  Function-level purity comes from the static analyzer
+  (:func:`repro.lang.analysis.analysis_for`), whose call-graph effect
+  fixpoint handles mutual recursion precisely;
 * **impure subtrees** compile to generator closures that ``yield`` the
   same :class:`~repro.lang.interp.StateOpIntent` /
   :class:`~repro.lang.interp.NondetIntent` /
@@ -47,7 +50,7 @@ drivers need: the compiled closures never travel through a pickle.
 from __future__ import annotations
 
 import weakref
-from typing import Callable, Dict, List, Optional, Tuple
+from collections.abc import Callable
 
 from repro.common.digest import FlowDigest
 from repro.common.errors import WeblangError
@@ -75,6 +78,7 @@ from repro.lang.ast import (
     Var,
     While,
 )
+from repro.lang.analysis import analysis_for
 from repro.lang.builtins import (
     EXTERNAL_BUILTINS,
     NONDET_BUILTINS,
@@ -121,14 +125,14 @@ class _State:
     __slots__ = ("request", "output", "digest", "in_tx", "steps", "depth",
                  "globals")
 
-    def __init__(self, request: Request, digest: Optional[FlowDigest]):
+    def __init__(self, request: Request, digest: FlowDigest | None):
         self.request = request
-        self.output: List[str] = []
+        self.output: list[str] = []
         self.digest = digest
         self.in_tx = False
         self.steps = 0
         self.depth = 0
-        self.globals: Dict[str, object] = {}
+        self.globals: dict[str, object] = {}
 
 
 class _CompiledFunc:
@@ -138,13 +142,13 @@ class _CompiledFunc:
 
     __slots__ = ("name", "params", "pure", "use_env", "run")
 
-    def __init__(self, name: str, params: List[str], pure: bool,
+    def __init__(self, name: str, params: list[str], pure: bool,
                  use_env: bool):
         self.name = name
         self.params = params
         self.pure = pure
         self.use_env = use_env
-        self.run: Optional[Callable] = None
+        self.run: Callable | None = None
 
 
 def _binop_combine(op: str) -> Callable[[object, object], object]:
@@ -184,72 +188,39 @@ class _Compiler:
         #: Whether the scope being compiled needs the _Env indirection
         #: (it executes a ``global`` declaration somewhere).
         self.use_env = False
-        self.funcs: Dict[str, _CompiledFunc] = {}
-        self._impure_memo: Dict[str, bool] = {}
+        self.funcs: dict[str, _CompiledFunc] = {}
+        #: Function-level effects come from the static analyzer — the
+        #: single source of truth for purity (repro.lang.analysis); the
+        #: report is cached per (program, dialect) like the compile cache.
+        self.analysis = analysis_for(program, db_name, kv_name,
+                                     session_cookie)
 
     # -- driver -------------------------------------------------------------
 
-    def compile(self) -> "CompiledProgram":
+    def compile(self) -> CompiledProgram:
         program = self.program
         for name, decl in program.functions.items():
             self.funcs[name] = _CompiledFunc(
                 name, decl.params,
-                pure=not self._func_impure(name, set()),
+                pure=self.analysis.function_pure(name),
                 use_env=_scope_uses_global(decl.body),
             )
         for name, decl in program.functions.items():
             func = self.funcs[name]
             self.use_env = func.use_env
             pure, fn = self._compile_block(decl.body)
-            # Purity analysis is pessimistic on cycles; the compiled
-            # block is authoritative.
+            # The analyzer's effect fixpoint and the compiled block agree
+            # on purity; the compiled block stays authoritative for the
+            # run closure.
             func.pure = pure
             func.run = fn
         self.use_env = False  # top level: vars *are* globals
         body_pure, body_fn = self._compile_block(program.body)
         return CompiledProgram(program.name, body_pure, body_fn)
 
-    # -- impurity analysis ----------------------------------------------------
-
-    def _func_impure(self, name: str, stack: set) -> bool:
-        memo = self._impure_memo
-        if name in memo:
-            return memo[name]
-        if name in stack:
-            return True  # pessimistic on recursion: correct, just slower
-        stack.add(name)
-        decl = self.program.functions[name]
-        result = any(self._impure(stmt, stack) for stmt in decl.body)
-        stack.discard(name)
-        memo[name] = result
-        return result
-
-    def _impure(self, node: Node, stack: set) -> bool:
-        """True when executing ``node`` may yield an intent."""
-        kind = type(node)
-        if kind is Call:
-            name = node.name
-            if name not in _REQUEST_INPUTS and (
-                name in STATE_BUILTINS
-                or name in EXTERNAL_BUILTINS
-                or name in NONDET_BUILTINS
-            ):
-                return True
-            if any(self._impure(arg, stack) for arg in node.args):
-                return True
-            if name not in _REQUEST_INPUTS and (
-                name in self.program.functions
-            ):
-                return self._func_impure(name, stack)
-            return False
-        for child in _children(node):
-            if self._impure(child, stack):
-                return True
-        return False
-
     # -- blocks and statements ------------------------------------------------
 
-    def _compile_block(self, stmts: List[Node]) -> Tuple[bool, Callable]:
+    def _compile_block(self, stmts: list[Node]) -> tuple[bool, Callable]:
         compiled = [self._compile_stmt(stmt) for stmt in stmts]
         if all(pure for pure, _ in compiled):
             fns = [fn for _, fn in compiled]
@@ -271,7 +242,7 @@ class _Compiler:
 
         return False, run_gen
 
-    def _compile_stmt(self, stmt: Node) -> Tuple[bool, Callable]:
+    def _compile_stmt(self, stmt: Node) -> tuple[bool, Callable]:
         kind = type(stmt)
         if kind is Assign:
             return self._compile_assign(stmt)
@@ -340,7 +311,7 @@ class _Compiler:
 
         return True, run
 
-    def _compile_assign(self, stmt: Assign) -> Tuple[bool, Callable]:
+    def _compile_assign(self, stmt: Assign) -> tuple[bool, Callable]:
         pure, fn = self._compile_expr_copy(stmt.expr)
         name = stmt.name
         op = stmt.op
@@ -390,7 +361,7 @@ class _Compiler:
 
         return False, run_gen
 
-    def _compile_echo(self, stmt: Echo) -> Tuple[bool, Callable]:
+    def _compile_echo(self, stmt: Echo) -> tuple[bool, Callable]:
         compiled = [self._compile_expr(expr) for expr in stmt.exprs]
         if all(pure for pure, _, _ in compiled):
             fns = [fn for _, fn, _ in compiled]
@@ -414,7 +385,7 @@ class _Compiler:
 
         return False, run_gen
 
-    def _compile_if(self, stmt: If) -> Tuple[bool, Callable]:
+    def _compile_if(self, stmt: If) -> tuple[bool, Callable]:
         branches = [
             (self._compile_expr(cond), self._compile_block(body))
             for cond, body in stmt.branches
@@ -470,7 +441,7 @@ class _Compiler:
 
         return False, run_gen
 
-    def _compile_while(self, stmt: While) -> Tuple[bool, Callable]:
+    def _compile_while(self, stmt: While) -> tuple[bool, Callable]:
         cond_pure, cond_fn, _ = self._compile_expr(stmt.cond)
         body_pure, body_fn = self._compile_block(stmt.body)
         nid = stmt.nid
@@ -521,7 +492,7 @@ class _Compiler:
 
         return False, run_gen
 
-    def _compile_foreach(self, stmt: Foreach) -> Tuple[bool, Callable]:
+    def _compile_foreach(self, stmt: Foreach) -> tuple[bool, Callable]:
         subj_pure, subj_fn, _ = self._compile_expr(stmt.subject)
         body_pure, body_fn = self._compile_block(stmt.body)
         key_var = stmt.key_var
@@ -597,7 +568,7 @@ class _Compiler:
 
     def _compile_index_assign(
         self, stmt: IndexAssign
-    ) -> Tuple[bool, Callable]:
+    ) -> tuple[bool, Callable]:
         name = stmt.name
         op = stmt.op
         use_env = self.use_env
@@ -693,7 +664,7 @@ class _Compiler:
 
         return False, run_gen
 
-    def _compile_return(self, stmt: Return) -> Tuple[bool, Callable]:
+    def _compile_return(self, stmt: Return) -> tuple[bool, Callable]:
         if stmt.expr is None:
 
             def run(env, state):
@@ -720,14 +691,14 @@ class _Compiler:
     # -- expressions ----------------------------------------------------------
 
     def _const(self, value: object,
-               steps: int) -> Tuple[bool, Callable, tuple]:
+               steps: int) -> tuple[bool, Callable, tuple]:
         def run(env, state):
             state.steps += steps
             return value
 
         return True, run, (value, steps)
 
-    def _compile_expr(self, node: Node) -> Tuple[bool, Callable, Optional[tuple]]:
+    def _compile_expr(self, node: Node) -> tuple[bool, Callable, tuple | None]:
         """Compile one expression.
 
         Returns ``(pure, fn, const)``: ``fn(env, state)`` is a plain
@@ -773,7 +744,7 @@ class _Compiler:
 
         return True, run, None
 
-    def _compile_expr_copy(self, node: Node) -> Tuple[bool, Callable]:
+    def _compile_expr_copy(self, node: Node) -> tuple[bool, Callable]:
         """The :meth:`Interpreter._eval_copy` rule: a Var/Index read
         whose value is an array copies it into the new location."""
         pure, fn, _ = self._compile_expr(node)
@@ -797,7 +768,7 @@ class _Compiler:
 
         return False, run_gen
 
-    def _compile_binop(self, node: BinOp) -> Tuple[bool, Callable, Optional[tuple]]:
+    def _compile_binop(self, node: BinOp) -> tuple[bool, Callable, tuple | None]:
         op = node.op
         if op in ("&&", "||"):
             return self._compile_logic(node)
@@ -831,7 +802,7 @@ class _Compiler:
 
         return False, run_gen, None
 
-    def _compile_logic(self, node: BinOp) -> Tuple[bool, Callable, None]:
+    def _compile_logic(self, node: BinOp) -> tuple[bool, Callable, None]:
         left_pure, left_fn, _ = self._compile_expr(node.left)
         right_pure, right_fn, _ = self._compile_expr(node.right)
         nid2 = node.nid * 2
@@ -868,7 +839,7 @@ class _Compiler:
 
         return False, run_gen, None
 
-    def _compile_unop(self, node: UnOp) -> Tuple[bool, Callable, Optional[tuple]]:
+    def _compile_unop(self, node: UnOp) -> tuple[bool, Callable, tuple | None]:
         op = node.op
         pure, fn, const = self._compile_expr(node.operand)
         if op == "!":
@@ -929,7 +900,7 @@ class _Compiler:
 
         return False, run_gen, None
 
-    def _compile_ternary(self, node: Ternary) -> Tuple[bool, Callable, None]:
+    def _compile_ternary(self, node: Ternary) -> tuple[bool, Callable, None]:
         cond_pure, cond_fn, _ = self._compile_expr(node.cond)
         then_pure, then_fn, _ = self._compile_expr(node.then)
         other_pure, other_fn, _ = self._compile_expr(node.other)
@@ -966,7 +937,7 @@ class _Compiler:
 
         return False, run_gen, None
 
-    def _compile_index(self, node: Index) -> Tuple[bool, Callable, None]:
+    def _compile_index(self, node: Index) -> tuple[bool, Callable, None]:
         base_pure, base_fn, _ = self._compile_expr(node.base)
         index_pure, index_fn, _ = self._compile_expr(node.index)
         if base_pure and index_pure:
@@ -1004,7 +975,7 @@ class _Compiler:
 
         return False, run_gen, None
 
-    def _compile_arraylit(self, node: ArrayLit) -> Tuple[bool, Callable, None]:
+    def _compile_arraylit(self, node: ArrayLit) -> tuple[bool, Callable, None]:
         items = [
             (
                 self._compile_expr(key) if key is not None else None,
@@ -1053,7 +1024,7 @@ class _Compiler:
 
     # -- calls ------------------------------------------------------------
 
-    def _compile_args(self, nodes: List[Node]) -> Tuple[bool, Callable]:
+    def _compile_args(self, nodes: list[Node]) -> tuple[bool, Callable]:
         """Evaluate a call's arguments (with copy semantics) to a list."""
         compiled = [self._compile_expr_copy(arg) for arg in nodes]
         if all(pure for pure, _ in compiled):
@@ -1073,7 +1044,7 @@ class _Compiler:
 
         return False, run_gen
 
-    def _compile_call(self, node: Call) -> Tuple[bool, Callable, None]:
+    def _compile_call(self, node: Call) -> tuple[bool, Callable, None]:
         name = node.name
         args_pure, args_fn = self._compile_args(node.args)
         if name in _REQUEST_INPUTS:
@@ -1132,7 +1103,7 @@ class _Compiler:
 
     def _compile_request_input(
         self, name: str, args_pure: bool, args_fn: Callable
-    ) -> Tuple[bool, Callable, None]:
+    ) -> tuple[bool, Callable, None]:
         attr = _REQUEST_INPUTS[name]
 
         def finish(args, state):
@@ -1159,7 +1130,7 @@ class _Compiler:
 
     def _compile_user_call(
         self, func: _CompiledFunc, args_pure: bool, args_fn: Callable
-    ) -> Tuple[bool, Callable, None]:
+    ) -> tuple[bool, Callable, None]:
         params = tuple(func.params)
         use_env = func.use_env
 
@@ -1214,7 +1185,7 @@ class _Compiler:
 
     def _compile_state_call(
         self, name: str, args_pure: bool, args_fn: Callable
-    ) -> Tuple[bool, Callable, None]:
+    ) -> tuple[bool, Callable, None]:
         db_name = self.db_name
         kv_name = self.kv_name
         session_cookie = self.session_cookie
@@ -1375,7 +1346,7 @@ class _Compiler:
 
     def _compile_external(
         self, name: str, args_pure: bool, args_fn: Callable
-    ) -> Tuple[bool, Callable, None]:
+    ) -> tuple[bool, Callable, None]:
         is_email = name == "send_email"
 
         def run_gen(env, state):
@@ -1396,56 +1367,7 @@ class _Compiler:
         return False, run_gen, None
 
 
-def _children(node: Node):
-    """The AST children of ``node``, for the impurity walk."""
-    kind = type(node)
-    if kind in (Lit, Var, Break, Continue, GlobalDecl):
-        return ()
-    if kind is ArrayLit:
-        out = []
-        for key, value in node.items:
-            if key is not None:
-                out.append(key)
-            out.append(value)
-        return out
-    if kind is Index:
-        return (node.base, node.index)
-    if kind is BinOp:
-        return (node.left, node.right)
-    if kind is UnOp:
-        return (node.operand,)
-    if kind is Ternary:
-        return (node.cond, node.then, node.other)
-    if kind is Call:
-        return tuple(node.args)
-    if kind is ExprStmt:
-        return (node.expr,)
-    if kind is Assign:
-        return (node.expr,)
-    if kind is IndexAssign:
-        return tuple(p for p in node.path if p is not None) + (node.expr,)
-    if kind is Echo:
-        return tuple(node.exprs)
-    if kind is If:
-        out = []
-        for cond, body in node.branches:
-            out.append(cond)
-            out.extend(body)
-        if node.else_body is not None:
-            out.extend(node.else_body)
-        return out
-    if kind is While:
-        return (node.cond,) + tuple(node.body)
-    if kind is Foreach:
-        return (node.subject,) + tuple(node.body)
-    if kind is Return:
-        return (node.expr,) if node.expr is not None else ()
-    if kind is FuncDecl:  # pragma: no cover - functions are not statements
-        return tuple(node.body)
-    return ()
-
-
-def _scope_uses_global(stmts: List[Node]) -> bool:
+def _scope_uses_global(stmts: list[Node]) -> bool:
     """True when the scope executes a ``global`` declaration anywhere
     (so its frame needs the :class:`_Env` indirection)."""
     for stmt in stmts:
@@ -1491,7 +1413,7 @@ class CompiledProgram:
         except _ReturnSignal:
             pass  # top-level return ends the script, like PHP
         except (_BreakSignal, _ContinueSignal):
-            raise WeblangError("break/continue outside loop")
+            raise WeblangError("break/continue outside loop") from None
         if state.in_tx:
             raise WeblangError("script ended with an open transaction")
         flow_tag = digest.hexdigest() if digest is not None else None
@@ -1510,7 +1432,7 @@ def compile_program(
 
 #: (id(program), dialect) -> (weakref-to-program, CompiledProgram).  The
 #: weakref guards against id() reuse after a program is collected.
-_CACHE: Dict[tuple, Tuple[Callable, CompiledProgram]] = {}
+_CACHE: dict[tuple, tuple[Callable, CompiledProgram]] = {}
 
 #: Programs compiled by this process (cache misses), for benchmarks and
 #: the cache tests.
@@ -1555,7 +1477,7 @@ def clear_cache() -> None:
     _cache_misses = 0
 
 
-def cache_info() -> Dict[str, int]:
+def cache_info() -> dict[str, int]:
     return {"entries": len(_CACHE), "misses": _cache_misses}
 
 

@@ -21,7 +21,7 @@ benchmarks (Figures 10-11) as the analog of PHP bytecode instruction counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Tuple
+from collections.abc import Generator
 
 from repro.common.errors import WeblangError
 from repro.common.digest import FlowDigest
@@ -79,7 +79,7 @@ class StateOpIntent:
 
     kind: str
     obj: str
-    args: Tuple
+    args: tuple
 
 
 @dataclass
@@ -87,7 +87,7 @@ class NondetIntent:
     """A non-deterministic built-in invocation (§4.6)."""
 
     func: str
-    args: Tuple
+    args: tuple
 
 
 @dataclass
@@ -101,7 +101,7 @@ class ExternalIntent:
     """
 
     service: str
-    content: Tuple
+    content: tuple
 
 
 @dataclass
@@ -109,7 +109,7 @@ class RunOutput:
     """Result of executing one request."""
 
     body: str
-    flow_tag: Optional[str]
+    flow_tag: str | None
     steps: int
 
 
@@ -131,8 +131,8 @@ class _Env:
 
     __slots__ = ("vars", "globals", "global_names")
 
-    def __init__(self, global_vars: Optional[Dict[str, object]] = None):
-        self.vars: Dict[str, object] = {}
+    def __init__(self, global_vars: dict[str, object] | None = None):
+        self.vars: dict[str, object] = {}
         self.globals = global_vars if global_vars is not None else self.vars
         self.global_names: set = set()
 
@@ -154,10 +154,10 @@ class _RunState:
     __slots__ = ("request", "output", "digest", "in_tx", "steps", "funcs",
                  "depth")
 
-    def __init__(self, request: Request, digest: Optional[FlowDigest],
-                 funcs: Dict[str, FuncDecl]):
+    def __init__(self, request: Request, digest: FlowDigest | None,
+                 funcs: dict[str, FuncDecl]):
         self.request = request
-        self.output: List[str] = []
+        self.output: list[str] = []
         self.digest = digest
         self.in_tx = False
         self.steps = 0
@@ -211,7 +211,7 @@ class Interpreter:
         except _ReturnSignal:
             pass  # top-level return ends the script, like PHP
         except (_BreakSignal, _ContinueSignal):
-            raise WeblangError("break/continue outside loop")
+            raise WeblangError("break/continue outside loop") from None
         if state.in_tx:
             raise WeblangError("script ended with an open transaction")
         flow_tag = digest.hexdigest() if digest is not None else None
@@ -219,7 +219,7 @@ class Interpreter:
 
     # -- statements -----------------------------------------------------------
 
-    def _exec_block(self, stmts: List[Node], env: _Env, state: _RunState):
+    def _exec_block(self, stmts: list[Node], env: _Env, state: _RunState):
         for stmt in stmts:
             yield from self._exec_stmt(stmt, env, state)
 
@@ -253,7 +253,7 @@ class Interpreter:
             return
         if kind is If:
             taken = -1
-            for index, (cond, body) in enumerate(stmt.branches):
+            for index, (cond, _body) in enumerate(stmt.branches):
                 value = yield from self._eval(cond, env, state)
                 if truthy(value):
                     taken = index
@@ -491,7 +491,7 @@ class Interpreter:
             return pure(*args)
         raise WeblangError(f"call to undefined function {name}()")
 
-    def _request_input(self, which: str, args: List[object],
+    def _request_input(self, which: str, args: list[object],
                        state: _RunState) -> object:
         if len(args) not in (1, 2):
             raise WeblangError(f"{which}() expects 1 or 2 arguments")
@@ -505,7 +505,7 @@ class Interpreter:
         value = source.get(key, default)
         return value
 
-    def _call_user(self, func: FuncDecl, args: List[object], env: _Env,
+    def _call_user(self, func: FuncDecl, args: list[object], env: _Env,
                    state: _RunState):
         if state.depth >= _MAX_CALL_DEPTH:
             raise WeblangError("maximum call depth exceeded")
@@ -523,7 +523,7 @@ class Interpreter:
 
     # -- state-operation built-ins ----------------------------------------
 
-    def _state_call(self, name: str, args: List[object], state: _RunState):
+    def _state_call(self, name: str, args: list[object], state: _RunState):
         if name in ("db_query", "db_exec"):
             self._check_args(name, args, 1)
             sql = to_str(args[0])
@@ -591,7 +591,7 @@ class Interpreter:
         raise WeblangError(f"unknown state builtin {name}")  # pragma: no cover
 
     @staticmethod
-    def _check_args(name: str, args: List[object], expected: int) -> None:
+    def _check_args(name: str, args: list[object], expected: int) -> None:
         if len(args) != expected:
             raise WeblangError(
                 f"{name}() expects {expected} arguments, got {len(args)}"

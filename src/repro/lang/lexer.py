@@ -9,7 +9,6 @@ is no variable interpolation (applications use the ``.`` concat operator).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from repro.common.errors import WeblangError
 
@@ -36,8 +35,8 @@ class Token:
     line: int
 
 
-def tokenize(source: str) -> List[Token]:
-    tokens: List[Token] = []
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
     i = 0
     line = 1
     n = len(source)
@@ -73,7 +72,7 @@ def tokenize(source: str) -> List[Token]:
         if ch in "'\"":
             quote = ch
             j = i + 1
-            parts: List[str] = []
+            parts: list[str] = []
             while j < n and source[j] != quote:
                 if source[j] == "\\" and j + 1 < n:
                     esc = source[j + 1]

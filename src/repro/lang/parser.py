@@ -7,7 +7,6 @@ control-flow digest (§4.3) deterministic across server and verifier.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
 
 from repro.common.errors import WeblangError
 from repro.lang.ast import (
@@ -40,7 +39,7 @@ _COMPOUND_OPS = {"+=": "+", "-=": "-", ".=": ".", "*=": "*", "/=": "/"}
 
 
 class _Parser:
-    def __init__(self, tokens: List[Token], script_name: str):
+    def __init__(self, tokens: list[Token], script_name: str):
         self.tokens = tokens
         self.script_name = script_name
         self.pos = 0
@@ -138,7 +137,7 @@ class _Parser:
         self.expect_kw("function")
         name = self.expect_ident()
         self.expect_punct("(")
-        params: List[str] = []
+        params: list[str] = []
         if not self.check_punct(")"):
             params.append(self.expect_var())
             while self.accept_punct(","):
@@ -147,9 +146,9 @@ class _Parser:
         body = self.parse_block()
         return FuncDecl(name, params, body, node_id)
 
-    def parse_block(self) -> List[Node]:
+    def parse_block(self) -> list[Node]:
         self.expect_punct("{")
-        body: List[Node] = []
+        body: list[Node] = []
         while not self.check_punct("}"):
             if self.peek().kind == "eof":
                 raise WeblangError(f"{self.script_name}: unterminated block")
@@ -209,7 +208,7 @@ class _Parser:
         name_tok = self.advance()
         name = name_tok.value
         # Collect index path: $x['a']['b'] or $x[] (append, assignment only).
-        path: List[Optional[Node]] = []
+        path: list[Node | None] = []
         while self.check_punct("["):
             self.advance()
             if self.accept_punct("]"):
@@ -267,8 +266,8 @@ class _Parser:
         self.expect_punct("(")
         cond = self.parse_expr()
         self.expect_punct(")")
-        branches: List[Tuple[Node, List[Node]]] = [(cond, self.parse_block())]
-        else_body: Optional[List[Node]] = None
+        branches: list[tuple[Node, list[Node]]] = [(cond, self.parse_block())]
+        else_body: list[Node] | None = None
         while True:
             if self.accept_kw("elseif"):
                 self.expect_punct("(")
@@ -303,7 +302,7 @@ class _Parser:
         subject = self.parse_expr()
         self.expect_kw("as")
         first = self.expect_var()
-        key_var: Optional[str] = None
+        key_var: str | None = None
         val_var = first
         if self.accept_punct("=>"):
             key_var = first
@@ -423,7 +422,7 @@ class _Parser:
             name = tok.value
             self.advance()
             self.expect_punct("(")
-            args: List[Node] = []
+            args: list[Node] = []
             if not self.check_punct(")"):
                 args.append(self.parse_expr())
                 while self.accept_punct(","):
@@ -436,7 +435,7 @@ class _Parser:
             return expr
         if self.accept_punct("["):
             node_id = self.nid()
-            items: List[Tuple[Optional[Node], Node]] = []
+            items: list[tuple[Node | None, Node]] = []
             if not self.check_punct("]"):
                 items.append(self.parse_array_item())
                 while self.accept_punct(","):
@@ -450,7 +449,7 @@ class _Parser:
             f"{tok.line}"
         )
 
-    def parse_array_item(self) -> Tuple[Optional[Node], Node]:
+    def parse_array_item(self) -> tuple[Node | None, Node]:
         first = self.parse_expr()
         if self.accept_punct("=>"):
             return (first, self.parse_expr())

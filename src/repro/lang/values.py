@@ -16,11 +16,11 @@ multivalue expansion sound in the accelerated interpreter.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from collections.abc import Iterator
 
 from repro.common.errors import WeblangError
 
-Key = Union[int, str]
+Key = int | str
 
 
 class PhpArray:
@@ -33,20 +33,20 @@ class PhpArray:
     __slots__ = ("data", "_next_index")
 
     def __init__(self) -> None:
-        self.data: Dict[Key, object] = {}
+        self.data: dict[Key, object] = {}
         self._next_index = 0
 
     # -- construction -------------------------------------------------------
 
     @staticmethod
-    def from_list(items: List[object]) -> "PhpArray":
+    def from_list(items: list[object]) -> PhpArray:
         array = PhpArray()
         for item in items:
             array.append(item)
         return array
 
     @staticmethod
-    def from_dict(mapping: Dict[Key, object]) -> "PhpArray":
+    def from_dict(mapping: dict[Key, object]) -> PhpArray:
         array = PhpArray()
         for key, value in mapping.items():
             array.set(key, value)
@@ -96,13 +96,13 @@ class PhpArray:
 
     # -- views -------------------------------------------------------------
 
-    def keys(self) -> List[Key]:
+    def keys(self) -> list[Key]:
         return list(self.data.keys())
 
-    def values(self) -> List[object]:
+    def values(self) -> list[object]:
         return list(self.data.values())
 
-    def items(self) -> List[Tuple[Key, object]]:
+    def items(self) -> list[tuple[Key, object]]:
         return list(self.data.items())
 
     def __len__(self) -> int:
@@ -111,13 +111,13 @@ class PhpArray:
     def __iter__(self) -> Iterator[Key]:
         return iter(self.data)
 
-    def copy(self) -> "PhpArray":
+    def copy(self) -> PhpArray:
         twin = PhpArray()
         twin.data = dict(self.data)
         twin._next_index = self._next_index
         return twin
 
-    def deep_copy(self) -> "PhpArray":
+    def deep_copy(self) -> PhpArray:
         twin = PhpArray()
         twin._next_index = self._next_index
         for key, value in self.data.items():
@@ -232,7 +232,7 @@ def to_float(value: object) -> float:
     return float(to_int(value))
 
 
-def _numeric(value: object) -> Optional[Union[int, float]]:
+def _numeric(value: object) -> int | float | None:
     """Return the numeric interpretation if the value is number-like."""
     if isinstance(value, bool):
         return int(value)
@@ -241,7 +241,7 @@ def _numeric(value: object) -> Optional[Union[int, float]]:
     return None
 
 
-def _numeric_string(value: object) -> Optional[Union[int, float]]:
+def _numeric_string(value: object) -> int | float | None:
     """The numeric value of a fully-numeric string, else None."""
     if not isinstance(value, str):
         return None

@@ -26,7 +26,7 @@ the array into per-request deep copies (scalar expansion of containers,
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.common.errors import WeblangError
 from repro.lang.values import PhpArray
@@ -37,7 +37,7 @@ class MultiValue:
 
     __slots__ = ("values",)
 
-    def __init__(self, values: List[object]):
+    def __init__(self, values: list[object]):
         self.values = values
 
     def __len__(self) -> int:
@@ -93,12 +93,12 @@ def collapse(value: object) -> object:
     return first
 
 
-def make_multi(values: List[object]) -> object:
+def make_multi(values: list[object]) -> object:
     """Build a MultiValue from per-request values, collapsing if uniform."""
     return collapse(MultiValue(values))
 
 
-def components(value: object, size: int) -> List[object]:
+def components(value: object, size: int) -> list[object]:
     """Per-request view of a value: scalar expansion for univalues.
 
     For univalue (shared) components the *same* object is returned for each
@@ -121,7 +121,7 @@ def expand_array(value: object, size: int) -> MultiValue:
     executions — e.g. a set with a multivalue key on a univalue array.
     """
     if isinstance(value, MultiValue):
-        out: List[object] = []
+        out: list[object] = []
         seen_ids = {}
         for component in value.values:
             if isinstance(component, PhpArray):

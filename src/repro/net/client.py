@@ -40,7 +40,7 @@ corruption is never silently skipped.
 from __future__ import annotations
 
 import time
-from typing import Iterator, List, Optional
+from collections.abc import Iterator
 
 from repro.common.clock import Deadline
 from repro.io import (
@@ -92,12 +92,12 @@ class RemoteBundleReader:
     def __init__(
         self,
         endpoint: str,
-        port: Optional[int] = None,
-        connect_timeout: Optional[float] = 5.0,
-        idle_timeout: Optional[float] = 30.0,
+        port: int | None = None,
+        connect_timeout: float | None = 5.0,
+        idle_timeout: float | None = 30.0,
         reconnect: int = 3,
         reconnect_delay: float = 0.1,
-        rcvbuf: Optional[int] = None,
+        rcvbuf: int | None = None,
     ):
         if port is None:
             self._host, self._port = parse_endpoint(endpoint)
@@ -115,11 +115,11 @@ class RemoteBundleReader:
         self._reconnect_delay = reconnect_delay
         self._rcvbuf = rcvbuf
         self.segmented = True  # the wire layout is always per-epoch runs
-        self.header: Optional[dict] = None
-        self._fsock: Optional[FrameSocket] = None
+        self.header: dict | None = None
+        self._fsock: FrameSocket | None = None
         self._bytes_prev_connections = 0
-        self._pushback: List[object] = []
-        self._initial_state: Optional[InitialState] = None
+        self._pushback: list[object] = []
+        self._initial_state: InitialState | None = None
         #: Epochs fully yielded — the resume position after a disconnect.
         self._epochs_done = 0
         self._ended = False
@@ -199,7 +199,7 @@ class RemoteBundleReader:
     # -- record stream ----------------------------------------------------
 
     def _records(self,
-                 idle_timeout: Optional[float]) -> Iterator[object]:
+                 idle_timeout: float | None) -> Iterator[object]:
         """Bundle record dicts, with :data:`RESYNC` markers after
         reconnects.  Ends on the publisher's ``end`` record or after
         ``idle_timeout`` without data; raises :class:`TransportError`
@@ -305,7 +305,7 @@ class RemoteBundleReader:
             return self._initial_state
         timeout = (self._idle_timeout if idle_timeout is _UNSET
                    else idle_timeout)
-        consumed: List[object] = []
+        consumed: list[object] = []
         for record in self._records(timeout):
             consumed.append(record)
             if record is not RESYNC and record["kind"] == "state":
@@ -366,7 +366,7 @@ class RemoteBundleReader:
             if self._fsock is not None:
                 self._fsock.close()
 
-    def __enter__(self) -> "RemoteBundleReader":
+    def __enter__(self) -> RemoteBundleReader:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:

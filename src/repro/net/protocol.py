@@ -68,7 +68,6 @@ import json
 import socket
 import struct
 import zlib
-from typing import Optional, Tuple
 
 from repro.common.clock import Deadline
 
@@ -148,7 +147,7 @@ class IdleTimeout(TransportError):
     treat this as "give up waiting", not as a broken connection."""
 
 
-def parse_endpoint(text: str) -> Tuple[str, int]:
+def parse_endpoint(text: str) -> tuple[str, int]:
     """``"HOST:PORT"`` → ``(host, port)``; raises :class:`ValueError`
     with the offending text on anything else.  Port 0 is allowed (bind
     to an ephemeral port); callers that *connect* should require > 0.
@@ -232,7 +231,7 @@ def encode_batch_frame(payloads) -> bytes:
     )
 
 
-def decode_frame(data: bytes) -> Tuple[int, object, int]:
+def decode_frame(data: bytes) -> tuple[int, object, int]:
     """Decode one frame from the head of ``data``; returns
     ``(kind, payload_obj, bytes_consumed)``.
 
@@ -438,7 +437,7 @@ class FrameSocket:
             )
         return flags
 
-    def recv_frame(self, deadline: Deadline) -> Tuple[int, object]:
+    def recv_frame(self, deadline: Deadline) -> tuple[int, object]:
         try:
             kind, length = _HEADER.unpack(
                 self._recv_exact(_HEADER.size, deadline))
@@ -466,7 +465,7 @@ class FrameSocket:
 
     # -- lifecycle --------------------------------------------------------
 
-    def settimeout(self, timeout: Optional[float]) -> None:
+    def settimeout(self, timeout: float | None) -> None:
         """Reset the raw socket timeout (``_recv_exact`` leaves the
         last deadline's remaining time installed; a sender loop that
         must block indefinitely clears it)."""
@@ -486,15 +485,15 @@ class FrameSocket:
                 pass
             self._sock.close()
 
-    def __enter__(self) -> "FrameSocket":
+    def __enter__(self) -> FrameSocket:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
 
-def connect_endpoint(host: str, port: int, timeout: Optional[float],
-                     rcvbuf: Optional[int] = None) -> FrameSocket:
+def connect_endpoint(host: str, port: int, timeout: float | None,
+                     rcvbuf: int | None = None) -> FrameSocket:
     """TCP-connect and wrap; raises :class:`TransportError` on failure.
 
     ``rcvbuf`` caps ``SO_RCVBUF`` (set before connecting, so it bounds

@@ -52,7 +52,6 @@ import queue
 import socket
 import threading
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.common.clock import Deadline
 from repro.io import (
@@ -95,7 +94,7 @@ from repro.trace.trace import Trace
 _DONE = None
 
 
-def _explode_frame(frame: bytes) -> List[bytes]:
+def _explode_frame(frame: bytes) -> list[bytes]:
     """Re-frame a spooled ``RECORD_BATCH`` as individual ``RECORD``
     frames for a subscriber that did not advertise the batch
     capability.  The slow path: only replayed snapshots for legacy
@@ -113,7 +112,7 @@ class _Subscriber:
     def __init__(self, fsock: FrameSocket, max_lag: int,
                  batched: bool, seq_floor: int):
         self.fsock = fsock
-        self.queue: "queue.Queue" = queue.Queue(maxsize=max_lag)
+        self.queue: queue.Queue = queue.Queue(maxsize=max_lag)
         self.closed = False
         self.drained = threading.Event()
         #: The peer advertised FLAG_BATCH: it may be sent RECORD_BATCH
@@ -124,8 +123,8 @@ class _Subscriber:
         #: delivered in the attach snapshot.
         self.seq_floor = seq_floor
 
-    def offer(self, frame: Optional[bytes],
-              stall_timeout: Optional[float]) -> bool:
+    def offer(self, frame: bytes | None,
+              stall_timeout: float | None) -> bool:
         """Enqueue with backpressure; False when the subscriber is (or
         becomes) dead.  ``stall_timeout=None`` blocks until space."""
         deadline = Deadline(stall_timeout)
@@ -167,14 +166,14 @@ class BundlePublisher:
     def __init__(
         self,
         listen: str = "127.0.0.1:0",
-        writer: Optional[BundleWriter] = None,
-        spool_epochs: Optional[int] = None,
+        writer: BundleWriter | None = None,
+        spool_epochs: int | None = None,
         max_lag: int = 256,
-        stall_timeout: Optional[float] = None,
+        stall_timeout: float | None = None,
         handshake_timeout: float = 10.0,
         backlog: int = 16,
-        sndbuf: Optional[int] = None,
-        heartbeat_interval: Optional[float] = 5.0,
+        sndbuf: int | None = None,
+        heartbeat_interval: float | None = 5.0,
         batch_records: int = 64,
         batch_bytes: int = 256 * 1024,
     ):
@@ -214,29 +213,29 @@ class BundlePublisher:
 
         #: Mirrors BundleWriter's bookkeeping.
         self.position = 0
-        self.epoch_marks: List[int] = []
+        self.epoch_marks: list[int] = []
 
         self._lock = threading.Lock()
-        self._subscribers: List[_Subscriber] = []
+        self._subscribers: list[_Subscriber] = []
         self._ever_connected = 0
         self._drained_count = 0
-        self._state_frame: Optional[bytes] = None
+        self._state_frame: bytes | None = None
         #: Sealed epoch runs: (epoch index, [encoded frames]).
-        self._runs: Deque[Tuple[int, List[bytes]]] = deque()
+        self._runs: deque[tuple[int, list[bytes]]] = deque()
         self._first_epoch = 0
-        self._current: List[bytes] = []
+        self._current: list[bytes] = []
         self._current_epoch = 0
         self._current_has_events = False
         #: Records awaiting a flush, as per-record JSON encodings (the
         #: only serialization they ever get), plus their byte total.
-        self._pending: List[bytes] = []
+        self._pending: list[bytes] = []
         self._pending_bytes = 0
         #: Flushed entries not yet broadcast: (seq, frame, parts) where
         #: ``parts`` is the per-record payload list for a batch frame
         #: (None for a single-record frame).  The recorder thread
         #: drains this at its next _publish, preserving per-subscriber
         #: FIFO order even when an attach forced the flush.
-        self._unsent: List[Tuple[int, bytes, Optional[List[bytes]]]] = []
+        self._unsent: list[tuple[int, bytes, list[bytes] | None]] = []
         self._seq = 0
         self._ended = False
         self._closing = False
@@ -248,7 +247,7 @@ class BundlePublisher:
         self._server.listen(backlog)
         self._server.settimeout(0.2)
         self.host, self.port = self._server.getsockname()[:2]
-        self._threads: List[threading.Thread] = []
+        self._threads: list[threading.Thread] = []
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="publisher-accept", daemon=True
         )
@@ -258,7 +257,7 @@ class BundlePublisher:
         #: every ``heartbeat_interval`` seconds resets their idle
         #: deadline.  ``None``/0 disables.
         self.heartbeat_interval = heartbeat_interval
-        self._heartbeat_thread: Optional[threading.Thread] = None
+        self._heartbeat_thread: threading.Thread | None = None
         if heartbeat_interval:
             self._heartbeat_thread = threading.Thread(
                 target=self._heartbeat_loop, name="publisher-heartbeat",
@@ -287,7 +286,7 @@ class BundlePublisher:
         self._publish(event_record(event))
         self.position += 1
 
-    def write_epoch_mark(self, position: Optional[int] = None) -> None:
+    def write_epoch_mark(self, position: int | None = None) -> None:
         """Record a quiescent cut; seals the current epoch run."""
         position = self.position if position is None else position
         self._publish(epoch_mark_record(position))
@@ -312,7 +311,7 @@ class BundlePublisher:
         self._publish(end_record(self.position))
 
     def write_record_payload(self, payload: bytes,
-                             kind: Optional[str] = None) -> None:
+                             kind: str | None = None) -> None:
         """Publish one **already-encoded** record — a line of the
         recorder's on-disk JSONL bundle — without decoding or
         re-serializing it.
@@ -348,10 +347,10 @@ class BundlePublisher:
 
     # -- spool + broadcast ------------------------------------------------
 
-    def _publish(self, record: Dict) -> None:
+    def _publish(self, record: dict) -> None:
         self._publish_payload(record.get("kind"), encode_json(record))
 
-    def _publish_payload(self, kind: Optional[str],
+    def _publish_payload(self, kind: str | None,
                          payload: bytes) -> None:
         if self.writer is not None:
             # The --out mirror gets the identical encoded bytes the
@@ -413,7 +412,7 @@ class BundlePublisher:
         self._pending_bytes = 0
         if len(pending) == 1:
             frame = encode_frame_payload(RECORD, pending[0])
-            parts: Optional[List[bytes]] = None
+            parts: list[bytes] | None = None
         else:
             frame = encode_batch_frame(pending)
             parts = pending
@@ -423,9 +422,9 @@ class BundlePublisher:
 
     def _broadcast(
         self,
-        entries: List[Tuple[int, bytes, Optional[List[bytes]]]],
-        targets: List[_Subscriber],
-        stall_timeout: Optional[float],
+        entries: list[tuple[int, bytes, list[bytes] | None]],
+        targets: list[_Subscriber],
+        stall_timeout: float | None,
         final: bool = False,
     ) -> None:
         """Offer flushed entries to every subscriber (off-lock).
@@ -436,7 +435,7 @@ class BundlePublisher:
         shared among them.  Entries below a subscriber's ``seq_floor``
         were already delivered in its attach snapshot.
         """
-        legacy: Dict[int, List[bytes]] = {}
+        legacy: dict[int, list[bytes]] = {}
         for sub in targets:
             ok = True
             for pos, (seq, frame, parts) in enumerate(entries):
@@ -476,10 +475,10 @@ class BundlePublisher:
             self._runs.popleft()
             self._first_epoch += 1
 
-    def _snapshot(self, from_epoch: int) -> List[bytes]:
+    def _snapshot(self, from_epoch: int) -> list[bytes]:
         """Replay frames for a subscriber starting at ``from_epoch``
         (lock held)."""
-        frames: List[bytes] = []
+        frames: list[bytes] = []
         if self._state_frame is not None:
             frames.append(self._state_frame)
         for index, run in self._runs:
@@ -557,7 +556,7 @@ class BundlePublisher:
                 return
             fsock.send_frame(HELLO, hello)
             if not batched:
-                exploded: List[bytes] = []
+                exploded: list[bytes] = []
                 for frame in snapshot:
                     exploded.extend(_explode_frame(frame))
                 snapshot = exploded
@@ -568,7 +567,7 @@ class BundlePublisher:
                 # Coalesce the queue backlog into one vectored send:
                 # a consumer that fell behind catches up in a few
                 # syscalls instead of one sendall per frame.
-                frames: List[bytes] = []
+                frames: list[bytes] = []
                 while True:
                     if item is _DONE:
                         done = True
@@ -657,7 +656,7 @@ class BundlePublisher:
         with self._lock:
             return len(self._subscribers)
 
-    def wait_drained(self, timeout: Optional[float] = None,
+    def wait_drained(self, timeout: float | None = None,
                      min_subscribers: int = 1) -> bool:
         """Block until at least ``min_subscribers`` auditors have
         received the complete stream (through the ``end`` record), or
@@ -701,7 +700,7 @@ class BundlePublisher:
         for sub in subs:
             sub.kick()
 
-    def __enter__(self) -> "BundlePublisher":
+    def __enter__(self) -> BundlePublisher:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:

@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Tuple
 
 
 class OpType(enum.Enum):
@@ -47,7 +46,7 @@ class OpRecord:
     rid: str
     opnum: int
     optype: OpType
-    opcontents: Tuple
+    opcontents: tuple
 
     def size_bytes(self) -> int:
         """Approximate serialized size, for report-overhead accounting."""

@@ -12,7 +12,6 @@ false); applications test with ``isset``.
 from __future__ import annotations
 
 import copy
-from typing import Dict
 
 from repro.objects.base import StateObject
 
@@ -22,7 +21,7 @@ class KVStore(StateObject):
 
     def __init__(self, name: str):
         super().__init__(name)
-        self.data: Dict[str, object] = {}
+        self.data: dict[str, object] = {}
 
     def get(self, key: str) -> object:
         return self.data.get(key)

@@ -14,7 +14,7 @@ pair" case, matching a live store where the key was never set).
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.objects.base import OpRecord, OpType
 
@@ -24,8 +24,8 @@ class VersionedKV:
 
     def __init__(self) -> None:
         # key -> parallel lists of seqs (sorted ascending) and values.
-        self._seqs: Dict[str, List[int]] = {}
-        self._values: Dict[str, List[object]] = {}
+        self._seqs: dict[str, list[int]] = {}
+        self._values: dict[str, list[object]] = {}
         self.built_ops = 0
 
     def build(self, log: Sequence[OpRecord]) -> None:
@@ -56,12 +56,12 @@ class VersionedKV:
             return None
         return self._values[key][pos - 1]
 
-    def latest_state(self) -> Dict[str, object]:
+    def latest_state(self) -> dict[str, object]:
         """Final state after the whole log; becomes the next epoch's
         starting state (Section 4.1, "Persistent objects")."""
         return {
             key: values[-1] for key, values in self._values.items() if values
         }
 
-    def keys(self) -> Tuple[str, ...]:
+    def keys(self) -> tuple[str, ...]:
         return tuple(self._seqs.keys())

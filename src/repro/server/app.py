@@ -16,7 +16,6 @@ the previous audit's migration step.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
 
 from repro.lang.ast import Program
 from repro.lang.interp import freeze_value
@@ -29,9 +28,9 @@ class Application:
     """The deployed program plus its object configuration."""
 
     name: str
-    scripts: Dict[str, Program]
+    scripts: dict[str, Program]
     db_setup: str = ""
-    kv_initial: Dict[str, object] = field(default_factory=dict)
+    kv_initial: dict[str, object] = field(default_factory=dict)
     db_name: str = "db:main"
     kv_name: str = "kv:apc"
     session_cookie: str = "sess"
@@ -39,10 +38,10 @@ class Application:
     @staticmethod
     def from_sources(
         name: str,
-        sources: Dict[str, str],
+        sources: dict[str, str],
         db_setup: str = "",
-        kv_initial: Optional[Dict[str, object]] = None,
-    ) -> "Application":
+        kv_initial: dict[str, object] | None = None,
+    ) -> Application:
         """Compile script sources into an Application."""
         scripts = {
             script_name: parse_program(text, script_name)
@@ -71,10 +70,10 @@ class InitialState:
     """
 
     db_engine: Engine
-    kv: Dict[str, object] = field(default_factory=dict)
-    registers: Dict[str, object] = field(default_factory=dict)
+    kv: dict[str, object] = field(default_factory=dict)
+    registers: dict[str, object] = field(default_factory=dict)
 
-    def copy(self) -> "InitialState":
+    def copy(self) -> InitialState:
         return InitialState(
             self.db_engine.deep_copy(), dict(self.kv), dict(self.registers)
         )

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from collections.abc import Sequence
 
 from repro.common.errors import WeblangError
 from repro.lang.interp import (
@@ -70,10 +70,10 @@ class ExecutionResult:
     server_seconds: float = 0.0
     recording_seconds: float = 0.0
     steps: int = 0
-    final_state: Optional[InitialState] = None
+    final_state: InitialState | None = None
     #: Trace event indexes of the quiescent epoch cuts the executor
     #: drained at (``epoch_size > 0``); audit-time shard boundaries.
-    epoch_marks: List[int] = field(default_factory=list)
+    epoch_marks: list[int] = field(default_factory=list)
 
 
 class _Task:
@@ -96,13 +96,13 @@ class Executor:
     def __init__(
         self,
         app: Application,
-        scheduler: Optional[Scheduler] = None,
+        scheduler: Scheduler | None = None,
         max_concurrency: int = 8,
-        nondet: Optional[NondetSource] = None,
+        nondet: NondetSource | None = None,
         record: bool = True,
-        fail_rids: Optional[Set[str]] = None,
+        fail_rids: set[str] | None = None,
         db_abort_hook=None,
-        initial_state: Optional[InitialState] = None,
+        initial_state: InitialState | None = None,
         epoch_size: int = 0,
     ):
         self.app = app
@@ -126,7 +126,7 @@ class Executor:
         app = self.app
         db = Database(app.db_name)
         kv = KVStore(app.kv_name)
-        registers: Dict[str, AtomicRegister] = {}
+        registers: dict[str, AtomicRegister] = {}
         if self.initial_state is not None:
             db.engine = self.initial_state.db_engine.deep_copy()
             kv.data.update(self.initial_state.kv)
@@ -153,14 +153,14 @@ class Executor:
             record_flow=self.record,
         )
 
-        queue: List[Request] = list(requests)
+        queue: list[Request] = list(requests)
         queue_pos = 0
-        inflight: Dict[str, _Task] = {}
-        order: List[str] = []  # admission order, for FIFO fairness
+        inflight: dict[str, _Task] = {}
+        order: list[str] = []  # admission order, for FIFO fairness
         steps = 0
         started_at = _time.perf_counter()
         recording_seconds = 0.0
-        epoch_marks: List[int] = []
+        epoch_marks: list[int] = []
         epoch_index = 0
         completed_in_epoch = 0
         draining = False
@@ -183,7 +183,7 @@ class Executor:
                 order.append(request.rid)
                 collector.observe_request(request)
 
-        def ready_rids() -> List[str]:
+        def ready_rids() -> list[str]:
             ready = []
             for rid in order:
                 task = inflight.get(rid)
@@ -202,8 +202,8 @@ class Executor:
                 ready.append(rid)
             return ready
 
-        def finish(task: _Task, body: Optional[str],
-                   abort_info: Optional[str] = None) -> None:
+        def finish(task: _Task, body: str | None,
+                   abort_info: str | None = None) -> None:
             nonlocal recording_seconds, completed_in_epoch
             completed_in_epoch += 1
             rid = task.rid
@@ -221,7 +221,7 @@ class Executor:
                 reports.op_counts[rid] = task.opnum
                 recording_seconds += _time.perf_counter() - t0
 
-        def record_flow(rid: str, tag: Optional[str]) -> None:
+        def record_flow(rid: str, tag: str | None) -> None:
             nonlocal recording_seconds
             if not self.record or tag is None:
                 return

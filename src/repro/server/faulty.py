@@ -12,7 +12,6 @@ All operators copy their inputs; the honest artifacts are never mutated.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 from repro.objects.base import OpRecord, OpType
 from repro.server.reports import NondetRecord, Reports
@@ -75,10 +74,10 @@ def rewrite_log_entry(
     reports: Reports,
     obj: str,
     position: int,
-    opcontents: Optional[Tuple] = None,
-    optype: Optional[OpType] = None,
-    rid: Optional[str] = None,
-    opnum: Optional[int] = None,
+    opcontents: tuple | None = None,
+    optype: OpType | None = None,
+    rid: str | None = None,
+    opnum: int | None = None,
 ) -> Reports:
     """Alter fields of one log entry (e.g. the value of a logged write)."""
     tampered = reports.deep_copy()

@@ -12,7 +12,6 @@ checks: time is monotonically non-decreasing and the pid is constant.
 from __future__ import annotations
 
 import random
-from typing import Tuple
 
 from repro.common.errors import WeblangError
 from repro.lang.values import to_int
@@ -32,7 +31,7 @@ class NondetSource:
         self._pid = pid
         self._uniq = 0
 
-    def call(self, func: str, args: Tuple) -> object:
+    def call(self, func: str, args: tuple) -> object:
         if func == "time":
             self._clock += 1
             return self._clock

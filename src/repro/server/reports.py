@@ -13,7 +13,6 @@ compression constant does not change the ratios' shape).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 from repro.objects.base import OpRecord
 
@@ -23,7 +22,7 @@ class NondetRecord:
     """One recorded non-deterministic built-in invocation (§4.6)."""
 
     func: str
-    args: Tuple
+    args: tuple
     value: object
 
     def size_bytes(self) -> int:
@@ -35,15 +34,15 @@ class Reports:
     """All four report types, as delivered by the executor."""
 
     #: C: control-flow tag -> requestIDs (§3.1).
-    groups: Dict[str, List[str]] = field(default_factory=dict)
+    groups: dict[str, list[str]] = field(default_factory=dict)
     #: OL_i: object name -> operation log (§3.3).
-    op_logs: Dict[str, List[OpRecord]] = field(default_factory=dict)
+    op_logs: dict[str, list[OpRecord]] = field(default_factory=dict)
     #: M: requestID -> total op count (§3.3).
-    op_counts: Dict[str, int] = field(default_factory=dict)
+    op_counts: dict[str, int] = field(default_factory=dict)
     #: rid -> recorded non-deterministic values, in call order (§4.6).
-    nondet: Dict[str, List[NondetRecord]] = field(default_factory=dict)
+    nondet: dict[str, list[NondetRecord]] = field(default_factory=dict)
 
-    def deep_copy(self) -> "Reports":
+    def deep_copy(self) -> Reports:
         """Independent copy (tamper tests mutate copies)."""
         return Reports(
             {tag: list(rids) for tag, rids in self.groups.items()},
@@ -57,7 +56,7 @@ class Reports:
     def op_count_total(self) -> int:
         return sum(len(log) for log in self.op_logs.values())
 
-    def size_bytes(self) -> Dict[str, int]:
+    def size_bytes(self) -> dict[str, int]:
         """Per-component approximate sizes in bytes."""
         groups_size = sum(
             16 + sum(len(rid) for rid in rids)

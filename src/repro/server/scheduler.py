@@ -11,7 +11,7 @@ drive random schedulers through the full pipeline for exactly this reason.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 
 class Scheduler:
@@ -33,7 +33,7 @@ class RoundRobinScheduler(Scheduler):
     """Rotate through ready requests, maximizing interleaving."""
 
     def __init__(self) -> None:
-        self._last: Optional[str] = None
+        self._last: str | None = None
 
     def pick(self, ready: Sequence[str]) -> str:
         if self._last in ready:
@@ -62,7 +62,7 @@ class ScriptedScheduler(Scheduler):
     exhausted or names no ready rid, falls back to FIFO.
     """
 
-    def __init__(self, script: List[str]):
+    def __init__(self, script: list[str]):
         self._script = list(script)
         self._pos = 0
 

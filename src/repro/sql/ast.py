@@ -8,7 +8,6 @@ value-comparable, which the tests use to check parser output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
 
 # --------------------------------------------------------------------------
 # Expressions
@@ -54,7 +53,7 @@ class BoolOp(Expr):
     """AND / OR with two or more operands."""
 
     op: str  # "AND" | "OR"
-    operands: Tuple[Expr, ...]
+    operands: tuple[Expr, ...]
 
 
 @dataclass(frozen=True)
@@ -71,7 +70,7 @@ class IsNull(Expr):
 @dataclass(frozen=True)
 class InList(Expr):
     operand: Expr
-    items: Tuple[Expr, ...]
+    items: tuple[Expr, ...]
     negated: bool = False
 
 
@@ -80,7 +79,7 @@ class Aggregate(Expr):
     """COUNT(*) | COUNT(col) | MAX(col) | MIN(col) | SUM(col) | AVG(col)."""
 
     func: str
-    column: Optional[str]  # None means '*' (COUNT only)
+    column: str | None  # None means '*' (COUNT only)
 
 
 # --------------------------------------------------------------------------
@@ -105,28 +104,28 @@ class ColumnDef:
 @dataclass(frozen=True)
 class CreateTable(Statement):
     table: str
-    columns: Tuple[ColumnDef, ...]
+    columns: tuple[ColumnDef, ...]
     if_not_exists: bool = False
 
 
 @dataclass(frozen=True)
 class Insert(Statement):
     table: str
-    columns: Tuple[str, ...]
-    values: Tuple[Tuple[Expr, ...], ...]  # one tuple per row
+    columns: tuple[str, ...]
+    values: tuple[tuple[Expr, ...], ...]  # one tuple per row
 
 
 @dataclass(frozen=True)
 class Update(Statement):
     table: str
-    assignments: Tuple[Tuple[str, Expr], ...]
-    where: Optional[Expr] = None
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None = None
 
 
 @dataclass(frozen=True)
 class Delete(Statement):
     table: str
-    where: Optional[Expr] = None
+    where: Expr | None = None
 
 
 @dataclass(frozen=True)
@@ -140,17 +139,17 @@ class SelectItem:
     """A projected output: expression plus optional alias."""
 
     expr: Expr
-    alias: Optional[str] = None
+    alias: str | None = None
 
 
 @dataclass(frozen=True)
 class Select(Statement):
     table: str
-    items: Tuple[SelectItem, ...]  # empty tuple means '*'
-    where: Optional[Expr] = None
-    order_by: Tuple[OrderItem, ...] = field(default_factory=tuple)
-    limit: Optional[int] = None
-    offset: Optional[int] = None
+    items: tuple[SelectItem, ...]  # empty tuple means '*'
+    where: Expr | None = None
+    order_by: tuple[OrderItem, ...] = field(default_factory=tuple)
+    limit: int | None = None
+    offset: int | None = None
 
 
 @dataclass(frozen=True)
@@ -173,7 +172,7 @@ def is_write(stmt: Statement) -> bool:
     return isinstance(stmt, (Insert, Update, Delete, CreateTable))
 
 
-def tables_touched(stmt: Statement) -> Tuple[str, ...]:
+def tables_touched(stmt: Statement) -> tuple[str, ...]:
     """Tables a statement reads or writes (used by query dedup, §4.5)."""
     if isinstance(stmt, (CreateTable, Insert, Update, Delete, Select)):
         return (stmt.table,)

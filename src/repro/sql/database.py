@@ -24,7 +24,7 @@ the log records ``succeeded=False``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from collections.abc import Callable
 
 from repro.common.errors import SqlError
 from repro.objects.base import OpRecord, OpType, StateObject
@@ -32,7 +32,7 @@ from repro.sql.ast import Begin, Commit, CreateTable, Rollback, is_write
 from repro.sql.engine import Engine, StmtResult, Table
 from repro.sql.parser import parse_script, parse_sql
 
-AbortHook = Callable[[str, Tuple[str, ...]], bool]
+AbortHook = Callable[[str, tuple[str, ...]], bool]
 
 
 @dataclass
@@ -40,21 +40,21 @@ class _OpenTransaction:
     rid: str
     opnum: int
     seq: int
-    queries: List[str] = field(default_factory=list)
-    saved_tables: Dict[str, Table] = field(default_factory=dict)
+    queries: list[str] = field(default_factory=list)
+    saved_tables: dict[str, Table] = field(default_factory=dict)
 
 
 class Database(StateObject):
     """Live lockable, logging SQL database."""
 
-    def __init__(self, name: str, engine: Optional[Engine] = None):
+    def __init__(self, name: str, engine: Engine | None = None):
         super().__init__(name)
         self.engine = engine or Engine()
         self._seq = 0
-        self._owner: Optional[str] = None  # rid holding the object
-        self._open_tx: Optional[_OpenTransaction] = None
-        self.sub_logs: Dict[str, List[Tuple[int, OpRecord]]] = {}
-        self.abort_hook: Optional[AbortHook] = None
+        self._owner: str | None = None  # rid holding the object
+        self._open_tx: _OpenTransaction | None = None
+        self.sub_logs: dict[str, list[tuple[int, OpRecord]]] = {}
+        self.abort_hook: AbortHook | None = None
 
     # -- setup (pre-epoch, not logged) -------------------------------------
 
@@ -182,10 +182,10 @@ class Database(StateObject):
 
     # -- log stitching (§4.7) ------------------------------------------------
 
-    def stitch_log(self) -> List[OpRecord]:
+    def stitch_log(self) -> list[OpRecord]:
         """Merge per-connection sub-logs into ``OL_db``, ordered by the
         global sequence number (the "stitching daemon")."""
-        merged: List[Tuple[int, OpRecord]] = []
+        merged: list[tuple[int, OpRecord]] = []
         for entries in self.sub_logs.values():
             merged.extend(entries)
         merged.sort(key=lambda pair: pair[0])

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.common.errors import SqlError
 from repro.sql.ast import (
@@ -38,7 +38,7 @@ from repro.sql.ast import (
     Update,
 )
 
-Row = Dict[str, object]
+Row = dict[str, object]
 
 
 @dataclass
@@ -50,9 +50,9 @@ class StmtResult:
     Equality is by value so that redo-recorded results can be compared.
     """
 
-    rows: Optional[List[Row]] = None
+    rows: list[Row] | None = None
     affected: int = 0
-    last_insert_id: Optional[int] = None
+    last_insert_id: int | None = None
 
     def scalar(self) -> object:
         """First column of the first row (for aggregate queries)."""
@@ -67,14 +67,14 @@ class StmtResult:
 @dataclass
 class Table:
     name: str
-    columns: List[str]
-    types: Dict[str, str]
-    primary_key: Optional[str] = None
-    auto_column: Optional[str] = None
+    columns: list[str]
+    types: dict[str, str]
+    primary_key: str | None = None
+    auto_column: str | None = None
     auto_counter: int = 0
-    rows: List[Row] = field(default_factory=list)
+    rows: list[Row] = field(default_factory=list)
 
-    def clone(self) -> "Table":
+    def clone(self) -> Table:
         return Table(
             self.name,
             list(self.columns),
@@ -86,7 +86,7 @@ class Table:
         )
 
 
-def _like_to_regex(pattern: str) -> "re.Pattern[str]":
+def _like_to_regex(pattern: str) -> re.Pattern[str]:
     out = []
     for ch in pattern:
         if ch == "%":
@@ -98,10 +98,10 @@ def _like_to_regex(pattern: str) -> "re.Pattern[str]":
     return re.compile("^" + "".join(out) + "$", re.IGNORECASE | re.DOTALL)
 
 
-_LIKE_CACHE: Dict[str, "re.Pattern[str]"] = {}
+_LIKE_CACHE: dict[str, "re.Pattern[str]"] = {}
 
 
-def eval_expr(expr: Expr, row: Optional[Row]) -> object:
+def eval_expr(expr: Expr, row: Row | None) -> object:
     """Evaluate a (non-aggregate) expression against one row."""
     if isinstance(expr, Literal):
         return expr.value
@@ -159,11 +159,11 @@ def eval_expr(expr: Expr, row: Optional[Row]) -> object:
                 return left > right
             if expr.op == ">=":
                 return left >= right
-        except TypeError:
+        except TypeError as exc:
             raise SqlError(
                 f"cannot compare {type(left).__name__} with "
                 f"{type(right).__name__}"
-            )
+            ) from exc
         raise SqlError(f"unknown comparison {expr.op!r}")
     if isinstance(expr, BoolOp):
         if expr.op == "AND":
@@ -195,20 +195,24 @@ def _coerce(value: object, type_name: str, column: str) -> object:
         try:
             return int(str(value))
         except ValueError:
-            raise SqlError(f"cannot store {value!r} in INT column {column}")
+            raise SqlError(
+                f"cannot store {value!r} in INT column {column}"
+            ) from None
     if type_name == "FLOAT":
         if isinstance(value, (int, float)):
             return float(value)
         try:
             return float(str(value))
         except ValueError:
-            raise SqlError(f"cannot store {value!r} in FLOAT column {column}")
+            raise SqlError(
+                f"cannot store {value!r} in FLOAT column {column}"
+            ) from None
     if type_name == "TEXT":
         return value if isinstance(value, str) else str(value)
     raise SqlError(f"unknown column type {type_name}")
 
 
-def _sort_key(value: object) -> Tuple[int, object]:
+def _sort_key(value: object) -> tuple[int, object]:
     """Total order across NULL/number/string for ORDER BY."""
     if value is None:
         return (0, 0)
@@ -220,17 +224,17 @@ def _sort_key(value: object) -> Tuple[int, object]:
 
 
 def apply_order_limit(
-    rows: List[Row],
+    rows: list[Row],
     order_by: Sequence[OrderItem],
-    limit: Optional[int],
-    offset: Optional[int],
-) -> List[Row]:
+    limit: int | None,
+    offset: int | None,
+) -> list[Row]:
     if order_by:
         # Stable sorts applied in reverse give lexicographic multi-key order.
         for item in reversed(order_by):
             rows = sorted(
                 rows,
-                key=lambda row: _sort_key(row.get(item.column)),
+                key=lambda row, col=item.column: _sort_key(row.get(col)),
                 reverse=item.descending,
             )
     if offset:
@@ -241,8 +245,8 @@ def apply_order_limit(
 
 
 def project_rows(
-    items: Tuple[SelectItem, ...], matched: List[Row]
-) -> List[Row]:
+    items: tuple[SelectItem, ...], matched: list[Row]
+) -> list[Row]:
     """Apply the SELECT projection (including aggregates) to matched rows."""
     if not items:  # SELECT *
         return [dict(row) for row in matched]
@@ -277,7 +281,7 @@ def _item_name(item: SelectItem, index: int) -> str:
     return f"expr{index}"
 
 
-def _eval_aggregate(agg: Aggregate, matched: List[Row]) -> object:
+def _eval_aggregate(agg: Aggregate, matched: list[Row]) -> object:
     if agg.func == "COUNT":
         if agg.column is None:
             return len(matched)
@@ -304,7 +308,7 @@ class Engine:
     """Executes parsed statements against in-memory tables."""
 
     def __init__(self) -> None:
-        self.tables: Dict[str, Table] = {}
+        self.tables: dict[str, Table] = {}
 
     # -- schema -----------------------------------------------------------
 
@@ -364,7 +368,7 @@ class Engine:
 
     def insert(self, stmt: Insert) -> StmtResult:
         table = self._table(stmt.table)
-        last_id: Optional[int] = None
+        last_id: int | None = None
         for values in stmt.values:
             columns = stmt.columns or tuple(table.columns)
             if len(columns) != len(values):
@@ -418,13 +422,13 @@ class Engine:
 
     # -- snapshot / restore (transaction rollback, baselines) ---------------
 
-    def snapshot(self) -> Dict[str, Table]:
+    def snapshot(self) -> dict[str, Table]:
         return {name: table.clone() for name, table in self.tables.items()}
 
-    def restore(self, snap: Dict[str, Table]) -> None:
+    def restore(self, snap: dict[str, Table]) -> None:
         self.tables = {name: table.clone() for name, table in snap.items()}
 
-    def deep_copy(self) -> "Engine":
+    def deep_copy(self) -> Engine:
         twin = Engine()
         twin.tables = self.snapshot()
         return twin

@@ -8,7 +8,6 @@ quotes with ``''`` as the escaped quote (standard SQL).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from repro.common.errors import SqlError
 
@@ -34,8 +33,8 @@ class Token:
     pos: int
 
 
-def tokenize(text: str) -> List[Token]:
-    tokens: List[Token] = []
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
     i = 0
     n = len(text)
     while i < n:
@@ -50,7 +49,7 @@ def tokenize(text: str) -> List[Token]:
             continue
         if ch == "'":
             j = i + 1
-            parts: List[str] = []
+            parts: list[str] = []
             while j < n:
                 if text[j] == "'":
                     if j + 1 < n and text[j + 1] == "'":

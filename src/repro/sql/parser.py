@@ -24,7 +24,6 @@ change behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import SqlError
 from repro.sql.ast import (
@@ -60,7 +59,7 @@ _AGG_FUNCS = {"COUNT", "MAX", "MIN", "SUM", "AVG"}
 
 
 class _Parser:
-    def __init__(self, tokens: List[Token], text: str):
+    def __init__(self, tokens: list[Token], text: str):
         self.tokens = tokens
         self.text = text
         self.pos = 0
@@ -79,7 +78,7 @@ class _Parser:
         tok = self.peek()
         return tok.kind == "kw" and tok.value in words
 
-    def accept_kw(self, *words: str) -> Optional[str]:
+    def accept_kw(self, *words: str) -> str | None:
         if self.check_kw(*words):
             return self.advance().value
         return None
@@ -152,18 +151,18 @@ class _Parser:
 
     def parse_select(self) -> Select:
         self.expect_kw("SELECT")
-        items: Tuple[SelectItem, ...]
+        items: tuple[SelectItem, ...]
         if self.accept_punct("*"):
             items = ()
         else:
-            out: List[SelectItem] = [self.parse_select_item()]
+            out: list[SelectItem] = [self.parse_select_item()]
             while self.accept_punct(","):
                 out.append(self.parse_select_item())
             items = tuple(out)
         self.expect_kw("FROM")
         table = self.expect_ident()
         where = self.parse_where()
-        order_by: Tuple[OrderItem, ...] = ()
+        order_by: tuple[OrderItem, ...] = ()
         if self.accept_kw("ORDER"):
             self.expect_kw("BY")
             orders = [self.parse_order_item()]
@@ -197,7 +196,7 @@ class _Parser:
         self.expect_kw("INSERT")
         self.expect_kw("INTO")
         table = self.expect_ident()
-        columns: Tuple[str, ...] = ()
+        columns: tuple[str, ...] = ()
         if self.accept_punct("("):
             cols = [self.expect_ident()]
             while self.accept_punct(","):
@@ -205,7 +204,7 @@ class _Parser:
             self.expect_punct(")")
             columns = tuple(cols)
         self.expect_kw("VALUES")
-        rows: List[Tuple[Expr, ...]] = []
+        rows: list[tuple[Expr, ...]] = []
         while True:
             self.expect_punct("(")
             values = [self.parse_expr()]
@@ -221,7 +220,7 @@ class _Parser:
         self.expect_kw("UPDATE")
         table = self.expect_ident()
         self.expect_kw("SET")
-        assignments: List[Tuple[str, Expr]] = []
+        assignments: list[tuple[str, Expr]] = []
         while True:
             column = self.expect_ident()
             self.expect_punct("=")
@@ -268,7 +267,7 @@ class _Parser:
             auto = True
         return ColumnDef(name, _TYPE_ALIASES[type_kw], primary, auto)
 
-    def parse_where(self) -> Optional[Expr]:
+    def parse_where(self) -> Expr | None:
         if self.accept_kw("WHERE"):
             return self.parse_expr()
         return None
@@ -386,7 +385,7 @@ class _Parser:
         )
 
 
-_PARSE_CACHE: Dict[str, Statement] = {}
+_PARSE_CACHE: dict[str, Statement] = {}
 _PARSE_CACHE_LIMIT = 65536
 
 
@@ -407,10 +406,10 @@ def parse_sql(text: str) -> Statement:
     return stmt
 
 
-def parse_script(text: str) -> List[Statement]:
+def parse_script(text: str) -> list[Statement]:
     """Parse a ';'-separated list of statements (used for schema setup)."""
     parser = _Parser(tokenize(text), text)
-    statements: List[Statement] = []
+    statements: list[Statement] = []
     while parser.peek().kind != "eof":
         statements.append(parser.parse_statement())
         if not parser.accept_punct(";"):

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.common.errors import AuditReject, RejectReason, SqlError
 from repro.objects.base import OpRecord, OpType
@@ -71,10 +71,10 @@ class _Version:
 @dataclass
 class _LogicalRow:
     row_id: int
-    versions: List[_Version] = field(default_factory=list)
-    starts: List[int] = field(default_factory=list)  # parallel to versions
+    versions: list[_Version] = field(default_factory=list)
+    starts: list[int] = field(default_factory=list)  # parallel to versions
 
-    def live_at(self, ts: int) -> Optional[_Version]:
+    def live_at(self, ts: int) -> _Version | None:
         pos = bisect.bisect_right(self.starts, ts) - 1
         if pos < 0:
             return None
@@ -93,13 +93,13 @@ class _LogicalRow:
 @dataclass
 class _VTable:
     name: str
-    columns: List[str]
-    types: Dict[str, str]
-    auto_column: Optional[str]
+    columns: list[str]
+    types: dict[str, str]
+    auto_column: str | None
     auto_counter: int
-    rows: Dict[int, _LogicalRow] = field(default_factory=dict)
+    rows: dict[int, _LogicalRow] = field(default_factory=dict)
     next_row_id: int = 0
-    write_ts: List[int] = field(default_factory=list)  # sorted (append-only)
+    write_ts: list[int] = field(default_factory=list)  # sorted (append-only)
 
     def new_row(self) -> _LogicalRow:
         self.next_row_id += 1
@@ -116,20 +116,20 @@ class _VTable:
 class _TxUndo:
     """Undo information for one (possibly aborting) transaction."""
 
-    created: List[_Version] = field(default_factory=list)
-    terminated: List[Tuple[_LogicalRow, _Version, int]] = field(
+    created: list[_Version] = field(default_factory=list)
+    terminated: list[tuple[_LogicalRow, _Version, int]] = field(
         default_factory=list
     )  # (row, version, previous end_ts)
-    saved_counters: Dict[str, int] = field(default_factory=dict)
+    saved_counters: dict[str, int] = field(default_factory=dict)
 
 
 class VersionedDB:
     """Versioned store built from the initial state plus ``OL_db``."""
 
     def __init__(self) -> None:
-        self.tables: Dict[str, _VTable] = {}
+        self.tables: dict[str, _VTable] = {}
         #: ts -> StmtResult for write statements, recorded during redo.
-        self.results: Dict[int, StmtResult] = {}
+        self.results: dict[int, StmtResult] = {}
         self.redo_statements = 0
         self.skipped_reads = 0
 
@@ -165,7 +165,7 @@ class VersionedDB:
                 raise AuditReject(
                     RejectReason.VERSIONED_BUILD_FAILED,
                     f"log position {seq}: {exc}",
-                )
+                ) from exc
 
     def _redo_transaction(self, seq: int, record: OpRecord) -> None:
         queries, succeeded = record.opcontents
@@ -221,7 +221,7 @@ class VersionedDB:
         table = self._vtable(stmt.table)
         if table.name not in undo.saved_counters:
             undo.saved_counters[table.name] = table.auto_counter
-        last_id: Optional[int] = None
+        last_id: int | None = None
         for values in stmt.values:
             columns = stmt.columns or tuple(table.columns)
             if len(columns) != len(values):
@@ -335,7 +335,7 @@ class VersionedDB:
 
     def do_select(self, stmt: Select, ts: int) -> StmtResult:
         table = self._vtable(stmt.table)
-        matched: List[Row] = []
+        matched: list[Row] = []
         for logical in table.rows.values():
             version = logical.live_at(ts)
             if version is None:
@@ -378,7 +378,7 @@ class VersionedDB:
         audits and it becomes the next epoch's initial state."""
         engine = Engine()
         for name, vtable in self.tables.items():
-            table_rows: List[Row] = []
+            table_rows: list[Row] = []
             for logical in vtable.rows.values():
                 version = logical.live_at(TS_INF - 1)
                 if version is not None:
@@ -396,10 +396,10 @@ class VersionedDB:
             )
         return engine
 
-    def migration_statements(self) -> List[str]:
+    def migration_statements(self) -> list[str]:
         """One bulk INSERT per table that reproduces the latest state when
         issued against an empty schema (the §4.5 migration dump)."""
-        statements: List[str] = []
+        statements: list[str] = []
         engine = self.latest_engine()
         for name, table in engine.tables.items():
             if not table.rows:

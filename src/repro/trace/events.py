@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Tuple
+from collections.abc import Mapping
 
 
 class EventKind(enum.Enum):
@@ -69,9 +69,9 @@ class Response:
     """
 
     rid: str
-    body: Optional[str]
+    body: str | None
     status: int = 200
-    abort_info: Optional[str] = None
+    abort_info: str | None = None
 
     def size_bytes(self) -> int:
         body = self.body or ""
@@ -86,7 +86,7 @@ class ExternalRequest:
 
     rid: str
     service: str  # e.g. "email"
-    content: Tuple
+    content: tuple
 
     def size_bytes(self) -> int:
         return len(self.rid) + len(self.service) + sum(
@@ -104,15 +104,15 @@ class Event:
     time: float = 0.0
 
     @staticmethod
-    def request(req: Request, time: float = 0.0) -> "Event":
+    def request(req: Request, time: float = 0.0) -> Event:
         return Event(EventKind.REQUEST, req.rid, req, time)
 
     @staticmethod
-    def response(resp: Response, time: float = 0.0) -> "Event":
+    def response(resp: Response, time: float = 0.0) -> Event:
         return Event(EventKind.RESPONSE, resp.rid, resp, time)
 
     @staticmethod
-    def external(ext: "ExternalRequest", time: float = 0.0) -> "Event":
+    def external(ext: ExternalRequest, time: float = 0.0) -> Event:
         return Event(EventKind.EXTERNAL, ext.rid, ext, time)
 
     @property

@@ -10,7 +10,7 @@ trusted code.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional
+from collections.abc import Iterable, Iterator
 
 from repro.common.errors import AuditReject, RejectReason
 from repro.trace.events import (
@@ -31,7 +31,7 @@ class Trace:
     """
 
     def __init__(self, events: Iterable[Event] = ()):
-        self.events: List[Event] = list(events)
+        self.events: list[Event] = list(events)
 
     def append(self, event: Event) -> None:
         self.events.append(event)
@@ -47,25 +47,25 @@ class Trace:
 
     # -- Accessors used by the audit -------------------------------------
 
-    def request_ids(self) -> List[str]:
+    def request_ids(self) -> list[str]:
         """RequestIDs in arrival order."""
         return [ev.rid for ev in self.events if ev.is_request]
 
-    def requests(self) -> Dict[str, Request]:
+    def requests(self) -> dict[str, Request]:
         return {ev.rid: ev.payload for ev in self.events if ev.is_request}
 
-    def responses(self) -> Dict[str, Response]:
+    def responses(self) -> dict[str, Response]:
         return {ev.rid: ev.payload for ev in self.events if ev.is_response}
 
-    def response_bodies(self) -> Dict[str, Optional[str]]:
+    def response_bodies(self) -> dict[str, str | None]:
         """rid -> delivered body (None when the response was aborted)."""
         return {
             ev.rid: ev.payload.body for ev in self.events if ev.is_response
         }
 
-    def externals(self) -> Dict[str, List["ExternalRequest"]]:
+    def externals(self) -> dict[str, list["ExternalRequest"]]:
         """rid -> outbound external requests, in emission order (§5.5)."""
-        out: Dict[str, List[ExternalRequest]] = {}
+        out: dict[str, list[ExternalRequest]] = {}
         for ev in self.events:
             if ev.is_external:
                 out.setdefault(ev.rid, []).append(ev.payload)
@@ -85,8 +85,8 @@ def check_balanced(trace: Trace) -> None:
       * no rid is requested twice (requestID uniqueness);
       * no rid is answered twice.
     """
-    seen_requests: Dict[str, bool] = {}
-    answered: Dict[str, bool] = {}
+    seen_requests: dict[str, bool] = {}
+    answered: dict[str, bool] = {}
     for ev in trace:
         if ev.kind is EventKind.REQUEST:
             if ev.rid in seen_requests:

@@ -9,7 +9,6 @@ post, 83 distinct users).
 from __future__ import annotations
 
 import random
-from typing import List
 
 from repro.apps import miniforum
 from repro.trace.events import Request
@@ -36,7 +35,7 @@ def forum_workload(
     users = [f"user{index:03d}" for index in range(USERS)]
     logged_in = set()
 
-    requests: List[Request] = []
+    requests: list[Request] = []
     hot_topics = zipf_sample(rng, topic_ids, 1.0, num_requests)
     for index in range(num_requests):
         rid = f"f{index:06d}"

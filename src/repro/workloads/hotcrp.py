@@ -8,7 +8,6 @@ versions; each reviewer views 100 pages.  ≈52k requests at full scale.
 from __future__ import annotations
 
 import random
-from typing import List
 
 from repro.apps import minicrp
 from repro.trace.events import Request
@@ -36,7 +35,7 @@ def hotcrp_workload(scale: float = 1.0, seed: int = 2009) -> Workload:
         f"pc{index:02d}@conf.org" for index in range(num_reviewers)
     ]
 
-    requests: List[Request] = []
+    requests: list[Request] = []
     counter = 0
 
     def rid() -> str:

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
 
 from repro.apps import miniwiki
 from repro.server.app import Application
@@ -26,7 +25,7 @@ class Workload:
     """An application plus the request stream to drive it with."""
 
     app: Application
-    requests: List[Request]
+    requests: list[Request]
     label: str
 
 
@@ -48,7 +47,7 @@ def wiki_workload(
     app = miniwiki.build_app(pages=num_pages)
     titles = [f"Page_{index:03d}" for index in range(num_pages)]
 
-    requests: List[Request] = []
+    requests: list[Request] = []
     picked = zipf_sample(rng, titles, ZIPF_BETA, num_requests)
     for index in range(num_requests):
         rid = f"w{index:06d}"

@@ -8,10 +8,10 @@ page has weight 1 / i^β.
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from collections.abc import Sequence
 
 
-def zipf_weights(n: int, beta: float) -> List[float]:
+def zipf_weights(n: int, beta: float) -> list[float]:
     """Unnormalized Zipf weights for ranks 1..n."""
     if n <= 0:
         raise ValueError("n must be positive")
@@ -20,7 +20,7 @@ def zipf_weights(n: int, beta: float) -> List[float]:
 
 def zipf_sample(
     rng: random.Random, population: Sequence, beta: float, k: int
-) -> List:
+) -> list:
     """Draw ``k`` items (with replacement) Zipf-distributed by rank."""
     weights = zipf_weights(len(population), beta)
     return rng.choices(list(population), weights=weights, k=k)

@@ -9,7 +9,11 @@ import pytest
 
 from repro.core.config import AuditConfig, parse_epoch_cuts
 from repro.core.pipeline import AuditOptions
-from repro.core.reexec import DEFAULT_BACKEND, DEFAULT_MAX_GROUP
+from repro.core.reexec import (
+    DEFAULT_BACKEND,
+    DEFAULT_MAX_GROUP,
+    default_backend,
+)
 from repro.trace.trace import Trace
 
 
@@ -22,6 +26,19 @@ def test_defaults_match_ssco_audit():
     assert config.epoch_cuts is None
     assert config.max_group_size == DEFAULT_MAX_GROUP
     assert config.backend == DEFAULT_BACKEND
+    assert not config.plan_hints
+
+
+def test_backend_default_resolves_env_at_construction(monkeypatch):
+    """REPRO_BACKEND is read when the config is built, not when the
+    module was imported (the old import-time seam broke subprocess
+    tests that set the env var late)."""
+    monkeypatch.setenv("REPRO_BACKEND", "interp")
+    assert default_backend() == "interp"
+    assert AuditConfig().backend == "interp"
+    monkeypatch.delenv("REPRO_BACKEND")
+    assert default_backend() == "accinterp"
+    assert AuditConfig().backend == "accinterp"
 
 
 @pytest.mark.parametrize("kwargs,fragment", [
@@ -63,7 +80,7 @@ def test_replace_revalidates():
         config.replace(workers=-1)
     # The original is immutable and untouched.
     assert config.workers == 2
-    with pytest.raises(Exception):
+    with pytest.raises(AttributeError):
         config.workers = 8
 
 

@@ -403,7 +403,7 @@ def test_non_array_batch_payload_is_a_protocol_error():
     server = socket.socket()
     server.bind(("127.0.0.1", 0))
     server.listen(1)
-    endpoint = "127.0.0.1:%d" % server.getsockname()[1]
+    endpoint = f"127.0.0.1:{server.getsockname()[1]}"
 
     def fake_publisher():
         conn, _ = server.accept()

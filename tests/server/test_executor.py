@@ -52,7 +52,7 @@ def test_opnums_sequential_per_request(honest_run):
     for log in honest_run.reports.op_logs.values():
         for record in log:
             opnums[record.rid].append(record.opnum)
-    for rid, nums in opnums.items():
+    for nums in opnums.values():
         assert sorted(nums) == list(range(1, len(nums) + 1))
 
 

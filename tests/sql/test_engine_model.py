@@ -8,7 +8,6 @@ observable results must agree.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -23,10 +22,10 @@ class Model:
     """Reference implementation: a list of row dicts."""
 
     def __init__(self) -> None:
-        self.rows: List[Dict] = []
+        self.rows: list[dict] = []
         self.auto = 0
 
-    def insert(self, v: Optional[int], s: str) -> None:
+    def insert(self, v: int | None, s: str) -> None:
         self.auto += 1
         self.rows.append({"id": self.auto, "v": v, "s": s})
 
@@ -54,10 +53,10 @@ class Model:
         ]
         return before - len(self.rows)
 
-    def select_all(self) -> List[Dict]:
+    def select_all(self) -> list[dict]:
         return [dict(row) for row in self.rows]
 
-    def select_where(self, vmin: int) -> List[Dict]:
+    def select_where(self, vmin: int) -> list[dict]:
         return [
             {"id": row["id"], "s": row["s"]}
             for row in self.rows

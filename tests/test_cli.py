@@ -312,6 +312,66 @@ def test_audit_prepass_depth_and_epoch_threads(tmp_path, capsys):
               "--scale", "0.005", "--prepass-depth", "-1"])
 
 
+# -- the lint subcommand ------------------------------------------------------
+
+
+def test_lint_clean_app_exits_zero(capsys):
+    assert main(["lint", "miniwiki"]) == 0
+    out = capsys.readouterr().out
+    assert "lint[miniwiki]: errors=0" in out
+
+
+def test_lint_fail_on_gates_exit_code(capsys):
+    # minicrp has W001/W003 warnings but no errors.
+    assert main(["lint", "minicrp"]) == 0
+    assert main(["lint", "minicrp", "--fail-on", "warning"]) == 1
+    assert main(["lint", "miniwiki", "--fail-on", "warning"]) == 0
+    assert main(["lint", "miniwiki", "--fail-on", "info"]) == 1
+    out = capsys.readouterr().out
+    assert "W001" in out and "W003" in out
+
+
+def test_lint_accepts_workload_aliases(capsys):
+    assert main(["lint", "hotcrp", "--fail-on", "warning"]) == 1
+    out = capsys.readouterr().out
+    assert "lint[minicrp]:" in out
+
+
+def test_lint_json_schema(capsys):
+    import json as _json
+
+    assert main(["lint", "minicrp", "--json"]) == 0
+    payload = _json.loads(capsys.readouterr().out)
+    assert set(payload) == {"app", "scripts", "summary"}
+    assert payload["app"] == "minicrp"
+    assert set(payload["summary"]) == {"errors", "warnings", "infos"}
+    assert payload["summary"]["errors"] == 0
+    assert payload["summary"]["warnings"] > 0
+    report = payload["scripts"]["crp_submit.php"]
+    assert set(report) == {"script", "effects", "functions", "footprint",
+                           "divergence_hazard", "diagnostics"}
+    assert report["divergence_hazard"] is True
+    for diag in report["diagnostics"]:
+        assert set(diag) == {"code", "severity", "message", "function",
+                             "nid"}
+
+
+def test_lint_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["lint", "nope"])
+
+
+def test_audit_plan_hints_flag(tmp_path, capsys):
+    bundle = str(tmp_path / "bundle.json")
+    main(["record", "--workload", "hotcrp", "--scale", "0.02",
+          "--out", bundle])
+    assert main(["audit", bundle, "--workload", "hotcrp",
+                 "--scale", "0.02", "--no-strict", "--plan-hints"]) == 0
+    out = capsys.readouterr().out
+    assert "plan-hints" in out
+    assert "ACCEPTED" in out
+
+
 def test_follow_with_epoch_workers(tmp_path, capsys):
     """--follow drives the session asynchronously under epoch_workers:
     per-epoch verdicts still print in epoch order."""

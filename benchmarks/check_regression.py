@@ -176,6 +176,22 @@ def metrics_fleet(data) -> list[Metric]:
     return out
 
 
+def metrics_asof(data) -> list[Metric]:
+    """``bench_asof``: the forensic surface's cost bounds.  The two
+    fractions are deterministic counters (re-exec steps and replayed
+    requests of the scoped re-audit over the full audit's), so they
+    catch a lineage-closure blowup exactly; the timeline ratio is
+    normalized within the run (prepass over full audit, lower is
+    better)."""
+    out: list[Metric] = []
+    for name in ("explain_steps_fraction", "explain_requests_fraction",
+                 "timeline_vs_full"):
+        if name in data:
+            out.append(Metric(name, data[name],
+                              higher_is_better=False))
+    return out
+
+
 EXTRACTORS = {
     "parallel_scaling": metrics_parallel_scaling,
     "streaming_session": metrics_streaming_session,
@@ -183,6 +199,7 @@ EXTRACTORS = {
     "transport": metrics_transport,
     "backends": metrics_backends,
     "fleet": metrics_fleet,
+    "asof": metrics_asof,
 }
 
 

@@ -24,7 +24,14 @@ Commands:
 * ``lint`` — run the static analyzer over a built-in application's
   weblang scripts and print the audit-soundness diagnostics (text or
   ``--json``; ``--fail-on`` gates the exit code — see
-  ``docs/analysis.md``).
+  ``docs/analysis.md``);
+* ``query`` — time-travel forensics: reconstruct any SQL result, KV
+  key, or register from a recorded bundle at any epoch boundary or
+  request point (``--as-of <epoch|request-id>``), with producing
+  requests attributed (see ``docs/forensics.md``);
+* ``explain`` — targeted single-request re-audit: replay exactly one
+  request's control-flow chunk plus its read-lineage closure and print
+  a scoped ACCEPT/REJECT with the regenerated body.
 
 Every auditing subcommand is driven by one validated
 :class:`~repro.core.config.AuditConfig`: flags layer over an optional
@@ -56,10 +63,18 @@ from repro.core import Auditor, simple_audit
 from repro.core.config import AuditConfig, parse_epoch_cuts
 from repro.core.partition import partition_audit_inputs
 from repro.core.reexec import available_backends
+from repro.forensics import (
+    AsOfError,
+    Timeline,
+    UnknownRequest,
+    query_asof,
+    reaudit_request,
+)
 from repro.lang.analysis import SEVERITIES, analyze_app
 from repro.io import (
     BundleReader,
     BundleWriter,
+    _enc,
     load_audit_bundle_ex,
     save_audit_bundle,
 )
@@ -268,9 +283,18 @@ def cmd_audit(args) -> int:
             and epoch_marks):
         # The recorded quiescent marks are the natural cut positions.
         config = config.replace(epoch_cuts=tuple(epoch_marks))
-    print(f"auditing {len(trace.request_ids())} requests against "
-          f"{workload.label} ({config.describe()}) ...")
+    if not args.json:
+        print(f"auditing {len(trace.request_ids())} requests against "
+              f"{workload.label} ({config.describe()}) ...")
     audit = Auditor(workload.app, config).audit(trace, reports, initial)
+    if args.json:
+        payload = _audit_summary(audit)
+        if args.baseline:
+            base = simple_audit(workload.app, trace, reports, initial)
+            payload["baseline"] = {"accepted": base.accepted,
+                                   "seconds": base.seconds}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if audit.accepted else 1
     if audit.accepted:
         shards = audit.stats.get("shard_count")
         suffix = f" across {shards} shard(s)" if shards else ""
@@ -300,9 +324,11 @@ def _audit_follow(args, workload, config: AuditConfig) -> int:
         print(f"error: --follow needs a streaming JSONL bundle: {exc}",
               file=sys.stderr)
         return 2
-    print(f"following {args.bundle} against {workload.label} "
-          f"({config.describe()}) ...")
-    return _drive_stream_session(reader, workload, config, timeout)
+    if not args.json:
+        print(f"following {args.bundle} against {workload.label} "
+              f"({config.describe()}) ...")
+    return _drive_stream_session(reader, workload, config, timeout,
+                                 as_json=args.json)
 
 
 def _audit_connect(args, workload, config: AuditConfig) -> int:
@@ -320,11 +346,13 @@ def _audit_connect(args, workload, config: AuditConfig) -> int:
         print(f"error: cannot attach to publisher at {config.connect}: "
               f"{exc}", file=sys.stderr)
         return 2
-    print(f"auditing live stream from {config.connect} against "
-          f"{workload.label} ({config.describe()}) ...")
+    if not args.json:
+        print(f"auditing live stream from {config.connect} against "
+              f"{workload.label} ({config.describe()}) ...")
     try:
         return _drive_stream_session(reader, workload, config,
-                                     config.net_idle_timeout)
+                                     config.net_idle_timeout,
+                                     as_json=args.json)
     except (TransportError, ProtocolError) as exc:
         print(f"error: live stream failed: {exc}", file=sys.stderr)
         return 2
@@ -386,6 +414,171 @@ def cmd_lint(args) -> int:
     return 1 if any(counts[s] for s in SEVERITIES[threshold:]) else 0
 
 
+def _load_timeline(args, workload, config) -> Timeline | None:
+    """Build the forensic timeline for ``query``/``explain``; prints
+    the error and returns ``None`` when the bundle cannot be primed."""
+    try:
+        return Timeline.from_bundle(args.bundle, workload.app,
+                                    options=config.to_options())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load bundle {args.bundle}: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def _producer_json(producer) -> dict:
+    return {
+        "epoch": producer.epoch,
+        "request": producer.rid,
+        "object": producer.obj,
+        "detail": producer.detail,
+        "initial": producer.is_initial,
+    }
+
+
+def _producer_text(producer) -> str:
+    if producer.is_initial:
+        where = "initial state (pre-trace)"
+    else:
+        where = f"{producer.rid} (epoch {producer.epoch})"
+    detail = f" [{producer.detail}]" if producer.detail else ""
+    return f"{where}{detail}"
+
+
+def cmd_query(args) -> int:
+    """Reconstruct one value at an as-of point from a recorded bundle."""
+    config = _config_from_args(args._parser, args)
+    workload = _build(args)
+    timeline = _load_timeline(args, workload, config)
+    if timeline is None:
+        return 2
+    try:
+        result = query_asof(timeline, args.as_of, args.target)
+    except (UnknownRequest, AsOfError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload = {
+            "kind": result.kind,
+            "target": result.target,
+            "as_of": {"epoch": result.point.epoch,
+                      "request": result.point.rid},
+            "rows": result.rows,
+            "value": _enc(result.value),
+            "producers": [_producer_json(p) for p in result.producers],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{result.target} as of {result.point.describe()}:")
+    if result.kind == "sql":
+        if not result.rows:
+            print("  (no rows)")
+        for row in result.rows or ():
+            print("  row: " + ", ".join(f"{k}={v!r}"
+                                        for k, v in row.items()))
+    else:
+        print(f"  value: {result.value!r}")
+    for producer in result.producers:
+        print(f"  produced by: {_producer_text(producer)}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """Scoped single-request re-audit of a recorded bundle."""
+    config = _config_from_args(args._parser, args)
+    workload = _build(args)
+    timeline = _load_timeline(args, workload, config)
+    if timeline is None:
+        return 2
+    try:
+        result = reaudit_request(timeline, args.request_id,
+                                 backend=config.backend)
+    except UnknownRequest as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    entry = timeline.entry(args.request_id)
+    lineage = result.lineage
+    body_matches = None
+    if not entry.aborted and result.accepted:
+        body_matches = result.body == result.expected_body
+    if args.json:
+        payload = {
+            "request": result.rid,
+            "epoch": result.epoch,
+            "groups": list(entry.groups),
+            "chunk": entry.chunk,
+            "verdict": "ACCEPTED" if result.accepted else "REJECTED",
+            "accepted": result.accepted,
+            "reason": result.reason.value if result.reason else None,
+            "detail": result.detail or "",
+            "aborted": entry.aborted,
+            "body_matches": body_matches,
+            "lineage": {
+                "requests": [list(node) for node in lineage.requests],
+                "edges": len(lineage.edges),
+                "initial_reads": lineage.initial_reads,
+            },
+            "replayed": {"requests": len(result.replayed),
+                         "chunks": result.chunks_replayed},
+            "stats": result.stats,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if result.accepted else 1
+    groups = ", ".join(entry.groups) or "(none)"
+    print(f"request {result.rid}: epoch {result.epoch}, "
+          f"group {groups}, chunk {entry.chunk}, "
+          f"{entry.op_count} claimed op(s)")
+    print(f"lineage closure: {len(lineage.requests)} request(s), "
+          f"{len(lineage.edges)} edge(s), "
+          f"{lineage.initial_reads} initial-state read(s)")
+    print(f"replayed {len(result.replayed)} request(s) in "
+          f"{result.chunks_replayed} chunk(s), "
+          f"{result.stats['steps']} step(s)")
+    if result.accepted:
+        suffix = ("aborted request, no body to compare"
+                  if entry.aborted
+                  else "regenerated body matches the trace")
+        print(f"ACCEPTED: request {result.rid} scoped re-audit "
+              f"({suffix})")
+        return 0
+    print(f"REJECTED: {result.reason.value}"
+          + (f": {result.detail}" if result.detail else ""))
+    return 1
+
+
+def _audit_summary(audit) -> dict:
+    """The machine-readable verdict payload of ``audit --json``.
+
+    Stable schema: ``verdict``/``accepted``/``reason``/``detail``,
+    per-phase seconds, the summed counter stats, the per-epoch shard
+    summaries (``epochs``), and the first rejecting epoch's index
+    (``rejecting_epoch``, ``null`` on a monolithic or accepted audit).
+    """
+    stats = {name: value for name, value in audit.stats.items()
+             if name not in ("shards", "group_alphas")}
+    epochs = audit.stats.get("shards")
+    rejecting = None
+    if epochs:
+        for shard in epochs:
+            if not shard.get("accepted", True):
+                rejecting = shard["shard"]
+                break
+    elif not audit.accepted:
+        rejecting = 0 if audit.stats.get("shard_count") else None
+    return {
+        "verdict": "ACCEPTED" if audit.accepted else "REJECTED",
+        "accepted": audit.accepted,
+        "reason": audit.reason.value if audit.reason else None,
+        "detail": audit.detail or "",
+        "phases": audit.phases,
+        "stats": stats,
+        "epochs": epochs,
+        "rejecting_epoch": rejecting,
+    }
+
+
 def _print_epoch_verdict(epoch) -> bool:
     """Print one epoch's line; returns True when it rejected."""
     verdict = "ACCEPTED" if epoch.accepted else "REJECTED"
@@ -396,7 +589,7 @@ def _print_epoch_verdict(epoch) -> bool:
 
 
 def _drive_stream_session(reader, workload, config: AuditConfig,
-                          timeout) -> int:
+                          timeout, as_json: bool = False) -> int:
     """The live audit loop shared by ``--follow`` (file tail) and
     ``--connect`` (socket): feed each arriving epoch slice into an
     incremental audit session, print per-epoch verdicts, merge.
@@ -408,6 +601,11 @@ def _drive_stream_session(reader, workload, config: AuditConfig,
     every handle resolves immediately, so the loop degenerates to the
     strict feed-print alternation.
     """
+    def settle(epoch) -> bool:
+        if as_json:
+            return not epoch.accepted
+        return _print_epoch_verdict(epoch)
+
     with reader:
         initial = reader.read_initial_state(follow=True,
                                             idle_timeout=timeout)
@@ -420,14 +618,17 @@ def _drive_stream_session(reader, workload, config: AuditConfig,
                 pending.append(session.submit_epoch(epoch_slice.trace,
                                                     epoch_slice.reports))
                 while pending and pending[0].done():
-                    if _print_epoch_verdict(pending.pop(0).result()):
+                    if settle(pending.pop(0).result()):
                         rejected = True
                         break
                 if rejected:
                     break
             while pending and not rejected:
-                rejected = _print_epoch_verdict(pending.pop(0).result())
+                rejected = settle(pending.pop(0).result())
             audit = session.close()
+    if as_json:
+        print(json.dumps(_audit_summary(audit), indent=2, sort_keys=True))
+        return 0 if audit.accepted else 1
     if audit.accepted:
         print(f"ACCEPTED in {audit.phases['total'] * 1e3:.1f} ms "
               f"across {audit.stats['shard_count']} epoch(s)")
@@ -592,6 +793,10 @@ def main(argv=None) -> int:
     audit.add_argument("bundle", nargs="?", default=None)
     audit.add_argument("--baseline", action="store_true",
                        help="also run the simple re-execution baseline")
+    audit.add_argument("--json", action="store_true",
+                       help="emit a machine-readable verdict summary "
+                            "(verdict, per-epoch stats, rejecting "
+                            "epoch) instead of text")
     audit.add_argument("--follow", action="store_true",
                        help="tail a JSONL bundle epoch by epoch through "
                             "an incremental audit session")
@@ -655,6 +860,43 @@ def main(argv=None) -> int:
                            "severity (or worse) is found (default: "
                            "error)")
     lint.set_defaults(func=cmd_lint)
+
+    query = sub.add_parser(
+        "query",
+        help="reconstruct a SQL result, KV key, or register from a "
+             "recorded bundle at any epoch or request point "
+             "(time-travel forensics; see docs/forensics.md)",
+    )
+    common(query)
+    audit_knobs(query)
+    query.add_argument("bundle", help="recorded audit bundle "
+                                      "(any format)")
+    query.add_argument("target",
+                       help="a SELECT statement, `kv:<key>` (or a bare "
+                            "KV key), or `reg:<name>`")
+    query.add_argument("--as-of", dest="as_of", required=True,
+                       metavar="EPOCH|REQUEST",
+                       help="epoch index (state at the end of that "
+                            "epoch) or request id (state as of its "
+                            "observed response)")
+    query.add_argument("--json", action="store_true",
+                       help="emit the reconstruction as JSON")
+    query.set_defaults(func=cmd_query)
+
+    explain = sub.add_parser(
+        "explain",
+        help="scoped single-request re-audit: replay one request's "
+             "control-flow chunk plus its read-lineage closure and "
+             "print ACCEPT/REJECT with the regenerated body",
+    )
+    common(explain)
+    audit_knobs(explain)
+    explain.add_argument("bundle", help="recorded audit bundle "
+                                        "(any format)")
+    explain.add_argument("request_id", help="the request to re-audit")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the scoped verdict as JSON")
+    explain.set_defaults(func=cmd_explain)
 
     worker = sub.add_parser(
         "worker",

@@ -391,6 +391,42 @@ def run_state_precompute(
     return actx
 
 
+def iter_epoch_prepass(
+    app: Application,
+    shards: Sequence[Shard],
+    initial_state: InitialState,
+    options: AuditOptions | None = None,
+):
+    """Walk the shard chain with the redo-only prepass, one shard at a
+    time, yielding ``(shard, primed AuditContext)`` pairs.
+
+    This is the reuse seam shared by :func:`precompute_epoch_states`
+    and the forensic timeline (:mod:`repro.forensics.timeline`): each
+    yielded context holds its shard's graph, OpMap, and built versioned
+    stores, with ``result.next_initial`` chaining the §4.5 migrated
+    state into the next shard.  Unlike the list-returning wrapper, a
+    rejecting shard is still *yielded* (so callers can inspect the
+    partial chain and the rejecting epoch's verdict) and iteration
+    stops after it.  Non-final shards always migrate; the final shard
+    migrates only when the caller's options ask for it.
+    """
+    options = options or AuditOptions()
+    state = initial_state
+    for shard in shards:
+        is_last = shard.index == len(shards) - 1
+        shard_options = replace(
+            options, epoch_size=0, epoch_cuts=None, epoch_workers=1,
+            migrate=options.migrate or not is_last,
+        )
+        actx = run_state_precompute(app, shard.trace, shard.reports,
+                                    state, shard_options)
+        yield shard, actx
+        if not actx.result.accepted:
+            return
+        if not is_last:
+            state = actx.result.next_initial
+
+
 def precompute_epoch_states(
     app: Application,
     shards: Sequence[Shard],
@@ -412,22 +448,12 @@ def precompute_epoch_states(
     concurrent drivers prime lazily with a bounded window instead —
     prefer them for large bundles.
     """
-    options = options or AuditOptions()
     contexts: list[AuditContext] = []
-    state = initial_state
-    for shard in shards:
-        is_last = shard.index == len(shards) - 1
-        shard_options = replace(
-            options, epoch_size=0, epoch_cuts=None, epoch_workers=1,
-            migrate=options.migrate or not is_last,
-        )
-        actx = run_state_precompute(app, shard.trace, shard.reports,
-                                    state, shard_options)
+    for _shard, actx in iter_epoch_prepass(app, shards, initial_state,
+                                           options):
         if not actx.result.accepted:
             return None
         contexts.append(actx)
-        if not is_last:
-            state = actx.result.next_initial
     return contexts
 
 

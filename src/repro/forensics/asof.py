@@ -1,0 +1,179 @@
+"""As-of state reconstruction over the timeline's versioned stores.
+
+An **as-of point** is either an epoch index (the state after that
+whole epoch, i.e. what the next epoch starts from before migration
+compaction) or a request id (the state as of that request's observed
+response: the request's own writes plus those of every request that
+completed no later than it; concurrent still-in-flight requests are
+excluded).
+
+Reconstruction is pure lookup — the prepass already built every
+epoch's :class:`~repro.sql.versioned.VersionedDB` /
+:class:`~repro.objects.versioned_kv.VersionedKV`, with each epoch's
+initial state chained from its predecessor per §4.5 migration.  An
+epoch-end SQL query runs at ``ts = TS_INF - 1`` (every committed
+version visible, no abort leakage because aborted versions were undone
+at a finite ts); a request-point query clamps to the per-object cutoff
+sequence ``c`` from :meth:`Timeline.cutoff_seq` — DB ``ts = (c+1) *
+MAXQ`` (aborted transactions undo at ``ts_abort <= (c+1) * MAXQ``, so
+they stay invisible), KV ``s = c + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql.ast import Select
+from repro.common.errors import SqlError
+from repro.sql.engine import project_rows
+from repro.sql.parser import parse_sql
+from repro.sql.versioned import MAXQ, TS_INF
+from repro.forensics.lineage import (
+    Producer,
+    resolve_db_producers,
+    resolve_kv_producer,
+    resolve_register_producer,
+)
+from repro.forensics.timeline import Timeline
+
+
+class AsOfError(ValueError):
+    """The as-of spec or target is malformed or out of range."""
+
+
+@dataclass(frozen=True)
+class AsOfPoint:
+    """A resolved as-of position: an epoch, optionally pinned to one
+    request's observed response within it (``rid is None`` = the state
+    at the end of the epoch)."""
+
+    epoch: int
+    rid: str | None = None
+
+    def describe(self) -> str:
+        if self.rid is None:
+            return f"end of epoch {self.epoch}"
+        return f"request {self.rid} (epoch {self.epoch})"
+
+
+@dataclass
+class AsOfResult:
+    """One reconstructed value with its provenance."""
+
+    #: "sql" | "kv" | "register"
+    kind: str
+    target: str
+    point: AsOfPoint
+    #: SQL: projected result rows; KV/register: single value (or None).
+    rows: list[dict] | None = None
+    value: object = None
+    #: Requests (or initial state) that produced what the query saw.
+    producers: list[Producer] = field(default_factory=list)
+
+
+def resolve_point(timeline: Timeline, spec: str) -> AsOfPoint:
+    """Parse an ``--as-of`` spec: all-digits = epoch index, anything
+    else = request id looked up in the timeline."""
+    spec = spec.strip()
+    if not spec:
+        raise AsOfError("empty --as-of spec")
+    if spec.isdigit():
+        epoch = int(spec)
+        if not 0 <= epoch < timeline.epoch_count:
+            raise AsOfError(
+                f"epoch {epoch} out of range "
+                f"(bundle has epochs 0..{timeline.epoch_count - 1})"
+            )
+        return AsOfPoint(epoch=epoch)
+    entry = timeline.entry(spec)  # raises UnknownRequest
+    return AsOfPoint(epoch=entry.epoch, rid=spec)
+
+
+def query_asof(timeline: Timeline, spec: str, target: str) -> AsOfResult:
+    """Reconstruct ``target`` at the point named by ``spec``.
+
+    Target forms: a SELECT statement; ``kv:<key>``; ``reg:<name>``
+    (the full object name, e.g. ``reg:visits``); a bare string is
+    treated as a KV key.
+    """
+    point = resolve_point(timeline, spec)
+    stripped = target.strip()
+    if not stripped:
+        raise AsOfError("empty query target")
+    if stripped.upper().startswith("SELECT"):
+        return _query_sql(timeline, point, stripped)
+    if stripped.startswith("reg:"):
+        return _query_register(timeline, point, stripped)
+    key = stripped[3:] if stripped.startswith("kv:") else stripped
+    return _query_kv(timeline, point, stripped, key)
+
+
+def _db_ts(timeline: Timeline, point: AsOfPoint) -> int:
+    if point.rid is None:
+        return TS_INF - 1
+    cutoff = timeline.cutoff_seq(point.epoch, point.rid,
+                                 timeline.app.db_name)
+    return (cutoff + 1) * MAXQ
+
+
+def _kv_seq(timeline: Timeline, point: AsOfPoint) -> int:
+    if point.rid is None:
+        return TS_INF
+    cutoff = timeline.cutoff_seq(point.epoch, point.rid,
+                                 timeline.app.kv_name)
+    return cutoff + 1
+
+
+def _query_sql(timeline: Timeline, point: AsOfPoint,
+               sql: str) -> AsOfResult:
+    try:
+        stmt = parse_sql(sql)
+    except SqlError as exc:
+        raise AsOfError(f"bad SQL target: {exc}") from exc
+    if not isinstance(stmt, Select):
+        raise AsOfError("only SELECT statements can be queried as-of")
+    vdb = timeline.context(point.epoch).sim.vdb.get(timeline.app.db_name)
+    if vdb is None or stmt.table not in vdb.tables:
+        raise AsOfError(
+            f"table {stmt.table!r} does not exist in epoch {point.epoch}"
+        )
+    ts = _db_ts(timeline, point)
+    versions = vdb.select_versions(stmt, ts)
+    producers: list[Producer] = []
+    seen: set[Producer] = set()
+    for values, start_ts in versions:
+        for producer in resolve_db_producers(
+            timeline, point.epoch, stmt.table, start_ts, values
+        ):
+            if producer not in seen:
+                seen.add(producer)
+                producers.append(producer)
+    rows = project_rows(stmt.items, [values for values, _ in versions])
+    return AsOfResult(kind="sql", target=sql, point=point, rows=rows,
+                      producers=producers)
+
+
+def _query_kv(timeline: Timeline, point: AsOfPoint, target: str,
+              key: str) -> AsOfResult:
+    s = _kv_seq(timeline, point)
+    value, producer = resolve_kv_producer(timeline, point.epoch, key, s)
+    producers = [producer] if producer is not None else []
+    return AsOfResult(kind="kv", target=target, point=point, value=value,
+                      producers=producers)
+
+
+def _query_register(timeline: Timeline, point: AsOfPoint,
+                    obj: str) -> AsOfResult:
+    if point.rid is None:
+        log = timeline.shard(point.epoch).reports.op_logs.get(obj, [])
+        before = len(log)
+    else:
+        # cutoff_seq is the highest *included* 1-based sequence, i.e.
+        # 0-based positions strictly below it.
+        before = timeline.cutoff_seq(point.epoch, point.rid, obj)
+    value, producer = resolve_register_producer(
+        timeline, point.epoch, obj, before
+    )
+    producers = [producer] if producer is not None else []
+    return AsOfResult(kind="register", target=obj, point=point,
+                      value=value, producers=producers)

@@ -1,0 +1,278 @@
+"""Read/write lineage over the timeline's versioned stores.
+
+For one request R the **direct producers** are the requests whose
+writes R observed: for every ``KvGet`` in R's op records the latest
+``KvSet`` before it; for every ``RegisterRead`` the latest
+``RegisterWrite`` before it (the same backward walk the simulator's
+SimOp performs); and for every SELECT inside R's transactions, the
+transaction that wrote each version the SELECT matched
+(:meth:`repro.sql.versioned.VersionedDB.select_versions` — row-level
+attribution via ``start_ts // MAXQ``).
+
+A value read out of an epoch's *initial* state (KV seq 0, DB
+``start_ts == 0``, register with no logged write) chains across the
+§4.5 migration boundary: the resolver walks earlier epochs' logs for
+the producing write, and only reports a pre-trace initial value when
+no epoch wrote it.  DB rows migrate by value (the compacted engine
+keeps no provenance), so cross-epoch row attribution matches versions
+by value — when several identical rows exist every candidate producer
+is reported, a conservative superset that can only *widen* the
+re-audit scope, never narrow it.
+
+:func:`request_lineage` is the transitive closure of direct
+producers — the certification scope :mod:`repro.forensics.reaudit`
+replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.objects.base import OpType
+from repro.sql.ast import Select
+from repro.sql.parser import parse_sql
+from repro.sql.versioned import MAXQ, TS_INF
+from repro.forensics.timeline import Timeline
+
+
+@dataclass(frozen=True)
+class Producer:
+    """The write (or initial value) behind one observed read.
+
+    ``rid is None`` means the value predates the trace entirely (the
+    bundle's initial state); ``epoch`` then is ``None`` too.
+    """
+
+    epoch: int | None
+    rid: str | None
+    obj: str
+    detail: str = ""
+
+    @property
+    def is_initial(self) -> bool:
+        return self.rid is None
+
+
+@dataclass(frozen=True)
+class LineageEdge:
+    """``reader`` (epoch, rid) observed state written by ``producer``."""
+
+    reader_epoch: int
+    reader: str
+    producer: Producer
+
+
+@dataclass
+class Lineage:
+    """A request's transitive read-lineage closure."""
+
+    rid: str
+    epoch: int
+    #: Closure of producing requests, excluding the target, sorted by
+    #: (epoch, rid).
+    requests: list[tuple[int, str]] = field(default_factory=list)
+    edges: list[LineageEdge] = field(default_factory=list)
+    #: Reads that resolved to the bundle's pre-trace initial state.
+    initial_reads: int = 0
+
+
+# -- producer resolution -----------------------------------------------------
+
+
+def resolve_kv_producer(
+    timeline: Timeline, epoch: int, key: str, s: int
+) -> tuple[object, Producer | None]:
+    """``(value, producer)`` of ``key`` as of epoch-local sequence
+    ``s`` (exclusive), chaining epoch-initial values backward."""
+    obj = timeline.app.kv_name
+    vkv = timeline.context(epoch).sim.vkv.get(obj)
+    if vkv is None:
+        return None, None
+    value, seq = vkv.get_with_seq(key, s)
+    if seq is None:
+        return None, None
+    if seq > 0:
+        log = timeline.shard(epoch).reports.op_logs.get(obj, [])
+        return value, Producer(epoch, log[seq - 1].rid, obj,
+                               f"key={key}")
+    return value, _kv_initial_producer(timeline, epoch, key, value)
+
+
+def _kv_initial_producer(
+    timeline: Timeline, epoch: int, key: str, value: object
+) -> Producer:
+    obj = timeline.app.kv_name
+    for earlier in range(epoch - 1, -1, -1):
+        log = timeline.shard(earlier).reports.op_logs.get(obj, [])
+        for record in reversed(log):
+            if (record.optype is OpType.KV_SET
+                    and record.opcontents[0] == key):
+                return Producer(earlier, record.rid, obj, f"key={key}")
+    return Producer(None, None, obj, f"key={key}")
+
+
+def resolve_register_producer(
+    timeline: Timeline, epoch: int, obj: str, before: int
+) -> tuple[object, Producer | None]:
+    """``(value, producer)`` of register ``obj`` from the latest
+    ``RegisterWrite`` at a 0-based log index ``< before`` (mirroring
+    ``SimContext.sim_register_read``), chaining earlier epochs."""
+    log = timeline.shard(epoch).reports.op_logs.get(obj, [])
+    for position in range(min(before, len(log)) - 1, -1, -1):
+        record = log[position]
+        if record.optype is OpType.REGISTER_WRITE:
+            return record.opcontents[0], Producer(epoch, record.rid, obj)
+    for earlier in range(epoch - 1, -1, -1):
+        log = timeline.shard(earlier).reports.op_logs.get(obj, [])
+        for record in reversed(log):
+            if record.optype is OpType.REGISTER_WRITE:
+                return record.opcontents[0], Producer(earlier,
+                                                      record.rid, obj)
+    initial = timeline.context(0).initial_state.registers.get(obj)
+    if obj in timeline.context(0).initial_state.registers:
+        return initial, Producer(None, None, obj)
+    return None, None
+
+
+def resolve_db_producers(
+    timeline: Timeline, epoch: int, table: str, start_ts: int,
+    values: dict,
+) -> list[Producer]:
+    """Producers of one matched row version.
+
+    ``start_ts > 0`` attributes exactly (the writing transaction's log
+    record); an epoch-initial version (``start_ts == 0``) is traced
+    into earlier epochs by value match against their end-of-epoch live
+    versions — all matching writers are reported.
+    """
+    obj = timeline.app.db_name
+    if start_ts > 0:
+        seq = start_ts // MAXQ
+        log = timeline.shard(epoch).reports.op_logs.get(obj, [])
+        if 1 <= seq <= len(log):
+            return [Producer(epoch, log[seq - 1].rid, obj,
+                             f"table={table}")]
+        return [Producer(None, None, obj, f"table={table}")]
+    for earlier in range(epoch - 1, -1, -1):
+        vdb = timeline.context(earlier).sim.vdb.get(obj)
+        vtable = vdb.tables.get(table) if vdb is not None else None
+        if vtable is None:
+            break
+        matches = []
+        for logical in vtable.rows.values():
+            version = logical.live_at(TS_INF - 1)
+            if version is not None and version.values == values:
+                matches.append(version.start_ts)
+        if not matches:
+            break
+        writers = sorted({ts // MAXQ for ts in matches if ts > 0})
+        if writers:
+            log = timeline.shard(earlier).reports.op_logs.get(obj, [])
+            return [
+                Producer(earlier, log[seq - 1].rid, obj,
+                         f"table={table}")
+                for seq in writers if 1 <= seq <= len(log)
+            ] or [Producer(None, None, obj, f"table={table}")]
+        # Every match was itself epoch-initial: keep walking back.
+    return [Producer(None, None, obj, f"table={table}")]
+
+
+# -- per-request direct reads ------------------------------------------------
+
+
+def direct_producers(
+    timeline: Timeline, epoch: int, rid: str
+) -> list[Producer]:
+    """Producers of every read ``rid`` performed, in op order."""
+    app = timeline.app
+    ctx = timeline.context(epoch).sim
+    producers: list[Producer] = []
+    for obj, seq, record in timeline.request_records(epoch, rid):
+        if record.optype is OpType.KV_GET:
+            key = record.opcontents[0]
+            _, producer = resolve_kv_producer(timeline, epoch, key, seq)
+            if producer is not None:
+                producers.append(producer)
+        elif record.optype is OpType.REGISTER_READ:
+            # The read itself sits at 0-based index seq - 1; writes
+            # strictly before it are candidates.
+            _, producer = resolve_register_producer(
+                timeline, epoch, obj, seq - 1
+            )
+            if producer is not None:
+                producers.append(producer)
+        elif record.optype is OpType.DB_OP and obj == app.db_name:
+            producers.extend(
+                _transaction_producers(timeline, epoch, ctx, seq, record)
+            )
+    return producers
+
+
+def _transaction_producers(timeline, epoch, ctx, seq, record):
+    queries, _succeeded = record.opcontents
+    if not isinstance(queries, tuple):
+        return []
+    data_queries = (
+        queries[:-1] if queries and queries[-1] in ("COMMIT", "ROLLBACK")
+        else queries
+    )
+    vdb = ctx.vdb.get(timeline.app.db_name)
+    if vdb is None:
+        return []
+    producers: list[Producer] = []
+    for q, sql in enumerate(data_queries):
+        try:
+            stmt = parse_sql(sql)
+        except Exception:
+            continue
+        if not isinstance(stmt, Select):
+            continue
+        ts = seq * MAXQ + q + 1
+        for values, start_ts in vdb.select_versions(stmt, ts):
+            producers.extend(
+                resolve_db_producers(timeline, epoch, stmt.table,
+                                     start_ts, values)
+            )
+    return producers
+
+
+# -- the closure -------------------------------------------------------------
+
+
+def request_lineage(timeline: Timeline, rid: str) -> Lineage:
+    """The transitive read-lineage closure of one request.
+
+    Every producer edge is recorded; producers that are themselves
+    requests are expanded recursively (their own reads traced within
+    their epoch), so the returned request set is exactly the
+    certification scope a scoped re-audit must replay alongside the
+    target.  Self-reads (a request observing its own earlier write)
+    produce no edge.
+    """
+    entry = timeline.entry(rid)
+    lineage = Lineage(rid=rid, epoch=entry.epoch)
+    seen: set[tuple[int, str]] = {(entry.epoch, rid)}
+    queue: list[tuple[int, str]] = [(entry.epoch, rid)]
+    edge_seen: set[tuple[int, str, int | None, str | None, str]] = set()
+    while queue:
+        node_epoch, node_rid = queue.pop(0)
+        for producer in direct_producers(timeline, node_epoch, node_rid):
+            if (producer.epoch, producer.rid) == (node_epoch, node_rid):
+                continue  # self-read
+            edge_key = (node_epoch, node_rid, producer.epoch,
+                        producer.rid, producer.obj)
+            if edge_key not in edge_seen:
+                edge_seen.add(edge_key)
+                lineage.edges.append(
+                    LineageEdge(node_epoch, node_rid, producer)
+                )
+                if producer.is_initial:
+                    lineage.initial_reads += 1
+            if producer.is_initial:
+                continue
+            node = (producer.epoch, producer.rid)
+            if node not in seen:
+                seen.add(node)
+                queue.append(node)
+    lineage.requests = sorted(seen - {(entry.epoch, rid)})
+    return lineage

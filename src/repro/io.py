@@ -53,8 +53,9 @@ round-tripping preserves them exactly via a small tagged encoding
 
 from __future__ import annotations
 
+import io as _stdio
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from collections.abc import Iterator, Sequence
 
 from repro.common.clock import Deadline
@@ -597,6 +598,33 @@ class EpochAccumulator:
         return self._cut() if len(self.trace) else None
 
 
+@dataclass
+class EpochIndex:
+    """Byte-offset index over a segmented bundle's epoch runs.
+
+    Built by one cheap binary scan (:meth:`BundleReader.epoch_index`)
+    that sniffs each line's record kind without parsing event payloads;
+    ``offsets[n]`` is where epoch ``n``'s run begins, so
+    :meth:`BundleReader.seek_epoch` can jump straight to epoch N
+    instead of replaying the whole JSONL stream.
+    """
+
+    #: Byte offset of each epoch run's first record.
+    offsets: list[int] = field(default_factory=list)
+    #: The ``events`` counter of each ``epoch_mark`` record, in order
+    #: (same values :func:`load_audit_bundle_ex` returns as marks).
+    marks: list[int] = field(default_factory=list)
+    #: Byte offset of the ``state`` record, if present.
+    state_offset: int | None = None
+    #: True when the writer's ``end`` record was found (a bundle still
+    #: being written — or torn — scans as incomplete).
+    complete: bool = False
+
+    @property
+    def epoch_count(self) -> int:
+        return len(self.offsets)
+
+
 class BundleReader:
     """Streaming reader of the JSONL bundle format.
 
@@ -625,6 +653,10 @@ class BundleReader:
         self._initial_state: InitialState | None = None
         self._ended = False
         self._closed = False
+        #: Epoch number of the next run the cursor will read (advanced
+        #: by :meth:`seek_epoch`; the accumulator numbers slices from it).
+        self._epoch_base = 0
+        self._epoch_index: EpochIndex | None = None
         header = None
         first = self._fh.readline()
         if first.endswith("\n"):
@@ -848,7 +880,7 @@ class BundleReader:
                 yield EpochSlice(shard.index, shard.trace, shard.reports)
             return
 
-        accumulator = EpochAccumulator()
+        accumulator = EpochAccumulator(self._epoch_base)
         for record in self._records(follow, poll_interval, idle_timeout):
             epoch_slice = accumulator.feed(record)
             if accumulator.initial_state is not None:
@@ -858,6 +890,86 @@ class BundleReader:
         epoch_slice = accumulator.flush()
         if epoch_slice is not None:
             yield epoch_slice
+
+    # -- random access (segmented layout) ----------------------------------
+
+    def epoch_index(self) -> EpochIndex:
+        """Scan the file once (binary, kind-sniffing only) and cache a
+        byte-offset index of its epoch runs.
+
+        Works on any JSONL bundle, but only the segmented layout's
+        offsets are *seekable* — the default layout holds all reports
+        at the tail, so a mid-file offset does not start a
+        self-contained epoch.
+        """
+        if self._epoch_index is not None:
+            return self._epoch_index
+        index = EpochIndex()
+        with open(self.path, "rb") as raw:
+            header = raw.readline()
+            if not header.endswith(b"\n"):
+                self._epoch_index = index
+                return index
+            offset = len(header)
+            index.offsets.append(offset)
+            while True:
+                line = raw.readline()
+                if not line or not line.endswith(b"\n"):
+                    break  # EOF or torn tail: the writer is mid-record
+                kind = record_kind(line)
+                if kind == "end":
+                    index.complete = True
+                    break
+                if kind == "state" and index.state_offset is None:
+                    index.state_offset = offset
+                offset += len(line)
+                if kind == "epoch_mark":
+                    index.marks.append(int(json.loads(line)["events"]))
+                    index.offsets.append(offset)
+        # A mark (or the state record alone) directly before end/EOF
+        # leaves a trailing offset that starts no epoch; drop it.
+        if index.offsets and index.offsets[-1] == offset:
+            index.offsets.pop()
+        self._epoch_index = index
+        return index
+
+    def seek_epoch(self, epoch: int) -> None:
+        """Reposition the reader so the next :meth:`epochs` call starts
+        at epoch ``epoch`` — without replaying the stream before it.
+
+        Only the segmented layout supports this (each epoch run is
+        self-contained).  The initial state is read (and cached) first
+        via the index's state offset, so :attr:`initial_state` keeps
+        working after a forward seek.
+        """
+        if not self.segmented:
+            raise ValueError(
+                "seek_epoch needs the segmented layout; this bundle "
+                "holds its reports at the tail"
+            )
+        index = self.epoch_index()
+        if not 0 <= epoch < index.epoch_count:
+            raise ValueError(
+                f"epoch {epoch} out of range (bundle has "
+                f"{index.epoch_count} indexed epoch(s))"
+            )
+        if self._initial_state is None and index.state_offset is not None:
+            with open(self.path, "rb") as raw:
+                raw.seek(index.state_offset)
+                record = json.loads(raw.readline())
+            self._initial_state = state_from_json(record["state"])
+        # Reopen at the epoch's byte offset: seeking a TextIOWrapper to
+        # an arbitrary byte position is undefined, so wrap a freshly
+        # positioned binary handle instead.
+        raw = open(self.path, "rb")
+        raw.seek(index.offsets[epoch])
+        old = self._fh
+        self._fh = _stdio.TextIOWrapper(raw, encoding="utf-8")
+        old.close()
+        self._pushback = []
+        self._partial = ""
+        self._ended = False
+        self._epoch_base = epoch
 
     def close(self) -> None:
         if not self._closed:

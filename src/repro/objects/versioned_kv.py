@@ -56,6 +56,24 @@ class VersionedKV:
             return None
         return self._values[key][pos - 1]
 
+    def get_with_seq(self, key: str, s: int) -> tuple[object, int | None]:
+        """Like :meth:`get`, but also returns the log sequence of the
+        producing set: ``(value, seq)``.
+
+        ``seq`` is ``None`` when no set precedes ``s`` (the key reads
+        as absent) and ``0`` when the value came from the epoch-start
+        seeding (see ``SimContext._seed_kv_initial``) rather than a
+        logged ``KvSet`` — the forensic lineage pass resolves those
+        across epoch boundaries.
+        """
+        seqs = self._seqs.get(key)
+        if not seqs:
+            return None, None
+        pos = bisect.bisect_left(seqs, s)
+        if pos == 0:
+            return None, None
+        return self._values[key][pos - 1], seqs[pos - 1]
+
     def latest_state(self) -> dict[str, object]:
         """Final state after the whole log; becomes the next epoch's
         starting state (Section 4.1, "Persistent objects")."""

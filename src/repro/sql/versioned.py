@@ -349,6 +349,44 @@ class VersionedDB:
         )
         return StmtResult(rows=project_rows(stmt.items, matched))
 
+    def select_versions(
+        self, stmt: Select | str, ts: int
+    ) -> list[tuple[Row, int]]:
+        """Like :meth:`do_select`, but returns the matched versions'
+        **full row values paired with their start timestamps**, in the
+        statement's order/limit order and before projection.
+
+        ``start_ts // MAXQ`` is the log sequence of the transaction
+        that wrote the version (0 for epoch-initial rows), which is
+        what the forensic lineage pass uses to attribute every row a
+        SELECT observed to the request that produced it.
+        """
+        if isinstance(stmt, str):
+            parsed = parse_sql(stmt)
+            if not isinstance(parsed, Select):
+                raise SqlError(
+                    f"select_versions expects SELECT, got {stmt!r}"
+                )
+            stmt = parsed
+        table = self._vtable(stmt.table)
+        matched: list[Row] = []
+        starts: dict[int, int] = {}
+        for logical in table.rows.values():
+            version = logical.live_at(ts)
+            if version is None:
+                continue
+            if stmt.where is None or bool(
+                eval_expr(stmt.where, version.values)
+            ):
+                matched.append(version.values)
+                # Version value dicts are distinct objects, so identity
+                # survives apply_order_limit's reordering.
+                starts[id(version.values)] = version.start_ts
+        matched = apply_order_limit(
+            matched, stmt.order_by, stmt.limit, stmt.offset
+        )
+        return [(dict(row), starts[id(row)]) for row in matched]
+
     def result_at(self, ts: int) -> StmtResult:
         """Redo-recorded result of the write statement stamped ``ts``."""
         result = self.results.get(ts)

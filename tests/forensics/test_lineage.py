@@ -1,0 +1,77 @@
+"""Lineage closure against hand-built traces with known data flow."""
+
+from __future__ import annotations
+
+from repro.forensics import request_lineage
+from repro.forensics.lineage import direct_producers
+from repro.server import Application, Executor
+from repro.trace.events import Request
+
+from tests.forensics.conftest import (
+    CHAIN_SRC,
+    chain_requests,
+    make_timeline,
+    serve,
+)
+
+
+def test_chain_closure_is_exact(chain_app):
+    """C read k2, which B copied from A's k1: closure(C) = {B, A};
+    the unrelated writer D stays out."""
+    run = serve(chain_app, chain_requests())
+    timeline = make_timeline(chain_app, run)
+    lineage = request_lineage(timeline, "C")
+    assert [rid for _, rid in lineage.requests] == ["A", "B"]
+    readers = {(e.reader, e.producer.rid) for e in lineage.edges}
+    assert ("C", "B") in readers
+    assert ("B", "A") in readers
+    assert all(e.producer.rid != "D" for e in lineage.edges)
+
+
+def test_writer_has_empty_closure(chain_app):
+    run = serve(chain_app, chain_requests())
+    timeline = make_timeline(chain_app, run)
+    lineage = request_lineage(timeline, "A")
+    assert lineage.requests == []
+    assert lineage.edges == []
+
+
+def test_self_read_produces_no_edge():
+    """bump.php reads then writes the same key: the second bump's
+    closure is exactly the first bump, never itself."""
+    app = Application.from_sources("chain", CHAIN_SRC)
+    run = Executor(app).serve([
+        Request("b1", "bump.php"),
+        Request("b2", "bump.php"),
+    ])
+    timeline = make_timeline(app, run)
+    first = request_lineage(timeline, "b1")
+    assert first.requests == []
+    second = request_lineage(timeline, "b2")
+    assert [rid for _, rid in second.requests] == ["b1"]
+    assert all(e.producer.rid != e.reader for e in second.edges)
+
+
+def test_cross_epoch_closure(chain_app):
+    run = serve(chain_app, chain_requests(), epoch_size=2)
+    timeline = make_timeline(chain_app, run)
+    assert timeline.epoch_count > 1
+    lineage = request_lineage(timeline, "C")
+    nodes = set(lineage.requests)
+    assert (timeline.entry("A").epoch, "A") in nodes
+    assert (timeline.entry("B").epoch, "B") in nodes
+    assert len(nodes) == 2
+
+
+def test_initial_db_read_attributes_to_pretrace(counter_app, honest_run):
+    """The first page view reads the schema-seeded 'front' row: its
+    direct producers include a pre-trace initial marker."""
+    timeline = make_timeline(counter_app, honest_run)
+    front_readers = [
+        rid for rid, req in sorted(honest_run.trace.requests().items())
+        if req.script == "page.php" and req.get.get("name") == "front"
+    ]
+    lineage = request_lineage(timeline, front_readers[0])
+    assert lineage.initial_reads >= 1
+    producers = direct_producers(timeline, 0, front_readers[0])
+    assert any(p.is_initial for p in producers)

@@ -221,3 +221,27 @@ def test_min_cores_raises_the_skip_threshold(capsys):
     single = _epoch_parallel({(2, "process"): 0.2}, cores=1)
     assert check_regression.compare(single, base, tolerance=0.2,
                                     min_cores=1) == []
+
+
+def _asof(steps_fraction, requests_fraction=0.5, timeline=0.2, cores=4):
+    return {"benchmark": "asof", "cpu_count": cores,
+            "explain_steps_fraction": steps_fraction,
+            "explain_requests_fraction": requests_fraction,
+            "timeline_vs_full": timeline}
+
+
+def test_asof_fractions_gate_lower_is_better():
+    base = _asof(0.2)
+    assert check_regression.compare(_asof(0.15), base,
+                                    tolerance=0.2) == []
+    failures = check_regression.compare(_asof(0.5), base, tolerance=0.2)
+    assert len(failures) == 1
+    assert "explain_steps_fraction" in failures[0]
+
+
+def test_asof_timeline_ratio_gated():
+    base = _asof(0.2, timeline=0.2)
+    blowup = _asof(0.2, timeline=0.9)
+    failures = check_regression.compare(blowup, base, tolerance=0.35)
+    assert len(failures) == 1
+    assert "timeline_vs_full" in failures[0]

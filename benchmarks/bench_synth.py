@@ -1,0 +1,209 @@
+"""E13 — scenario factory: generator throughput and streaming memory.
+
+The scenario factory (``repro synth``) must stay a *streaming*
+producer: epoch batches flow through ``BundleWriter`` the moment they
+complete, so peak memory is one epoch plus the (legitimately growing)
+application state — never the whole trace.  This benchmark pins that
+down with two dimensionless, host-independent metrics plus the raw
+rate:
+
+* **synth_overhead** — wall-clock of a full ``synthesize()`` (traffic
+  model + executor + segmented bundle write) over a bare
+  ``Executor.serve`` of the same request stream (no bundle, no
+  factory).  Bounds what the factory machinery costs on top of the
+  server it drives (lower is better).
+* **rss_growth** — peak RSS of a 4x-requests child run over the small
+  child run (each measured in its own process via ``ru_maxrss``).  A
+  generator that materializes the trace scales linearly and blows this
+  ratio up; the streaming writer keeps it near flat (lower is better).
+* **requests_per_second** — raw generator rate, reported but not gated
+  (CI runners differ too much for absolute rates).
+
+Run standalone to (re)generate the committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_synth.py --out BENCH_synth.json
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_synth.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time as _time
+
+from repro.scenarios import ScenarioSpec, TrafficStream, synthesize
+from repro.scenarios.generator import build_scenario_app
+from repro.server import Executor, RandomScheduler
+from repro.server.nondet import NondetSource
+
+_SPEC_KW = dict(workload="cart", scale=0.05, users=100_000,
+                max_sessions=24, epoch_size=100)
+
+
+def _bare_serve(spec: ScenarioSpec) -> float:
+    """Serve the identical request stream with no factory, no bundle."""
+    app = build_scenario_app(spec.workload, spec.scale)
+    requests = list(TrafficStream(spec))
+    started = _time.perf_counter()
+    executor = Executor(
+        app,
+        scheduler=RandomScheduler(spec.seed + 1),
+        max_concurrency=spec.concurrency,
+        nondet=NondetSource(seed=spec.seed + 20171028),
+        epoch_size=spec.epoch_size,
+    )
+    executor.serve(requests)
+    return _time.perf_counter() - started
+
+
+def measure_overhead(requests: int, seed: int, repeats: int = 1) -> dict:
+    spec = ScenarioSpec(requests=requests, seed=seed, **_SPEC_KW)
+    synth_best = serve_best = None
+    for _ in range(max(1, repeats)):
+        fd, path = tempfile.mkstemp(suffix=".jsonl",
+                                    prefix="repro_bench_synth_")
+        os.close(fd)
+        try:
+            started = _time.perf_counter()
+            summary = synthesize(spec, path)
+            synth_seconds = _time.perf_counter() - started
+        finally:
+            os.unlink(path)
+        serve_seconds = _bare_serve(spec)
+        if synth_best is None or synth_seconds < synth_best:
+            synth_best = synth_seconds
+        if serve_best is None or serve_seconds < serve_best:
+            serve_best = serve_seconds
+    return {
+        "requests": requests,
+        "synth_seconds": synth_best,
+        "serve_seconds": serve_best,
+        "synth_overhead": synth_best / max(serve_best, 1e-12),
+        "requests_per_second": requests / max(synth_best, 1e-12),
+        "events": summary["events"],
+        "epochs": summary["epochs"],
+    }
+
+
+_CHILD = """\
+import json, resource, sys, tempfile, os
+from repro.scenarios import ScenarioSpec, synthesize
+spec = ScenarioSpec(**json.loads(sys.argv[1]))
+fd, path = tempfile.mkstemp(suffix=".jsonl")
+os.close(fd)
+try:
+    synthesize(spec, path)
+finally:
+    os.unlink(path)
+print(json.dumps({"maxrss": resource.getrusage(
+    resource.RUSAGE_SELF).ru_maxrss}))
+"""
+
+
+def _child_maxrss(spec: ScenarioSpec) -> int:
+    """Peak RSS (KiB on Linux) of one synthesis in a fresh process."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD, json.dumps(spec.to_json())],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return int(json.loads(out.stdout)["maxrss"])
+
+
+def measure_rss(small_requests: int, factor: int, seed: int) -> dict:
+    small = ScenarioSpec(requests=small_requests, seed=seed, **_SPEC_KW)
+    large = ScenarioSpec(requests=small_requests * factor, seed=seed,
+                         **_SPEC_KW)
+    small_rss = _child_maxrss(small)
+    large_rss = _child_maxrss(large)
+    return {
+        "rss_small_kb": small_rss,
+        "rss_large_kb": large_rss,
+        "rss_factor": factor,
+        "rss_growth": large_rss / max(small_rss, 1),
+    }
+
+
+def run(requests: int = 2000, rss_small: int = 500, rss_factor: int = 4,
+        seed: int = 0, repeats: int = 2) -> dict:
+    result = {
+        "benchmark": "synth",
+        "workload": _SPEC_KW["workload"],
+        "scale": _SPEC_KW["scale"],
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        **measure_overhead(requests, seed, repeats=repeats),
+        **measure_rss(rss_small, rss_factor, seed),
+    }
+    return result
+
+
+# -- pytest entry point --------------------------------------------------------
+
+
+def test_synth_streams(capsys):
+    """The factory's overhead over a bare serve is bounded, and its
+    peak RSS does not scale with the request count."""
+    row = measure_overhead(400, seed=0)
+    assert row["epochs"] >= 2
+    # The factory may not cost more than 2.5x the server it drives.
+    assert row["synth_overhead"] < 2.5, row
+    rss = measure_rss(200, 4, seed=0)
+    # 4x the requests must cost far less than 4x the memory: the
+    # trace is never materialized (state growth is legitimate).
+    assert rss["rss_growth"] < 2.5, rss
+    with capsys.disabled():
+        print()
+        print("=== scenario factory ===")
+        print(f"  {row['requests']} requests at "
+              f"{row['requests_per_second']:.0f} req/s "
+              f"(overhead {row['synth_overhead']:.2f}x), "
+              f"rss x{rss['rss_factor']} requests -> "
+              f"{rss['rss_growth']:.2f}x memory")
+
+
+# -- standalone entry point ----------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=2000)
+    parser.add_argument("--rss-small", type=int, default=500,
+                        dest="rss_small")
+    parser.add_argument("--rss-factor", type=int, default=4,
+                        dest="rss_factor")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed runs per mode (best time wins)")
+    parser.add_argument("--out", default="BENCH_synth.json")
+    args = parser.parse_args(argv)
+    result = run(args.requests, rss_small=args.rss_small,
+                 rss_factor=args.rss_factor, seed=args.seed,
+                 repeats=args.repeats)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    print(f"  {result['requests']} requests, {result['epochs']} epochs: "
+          f"{result['requests_per_second']:.0f} req/s")
+    print(f"  synth overhead over bare serve: "
+          f"{result['synth_overhead']:.2f}x")
+    print(f"  peak RSS small={result['rss_small_kb']} KiB "
+          f"large={result['rss_large_kb']} KiB "
+          f"(growth {result['rss_growth']:.2f}x at "
+          f"{result['rss_factor']}x requests)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

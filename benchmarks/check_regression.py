@@ -192,6 +192,20 @@ def metrics_asof(data) -> list[Metric]:
     return out
 
 
+def metrics_synth(data) -> list[Metric]:
+    """``bench_synth``: the scenario factory's overhead over a bare
+    serve of the same stream, and its peak-RSS growth when the request
+    count is multiplied (both dimensionless, lower is better — a
+    generator that starts materializing the trace blows up
+    ``rss_growth`` on any host)."""
+    out: list[Metric] = []
+    for name in ("synth_overhead", "rss_growth"):
+        if name in data:
+            out.append(Metric(name, data[name],
+                              higher_is_better=False))
+    return out
+
+
 EXTRACTORS = {
     "parallel_scaling": metrics_parallel_scaling,
     "streaming_session": metrics_streaming_session,
@@ -200,6 +214,7 @@ EXTRACTORS = {
     "backends": metrics_backends,
     "fleet": metrics_fleet,
     "asof": metrics_asof,
+    "synth": metrics_synth,
 }
 
 

@@ -56,7 +56,12 @@ import json
 import sys
 import time
 
-from repro.apps import build_minicrp, build_miniforum, build_miniwiki
+from repro.apps import (
+    build_minicart,
+    build_minicrp,
+    build_miniforum,
+    build_miniwiki,
+)
 from repro.bench import figure9_decomposition, render_table
 from repro.bench.harness import run_audit_phase
 from repro.core import Auditor, simple_audit
@@ -84,22 +89,29 @@ from repro.net import (
     RemoteBundleReader,
     TransportError,
 )
-from repro.workloads import forum_workload, hotcrp_workload, wiki_workload
+from repro.workloads import (
+    cart_workload,
+    forum_workload,
+    hotcrp_workload,
+    wiki_workload,
+)
 
 _WORKLOADS = {
     "wiki": wiki_workload,
     "forum": forum_workload,
     "hotcrp": hotcrp_workload,
+    "cart": cart_workload,
 }
 
 _LINT_APPS = {
     "miniwiki": build_miniwiki,
     "miniforum": build_miniforum,
     "minicrp": build_minicrp,
+    "minicart": build_minicart,
 }
 #: Workload-style names accepted as aliases by ``repro lint``.
 _LINT_ALIASES = {"wiki": "miniwiki", "forum": "miniforum",
-                 "hotcrp": "minicrp"}
+                 "hotcrp": "minicrp", "cart": "minicart"}
 
 
 class _DeprecatedAlias(argparse.Action):
@@ -381,6 +393,157 @@ def cmd_worker(args) -> int:
         return 130
     print(f"worker done: {worker.epochs_run} epoch(s) audited, "
           f"{worker.epochs_failed} failed")
+    return 0
+
+
+def cmd_synth(args) -> int:
+    """Stream a synthetic Zipf-skewed workload into a bundle."""
+    from repro.scenarios import ScenarioSpec, synthesize
+
+    try:
+        spec = ScenarioSpec(
+            workload=args.workload,
+            requests=args.requests,
+            scale=args.scale,
+            seed=args.seed,
+            users=args.users,
+            max_sessions=args.max_sessions,
+            epoch_size=args.epoch_size or 500,
+            concurrency=args.concurrency,
+        )
+    except ValueError as exc:
+        args._parser.error(str(exc))
+    checkpoint = None
+    if args.resume:
+        try:
+            with open(args.resume) as fh:
+                checkpoint = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read checkpoint {args.resume}: {exc}",
+                  file=sys.stderr)
+            return 2
+    progress = None
+    if not args.json:
+        print(f"synthesizing {spec.requests} {args.workload} requests "
+              f"(scale {spec.scale}, seed {spec.seed}, "
+              f"{spec.users} users) into {args.out} ...")
+        last = [time.monotonic()]
+
+        def progress(p):
+            now = time.monotonic()
+            if now - last[0] < 2.0:
+                return
+            last[0] = now
+            rate = p.requests / p.elapsed_seconds
+            print(f"  epoch {p.epoch}: {p.requests} requests, "
+                  f"{p.events} events, {rate:.0f} req/s", flush=True)
+
+    try:
+        summary = synthesize(
+            spec, args.out,
+            profile_path=args.profile,
+            checkpoint=checkpoint,
+            checkpoint_path=args.checkpoint_out,
+            progress=progress,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary["bundle"] = args.out
+    summary["profile"] = args.profile
+    summary["checkpoint"] = args.checkpoint_out
+    failed = summary["verified"] is False
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 1 if failed else 0
+    print(f"wrote {summary['events']} events / {summary['epochs']} "
+          f"epoch(s) in {summary['elapsed_seconds']:.1f}s "
+          f"({summary['requests_per_second']:.0f} req/s)")
+    if args.profile:
+        print(f"profile: {summary['profile_groups']} groups -> "
+              f"{args.profile}")
+    if summary["verified"] is not None:
+        print("self-audit:",
+              "ACCEPTED" if summary["verified"] else "REJECTED")
+    if args.checkpoint_out:
+        print(f"checkpoint: {args.checkpoint_out}")
+    return 1 if failed else 0
+
+
+def cmd_fuzz(args) -> int:
+    """Tamper-fuzz a recorded bundle; every mutation must be REJECTED."""
+    from repro.scenarios import build_scenario_app, fuzz_bundle
+
+    operators = None
+    if args.operators:
+        operators = tuple(
+            name.strip() for name in args.operators.split(",")
+            if name.strip()
+        )
+    app = build_scenario_app(args.workload, args.scale)
+    progress = None
+    if not args.json:
+        print(f"fuzzing {args.bundle} with {args.mutations} mutations "
+              f"(seed {args.seed}) against {args.workload} "
+              f"scale {args.scale} ...")
+
+        def progress(outcome):
+            if not outcome.rejected:
+                print(f"  mutation {outcome.index} "
+                      f"({outcome.operator}): ACCEPTED "
+                      "<- soundness violation", flush=True)
+
+    try:
+        report = fuzz_bundle(
+            args.bundle, app,
+            mutations=args.mutations,
+            seed=args.seed,
+            operators=operators,
+            splice_with=args.splice_with,
+            shrink=not args.no_shrink,
+            progress=progress,
+        )
+    except (OSError, ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = report.to_json()
+    payload["workload"] = args.workload
+    payload["scale"] = args.scale
+    accepted = report.accepted
+    if accepted and args.reproducer_out:
+        reproducer = {
+            "bundle": args.bundle,
+            "workload": args.workload,
+            "scale": args.scale,
+            "seed": args.seed,
+            "mutations": [o.to_json() for o in accepted],
+        }
+        with open(args.reproducer_out, "w") as fh:
+            json.dump(reproducer, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        payload["reproducer"] = args.reproducer_out
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if accepted else 0
+    for name in sorted(payload["operators"]):
+        stats = payload["operators"][name]
+        print(f"  {name}: {stats['rejected']}/{stats['mutations']} "
+              "rejected")
+    channels = payload["channels"]
+    print(f"channels: audit={channels['audit']} load={channels['load']} "
+          f"wire={channels['wire']}")
+    if accepted:
+        print(f"SOUNDNESS VIOLATION: {len(accepted)} of "
+              f"{report.mutations} mutations ACCEPTED")
+        for outcome in accepted:
+            edits = outcome.shrunk or outcome.edits
+            print(f"  [{outcome.index}] {outcome.operator}: "
+                  f"{len(edits)} edit(s) in minimal reproducer")
+        if args.reproducer_out:
+            print(f"reproducer: {args.reproducer_out}")
+        return 1
+    print(f"all {report.rejected}/{report.mutations} mutations REJECTED "
+          f"in {report.elapsed_seconds:.1f}s")
     return 0
 
 
@@ -860,6 +1023,85 @@ def main(argv=None) -> int:
                            "severity (or worse) is found (default: "
                            "error)")
     lint.set_defaults(func=cmd_lint)
+
+    synth = sub.add_parser(
+        "synth",
+        help="stream a synthetic Zipf-skewed workload (millions of "
+             "simulated users) into a segmented bundle, with optional "
+             "self-audit profile and checkpoint/resume (see "
+             "docs/scenarios.md)",
+    )
+    common(synth)
+    synth.add_argument("--requests", type=int, default=10_000,
+                       help="requests to synthesize this run "
+                            "(default 10000; resume adds on top)")
+    synth.add_argument("--users", type=int, default=1_000_000,
+                       help="simulated user population sampled with a "
+                            "Zipf-like skew (default 1e6)")
+    synth.add_argument("--max-sessions", type=int, default=64,
+                       dest="max_sessions", metavar="N",
+                       help="bound on concurrently active sessions "
+                            "(the generator's working set; default 64)")
+    synth.add_argument("--concurrency", type=int, default=8,
+                       help="server's max in-flight requests")
+    synth.add_argument("--out", default="synth_bundle.jsonl",
+                       metavar="BUNDLE.JSONL",
+                       help="segmented JSONL bundle to write")
+    synth.add_argument("--profile", default=None, metavar="PROFILE.JSON",
+                       help="self-audit each epoch while generating and "
+                            "write the per-group (n, alpha, ell) "
+                            "profile here")
+    synth.add_argument("--resume", default=None, metavar="CKPT.JSON",
+                       help="resume from a checkpoint written by a "
+                            "previous run's --checkpoint-out")
+    synth.add_argument("--checkpoint-out", dest="checkpoint_out",
+                       default=None, metavar="CKPT.JSON",
+                       help="write this run's final checkpoint for a "
+                            "later --resume")
+    synth.add_argument("--json", action="store_true",
+                       help="emit the generation summary as JSON")
+    synth.set_defaults(func=cmd_synth)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="tamper-fuzz a recorded bundle: randomized mutations "
+             "(drop/flip/reorder/splice/truncate/wire-corrupt) that "
+             "the stock audit must REJECT; accepted mutations are "
+             "shrunk to a minimal reproducer (see docs/scenarios.md)",
+    )
+    fuzz.add_argument("bundle", help="recorded bundle to attack "
+                                     "(JSONL formats)")
+    fuzz.add_argument("--workload", choices=sorted(_WORKLOADS),
+                      default="cart",
+                      help="the app the bundle was recorded against "
+                           "(default: cart)")
+    fuzz.add_argument("--scale", type=float, default=0.05,
+                      help="the scale the bundle was recorded at "
+                           "(default 0.05, the committed fixture's)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed; every mutation derives from "
+                           "(seed, index) and replays exactly")
+    fuzz.add_argument("--mutations", type=int, default=100,
+                      help="number of randomized mutations (default "
+                           "100)")
+    fuzz.add_argument("--operators", default=None, metavar="A,B,...",
+                      help="restrict to these tamper operators "
+                           "(comma-separated; default: all)")
+    fuzz.add_argument("--splice-with", dest="splice_with", default=None,
+                      metavar="BUNDLE.JSONL",
+                      help="donor bundle for cross-bundle epoch "
+                           "splices (default: swap epochs in place)")
+    fuzz.add_argument("--no-shrink", dest="no_shrink",
+                      action="store_true",
+                      help="skip ddmin shrinking of accepted mutations")
+    fuzz.add_argument("--reproducer-out", dest="reproducer_out",
+                      default="fuzz_reproducer.json",
+                      metavar="REPRO.JSON",
+                      help="where to write the minimal reproducer if "
+                           "any mutation is accepted")
+    fuzz.add_argument("--json", action="store_true",
+                      help="emit the campaign report as JSON")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     query = sub.add_parser(
         "query",

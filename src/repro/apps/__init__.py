@@ -1,13 +1,17 @@
 """Example applications (the paper's evaluation subjects, §5).
 
-Weblang ports of the three applications the paper evaluates:
+Weblang ports of the three applications the paper evaluates, plus one
+grown here:
 
 * :mod:`repro.apps.miniwiki` — a wiki (MediaWiki analog): read-heavy, page
   cache in the KV store, revision history;
 * :mod:`repro.apps.miniforum` — a bulletin board (phpBB analog): topic
   views with counters, guest/registered split, transactional replies;
 * :mod:`repro.apps.minicrp` — a conference review site (HotCRP analog):
-  paper submissions with updates, reviews, reviewer listings.
+  paper submissions with updates, reviews, reviewer listings;
+* :mod:`repro.apps.minicart` — a cart/checkout flow with cross-request
+  invariants (reserve -> pay -> confirm; stock never negative), the
+  scenario factory's fourth app.
 
 Each module exposes ``build_app()`` returning a ready
 :class:`~repro.server.app.Application`.
@@ -16,5 +20,11 @@ Each module exposes ``build_app()`` returning a ready
 from repro.apps.miniwiki import build_app as build_miniwiki
 from repro.apps.miniforum import build_app as build_miniforum
 from repro.apps.minicrp import build_app as build_minicrp
+from repro.apps.minicart import build_app as build_minicart
 
-__all__ = ["build_minicrp", "build_miniforum", "build_miniwiki"]
+__all__ = [
+    "build_minicart",
+    "build_minicrp",
+    "build_miniforum",
+    "build_miniwiki",
+]

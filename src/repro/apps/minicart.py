@@ -1,0 +1,374 @@
+"""minicart: a cart/checkout flow with cross-request invariants.
+
+The fourth bundled app (scenario-factory PR): customers browse a
+Zipf-popular catalog, build a session cart, then walk a reservation
+through ``reserve -> pay -> confirm`` (or cancel).  The reservation
+decrements product stock inside one transaction that re-checks
+availability, so the whole-system invariant *stock never goes
+negative* must hold across any interleaving — `cart_admin.php`
+surfaces a violation loudly (``OVERSOLD``) for workload-level checks.
+
+Exercises: multi-statement read-check-write transactions with commit
+failure handling, session carts (per-user registers), a KV product
+cache (first toucher populates it), ``uniqid()`` receipts, and
+``time()`` timestamps threaded into state and output.
+"""
+
+from __future__ import annotations
+
+from repro.server.app import Application
+
+_HELPERS = """
+function cart_header($title) {
+  return "<html><head><title>" . htmlspecialchars($title)
+       . " - minicart</title></head><body>";
+}
+
+function cart_footer() {
+  return "<div class='footer'>minicart</div></body></html>";
+}
+
+function current_session() {
+  $c = cookie('sess');
+  if (is_null($c)) {
+    return null;
+  }
+  $acct = session_get();
+  if (is_null($acct)) {
+    return ['cart' => [], 'orders' => 0];
+  }
+  return $acct;
+}
+"""
+
+_BROWSE = _HELPERS + """
+$pid = intval(param('p', 0));
+echo cart_header("Product");
+if ($pid == 0) {
+  $rows = db_query("SELECT id, name, price FROM products ORDER BY id");
+  echo "<h1>", count($rows), " products</h1><ul>";
+  foreach ($rows as $row) {
+    echo "<li><a href='cart_browse.php?p=", $row['id'], "'>",
+         htmlspecialchars($row['name']), "</a> $", $row['price'],
+         "</li>";
+  }
+  echo "</ul>";
+} else {
+  $cached = kv_get('prod:' . $pid);
+  if (is_null($cached)) {
+    $rows = db_query("SELECT id, name, price FROM products WHERE id = "
+                     . $pid);
+    if (count($rows) > 0) {
+      $cached = $rows[0]['name'] . '|' . $rows[0]['price'];
+      kv_set('prod:' . $pid, $cached);
+    }
+  }
+  if (is_null($cached)) {
+    echo "<p class='error'>No such product.</p>";
+  } else {
+    $parts = explode('|', $cached);
+    $live = db_query("SELECT stock FROM products WHERE id = " . $pid);
+    echo "<h1>", htmlspecialchars($parts[0]), "</h1>";
+    echo "<p>Price: $", $parts[1], "</p>";
+    echo "<p>In stock: ", $live[0]['stock'], "</p>";
+  }
+}
+echo cart_footer();
+"""
+
+_ADD = _HELPERS + """
+$acct = current_session();
+$pid = intval(param('p', 0));
+$qty = intval(param('qty', 1));
+echo cart_header("Add to cart");
+if (is_null($acct)) {
+  echo "<p class='error'>Sign in (set a session cookie) first.</p>";
+  echo cart_footer();
+  return;
+}
+if ($pid == 0 || $qty < 1) {
+  echo "<p class='error'>Need a product and a positive quantity.</p>";
+  echo cart_footer();
+  return;
+}
+$rows = db_query("SELECT id, name FROM products WHERE id = " . $pid);
+if (count($rows) == 0) {
+  echo "<p class='error'>No such product.</p>";
+  echo cart_footer();
+  return;
+}
+$cart = $acct['cart'];
+if (array_key_exists($pid, $cart)) {
+  $cart[$pid] = $cart[$pid] + $qty;
+} else {
+  $cart[$pid] = $qty;
+}
+$acct['cart'] = $cart;
+session_put($acct);
+echo "<p class='added'>Added ", $qty, " x ",
+     htmlspecialchars($rows[0]['name']), " (cart: ", count($cart),
+     " line items)</p>";
+echo cart_footer();
+"""
+
+_RESERVE = _HELPERS + """
+$acct = current_session();
+$token = param('t', '');
+echo cart_header("Reserve");
+if (is_null($acct) || strlen($token) == 0) {
+  echo "<p class='error'>Need a session and a reservation token.</p>";
+  echo cart_footer();
+  return;
+}
+$cart = $acct['cart'];
+if (count($cart) == 0) {
+  echo "<p class='error'>Cart is empty.</p>";
+  echo cart_footer();
+  return;
+}
+$now = time();
+db_begin();
+$ok = true;
+$total = 0;
+foreach ($cart as $pid => $qty) {
+  $rows = db_query("SELECT id, price, stock FROM products WHERE id = "
+                   . intval($pid));
+  if (count($rows) == 0) {
+    $ok = false;
+  } else {
+    if ($rows[0]['stock'] < $qty) {
+      $ok = false;
+    } else {
+      $total = $total + $rows[0]['price'] * $qty;
+    }
+  }
+}
+if (!$ok) {
+  db_rollback();
+  echo "<p class='error'>Out of stock; nothing was reserved.</p>";
+  echo cart_footer();
+  return;
+}
+db_exec("INSERT INTO reservations (token, customer, total, status,"
+        . " created, updated) VALUES (" . sql_quote($token) . ", "
+        . sql_quote(cookie('sess')) . ", " . $total
+        . ", 'reserved', " . $now . ", " . $now . ")");
+foreach ($cart as $pid => $qty) {
+  db_exec("UPDATE products SET stock = stock - " . intval($qty)
+          . " WHERE id = " . intval($pid));
+  db_exec("INSERT INTO reservation_items (token, product_id, qty)"
+          . " VALUES (" . sql_quote($token) . ", " . intval($pid)
+          . ", " . intval($qty) . ")");
+}
+$committed = db_commit();
+if (!$committed) {
+  echo "<p class='error'>Reservation conflicted; try again.</p>";
+  echo cart_footer();
+  return;
+}
+$acct['cart'] = [];
+session_put($acct);
+echo "<p class='reserved'>Reserved ", count($cart), " line item(s), "
+     . "total $", $total, ". Token: ", htmlspecialchars($token),
+     "</p>";
+echo cart_footer();
+"""
+
+_PAY = _HELPERS + """
+$token = param('t', '');
+echo cart_header("Pay");
+if (strlen($token) == 0) {
+  echo "<p class='error'>Need a reservation token.</p>";
+  echo cart_footer();
+  return;
+}
+$now = time();
+db_begin();
+$rows = db_query("SELECT id, status, total FROM reservations WHERE"
+                 . " token = " . sql_quote($token));
+if (count($rows) == 0 || $rows[0]['status'] != 'reserved') {
+  db_rollback();
+  echo "<p class='error'>No payable reservation for that token.</p>";
+  echo cart_footer();
+  return;
+}
+db_exec("UPDATE reservations SET status = 'paid', updated = " . $now
+        . " WHERE id = " . $rows[0]['id']);
+$committed = db_commit();
+if (!$committed) {
+  echo "<p class='error'>Payment conflicted; try again.</p>";
+  echo cart_footer();
+  return;
+}
+echo "<p class='paid'>Paid $", $rows[0]['total'], " for ",
+     htmlspecialchars($token), " at ", $now, ".</p>";
+echo cart_footer();
+"""
+
+_CONFIRM = _HELPERS + """
+$acct = current_session();
+$token = param('t', '');
+echo cart_header("Confirm");
+if (strlen($token) == 0) {
+  echo "<p class='error'>Need a reservation token.</p>";
+  echo cart_footer();
+  return;
+}
+$now = time();
+$receipt = uniqid();
+db_begin();
+$rows = db_query("SELECT id, customer, total, status FROM reservations"
+                 . " WHERE token = " . sql_quote($token));
+if (count($rows) == 0 || $rows[0]['status'] != 'paid') {
+  db_rollback();
+  echo "<p class='error'>No paid reservation for that token.</p>";
+  echo cart_footer();
+  return;
+}
+db_exec("UPDATE reservations SET status = 'confirmed', updated = "
+        . $now . " WHERE id = " . $rows[0]['id']);
+db_exec("INSERT INTO orders (token, customer, total, receipt, created)"
+        . " VALUES (" . sql_quote($token) . ", "
+        . sql_quote($rows[0]['customer']) . ", " . $rows[0]['total']
+        . ", " . sql_quote($receipt) . ", " . $now . ")");
+$committed = db_commit();
+if (!$committed) {
+  echo "<p class='error'>Confirmation conflicted; try again.</p>";
+  echo cart_footer();
+  return;
+}
+if (!is_null($acct)) {
+  $acct['orders'] = $acct['orders'] + 1;
+  session_put($acct);
+}
+send_email($rows[0]['customer'], "[minicart] Order receipt " . $receipt,
+           "Your order " . $token . " ($" . $rows[0]['total']
+           . ") is confirmed.");
+echo "<p class='confirmed'>Order confirmed. Receipt: ", $receipt,
+     "</p>";
+echo cart_footer();
+"""
+
+_CANCEL = _HELPERS + """
+$token = param('t', '');
+echo cart_header("Cancel");
+if (strlen($token) == 0) {
+  echo "<p class='error'>Need a reservation token.</p>";
+  echo cart_footer();
+  return;
+}
+$now = time();
+db_begin();
+$rows = db_query("SELECT id, status FROM reservations WHERE token = "
+                 . sql_quote($token));
+if (count($rows) == 0 || $rows[0]['status'] != 'reserved') {
+  db_rollback();
+  echo "<p class='error'>No cancellable reservation for that token.</p>";
+  echo cart_footer();
+  return;
+}
+$items = db_query("SELECT product_id, qty FROM reservation_items WHERE"
+                  . " token = " . sql_quote($token));
+foreach ($items as $item) {
+  db_exec("UPDATE products SET stock = stock + " . $item['qty']
+          . " WHERE id = " . $item['product_id']);
+}
+db_exec("UPDATE reservations SET status = 'cancelled', updated = "
+        . $now . " WHERE id = " . $rows[0]['id']);
+$committed = db_commit();
+if (!$committed) {
+  echo "<p class='error'>Cancellation conflicted; try again.</p>";
+  echo cart_footer();
+  return;
+}
+echo "<p class='cancelled'>Reservation ", htmlspecialchars($token),
+     " cancelled; ", count($items), " line item(s) restocked.</p>";
+echo cart_footer();
+"""
+
+_ADMIN = _HELPERS + """
+echo cart_header("Stock report");
+$rows = db_query("SELECT id, name, stock FROM products ORDER BY id");
+$negative = 0;
+echo "<table>";
+foreach ($rows as $row) {
+  echo "<tr><td>", htmlspecialchars($row['name']), "</td><td>",
+       $row['stock'], "</td>";
+  if ($row['stock'] < 0) {
+    $negative = $negative + 1;
+    echo "<td class='error'>OVERSOLD</td>";
+  }
+  echo "</tr>";
+}
+echo "</table>";
+$counts = db_query("SELECT COUNT(*) AS n FROM reservations");
+$orders = db_query("SELECT COUNT(*) AS n FROM orders");
+echo "<p>", $counts[0]['n'], " reservations, ", $orders[0]['n'],
+     " orders, ", $negative, " oversold products.</p>";
+echo cart_footer();
+"""
+
+SCRIPTS = {
+    "cart_browse.php": _BROWSE,
+    "cart_add.php": _ADD,
+    "cart_reserve.php": _RESERVE,
+    "cart_pay.php": _PAY,
+    "cart_confirm.php": _CONFIRM,
+    "cart_cancel.php": _CANCEL,
+    "cart_admin.php": _ADMIN,
+}
+
+SCHEMA = """
+CREATE TABLE products (
+    id INT PRIMARY KEY AUTOINCREMENT,
+    name TEXT,
+    price INT,
+    stock INT
+);
+CREATE TABLE reservations (
+    id INT PRIMARY KEY AUTOINCREMENT,
+    token TEXT,
+    customer TEXT,
+    total INT,
+    status TEXT,
+    created INT,
+    updated INT
+);
+CREATE TABLE reservation_items (
+    id INT PRIMARY KEY AUTOINCREMENT,
+    token TEXT,
+    product_id INT,
+    qty INT
+);
+CREATE TABLE orders (
+    id INT PRIMARY KEY AUTOINCREMENT,
+    token TEXT,
+    customer TEXT,
+    total INT,
+    receipt TEXT,
+    created INT
+)
+"""
+
+_NAMES = (
+    "Widget", "Gadget", "Sprocket", "Gizmo", "Doohickey", "Whatsit",
+    "Flange", "Grommet", "Bracket", "Coupling", "Fitting", "Gasket",
+)
+
+
+def seed_sql(products: int = 12, stock: int = 40) -> str:
+    statements = [SCHEMA]
+    for index in range(products):
+        name = f"{_NAMES[index % len(_NAMES)]} Mk{index // len(_NAMES) + 1}"
+        price = 5 + (index * 7) % 90
+        statements.append(
+            f"INSERT INTO products (name, price, stock) VALUES "
+            f"('{name}', {price}, {stock})"
+        )
+    return ";\n".join(statements)
+
+
+def build_app(products: int = 12, stock: int = 40) -> Application:
+    return Application.from_sources(
+        "minicart", SCRIPTS, db_setup=seed_sql(products, stock)
+    )

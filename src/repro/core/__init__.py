@@ -47,6 +47,7 @@ from repro.core.reexec import (
     default_backend,
     register_reexec_backend,
 )
+from repro.core.profile import group_profile, summarize_triples
 from repro.core.verifier import AuditResult, ssco_audit
 from repro.core.ooo import ooo_audit, simple_audit
 from repro.core.timeprec import create_time_precedence_graph
@@ -73,9 +74,11 @@ __all__ = [
     "partition_audit_inputs",
     "precompute_epoch_states",
     "register_reexec_backend",
+    "group_profile",
     "run_audit",
     "sharded_audit",
     "simple_audit",
     "ssco_audit",
+    "summarize_triples",
     "state_precompute_pipeline",
 ]

@@ -1,0 +1,43 @@
+"""The scenario factory: synthetic traffic at scale, and attacks on it.
+
+Two halves (ROADMAP: "million-request scenario factory + adversarial
+tamper campaign"):
+
+* :mod:`repro.scenarios.generator` — a **streaming workload
+  generator**: Zipf-skewed traffic from a large simulated-user
+  population over the three bundled apps plus the cart/checkout app,
+  emitted epoch by epoch through :class:`~repro.io.BundleWriter`
+  without ever materializing the whole trace; deterministic from one
+  seed, checkpoint/resumable, with per-group (n, α, ℓ) stats emitted
+  as a JSON profile (``repro synth``).
+* :mod:`repro.scenarios.fuzz` — a **tamper fuzzer**: randomized
+  mutations of a recorded bundle (drop/duplicate/reorder records, flip
+  responses and reports, splice epochs, truncate mid-record, corrupt
+  the wire CRC), asserting the stock audit REJECTS every one and
+  shrinking any ACCEPTed mutation to a minimal reproducer
+  (``repro fuzz``).
+"""
+
+from repro.scenarios.generator import (
+    ScenarioSpec,
+    TrafficStream,
+    build_scenario_app,
+    synthesize,
+)
+from repro.scenarios.fuzz import (
+    FuzzReport,
+    MutationOutcome,
+    fuzz_bundle,
+    shrink_edits,
+)
+
+__all__ = [
+    "FuzzReport",
+    "MutationOutcome",
+    "ScenarioSpec",
+    "TrafficStream",
+    "build_scenario_app",
+    "fuzz_bundle",
+    "shrink_edits",
+    "synthesize",
+]

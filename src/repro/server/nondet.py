@@ -31,6 +31,27 @@ class NondetSource:
         self._pid = pid
         self._uniq = 0
 
+    def getstate(self) -> dict:
+        """JSON-able snapshot, so a resumed recording run (the scenario
+        factory's checkpoint) continues the clock, the PRNG stream, and
+        the ``uniqid`` counter instead of replaying them — duplicate
+        uniqids across a resume would be indistinguishable from a
+        misbehaving server."""
+        version, internal, gauss = self._rng.getstate()
+        return {
+            "clock": self._clock,
+            "pid": self._pid,
+            "uniq": self._uniq,
+            "rng": [version, list(internal), gauss],
+        }
+
+    def setstate(self, state: dict) -> None:
+        self._clock = int(state["clock"])
+        self._pid = int(state["pid"])
+        self._uniq = int(state["uniq"])
+        version, internal, gauss = state["rng"]
+        self._rng.setstate((version, tuple(internal), gauss))
+
     def call(self, func: str, args: tuple) -> object:
         if func == "time":
             self._clock += 1

@@ -54,6 +54,15 @@ class RandomScheduler(Scheduler):
     def pick(self, ready: Sequence[str]) -> str:
         return ready[self._rng.randrange(len(ready))]
 
+    def getstate(self) -> list:
+        """JSON-able PRNG snapshot (scenario-factory checkpoints)."""
+        version, internal, gauss = self._rng.getstate()
+        return [version, list(internal), gauss]
+
+    def setstate(self, state: list) -> None:
+        version, internal, gauss = state
+        self._rng.setstate((version, tuple(internal), gauss))
+
 
 class ScriptedScheduler(Scheduler):
     """Follow an explicit list of rids (the Figure 4 scenarios).

@@ -9,7 +9,10 @@ parameters:
   registered:guest ≈ 1:40, views ≫ replies, 30,000 requests at full scale;
 * :func:`hotcrp_workload` — SIGCOMM'09-derived: 269 papers, 58 reviewers,
   820 reviews, 1-20 updates per paper, 2 versions per review, 100 page
-  views per reviewer, ≈52,000 requests at full scale.
+  views per reviewer, ≈52,000 requests at full scale;
+* :func:`cart_workload` — session state machines over the minicart app:
+  browse, cart, then reserve -> pay -> confirm (or cancel), with the
+  stock-never-negative invariant spanning requests.
 
 All generators take a ``scale`` in (0, 1] so tests and CI can run small.
 """
@@ -17,9 +20,11 @@ All generators take a ``scale`` in (0, 1] so tests and CI can run small.
 from repro.workloads.wiki import wiki_workload
 from repro.workloads.forum import forum_workload
 from repro.workloads.hotcrp import hotcrp_workload
+from repro.workloads.cart import cart_workload
 from repro.workloads.zipf import zipf_weights, zipf_sample
 
 __all__ = [
+    "cart_workload",
     "forum_workload",
     "hotcrp_workload",
     "wiki_workload",

@@ -1,0 +1,130 @@
+"""The cart/checkout workload: sessions with cross-request invariants.
+
+Unlike the paper's three workloads, every shopper here is a small state
+machine — browse a Zipf-popular catalog, build a session cart, then
+walk ``reserve -> pay -> confirm`` (or cancel) — so correctness spans
+requests: stock decremented at reserve must never go negative, and a
+token can only be paid once.  ``cart_admin.php`` surfaces violations
+(``OVERSOLD``) in-band.
+
+The session model (:func:`new_session` / :func:`session_request`) is
+shared with the streaming scenario factory
+(:mod:`repro.scenarios.generator`): sessions are plain JSON-able dicts
+so a generator checkpoint can be serialized and resumed mid-stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps import minicart
+from repro.trace.events import Request
+from repro.workloads.wiki import Workload
+from repro.workloads.zipf import zipf_sample
+
+FULL_REQUESTS = 30_000
+FULL_PRODUCTS = 60
+ZIPF_BETA = 0.8
+DEFAULT_STOCK = 40
+#: Fraction of sessions that go on to reserve after filling a cart.
+BUY_FRACTION = 0.6
+#: Of the buyers, fraction that pays (the rest cancel the reservation).
+PAY_FRACTION = 0.8
+#: One stock-report request roughly every N session starts.
+ADMIN_EVERY = 40
+
+
+def population(scale: float) -> dict:
+    """Data-population parameters at ``scale`` (1.0 = full size).
+
+    Shared by :func:`cart_workload` and the scenario factory so both
+    build the *same* app for the same scale — which is what lets
+    ``repro audit`` / ``repro fuzz`` rebuild a synthesized bundle's app
+    from ``--workload cart --scale X`` alone.
+    """
+    return {
+        "products": max(6, int(FULL_PRODUCTS * scale)),
+        "stock": DEFAULT_STOCK,
+    }
+
+
+def new_session(rng: random.Random, user: int, products: int,
+                serial: int) -> dict:
+    """Plan one shopper session as a JSON-able dict.
+
+    The whole step list is drawn up front so a session's remaining
+    behaviour is captured by ``(steps, pos)`` — the property the
+    scenario generator's checkpoint/resume relies on.
+    """
+    product_ids = list(range(1, products + 1))
+    picks = zipf_sample(rng, product_ids, ZIPF_BETA, 4)
+    steps: list[list] = []
+    for browse in range(rng.randint(1, 3)):
+        steps.append(["browse", picks[browse % len(picks)]])
+    token = f"t{user:07d}x{serial:07d}"
+    if rng.random() < BUY_FRACTION:
+        for add in range(rng.randint(1, 2)):
+            steps.append(["add", picks[add], rng.randint(1, 3)])
+        steps.append(["reserve"])
+        if rng.random() < PAY_FRACTION:
+            steps.append(["pay"])
+            steps.append(["confirm"])
+        else:
+            steps.append(["cancel"])
+    elif rng.random() < 0.3:
+        # Window shopper: an abandoned cart.
+        steps.append(["add", picks[0], 1])
+    if serial % ADMIN_EVERY == 0:
+        steps.append(["admin"])
+    return {"user": user, "token": token, "steps": steps, "pos": 0}
+
+
+def session_request(session: dict, rid: str) -> Request:
+    """The session's current step as a concrete :class:`Request`."""
+    step = session["steps"][session["pos"]]
+    op = step[0]
+    cookies = {"sess": f"u{session['user']:07d}"}
+    if op == "browse":
+        return Request(rid, "cart_browse.php", get={"p": str(step[1])},
+                       cookies=cookies)
+    if op == "add":
+        return Request(rid, "cart_add.php",
+                       get={"p": str(step[1]), "qty": str(step[2])},
+                       cookies=cookies)
+    if op == "admin":
+        return Request(rid, "cart_admin.php")
+    # reserve / pay / confirm / cancel all address the session's token.
+    script = f"cart_{op}.php"
+    return Request(rid, script, get={"t": session["token"]},
+                   cookies=cookies)
+
+
+def session_done(session: dict) -> bool:
+    return session["pos"] >= len(session["steps"])
+
+
+def cart_workload(scale: float = 1.0, seed: int = 2026) -> Workload:
+    """Build the minicart app and a bounded-pool session interleave."""
+    num_requests = max(20, int(FULL_REQUESTS * scale))
+    pop = population(scale)
+    app = minicart.build_app(products=pop["products"], stock=pop["stock"])
+    rng = random.Random(seed)
+
+    requests: list[Request] = []
+    sessions: list[dict] = []
+    serial = 0
+    users = max(100, num_requests)  # plenty of distinct shoppers
+    for index in range(num_requests):
+        if not sessions or (len(sessions) < 16 and rng.random() < 0.4):
+            serial += 1
+            # Log-uniform rank: cheap approximate-Zipf user activity.
+            user = int(users ** rng.random()) - 1
+            sessions.append(
+                new_session(rng, user, pop["products"], serial)
+            )
+        session = sessions[rng.randrange(len(sessions))]
+        requests.append(session_request(session, f"s{index:06d}"))
+        session["pos"] += 1
+        if session_done(session):
+            sessions.remove(session)
+    return Workload(app, requests, "Cart/Checkout")

@@ -21,6 +21,17 @@ REGISTERED_RATIO = 1.0 / 41.0  # 1 registered : 40 guests
 USERS = 83
 
 
+def population(scale: float) -> dict:
+    """Data-population parameters at ``scale`` — shared with the
+    scenario factory (see :func:`repro.workloads.wiki.population`)."""
+    topics = max(2, int(FULL_TOPICS * min(1.0, scale * 4)))
+    return {
+        "topics": topics,
+        "topic_ids": list(range(1, topics + 1)),
+        "users": [f"user{index:03d}" for index in range(USERS)],
+    }
+
+
 def forum_workload(
     scale: float = 1.0,
     seed: int = 20170921,  # the paper's scrape date
@@ -28,11 +39,11 @@ def forum_workload(
     login_fraction: float = 0.01,
 ) -> Workload:
     num_requests = max(20, int(FULL_REQUESTS * scale))
-    num_topics = max(2, int(FULL_TOPICS * min(1.0, scale * 4)))
+    pop = population(scale)
     rng = random.Random(seed)
-    app = miniforum.build_app(topics=num_topics)
-    topic_ids = list(range(1, num_topics + 1))
-    users = [f"user{index:03d}" for index in range(USERS)]
+    app = miniforum.build_app(topics=pop["topics"])
+    topic_ids = pop["topic_ids"]
+    users = pop["users"]
     logged_in = set()
 
     requests: list[Request] = []

@@ -20,6 +20,20 @@ VIEWS_PER_REVIEWER = 100
 MAX_UPDATES = 20
 
 
+def population(scale: float) -> dict:
+    """Data-population parameters at ``scale`` — shared with the
+    scenario factory (see :func:`repro.workloads.wiki.population`)."""
+    papers = max(3, int(FULL_PAPERS * scale))
+    reviewers = max(2, int(FULL_REVIEWERS * scale))
+    return {
+        "papers": papers,
+        "reviewers": [f"pc{index:02d}@conf.org" for index in
+                      range(reviewers)],
+        "authors": [f"author{index:03d}@inst.edu" for index in
+                    range(papers)],
+    }
+
+
 def hotcrp_workload(scale: float = 1.0, seed: int = 2009) -> Workload:
     num_papers = max(3, int(FULL_PAPERS * scale))
     num_reviewers = max(2, int(FULL_REVIEWERS * scale))

@@ -18,6 +18,19 @@ from repro.workloads.zipf import zipf_sample
 FULL_REQUESTS = 20_000
 FULL_PAGES = 200
 ZIPF_BETA = 0.53
+EDITORS = 25
+
+
+def population(scale: float) -> dict:
+    """Data-population parameters at ``scale`` — shared with the
+    scenario factory so a synthesized bundle's app can be rebuilt from
+    ``--workload wiki --scale X`` alone."""
+    pages = max(5, int(FULL_PAGES * scale))
+    return {
+        "pages": pages,
+        "titles": [f"Page_{index:03d}" for index in range(pages)],
+        "editors": EDITORS,
+    }
 
 
 @dataclass
@@ -42,10 +55,10 @@ def wiki_workload(
     the paper notes smaller workloads are pessimistic for OROCHI).
     """
     num_requests = max(20, int(FULL_REQUESTS * scale))
-    num_pages = max(5, int(FULL_PAGES * scale))
+    pop = population(scale)
     rng = random.Random(seed)
-    app = miniwiki.build_app(pages=num_pages)
-    titles = [f"Page_{index:03d}" for index in range(num_pages)]
+    app = miniwiki.build_app(pages=pop["pages"])
+    titles = pop["titles"]
 
     requests: list[Request] = []
     picked = zipf_sample(rng, titles, ZIPF_BETA, num_requests)

@@ -1,0 +1,134 @@
+"""minicart: cross-request checkout invariants and audit roundtrips."""
+
+from __future__ import annotations
+
+from repro.apps import build_minicart
+from repro.core import ssco_audit
+from repro.server import Executor, RandomScheduler
+from repro.server.faulty import tamper_response
+from repro.server.nondet import NondetSource
+from repro.trace.events import Request
+
+
+def serve(app, requests, seed=7, concurrency=1):
+    executor = Executor(app, scheduler=RandomScheduler(seed),
+                        max_concurrency=concurrency,
+                        nondet=NondetSource(seed=seed))
+    return executor.serve(requests)
+
+
+def checkout(token, sess, pid="1", qty="1"):
+    """The happy-path request sequence for one purchase."""
+    return [
+        Request(f"{token}-a", "cart_add.php",
+                get={"p": pid, "qty": qty}, cookies={"sess": sess}),
+        Request(f"{token}-r", "cart_reserve.php", get={"t": token},
+                cookies={"sess": sess}),
+        Request(f"{token}-p", "cart_pay.php", get={"t": token},
+                cookies={"sess": sess}),
+        Request(f"{token}-c", "cart_confirm.php", get={"t": token},
+                cookies={"sess": sess}),
+    ]
+
+
+def test_browse_shows_catalog_and_product():
+    app = build_minicart(products=4, stock=3)
+    run = serve(app, [
+        Request("r1", "cart_browse.php"),
+        Request("r2", "cart_browse.php", get={"p": "2"}),
+    ])
+    bodies = {rid: resp.body for rid, resp in
+              run.trace.responses().items()}
+    assert "Widget Mk1" in bodies["r1"]
+    assert "Gadget Mk1" in bodies["r2"]
+    assert "In stock: 3" in bodies["r2"]
+
+
+def test_full_checkout_flow():
+    app = build_minicart(products=4, stock=3)
+    run = serve(app, checkout("tok1", "alice", qty="2")
+                + [Request("r-admin", "cart_admin.php"),
+                   Request("r-view", "cart_browse.php",
+                           get={"p": "1"})])
+    bodies = {rid: resp.body for rid, resp in
+              run.trace.responses().items()}
+    assert "Added 2 x Widget Mk1" in bodies["tok1-a"]
+    assert "Token: tok1" in bodies["tok1-r"]
+    assert "Paid $10 for tok1" in bodies["tok1-p"]
+    assert "Receipt: uid" in bodies["tok1-c"]
+    # Stock decremented exactly once, at reserve time.
+    assert "In stock: 1" in bodies["r-view"]
+    assert "1 reservations, 1 orders, 0 oversold" in bodies["r-admin"]
+
+
+def test_reserve_rejects_insufficient_stock():
+    app = build_minicart(products=2, stock=1)
+    run = serve(app, [
+        Request("r1", "cart_add.php", get={"p": "1", "qty": "5"},
+                cookies={"sess": "bob"}),
+        Request("r2", "cart_reserve.php", get={"t": "tokx"},
+                cookies={"sess": "bob"}),
+        Request("r3", "cart_admin.php"),
+    ])
+    bodies = {rid: resp.body for rid, resp in
+              run.trace.responses().items()}
+    assert "Out of stock; nothing was reserved" in bodies["r2"]
+    assert "0 reservations" in bodies["r3"]
+    assert "0 oversold" in bodies["r3"]
+
+
+def test_cancel_restocks():
+    app = build_minicart(products=2, stock=2)
+    run = serve(app, [
+        Request("r1", "cart_add.php", get={"p": "1", "qty": "2"},
+                cookies={"sess": "eve"}),
+        Request("r2", "cart_reserve.php", get={"t": "tokc"},
+                cookies={"sess": "eve"}),
+        Request("r3", "cart_cancel.php", get={"t": "tokc"},
+                cookies={"sess": "eve"}),
+        Request("r4", "cart_browse.php", get={"p": "1"}),
+        Request("r5", "cart_pay.php", get={"t": "tokc"},
+                cookies={"sess": "eve"}),
+    ])
+    bodies = {rid: resp.body for rid, resp in
+              run.trace.responses().items()}
+    assert "cancelled; 1 line item(s) restocked" in bodies["r3"]
+    assert "In stock: 2" in bodies["r4"]
+    # A cancelled reservation is no longer payable.
+    assert "No payable reservation" in bodies["r5"]
+
+
+def test_stock_never_negative_under_contention():
+    # More buyers than stock, racing at full concurrency: reservations
+    # may fail, stock may not go below zero.
+    app = build_minicart(products=2, stock=2)
+    requests = []
+    for i in range(5):
+        requests.extend(checkout(f"t{i}", f"user{i}", qty="1"))
+    requests.append(Request("r-admin", "cart_admin.php"))
+    run = serve(app, requests, concurrency=8)
+    admin = run.trace.responses()["r-admin"].body
+    assert "0 oversold" in admin
+
+
+def test_minicart_audit_accepts():
+    app = build_minicart(products=3, stock=4)
+    requests = []
+    for i in range(4):
+        requests.extend(checkout(f"t{i}", f"user{i}",
+                                 pid=str(1 + i % 3)))
+    requests.append(Request("r-admin", "cart_admin.php"))
+    run = serve(app, requests, concurrency=4)
+    audit = ssco_audit(app, run.trace, run.reports, run.initial_state)
+    assert audit.accepted, (audit.reason, audit.detail)
+
+
+def test_minicart_audit_rejects_forged_receipt():
+    app = build_minicart(products=3, stock=4)
+    run = serve(app, checkout("tok9", "mallory"), concurrency=1)
+    confirm = run.trace.responses()["tok9-c"]
+    forged = tamper_response(
+        run.trace, "tok9-c",
+        confirm.body.replace("Receipt: uid", "Receipt: forged"))
+    audit = ssco_audit(app, forged, run.reports, run.initial_state)
+    assert not audit.accepted

@@ -1,0 +1,151 @@
+"""The tamper fuzzer: every operator's mutations are REJECTED by the
+stock audit, and the shrinker minimizes a planted ACCEPT-on-tamper."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.scenarios import fuzz_bundle, shrink_edits
+from repro.scenarios.fuzz import (
+    ALL_OPERATORS,
+    FILE_OPERATORS,
+    WIRE_OPERATORS,
+    apply_edits,
+)
+from repro.scenarios.generator import build_scenario_app
+
+FIXTURE = str(pathlib.Path(__file__).resolve().parent.parent
+              / "data" / "cart_fixture.jsonl")
+
+
+@pytest.fixture(scope="module")
+def cart_app():
+    return build_scenario_app("cart", 0.05)
+
+
+def test_apply_edits_roundtrip():
+    lines = [b'{"a": 1}', b'{"b": 2}', b'{"c": 3}']
+    assert apply_edits(lines, []) == b'{"a": 1}\n{"b": 2}\n{"c": 3}\n'
+    mutated = apply_edits(lines, [
+        {"op": "delete_line", "line": 1},
+        {"op": "replace_line", "line": 2, "text": '{"c": 9}'},
+    ])
+    assert mutated == b'{"a": 1}\n{"c": 9}\n'
+    truncated = apply_edits(lines, [{"op": "truncate", "byte": 12}])
+    assert truncated == b'{"a": 1}\n{"b'
+
+
+@pytest.mark.parametrize("operator", ALL_OPERATORS)
+def test_every_operator_rejected(cart_app, operator):
+    report = fuzz_bundle(FIXTURE, cart_app, mutations=3, seed=1,
+                         operators=(operator,), shrink=False)
+    assert report.rejected == 3, [o.to_json() for o in report.accepted]
+    for outcome in report.outcomes:
+        assert outcome.operator == operator
+        expected = "wire" if operator in WIRE_OPERATORS else None
+        if expected:
+            assert outcome.channel == expected
+
+
+def test_campaign_all_rejected_and_replayable(cart_app):
+    a = fuzz_bundle(FIXTURE, cart_app, mutations=25, seed=2,
+                    shrink=False)
+    assert a.rejected == 25
+    payload = a.to_json()
+    assert payload["all_rejected"] is True
+    assert sum(payload["channels"].values()) == 25
+    assert payload["accepted_mutations"] == []
+    # Mutations derive from (seed, index) only: a rerun replays the
+    # identical edits and verdict channels.
+    b = fuzz_bundle(FIXTURE, cart_app, mutations=25, seed=2,
+                    shrink=False)
+    assert [o.edits for o in a.outcomes] == [o.edits for o in b.outcomes]
+    assert ([o.channel for o in a.outcomes]
+            == [o.channel for o in b.outcomes])
+
+
+def test_unknown_operator_rejected(cart_app):
+    with pytest.raises(ValueError, match="unknown tamper operator"):
+        fuzz_bundle(FIXTURE, cart_app, mutations=1,
+                    operators=("definitely_not_an_operator",))
+
+
+def test_shrink_edits_ddmin_minimizes():
+    edits = [{"op": "delete_line", "line": i} for i in range(8)]
+    culprit = edits[5]
+
+    def accepts(subset):
+        return culprit in subset
+
+    assert shrink_edits(edits, accepts) == [culprit]
+
+
+def test_planted_accept_bug_is_shrunk(cart_app):
+    # A deliberately broken audit that ACCEPTs everything: every file
+    # mutation becomes a soundness violation, and the shrinker must cut
+    # each multi-edit mutation down to a single-edit reproducer (with
+    # an always-accepting audit any single edit reproduces).
+    def broken_audit(trace, reports, initial, marks):
+        return True, None
+
+    report = fuzz_bundle(FIXTURE, cart_app, mutations=12, seed=3,
+                         audit_fn=broken_audit,
+                         operators=("flip_response", "drop_event",
+                                    "flip_op_log"))
+    accepted = report.accepted
+    assert accepted, "planted bug must surface as ACCEPTed mutations"
+    for outcome in accepted:
+        assert outcome.shrunk is not None
+        assert len(outcome.shrunk) == 1
+        assert all(edit in outcome.edits for edit in outcome.shrunk)
+    payload = report.to_json()
+    assert payload["all_rejected"] is False
+    assert len(payload["accepted_mutations"]) == len(accepted)
+
+
+def test_planted_single_blindspot_bug(cart_app):
+    # Subtler plant: the audit only misses response-body flips; every
+    # other operator still rejects.  The fuzzer must pin the ACCEPTs on
+    # exactly the blind operator.
+    from repro.scenarios.fuzz import _stock_audit_fn
+    from repro.core.config import AuditConfig
+
+    stock = _stock_audit_fn(cart_app, AuditConfig())
+
+    def blind_to_flips(trace, reports, initial, marks):
+        accepted, reason = stock(trace, reports, initial, marks)
+        if not accepted and reason and "output" in reason.lower():
+            return True, None  # swallow output mismatches
+        return accepted, reason
+
+    report = fuzz_bundle(FIXTURE, cart_app, mutations=10, seed=4,
+                         audit_fn=blind_to_flips,
+                         operators=("flip_response", "drop_event"),
+                         shrink=False)
+    accepted_ops = {o.operator for o in report.accepted}
+    assert "flip_response" in accepted_ops
+    rejected_ops = {o.operator for o in report.outcomes if o.rejected}
+    assert "drop_event" in rejected_ops
+
+
+def test_report_schema(cart_app):
+    report = fuzz_bundle(FIXTURE, cart_app, mutations=6, seed=5,
+                         shrink=False)
+    payload = report.to_json()
+    assert set(payload) == {
+        "bundle", "mutations", "seed", "rejected", "accepted",
+        "all_rejected", "channels", "operators", "accepted_mutations",
+        "elapsed_seconds",
+    }
+    assert set(payload["channels"]) == {"audit", "load", "wire"}
+    for stats in payload["operators"].values():
+        assert set(stats) == {"mutations", "rejected"}
+    json.dumps(payload)  # must be JSON-able as-is
+
+
+def test_operator_lists_are_disjoint():
+    assert not set(FILE_OPERATORS) & set(WIRE_OPERATORS)
+    assert set(ALL_OPERATORS) == set(FILE_OPERATORS) | set(WIRE_OPERATORS)

@@ -390,3 +390,107 @@ def test_follow_with_epoch_workers(tmp_path, capsys):
     assert indexes == sorted(indexes)
     assert all("ACCEPTED" in line for line in epochs)
     assert "ACCEPTED in" in out
+
+
+# -- synth / fuzz (the scenario factory) ---------------------------------------
+
+
+def test_synth_writes_verified_bundle(tmp_path, capsys):
+    import json as _json
+
+    bundle = str(tmp_path / "synth.jsonl")
+    profile = str(tmp_path / "profile.json")
+    code = main(["synth", "--workload", "cart", "--scale", "0.05",
+                 "--seed", "0", "--requests", "150",
+                 "--epoch-size", "60", "--users", "10000",
+                 "--max-sessions", "12", "--out", bundle,
+                 "--profile", profile, "--json"])
+    assert code == 0
+    payload = _json.loads(capsys.readouterr().out)
+    assert payload["verified"] is True
+    assert payload["requests"] == 150
+    assert payload["epochs"] >= 2
+    assert payload["bundle"] == bundle
+    with open(profile) as fh:
+        assert _json.load(fh)["profile"] == "ssco-group-profile"
+    # The synthesized bundle audits cleanly through the stock CLI.
+    assert main(["audit", bundle, "--workload", "cart",
+                 "--scale", "0.05", "--epoch-size", "60"]) == 0
+
+
+def test_synth_resume_roundtrip(tmp_path, capsys):
+    import json as _json
+
+    ckpt = str(tmp_path / "ckpt.json")
+    args = ["synth", "--workload", "cart", "--scale", "0.05",
+            "--seed", "3", "--requests", "80", "--epoch-size", "40",
+            "--users", "10000", "--max-sessions", "12"]
+    assert main(args + ["--out", str(tmp_path / "p1.jsonl"),
+                        "--checkpoint-out", ckpt, "--json"]) == 0
+    first = _json.loads(capsys.readouterr().out)
+    assert first["resumed"] is False
+    assert main(args + ["--out", str(tmp_path / "p2.jsonl"),
+                        "--resume", ckpt, "--json"]) == 0
+    second = _json.loads(capsys.readouterr().out)
+    assert second["resumed"] is True
+    assert second["requests"] == 80
+
+
+def test_synth_rejects_bad_spec():
+    with pytest.raises(SystemExit):
+        main(["synth", "--workload", "cart", "--requests", "0",
+              "--out", "/tmp/never.jsonl"])
+
+
+def test_fuzz_all_rejected_json_schema(capsys):
+    import json as _json
+
+    code = main(["fuzz", "tests/data/cart_fixture.jsonl",
+                 "--mutations", "20", "--seed", "0", "--json"])
+    assert code == 0
+    payload = _json.loads(capsys.readouterr().out)
+    assert payload["all_rejected"] is True
+    assert payload["rejected"] == 20
+    assert payload["workload"] == "cart"
+    assert set(payload["channels"]) == {"audit", "load", "wire"}
+    assert payload["accepted_mutations"] == []
+
+
+def test_fuzz_operator_restriction(capsys):
+    import json as _json
+
+    code = main(["fuzz", "tests/data/cart_fixture.jsonl",
+                 "--workload", "cart", "--scale", "0.05",
+                 "--mutations", "5", "--seed", "1",
+                 "--operators", "flip_response", "--json"])
+    assert code == 0
+    payload = _json.loads(capsys.readouterr().out)
+    assert set(payload["operators"]) == {"flip_response"}
+    assert payload["operators"]["flip_response"]["mutations"] == 5
+    assert payload["operators"]["flip_response"]["rejected"] == 5
+
+
+def test_fuzz_unknown_operator_exits_2(capsys):
+    code = main(["fuzz", "tests/data/cart_fixture.jsonl",
+                 "--operators", "nope"])
+    assert code == 2
+    assert "unknown tamper operator" in capsys.readouterr().err
+
+
+def test_fuzz_missing_bundle_exits_2(capsys):
+    code = main(["fuzz", "/nonexistent/bundle.jsonl"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_lint_minicart_clean_and_aliased(capsys):
+    assert main(["lint", "minicart"]) == 0
+    assert main(["lint", "cart"]) == 0
+    out = capsys.readouterr().out
+    assert "lint[minicart]: errors=0 warnings=0" in out
+
+
+def test_demo_cart_workload_accepts(capsys):
+    code = main(["demo", "--workload", "cart", "--scale", "0.02"])
+    assert code == 0
+    assert "ACCEPTED" in capsys.readouterr().out

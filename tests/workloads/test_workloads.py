@@ -9,12 +9,14 @@ import pytest
 
 from repro.bench import run_workload_pipeline
 from repro.workloads import (
+    cart_workload,
     forum_workload,
     hotcrp_workload,
     wiki_workload,
     zipf_sample,
     zipf_weights,
 )
+from repro.workloads.cart import population as cart_population
 
 
 def test_zipf_weights_decreasing():
@@ -97,3 +99,44 @@ def test_workload_audits_accept(factory, scale):
                                 run_baseline=False, measure_legacy=False)
     assert run.audit.accepted, (workload.label, run.audit.reason,
                                 run.audit.detail)
+
+
+def test_cart_workload_deterministic():
+    a = cart_workload(scale=0.02, seed=9)
+    b = cart_workload(scale=0.02, seed=9)
+    assert [r.rid for r in a.requests] == [r.rid for r in b.requests]
+    assert [r.script for r in a.requests] == [r.script for r in b.requests]
+    assert a.label == "Cart/Checkout"
+
+
+def test_cart_workload_mix_and_flow_order():
+    workload = cart_workload(scale=0.05)
+    scripts = Counter(r.script for r in workload.requests)
+    assert scripts["cart_browse.php"] > scripts["cart_reserve.php"] > 0
+    assert scripts["cart_pay.php"] > 0
+    assert scripts["cart_confirm.php"] > 0
+    # Per token, the flow must be reserve -> pay -> confirm/cancel.
+    order = {}
+    for index, request in enumerate(workload.requests):
+        token = request.get.get("t")
+        if token:
+            order.setdefault(token, []).append(
+                (request.script, index))
+    rank = {"cart_reserve.php": 0, "cart_pay.php": 1,
+            "cart_confirm.php": 2, "cart_cancel.php": 2}
+    for token, steps in order.items():
+        ranks = [rank[s] for s, _ in steps]
+        assert ranks == sorted(ranks), (token, steps)
+
+
+def test_cart_population_scales():
+    small, large = cart_population(0.05), cart_population(1.0)
+    assert small["products"] < large["products"]
+    assert large["products"] == 60
+
+
+def test_cart_workload_audit_accepts():
+    workload = cart_workload(scale=0.02)
+    run = run_workload_pipeline(workload, seed=2, concurrency=4,
+                                run_baseline=False, measure_legacy=False)
+    assert run.audit.accepted, (run.audit.reason, run.audit.detail)
